@@ -1,0 +1,60 @@
+//! Criterion micro-bench: LSH index build and top-k retrieval vs
+//! brute-force scanning (backs experiment E14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphstream::{BarabasiAlbert, EdgeStream, VertexId};
+use streamlink_core::{LshIndex, SketchConfig, SketchStore};
+
+fn store() -> SketchStore {
+    let mut s = SketchStore::new(SketchConfig::with_slots(128).seed(4));
+    s.insert_stream(BarabasiAlbert::new(10_000, 4, 6).edges());
+    s
+}
+
+fn bench_lsh(c: &mut Criterion) {
+    let store = store();
+    let mut group = c.benchmark_group("lsh");
+    group.sample_size(10);
+
+    for (bands, rows) in [(32usize, 4usize), (64, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{bands}x{rows}")),
+            &(bands, rows),
+            |b, &(bands, rows)| {
+                b.iter(|| LshIndex::build(&store, bands, rows).unwrap());
+            },
+        );
+    }
+
+    let index = LshIndex::build(&store, 64, 2).unwrap();
+    let queries: Vec<VertexId> = (0..64u64).map(VertexId).collect();
+    group.bench_function("topk_lsh", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                acc += index.top_k(&store, q, 10).len();
+            }
+            acc
+        });
+    });
+    group.bench_function("topk_bruteforce", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &q in &queries {
+                let mut scored: Vec<(VertexId, f64)> = store
+                    .vertices()
+                    .filter(|&v| v != q)
+                    .filter_map(|v| store.jaccard(q, v).map(|j| (v, j)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                scored.truncate(10);
+                acc += scored.len();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lsh);
+criterion_main!(benches);

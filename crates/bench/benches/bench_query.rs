@@ -1,0 +1,68 @@
+//! Criterion micro-bench: query latency of the three measures.
+//!
+//! Backs experiment E9: sketch queries are O(k) regardless of degree;
+//! exact queries scale with the endpoint degrees.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphstream::{AdjacencyGraph, BarabasiAlbert, EdgeStream, VertexId};
+use streamlink_core::{SketchConfig, SketchStore};
+
+fn setup() -> (SketchStore, AdjacencyGraph, Vec<(VertexId, VertexId)>) {
+    let stream = BarabasiAlbert::new(20_000, 4, 3);
+    let mut store = SketchStore::new(SketchConfig::with_slots(256).seed(1));
+    store.insert_stream(stream.edges());
+    let graph = AdjacencyGraph::from_edges(stream.edges());
+    // Hub pairs: the regime where exact queries hurt most.
+    let mut by_degree: Vec<VertexId> = graph.vertices().collect();
+    by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+    let hubs: Vec<(VertexId, VertexId)> = by_degree
+        .windows(2)
+        .take(32)
+        .map(|w| (w[0], w[1]))
+        .collect();
+    (store, graph, hubs)
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (store, graph, pairs) = setup();
+    let mut group = c.benchmark_group("hub_query");
+    group.sample_size(20);
+
+    for (name, f) in [
+        ("jaccard", 0usize),
+        ("common_neighbors", 1),
+        ("adamic_adar", 2),
+    ] {
+        group.bench_with_input(BenchmarkId::new("sketch", name), &f, |b, &f| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(u, v) in &pairs {
+                    acc += match f {
+                        0 => store.jaccard(u, v),
+                        1 => store.common_neighbors(u, v),
+                        _ => store.adamic_adar(u, v),
+                    }
+                    .unwrap_or(0.0);
+                }
+                acc
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact", name), &f, |b, &f| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for &(u, v) in &pairs {
+                    acc += match f {
+                        0 => graph.jaccard(u, v),
+                        1 => graph.common_neighbors(u, v) as f64,
+                        _ => graph.adamic_adar(u, v),
+                    };
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

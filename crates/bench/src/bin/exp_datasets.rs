@@ -1,0 +1,56 @@
+//! **E1 (Table 1)** — dataset statistics.
+//!
+//! Regenerates the paper's dataset table: vertices, edges, average and
+//! maximum degree, skew, tail fraction for every simulated stream.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_datasets [-- --scale small|standard|large]
+//! ```
+
+use graphstream::{EdgeStream, StreamStats};
+use serde::Serialize;
+use streamlink_bench::{all_datasets, scale_from_args, table_header, table_row, ResultWriter};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    counterpart: String,
+    vertices: u64,
+    edges: u64,
+    avg_degree: f64,
+    max_degree: u64,
+    skew: f64,
+    tail_fraction: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let mut out = ResultWriter::new("e1_datasets");
+
+    println!("\nE1 / Table 1 — dataset statistics ({scale:?})\n");
+    table_header(&["dataset", "n", "m", "avg deg", "max deg", "skew", "tail"]);
+    for (dataset, stream) in all_datasets(scale) {
+        let s = StreamStats::from_edges(stream.edges()).summary();
+        let row = Row {
+            dataset: dataset.spec().key.to_string(),
+            counterpart: dataset.spec().paper_counterpart.to_string(),
+            vertices: s.vertices,
+            edges: s.edges,
+            avg_degree: s.avg_degree,
+            max_degree: s.max_degree,
+            skew: s.skew,
+            tail_fraction: s.tail_fraction,
+        };
+        table_row(&[
+            row.dataset.clone(),
+            row.vertices.to_string(),
+            row.edges.to_string(),
+            format!("{:.2}", row.avg_degree),
+            row.max_degree.to_string(),
+            format!("{:.1}", row.skew),
+            format!("{:.3}", row.tail_fraction),
+        ]);
+        out.write_row(&row);
+    }
+}

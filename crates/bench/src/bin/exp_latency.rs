@@ -1,0 +1,118 @@
+//! **E9 (query-latency table)** — per-query time of the sketch store
+//! (O(k), degree-independent) vs exact scoring (O(d_u + d_v)), stratified
+//! by endpoint degree.
+//!
+//! Paper shape to reproduce: exact query time grows with the degrees of
+//! the endpoints; sketch query time is flat. The crossover arrives at
+//! moderate degrees — on hub pairs the sketch wins by orders of
+//! magnitude.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_latency [-- --scale ...] [--k N]
+//! ```
+
+use std::time::Instant;
+
+use graphstream::{AdjacencyGraph, EdgeStream, VertexId};
+use serde::Serialize;
+use streamlink_bench::{
+    all_datasets, build_store, flag_value, scale_from_args, table_header, table_row, ResultWriter,
+    EXP_SEED,
+};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    stratum: String,
+    mean_degree: f64,
+    k: usize,
+    pairs: usize,
+    exact_ns_per_query: f64,
+    sketch_ns_per_query: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let k: usize = flag_value(&args, "--k").map_or(256, |v| v.parse().expect("bad --k"));
+    let mut out = ResultWriter::new("e9_latency");
+    let reps = 200usize;
+
+    println!("\nE9 — Jaccard query latency by degree stratum (k = {k}, {scale:?}, {reps} reps)\n");
+    for (dataset, stream) in all_datasets(scale) {
+        let exact = AdjacencyGraph::from_edges(stream.edges());
+        let store = build_store(&stream, k, EXP_SEED);
+
+        // Degree strata: low (bottom third), mid, hub (top 1%).
+        let mut by_degree: Vec<VertexId> = exact.vertices().collect();
+        by_degree.sort_by_key(|&v| exact.degree(v));
+        let n = by_degree.len();
+        let strata: [(&str, &[VertexId]); 3] = [
+            ("low", &by_degree[..n / 3]),
+            ("mid", &by_degree[n / 3..2 * n / 3]),
+            ("hub", &by_degree[n - (n / 100).max(2)..]),
+        ];
+
+        println!("dataset {}", dataset.spec().key);
+        table_header(&["stratum", "mean deg", "exact ns", "sketch ns", "speedup"]);
+        for (name, vertices) in strata {
+            // Pair vertices within the stratum deterministically.
+            let pairs: Vec<(VertexId, VertexId)> = vertices
+                .iter()
+                .zip(vertices.iter().rev())
+                .take(64)
+                .filter(|(a, b)| a != b)
+                .map(|(&a, &b)| (a, b))
+                .collect();
+            if pairs.is_empty() {
+                continue;
+            }
+            let mean_degree = vertices
+                .iter()
+                .map(|&v| exact.degree(v) as f64)
+                .sum::<f64>()
+                / vertices.len() as f64;
+
+            let t = Instant::now();
+            let mut sink = 0.0f64;
+            for _ in 0..reps {
+                for &(u, v) in &pairs {
+                    sink += exact.jaccard(u, v);
+                }
+            }
+            let exact_ns = t.elapsed().as_nanos() as f64 / (reps * pairs.len()) as f64;
+            std::hint::black_box(sink);
+
+            let t = Instant::now();
+            let mut sink = 0.0f64;
+            for _ in 0..reps {
+                for &(u, v) in &pairs {
+                    sink += store.jaccard(u, v).unwrap_or(0.0);
+                }
+            }
+            let sketch_ns = t.elapsed().as_nanos() as f64 / (reps * pairs.len()) as f64;
+            std::hint::black_box(sink);
+
+            let row = Row {
+                dataset: dataset.spec().key.to_string(),
+                stratum: name.to_string(),
+                mean_degree,
+                k,
+                pairs: pairs.len(),
+                exact_ns_per_query: exact_ns,
+                sketch_ns_per_query: sketch_ns,
+                speedup: exact_ns / sketch_ns,
+            };
+            table_row(&[
+                name.into(),
+                format!("{mean_degree:.1}"),
+                format!("{exact_ns:.0}"),
+                format!("{sketch_ns:.0}"),
+                format!("{:.2}x", row.speedup),
+            ]);
+            out.write_row(&row);
+        }
+        println!();
+    }
+}

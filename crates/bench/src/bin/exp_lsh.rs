@@ -1,0 +1,134 @@
+//! **E14 (extension figure)** — LSH retrieval quality/cost trade-off:
+//! candidate-set size, recall of the brute-force top-10, and measured
+//! speedup as the banding scheme `(bands, rows)` sweeps the threshold.
+//!
+//! Shape to establish: lowering the threshold (more bands / fewer rows)
+//! raises recall monotonically and inflates the candidate set — the
+//! classic LSH trade-off curve; at equal slots, `(48, 2)`-style schemes
+//! dominate for collaboration-graph similarity levels.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_lsh [-- --scale ...]
+//! ```
+
+use std::time::Instant;
+
+use graphstream::{EdgeStream, VertexId};
+use serde::Serialize;
+use streamlink_bench::{
+    all_datasets, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::{LshIndex, SketchConfig, SketchStore};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    bands: usize,
+    rows: usize,
+    threshold: f64,
+    avg_candidates: f64,
+    recall_top10: Option<f64>,
+    brute_ms_per_query: f64,
+    lsh_ms_per_query: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let k = 128usize;
+    let mut out = ResultWriter::new("e14_lsh");
+
+    println!("\nE14 — LSH retrieval trade-off (k = {k}, {scale:?})\n");
+    for (dataset, stream) in all_datasets(scale) {
+        let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+        store.insert_stream(stream.edges());
+        let queries: Vec<VertexId> = {
+            let mut v: Vec<VertexId> = store.vertices().collect();
+            v.sort_unstable();
+            v.into_iter()
+                .step_by((v_len(&store) / 50).max(1))
+                .take(50)
+                .collect()
+        };
+
+        // Brute-force top-10 per query (ground truth for recall).
+        let t = Instant::now();
+        let brute: Vec<Vec<(VertexId, f64)>> = queries
+            .iter()
+            .map(|&q| {
+                let mut scored: Vec<(VertexId, f64)> = store
+                    .vertices()
+                    .filter(|&v| v != q)
+                    .filter_map(|v| store.jaccard(q, v).map(|j| (v, j)))
+                    .filter(|&(_, j)| j > 0.0)
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                scored.truncate(10);
+                scored
+            })
+            .collect();
+        let brute_ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+        println!("dataset {}", dataset.spec().key);
+        table_header(&[
+            "bands x rows",
+            "threshold",
+            "cands/query",
+            "recall@10",
+            "speedup",
+        ]);
+        for (bands, rows) in [(16usize, 8usize), (32, 4), (42, 3), (64, 2), (128, 1)] {
+            let index = LshIndex::build(&store, bands, rows).expect("k = 128 fits");
+            let threshold = index.threshold();
+
+            let t = Instant::now();
+            let mut candidate_total = 0usize;
+            let lsh_tops: Vec<Vec<(VertexId, f64)>> = queries
+                .iter()
+                .map(|&q| {
+                    candidate_total += index.candidates(&store, q).len();
+                    index.top_k(&store, q, 10)
+                })
+                .collect();
+            let lsh_ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+
+            // Recall of above-threshold brute-force entries.
+            let (mut relevant, mut recovered) = (0usize, 0usize);
+            for (bf, approx) in brute.iter().zip(&lsh_tops) {
+                let got: std::collections::HashSet<VertexId> =
+                    approx.iter().map(|&(v, _)| v).collect();
+                for &(v, j) in bf {
+                    if j >= threshold {
+                        relevant += 1;
+                        recovered += usize::from(got.contains(&v));
+                    }
+                }
+            }
+            let row = Row {
+                dataset: dataset.spec().key.to_string(),
+                bands,
+                rows,
+                threshold,
+                avg_candidates: candidate_total as f64 / queries.len() as f64,
+                recall_top10: (relevant > 0).then(|| recovered as f64 / relevant as f64),
+                brute_ms_per_query: brute_ms,
+                lsh_ms_per_query: lsh_ms,
+                speedup: brute_ms / lsh_ms.max(1e-9),
+            };
+            table_row(&[
+                format!("{bands}x{rows}"),
+                format!("{threshold:.3}"),
+                format!("{:.1}", row.avg_candidates),
+                row.recall_top10.map_or("n/a".into(), |r| format!("{r:.3}")),
+                format!("{:.1}x", row.speedup),
+            ]);
+            out.write_row(&row);
+        }
+        println!();
+    }
+}
+
+fn v_len(store: &SketchStore) -> usize {
+    store.vertex_count()
+}

@@ -1,0 +1,101 @@
+//! Renders every `results/*.jsonl` experiment output as a Markdown
+//! report — the bridge between the raw harness rows and EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_report > results/report.md
+//! ```
+
+use std::collections::BTreeMap;
+
+use serde_json::Value;
+use streamlink_bench::results_dir;
+
+fn main() {
+    let dir = results_dir();
+    let mut files: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect(),
+        Err(e) => {
+            eprintln!("no results directory at {}: {e}", dir.display());
+            eprintln!("run scripts/run_all_experiments.sh first");
+            std::process::exit(1);
+        }
+    };
+    files.sort();
+    if files.is_empty() {
+        eprintln!("no .jsonl files in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    println!("# Experiment report\n");
+    println!("Generated from `{}`.\n", dir.display());
+    for path in files {
+        let name = path
+            .file_stem()
+            .map_or_else(String::new, |s| s.to_string_lossy().into_owned());
+        let Ok(content) = std::fs::read_to_string(&path) else {
+            eprintln!("skipping unreadable {}", path.display());
+            continue;
+        };
+        let rows: Vec<BTreeMap<String, Value>> = content
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str(l).ok())
+            .collect();
+        println!("## {name}\n");
+        if rows.is_empty() {
+            println!("_no rows_\n");
+            continue;
+        }
+        render_table(&rows);
+        println!();
+    }
+}
+
+/// Renders rows as a GitHub-flavored Markdown table over the union of
+/// keys (sorted; BTreeMap keeps this stable).
+fn render_table(rows: &[BTreeMap<String, Value>]) {
+    let mut columns: Vec<&str> = Vec::new();
+    for row in rows {
+        for key in row.keys() {
+            if !columns.contains(&key.as_str()) {
+                columns.push(key);
+            }
+        }
+    }
+    println!("| {} |", columns.join(" | "));
+    println!(
+        "|{}|",
+        columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let cells: Vec<String> = columns
+            .iter()
+            .map(|c| row.get(*c).map_or_else(String::new, fmt_cell))
+            .collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+/// Compact cell rendering: trims floats to 4 significant decimals.
+fn fmt_cell(v: &Value) -> String {
+    match v {
+        Value::Number(n) => {
+            if let Some(f) = n.as_f64() {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", f as i64)
+                } else {
+                    format!("{f:.4}")
+                }
+            } else {
+                n.to_string()
+            }
+        }
+        Value::String(s) => s.clone(),
+        Value::Null => "n/a".into(),
+        other => other.to_string(),
+    }
+}

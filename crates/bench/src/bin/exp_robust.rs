@@ -1,0 +1,115 @@
+//! **E17 (extension figure)** — estimator error vs stream duplication
+//! rate: the plain store (raw degree counters) against the
+//! duplicate-robust store (HyperLogLog distinct degrees).
+//!
+//! Shape to establish: plain-store CN error grows linearly with the
+//! re-delivery rate (degrees scale by `1 + rate`), while the robust
+//! store's error is flat at the HLL noise floor; Jaccard is flat for
+//! both (slots are idempotent).
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_robust [-- --scale ...] [--k N]
+//! ```
+
+use datasets::Scale;
+use graphstream::adapters::NoiseInjector;
+use graphstream::{AdjacencyGraph, BarabasiAlbert, EdgeStream};
+use linkpred::evaluate::sample_overlap_pairs;
+use linkpred::metrics;
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::{RobustStore, SketchConfig, SketchStore};
+
+#[derive(Serialize)]
+struct Row {
+    duplicate_prob: f64,
+    backend: String,
+    cn_are: Option<f64>,
+    cn_mae: f64,
+    jaccard_mae: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let k: usize = flag_value(&args, "--k").map_or(256, |v| v.parse().expect("bad --k"));
+    let n = match scale {
+        Scale::Small => 1_000,
+        Scale::Standard => 20_000,
+        Scale::Large => 100_000,
+    };
+    let clean = BarabasiAlbert::new(n, 4, EXP_SEED);
+    let exact = AdjacencyGraph::from_edges(clean.edges());
+    let pairs = sample_overlap_pairs(&exact, 600, EXP_SEED);
+    let cn_truth: Vec<f64> = pairs
+        .iter()
+        .map(|&(u, v)| exact.common_neighbors(u, v) as f64)
+        .collect();
+    let j_truth: Vec<f64> = pairs.iter().map(|&(u, v)| exact.jaccard(u, v)).collect();
+
+    let mut out = ResultWriter::new("e17_robust");
+    println!("\nE17 — error vs duplication rate (k = {k}, BA n = {n})\n");
+    table_header(&["dup rate", "backend", "CN ARE", "CN MAE", "J MAE"]);
+    for duplicate_prob in [0.0f64, 0.25, 0.5, 1.0] {
+        let injector = NoiseInjector {
+            duplicate_prob,
+            self_loop_prob: 0.02,
+            max_reorder: 8,
+            seed: 3,
+        };
+        let noisy = injector.apply(&clean);
+
+        let mut plain = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+        plain.insert_stream(noisy.as_slice().iter().copied());
+        let mut robust = RobustStore::new(SketchConfig::with_slots(k).seed(EXP_SEED), 10);
+        robust.insert_stream(noisy.as_slice().iter().copied());
+
+        type CnFn<'a> = Box<
+            dyn Fn(graphstream::VertexId, graphstream::VertexId) -> (Option<f64>, Option<f64>) + 'a,
+        >;
+        let backends: [(&str, CnFn); 2] = [
+            (
+                "plain",
+                Box::new(|u, v| (plain.common_neighbors(u, v), plain.jaccard(u, v))),
+            ),
+            (
+                "robust",
+                Box::new(|u, v| (robust.common_neighbors(u, v), robust.jaccard(u, v))),
+            ),
+        ];
+        for (name, score) in &backends {
+            let mut cn_est = Vec::new();
+            let mut cn_t = Vec::new();
+            let mut j_est = Vec::new();
+            let mut j_t = Vec::new();
+            for (i, &(u, v)) in pairs.iter().enumerate() {
+                let (cn, j) = score(u, v);
+                if let Some(cn) = cn {
+                    cn_est.push(cn);
+                    cn_t.push(cn_truth[i]);
+                }
+                if let Some(j) = j {
+                    j_est.push(j);
+                    j_t.push(j_truth[i]);
+                }
+            }
+            let row = Row {
+                duplicate_prob,
+                backend: (*name).to_string(),
+                cn_are: metrics::average_relative_error(&cn_est, &cn_t, 1e-12),
+                cn_mae: metrics::mae(&cn_est, &cn_t),
+                jaccard_mae: metrics::mae(&j_est, &j_t),
+            };
+            table_row(&[
+                format!("{:.0}%", duplicate_prob * 100.0),
+                (*name).into(),
+                row.cn_are.map_or("n/a".into(), |v| format!("{v:.4}")),
+                format!("{:.4}", row.cn_mae),
+                format!("{:.4}", row.jaccard_mae),
+            ]);
+            out.write_row(&row);
+        }
+    }
+}

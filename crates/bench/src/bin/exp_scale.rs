@@ -1,0 +1,83 @@
+//! **E12 (scalability figure)** — throughput and total memory as the
+//! graph grows from 10⁴ to (at large scale) 10⁶ vertices, plus the
+//! parallel-ingestion speedup.
+//!
+//! Paper shape to reproduce: per-edge cost is flat in graph size
+//! (constant time per edge — throughput does not degrade as the stream
+//! gets longer), total memory grows linearly in *vertices* only, and
+//! sharded ingestion scales near-linearly in threads.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_scale [-- --scale ...] [--k N]
+//! ```
+
+use std::time::Instant;
+
+use datasets::Scale;
+use graphstream::{BarabasiAlbert, Edge, EdgeStream};
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::parallel::ingest_parallel;
+use streamlink_core::SketchConfig;
+
+#[derive(Serialize)]
+struct Row {
+    vertices: u64,
+    edges: usize,
+    k: usize,
+    threads: usize,
+    seconds: f64,
+    edges_per_sec: f64,
+    memory_bytes: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let k: usize = flag_value(&args, "--k").map_or(128, |v| v.parse().expect("bad --k"));
+    let sizes: &[u64] = match scale {
+        Scale::Small => &[1_000, 2_000, 4_000],
+        Scale::Standard => &[10_000, 30_000, 100_000, 300_000],
+        Scale::Large => &[10_000, 100_000, 1_000_000],
+    };
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(8));
+    let mut out = ResultWriter::new("e12_scale");
+
+    println!("\nE12 — scalability (k = {k}, BA m = 4)\n");
+    table_header(&["n", "edges", "threads", "time (s)", "edges/s", "MiB"]);
+    for &n in sizes {
+        let edges: Vec<Edge> = BarabasiAlbert::new(n, 4, EXP_SEED).edges().collect();
+        let thread_counts: Vec<usize> = if threads > 1 {
+            vec![1, threads]
+        } else {
+            vec![1]
+        };
+        for t in thread_counts {
+            let cfg = SketchConfig::with_slots(k).seed(EXP_SEED);
+            let start = Instant::now();
+            let store = ingest_parallel(cfg, &edges, t);
+            let secs = start.elapsed().as_secs_f64();
+            let row = Row {
+                vertices: n,
+                edges: edges.len(),
+                k,
+                threads: t,
+                seconds: secs,
+                edges_per_sec: edges.len() as f64 / secs,
+                memory_bytes: store.memory_bytes(),
+            };
+            table_row(&[
+                n.to_string(),
+                edges.len().to_string(),
+                t.to_string(),
+                format!("{secs:.3}"),
+                format!("{:.0}", row.edges_per_sec),
+                format!("{:.1}", row.memory_bytes as f64 / (1024.0 * 1024.0)),
+            ]);
+            out.write_row(&row);
+            std::hint::black_box(store);
+        }
+    }
+}

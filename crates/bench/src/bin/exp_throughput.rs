@@ -1,0 +1,90 @@
+//! **E6 (throughput figure)** — ingestion throughput (edges/second) as a
+//! function of sketch size `k`, against the exact-adjacency baseline, per
+//! dataset.
+//!
+//! Paper shape to reproduce: per-edge cost is O(k) and *independent of
+//! the stream length and graph size* (constant time per edge); throughput
+//! therefore falls roughly linearly in k and the exact baseline — with no
+//! k to pay for — is faster to ingest but pays at query/memory time
+//! (E7/E9).
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_throughput [-- --scale ...]
+//! ```
+
+use std::time::Instant;
+
+use graphstream::{AdjacencyGraph, EdgeStream};
+use serde::Serialize;
+use streamlink_bench::{
+    all_datasets, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED, K_SWEEP,
+};
+use streamlink_core::{SketchConfig, SketchStore};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    backend: String,
+    k: usize,
+    edges: u64,
+    seconds: f64,
+    edges_per_sec: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let mut out = ResultWriter::new("e6_throughput");
+
+    println!("\nE6 — ingestion throughput vs sketch size ({scale:?})\n");
+    for (dataset, stream) in all_datasets(scale) {
+        let edges: Vec<_> = stream.edges().collect();
+        println!("dataset {} ({} edges)", dataset.spec().key, edges.len());
+        table_header(&["backend", "k", "time (s)", "edges/s"]);
+
+        // Exact baseline: build full adjacency.
+        let t = Instant::now();
+        let g = AdjacencyGraph::from_edges(edges.iter().copied());
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(&g);
+        let row = Row {
+            dataset: dataset.spec().key.to_string(),
+            backend: "exact".into(),
+            k: 0,
+            edges: edges.len() as u64,
+            seconds: secs,
+            edges_per_sec: edges.len() as f64 / secs,
+        };
+        table_row(&[
+            "exact".into(),
+            "-".into(),
+            format!("{secs:.3}"),
+            format!("{:.0}", row.edges_per_sec),
+        ]);
+        out.write_row(&row);
+
+        for &k in &K_SWEEP {
+            let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+            let t = Instant::now();
+            store.insert_stream(edges.iter().copied());
+            let secs = t.elapsed().as_secs_f64();
+            std::hint::black_box(&store);
+            let row = Row {
+                dataset: dataset.spec().key.to_string(),
+                backend: "sketch".into(),
+                k,
+                edges: edges.len() as u64,
+                seconds: secs,
+                edges_per_sec: edges.len() as f64 / secs,
+            };
+            table_row(&[
+                "sketch".into(),
+                k.to_string(),
+                format!("{secs:.3}"),
+                format!("{:.0}", row.edges_per_sec),
+            ]);
+            out.write_row(&row);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! `streamlink convert` — transcode edge-list files between formats.
+
+use graphstream::io;
+
+use crate::args::Flags;
+use crate::commands::load_stream;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let input = flags.require("input")?;
+    let out = flags.require("out")?;
+    let format = flags.get("format").unwrap_or("compact");
+
+    let stream = load_stream(input)?;
+    match format {
+        "csv" => {
+            let file =
+                std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            io::write_csv(stream.as_slice(), std::io::BufWriter::new(file))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
+        "bin" => {
+            std::fs::write(out, io::encode_binary(stream.as_slice()))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
+        "compact" => {
+            std::fs::write(out, io::encode_compact(stream.as_slice()))
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
+        other => return Err(format!("unknown format {other:?} (csv|bin|compact)")),
+    }
+    let in_size = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let out_size = std::fs::metadata(out).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "converted {} edges: {input} ({in_size} B) -> {out} ({out_size} B, {format})",
+        stream.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! `streamlink evaluate` — temporal link-prediction evaluation comparing
+//! the sketch backend against exact scoring on a simulated dataset.
+
+use graphstream::EdgeStream;
+use linkpred::{Evaluator, ExactScorer, Measure, SketchScorer};
+use streamlink_core::{SketchConfig, SketchStore};
+
+use crate::args::Flags;
+use crate::commands::{parse_dataset, parse_scale};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let dataset = parse_dataset(flags.require("dataset")?)?;
+    let scale = parse_scale(flags.get("scale"))?;
+    let slots = flags.get_parsed_or("slots", 256usize)?;
+    let fraction = flags.get_parsed_or("fraction", 0.8f64)?;
+    let seed = flags.get_parsed_or("seed", 0u64)?;
+    if !(0.0..1.0).contains(&fraction) || fraction == 0.0 {
+        return Err(format!("--fraction {fraction} must be in (0, 1)"));
+    }
+    if slots == 0 {
+        return Err("--slots must be positive".into());
+    }
+
+    let stream = dataset.stream(scale);
+    let evaluator = Evaluator::new(&stream, fraction, 4, seed);
+
+    let exact = ExactScorer::from_edges(evaluator.train().edges());
+    let mut store = SketchStore::new(SketchConfig::with_slots(slots).seed(seed));
+    store.insert_stream(evaluator.train().edges());
+    let sketch = SketchScorer::new(store);
+
+    let ks = [10, 50, 100];
+    let mut reports = Vec::new();
+    for measure in Measure::PAPER_TARGETS {
+        reports.push(evaluator.evaluate(&exact, measure, &ks));
+        reports.push(evaluator.evaluate(&sketch, measure, &ks));
+    }
+    let json = serde_json::to_string_pretty(&reports)
+        .map_err(|e| format!("cannot serialize reports: {e}"))?;
+    println!("{json}");
+    Ok(())
+}

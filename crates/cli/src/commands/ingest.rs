@@ -1,0 +1,41 @@
+//! `streamlink ingest` — build a sketch store from a stream file and
+//! persist a snapshot.
+
+use streamlink_core::snapshot::StoreSnapshot;
+use streamlink_core::{SketchConfig, SketchStore};
+
+use crate::args::Flags;
+use crate::commands::load_stream;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let input = flags.require("input")?;
+    let snapshot_path = flags.require("snapshot")?;
+    let slots = flags.get_parsed_or("slots", 256usize)?;
+    let seed = flags.get_parsed_or("seed", 0u64)?;
+    if slots == 0 {
+        return Err("--slots must be positive".into());
+    }
+
+    let stream = load_stream(input)?;
+    let mut store = SketchStore::new(SketchConfig::with_slots(slots).seed(seed));
+    let start = std::time::Instant::now();
+    store.insert_stream(stream.as_slice().iter().copied());
+    let elapsed = start.elapsed();
+
+    let snap = StoreSnapshot::capture(&store);
+    let json = serde_json::to_string(&snap).map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(snapshot_path, json)
+        .map_err(|e| format!("cannot write {snapshot_path}: {e}"))?;
+
+    let eps = store.edges_processed() as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "ingested {} edges over {} vertices in {:.2?} ({:.0} edges/s); snapshot: {snapshot_path} ({} bytes sketch memory)",
+        store.edges_processed(),
+        store.vertex_count(),
+        elapsed,
+        eps,
+        store.memory_bytes(),
+    );
+    Ok(())
+}

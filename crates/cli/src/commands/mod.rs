@@ -1,0 +1,43 @@
+//! CLI subcommand implementations.
+
+pub mod convert;
+pub mod evaluate;
+pub mod generate;
+pub mod ingest;
+pub mod query;
+pub mod recommend;
+pub mod serve;
+pub mod stats;
+pub mod top;
+
+use datasets::{Scale, SimulatedDataset};
+use graphstream::{io, MemoryStream, StreamError};
+
+/// Parses `--scale` values.
+pub fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
+    match raw.unwrap_or("small") {
+        "small" => Ok(Scale::Small),
+        "standard" => Ok(Scale::Standard),
+        "large" => Ok(Scale::Large),
+        other => Err(format!("unknown scale {other:?} (small|standard|large)")),
+    }
+}
+
+/// Parses `--dataset` values.
+pub fn parse_dataset(key: &str) -> Result<SimulatedDataset, String> {
+    SimulatedDataset::from_key(key)
+        .ok_or_else(|| format!("unknown dataset {key:?} (dblp|flickr|wiki|youtube|smallworld)"))
+}
+
+/// Loads an edge file, auto-detecting the binary magic vs CSV.
+pub fn load_stream(path: &str) -> Result<MemoryStream, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let result = if bytes.len() >= 4 && bytes[..4] == io::BINARY_MAGIC.to_le_bytes() {
+        io::decode_binary(bytes.as_slice())
+    } else if bytes.len() >= 4 && bytes[..4] == io::COMPACT_MAGIC.to_le_bytes() {
+        io::decode_compact(bytes.as_slice())
+    } else {
+        io::read_csv(bytes.as_slice())
+    };
+    result.map_err(|e: StreamError| format!("cannot parse {path}: {e}"))
+}

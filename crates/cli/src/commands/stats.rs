@@ -1,0 +1,29 @@
+//! `streamlink stats` — one-pass statistics of an edge file.
+
+use graphstream::StreamStats;
+
+use crate::args::Flags;
+use crate::commands::load_stream;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(argv)?;
+    let input = flags.require("input")?;
+    let stream = load_stream(input)?;
+    let stats = StreamStats::from_edges(stream.as_slice().iter().copied());
+    let summary = stats.summary();
+    let json = serde_json::to_string_pretty(&summary)
+        .map_err(|e| format!("cannot serialize summary: {e}"))?;
+    println!("{json}");
+    let pct = stats.degree_percentiles(&[0.5, 0.9, 0.99]);
+    if let [p50, p90, p99] = pct.as_slice() {
+        println!("degree percentiles: p50={p50} p90={p90} p99={p99}");
+    }
+    let bins = stats.degree_histogram_log2();
+    let histogram: Vec<String> = bins
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("[2^{i}]={c}"))
+        .collect();
+    println!("degree histogram (log2 bins): {}", histogram.join(" "));
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! `streamlink` — the command-line interface (library half; the binary
+//! in `main.rs` is a thin wrapper so integration tests can drive the
+//! full command pipeline in-process).
+//!
+//! Subcommands:
+//!
+//! * `generate`  — materialize a simulated dataset to CSV or binary.
+//! * `stats`     — one-pass stream statistics of an edge file.
+//! * `ingest`    — stream a file into a sketch store; save a snapshot.
+//! * `query`     — answer measure queries from a snapshot.
+//! * `evaluate`  — temporal link-prediction evaluation on a dataset.
+//! * `top`       — top-k most similar vertices via the LSH index.
+//! * `serve`     — TCP line-protocol query server over a snapshot.
+//! * `convert`   — transcode edge files between csv/bin/compact.
+//! * `recommend` — top-k recommendations via LSH retrieval + reranking.
+//!
+//! Argument parsing is hand-rolled (`args.rs`) to keep the dependency
+//! set at the workspace baseline.
+
+pub mod args;
+pub mod commands;
+
+/// Dispatches one CLI invocation (argv without the program name).
+///
+/// # Errors
+/// Returns a human-readable message for unknown subcommands, bad flags,
+/// or any command failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        print_usage();
+        return Err("no subcommand given".into());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "generate" => commands::generate::run(rest),
+        "stats" => commands::stats::run(rest),
+        "ingest" => commands::ingest::run(rest),
+        "query" => commands::query::run(rest),
+        "evaluate" => commands::evaluate::run(rest),
+        "top" => commands::top::run(rest),
+        "serve" => commands::serve::run(rest),
+        "convert" => commands::convert::run(rest),
+        "recommend" => commands::recommend::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown subcommand {other:?}; try `streamlink help`"
+        )),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "streamlink — sketch-based link prediction in graph streams
+
+USAGE:
+  streamlink generate --dataset <dblp|flickr|wiki|youtube|smallworld> [--scale small|standard|large]
+                      --out <file> [--format csv|bin|compact]
+  streamlink stats    --input <file>
+  streamlink ingest   --input <file> [--slots N] [--seed S] --snapshot <file.json>
+  streamlink query    --snapshot <file.json> --measure <jaccard|cn|aa|ra|pa> --pair U:V [--pair U:V ...]
+  streamlink evaluate --dataset <key> [--scale ...] [--slots N] [--fraction F]
+  streamlink top      --snapshot <file.json> --vertex V [--k N] [--bands B] [--rows R]
+  streamlink serve    [--snapshot <file.json>] [--addr HOST:PORT] [--slots N]
+  streamlink convert  --input <file> --out <file> [--format csv|bin|compact]
+  streamlink recommend --snapshot <file.json> --vertex V [--k N] [--measure aa] [--bands B] [--rows R]"
+    );
+}

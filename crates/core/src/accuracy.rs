@@ -1,0 +1,314 @@
+//! The `(ε, δ)` accuracy guarantee, as executable code.
+//!
+//! Slot agreements are i.i.d. Bernoulli(J) indicators, so `Ĵ = X/k` obeys
+//! Hoeffding's inequality:
+//!
+//! ```text
+//! P(|Ĵ − J| ≥ ε) ≤ 2·exp(−2·k·ε²)
+//! ```
+//!
+//! Inverting gives the two planning directions implemented here: how many
+//! slots for a target error ([`AccuracyPlan::required_slots`]) and what
+//! error a given sketch guarantees ([`AccuracyPlan::error_bound`]). The
+//! property tests in `tests/proptest_accuracy.rs` check the *empirical*
+//! failure rate of real sketches against these bounds.
+
+use serde::{Deserialize, Serialize};
+
+/// A planner around the Hoeffding guarantee for the Jaccard estimator.
+///
+/// ```
+/// use streamlink_core::AccuracyPlan;
+///
+/// // "I need Jaccard within ±0.1, wrong at most 5% of the time."
+/// let plan = AccuracyPlan::new(0.1, 0.05);
+/// assert_eq!(plan.required_slots(), 185);
+///
+/// // Inverse direction: what does a 256-slot sketch guarantee at 99%?
+/// let eps = AccuracyPlan::error_bound(256, 0.01);
+/// assert!(eps < 0.11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyPlan {
+    /// Absolute error tolerance on the Jaccard estimate, in `(0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability, in `(0, 1)`.
+    pub delta: f64,
+}
+
+impl AccuracyPlan {
+    /// A plan with the given tolerance and failure probability.
+    ///
+    /// # Panics
+    /// Panics if either parameter is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon {epsilon} outside (0,1)"
+        );
+        assert!(delta > 0.0 && delta < 1.0, "delta {delta} outside (0,1)");
+        Self { epsilon, delta }
+    }
+
+    /// Minimum slots `k` such that `P(|Ĵ − J| ≥ ε) ≤ δ`:
+    /// `k = ⌈ln(2/δ) / (2ε²)⌉`.
+    #[must_use]
+    pub fn required_slots(&self) -> usize {
+        ((2.0 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize
+    }
+
+    /// The error `ε` guaranteed at confidence `1 − δ` by a `k`-slot
+    /// sketch: `ε = sqrt(ln(2/δ) / (2k))`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn error_bound(k: usize, delta: f64) -> f64 {
+        assert!(k > 0, "zero-slot sketch");
+        assert!(delta > 0.0 && delta < 1.0, "delta {delta} outside (0,1)");
+        ((2.0 / delta).ln() / (2.0 * k as f64)).sqrt()
+    }
+
+    /// The Hoeffding failure-probability bound for a `k`-slot sketch at
+    /// tolerance `ε`: `2·exp(−2kε²)` (capped at 1).
+    #[must_use]
+    pub fn failure_probability(k: usize, epsilon: f64) -> f64 {
+        (2.0 * (-2.0 * k as f64 * epsilon * epsilon).exp()).min(1.0)
+    }
+
+    /// The exact sampling variance of the Jaccard estimator:
+    /// `Var[Ĵ] = J(1−J)/k` (binomial mean). Maximized at `J = 1/2`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `j` outside `[0, 1]`.
+    #[must_use]
+    pub fn jaccard_variance(j: f64, k: usize) -> f64 {
+        assert!(k > 0, "zero-slot sketch");
+        assert!((0.0..=1.0).contains(&j), "jaccard {j} outside [0,1]");
+        j * (1.0 - j) / k as f64
+    }
+
+    /// The Wilson score interval for the true Jaccard given an observed
+    /// match count — much tighter than the Hoeffding band near 0 and 1,
+    /// where link-prediction queries actually live.
+    ///
+    /// `z` is the standard-normal quantile for the desired confidence
+    /// (1.96 ≈ 95%, 2.576 ≈ 99%). Returns `(low, high) ⊆ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `matches > k`, or `z <= 0`.
+    #[must_use]
+    pub fn wilson_interval(matches: usize, k: usize, z: f64) -> (f64, f64) {
+        assert!(k > 0, "zero-slot sketch");
+        assert!(matches <= k, "more matches than slots");
+        assert!(z > 0.0, "z-score must be positive");
+        let n = k as f64;
+        let p = matches as f64 / n;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Propagates the Jaccard tolerance to the common-neighbor estimate
+    /// via the delta method: `CN(J) = J·D/(1+J)` with `D = d_u + d_v` has
+    /// `|dCN/dJ| = D/(1+J)² ≤ D`, so an ε-accurate Ĵ yields a CN error of
+    /// at most `ε·D` (first order).
+    #[must_use]
+    pub fn cn_error_bound(&self, deg_u: u64, deg_v: u64) -> f64 {
+        self.epsilon * (deg_u + deg_v) as f64
+    }
+
+    /// A confidence interval on the *common-neighbor count* from an
+    /// observed match count: the Wilson interval on `J`, mapped through
+    /// the monotone transform `CN(J) = J·(d_u + d_v)/(1 + J)` (monotone
+    /// maps of interval endpoints preserve coverage exactly — no delta
+    /// method needed here). Endpoints are clamped to
+    /// `[0, min(d_u, d_v)]`.
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs as [`Self::wilson_interval`].
+    #[must_use]
+    pub fn cn_interval(matches: usize, k: usize, deg_u: u64, deg_v: u64, z: f64) -> (f64, f64) {
+        let (j_lo, j_hi) = Self::wilson_interval(matches, k, z);
+        let cap = deg_u.min(deg_v) as f64;
+        let d = (deg_u + deg_v) as f64;
+        let map = |j: f64| (j * d / (1.0 + j)).clamp(0.0, cap);
+        (map(j_lo), map(j_hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn required_slots_known_value() {
+        // ε = 0.1, δ = 0.05: ln(40)/(2·0.01) = 184.44… → 185.
+        let k = AccuracyPlan::new(0.1, 0.05).required_slots();
+        assert_eq!(k, 185);
+    }
+
+    #[test]
+    fn bounds_are_inverse_of_each_other() {
+        for &(eps, delta) in &[(0.05, 0.01), (0.1, 0.05), (0.2, 0.1)] {
+            let k = AccuracyPlan::new(eps, delta).required_slots();
+            // A k-slot sketch guarantees ε' ≤ ε at the same δ.
+            let eps_back = AccuracyPlan::error_bound(k, delta);
+            assert!(eps_back <= eps + 1e-12, "ε'={eps_back} > ε={eps}");
+            // And k−1 slots would not suffice.
+            if k > 1 {
+                assert!(AccuracyPlan::error_bound(k - 1, delta) > eps);
+            }
+        }
+    }
+
+    #[test]
+    fn more_slots_tighter_error() {
+        let mut last = f64::INFINITY;
+        for k in [16, 64, 256, 1024] {
+            let e = AccuracyPlan::error_bound(k, 0.05);
+            assert!(e < last);
+            last = e;
+        }
+    }
+
+    #[test]
+    fn error_scales_inverse_sqrt_k() {
+        let e1 = AccuracyPlan::error_bound(100, 0.05);
+        let e4 = AccuracyPlan::error_bound(400, 0.05);
+        assert!((e1 / e4 - 2.0).abs() < 1e-9, "4× slots should halve ε");
+    }
+
+    #[test]
+    fn failure_probability_decays_exponentially() {
+        let p1 = AccuracyPlan::failure_probability(100, 0.1);
+        let p2 = AccuracyPlan::failure_probability(200, 0.1);
+        // Doubling k squares the (normalized) bound: p2 = p1²/2.
+        assert!((p2 - p1 * p1 / 2.0).abs() < 1e-12);
+        assert_eq!(AccuracyPlan::failure_probability(1, 0.001), 1.0, "cap at 1");
+    }
+
+    #[test]
+    fn cn_bound_scales_with_degrees() {
+        let plan = AccuracyPlan::new(0.1, 0.05);
+        assert_eq!(plan.cn_error_bound(10, 20), 3.0);
+        assert!(plan.cn_error_bound(100, 200) > plan.cn_error_bound(10, 20));
+    }
+
+    #[test]
+    fn variance_peaks_at_half() {
+        let k = 100;
+        let at = |j: f64| AccuracyPlan::jaccard_variance(j, k);
+        assert_eq!(at(0.0), 0.0);
+        assert_eq!(at(1.0), 0.0);
+        assert!(at(0.5) > at(0.3));
+        assert!(at(0.5) > at(0.8));
+        assert!((at(0.5) - 0.25 / 100.0).abs() < 1e-15);
+        // Quadrupling k quarters the variance.
+        assert!((AccuracyPlan::jaccard_variance(0.4, 400) * 4.0 - at(0.4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        for &(m, k) in &[(0usize, 64usize), (10, 64), (32, 64), (64, 64)] {
+            let p = m as f64 / k as f64;
+            let (lo, hi) = AccuracyPlan::wilson_interval(m, k, 1.96);
+            assert!(
+                lo <= p + 1e-12 && p <= hi + 1e-12,
+                "({m},{k}): [{lo},{hi}] vs {p}"
+            );
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+    }
+
+    #[test]
+    fn wilson_interval_shrinks_with_k() {
+        let width = |k: usize| {
+            let (lo, hi) = AccuracyPlan::wilson_interval(k / 4, k, 1.96);
+            hi - lo
+        };
+        assert!(width(256) < width(64));
+        assert!(width(1024) < width(256));
+    }
+
+    #[test]
+    fn wilson_interval_never_degenerate_at_extremes() {
+        // Observed 0 matches still leaves room for small positive J.
+        let (lo, hi) = AccuracyPlan::wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.1, "upper bound {hi}");
+        // Observed all matches leaves room below 1 (the upper endpoint
+        // is 1 up to rounding in the clamp arithmetic).
+        let (lo, hi) = AccuracyPlan::wilson_interval(100, 100, 1.96);
+        assert!(hi > 1.0 - 1e-9, "upper bound {hi}");
+        assert!(lo < 1.0 && lo > 0.9, "lower bound {lo}");
+    }
+
+    #[test]
+    fn cn_interval_contains_point_estimate_and_respects_cap() {
+        let (k, du, dv) = (128usize, 30u64, 50u64);
+        for matches in [0usize, 16, 64, 128] {
+            let j = matches as f64 / k as f64;
+            let cn_point = (j * (du + dv) as f64 / (1.0 + j)).clamp(0.0, du.min(dv) as f64);
+            let (lo, hi) = AccuracyPlan::cn_interval(matches, k, du, dv, 1.96);
+            assert!(
+                lo <= cn_point + 1e-9 && cn_point <= hi + 1e-9,
+                "m = {matches}"
+            );
+            assert!(lo >= 0.0 && hi <= du.min(dv) as f64 + 1e-9, "m = {matches}");
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn cn_interval_monotone_in_matches() {
+        let mut last_hi = -1.0;
+        for matches in 0..=64usize {
+            let (_, hi) = AccuracyPlan::cn_interval(matches, 64, 20, 20, 1.96);
+            assert!(hi >= last_hi - 1e-12);
+            last_hi = hi;
+        }
+    }
+
+    #[test]
+    fn wilson_covers_truth_empirically() {
+        // Binomial draws at J = 0.3: the 95% interval must cover the
+        // truth in ~95% of trials (require >= 90% with 400 trials).
+        use hashkit::SeededHash;
+        let (j, k) = (0.3f64, 128usize);
+        let mut covered = 0;
+        let trials = 400;
+        for t in 0..trials {
+            let h = SeededHash::new(t);
+            let matches = (0..k)
+                .filter(|&i| {
+                    let u = (h.hash(i as u64) >> 11) as f64 / 9_007_199_254_740_992.0;
+                    u < j
+                })
+                .count();
+            let (lo, hi) = AccuracyPlan::wilson_interval(matches, k, 1.96);
+            if lo <= j && j <= hi {
+                covered += 1;
+            }
+        }
+        assert!(
+            covered * 10 >= trials * 9,
+            "Wilson coverage too low: {covered}/{trials}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_epsilon_rejected() {
+        let _ = AccuracyPlan::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_delta_rejected() {
+        let _ = AccuracyPlan::new(0.1, 1.0);
+    }
+}

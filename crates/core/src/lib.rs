@@ -1,0 +1,96 @@
+//! # streamlink-core
+//!
+//! The paper's primary contribution: **per-vertex MinHash sketches for
+//! link prediction in graph streams**, with constant space per vertex and
+//! constant time per edge.
+//!
+//! ## The model
+//!
+//! Edges `(u, v)` arrive one at a time. For every vertex we keep a sketch
+//! of `k` slots; slot `i` holds the minimum of `h_i(·)` over the neighbors
+//! seen so far, together with the vertex that achieved it. Per edge we
+//! fold `h_i(v)` into `u`'s sketch and `h_i(u)` into `v`'s sketch — `O(k)`
+//! work, no allocation, independent of the graph size.
+//!
+//! From two sketches we estimate the three neighborhood measures:
+//!
+//! * **Jaccard** — the fraction of agreeing slots is an unbiased estimator
+//!   of `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`.
+//! * **Common neighbors** — exact degree counters (one word per vertex)
+//!   invert the Jaccard identity: `CN = J · (d(u)+d(v)) / (1+J)`.
+//! * **Adamic–Adar** — the agreeing slots are min-wise samples of the
+//!   *intersection*; averaging `1/ln d(w)` over the sampled common
+//!   neighbors and scaling by `ĈN` estimates AA
+//!   ([`SketchStore::adamic_adar`]). A second, *vertex-biased* estimator
+//!   ([`biased::BiasedStore`]) weights the sampling itself by `1/ln d`
+//!   via exponential ranks.
+//!
+//! ## Modules
+//!
+//! * [`config`] — [`SketchConfig`] builder (slots, seed, hasher backend).
+//! * [`store`] — [`SketchStore`], the main API.
+//! * [`sketch`] — the per-vertex [`sketch::VertexSketch`].
+//! * [`estimators`] — the pure estimation formulas, testable in isolation.
+//! * [`accuracy`] — the `(ε, δ)` guarantee calculator.
+//! * [`bottomk`] — the bottom-k single-hash variant (ablation).
+//! * [`biased`] — the vertex-biased (weighted) AA sketch (ablation).
+//! * [`lsh`] — banded LSH index for sub-linear top-k similarity search.
+//! * [`windowed`] — epoch-based sliding-window store (recent structure
+//!   only).
+//! * [`merge`] — sketch-store union for distributed ingestion.
+//! * [`concurrent`] — sharded `RwLock` store for live ingest + query
+//!   serving.
+//! * [`hll`] / [`robust`] — HyperLogLog distinct-degree estimation and
+//!   the duplicate-robust store built on it.
+//! * [`compressed`] — frozen b-bit replicas for serving/shipping
+//!   (Li–König b-bit minwise hashing).
+//! * [`parallel`] — sharded multi-threaded ingestion.
+//! * [`snapshot`] — serde snapshots for persistence.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use streamlink_core::{SketchConfig, SketchStore};
+//! use graphstream::VertexId;
+//!
+//! let mut store = SketchStore::new(SketchConfig::with_slots(256));
+//! // A tiny stream: 0 and 1 share neighbors 2, 3, 4.
+//! for w in 2u64..5 {
+//!     store.insert_edge(VertexId(0), VertexId(w));
+//!     store.insert_edge(VertexId(1), VertexId(w));
+//! }
+//! let j = store.jaccard(VertexId(0), VertexId(1)).unwrap();
+//! assert!(j > 0.5, "perfect overlap should estimate near 1.0, got {j}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod biased;
+pub mod bottomk;
+pub mod compressed;
+pub mod concurrent;
+pub mod config;
+pub mod estimators;
+pub mod hll;
+pub mod lsh;
+pub mod merge;
+pub mod parallel;
+pub mod robust;
+pub mod sketch;
+pub mod snapshot;
+pub mod store;
+pub mod windowed;
+
+pub use accuracy::AccuracyPlan;
+pub use biased::BiasedStore;
+pub use bottomk::BottomKStore;
+pub use compressed::CompressedStore;
+pub use concurrent::ConcurrentSketchStore;
+pub use config::{HasherBackend, SketchConfig};
+pub use hll::HyperLogLog;
+pub use lsh::LshIndex;
+pub use robust::RobustStore;
+pub use store::SketchStore;
+pub use windowed::WindowedStore;

@@ -1,0 +1,364 @@
+//! LSH banding over sketch slots: sub-linear top-k similar-vertex search.
+//!
+//! A pairwise query answers "how similar are u and v?" — but the
+//! applications in the paper's introduction (friend recommendation,
+//! similarity search) ask "*which* vertices are most similar to u?", and
+//! scanning all n vertices per query defeats the point of sketching.
+//!
+//! The classic MinHash-LSH construction solves this with the *banding*
+//! trick: split the first `bands × rows` sketch slots into `bands` groups
+//! of `rows` slots, hash each group to a signature, and bucket vertices
+//! by signature. Two vertices with Jaccard similarity `j` share a given
+//! band with probability `j^rows`, hence collide in at least one band
+//! with probability
+//!
+//! ```text
+//! P(candidate) = 1 − (1 − j^rows)^bands
+//! ```
+//!
+//! an S-curve with threshold `≈ (1/bands)^(1/rows)`. Candidates are then
+//! ranked by the full sketch estimate.
+
+use std::collections::HashMap;
+
+use hashkit::mix64;
+
+use graphstream::VertexId;
+
+use crate::store::SketchStore;
+
+/// Errors constructing an LSH index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LshError {
+    /// `bands × rows` exceeds the store's slot count.
+    NotEnoughSlots {
+        /// Slots required (`bands × rows`).
+        required: usize,
+        /// Slots available in the store.
+        available: usize,
+    },
+    /// `bands` or `rows` was zero.
+    ZeroParameter,
+}
+
+impl std::fmt::Display for LshError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LshError::NotEnoughSlots {
+                required,
+                available,
+            } => write!(
+                f,
+                "LSH banding needs {required} slots but the store has {available}"
+            ),
+            LshError::ZeroParameter => write!(f, "bands and rows must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for LshError {}
+
+/// An immutable LSH index over a populated [`SketchStore`].
+///
+/// The index is a snapshot: vertices ingested after [`LshIndex::build`]
+/// are not in the buckets (rebuild to include them). Querying never
+/// misses vertices that were present at build time.
+///
+/// ```
+/// use graphstream::VertexId;
+/// use streamlink_core::{LshIndex, SketchConfig, SketchStore};
+///
+/// let mut store = SketchStore::new(SketchConfig::with_slots(64).seed(1));
+/// for w in 100u64..120 {
+///     store.insert_edge(VertexId(0), VertexId(w));
+///     store.insert_edge(VertexId(1), VertexId(w)); // twin of vertex 0
+/// }
+/// let index = LshIndex::build(&store, 16, 4).unwrap();
+/// let top = index.top_k(&store, VertexId(0), 3);
+/// assert_eq!(top[0].0, VertexId(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    bands: usize,
+    rows: usize,
+    /// One bucket table per band: signature → vertices.
+    tables: Vec<HashMap<u64, Vec<VertexId>>>,
+}
+
+impl LshIndex {
+    /// Builds the index from every vertex currently in `store`.
+    ///
+    /// # Errors
+    /// [`LshError::NotEnoughSlots`] if `bands × rows` exceeds the store's
+    /// slot count, [`LshError::ZeroParameter`] for zero parameters.
+    pub fn build(store: &SketchStore, bands: usize, rows: usize) -> Result<Self, LshError> {
+        if bands == 0 || rows == 0 {
+            return Err(LshError::ZeroParameter);
+        }
+        let required = bands * rows;
+        let available = store.config().slots();
+        if required > available {
+            return Err(LshError::NotEnoughSlots {
+                required,
+                available,
+            });
+        }
+        let mut tables: Vec<HashMap<u64, Vec<VertexId>>> = vec![HashMap::new(); bands];
+        let mut vertices: Vec<VertexId> = store.vertices().collect();
+        vertices.sort_unstable(); // deterministic bucket order
+        for v in vertices {
+            let sketch = store.sketch(v).expect("vertex listed by the store");
+            for (band, table) in tables.iter_mut().enumerate() {
+                let sig = band_signature(sketch.slots(), band, rows);
+                table.entry(sig).or_default().push(v);
+            }
+        }
+        Ok(Self {
+            bands,
+            rows,
+            tables,
+        })
+    }
+
+    /// Number of bands.
+    #[must_use]
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// Rows (slots) per band.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The probability that a pair with Jaccard similarity `j` becomes a
+    /// candidate: `1 − (1 − j^rows)^bands`.
+    #[must_use]
+    pub fn collision_probability(j: f64, bands: usize, rows: usize) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&j));
+        1.0 - (1.0 - j.powi(rows as i32)).powi(bands as i32)
+    }
+
+    /// The similarity threshold where the S-curve is steepest:
+    /// `(1/bands)^(1/rows)`.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+
+    /// All distinct vertices sharing at least one band with `u`
+    /// (excluding `u` itself), in deterministic order. Empty if `u` was
+    /// not indexed.
+    #[must_use]
+    pub fn candidates(&self, store: &SketchStore, u: VertexId) -> Vec<VertexId> {
+        let Some(sketch) = store.sketch(u) else {
+            return Vec::new();
+        };
+        let mut out: Vec<VertexId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (band, table) in self.tables.iter().enumerate() {
+            let sig = band_signature(sketch.slots(), band, self.rows);
+            if let Some(bucket) = table.get(&sig) {
+                for &v in bucket {
+                    if v != u && seen.insert(v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The top `k` most similar vertices to `u` by estimated Jaccard,
+    /// retrieved through the bands and ranked by the full sketch.
+    /// Ties break toward the smaller vertex id.
+    #[must_use]
+    pub fn top_k(&self, store: &SketchStore, u: VertexId, k: usize) -> Vec<(VertexId, f64)> {
+        let mut scored: Vec<(VertexId, f64)> = self
+            .candidates(store, u)
+            .into_iter()
+            .filter_map(|v| store.jaccard(u, v).map(|j| (v, j)))
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// Total bucket entries across all bands (diagnostics / memory).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        self.tables
+            .iter()
+            .flat_map(HashMap::values)
+            .map(Vec::len)
+            .sum()
+    }
+}
+
+/// Hashes `rows` consecutive slot minima starting at `band × rows` into a
+/// 64-bit band signature.
+fn band_signature(slots: &[crate::sketch::Slot], band: usize, rows: usize) -> u64 {
+    let start = band * rows;
+    let mut acc = 0x5BD1_E995u64 ^ (band as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for slot in &slots[start..start + rows] {
+        acc = mix64(acc ^ slot.hash);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SketchConfig;
+    use graphstream::{BarabasiAlbert, EdgeStream};
+
+    /// Builds a store where vertices 0 and 1 overlap heavily, 2 is
+    /// disjoint from both.
+    fn clustered_store() -> SketchStore {
+        let mut s = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        for w in 100..130u64 {
+            s.insert_edge(VertexId(0), VertexId(w));
+            s.insert_edge(VertexId(1), VertexId(w));
+        }
+        for w in 500..530u64 {
+            s.insert_edge(VertexId(2), VertexId(w));
+        }
+        s
+    }
+
+    #[test]
+    fn high_overlap_pairs_are_candidates() {
+        let store = clustered_store();
+        let index = LshIndex::build(&store, 16, 4).unwrap();
+        let cands = index.candidates(&store, VertexId(0));
+        assert!(
+            cands.contains(&VertexId(1)),
+            "twin vertex missed: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_vertices_rarely_collide() {
+        let store = clustered_store();
+        let index = LshIndex::build(&store, 8, 8).unwrap();
+        let cands = index.candidates(&store, VertexId(2));
+        assert!(
+            !cands.contains(&VertexId(0)) && !cands.contains(&VertexId(1)),
+            "disjoint vertices collided: {cands:?}"
+        );
+    }
+
+    #[test]
+    fn top_k_ranks_twin_first() {
+        let store = clustered_store();
+        let index = LshIndex::build(&store, 16, 4).unwrap();
+        let top = index.top_k(&store, VertexId(0), 3);
+        assert_eq!(top.first().map(|&(v, _)| v), Some(VertexId(1)));
+        assert!(top[0].1 > 0.9, "twin similarity {} too low", top[0].1);
+    }
+
+    #[test]
+    fn unindexed_vertex_yields_empty() {
+        let store = clustered_store();
+        let index = LshIndex::build(&store, 4, 4).unwrap();
+        assert!(index.candidates(&store, VertexId(9999)).is_empty());
+        assert!(index.top_k(&store, VertexId(9999), 5).is_empty());
+    }
+
+    #[test]
+    fn collision_probability_is_s_curve() {
+        let (b, r) = (16usize, 4usize);
+        // Monotone increasing in j.
+        let mut last = -1.0;
+        for i in 0..=10 {
+            let j = f64::from(i) / 10.0;
+            let p = LshIndex::collision_probability(j, b, r);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last);
+            last = p;
+        }
+        // Endpoints.
+        assert_eq!(LshIndex::collision_probability(0.0, b, r), 0.0);
+        assert_eq!(LshIndex::collision_probability(1.0, b, r), 1.0);
+        // Steep around the threshold.
+        let index = LshIndex::build(&SketchStore::new(SketchConfig::with_slots(64)), b, r).unwrap();
+        let t = index.threshold();
+        let below = LshIndex::collision_probability(t * 0.5, b, r);
+        let above = LshIndex::collision_probability((t * 1.5).min(1.0), b, r);
+        assert!(
+            above - below > 0.5,
+            "S-curve too shallow: {below} .. {above}"
+        );
+    }
+
+    #[test]
+    fn recall_of_true_top1_on_real_stream() {
+        // For a sample of query vertices, the LSH top-k must contain the
+        // vertex with the true highest sketch-estimated Jaccard.
+        let stream = BarabasiAlbert::new(500, 4, 9);
+        let mut store = SketchStore::new(SketchConfig::with_slots(128).seed(1));
+        store.insert_stream(stream.edges());
+        let index = LshIndex::build(&store, 32, 2).unwrap();
+
+        let mut recalled = 0;
+        let mut total = 0;
+        for q in (0..100u64).step_by(10) {
+            let q = VertexId(q);
+            // Brute-force best neighbor by estimated jaccard.
+            let best = store
+                .vertices()
+                .filter(|&v| v != q)
+                .filter_map(|v| store.jaccard(q, v).map(|j| (v, j)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)));
+            let Some((best_v, best_j)) = best else {
+                continue;
+            };
+            if best_j == 0.0 {
+                continue;
+            }
+            total += 1;
+            let top = index.top_k(&store, q, 10);
+            if top.iter().any(|&(v, j)| v == best_v || j >= best_j) {
+                recalled += 1;
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            recalled * 10 >= total * 7,
+            "LSH recall too low: {recalled}/{total}"
+        );
+    }
+
+    #[test]
+    fn errors_on_bad_parameters() {
+        let store = SketchStore::new(SketchConfig::with_slots(16));
+        match LshIndex::build(&store, 8, 4) {
+            Err(LshError::NotEnoughSlots {
+                required: 32,
+                available: 16,
+            }) => {}
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(
+            LshIndex::build(&store, 0, 4).unwrap_err(),
+            LshError::ZeroParameter
+        );
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let store = clustered_store();
+        let a = LshIndex::build(&store, 8, 4).unwrap();
+        let b = LshIndex::build(&store, 8, 4).unwrap();
+        assert_eq!(
+            a.candidates(&store, VertexId(0)),
+            b.candidates(&store, VertexId(0))
+        );
+        assert_eq!(a.entry_count(), b.entry_count());
+    }
+}

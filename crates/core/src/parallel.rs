@@ -1,0 +1,123 @@
+//! Sharded multi-threaded ingestion.
+//!
+//! The stream is split into edge-disjoint contiguous chunks; each worker
+//! thread folds its chunk into a private [`SketchStore`] (no locks on the
+//! hot path), and the shards are merged at the end. Because sketch merge
+//! is exact ([`crate::merge`]), the result is bit-identical to a
+//! sequential pass — verified by the tests.
+
+use graphstream::Edge;
+
+use crate::config::SketchConfig;
+use crate::merge::merge_into;
+use crate::store::SketchStore;
+
+/// Ingests `edges` using `threads` worker threads and returns the merged
+/// store. `threads == 1` degenerates to a sequential pass.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+#[must_use]
+pub fn ingest_parallel(config: SketchConfig, edges: &[Edge], threads: usize) -> SketchStore {
+    assert!(threads > 0, "need at least one ingestion thread");
+    if threads == 1 || edges.len() < 2 * threads {
+        let mut store = SketchStore::new(config);
+        store.insert_stream(edges.iter().copied());
+        return store;
+    }
+
+    let chunk = edges.len().div_ceil(threads);
+    let shards: Vec<SketchStore> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = edges
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    let mut store = SketchStore::new(config);
+                    store.insert_stream(part.iter().copied());
+                    store
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ingestion worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    let mut iter = shards.into_iter();
+    let mut merged = iter.next().expect("at least one shard");
+    for shard in iter {
+        merge_into(&mut merged, &shard).expect("shards share one config; merge cannot fail");
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstream::{BarabasiAlbert, EdgeStream, VertexId};
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::with_slots(64).seed(3)
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let edges: Vec<Edge> = BarabasiAlbert::new(500, 3, 9).edges().collect();
+        let seq = ingest_parallel(cfg(), &edges, 1);
+        for threads in [2, 4, 7] {
+            let par = ingest_parallel(cfg(), &edges, threads);
+            assert_eq!(par.vertex_count(), seq.vertex_count(), "{threads} threads");
+            assert_eq!(par.edges_processed(), seq.edges_processed());
+            for v in seq.vertices() {
+                assert_eq!(
+                    par.degree(v),
+                    seq.degree(v),
+                    "degree at {v}, {threads} threads"
+                );
+                assert_eq!(
+                    par.sketch(v),
+                    seq.sketch(v),
+                    "sketch at {v}, {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimates_identical_across_thread_counts() {
+        let edges: Vec<Edge> = BarabasiAlbert::new(300, 2, 4).edges().collect();
+        let a = ingest_parallel(cfg(), &edges, 1);
+        let b = ingest_parallel(cfg(), &edges, 8);
+        for u in 0..40u64 {
+            for v in (u + 1)..40u64 {
+                assert_eq!(
+                    a.jaccard(VertexId(u), VertexId(v)),
+                    b.jaccard(VertexId(u), VertexId(v))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_input_fewer_edges_than_threads() {
+        let edges = vec![Edge::new(0u64, 1u64, 0), Edge::new(1u64, 2u64, 1)];
+        let s = ingest_parallel(cfg(), &edges, 16);
+        assert_eq!(s.vertex_count(), 3);
+        assert_eq!(s.edges_processed(), 2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_store() {
+        let s = ingest_parallel(cfg(), &[], 4);
+        assert_eq!(s.vertex_count(), 0);
+        assert_eq!(s.edges_processed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_threads_rejected() {
+        let _ = ingest_parallel(cfg(), &[], 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Empirical validation of the theoretical accuracy guarantees: real
+//! sketches over randomized neighborhoods must respect the Hoeffding
+//! bound's promised failure rate.
+
+use graphstream::VertexId;
+use proptest::prelude::*;
+use streamlink_core::{AccuracyPlan, SketchConfig, SketchStore};
+
+/// Builds two vertices with controlled overlap and returns
+/// (store, exact_jaccard).
+fn overlap_pair(shared: u64, private_each: u64, k: usize, seed: u64) -> (SketchStore, f64) {
+    let mut s = SketchStore::new(SketchConfig::with_slots(k).seed(seed));
+    let (u, v) = (VertexId(0), VertexId(1));
+    for w in 0..shared {
+        s.insert_edge(u, VertexId(100 + w));
+        s.insert_edge(v, VertexId(100 + w));
+    }
+    for w in 0..private_each {
+        s.insert_edge(u, VertexId(10_000 + w));
+        s.insert_edge(v, VertexId(20_000 + w));
+    }
+    let exact = shared as f64 / (shared + 2 * private_each) as f64;
+    (s, exact)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Each individual estimate stays within the ε bound computed for its
+    /// k at 99% confidence — allowing the promised 1% of violations would
+    /// need many more cases, so we use a slack factor of 1.5 on ε and
+    /// require zero violations (P < 1e-6 of a false failure).
+    #[test]
+    fn estimates_respect_error_bound(
+        shared in 1u64..60,
+        private_each in 0u64..60,
+        seed in any::<u64>(),
+    ) {
+        let k = 256;
+        let (s, exact) = overlap_pair(shared, private_each, k, seed);
+        let est = s.jaccard(VertexId(0), VertexId(1)).unwrap();
+        let eps = AccuracyPlan::error_bound(k, 0.01) * 1.5;
+        prop_assert!(
+            (est - exact).abs() <= eps,
+            "estimate {est} vs exact {exact}: outside 1.5ε = {eps}"
+        );
+    }
+
+    /// The required_slots planner is sufficient: sketches sized by the
+    /// plan hit the target tolerance (with the same slack reasoning).
+    #[test]
+    fn planner_is_sufficient(
+        shared in 1u64..40,
+        private_each in 0u64..40,
+        seed in any::<u64>(),
+    ) {
+        let plan = AccuracyPlan::new(0.15, 0.01);
+        let k = plan.required_slots();
+        let (s, exact) = overlap_pair(shared, private_each, k, seed);
+        let est = s.jaccard(VertexId(0), VertexId(1)).unwrap();
+        prop_assert!(
+            (est - exact).abs() <= plan.epsilon * 1.5,
+            "estimate {est} vs exact {exact} at planned k = {k}"
+        );
+    }
+
+    /// CN error respects the propagated bound ε·(d_u + d_v).
+    #[test]
+    fn cn_respects_propagated_bound(
+        shared in 1u64..40,
+        private_each in 0u64..40,
+        seed in any::<u64>(),
+    ) {
+        let k = 256;
+        let (s, _) = overlap_pair(shared, private_each, k, seed);
+        let cn_est = s.common_neighbors(VertexId(0), VertexId(1)).unwrap();
+        let eps = AccuracyPlan::error_bound(k, 0.01) * 1.5;
+        let plan = AccuracyPlan::new(eps.min(0.99), 0.01);
+        let bound = plan.cn_error_bound(
+            s.degree(VertexId(0)),
+            s.degree(VertexId(1)),
+        );
+        prop_assert!(
+            (cn_est - shared as f64).abs() <= bound + 1e-9,
+            "CN estimate {cn_est} vs exact {shared}: outside {bound}"
+        );
+    }
+}
+
+/// A deterministic aggregate check: across 500 independent seeds, the
+/// fraction of estimates violating the ε(δ=0.05) bound must not exceed
+/// δ by more than sampling slack.
+#[test]
+fn empirical_failure_rate_below_delta() {
+    let k = 64;
+    let delta = 0.05;
+    let eps = AccuracyPlan::error_bound(k, delta);
+    let mut violations = 0u32;
+    let trials: u32 = 500;
+    for seed in 0..trials {
+        let (s, exact) = overlap_pair(20, 20, k, u64::from(seed));
+        let est = s.jaccard(VertexId(0), VertexId(1)).unwrap();
+        if (est - exact).abs() > eps {
+            violations += 1;
+        }
+    }
+    let rate = f64::from(violations) / f64::from(trials);
+    // Hoeffding is conservative; the true rate is typically ≪ δ. Allow
+    // 2× δ to be safe against seed-set quirks.
+    assert!(
+        rate <= 2.0 * delta,
+        "violation rate {rate} exceeds 2δ = {}",
+        2.0 * delta
+    );
+}

@@ -1,0 +1,194 @@
+//! A paper-clique co-authorship stream (the DBLP-like model).
+//!
+//! Collaboration graphs are streams of *events*, not independent edges: a
+//! publication adds a clique over its authors. This model reproduces that
+//! structure directly:
+//!
+//! 1. Authors belong to overlapping research communities.
+//! 2. Each "paper" draws 2–5 authors from one community, favoring authors
+//!    who have published before (preferential, rich-get-richer).
+//! 3. The paper emits the clique edges over its authors (deduplicated
+//!    against earlier papers).
+//!
+//! The result has exactly the properties that make collaboration graphs
+//! the *easy-but-interesting* regime for neighborhood sketches: high
+//! clustering, many vertex pairs with large Jaccard overlap, and a
+//! heavy-tailed author productivity distribution.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use graphstream::{Edge, EdgeStream};
+
+/// The co-authorship stream generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoauthorshipModel {
+    authors: u64,
+    papers: u64,
+    communities: u64,
+    seed: u64,
+}
+
+impl CoauthorshipModel {
+    /// `authors` potential authors in `communities` communities, emitting
+    /// `papers` paper events.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero or there are fewer than 5 authors
+    /// per community on average (cliques would degenerate).
+    #[must_use]
+    pub fn new(authors: u64, papers: u64, communities: u64, seed: u64) -> Self {
+        assert!(
+            authors > 0 && papers > 0 && communities > 0,
+            "parameters must be positive"
+        );
+        assert!(
+            authors / communities >= 5,
+            "need >= 5 authors per community, got {}",
+            authors / communities
+        );
+        Self {
+            authors,
+            papers,
+            communities,
+            seed,
+        }
+    }
+
+    /// Number of potential authors.
+    #[must_use]
+    pub fn author_count(&self) -> u64 {
+        self.authors
+    }
+}
+
+impl EdgeStream for CoauthorshipModel {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // Community membership: author a belongs primarily to community
+        // a % c, giving communities of near-equal size with deterministic
+        // assignment; 10% of draws cross communities (collaboration).
+        let per_community = self.authors / self.communities;
+        // Productivity endpoint list for preferential author choice.
+        let mut productive: Vec<u64> = Vec::new();
+        let mut seen_edges: HashSet<(u64, u64)> = HashSet::new();
+        let mut edges: Vec<Edge> = Vec::new();
+
+        for _ in 0..self.papers {
+            let community = rng.gen_range(0..self.communities);
+            let team_size = rng.gen_range(2..=5usize);
+            let mut team: Vec<u64> = Vec::with_capacity(team_size);
+            let mut guard = 0;
+            while team.len() < team_size && guard < 100 {
+                guard += 1;
+                // 60%: preferential (an author who already published, from
+                // any community — keeps hubs global). 40%: fresh uniform
+                // draw from the paper's community.
+                let author = if !productive.is_empty() && rng.gen::<f64>() < 0.6 {
+                    productive[rng.gen_range(0..productive.len())]
+                } else {
+                    let cross = rng.gen::<f64>() < 0.1;
+                    let c = if cross {
+                        rng.gen_range(0..self.communities)
+                    } else {
+                        community
+                    };
+                    c * per_community + rng.gen_range(0..per_community)
+                };
+                if !team.contains(&author) {
+                    team.push(author);
+                }
+            }
+            if team.len() < 2 {
+                continue;
+            }
+            for a in &team {
+                productive.push(*a);
+            }
+            for i in 0..team.len() {
+                for j in (i + 1)..team.len() {
+                    let (u, v) = (team[i].min(team[j]), team[i].max(team[j]));
+                    if seen_edges.insert((u, v)) {
+                        edges.push(Edge::new(u, v, edges.len() as u64));
+                    }
+                }
+            }
+        }
+        edges.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstream::{AdjacencyGraph, StreamStats};
+
+    fn model() -> CoauthorshipModel {
+        CoauthorshipModel::new(2000, 3000, 20, 7)
+    }
+
+    #[test]
+    fn stream_is_simple() {
+        let edges: Vec<Edge> = model().edges().collect();
+        let mut seen = HashSet::new();
+        for (i, e) in edges.iter().enumerate() {
+            assert!(!e.is_loop());
+            assert!(seen.insert(e.key()), "duplicate at {i}");
+            assert_eq!(e.ts, i as u64);
+        }
+        assert!(edges.len() > 1000, "too few edges: {}", edges.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Edge> = model().edges().collect();
+        let b: Vec<Edge> = model().edges().collect();
+        assert_eq!(a, b);
+        let c: Vec<Edge> = CoauthorshipModel::new(2000, 3000, 20, 8).edges().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn produces_triangles() {
+        // Every 3+-author paper is a triangle; clustering must be heavy.
+        let g = AdjacencyGraph::from_edges(model().edges());
+        let mut closed = 0usize;
+        let mut checked = 0usize;
+        for (u, v) in g.edges().take(2000) {
+            checked += 1;
+            if g.common_neighbors(u, v) > 0 {
+                closed += 1;
+            }
+        }
+        let frac = closed as f64 / checked as f64;
+        assert!(frac > 0.3, "too little clustering: {frac}");
+    }
+
+    #[test]
+    fn productivity_is_skewed() {
+        let stats = StreamStats::from_edges(model().edges());
+        let s = stats.summary();
+        assert!(s.skew > 5.0, "no productive-author tail: skew {}", s.skew);
+    }
+
+    #[test]
+    fn large_jaccard_pairs_exist() {
+        // Frequent co-authors should share most of their neighborhoods.
+        let g = AdjacencyGraph::from_edges(model().edges());
+        let mut best: f64 = 0.0;
+        for (u, v) in g.edges().take(5000) {
+            best = best.max(g.jaccard(u, v));
+        }
+        assert!(best > 0.3, "no high-overlap pairs: best J = {best}");
+    }
+
+    #[test]
+    #[should_panic(expected = "authors per community")]
+    fn degenerate_communities_rejected() {
+        let _ = CoauthorshipModel::new(10, 100, 5, 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # datasets
+//!
+//! Synthetic stand-ins for the paper's real-world graph streams.
+//!
+//! The original evaluation ran on real social / collaboration / web graph
+//! streams that are not redistributable here. Per the substitution rule in
+//! DESIGN.md §5, this crate ships four **matched-statistics synthetic
+//! equivalents**, each exercising a different regime of the estimators:
+//!
+//! | Dataset | Model | Regime it stresses |
+//! |---------|-------|--------------------|
+//! | [`SimulatedDataset::DblpLike`] | paper-clique co-authorship ([`coauthor`]) | high clustering, large Jaccard values |
+//! | [`SimulatedDataset::FlickrLike`] | preferential attachment | heavy degree skew, hub-dominated AA |
+//! | [`SimulatedDataset::WikiTalkLike`] | power-law configuration model | sparse low-overlap pairs (small J — hardest for relative error) |
+//! | [`SimulatedDataset::YoutubeLike`] | forest fire | densification + community mixing |
+//!
+//! Every dataset is deterministic under its built-in seed and comes in
+//! three [`Scale`]s so tests stay fast while benches run at full size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coauthor;
+pub mod spec;
+
+pub use coauthor::CoauthorshipModel;
+pub use spec::{DatasetSpec, Scale, SimulatedDataset};

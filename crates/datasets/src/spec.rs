@@ -1,0 +1,257 @@
+//! The dataset registry: four simulated streams at three scales.
+
+use serde::{Deserialize, Serialize};
+
+use graphstream::{
+    BarabasiAlbert, EdgeStream, ForestFire, MemoryStream, PowerLawConfig, WattsStrogatz,
+};
+
+use crate::coauthor::CoauthorshipModel;
+
+/// How large to instantiate a dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Unit-test size (hundreds of vertices, sub-second everywhere).
+    Small,
+    /// Experiment size (tens of thousands of vertices) — the default for
+    /// the benchmark harness.
+    Standard,
+    /// Stress size (hundreds of thousands of vertices) for the
+    /// scalability experiment E12.
+    Large,
+}
+
+/// One of the four simulated real-world streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SimulatedDataset {
+    /// Collaboration-graph stand-in (paper-clique model): high clustering,
+    /// large Jaccard values.
+    DblpLike,
+    /// Photo-sharing-social-network stand-in (preferential attachment):
+    /// heavy degree skew.
+    FlickrLike,
+    /// Communication-graph stand-in (power-law configuration model,
+    /// α ≈ 2.3): sparse, low-overlap — the hardest relative-error regime.
+    WikiTalkLike,
+    /// Friendship-graph stand-in (forest fire): densification and
+    /// community mixing.
+    YoutubeLike,
+    /// Clustered static-network stand-in (Watts–Strogatz small world):
+    /// high clustering with future edges among already-seen vertices —
+    /// the stream where temporal link prediction has the most signal.
+    SmallWorldLike,
+}
+
+/// Static description of a dataset, used in the E1 table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Registry key (`dblp`, `flickr`, `wiki`, `youtube`).
+    pub key: &'static str,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// The real dataset this one stands in for.
+    pub paper_counterpart: &'static str,
+    /// The generative model used.
+    pub model: &'static str,
+    /// Why the substitution preserves the relevant behaviour.
+    pub rationale: &'static str,
+}
+
+impl SimulatedDataset {
+    /// All five datasets, in canonical order.
+    pub const ALL: [SimulatedDataset; 5] = [
+        SimulatedDataset::DblpLike,
+        SimulatedDataset::FlickrLike,
+        SimulatedDataset::WikiTalkLike,
+        SimulatedDataset::YoutubeLike,
+        SimulatedDataset::SmallWorldLike,
+    ];
+
+    /// The dataset's static description.
+    #[must_use]
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            SimulatedDataset::DblpLike => DatasetSpec {
+                key: "dblp",
+                name: "DBLP-like co-authorship",
+                paper_counterpart: "DBLP collaboration stream",
+                model: "paper-clique co-authorship with overlapping communities",
+                rationale: "reproduces high clustering and large-Jaccard pairs \
+                            that drive collaboration-graph overlap distributions",
+            },
+            SimulatedDataset::FlickrLike => DatasetSpec {
+                key: "flickr",
+                name: "Flickr-like growth",
+                paper_counterpart: "Flickr friendship growth stream",
+                model: "Barabási-Albert preferential attachment",
+                rationale: "reproduces the power-law degree tail that dominates \
+                            MinHash match variance and AA weighting",
+            },
+            SimulatedDataset::WikiTalkLike => DatasetSpec {
+                key: "wiki",
+                name: "Wiki-talk-like communication",
+                paper_counterpart: "Wikipedia talk-page stream",
+                model: "power-law configuration model (alpha = 2.3)",
+                rationale: "stresses the sparse low-overlap regime (small J), \
+                            the hardest case for relative error",
+            },
+            SimulatedDataset::SmallWorldLike => DatasetSpec {
+                key: "smallworld",
+                name: "Small-world friendship",
+                paper_counterpart: "clustered static friendship network",
+                model: "Watts-Strogatz small world (p = 0.1)",
+                rationale: "high clustering with future edges among seen \
+                            vertices, the regime where temporal evaluation \
+                            (E5) has full signal",
+            },
+            SimulatedDataset::YoutubeLike => DatasetSpec {
+                key: "youtube",
+                name: "YouTube-like friendship",
+                paper_counterpart: "YouTube friendship stream",
+                model: "forest fire growth",
+                rationale: "mixes hubs with clustered tails, exercising \
+                            degree-tier drift in the biased sketch",
+            },
+        }
+    }
+
+    /// Looks a dataset up by its registry key.
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<SimulatedDataset> {
+        Self::ALL
+            .into_iter()
+            .find(|d| d.spec().key == key.to_ascii_lowercase())
+    }
+
+    /// Materializes the stream at the given scale (deterministic: the
+    /// seed is part of the dataset identity).
+    #[must_use]
+    pub fn stream(self, scale: Scale) -> MemoryStream {
+        match self {
+            SimulatedDataset::DblpLike => {
+                let (a, p, c) = match scale {
+                    Scale::Small => (600, 900, 12),
+                    Scale::Standard => (30_000, 60_000, 300),
+                    Scale::Large => (120_000, 260_000, 1_000),
+                };
+                CoauthorshipModel::new(a, p, c, 0xD31B).materialize()
+            }
+            SimulatedDataset::FlickrLike => {
+                let (n, m) = match scale {
+                    Scale::Small => (700, 4),
+                    Scale::Standard => (40_000, 8),
+                    Scale::Large => (200_000, 8),
+                };
+                BarabasiAlbert::new(n, m, 0xF11C).materialize()
+            }
+            SimulatedDataset::WikiTalkLike => {
+                let (n, dmax) = match scale {
+                    Scale::Small => (800, 60),
+                    Scale::Standard => (50_000, 2_000),
+                    Scale::Large => (250_000, 5_000),
+                };
+                PowerLawConfig::new(n, 2.3, dmax, 0x3141).materialize()
+            }
+            SimulatedDataset::YoutubeLike => {
+                let (n, p) = match scale {
+                    Scale::Small => (700, 0.33),
+                    Scale::Standard => (40_000, 0.36),
+                    Scale::Large => (200_000, 0.36),
+                };
+                ForestFire::new(n, p, 0x707B).materialize()
+            }
+            SimulatedDataset::SmallWorldLike => {
+                // Seed 0xE0 deliberately matches the harness seed so the
+                // published E5 numbers (formerly from an inline stream)
+                // are reproduced exactly.
+                let (n, deg) = match scale {
+                    Scale::Small => (600, 8),
+                    Scale::Standard => (20_000, 12),
+                    Scale::Large => (100_000, 12),
+                };
+                WattsStrogatz::new(n, deg, 0.1, 0xE0).materialize()
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SimulatedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.spec().name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphstream::StreamStats;
+
+    #[test]
+    fn keys_roundtrip() {
+        for d in SimulatedDataset::ALL {
+            assert_eq!(SimulatedDataset::from_key(d.spec().key), Some(d));
+        }
+        assert_eq!(SimulatedDataset::from_key("nope"), None);
+        assert_eq!(
+            SimulatedDataset::from_key("DBLP"),
+            Some(SimulatedDataset::DblpLike)
+        );
+    }
+
+    #[test]
+    fn small_streams_are_nonempty_and_deterministic() {
+        for d in SimulatedDataset::ALL {
+            let a = d.stream(Scale::Small);
+            assert!(!a.is_empty(), "{d} is empty");
+            assert_eq!(a, d.stream(Scale::Small), "{d} not deterministic");
+        }
+    }
+
+    #[test]
+    fn datasets_are_pairwise_distinct() {
+        let streams: Vec<_> = SimulatedDataset::ALL
+            .iter()
+            .map(|d| d.stream(Scale::Small))
+            .collect();
+        for i in 0..streams.len() {
+            for j in (i + 1)..streams.len() {
+                assert_ne!(streams[i], streams[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn regimes_differ_as_documented() {
+        let skew = |d: SimulatedDataset| {
+            StreamStats::from_edges(d.stream(Scale::Small).as_slice().iter().copied())
+                .summary()
+                .skew
+        };
+        // The growth models must out-skew the configuration model at
+        // small scale is not guaranteed, but flickr must beat dblp's
+        // near-regular collaboration core.
+        assert!(
+            skew(SimulatedDataset::FlickrLike) > 2.0,
+            "flickr-like lost its hubs"
+        );
+    }
+
+    #[test]
+    fn spec_fields_nonempty() {
+        for d in SimulatedDataset::ALL {
+            let s = d.spec();
+            assert!(!s.key.is_empty());
+            assert!(!s.rationale.is_empty());
+            assert!(!s.paper_counterpart.is_empty());
+        }
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(
+            SimulatedDataset::DblpLike.to_string(),
+            "DBLP-like co-authorship"
+        );
+    }
+}

@@ -1,0 +1,245 @@
+//! Stream combinators and fault injection.
+//!
+//! Real feeds are messier than generators: multiple sources interleave,
+//! edges get re-delivered, loops sneak in, arrival order jitters. These
+//! adapters produce that mess deterministically so robustness claims can
+//! be tested instead of asserted:
+//!
+//! * [`interleave`] — merge streams by timestamp (multi-source feeds).
+//! * [`concatenate`] — play streams back-to-back with restamping.
+//! * [`NoiseInjector`] — seeded duplicates, self-loops and local
+//!   reordering.
+
+use hashkit::mix64;
+
+use crate::stream::{EdgeStream, MemoryStream};
+use crate::types::Edge;
+
+/// Merges any number of streams into one, ordered by timestamp (stable:
+/// ties keep source order). The result is restamped to arrival indices.
+#[must_use]
+pub fn interleave(streams: &[&dyn DynStream]) -> MemoryStream {
+    let mut edges: Vec<(u64, usize, Edge)> = Vec::new();
+    for (src_idx, s) in streams.iter().enumerate() {
+        for e in s.collect_edges() {
+            edges.push((e.ts, src_idx, e));
+        }
+    }
+    edges.sort_by_key(|&(ts, src, _)| (ts, src));
+    let mut out = MemoryStream::from_edges(edges.into_iter().map(|(_, _, e)| e));
+    out.restamp();
+    out
+}
+
+/// Plays streams back-to-back, restamping to one global arrival order.
+#[must_use]
+pub fn concatenate(streams: &[&dyn DynStream]) -> MemoryStream {
+    let mut out = MemoryStream::new();
+    for s in streams {
+        for e in s.collect_edges() {
+            out.push(e);
+        }
+    }
+    out.restamp();
+    out
+}
+
+/// Object-safe view of [`EdgeStream`] so adapters can mix source types.
+pub trait DynStream {
+    /// Materializes the stream's edges in arrival order.
+    fn collect_edges(&self) -> Vec<Edge>;
+}
+
+impl<T: EdgeStream> DynStream for T {
+    fn collect_edges(&self) -> Vec<Edge> {
+        self.edges().collect()
+    }
+}
+
+/// Deterministic fault injection over a stream.
+///
+/// Faults are *added*, never removed: every original edge survives, so a
+/// consumer that is robust to noise must produce results consistent with
+/// the clean stream (the property the sketch tests assert).
+///
+/// ```
+/// use graphstream::{ErdosRenyi, NoiseInjector};
+///
+/// let clean = ErdosRenyi::new(50, 100, 1);
+/// let injector = NoiseInjector { duplicate_prob: 0.5, ..NoiseInjector::clean(9) };
+/// let noisy = injector.apply(&clean);
+/// assert!(noisy.len() > 100, "duplicates were injected");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseInjector {
+    /// Probability an edge is immediately re-delivered.
+    pub duplicate_prob: f64,
+    /// Probability a random self-loop is injected after an edge.
+    pub self_loop_prob: f64,
+    /// Maximum local reorder distance (0 = keep order).
+    pub max_reorder: usize,
+    /// Seed for all injection decisions.
+    pub seed: u64,
+}
+
+impl NoiseInjector {
+    /// A no-op injector (useful as a default).
+    #[must_use]
+    pub fn clean(seed: u64) -> Self {
+        Self {
+            duplicate_prob: 0.0,
+            self_loop_prob: 0.0,
+            max_reorder: 0,
+            seed,
+        }
+    }
+
+    /// Applies the configured faults to a stream.
+    ///
+    /// # Panics
+    /// Panics if a probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn apply(&self, stream: &impl EdgeStream) -> MemoryStream {
+        assert!(
+            (0.0..=1.0).contains(&self.duplicate_prob),
+            "bad duplicate_prob"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.self_loop_prob),
+            "bad self_loop_prob"
+        );
+        let mut edges: Vec<Edge> = Vec::new();
+        let unit = |word: u64| (word >> 11) as f64 / 9_007_199_254_740_992.0;
+        for (i, e) in stream.edges().enumerate() {
+            let i = i as u64;
+            edges.push(e);
+            if unit(mix64(self.seed ^ i.wrapping_mul(3))) < self.duplicate_prob {
+                edges.push(e); // re-delivery
+            }
+            if unit(mix64(self.seed ^ i.wrapping_mul(5).wrapping_add(1))) < self.self_loop_prob {
+                edges.push(Edge::new(e.src, e.src, e.ts));
+            }
+        }
+        if self.max_reorder > 0 {
+            // Deterministic local shuffle: swap each position with one at
+            // most max_reorder ahead.
+            let n = edges.len();
+            for i in 0..n {
+                let r = mix64(self.seed ^ (i as u64).wrapping_mul(7)) as usize;
+                let j = (i + r % (self.max_reorder + 1)).min(n - 1);
+                edges.swap(i, j);
+            }
+        }
+        let mut out = MemoryStream::from_edges(edges);
+        out.restamp();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{BarabasiAlbert, ErdosRenyi};
+    use std::collections::HashSet;
+
+    #[test]
+    fn interleave_orders_by_timestamp() {
+        let a = MemoryStream::from_edges([Edge::new(0u64, 1u64, 0), Edge::new(0u64, 2u64, 10)]);
+        let b = MemoryStream::from_edges([Edge::new(5u64, 6u64, 5)]);
+        let merged = interleave(&[&a, &b]);
+        let pairs: Vec<_> = merged.as_slice().iter().map(|e| e.key()).collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(
+            pairs[1],
+            Edge::new(5u64, 6u64, 0).key(),
+            "middle edge from stream b"
+        );
+        // Restamped to arrival indices.
+        for (i, e) in merged.as_slice().iter().enumerate() {
+            assert_eq!(e.ts, i as u64);
+        }
+    }
+
+    #[test]
+    fn interleave_is_stable_on_ties() {
+        let a = MemoryStream::from_edges([Edge::new(1u64, 2u64, 7)]);
+        let b = MemoryStream::from_edges([Edge::new(3u64, 4u64, 7)]);
+        let merged = interleave(&[&a, &b]);
+        assert_eq!(merged.as_slice()[0].key(), Edge::new(1u64, 2u64, 0).key());
+    }
+
+    #[test]
+    fn concatenate_preserves_all_edges() {
+        let a = ErdosRenyi::new(20, 30, 1);
+        let b = ErdosRenyi::new(20, 40, 2);
+        let all = concatenate(&[&a, &b]);
+        assert_eq!(all.len(), 70);
+    }
+
+    #[test]
+    fn clean_injector_is_identity_up_to_restamp() {
+        let s = BarabasiAlbert::new(50, 2, 3);
+        let out = NoiseInjector::clean(0).apply(&s);
+        let orig: Vec<_> = s.edges().map(|e| e.key()).collect();
+        let noisy: Vec<_> = out.as_slice().iter().map(|e| e.key()).collect();
+        assert_eq!(orig, noisy);
+    }
+
+    #[test]
+    fn duplicates_add_but_never_remove() {
+        let s = BarabasiAlbert::new(100, 2, 4);
+        let inj = NoiseInjector {
+            duplicate_prob: 0.5,
+            ..NoiseInjector::clean(9)
+        };
+        let noisy = inj.apply(&s);
+        let clean_keys: HashSet<_> = s.edges().map(|e| e.key()).collect();
+        let noisy_keys: HashSet<_> = noisy.as_slice().iter().map(|e| e.key()).collect();
+        assert_eq!(clean_keys, noisy_keys, "edge set must be preserved");
+        assert!(noisy.len() > s.edges().count(), "no duplicates injected");
+        assert!(
+            noisy.len() < s.edges().count() * 2,
+            "way too many duplicates"
+        );
+    }
+
+    #[test]
+    fn self_loops_marked_as_loops() {
+        let s = ErdosRenyi::new(30, 60, 5);
+        let inj = NoiseInjector {
+            self_loop_prob: 0.3,
+            ..NoiseInjector::clean(2)
+        };
+        let noisy = inj.apply(&s);
+        let loops = noisy.as_slice().iter().filter(|e| e.is_loop()).count();
+        assert!(loops > 5, "expected injected loops, got {loops}");
+    }
+
+    #[test]
+    fn reordering_permutes_but_preserves_multiset() {
+        let s = ErdosRenyi::new(40, 100, 6);
+        let inj = NoiseInjector {
+            max_reorder: 10,
+            ..NoiseInjector::clean(3)
+        };
+        let noisy = inj.apply(&s);
+        let mut a: Vec<_> = s.edges().map(|e| e.key()).collect();
+        let mut b: Vec<_> = noisy.as_slice().iter().map(|e| e.key()).collect();
+        assert_ne!(a, b, "reorder did nothing");
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "multiset changed");
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let s = BarabasiAlbert::new(60, 2, 7);
+        let inj = NoiseInjector {
+            duplicate_prob: 0.2,
+            self_loop_prob: 0.1,
+            max_reorder: 4,
+            seed: 11,
+        };
+        assert_eq!(inj.apply(&s), inj.apply(&s));
+    }
+}

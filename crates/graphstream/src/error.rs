@@ -1,0 +1,86 @@
+//! Error type for stream parsing and IO.
+
+/// Errors produced while reading or decoding edge streams.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A malformed line or record, with 1-based position and explanation.
+    Parse {
+        /// 1-based line (CSV) or record (binary) number.
+        position: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A binary payload declared more records than the bytes provide.
+    Truncated {
+        /// Records expected per the header.
+        expected: u64,
+        /// Records actually decoded.
+        actual: u64,
+    },
+    /// Binary payload has an unrecognized magic number or version.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(e) => write!(f, "stream io error: {e}"),
+            StreamError::Parse { position, reason } => {
+                write!(f, "parse error at record {position}: {reason}")
+            }
+            StreamError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "truncated stream: header promised {expected} records, found {actual}"
+                )
+            }
+            StreamError::BadHeader(msg) => write!(f, "bad stream header: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(e: std::io::Error) -> Self {
+        StreamError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StreamError::Parse {
+            position: 7,
+            reason: "missing dst".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains('7') && s.contains("missing dst"));
+
+        let t = StreamError::Truncated {
+            expected: 10,
+            actual: 3,
+        };
+        assert!(t.to_string().contains("10") && t.to_string().contains('3'));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let inner = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = StreamError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

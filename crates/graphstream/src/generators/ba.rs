@@ -1,0 +1,184 @@
+//! Barabási–Albert preferential-attachment streams.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::stream::EdgeStream;
+use crate::types::Edge;
+
+/// A Barabási–Albert growth stream: each arriving vertex attaches to
+/// `m` existing vertices chosen with probability proportional to degree.
+///
+/// Produces the power-law degree tail (exponent ≈ 3) characteristic of
+/// social and web graphs, with edges arriving in growth order — the
+/// canonical "realistic" stream for throughput and accuracy experiments.
+///
+/// The implementation uses the classic repeated-endpoints trick: sampling
+/// a uniform element of the endpoint list is sampling proportional to
+/// degree, giving O(1) per attachment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarabasiAlbert {
+    n: u64,
+    m: u64,
+    seed: u64,
+}
+
+impl BarabasiAlbert {
+    /// `n` total vertices, `m` attachments per new vertex.
+    ///
+    /// The initial clique has `m + 1` vertices, so `n` must exceed it.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `n <= m + 1`.
+    #[must_use]
+    pub fn new(n: u64, m: u64, seed: u64) -> Self {
+        assert!(m >= 1, "need at least one attachment per vertex");
+        assert!(
+            n > m + 1,
+            "n = {n} must exceed the initial clique of {} vertices",
+            m + 1
+        );
+        Self { n, m, seed }
+    }
+
+    /// Number of vertices the finished stream touches.
+    #[must_use]
+    pub fn vertex_count(&self) -> u64 {
+        self.n
+    }
+
+    /// Total number of edges the stream will emit.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        let clique = (self.m + 1) * self.m / 2;
+        clique + (self.n - self.m - 1) * self.m
+    }
+}
+
+impl EdgeStream for BarabasiAlbert {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        let mut rng = rng_from_seed(self.seed);
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.edge_count() as usize);
+        // Endpoint multiset: vertex v appears deg(v) times.
+        let mut endpoints: Vec<u64> = Vec::with_capacity(2 * self.edge_count() as usize);
+
+        // Seed clique on vertices 0..=m.
+        for u in 0..=self.m {
+            for v in (u + 1)..=self.m {
+                edges.push(Edge::new(u, v, edges.len() as u64));
+                endpoints.push(u);
+                endpoints.push(v);
+            }
+        }
+
+        // Growth phase.
+        let mut targets: HashSet<u64> = HashSet::with_capacity(self.m as usize);
+        for new in (self.m + 1)..self.n {
+            targets.clear();
+            while (targets.len() as u64) < self.m {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                targets.insert(t);
+            }
+            // Sort for determinism: HashSet iteration order varies by
+            // process, and streams must replay identically.
+            let mut ordered: Vec<u64> = targets.iter().copied().collect();
+            ordered.sort_unstable();
+            for t in ordered {
+                edges.push(Edge::new(new, t, edges.len() as u64));
+                endpoints.push(new);
+                endpoints.push(t);
+            }
+        }
+        edges.into_iter()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.edge_count() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyGraph;
+    use crate::generators::testutil::{assert_replayable, assert_simple_stream};
+    use crate::types::VertexId;
+
+    #[test]
+    fn edge_count_formula_matches_stream() {
+        let g = BarabasiAlbert::new(200, 3, 9);
+        let edges = assert_simple_stream(&g);
+        assert_eq!(edges.len() as u64, g.edge_count());
+    }
+
+    #[test]
+    fn all_vertices_appear() {
+        let g = BarabasiAlbert::new(100, 2, 4);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        assert_eq!(adj.vertex_count(), 100);
+        // Every non-clique vertex has degree >= m.
+        for v in 0..100u64 {
+            assert!(adj.degree(VertexId(v)) >= 2, "vertex {v} under-attached");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_replayable() {
+        let g = BarabasiAlbert::new(150, 2, 5);
+        assert_replayable(&g);
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            BarabasiAlbert::new(150, 2, 5).edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        // Preferential attachment must concentrate degree: the max degree
+        // should far exceed the mean.
+        let g = BarabasiAlbert::new(2000, 2, 1);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        let max_deg = adj.vertices().map(|v| adj.degree(v)).max().unwrap();
+        let mean = 2.0 * adj.edge_count() as f64 / adj.vertex_count() as f64;
+        assert!(
+            max_deg as f64 > 5.0 * mean,
+            "no hub formed: max {max_deg}, mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn growth_order_is_temporal() {
+        // A vertex's first appearance index is nondecreasing in its id
+        // beyond the clique — new vertices arrive later.
+        let g = BarabasiAlbert::new(50, 2, 2);
+        let edges: Vec<_> = g.edges().collect();
+        let mut first_seen = std::collections::HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            first_seen.entry(e.src.0).or_insert(i);
+            first_seen.entry(e.dst.0).or_insert(i);
+        }
+        for v in 3..50u64 {
+            assert!(
+                first_seen[&v] >= first_seen[&(v - 1)],
+                "vertex {v} appeared before {}",
+                v - 1
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "initial clique")]
+    fn tiny_n_rejected() {
+        let _ = BarabasiAlbert::new(3, 2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attachment")]
+    fn zero_m_rejected() {
+        let _ = BarabasiAlbert::new(10, 0, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Erdős–Rényi `G(n, m)` streams.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::stream::EdgeStream;
+use crate::types::Edge;
+
+/// An Erdős–Rényi `G(n, m)` random graph, streamed in a seeded random
+/// order.
+///
+/// `m` distinct undirected edges are drawn uniformly from the
+/// `n·(n−1)/2` possible pairs. ER graphs have near-zero neighborhood
+/// overlap, making them the hardest (smallest-Jaccard) regime for the
+/// estimators — useful as a stress case.
+///
+/// ```
+/// use graphstream::{ErdosRenyi, EdgeStream};
+/// let g = ErdosRenyi::new(100, 300, 7);
+/// assert_eq!(g.edges().count(), 300);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErdosRenyi {
+    n: u64,
+    m: u64,
+    seed: u64,
+}
+
+impl ErdosRenyi {
+    /// `n` vertices, `m` edges, deterministic under `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `m` exceeds the number of possible pairs.
+    #[must_use]
+    pub fn new(n: u64, m: u64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        let max_edges = n * (n - 1) / 2;
+        assert!(
+            m <= max_edges,
+            "m = {m} exceeds the {max_edges} possible pairs on {n} vertices"
+        );
+        Self { n, m, seed }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> u64 {
+        self.n
+    }
+}
+
+impl EdgeStream for ErdosRenyi {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        let mut rng = rng_from_seed(self.seed);
+        let mut chosen: HashSet<(u64, u64)> = HashSet::with_capacity(self.m as usize);
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.m as usize);
+        while (edges.len() as u64) < self.m {
+            let u = rng.gen_range(0..self.n);
+            let v = rng.gen_range(0..self.n);
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if chosen.insert(key) {
+                edges.push(Edge::new(key.0, key.1, 0));
+            }
+        }
+        edges.shuffle(&mut rng);
+        for (i, e) in edges.iter_mut().enumerate() {
+            e.ts = i as u64;
+        }
+        edges.into_iter()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.m as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::testutil::{assert_replayable, assert_simple_stream};
+
+    #[test]
+    fn emits_exactly_m_simple_edges() {
+        let g = ErdosRenyi::new(50, 200, 3);
+        let edges = assert_simple_stream(&g);
+        assert_eq!(edges.len(), 200);
+        for e in &edges {
+            assert!(e.src.0 < 50 && e.dst.0 < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_and_replayable() {
+        let g = ErdosRenyi::new(40, 100, 11);
+        assert_replayable(&g);
+        let h = ErdosRenyi::new(40, 100, 11);
+        assert_eq!(g.edges().collect::<Vec<_>>(), h.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = ErdosRenyi::new(40, 100, 1).edges().collect();
+        let b: Vec<_> = ErdosRenyi::new(40, 100, 2).edges().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let g = ErdosRenyi::new(10, 45, 5);
+        assert_eq!(assert_simple_stream(&g).len(), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_edges_rejected() {
+        let _ = ErdosRenyi::new(10, 46, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "two vertices")]
+    fn tiny_graph_rejected() {
+        let _ = ErdosRenyi::new(1, 0, 0);
+    }
+}

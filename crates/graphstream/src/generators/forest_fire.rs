@@ -1,0 +1,162 @@
+//! Forest-fire growth streams (Leskovec et al.).
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::stream::EdgeStream;
+use crate::types::Edge;
+
+/// A forest-fire growth stream: each arriving vertex picks a random
+/// "ambassador", links to it, then recursively "burns" a geometric number
+/// of the ambassador's neighbors, linking to every burned vertex.
+///
+/// Forest fire reproduces densification and community structure — new
+/// vertices embed into an existing neighborhood instead of scattering —
+/// so it mixes hubs with clustered tails. We use it as the YouTube-like
+/// dataset stand-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestFire {
+    n: u64,
+    burn_prob: f64,
+    seed: u64,
+}
+
+impl ForestFire {
+    /// `n` vertices; `burn_prob ∈ [0, 1)` is the forward-burning
+    /// probability (the geometric mean number of neighbors burned per
+    /// visited vertex is `burn_prob / (1 − burn_prob)`).
+    ///
+    /// # Panics
+    /// Panics if `n < 2` or `burn_prob` outside `[0, 1)`.
+    #[must_use]
+    pub fn new(n: u64, burn_prob: f64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        assert!(
+            (0.0..1.0).contains(&burn_prob),
+            "burn probability {burn_prob} outside [0, 1)"
+        );
+        Self { n, burn_prob, seed }
+    }
+}
+
+impl EdgeStream for ForestFire {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        let mut rng = rng_from_seed(self.seed);
+        let mut adj: Vec<Vec<u64>> = vec![Vec::new(); self.n as usize];
+        let mut edges: Vec<Edge> = Vec::new();
+
+        let link = |adj: &mut Vec<Vec<u64>>, edges: &mut Vec<Edge>, u: u64, v: u64| {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+            edges.push(Edge::new(u, v, edges.len() as u64));
+        };
+
+        // Vertex 1 links to vertex 0 to bootstrap.
+        link(&mut adj, &mut edges, 1, 0);
+
+        for new in 2..self.n {
+            let ambassador = rng.gen_range(0..new);
+            let mut burned: HashSet<u64> = HashSet::new();
+            let mut frontier = vec![ambassador];
+            burned.insert(ambassador);
+            // Cap the burn so one fire cannot consume the whole graph:
+            // keeps per-vertex work bounded and degree growth realistic.
+            let cap = 32usize;
+            while let Some(w) = frontier.pop() {
+                if burned.len() >= cap {
+                    break;
+                }
+                // Burn a geometric number of w's unburned neighbors.
+                let mut candidates: Vec<u64> = adj[w as usize]
+                    .iter()
+                    .copied()
+                    .filter(|x| !burned.contains(x) && *x != new)
+                    .collect();
+                // Deterministic candidate order, then geometric stopping.
+                candidates.sort_unstable();
+                for x in candidates {
+                    if rng.gen::<f64>() < self.burn_prob {
+                        if burned.insert(x) {
+                            frontier.push(x);
+                        }
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Sort for determinism: HashSet iteration order varies by
+            // process, and streams must replay identically.
+            let mut ordered: Vec<u64> = burned.iter().copied().collect();
+            ordered.sort_unstable();
+            for b in ordered {
+                link(&mut adj, &mut edges, new, b);
+            }
+        }
+        edges.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyGraph;
+    use crate::generators::testutil::{assert_replayable, assert_simple_stream};
+    use crate::types::VertexId;
+
+    #[test]
+    fn stream_is_simple_and_replayable() {
+        let g = ForestFire::new(300, 0.35, 2);
+        assert_simple_stream(&g);
+        assert_replayable(&g);
+    }
+
+    #[test]
+    fn every_vertex_connected() {
+        let g = ForestFire::new(200, 0.3, 1);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        assert_eq!(adj.vertex_count(), 200);
+        for v in 0..200u64 {
+            assert!(adj.degree(VertexId(v)) >= 1, "isolated vertex {v}");
+        }
+    }
+
+    #[test]
+    fn higher_burn_prob_densifies() {
+        let sparse = ForestFire::new(500, 0.05, 3).edges().count();
+        let dense = ForestFire::new(500, 0.5, 3).edges().count();
+        assert!(
+            dense > sparse,
+            "burning more must add edges: {dense} <= {sparse}"
+        );
+    }
+
+    #[test]
+    fn zero_burn_prob_gives_tree() {
+        // With no burning, each vertex links only to its ambassador.
+        let g = ForestFire::new(100, 0.0, 4);
+        assert_eq!(g.edges().count(), 99);
+    }
+
+    #[test]
+    fn new_vertex_neighborhoods_cluster() {
+        // Forest fire should create triangles: the new vertex links to an
+        // ambassador *and* some of its neighbors.
+        let g = ForestFire::new(400, 0.4, 5);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        let mut triangles = 0usize;
+        for (u, v) in adj.edges() {
+            triangles += adj.common_neighbors(u, v);
+        }
+        assert!(triangles > 0, "no clustering formed");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn burn_prob_one_rejected() {
+        let _ = ForestFire::new(10, 1.0, 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Deterministic graph-stream generators.
+//!
+//! Each generator is a small value type holding its parameters and a seed;
+//! [`crate::stream::EdgeStream::edges`] re-derives the identical edge
+//! sequence on every call, which makes streams replayable without
+//! materializing them at the call site.
+//!
+//! All generators emit **simple** graphs (no self-loops, each undirected
+//! edge once) with timestamps equal to the arrival index. Growth models
+//! (Barabási–Albert, forest fire) emit edges in growth order — the natural
+//! temporal order real streams exhibit; static models (Erdős–Rényi,
+//! Watts–Strogatz, configuration model) emit a seeded random permutation.
+
+mod ba;
+mod er;
+mod forest_fire;
+mod powerlaw;
+mod ws;
+
+pub use ba::BarabasiAlbert;
+pub use er::ErdosRenyi;
+pub use forest_fire::ForestFire;
+pub use powerlaw::PowerLawConfig;
+pub use ws::WattsStrogatz;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the deterministic RNG used by every generator.
+pub(crate) fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared assertions for generator outputs.
+    use crate::stream::EdgeStream;
+    use crate::types::Edge;
+    use std::collections::HashSet;
+
+    /// Asserts the stream is simple: no self-loops, no duplicate
+    /// undirected edges, timestamps strictly increasing from 0.
+    pub fn assert_simple_stream(stream: &impl EdgeStream) -> Vec<Edge> {
+        let edges: Vec<Edge> = stream.edges().collect();
+        let mut seen = HashSet::new();
+        for (i, e) in edges.iter().enumerate() {
+            assert!(!e.is_loop(), "self loop at {i}: {e}");
+            assert!(seen.insert(e.key()), "duplicate edge at {i}: {e}");
+            assert_eq!(e.ts, i as u64, "timestamp not arrival index at {i}");
+        }
+        edges
+    }
+
+    /// Asserts two passes over the stream are identical.
+    pub fn assert_replayable(stream: &impl EdgeStream) {
+        let a: Vec<Edge> = stream.edges().collect();
+        let b: Vec<Edge> = stream.edges().collect();
+        assert_eq!(a, b, "stream not replayable");
+    }
+}

@@ -1,0 +1,181 @@
+//! Power-law configuration-model streams.
+
+use std::collections::HashSet;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use super::rng_from_seed;
+use crate::stream::EdgeStream;
+use crate::types::Edge;
+
+/// A configuration-model graph with a discrete power-law degree sequence
+/// `P(d) ∝ d^(−alpha)` truncated to `[1, max_degree]`.
+///
+/// Unlike Barabási–Albert (whose exponent is pinned near 3), the
+/// configuration model lets experiments *sweep the skew*: E11 varies
+/// `alpha` from 2.0 (extremely heavy tail) to 3.5 (mild) to show where
+/// vertex-biased sampling pays off.
+///
+/// Stubs are paired uniformly at random; self-loops and duplicate pairs
+/// are discarded (the standard "erased" configuration model), so the
+/// realized edge count is slightly below `Σd/2` on heavy-tailed inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLawConfig {
+    n: u64,
+    alpha: f64,
+    max_degree: u64,
+    seed: u64,
+}
+
+impl PowerLawConfig {
+    /// `n` vertices, exponent `alpha > 1`, degrees truncated to
+    /// `[1, max_degree]`.
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 1` (non-normalizable), `max_degree == 0`, or
+    /// `n < 2`.
+    #[must_use]
+    pub fn new(n: u64, alpha: f64, max_degree: u64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two vertices");
+        assert!(alpha > 1.0, "power-law exponent must exceed 1, got {alpha}");
+        assert!(max_degree >= 1, "max_degree must be positive");
+        Self {
+            n,
+            alpha,
+            max_degree: max_degree.min(n - 1),
+            seed,
+        }
+    }
+
+    /// Samples one degree from the truncated zeta distribution by
+    /// inverse-CDF over the precomputed table.
+    fn sample_degree(cdf: &[f64], rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        // Binary search for the first entry >= u.
+        match cdf.binary_search_by(|w| w.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) | Err(i) => (i as u64) + 1,
+        }
+    }
+
+    fn degree_cdf(&self) -> Vec<f64> {
+        let weights: Vec<f64> = (1..=self.max_degree)
+            .map(|d| (d as f64).powf(-self.alpha))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc.min(1.0)
+            })
+            .collect()
+    }
+}
+
+impl EdgeStream for PowerLawConfig {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        let mut rng = rng_from_seed(self.seed);
+        let cdf = self.degree_cdf();
+
+        // Stub list: vertex v appears deg(v) times.
+        let mut stubs: Vec<u64> = Vec::new();
+        for v in 0..self.n {
+            let d = Self::sample_degree(&cdf, &mut rng);
+            for _ in 0..d {
+                stubs.push(v);
+            }
+        }
+        if stubs.len() % 2 == 1 {
+            stubs.pop(); // even number of stubs required
+        }
+        stubs.shuffle(&mut rng);
+
+        let mut seen: HashSet<(u64, u64)> = HashSet::with_capacity(stubs.len() / 2);
+        let mut edges: Vec<Edge> = Vec::with_capacity(stubs.len() / 2);
+        for pair in stubs.chunks_exact(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v {
+                continue; // erased self-loop
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key) {
+                edges.push(Edge::new(key.0, key.1, edges.len() as u64));
+            }
+        }
+        edges.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::AdjacencyGraph;
+    use crate::generators::testutil::{assert_replayable, assert_simple_stream};
+
+    #[test]
+    fn stream_is_simple_and_replayable() {
+        let g = PowerLawConfig::new(500, 2.5, 100, 7);
+        assert_simple_stream(&g);
+        assert_replayable(&g);
+    }
+
+    #[test]
+    fn degrees_respect_truncation() {
+        let g = PowerLawConfig::new(400, 2.2, 20, 3);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        for v in adj.vertices() {
+            assert!(adj.degree(v) <= 20, "degree cap violated at {v}");
+        }
+    }
+
+    #[test]
+    fn heavier_tail_for_smaller_alpha() {
+        let light = PowerLawConfig::new(3000, 3.5, 500, 5);
+        let heavy = PowerLawConfig::new(3000, 2.0, 500, 5);
+        let max_deg = |g: &PowerLawConfig| {
+            let adj = AdjacencyGraph::from_edges(g.edges());
+            adj.vertices().map(|v| adj.degree(v)).max().unwrap_or(0)
+        };
+        assert!(
+            max_deg(&heavy) > max_deg(&light),
+            "alpha sweep did not change the tail"
+        );
+    }
+
+    #[test]
+    fn most_vertices_low_degree() {
+        let g = PowerLawConfig::new(2000, 2.5, 200, 9);
+        let adj = AdjacencyGraph::from_edges(g.edges());
+        let low = adj.vertices().filter(|&v| adj.degree(v) <= 2).count();
+        assert!(
+            low * 2 > adj.vertex_count(),
+            "power law should put most mass at degree 1-2: {low}/{}",
+            adj.vertex_count()
+        );
+    }
+
+    #[test]
+    fn sample_degree_covers_support() {
+        let g = PowerLawConfig::new(100, 2.0, 8, 1);
+        let cdf = g.degree_cdf();
+        let mut rng = super::rng_from_seed(42);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let d = PowerLawConfig::sample_degree(&cdf, &mut rng);
+            assert!((1..=8).contains(&d));
+            seen.insert(d);
+        }
+        assert!(seen.contains(&1), "mode of the distribution never drawn");
+        assert!(seen.len() >= 4, "support barely covered: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn alpha_one_rejected() {
+        let _ = PowerLawConfig::new(10, 1.0, 5, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Interning string vertex labels to dense [`VertexId`]s.
+//!
+//! Real feeds carry user names, DOIs, URLs — not integers. The interner
+//! maps labels to dense ids on first sight (stream-friendly: one pass,
+//! no pre-registration) and keeps the reverse table so results can be
+//! reported in the original vocabulary.
+
+use std::collections::HashMap;
+
+use crate::error::StreamError;
+use crate::stream::MemoryStream;
+use crate::types::{Edge, VertexId};
+
+/// A bidirectional label ⇄ id map with dense, first-seen-ordered ids.
+#[derive(Debug, Clone, Default)]
+pub struct VertexInterner {
+    ids: HashMap<String, VertexId>,
+    labels: Vec<String>,
+}
+
+impl VertexInterner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The id of `label`, allocating the next dense id on first sight.
+    pub fn intern(&mut self, label: &str) -> VertexId {
+        if let Some(&id) = self.ids.get(label) {
+            return id;
+        }
+        let id = VertexId(self.labels.len() as u64);
+        self.ids.insert(label.to_string(), id);
+        self.labels.push(label.to_string());
+        id
+    }
+
+    /// The id of `label` if already interned.
+    #[must_use]
+    pub fn get(&self, label: &str) -> Option<VertexId> {
+        self.ids.get(label).copied()
+    }
+
+    /// The label of `id`, if allocated.
+    #[must_use]
+    pub fn label(&self, id: VertexId) -> Option<&str> {
+        self.labels.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of distinct labels interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Reads a labeled edge list (`label1,label2[,ts]` per line, `#`
+/// comments, optional header impossible to distinguish from data — so no
+/// header handling) interning labels into `interner`. Timestamps default
+/// to the record index.
+///
+/// # Errors
+/// [`StreamError::Parse`] with the 1-based line number on malformed
+/// records.
+pub fn read_labeled_csv(
+    r: impl std::io::BufRead,
+    interner: &mut VertexInterner,
+) -> Result<MemoryStream, StreamError> {
+    let mut out = MemoryStream::new();
+    let mut index = 0u64;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let position = lineno as u64 + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',').map(str::trim);
+        let src = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or(StreamError::Parse {
+                position,
+                reason: "missing src label".into(),
+            })?;
+        let dst = parts
+            .next()
+            .filter(|s| !s.is_empty())
+            .ok_or(StreamError::Parse {
+                position,
+                reason: "missing dst label".into(),
+            })?;
+        let ts = match parts.next() {
+            Some(f) if !f.is_empty() => f.parse::<u64>().map_err(|e| StreamError::Parse {
+                position,
+                reason: format!("bad ts field {f:?}: {e}"),
+            })?,
+            _ => index,
+        };
+        let (s, d) = (interner.intern(src), interner.intern(dst));
+        out.push(Edge { src: s, dst: d, ts });
+        index += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = VertexInterner::new();
+        let a = i.intern("alice");
+        let b = i.intern("bob");
+        assert_eq!(i.intern("alice"), a);
+        assert_eq!(a, VertexId(0));
+        assert_eq!(b, VertexId(1));
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut i = VertexInterner::new();
+        let a = i.intern("alice");
+        assert_eq!(i.label(a), Some("alice"));
+        assert_eq!(i.get("alice"), Some(a));
+        assert_eq!(i.get("carol"), None);
+        assert_eq!(i.label(VertexId(99)), None);
+    }
+
+    #[test]
+    fn labeled_csv_parses_and_interns() {
+        let input = "# coauthors\nknuth,dijkstra\nknuth,hoare,50\ndijkstra,hoare\n";
+        let mut interner = VertexInterner::new();
+        let stream = read_labeled_csv(input.as_bytes(), &mut interner).unwrap();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(interner.len(), 3);
+        // knuth interned first → id 0; explicit ts honored.
+        assert_eq!(stream.as_slice()[0].src, VertexId(0));
+        assert_eq!(stream.as_slice()[1].ts, 50);
+        assert_eq!(stream.as_slice()[2].ts, 2);
+        assert_eq!(interner.label(stream.as_slice()[2].dst), Some("hoare"));
+    }
+
+    #[test]
+    fn labeled_csv_reports_errors() {
+        let mut interner = VertexInterner::new();
+        let err = read_labeled_csv("a\n".as_bytes(), &mut interner).unwrap_err();
+        assert!(
+            matches!(err, StreamError::Parse { position: 1, .. }),
+            "{err}"
+        );
+        let err = read_labeled_csv("a,b,xyz\n".as_bytes(), &mut VertexInterner::new()).unwrap_err();
+        assert!(err.to_string().contains("xyz"), "{err}");
+    }
+
+    #[test]
+    fn interner_survives_multiple_files() {
+        let mut interner = VertexInterner::new();
+        let s1 = read_labeled_csv("a,b\n".as_bytes(), &mut interner).unwrap();
+        let s2 = read_labeled_csv("b,c\n".as_bytes(), &mut interner).unwrap();
+        // "b" resolves to the same id across files.
+        assert_eq!(s1.as_slice()[0].dst, s2.as_slice()[0].src);
+        assert_eq!(interner.len(), 3);
+    }
+}

@@ -1,0 +1,479 @@
+//! Edge-list codecs: human-readable CSV and a length-prefixed binary
+//! format for fast replay of large streams.
+//!
+//! The binary format is:
+//!
+//! ```text
+//! magic  u32 LE  = 0x534C_4B31  ("SLK1")
+//! count  u64 LE  = number of records
+//! record { src: u64 LE, dst: u64 LE, ts: u64 LE }  × count
+//! ```
+//!
+//! Fixed-width records keep encode/decode branch-free; a 10M-edge stream
+//! is 240 MB, fine for laptop-scale replay files.
+
+use std::io::{BufRead, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::StreamError;
+use crate::stream::MemoryStream;
+use crate::types::Edge;
+
+/// Magic number of the fixed-width binary stream format ("SLK1").
+pub const BINARY_MAGIC: u32 = 0x534C_4B31;
+
+/// Magic number of the compact varint stream format ("SLK2").
+pub const COMPACT_MAGIC: u32 = 0x534C_4B32;
+
+/// Writes a stream as `src,dst,ts` CSV lines (with header).
+///
+/// # Errors
+/// Returns any underlying IO error.
+pub fn write_csv(edges: &[Edge], mut w: impl Write) -> Result<(), StreamError> {
+    writeln!(w, "src,dst,ts")?;
+    for e in edges {
+        writeln!(w, "{},{},{}", e.src.0, e.dst.0, e.ts)?;
+    }
+    Ok(())
+}
+
+/// Reads `src,dst[,ts]` CSV. A header line is auto-detected and skipped;
+/// missing timestamps default to the line index. Blank lines and `#`
+/// comments are ignored.
+///
+/// # Errors
+/// Returns [`StreamError::Parse`] with the 1-based line number on any
+/// malformed record.
+pub fn read_csv(r: impl BufRead) -> Result<MemoryStream, StreamError> {
+    let mut out = MemoryStream::new();
+    let mut index = 0u64;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let position = lineno as u64 + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split(',').map(str::trim);
+        let src = parts.next().unwrap_or("");
+        if lineno == 0 && src.parse::<u64>().is_err() {
+            continue; // header row
+        }
+        let parse = |field: &str, name: &str| -> Result<u64, StreamError> {
+            field.parse::<u64>().map_err(|e| StreamError::Parse {
+                position,
+                reason: format!("bad {name} field {field:?}: {e}"),
+            })
+        };
+        let src = parse(src, "src")?;
+        let dst = parse(
+            parts.next().ok_or(StreamError::Parse {
+                position,
+                reason: "missing dst field".into(),
+            })?,
+            "dst",
+        )?;
+        let ts = match parts.next() {
+            Some(f) if !f.is_empty() => parse(f, "ts")?,
+            _ => index,
+        };
+        out.push(Edge::new(src, dst, ts));
+        index += 1;
+    }
+    Ok(out)
+}
+
+/// Encodes a stream into the binary format.
+#[must_use]
+pub fn encode_binary(edges: &[Edge]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + edges.len() * 24);
+    buf.put_u32_le(BINARY_MAGIC);
+    buf.put_u64_le(edges.len() as u64);
+    for e in edges {
+        buf.put_u64_le(e.src.0);
+        buf.put_u64_le(e.dst.0);
+        buf.put_u64_le(e.ts);
+    }
+    buf.freeze()
+}
+
+/// Decodes the binary format.
+///
+/// # Errors
+/// [`StreamError::BadHeader`] on magic mismatch, [`StreamError::Truncated`]
+/// if the payload ends before the promised record count.
+pub fn decode_binary(mut buf: impl Buf) -> Result<MemoryStream, StreamError> {
+    if buf.remaining() < 12 {
+        return Err(StreamError::BadHeader(format!(
+            "payload of {} bytes is smaller than the 12-byte header",
+            buf.remaining()
+        )));
+    }
+    let magic = buf.get_u32_le();
+    if magic != BINARY_MAGIC {
+        return Err(StreamError::BadHeader(format!(
+            "magic {magic:#x}, expected {BINARY_MAGIC:#x}"
+        )));
+    }
+    let count = buf.get_u64_le();
+    let mut out = MemoryStream::new();
+    for i in 0..count {
+        if buf.remaining() < 24 {
+            return Err(StreamError::Truncated {
+                expected: count,
+                actual: i,
+            });
+        }
+        let src = buf.get_u64_le();
+        let dst = buf.get_u64_le();
+        let ts = buf.get_u64_le();
+        out.push(Edge::new(src, dst, ts));
+    }
+    Ok(out)
+}
+
+/// Reads SNAP-style whitespace-separated edge lists (`u v` or `u\tv` per
+/// line, `#` comments), the format the paper's real datasets ship in.
+/// Timestamps default to the record index (SNAP snapshots are unordered;
+/// treat file order as arrival order).
+///
+/// # Errors
+/// [`StreamError::Parse`] with the 1-based line number on malformed
+/// records.
+pub fn read_snap(r: impl BufRead) -> Result<MemoryStream, StreamError> {
+    let mut out = MemoryStream::new();
+    let mut index = 0u64;
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let position = lineno as u64 + 1;
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |field: Option<&str>, name: &str| -> Result<u64, StreamError> {
+            let raw = field.ok_or_else(|| StreamError::Parse {
+                position,
+                reason: format!("missing {name} field"),
+            })?;
+            raw.parse::<u64>().map_err(|e| StreamError::Parse {
+                position,
+                reason: format!("bad {name} field {raw:?}: {e}"),
+            })
+        };
+        let src = parse(parts.next(), "src")?;
+        let dst = parse(parts.next(), "dst")?;
+        out.push(Edge::new(src, dst, index));
+        index += 1;
+    }
+    Ok(out)
+}
+
+/// LEB128 varint encode.
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// LEB128 varint decode; `None` on truncation or >10-byte overlong runs.
+fn get_varint(buf: &mut impl Buf) -> Option<u64> {
+    let mut value = 0u64;
+    for shift in (0..64).step_by(7) {
+        if !buf.has_remaining() {
+            return None;
+        }
+        let byte = buf.get_u8();
+        value |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+    }
+    None
+}
+
+/// Zigzag encoding of a signed delta into an unsigned varint payload.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Encodes a stream into the compact varint format ("SLK2"): vertex ids
+/// as raw varints, timestamps as zigzag deltas from the previous record.
+/// Typically 4–6× smaller than [`encode_binary`] for generator-scale ids
+/// with sequential timestamps.
+#[must_use]
+pub fn encode_compact(edges: &[Edge]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + edges.len() * 6);
+    buf.put_u32_le(COMPACT_MAGIC);
+    put_varint(&mut buf, edges.len() as u64);
+    let mut prev_ts = 0i64;
+    for e in edges {
+        put_varint(&mut buf, e.src.0);
+        put_varint(&mut buf, e.dst.0);
+        let ts = e.ts as i64;
+        put_varint(&mut buf, zigzag(ts.wrapping_sub(prev_ts)));
+        prev_ts = ts;
+    }
+    buf.freeze()
+}
+
+/// Decodes the compact varint format.
+///
+/// # Errors
+/// [`StreamError::BadHeader`] on magic mismatch, [`StreamError::Truncated`]
+/// when the payload ends mid-stream.
+pub fn decode_compact(mut buf: impl Buf) -> Result<MemoryStream, StreamError> {
+    if buf.remaining() < 4 {
+        return Err(StreamError::BadHeader(format!(
+            "payload of {} bytes is smaller than the 4-byte magic",
+            buf.remaining()
+        )));
+    }
+    let magic = buf.get_u32_le();
+    if magic != COMPACT_MAGIC {
+        return Err(StreamError::BadHeader(format!(
+            "magic {magic:#x}, expected {COMPACT_MAGIC:#x}"
+        )));
+    }
+    let count = get_varint(&mut buf)
+        .ok_or_else(|| StreamError::BadHeader("truncated count varint".into()))?;
+    let mut out = MemoryStream::new();
+    let mut prev_ts = 0i64;
+    for i in 0..count {
+        let record = (|| {
+            let src = get_varint(&mut buf)?;
+            let dst = get_varint(&mut buf)?;
+            let delta = unzigzag(get_varint(&mut buf)?);
+            Some((src, dst, delta))
+        })();
+        let Some((src, dst, delta)) = record else {
+            return Err(StreamError::Truncated {
+                expected: count,
+                actual: i,
+            });
+        };
+        let ts = prev_ts.wrapping_add(delta);
+        prev_ts = ts;
+        out.push(Edge::new(src, dst, ts as u64));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::EdgeStream;
+
+    fn toy() -> Vec<Edge> {
+        vec![
+            Edge::new(0u64, 1u64, 0),
+            Edge::new(1u64, 2u64, 5),
+            Edge::new(9u64, 3u64, 7),
+        ]
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut buf = Vec::new();
+        write_csv(&toy(), &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.as_slice(), toy().as_slice());
+    }
+
+    #[test]
+    fn csv_without_header_or_ts() {
+        let input = "0,1\n1,2\n# a comment\n\n2,3\n";
+        let s = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 3);
+        // Missing ts defaults to record index.
+        assert_eq!(s.as_slice()[2].ts, 2);
+    }
+
+    #[test]
+    fn csv_reports_line_numbers() {
+        let input = "src,dst,ts\n0,1,0\n0,potato,1\n";
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        match err {
+            StreamError::Parse { position, reason } => {
+                assert_eq!(position, 3);
+                assert!(reason.contains("potato"), "{reason}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn csv_missing_dst_is_parse_error() {
+        let err = read_csv("5\n".as_bytes()).unwrap_err();
+        assert!(
+            matches!(err, StreamError::Parse { position: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let bytes = encode_binary(&toy());
+        let back = decode_binary(bytes).unwrap();
+        assert_eq!(back.as_slice(), toy().as_slice());
+    }
+
+    #[test]
+    fn binary_empty_roundtrip() {
+        let bytes = encode_binary(&[]);
+        assert_eq!(decode_binary(bytes).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut bytes = encode_binary(&toy()).to_vec();
+        bytes[0] ^= 0xFF;
+        let err = decode_binary(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, StreamError::BadHeader(_)), "{err}");
+    }
+
+    #[test]
+    fn binary_detects_truncation() {
+        let bytes = encode_binary(&toy());
+        let cut = &bytes[..bytes.len() - 8];
+        let err = decode_binary(cut).unwrap_err();
+        match err {
+            StreamError::Truncated {
+                expected: 3,
+                actual: 2,
+            } => {}
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_tiny_payload() {
+        let err = decode_binary(&b"abc"[..]).unwrap_err();
+        assert!(matches!(err, StreamError::BadHeader(_)));
+    }
+
+    #[test]
+    fn snap_parses_whitespace_and_comments() {
+        let input = "# SNAP-style header\n% konect-style comment\n0\t1\n1 2\n  3   4  \n";
+        let s = read_snap(input.as_bytes()).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice()[0], Edge::new(0u64, 1u64, 0));
+        assert_eq!(s.as_slice()[2], Edge::new(3u64, 4u64, 2));
+    }
+
+    #[test]
+    fn snap_reports_bad_lines() {
+        let err = read_snap("0 1\n7\n".as_bytes()).unwrap_err();
+        match err {
+            StreamError::Parse {
+                position: 2,
+                reason,
+            } => {
+                assert!(reason.contains("dst"), "{reason}");
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let err = read_snap("a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, StreamError::Parse { position: 1, .. }));
+    }
+
+    #[test]
+    fn varint_roundtrip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn varint_truncation_is_none() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, u64::MAX);
+        let full = buf.freeze();
+        let mut cut = &full[..full.len() - 1];
+        assert_eq!(get_varint(&mut cut), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let back = decode_compact(encode_compact(&toy())).unwrap();
+        assert_eq!(back.as_slice(), toy().as_slice());
+    }
+
+    #[test]
+    fn compact_roundtrip_generator_stream() {
+        let stream = crate::generators::BarabasiAlbert::new(200, 3, 9).materialize();
+        let bytes = encode_compact(stream.as_slice());
+        assert_eq!(decode_compact(bytes).unwrap(), stream);
+    }
+
+    #[test]
+    fn compact_is_much_smaller_than_fixed() {
+        let stream = crate::generators::BarabasiAlbert::new(500, 3, 9).materialize();
+        let fixed = encode_binary(stream.as_slice()).len();
+        let compact = encode_compact(stream.as_slice()).len();
+        assert!(
+            compact * 4 < fixed,
+            "compact {compact} bytes should be <1/4 of fixed {fixed}"
+        );
+    }
+
+    #[test]
+    fn compact_handles_nonmonotonic_timestamps() {
+        let edges = vec![
+            Edge::new(1u64, 2u64, 100),
+            Edge::new(2u64, 3u64, 5), // timestamp goes backwards
+            Edge::new(3u64, 4u64, u64::MAX),
+        ];
+        let back = decode_compact(encode_compact(&edges)).unwrap();
+        assert_eq!(back.as_slice(), edges.as_slice());
+    }
+
+    #[test]
+    fn compact_rejects_bad_magic_and_truncation() {
+        let mut bytes = encode_compact(&toy()).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode_compact(bytes.as_slice()),
+            Err(StreamError::BadHeader(_))
+        ));
+
+        let good = encode_compact(&toy());
+        let cut = &good[..good.len() - 1];
+        assert!(matches!(
+            decode_compact(cut),
+            Err(StreamError::Truncated { expected: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn large_stream_roundtrips_through_both_codecs() {
+        let stream = crate::generators::ErdosRenyi::new(100, 500, 1).materialize();
+        let bin = decode_binary(encode_binary(stream.as_slice())).unwrap();
+        assert_eq!(bin, stream);
+        let mut csv = Vec::new();
+        write_csv(stream.as_slice(), &mut csv).unwrap();
+        assert_eq!(read_csv(csv.as_slice()).unwrap(), stream);
+    }
+}

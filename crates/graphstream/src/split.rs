@@ -1,0 +1,141 @@
+//! Temporal train/test splitting for link-prediction evaluation.
+//!
+//! Link prediction is evaluated *forward in time*: feed the model the
+//! first `fraction` of the stream, then score its ability to predict the
+//! edges that arrive afterwards. [`TemporalSplit`] also filters the test
+//! side down to *novel* edges — pairs not already connected in the train
+//! prefix — because re-deliveries are trivially "predictable".
+
+use std::collections::HashSet;
+
+use crate::stream::{EdgeStream, MemoryStream};
+use crate::types::Edge;
+
+/// A temporal split of a stream into a train prefix and a test suffix.
+///
+/// ```
+/// use graphstream::{BarabasiAlbert, TemporalSplit};
+///
+/// let stream = BarabasiAlbert::new(100, 2, 1);
+/// let split = TemporalSplit::at_fraction(&stream, 0.8);
+/// assert!(!split.train().is_empty());
+/// // Every test pair is novel with respect to the train prefix.
+/// assert!(!split.test().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TemporalSplit {
+    train: MemoryStream,
+    test: MemoryStream,
+}
+
+impl TemporalSplit {
+    /// Splits `stream` at `fraction` (0 < fraction < 1) of its length.
+    ///
+    /// The test side keeps only edges whose endpoint pair does not occur
+    /// in the train prefix, deduplicated.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1)`.
+    #[must_use]
+    pub fn at_fraction(stream: &impl EdgeStream, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction {fraction} outside (0, 1)"
+        );
+        let edges: Vec<Edge> = stream.edges().collect();
+        let cut = ((edges.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, edges.len().saturating_sub(1).max(1));
+
+        let train: Vec<Edge> = edges[..cut].to_vec();
+        let train_keys: HashSet<_> = train.iter().map(|e| e.key()).collect();
+
+        let mut test_keys = HashSet::new();
+        let test: Vec<Edge> = edges[cut..]
+            .iter()
+            .copied()
+            .filter(|e| !e.is_loop())
+            .filter(|e| !train_keys.contains(&e.key()))
+            .filter(|e| test_keys.insert(e.key()))
+            .collect();
+
+        Self {
+            train: MemoryStream::from_edges(train),
+            test: MemoryStream::from_edges(test),
+        }
+    }
+
+    /// The training prefix (feed this to models).
+    #[must_use]
+    pub fn train(&self) -> &MemoryStream {
+        &self.train
+    }
+
+    /// The novel future edges (the positive class).
+    #[must_use]
+    pub fn test(&self) -> &MemoryStream {
+        &self.test
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::BarabasiAlbert;
+    use crate::types::VertexId;
+
+    #[test]
+    fn split_partitions_in_order() {
+        let s = MemoryStream::from_edges((0..100u64).map(|i| Edge::new(i, i + 1, i)));
+        let split = TemporalSplit::at_fraction(&s, 0.8);
+        assert_eq!(split.train().len(), 80);
+        assert_eq!(split.test().len(), 20);
+        assert!(split.train().as_slice().iter().all(|e| e.ts < 80));
+        assert!(split.test().as_slice().iter().all(|e| e.ts >= 80));
+    }
+
+    #[test]
+    fn test_side_excludes_known_pairs() {
+        let s = MemoryStream::from_edges([
+            Edge::new(0u64, 1u64, 0),
+            Edge::new(1u64, 2u64, 1),
+            Edge::new(2u64, 3u64, 2),
+            Edge::new(0u64, 1u64, 3), // re-delivery of a train edge
+            Edge::new(3u64, 4u64, 4),
+        ]);
+        let split = TemporalSplit::at_fraction(&s, 0.6);
+        let keys: Vec<_> = split.test().as_slice().iter().map(|e| e.key()).collect();
+        assert_eq!(keys, vec![(VertexId(3), VertexId(4))]);
+    }
+
+    #[test]
+    fn test_side_deduplicates() {
+        let s = MemoryStream::from_edges([
+            Edge::new(0u64, 1u64, 0),
+            Edge::new(2u64, 3u64, 1),
+            Edge::new(3u64, 2u64, 2), // same undirected pair, other order
+        ]);
+        let split = TemporalSplit::at_fraction(&s, 0.34);
+        assert_eq!(split.test().len(), 1);
+    }
+
+    #[test]
+    fn realistic_stream_yields_nonempty_sides() {
+        let g = BarabasiAlbert::new(500, 3, 7);
+        let split = TemporalSplit::at_fraction(&g, 0.8);
+        assert!(!split.train().is_empty());
+        assert!(!split.test().is_empty());
+        // All test pairs genuinely novel w.r.t. train.
+        let train_keys: std::collections::HashSet<_> =
+            split.train().as_slice().iter().map(|e| e.key()).collect();
+        for e in split.test().as_slice() {
+            assert!(!train_keys.contains(&e.key()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_fraction_rejected() {
+        let s = MemoryStream::from_edges([Edge::new(0u64, 1u64, 0)]);
+        let _ = TemporalSplit::at_fraction(&s, 1.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Single-pass stream statistics for the dataset tables (experiment E1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{Edge, VertexId};
+
+/// Accumulates summary statistics over one pass of an edge stream.
+///
+/// Degree counts assume the simple-graph stream contract (each undirected
+/// edge delivered once); duplicate deliveries would inflate degrees here,
+/// which is exactly the bias the exact [`crate::AdjacencyGraph`] avoids —
+/// use that when the stream is untrusted.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    degrees: HashMap<VertexId, u64>,
+    edges: u64,
+    self_loops: u64,
+}
+
+/// A finished summary, serializable for experiment output.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Number of distinct vertices observed.
+    pub vertices: u64,
+    /// Number of edges offered (including self-loops).
+    pub edges: u64,
+    /// Self-loops seen (excluded from degrees).
+    pub self_loops: u64,
+    /// Mean degree `2m / n`.
+    pub avg_degree: f64,
+    /// Largest observed degree.
+    pub max_degree: u64,
+    /// Degree skewness proxy: `max_degree / avg_degree`. ≈1 for regular
+    /// graphs, ≫1 for power laws.
+    pub skew: f64,
+    /// Share of vertices with degree ≤ 2 (the long tail).
+    pub tail_fraction: f64,
+}
+
+impl StreamStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one stream edge.
+    pub fn observe(&mut self, edge: Edge) {
+        self.edges += 1;
+        if edge.is_loop() {
+            self.self_loops += 1;
+            return;
+        }
+        *self.degrees.entry(edge.src).or_insert(0) += 1;
+        *self.degrees.entry(edge.dst).or_insert(0) += 1;
+    }
+
+    /// Consumes a whole stream.
+    #[must_use]
+    pub fn from_edges(edges: impl IntoIterator<Item = Edge>) -> Self {
+        let mut s = Self::new();
+        for e in edges {
+            s.observe(e);
+        }
+        s
+    }
+
+    /// Finalizes the summary.
+    #[must_use]
+    pub fn summary(&self) -> StatsSummary {
+        let vertices = self.degrees.len() as u64;
+        let max_degree = self.degrees.values().copied().max().unwrap_or(0);
+        let avg_degree = if vertices == 0 {
+            0.0
+        } else {
+            self.degrees.values().sum::<u64>() as f64 / vertices as f64
+        };
+        let tail = self.degrees.values().filter(|&&d| d <= 2).count();
+        StatsSummary {
+            vertices,
+            edges: self.edges,
+            self_loops: self.self_loops,
+            avg_degree,
+            max_degree,
+            skew: if avg_degree > 0.0 {
+                max_degree as f64 / avg_degree
+            } else {
+                0.0
+            },
+            tail_fraction: if vertices == 0 {
+                0.0
+            } else {
+                tail as f64 / vertices as f64
+            },
+        }
+    }
+
+    /// The degree of one vertex so far.
+    #[must_use]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.degrees.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Degree percentiles at the requested quantiles (each in `[0, 1]`),
+    /// by the nearest-rank method over observed vertices. Returns one
+    /// value per requested quantile; empty if no vertex has been seen.
+    ///
+    /// # Panics
+    /// Panics if any quantile is outside `[0, 1]`.
+    #[must_use]
+    pub fn degree_percentiles(&self, quantiles: &[f64]) -> Vec<u64> {
+        if self.degrees.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted: Vec<u64> = self.degrees.values().copied().collect();
+        sorted.sort_unstable();
+        quantiles
+            .iter()
+            .map(|&q| {
+                assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            })
+            .collect()
+    }
+
+    /// A base-2 log-binned degree histogram: entry `i` counts vertices
+    /// with degree in `[2^i, 2^(i+1))`; degree-0 vertices are impossible
+    /// here (a vertex exists only once an edge touches it). The standard
+    /// visualization-ready form for power-law degree data.
+    #[must_use]
+    pub fn degree_histogram_log2(&self) -> Vec<u64> {
+        let mut bins: Vec<u64> = Vec::new();
+        for &d in self.degrees.values() {
+            let bin = 63 - d.max(1).leading_zeros() as usize;
+            if bins.len() <= bin {
+                bins.resize(bin + 1, 0);
+            }
+            bins[bin] += 1;
+        }
+        bins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{BarabasiAlbert, ErdosRenyi, WattsStrogatz};
+    use crate::stream::EdgeStream;
+
+    #[test]
+    fn triangle_stats() {
+        let s = StreamStats::from_edges([
+            Edge::new(0u64, 1u64, 0),
+            Edge::new(1u64, 2u64, 1),
+            Edge::new(2u64, 0u64, 2),
+        ]);
+        let sum = s.summary();
+        assert_eq!(sum.vertices, 3);
+        assert_eq!(sum.edges, 3);
+        assert_eq!(sum.max_degree, 2);
+        assert!((sum.avg_degree - 2.0).abs() < 1e-12);
+        assert!((sum.skew - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loops_counted_but_excluded_from_degrees() {
+        let s = StreamStats::from_edges([Edge::new(0u64, 0u64, 0), Edge::new(0u64, 1u64, 1)]);
+        let sum = s.summary();
+        assert_eq!(sum.self_loops, 1);
+        assert_eq!(sum.edges, 2);
+        assert_eq!(s.degree(VertexId(0)), 1);
+    }
+
+    #[test]
+    fn empty_stream_is_all_zeros() {
+        let sum = StreamStats::new().summary();
+        assert_eq!(sum.vertices, 0);
+        assert_eq!(sum.avg_degree, 0.0);
+        assert_eq!(sum.skew, 0.0);
+        assert_eq!(sum.tail_fraction, 0.0);
+    }
+
+    #[test]
+    fn ba_is_more_skewed_than_ws() {
+        let ba = StreamStats::from_edges(BarabasiAlbert::new(2000, 2, 1).edges()).summary();
+        let ws = StreamStats::from_edges(WattsStrogatz::new(2000, 4, 0.1, 1).edges()).summary();
+        assert!(
+            ba.skew > 3.0 * ws.skew,
+            "expected BA ({}) ≫ WS ({}) skew",
+            ba.skew,
+            ws.skew
+        );
+    }
+
+    #[test]
+    fn er_degrees_match_expectation() {
+        let er = StreamStats::from_edges(ErdosRenyi::new(1000, 5000, 2).edges()).summary();
+        assert_eq!(er.edges, 5000);
+        // avg degree ≈ 2m/n = 10 (within sampling noise; all 1000 vertices
+        // are expected to be hit at this density).
+        assert!((er.avg_degree - 10.0).abs() < 1.0, "avg {}", er.avg_degree);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        // Degrees: path graph 0-1-2-3-4 → degrees [1, 2, 2, 2, 1].
+        let s = StreamStats::from_edges((0..4u64).map(|i| Edge::new(i, i + 1, i)));
+        assert_eq!(s.degree_percentiles(&[0.0, 0.5, 1.0]), vec![1, 2, 2]);
+        // Median of a regular ring is the common degree.
+        let ring = StreamStats::from_edges((0..10u64).map(|i| Edge::new(i, (i + 1) % 10, i)));
+        assert_eq!(ring.degree_percentiles(&[0.5]), vec![2]);
+        assert!(StreamStats::new().degree_percentiles(&[0.5]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_quantile_rejected() {
+        let s = StreamStats::from_edges([Edge::new(0u64, 1u64, 0)]);
+        let _ = s.degree_percentiles(&[1.5]);
+    }
+
+    #[test]
+    fn log2_histogram_bins_correctly() {
+        // Star with 8 leaves: center degree 8 (bin 3), leaves degree 1
+        // (bin 0).
+        let s = StreamStats::from_edges((1..=8u64).map(|i| Edge::new(0u64, i, i)));
+        let bins = s.degree_histogram_log2();
+        assert_eq!(bins[0], 8, "leaves");
+        assert_eq!(bins[3], 1, "hub");
+        assert_eq!(bins.iter().sum::<u64>(), 9, "every vertex binned once");
+    }
+
+    #[test]
+    fn histogram_tail_matches_skew() {
+        // BA histogram must occupy more bins (heavier tail) than WS.
+        let ba = StreamStats::from_edges(BarabasiAlbert::new(2000, 2, 1).edges())
+            .degree_histogram_log2();
+        let ws = StreamStats::from_edges(WattsStrogatz::new(2000, 4, 0.1, 1).edges())
+            .degree_histogram_log2();
+        assert!(
+            ba.len() > ws.len(),
+            "BA bins {} <= WS bins {}",
+            ba.len(),
+            ws.len()
+        );
+    }
+
+    #[test]
+    fn summary_serializes() {
+        let sum = StreamStats::from_edges([Edge::new(0u64, 1u64, 0)]).summary();
+        let json = serde_json::to_string(&sum).unwrap();
+        let back: StatsSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(sum, back);
+    }
+}

@@ -1,0 +1,199 @@
+//! The edge-stream abstraction and in-memory streams.
+//!
+//! Every stream source (generator, file loader, in-memory buffer)
+//! implements [`EdgeStream`]: a replayable, ordered source of edges.
+//! Replayability matters for experiments — the same stream is fed to the
+//! sketch store, the exact baseline and the reservoir baseline so that
+//! comparisons are apples-to-apples.
+
+use crate::types::Edge;
+
+/// A replayable source of stream edges in arrival order.
+///
+/// `edges()` returns a fresh iterator each call; implementations must
+/// yield the identical sequence every time (generators re-derive it from
+/// their seed).
+pub trait EdgeStream {
+    /// Iterator type over the edges.
+    type Iter: Iterator<Item = Edge>;
+
+    /// A fresh pass over the stream, in arrival order.
+    fn edges(&self) -> Self::Iter;
+
+    /// Number of edges, if known without consuming the stream.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Collects the stream into a [`MemoryStream`] (one materialized pass).
+    fn materialize(&self) -> MemoryStream {
+        MemoryStream::from_edges(self.edges())
+    }
+
+    /// A stream consisting of the first `n` edges of this one.
+    fn prefix(&self, n: usize) -> MemoryStream {
+        MemoryStream::from_edges(self.edges().take(n))
+    }
+}
+
+/// An in-memory, materialized edge stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryStream {
+    edges: Vec<Edge>,
+}
+
+impl MemoryStream {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from any edge iterator, preserving order.
+    #[must_use]
+    pub fn from_edges(edges: impl IntoIterator<Item = Edge>) -> Self {
+        Self {
+            edges: edges.into_iter().collect(),
+        }
+    }
+
+    /// Appends one edge at the back of the stream.
+    pub fn push(&mut self, edge: Edge) {
+        self.edges.push(edge);
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the stream holds no edges.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Borrowed view of the underlying edges.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Re-stamps timestamps to the arrival index `0..len`.
+    ///
+    /// Useful after interleaving or shuffling, when original timestamps no
+    /// longer reflect the order the consumer will see.
+    pub fn restamp(&mut self) {
+        for (i, e) in self.edges.iter_mut().enumerate() {
+            e.ts = i as u64;
+        }
+    }
+
+    /// Stable-sorts the edges by timestamp.
+    pub fn sort_by_ts(&mut self) {
+        self.edges.sort_by_key(|e| e.ts);
+    }
+}
+
+impl EdgeStream for MemoryStream {
+    type Iter = std::vec::IntoIter<Edge>;
+
+    fn edges(&self) -> Self::Iter {
+        self.edges.clone().into_iter()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.edges.len())
+    }
+}
+
+impl FromIterator<Edge> for MemoryStream {
+    fn from_iter<T: IntoIterator<Item = Edge>>(iter: T) -> Self {
+        Self::from_edges(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a MemoryStream {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Edge;
+
+    fn toy() -> MemoryStream {
+        MemoryStream::from_edges([
+            Edge::new(0u64, 1u64, 0),
+            Edge::new(1u64, 2u64, 1),
+            Edge::new(2u64, 3u64, 2),
+        ])
+    }
+
+    #[test]
+    fn replay_is_identical() {
+        let s = toy();
+        let a: Vec<_> = s.edges().collect();
+        let b: Vec<_> = s.edges().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn len_hint_matches() {
+        assert_eq!(toy().len_hint(), Some(3));
+        assert_eq!(toy().len(), 3);
+        assert!(!toy().is_empty());
+        assert!(MemoryStream::new().is_empty());
+    }
+
+    #[test]
+    fn prefix_takes_first_n() {
+        let p = toy().prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.as_slice()[1], Edge::new(1u64, 2u64, 1));
+    }
+
+    #[test]
+    fn prefix_longer_than_stream_is_whole_stream() {
+        assert_eq!(toy().prefix(99).len(), 3);
+    }
+
+    #[test]
+    fn materialize_equals_source() {
+        let s = toy();
+        assert_eq!(s.materialize(), s);
+    }
+
+    #[test]
+    fn restamp_renumbers_from_zero() {
+        let mut s =
+            MemoryStream::from_edges([Edge::new(0u64, 1u64, 100), Edge::new(1u64, 2u64, 50)]);
+        s.restamp();
+        assert_eq!(s.as_slice()[0].ts, 0);
+        assert_eq!(s.as_slice()[1].ts, 1);
+    }
+
+    #[test]
+    fn sort_by_ts_orders_stream() {
+        let mut s = MemoryStream::from_edges([
+            Edge::new(0u64, 1u64, 9),
+            Edge::new(1u64, 2u64, 3),
+            Edge::new(2u64, 3u64, 6),
+        ]);
+        s.sort_by_ts();
+        let ts: Vec<u64> = s.as_slice().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: MemoryStream = (0..5u64).map(|i| Edge::new(i, i + 1, i)).collect();
+        assert_eq!(s.len(), 5);
+    }
+}

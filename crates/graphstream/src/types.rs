@@ -1,0 +1,173 @@
+//! Core value types: vertex identifiers and stream edges.
+
+use serde::{Deserialize, Serialize};
+
+/// A vertex identifier.
+///
+/// A newtype over `u64` so vertex ids cannot be confused with counts,
+/// timestamps or hash words anywhere in the stack. Ids need not be dense;
+/// generators happen to produce `0..n` but nothing relies on it.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct VertexId(pub u64);
+
+impl VertexId {
+    /// The raw id.
+    #[inline]
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for VertexId {
+    fn from(v: u64) -> Self {
+        VertexId(v)
+    }
+}
+
+impl std::fmt::Display for VertexId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One undirected edge in a graph stream.
+///
+/// `ts` is a logical timestamp: generators use the arrival index, file
+/// loaders preserve whatever the source recorded. Streams are consumed in
+/// `ts` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// One endpoint.
+    pub src: VertexId,
+    /// The other endpoint.
+    pub dst: VertexId,
+    /// Logical arrival timestamp.
+    pub ts: u64,
+}
+
+impl Edge {
+    /// Creates an edge with an explicit timestamp.
+    #[inline]
+    #[must_use]
+    pub fn new(src: impl Into<VertexId>, dst: impl Into<VertexId>, ts: u64) -> Self {
+        Self {
+            src: src.into(),
+            dst: dst.into(),
+            ts,
+        }
+    }
+
+    /// The edge with endpoints swapped (same undirected edge).
+    #[inline]
+    #[must_use]
+    pub fn reversed(self) -> Self {
+        Self {
+            src: self.dst,
+            dst: self.src,
+            ts: self.ts,
+        }
+    }
+
+    /// Canonical form: endpoints ordered so `src <= dst`.
+    ///
+    /// Two deliveries of the same undirected edge canonicalize equal
+    /// (ignoring `ts`), which is what dedup structures key on.
+    #[inline]
+    #[must_use]
+    pub fn canonical(self) -> Self {
+        if self.src.0 <= self.dst.0 {
+            self
+        } else {
+            self.reversed()
+        }
+    }
+
+    /// The canonical `(min, max)` endpoint pair, the dedup key.
+    #[inline]
+    #[must_use]
+    pub fn key(self) -> (VertexId, VertexId) {
+        let c = self.canonical();
+        (c.src, c.dst)
+    }
+
+    /// Whether the edge is a self-loop.
+    ///
+    /// Self-loops carry no link-prediction signal (a vertex is trivially
+    /// its own neighbor) and are rejected by the adjacency store.
+    #[inline]
+    #[must_use]
+    pub fn is_loop(self) -> bool {
+        self.src == self.dst
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} -- {} @{})", self.src, self.dst, self.ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrips_raw() {
+        assert_eq!(VertexId(42).raw(), 42);
+        assert_eq!(VertexId::from(7u64), VertexId(7));
+    }
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        let e = Edge::new(9u64, 3u64, 5);
+        let c = e.canonical();
+        assert_eq!((c.src, c.dst), (VertexId(3), VertexId(9)));
+        assert_eq!(c.ts, 5, "canonicalization must preserve timestamps");
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let e = Edge::new(9u64, 3u64, 0).canonical();
+        assert_eq!(e, e.canonical());
+    }
+
+    #[test]
+    fn key_is_direction_independent() {
+        assert_eq!(
+            Edge::new(1u64, 2u64, 0).key(),
+            Edge::new(2u64, 1u64, 9).key()
+        );
+    }
+
+    #[test]
+    fn reversed_twice_is_identity() {
+        let e = Edge::new(4u64, 8u64, 1);
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::new(5u64, 5u64, 0).is_loop());
+        assert!(!Edge::new(5u64, 6u64, 0).is_loop());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Edge::new(1u64, 2u64, 3).to_string(), "(v1 -- v2 @3)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Edge::new(11u64, 22u64, 33);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Edge = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        // VertexId serializes transparently as a bare integer.
+        assert!(json.contains("11"), "json: {json}");
+        assert!(!json.contains("raw"), "json leaked struct shape: {json}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the stream substrate.
+
+use graphstream::io::{
+    decode_binary, decode_compact, encode_binary, encode_compact, read_csv, write_csv,
+};
+use graphstream::{AdjacencyGraph, Edge, EdgeReservoir, StreamStats, VertexId};
+use proptest::prelude::*;
+
+fn arb_edge() -> impl Strategy<Value = Edge> {
+    (0u64..500, 0u64..500, any::<u64>()).prop_map(|(u, v, ts)| Edge::new(u, v, ts))
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<Edge>> {
+    proptest::collection::vec(arb_edge(), 0..200)
+}
+
+proptest! {
+    /// Binary codec round-trips any stream exactly.
+    #[test]
+    fn binary_roundtrip(edges in arb_stream()) {
+        let back = decode_binary(encode_binary(&edges)).unwrap();
+        prop_assert_eq!(back.as_slice(), edges.as_slice());
+    }
+
+    /// Compact varint codec round-trips any stream exactly.
+    #[test]
+    fn compact_roundtrip(edges in arb_stream()) {
+        let back = decode_compact(encode_compact(&edges)).unwrap();
+        prop_assert_eq!(back.as_slice(), edges.as_slice());
+    }
+
+    /// Jaccard <= cosine <= overlap on every pair (standard inequality
+    /// chain for neighborhood measures).
+    #[test]
+    fn measure_inequality_chain(edges in arb_stream(), a in 0u64..500, b in 0u64..500) {
+        prop_assume!(a != b);
+        let g = AdjacencyGraph::from_edges(edges);
+        let (a, b) = (VertexId(a), VertexId(b));
+        prop_assert!(g.jaccard(a, b) <= g.cosine(a, b) + 1e-12);
+        prop_assert!(g.cosine(a, b) <= g.overlap(a, b) + 1e-12);
+        prop_assert!(g.overlap(a, b) <= 1.0 + 1e-12);
+    }
+
+    /// CSV codec round-trips any stream exactly.
+    #[test]
+    fn csv_roundtrip(edges in arb_stream()) {
+        let mut buf = Vec::new();
+        write_csv(&edges, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.as_slice(), edges.as_slice());
+    }
+
+    /// Adjacency invariants: handshake lemma, symmetry, simpleness.
+    #[test]
+    fn adjacency_invariants(edges in arb_stream()) {
+        let g = AdjacencyGraph::from_edges(edges);
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum as u64, 2 * g.edge_count());
+        prop_assert_eq!(g.edges().count() as u64, g.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(u != v);
+            prop_assert!(g.has_edge(u, v) && g.has_edge(v, u));
+        }
+    }
+
+    /// Exact Jaccard is always within [0, 1] and symmetric.
+    #[test]
+    fn jaccard_bounds(edges in arb_stream(), a in 0u64..500, b in 0u64..500) {
+        let g = AdjacencyGraph::from_edges(edges);
+        let (a, b) = (VertexId(a), VertexId(b));
+        let j = g.jaccard(a, b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, g.jaccard(b, a));
+    }
+
+    /// CN is bounded by the smaller degree; AA ≤ CN / ln 2 for u != v.
+    #[test]
+    fn measure_relations(edges in arb_stream(), a in 0u64..500, b in 0u64..500) {
+        prop_assume!(a != b);
+        let g = AdjacencyGraph::from_edges(edges);
+        let (a, b) = (VertexId(a), VertexId(b));
+        let cn = g.common_neighbors(a, b);
+        prop_assert!(cn <= g.degree(a).min(g.degree(b)));
+        let aa = g.adamic_adar(a, b);
+        prop_assert!(aa >= 0.0);
+        prop_assert!(aa <= cn as f64 / 2f64.ln() + 1e-9);
+    }
+
+    /// Reservoir never exceeds capacity and tracks the seen count.
+    #[test]
+    fn reservoir_bounds(edges in arb_stream(), cap in 1usize..64, seed in any::<u64>()) {
+        let mut r = EdgeReservoir::new(cap, seed);
+        for &e in &edges {
+            r.offer(e);
+        }
+        prop_assert_eq!(r.seen(), edges.len() as u64);
+        prop_assert!(r.sample().len() <= cap);
+        prop_assert_eq!(r.sample().len(), edges.len().min(cap));
+    }
+
+    /// Stats: vertex count never exceeds 2×edges; degree sum is 2×(non-loop edges).
+    #[test]
+    fn stats_consistency(edges in arb_stream()) {
+        let stats = StreamStats::from_edges(edges.iter().copied());
+        let s = stats.summary();
+        prop_assert!(s.vertices <= 2 * s.edges);
+        prop_assert_eq!(s.edges, edges.len() as u64);
+        let loops = edges.iter().filter(|e| e.is_loop()).count() as u64;
+        prop_assert_eq!(s.self_loops, loops);
+    }
+}

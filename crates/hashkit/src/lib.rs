@@ -1,0 +1,40 @@
+//! # hashkit
+//!
+//! Hashing primitives for streaming sketches, built from scratch so the
+//! whole stack is auditable and deterministic across platforms.
+//!
+//! The sketching layer above needs three things from a hash function:
+//!
+//! 1. **Seeded families** — `k` independent hash functions `h_1 … h_k`
+//!    over vertex identifiers, cheap enough to evaluate all `k` on every
+//!    stream edge ([`HashFamily`], [`SeededHash`]).
+//! 2. **Strong single-word mixing** — vertex ids are small integers with
+//!    almost no entropy spread; a finalizer-quality mixer turns them into
+//!    uniform 64-bit words ([`mix`]).
+//! 3. **Uniform and exponential draws** — weighted (vertex-biased) MinHash
+//!    needs `Exp(λ)` ranks derived deterministically from `(seed, key)`
+//!    pairs ([`uniform`]).
+//!
+//! [`tabulation`] provides 3-independent tabulation hashing as an
+//! alternative family with stronger independence guarantees; the sketch
+//! layer exposes it as an opt-in backend and the benchmark suite compares
+//! both.
+//!
+//! ## Determinism
+//!
+//! Every function here is a pure function of `(seed, key)`. Nothing reads
+//! process-global state, so sketches built on two machines from the same
+//! stream are bit-identical — a requirement for the mergeable-sketch path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod family;
+pub mod mix;
+pub mod tabulation;
+pub mod uniform;
+
+pub use family::{HashFamily, SeededHash};
+pub use mix::{mix64, mix64_v3, unmix64};
+pub use tabulation::TabulationHash;
+pub use uniform::{exp_rank, unit_exponential, unit_uniform};

@@ -1,0 +1,111 @@
+//! Deterministic uniform and exponential draws from hash words.
+//!
+//! Weighted (vertex-biased) MinHash ranks a vertex `w` under function `i`
+//! by an exponential variate `Exp(λ = weight(w))` derived from the hash
+//! word `h_i(w)`. The vertex with the *minimum* rank in a set is then a
+//! sample drawn with probability proportional to its weight — the
+//! "exponential clocks" view of weighted sampling.
+
+/// Maps a 64-bit hash word to a uniform double in the **open** interval
+/// `(0, 1]`.
+///
+/// The open lower bound matters: `ln(0)` is `-inf`, and a zero would turn
+/// an exponential rank into `+inf`/NaN. We use the top 53 bits (the full
+/// mantissa width) and offset by one ULP-equivalent so the result is never
+/// exactly zero.
+#[inline]
+#[must_use]
+pub fn unit_uniform(word: u64) -> f64 {
+    // (word >> 11) is in [0, 2^53); +1 shifts to (0, 2^53].
+    ((word >> 11) as f64 + 1.0) * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// A standard exponential variate `Exp(1)` derived from a hash word:
+/// `-ln(U)` with `U` uniform on `(0, 1]`. Always finite and non-negative.
+#[inline]
+#[must_use]
+pub fn unit_exponential(word: u64) -> f64 {
+    -unit_uniform(word).ln()
+}
+
+/// An exponential rank with rate `weight`: `Exp(weight) = Exp(1)/weight`.
+///
+/// Smaller rank ⇔ more likely to win the min — so a vertex with twice the
+/// weight is twice as likely to be the sampled minimum. `weight` must be
+/// strictly positive and finite.
+///
+/// # Panics
+/// Panics (debug builds) if `weight` is not strictly positive and finite.
+#[inline]
+#[must_use]
+pub fn exp_rank(word: u64, weight: f64) -> f64 {
+    debug_assert!(
+        weight.is_finite() && weight > 0.0,
+        "exp_rank weight must be positive and finite, got {weight}"
+    );
+    unit_exponential(word) / weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::SeededHash;
+
+    #[test]
+    fn unit_uniform_stays_in_half_open_interval() {
+        for &w in &[0u64, 1, u64::MAX, u64::MAX - 1, 1 << 11, (1 << 11) - 1] {
+            let u = unit_uniform(w);
+            assert!(u > 0.0 && u <= 1.0, "out of range: {u} from {w:#x}");
+        }
+    }
+
+    #[test]
+    fn unit_uniform_mean_is_half() {
+        let h = SeededHash::new(21);
+        let n = 100_000u64;
+        let sum: f64 = (0..n).map(|k| unit_uniform(h.hash(k))).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_exponential_is_finite_nonnegative() {
+        for &w in &[0u64, 1, u64::MAX, 42] {
+            let e = unit_exponential(w);
+            assert!(e.is_finite() && e >= 0.0, "bad variate {e} from {w:#x}");
+        }
+    }
+
+    #[test]
+    fn unit_exponential_mean_is_one() {
+        let h = SeededHash::new(22);
+        let n = 100_000u64;
+        let sum: f64 = (0..n).map(|k| unit_exponential(h.hash(k))).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exp_rank_scales_inversely_with_weight() {
+        let e = unit_exponential(12345);
+        assert!((exp_rank(12345, 2.0) - e / 2.0).abs() < 1e-12);
+        assert!((exp_rank(12345, 0.5) - e * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_vertices_win_proportionally() {
+        // Two "vertices" with weights 3 and 1: vertex A should hold the
+        // minimum rank ~75% of the time across independent functions.
+        let n = 50_000u64;
+        let mut a_wins = 0u64;
+        for seed in 0..n {
+            let ha = SeededHash::member(seed, 0).hash(1001);
+            let hb = SeededHash::member(seed, 0).hash(2002);
+            if exp_rank(ha, 3.0) < exp_rank(hb, 1.0) {
+                a_wins += 1;
+            }
+        }
+        let frac = a_wins as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "win fraction {frac}");
+    }
+}

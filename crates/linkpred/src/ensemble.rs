@@ -1,0 +1,229 @@
+//! Measure ensembles: combining neighborhood measures into one score.
+//!
+//! Individual measures have complementary failure modes — CN favors
+//! hubs, Jaccard punishes them, AA sits between. A standard improvement
+//! is to combine them on a common scale. [`EnsembleScorer`] z-score
+//! normalizes each member measure against a calibration sample of pairs
+//! and averages the normalized scores (optionally weighted).
+//!
+//! Calibration-based normalization keeps the [`Scorer`] interface
+//! pairwise: the mean/std of each measure is estimated once from a
+//! sample at construction, not per query.
+
+use graphstream::VertexId;
+
+use crate::measure::Measure;
+use crate::scorer::Scorer;
+
+/// Per-measure calibration: mean and standard deviation over the sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Calibration {
+    measure: Measure,
+    weight: f64,
+    mean: f64,
+    std: f64,
+}
+
+/// A scorer combining several measures of one backend via calibrated
+/// z-score averaging.
+#[derive(Clone)]
+pub struct EnsembleScorer<'a> {
+    base: &'a dyn Scorer,
+    members: Vec<Calibration>,
+}
+
+impl std::fmt::Debug for EnsembleScorer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleScorer")
+            .field("base", &self.base.name())
+            .field("members", &self.members)
+            .finish()
+    }
+}
+
+impl<'a> EnsembleScorer<'a> {
+    /// Calibrates an equal-weight ensemble of `measures` over `base`,
+    /// estimating each measure's mean/std from `sample` pairs.
+    ///
+    /// Pairs the backend cannot score are skipped during calibration; a
+    /// measure whose sample variance is zero is kept with unit std (its
+    /// z-scores are then constant and neutral).
+    ///
+    /// # Panics
+    /// Panics if `measures` or `sample` is empty.
+    #[must_use]
+    pub fn calibrated(
+        base: &'a dyn Scorer,
+        measures: &[Measure],
+        sample: &[(VertexId, VertexId)],
+    ) -> Self {
+        assert!(!measures.is_empty(), "ensemble needs at least one measure");
+        assert!(!sample.is_empty(), "calibration sample is empty");
+        let weight = 1.0 / measures.len() as f64;
+        let members = measures
+            .iter()
+            .map(|&measure| {
+                let scores: Vec<f64> = sample
+                    .iter()
+                    .filter_map(|&(u, v)| base.score(measure, u, v))
+                    .collect();
+                let n = scores.len().max(1) as f64;
+                let mean = scores.iter().sum::<f64>() / n;
+                let var = scores.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+                let std = var.sqrt();
+                Calibration {
+                    measure,
+                    weight,
+                    mean,
+                    std: if std > 1e-12 { std } else { 1.0 },
+                }
+            })
+            .collect();
+        Self { base, members }
+    }
+
+    /// The member measures, in order.
+    #[must_use]
+    pub fn measures(&self) -> Vec<Measure> {
+        self.members.iter().map(|m| m.measure).collect()
+    }
+}
+
+impl Scorer for EnsembleScorer<'_> {
+    /// Mean of the members' z-scores; `None` only when the backend can
+    /// score the pair under *no* member measure.
+    fn score(&self, _measure: Measure, u: VertexId, v: VertexId) -> Option<f64> {
+        let mut total = 0.0;
+        let mut weight_sum = 0.0;
+        for member in &self.members {
+            if let Some(s) = self.base.score(member.measure, u, v) {
+                total += member.weight * (s - member.mean) / member.std;
+                weight_sum += member.weight;
+            }
+        }
+        (weight_sum > 0.0).then(|| total / weight_sum)
+    }
+
+    fn name(&self) -> &'static str {
+        "ensemble"
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.base.memory_bytes() + self.members.len() * std::mem::size_of::<Calibration>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{sample_overlap_pairs, Evaluator};
+    use crate::scorer::ExactScorer;
+    use graphstream::{EdgeStream, WattsStrogatz};
+
+    fn setup() -> (ExactScorer, Vec<(VertexId, VertexId)>) {
+        let stream = WattsStrogatz::new(400, 8, 0.1, 5);
+        let exact = ExactScorer::from_edges(stream.edges());
+        let sample = sample_overlap_pairs(exact.graph(), 200, 1);
+        (exact, sample)
+    }
+
+    #[test]
+    fn zscores_are_centered_on_calibration_sample() {
+        let (exact, sample) = setup();
+        let ensemble = EnsembleScorer::calibrated(&exact, &[Measure::CommonNeighbors], &sample);
+        let mean: f64 = sample
+            .iter()
+            .filter_map(|&(u, v)| ensemble.score(Measure::Jaccard, u, v))
+            .sum::<f64>()
+            / sample.len() as f64;
+        assert!(
+            mean.abs() < 1e-9,
+            "calibrated mean should be ~0, got {mean}"
+        );
+    }
+
+    #[test]
+    fn single_member_preserves_ranking() {
+        let (exact, sample) = setup();
+        let ensemble = EnsembleScorer::calibrated(&exact, &[Measure::AdamicAdar], &sample);
+        // A positive affine transform preserves order.
+        for w in sample.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let raw = exact
+                .score(Measure::AdamicAdar, a.0, a.1)
+                .unwrap()
+                .partial_cmp(&exact.score(Measure::AdamicAdar, b.0, b.1).unwrap())
+                .unwrap();
+            let ens = ensemble
+                .score(Measure::AdamicAdar, a.0, a.1)
+                .unwrap()
+                .partial_cmp(&ensemble.score(Measure::AdamicAdar, b.0, b.1).unwrap())
+                .unwrap();
+            assert_eq!(raw, ens);
+        }
+    }
+
+    #[test]
+    fn ensemble_auc_is_competitive() {
+        let stream = WattsStrogatz::new(500, 8, 0.1, 9);
+        let evaluator = Evaluator::new(&stream, 0.8, 3, 2);
+        let exact = ExactScorer::from_edges(evaluator.train().edges());
+        let sample = sample_overlap_pairs(exact.graph(), 300, 3);
+        let ensemble = EnsembleScorer::calibrated(
+            &exact,
+            &[
+                Measure::Jaccard,
+                Measure::CommonNeighbors,
+                Measure::AdamicAdar,
+            ],
+            &sample,
+        );
+        let ens_auc = evaluator
+            .evaluate(&ensemble, Measure::Jaccard, &[])
+            .auc
+            .unwrap();
+        let member_aucs: Vec<f64> = Measure::PAPER_TARGETS
+            .iter()
+            .map(|&m| evaluator.evaluate(&exact, m, &[]).auc.unwrap())
+            .collect();
+        let worst = member_aucs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            ens_auc >= worst - 0.02,
+            "ensemble AUC {ens_auc} below worst member {worst}"
+        );
+        assert!(ens_auc > 0.6, "ensemble has no signal: {ens_auc}");
+    }
+
+    #[test]
+    fn unseen_pairs_give_none() {
+        let (exact, sample) = setup();
+        let ensemble = EnsembleScorer::calibrated(&exact, &[Measure::Jaccard], &sample);
+        assert_eq!(
+            ensemble.score(Measure::Jaccard, VertexId(90_000), VertexId(90_001)),
+            None
+        );
+    }
+
+    #[test]
+    fn constant_measure_is_neutralized() {
+        // A sample where PA is constant (regular ring): std would be 0 →
+        // kept with unit std, producing constant (harmless) z-scores.
+        let stream = WattsStrogatz::new(100, 4, 0.0, 1);
+        let exact = ExactScorer::from_edges(stream.edges());
+        let sample = sample_overlap_pairs(exact.graph(), 50, 1);
+        let ensemble =
+            EnsembleScorer::calibrated(&exact, &[Measure::PreferentialAttachment], &sample);
+        let scores: Vec<f64> = sample
+            .iter()
+            .filter_map(|&(u, v)| ensemble.score(Measure::Jaccard, u, v))
+            .collect();
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one measure")]
+    fn empty_measures_rejected() {
+        let (exact, sample) = setup();
+        let _ = EnsembleScorer::calibrated(&exact, &[], &sample);
+    }
+}

@@ -1,0 +1,570 @@
+//! Temporal link-prediction evaluation and pair-level estimation error.
+//!
+//! Two evaluation modes, matching the two kinds of figures in the paper:
+//!
+//! 1. **Estimation accuracy** ([`estimation_report`]): how close are the
+//!    sketch estimates to the exact measure values on sampled query pairs?
+//!    (Figures E2–E4: average relative error vs. sketch size.)
+//! 2. **Prediction quality** ([`Evaluator`]): do the estimated scores
+//!    rank future edges as well as the exact scores do? (Figure E5:
+//!    AUC / precision@k of sketch vs. exact.)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use graphstream::{AdjacencyGraph, EdgeStream, TemporalSplit, VertexId};
+
+use crate::measure::Measure;
+use crate::metrics;
+use crate::scorer::Scorer;
+
+/// Result of a temporal link-prediction evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Scorer backend name.
+    pub scorer: String,
+    /// Measure evaluated.
+    pub measure: Measure,
+    /// Area under the ROC curve (`None` if a class was empty).
+    pub auc: Option<f64>,
+    /// `(k, precision@k)` rows.
+    pub precision_at: Vec<(usize, f64)>,
+    /// `(k, recall@k)` rows.
+    pub recall_at: Vec<(usize, f64)>,
+    /// Number of positive candidates scored.
+    pub positives: usize,
+    /// Number of negative candidates scored.
+    pub negatives: usize,
+    /// Fraction of candidates the backend could score (`Some`).
+    pub coverage: f64,
+}
+
+/// A fixed candidate set for temporal evaluation, reusable across scorers
+/// so every backend is judged on the identical pairs.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    train: graphstream::MemoryStream,
+    positives: Vec<(VertexId, VertexId)>,
+    negatives: Vec<(VertexId, VertexId)>,
+}
+
+impl Evaluator {
+    /// Builds the evaluation protocol from a stream:
+    ///
+    /// * train = first `fraction` of the stream;
+    /// * positives = novel future edges whose endpoints both appear in
+    ///   train (pairs the predictor has a chance on);
+    /// * negatives = `negatives_per_positive` random train-vertex pairs
+    ///   that are edges neither in train nor in the future.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `(0, 1)` or
+    /// `negatives_per_positive == 0`.
+    #[must_use]
+    pub fn new(
+        stream: &impl EdgeStream,
+        fraction: f64,
+        negatives_per_positive: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            negatives_per_positive > 0,
+            "need at least one negative per positive"
+        );
+        let split = TemporalSplit::at_fraction(stream, fraction);
+        let train_graph = AdjacencyGraph::from_edges(split.train().edges());
+
+        let positives: Vec<(VertexId, VertexId)> = split
+            .test()
+            .as_slice()
+            .iter()
+            .map(|e| e.key())
+            .filter(|&(u, v)| train_graph.degree(u) > 0 && train_graph.degree(v) > 0)
+            .collect();
+
+        let future: std::collections::HashSet<(VertexId, VertexId)> =
+            positives.iter().copied().collect();
+        let vertices: Vec<VertexId> = {
+            let mut v: Vec<_> = train_graph.vertices().collect();
+            v.sort_unstable();
+            v
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = positives.len() * negatives_per_positive;
+        let mut negatives = Vec::with_capacity(target);
+        let mut chosen = std::collections::HashSet::new();
+        let mut attempts = 0usize;
+        while negatives.len() < target && attempts < target * 100 + 1000 {
+            attempts += 1;
+            let u = vertices[rng.gen_range(0..vertices.len())];
+            let v = vertices[rng.gen_range(0..vertices.len())];
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if train_graph.has_edge(u, v) || future.contains(&key) || !chosen.insert(key) {
+                continue;
+            }
+            negatives.push(key);
+        }
+
+        Self {
+            train: split.train().clone(),
+            positives,
+            negatives,
+        }
+    }
+
+    /// Like [`Evaluator::new`], but negatives are *hard*: distance-2
+    /// train pairs (sharing at least one common neighbor) that still
+    /// never become edges. Random negatives are mostly trivially
+    /// rejectable (no shared structure at all); hard negatives measure
+    /// whether a predictor can separate "close but never connects" from
+    /// "close and connects" — the strictly harder and more honest
+    /// protocol.
+    ///
+    /// # Panics
+    /// Panics on the same invalid inputs as [`Evaluator::new`].
+    #[must_use]
+    pub fn with_hard_negatives(
+        stream: &impl EdgeStream,
+        fraction: f64,
+        negatives_per_positive: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            negatives_per_positive > 0,
+            "need at least one negative per positive"
+        );
+        let split = TemporalSplit::at_fraction(stream, fraction);
+        let train_graph = AdjacencyGraph::from_edges(split.train().edges());
+
+        let positives: Vec<(VertexId, VertexId)> = split
+            .test()
+            .as_slice()
+            .iter()
+            .map(|e| e.key())
+            .filter(|&(u, v)| train_graph.degree(u) > 0 && train_graph.degree(v) > 0)
+            .collect();
+        let future: std::collections::HashSet<(VertexId, VertexId)> =
+            positives.iter().copied().collect();
+
+        let target = positives.len() * negatives_per_positive;
+        let mut negatives = Vec::with_capacity(target);
+        let mut chosen = std::collections::HashSet::new();
+        // Draw distance-2 candidates in batches until the quota fills or
+        // the supply dries up (sample_overlap_pairs deduplicates).
+        let mut batch_seed = seed;
+        let mut stale_rounds = 0;
+        while negatives.len() < target && stale_rounds < 4 {
+            let before = negatives.len();
+            for key in sample_overlap_pairs(&train_graph, target * 2, batch_seed) {
+                if negatives.len() >= target {
+                    break;
+                }
+                if train_graph.has_edge(key.0, key.1)
+                    || future.contains(&key)
+                    || !chosen.insert(key)
+                {
+                    continue;
+                }
+                negatives.push(key);
+            }
+            stale_rounds = if negatives.len() == before {
+                stale_rounds + 1
+            } else {
+                0
+            };
+            batch_seed = batch_seed.wrapping_add(0x9E37_79B9);
+        }
+
+        Self {
+            train: split.train().clone(),
+            positives,
+            negatives,
+        }
+    }
+
+    /// The training prefix — feed it to each backend before evaluating.
+    #[must_use]
+    pub fn train(&self) -> &graphstream::MemoryStream {
+        &self.train
+    }
+
+    /// The positive candidate pairs.
+    #[must_use]
+    pub fn positives(&self) -> &[(VertexId, VertexId)] {
+        &self.positives
+    }
+
+    /// The negative candidate pairs.
+    #[must_use]
+    pub fn negatives(&self) -> &[(VertexId, VertexId)] {
+        &self.negatives
+    }
+
+    /// Evaluates one scorer under one measure.
+    ///
+    /// Pairs the backend cannot score (`None`) are ranked strictly below
+    /// every scored pair (score −1, all real scores are ≥ 0): a backend
+    /// that forgot a vertex should pay for it in ranking quality, not be
+    /// silently excused.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        scorer: &dyn Scorer,
+        measure: Measure,
+        ks: &[usize],
+    ) -> EvaluationReport {
+        const UNSCORED: f64 = -1.0;
+        let mut scored: Vec<(f64, bool)> = Vec::new();
+        let mut covered = 0usize;
+        let mut pos_scores = Vec::with_capacity(self.positives.len());
+        let mut neg_scores = Vec::with_capacity(self.negatives.len());
+
+        for &(u, v) in &self.positives {
+            let s = scorer.score(measure, u, v);
+            covered += usize::from(s.is_some());
+            let s = s.unwrap_or(UNSCORED);
+            pos_scores.push(s);
+            scored.push((s, true));
+        }
+        for &(u, v) in &self.negatives {
+            let s = scorer.score(measure, u, v);
+            covered += usize::from(s.is_some());
+            let s = s.unwrap_or(UNSCORED);
+            neg_scores.push(s);
+            scored.push((s, false));
+        }
+
+        let total = self.positives.len() + self.negatives.len();
+        EvaluationReport {
+            scorer: scorer.name().to_string(),
+            measure,
+            auc: metrics::auc(&pos_scores, &neg_scores),
+            precision_at: ks
+                .iter()
+                .filter_map(|&k| metrics::precision_at_k(&scored, k).map(|p| (k, p)))
+                .collect(),
+            recall_at: ks
+                .iter()
+                .filter_map(|&k| metrics::recall_at_k(&scored, k).map(|r| (k, r)))
+                .collect(),
+            positives: self.positives.len(),
+            negatives: self.negatives.len(),
+            coverage: if total == 0 {
+                0.0
+            } else {
+                covered as f64 / total as f64
+            },
+        }
+    }
+}
+
+/// Pair-level estimation error of `estimate` against `exact` on the given
+/// query pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimationReport {
+    /// Measure compared.
+    pub measure: Measure,
+    /// Pairs actually scored by both backends.
+    pub pairs: usize,
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Average relative error over pairs with nonzero truth.
+    pub are: Option<f64>,
+    /// Kendall rank correlation between estimated and exact scores.
+    pub kendall_tau: Option<f64>,
+}
+
+/// Compares an approximate scorer against an exact one on `pairs`.
+///
+/// Pairs either backend cannot score are skipped (reported via the
+/// `pairs` count).
+#[must_use]
+pub fn estimation_report(
+    approx: &dyn Scorer,
+    exact: &dyn Scorer,
+    measure: Measure,
+    pairs: &[(VertexId, VertexId)],
+) -> EstimationReport {
+    let mut est = Vec::with_capacity(pairs.len());
+    let mut truth = Vec::with_capacity(pairs.len());
+    for &(u, v) in pairs {
+        if let (Some(e), Some(t)) = (approx.score(measure, u, v), exact.score(measure, u, v)) {
+            est.push(e);
+            truth.push(t);
+        }
+    }
+    EstimationReport {
+        measure,
+        pairs: est.len(),
+        mae: metrics::mae(&est, &truth),
+        rmse: metrics::rmse(&est, &truth),
+        are: metrics::average_relative_error(&est, &truth, 1e-12),
+        kendall_tau: metrics::kendall_tau(&est, &truth),
+    }
+}
+
+/// Samples `n` query pairs guaranteed to share at least one common
+/// neighbor in `graph` (distance-2 pairs): pick a random vertex `w` with
+/// degree ≥ 2 and two distinct neighbors of it. These are the pairs on
+/// which relative error is well defined for all three measures.
+#[must_use]
+pub fn sample_overlap_pairs(
+    graph: &AdjacencyGraph,
+    n: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hubs: Vec<VertexId> = {
+        let mut v: Vec<_> = graph.vertices().filter(|&v| graph.degree(v) >= 2).collect();
+        v.sort_unstable();
+        v
+    };
+    if hubs.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 50 + 100 {
+        attempts += 1;
+        let w = hubs[rng.gen_range(0..hubs.len())];
+        let nbrs: Vec<VertexId> = {
+            let mut v: Vec<_> = graph
+                .neighbors(w)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            v.sort_unstable();
+            v
+        };
+        if nbrs.len() < 2 {
+            continue;
+        }
+        let a = nbrs[rng.gen_range(0..nbrs.len())];
+        let b = nbrs[rng.gen_range(0..nbrs.len())];
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// Samples `n` uniform random pairs of observed vertices (the general
+/// query workload: mostly low-overlap pairs).
+#[must_use]
+pub fn sample_random_pairs(
+    graph: &AdjacencyGraph,
+    n: usize,
+    seed: u64,
+) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vertices: Vec<VertexId> = {
+        let mut v: Vec<_> = graph.vertices().collect();
+        v.sort_unstable();
+        v
+    };
+    if vertices.len() < 2 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while out.len() < n && attempts < n * 50 + 100 {
+        attempts += 1;
+        let a = vertices[rng.gen_range(0..vertices.len())];
+        let b = vertices[rng.gen_range(0..vertices.len())];
+        if a == b {
+            continue;
+        }
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::{ExactScorer, SketchScorer};
+    use graphstream::WattsStrogatz;
+    use streamlink_core::{SketchConfig, SketchStore};
+
+    /// A clustered small-world stream: future edges fall between vertices
+    /// the train prefix has already seen (unlike growth models, where
+    /// every future edge touches a brand-new vertex), so temporal
+    /// evaluation has signal.
+    fn stream() -> WattsStrogatz {
+        WattsStrogatz::new(600, 8, 0.1, 21)
+    }
+
+    #[test]
+    fn evaluator_builds_disjoint_candidates() {
+        let ev = Evaluator::new(&stream(), 0.8, 2, 1);
+        assert!(!ev.positives().is_empty());
+        assert_eq!(ev.negatives().len(), ev.positives().len() * 2);
+        let train_graph = AdjacencyGraph::from_edges(ev.train().edges());
+        let pos: std::collections::HashSet<_> = ev.positives().iter().collect();
+        for pair in ev.negatives() {
+            assert!(
+                !train_graph.has_edge(pair.0, pair.1),
+                "negative is a train edge"
+            );
+            assert!(!pos.contains(pair), "negative is also a positive");
+        }
+    }
+
+    #[test]
+    fn exact_scorer_beats_chance() {
+        let ev = Evaluator::new(&stream(), 0.8, 2, 2);
+        let exact = ExactScorer::from_edges(ev.train().edges());
+        for m in [
+            Measure::CommonNeighbors,
+            Measure::AdamicAdar,
+            Measure::Jaccard,
+        ] {
+            let report = ev.evaluate(&exact, m, &[10]);
+            let auc = report.auc.unwrap();
+            assert!(auc > 0.6, "{m} AUC only {auc}");
+            assert!((report.coverage - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sketch_scorer_tracks_exact_auc() {
+        let ev = Evaluator::new(&stream(), 0.8, 2, 3);
+        let exact = ExactScorer::from_edges(ev.train().edges());
+        let mut store = SketchStore::new(SketchConfig::with_slots(256).seed(4));
+        store.insert_stream(ev.train().edges());
+        let sketch = SketchScorer::new(store);
+
+        for m in Measure::PAPER_TARGETS {
+            let e = ev.evaluate(&exact, m, &[]).auc.unwrap();
+            let s = ev.evaluate(&sketch, m, &[]).auc.unwrap();
+            assert!(
+                (e - s).abs() < 0.12,
+                "{m}: sketch AUC {s} far from exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn hard_negatives_share_neighbors_and_are_nonedges() {
+        let ev = Evaluator::with_hard_negatives(&stream(), 0.8, 2, 7);
+        assert!(!ev.negatives().is_empty());
+        let g = AdjacencyGraph::from_edges(ev.train().edges());
+        let pos: std::collections::HashSet<_> = ev.positives().iter().collect();
+        for &(u, v) in ev.negatives() {
+            assert!(g.common_neighbors(u, v) >= 1, "({u},{v}) is not distance-2");
+            assert!(!g.has_edge(u, v), "({u},{v}) is a train edge");
+            assert!(!pos.contains(&(u, v)), "({u},{v}) is a positive");
+        }
+    }
+
+    #[test]
+    fn hard_negatives_are_harder_than_random() {
+        // AUC against hard negatives must be lower than against random
+        // negatives for the same exact scorer (they share structure).
+        let s = stream();
+        let easy = Evaluator::new(&s, 0.8, 3, 2);
+        let hard = Evaluator::with_hard_negatives(&s, 0.8, 3, 2);
+        let exact_easy = ExactScorer::from_edges(easy.train().edges());
+        let a_easy = easy
+            .evaluate(&exact_easy, Measure::CommonNeighbors, &[])
+            .auc
+            .unwrap();
+        let a_hard = hard
+            .evaluate(&exact_easy, Measure::CommonNeighbors, &[])
+            .auc
+            .unwrap();
+        assert!(
+            a_hard < a_easy,
+            "hard negatives should lower AUC: {a_hard} vs {a_easy}"
+        );
+    }
+
+    #[test]
+    fn report_serializes() {
+        let ev = Evaluator::new(&stream(), 0.8, 1, 5);
+        let exact = ExactScorer::from_edges(ev.train().edges());
+        let report = ev.evaluate(&exact, Measure::Jaccard, &[5, 10]);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: EvaluationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn estimation_report_zero_error_against_self() {
+        let exact = ExactScorer::from_edges(stream().edges());
+        let pairs = sample_overlap_pairs(exact.graph(), 100, 7);
+        assert!(!pairs.is_empty());
+        let r = estimation_report(&exact, &exact, Measure::AdamicAdar, &pairs);
+        assert_eq!(r.pairs, pairs.len());
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.are, Some(0.0));
+        assert_eq!(r.kendall_tau, Some(1.0));
+    }
+
+    #[test]
+    fn estimation_report_sketch_errors_are_small() {
+        let exact = ExactScorer::from_edges(stream().edges());
+        let mut store = SketchStore::new(SketchConfig::with_slots(512).seed(9));
+        store.insert_stream(stream().edges());
+        let sketch = SketchScorer::new(store);
+        let pairs = sample_overlap_pairs(exact.graph(), 200, 8);
+        let r = estimation_report(&sketch, &exact, Measure::Jaccard, &pairs);
+        assert!(r.pairs > 100);
+        assert!(r.mae < 0.05, "jaccard MAE {}", r.mae);
+        assert!(r.kendall_tau.unwrap() > 0.3, "tau {:?}", r.kendall_tau);
+    }
+
+    #[test]
+    fn overlap_pairs_share_neighbors() {
+        let g = AdjacencyGraph::from_edges(stream().edges());
+        for (u, v) in sample_overlap_pairs(&g, 50, 3) {
+            assert!(g.common_neighbors(u, v) >= 1, "({u}, {v}) has no overlap");
+        }
+    }
+
+    #[test]
+    fn random_pairs_are_distinct_vertices() {
+        let g = AdjacencyGraph::from_edges(stream().edges());
+        let pairs = sample_random_pairs(&g, 100, 4);
+        assert_eq!(pairs.len(), 100);
+        for (u, v) in pairs {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn pair_sampling_is_deterministic() {
+        let g = AdjacencyGraph::from_edges(stream().edges());
+        assert_eq!(
+            sample_overlap_pairs(&g, 30, 5),
+            sample_overlap_pairs(&g, 30, 5)
+        );
+        assert_ne!(
+            sample_overlap_pairs(&g, 30, 5),
+            sample_overlap_pairs(&g, 30, 6)
+        );
+    }
+
+    #[test]
+    fn empty_graph_sampling_degrades_gracefully() {
+        let g = AdjacencyGraph::new();
+        assert!(sample_overlap_pairs(&g, 10, 0).is_empty());
+        assert!(sample_random_pairs(&g, 10, 0).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # linkpred
+//!
+//! The link-prediction layer: a uniform [`Scorer`] interface over exact,
+//! sketch-based and reservoir-sampled backends, plus the evaluation
+//! machinery (metrics, candidate generation, temporal evaluation) that the
+//! experiment harness drives.
+//!
+//! * [`measure`] — the [`Measure`] enum naming the five neighborhood
+//!   measures.
+//! * [`scorer`] — [`ExactScorer`], [`SketchScorer`], [`ReservoirScorer`].
+//! * [`metrics`] — AUC, precision/recall@k, MAE/RMSE, average relative
+//!   error, Kendall's τ.
+//! * [`evaluate`] — temporal link-prediction evaluation producing an
+//!   [`EvaluationReport`], and pair-level estimation-error reports.
+//! * [`mod@recommend`] — top-k recommendation: candidate sources (two-hop or
+//!   LSH) + scoring + ranking.
+//! * [`ensemble`] — calibrated z-score combination of several measures
+//!   into one scorer.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ensemble;
+pub mod evaluate;
+pub mod measure;
+pub mod metrics;
+pub mod recommend;
+pub mod scorer;
+
+pub use ensemble::EnsembleScorer;
+pub use evaluate::{estimation_report, EstimationReport, EvaluationReport, Evaluator};
+pub use measure::Measure;
+pub use recommend::{recommend, CandidateSource, LshCandidates, TwoHopCandidates};
+pub use scorer::{ExactScorer, ReservoirScorer, Scorer, SketchScorer};

@@ -1,0 +1,135 @@
+//! The neighborhood link-prediction measures.
+
+use serde::{Deserialize, Serialize};
+
+/// A neighborhood-based link-prediction measure.
+///
+/// The first three are the paper's targets; the last two are classic
+/// comparison predictors the evaluation also reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Measure {
+    /// `|N(u) ∩ N(v)| / |N(u) ∪ N(v)|`.
+    Jaccard,
+    /// `|N(u) ∩ N(v)|`.
+    CommonNeighbors,
+    /// `Σ_{w ∈ N(u)∩N(v)} 1 / ln d(w)`.
+    AdamicAdar,
+    /// `Σ_{w ∈ N(u)∩N(v)} 1 / d(w)`.
+    ResourceAllocation,
+    /// `d(u) · d(v)`.
+    PreferentialAttachment,
+    /// `|N(u) ∩ N(v)| / √(d(u)·d(v))` (Salton index).
+    Cosine,
+    /// `|N(u) ∩ N(v)| / min(d(u), d(v))`.
+    Overlap,
+}
+
+impl Measure {
+    /// The three measures the paper targets.
+    pub const PAPER_TARGETS: [Measure; 3] = [
+        Measure::Jaccard,
+        Measure::CommonNeighbors,
+        Measure::AdamicAdar,
+    ];
+
+    /// Every measure the crate evaluates.
+    pub const ALL: [Measure; 7] = [
+        Measure::Jaccard,
+        Measure::CommonNeighbors,
+        Measure::AdamicAdar,
+        Measure::ResourceAllocation,
+        Measure::PreferentialAttachment,
+        Measure::Cosine,
+        Measure::Overlap,
+    ];
+
+    /// A short stable identifier (used in CLI flags and result files).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Measure::Jaccard => "jaccard",
+            Measure::CommonNeighbors => "cn",
+            Measure::AdamicAdar => "aa",
+            Measure::ResourceAllocation => "ra",
+            Measure::PreferentialAttachment => "pa",
+            Measure::Cosine => "cosine",
+            Measure::Overlap => "overlap",
+        }
+    }
+
+    /// Parses the identifier produced by [`Measure::key`] (also accepts
+    /// long names, case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Measure> {
+        match s.to_ascii_lowercase().as_str() {
+            "jaccard" | "jc" | "j" => Some(Measure::Jaccard),
+            "cn" | "common_neighbors" | "common-neighbors" => Some(Measure::CommonNeighbors),
+            "aa" | "adamic_adar" | "adamic-adar" => Some(Measure::AdamicAdar),
+            "ra" | "resource_allocation" | "resource-allocation" => {
+                Some(Measure::ResourceAllocation)
+            }
+            "pa" | "preferential_attachment" | "preferential-attachment" => {
+                Some(Measure::PreferentialAttachment)
+            }
+            "cosine" | "salton" => Some(Measure::Cosine),
+            "overlap" | "overlap_coefficient" => Some(Measure::Overlap),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Measure::Jaccard => "Jaccard",
+            Measure::CommonNeighbors => "Common Neighbors",
+            Measure::AdamicAdar => "Adamic-Adar",
+            Measure::ResourceAllocation => "Resource Allocation",
+            Measure::PreferentialAttachment => "Preferential Attachment",
+            Measure::Cosine => "Cosine (Salton)",
+            Measure::Overlap => "Overlap Coefficient",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_parse_roundtrip() {
+        for m in Measure::ALL {
+            assert_eq!(Measure::parse(m.key()), Some(m), "{m}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_aliases() {
+        assert_eq!(Measure::parse("Adamic-Adar"), Some(Measure::AdamicAdar));
+        assert_eq!(
+            Measure::parse("COMMON_NEIGHBORS"),
+            Some(Measure::CommonNeighbors)
+        );
+        assert_eq!(Measure::parse("jc"), Some(Measure::Jaccard));
+        assert_eq!(Measure::parse("nope"), None);
+    }
+
+    #[test]
+    fn paper_targets_subset_of_all() {
+        for m in Measure::PAPER_TARGETS {
+            assert!(Measure::ALL.contains(&m));
+        }
+    }
+
+    #[test]
+    fn serde_uses_snake_case() {
+        let json = serde_json::to_string(&Measure::AdamicAdar).unwrap();
+        assert_eq!(json, "\"adamic_adar\"");
+        assert_eq!(
+            serde_json::from_str::<Measure>(&json).unwrap(),
+            Measure::AdamicAdar
+        );
+    }
+}

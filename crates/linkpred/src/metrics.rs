@@ -1,0 +1,351 @@
+//! Evaluation metrics: ranking quality (AUC, precision/recall@k,
+//! Kendall's τ) and estimation error (MAE, RMSE, average relative error).
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with ties counted as half.
+///
+/// `positives` and `negatives` are the scores of the positive and
+/// negative class. Returns `None` when either class is empty (AUC is
+/// undefined).
+///
+/// O(n log n): scores are ranked once with average ranks on ties, and
+/// `AUC = (Σ rank(pos) − n₊(n₊+1)/2) / (n₊ · n₋)` — equivalent to the
+/// naive pairwise count (the property tests cross-check the two).
+#[must_use]
+pub fn auc(positives: &[f64], negatives: &[f64]) -> Option<f64> {
+    if positives.is_empty() || negatives.is_empty() {
+        return None;
+    }
+    // (score, is_positive), sorted ascending by score.
+    let mut all: Vec<(f64, bool)> = positives
+        .iter()
+        .map(|&s| (s, true))
+        .chain(negatives.iter().map(|&s| (s, false)))
+        .collect();
+    all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Sum of 1-based average ranks over the positive class.
+    let mut pos_rank_sum = 0.0f64;
+    let mut i = 0usize;
+    while i < all.len() {
+        let mut j = i;
+        while j + 1 < all.len() && all[j + 1].0 == all[i].0 {
+            j += 1;
+        }
+        // Tied block [i..=j]: every member gets the average rank.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        let pos_in_block = all[i..=j].iter().filter(|(_, p)| *p).count();
+        pos_rank_sum += avg_rank * pos_in_block as f64;
+        i = j + 1;
+    }
+    let n_pos = positives.len() as f64;
+    let n_neg = negatives.len() as f64;
+    Some((pos_rank_sum - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg))
+}
+
+/// The naive O(n₊·n₋) pairwise AUC — retained as the executable
+/// specification that the rank-based [`auc`] is property-tested against.
+#[must_use]
+pub fn auc_naive(positives: &[f64], negatives: &[f64]) -> Option<f64> {
+    if positives.is_empty() || negatives.is_empty() {
+        return None;
+    }
+    let mut wins = 0.0f64;
+    for &p in positives {
+        for &n in negatives {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    Some(wins / (positives.len() as f64 * negatives.len() as f64))
+}
+
+/// Precision@k over `(score, is_positive)` pairs: the fraction of the `k`
+/// highest-scored items that are positive. Ties broken by stable sort
+/// (first-come), matching how a top-k recommender would emit them.
+///
+/// Returns `None` if `k == 0` or there are fewer than `k` items.
+#[must_use]
+pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> Option<f64> {
+    if k == 0 || scored.len() < k {
+        return None;
+    }
+    let mut ranked: Vec<&(f64, bool)> = scored.iter().collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let hits = ranked[..k].iter().filter(|(_, pos)| *pos).count();
+    Some(hits as f64 / k as f64)
+}
+
+/// Recall@k: the fraction of all positives that appear in the top `k`.
+///
+/// Returns `None` if `k == 0`, there are fewer than `k` items, or there
+/// are no positives.
+#[must_use]
+pub fn recall_at_k(scored: &[(f64, bool)], k: usize) -> Option<f64> {
+    if k == 0 || scored.len() < k {
+        return None;
+    }
+    let total_pos = scored.iter().filter(|(_, pos)| *pos).count();
+    if total_pos == 0 {
+        return None;
+    }
+    let mut ranked: Vec<&(f64, bool)> = scored.iter().collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let hits = ranked[..k].iter().filter(|(_, pos)| *pos).count();
+    Some(hits as f64 / total_pos as f64)
+}
+
+/// Average precision (area under the precision–recall curve, step
+/// interpolation): mean of precision@rank over the ranks where a
+/// positive sits. The summary metric for heavily imbalanced candidate
+/// sets, where AUC is over-optimistic.
+///
+/// Returns `None` when there are no positives.
+#[must_use]
+pub fn average_precision(scored: &[(f64, bool)]) -> Option<f64> {
+    let total_pos = scored.iter().filter(|(_, p)| *p).count();
+    if total_pos == 0 {
+        return None;
+    }
+    let mut ranked: Vec<&(f64, bool)> = scored.iter().collect();
+    ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hits = 0usize;
+    let mut ap = 0.0;
+    for (rank, (_, positive)) in ranked.iter().enumerate() {
+        if *positive {
+            hits += 1;
+            ap += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    Some(ap / total_pos as f64)
+}
+
+/// Mean absolute error between paired estimates and ground truths.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mae(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "paired slices must align");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimates.len() as f64
+}
+
+/// Root-mean-square error between paired estimates and ground truths.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn rmse(estimates: &[f64], truths: &[f64]) -> f64 {
+    assert_eq!(estimates.len(), truths.len(), "paired slices must align");
+    if estimates.is_empty() {
+        return 0.0;
+    }
+    (estimates
+        .iter()
+        .zip(truths)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum::<f64>()
+        / estimates.len() as f64)
+        .sqrt()
+}
+
+/// Average relative error `mean(|est − truth| / truth)` over pairs with
+/// `truth > floor`; pairs at or below the floor are skipped (relative
+/// error is meaningless at zero). This is the headline accuracy metric of
+/// the paper's figures (experiments E2–E4).
+///
+/// Returns `None` if no pair survives the floor.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn average_relative_error(estimates: &[f64], truths: &[f64], floor: f64) -> Option<f64> {
+    assert_eq!(estimates.len(), truths.len(), "paired slices must align");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (e, t) in estimates.iter().zip(truths) {
+        if *t > floor {
+            total += (e - t).abs() / t;
+            count += 1;
+        }
+    }
+    (count > 0).then(|| total / count as f64)
+}
+
+/// Kendall's τ-b rank correlation between two paired score lists, with
+/// tie correction: `τ-b = (C − D) / sqrt((P − T_a)(P − T_b))` where `P`
+/// is the number of index pairs and `T_x` counts pairs tied in list `x`.
+/// A list compared against itself scores 1 regardless of internal ties.
+/// O(n²) — intended for evaluation set sizes (≤ a few thousand pairs).
+///
+/// Returns `None` for lists shorter than 2 or when either list is
+/// entirely tied (correlation undefined).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "paired slices must align");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_a = 0i64;
+    let mut ties_b = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            if da == 0.0 {
+                ties_a += 1;
+            }
+            if db == 0.0 {
+                ties_b += 1;
+            }
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as i64;
+    let denom = (((pairs - ties_a) as f64) * ((pairs - ties_b) as f64)).sqrt();
+    if denom == 0.0 {
+        return None;
+    }
+    Some((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        assert_eq!(auc(&[0.9, 0.8], &[0.1, 0.2]), Some(1.0));
+        assert_eq!(auc(&[0.1, 0.2], &[0.9, 0.8]), Some(0.0));
+    }
+
+    #[test]
+    fn auc_random_is_half() {
+        // Identical score for everything → all ties → 0.5.
+        assert_eq!(auc(&[0.5; 10], &[0.5; 10]), Some(0.5));
+    }
+
+    #[test]
+    fn auc_known_mixed_case() {
+        // positives {3, 1}, negatives {2, 0}:
+        // (3>2, 3>0, 1<2, 1>0) → 3 wins of 4 = 0.75.
+        assert_eq!(auc(&[3.0, 1.0], &[2.0, 0.0]), Some(0.75));
+    }
+
+    #[test]
+    fn auc_empty_class_undefined() {
+        assert_eq!(auc(&[], &[1.0]), None);
+        assert_eq!(auc(&[1.0], &[]), None);
+    }
+
+    #[test]
+    fn precision_at_k_basics() {
+        let scored = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert_eq!(precision_at_k(&scored, 1), Some(1.0));
+        assert_eq!(precision_at_k(&scored, 2), Some(0.5));
+        assert_eq!(precision_at_k(&scored, 4), Some(0.5));
+        assert_eq!(precision_at_k(&scored, 5), None);
+        assert_eq!(precision_at_k(&scored, 0), None);
+    }
+
+    #[test]
+    fn recall_at_k_basics() {
+        let scored = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert_eq!(recall_at_k(&scored, 1), Some(0.5));
+        assert_eq!(recall_at_k(&scored, 3), Some(1.0));
+        let no_pos = [(0.9, false), (0.8, false)];
+        assert_eq!(recall_at_k(&no_pos, 1), None);
+    }
+
+    #[test]
+    fn average_precision_known_values() {
+        // Ranking: +, -, +, - → AP = (1/1 + 2/3) / 2 = 5/6.
+        let scored = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert!((average_precision(&scored).unwrap() - 5.0 / 6.0).abs() < 1e-12);
+        // Perfect ranking → 1.0.
+        let perfect = [(0.9, true), (0.8, true), (0.1, false)];
+        assert_eq!(average_precision(&perfect), Some(1.0));
+        // Worst ranking of 1 positive among 3: precision 1/3 at its rank.
+        let worst = [(0.9, false), (0.8, false), (0.1, true)];
+        assert!((average_precision(&worst).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        // No positives → undefined.
+        assert_eq!(average_precision(&[(0.5, false)]), None);
+    }
+
+    #[test]
+    fn mae_rmse_known_values() {
+        let est = [1.0, 2.0, 3.0];
+        let truth = [1.0, 4.0, 1.0];
+        assert!((mae(&est, &truth) - (0.0 + 2.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((rmse(&est, &truth) - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn are_skips_zero_truths() {
+        let est = [0.5, 2.0];
+        let truth = [0.0, 1.0];
+        // Only the second pair counts: |2−1|/1 = 1.
+        assert_eq!(average_relative_error(&est, &truth, 0.0), Some(1.0));
+        assert_eq!(average_relative_error(&[1.0], &[0.0], 0.0), None);
+    }
+
+    #[test]
+    fn kendall_tau_extremes() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(kendall_tau(&a, &b), Some(1.0));
+        let rev = [40.0, 30.0, 20.0, 10.0];
+        assert_eq!(kendall_tau(&a, &rev), Some(-1.0));
+        assert_eq!(kendall_tau(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn kendall_tau_partial() {
+        // One discordant pair out of three: (2 − 1)/3 = 1/3.
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 3.0, 2.0];
+        assert!((kendall_tau(&a, &b).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_self_with_ties_is_one() {
+        // τ-b's tie correction makes a list perfectly correlated with
+        // itself even when it contains ties.
+        let a = [1.0, 2.0, 2.0, 3.0, 0.0];
+        assert!((kendall_tau(&a, &a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kendall_tau_all_tied_is_undefined() {
+        assert_eq!(kendall_tau(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_rejected() {
+        let _ = mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Top-k recommendation: candidate generation + scoring + ranking.
+//!
+//! The query real applications issue is not "score this pair" but
+//! "rank partners for this user". That needs a *candidate source* (whom
+//! to consider) and a *scorer* (how to rank them). This module provides
+//! the pipeline and two candidate strategies:
+//!
+//! * [`TwoHopCandidates`] — friends-of-friends from an exact adjacency
+//!   graph: the classic link-prediction candidate set (every pair with
+//!   `CN ≥ 1` and no existing edge).
+//! * [`LshCandidates`] — sketch-native retrieval through a prebuilt
+//!   [`LshIndex`]; no adjacency needed, stays within the stream model.
+
+use graphstream::{AdjacencyGraph, VertexId};
+use streamlink_core::{LshIndex, SketchStore};
+
+use crate::measure::Measure;
+use crate::scorer::Scorer;
+
+/// Produces candidate partners for a query vertex.
+pub trait CandidateSource {
+    /// Candidate vertices for `u` (never containing `u`).
+    fn candidates(&self, u: VertexId) -> Vec<VertexId>;
+}
+
+/// Friends-of-friends candidates from an exact adjacency graph,
+/// excluding existing neighbors.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoHopCandidates<'a> {
+    graph: &'a AdjacencyGraph,
+}
+
+impl<'a> TwoHopCandidates<'a> {
+    /// Wraps a graph.
+    #[must_use]
+    pub fn new(graph: &'a AdjacencyGraph) -> Self {
+        Self { graph }
+    }
+}
+
+impl CandidateSource for TwoHopCandidates<'_> {
+    fn candidates(&self, u: VertexId) -> Vec<VertexId> {
+        let Some(nbrs) = self.graph.neighbors(u) else {
+            return Vec::new();
+        };
+        let mut out: Vec<VertexId> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &w in nbrs {
+            if let Some(second) = self.graph.neighbors(w) {
+                for &c in second {
+                    if c != u && !nbrs.contains(&c) && seen.insert(c) {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out.sort_unstable(); // deterministic order
+        out
+    }
+}
+
+/// Sketch-native candidates through an LSH index.
+#[derive(Debug, Clone, Copy)]
+pub struct LshCandidates<'a> {
+    index: &'a LshIndex,
+    store: &'a SketchStore,
+}
+
+impl<'a> LshCandidates<'a> {
+    /// Wraps an index built over `store`.
+    #[must_use]
+    pub fn new(index: &'a LshIndex, store: &'a SketchStore) -> Self {
+        Self { index, store }
+    }
+}
+
+impl CandidateSource for LshCandidates<'_> {
+    fn candidates(&self, u: VertexId) -> Vec<VertexId> {
+        self.index.candidates(self.store, u)
+    }
+}
+
+/// Ranks the candidate set of `u` by `measure` under `scorer`, returning
+/// the top `k` as `(vertex, score)` descending; ties break toward the
+/// smaller id. Unscorable candidates are skipped.
+///
+/// ```
+/// use graphstream::{AdjacencyGraph, VertexId};
+/// use linkpred::{recommend, ExactScorer, Measure, TwoHopCandidates};
+///
+/// // A path 1-2-3: the only two-hop candidate for 1 is 3.
+/// let mut g = AdjacencyGraph::new();
+/// g.insert_edge(1u64, 2u64);
+/// g.insert_edge(2u64, 3u64);
+/// let scorer = ExactScorer::new(g.clone());
+/// let recs = recommend(
+///     &scorer,
+///     Measure::CommonNeighbors,
+///     &TwoHopCandidates::new(&g),
+///     VertexId(1),
+///     5,
+/// );
+/// assert_eq!(recs, vec![(VertexId(3), 1.0)]);
+/// ```
+#[must_use]
+pub fn recommend(
+    scorer: &dyn Scorer,
+    measure: Measure,
+    source: &dyn CandidateSource,
+    u: VertexId,
+    k: usize,
+) -> Vec<(VertexId, f64)> {
+    let mut scored: Vec<(VertexId, f64)> = source
+        .candidates(u)
+        .into_iter()
+        .filter_map(|v| scorer.score(measure, u, v).map(|s| (v, s)))
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::{ExactScorer, SketchScorer};
+    use graphstream::{EdgeStream, WattsStrogatz};
+    use streamlink_core::SketchConfig;
+
+    fn setup() -> (AdjacencyGraph, SketchStore) {
+        let stream = WattsStrogatz::new(300, 6, 0.1, 3);
+        let graph = AdjacencyGraph::from_edges(stream.edges());
+        let mut store = SketchStore::new(SketchConfig::with_slots(64).seed(1));
+        store.insert_stream(stream.edges());
+        (graph, store)
+    }
+
+    #[test]
+    fn two_hop_excludes_self_and_neighbors() {
+        let (graph, _) = setup();
+        let source = TwoHopCandidates::new(&graph);
+        let u = VertexId(5);
+        let cands = source.candidates(u);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_ne!(*c, u);
+            assert!(
+                !graph.has_edge(u, *c),
+                "candidate {c} is already a neighbor"
+            );
+            assert!(graph.common_neighbors(u, *c) >= 1, "{c} is not two-hop");
+        }
+    }
+
+    #[test]
+    fn two_hop_unseen_vertex_is_empty() {
+        let (graph, _) = setup();
+        assert!(TwoHopCandidates::new(&graph)
+            .candidates(VertexId(9999))
+            .is_empty());
+    }
+
+    #[test]
+    fn recommend_orders_descending_and_truncates() {
+        let (graph, _) = setup();
+        let scorer = ExactScorer::new(graph.clone());
+        let source = TwoHopCandidates::new(&graph);
+        let recs = recommend(&scorer, Measure::AdamicAdar, &source, VertexId(7), 5);
+        assert!(recs.len() <= 5);
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn exact_and_sketch_recommendations_overlap() {
+        let (graph, store) = setup();
+        let exact = ExactScorer::new(graph.clone());
+        let sketch = SketchScorer::new(store);
+        let source = TwoHopCandidates::new(&graph);
+        let mut overlap_total = 0usize;
+        let mut queries = 0usize;
+        for q in (0..60u64).step_by(6) {
+            let e = recommend(&exact, Measure::CommonNeighbors, &source, VertexId(q), 5);
+            let s = recommend(&sketch, Measure::CommonNeighbors, &source, VertexId(q), 5);
+            if e.is_empty() {
+                continue;
+            }
+            queries += 1;
+            let es: std::collections::HashSet<_> = e.iter().map(|&(v, _)| v).collect();
+            overlap_total += s.iter().filter(|&&(v, _)| es.contains(&v)).count();
+        }
+        assert!(queries > 0);
+        // On average at least 2 of 5 sketch picks are in the exact top-5.
+        assert!(
+            overlap_total >= queries * 2,
+            "sketch recommendations diverged: {overlap_total} overlaps over {queries} queries"
+        );
+    }
+
+    #[test]
+    fn lsh_candidates_integrate() {
+        let (_, store) = setup();
+        let index = LshIndex::build(&store, 16, 2).unwrap();
+        let source = LshCandidates::new(&index, &store);
+        let sketch = SketchScorer::new(store.clone());
+        let recs = recommend(&sketch, Measure::Jaccard, &source, VertexId(10), 5);
+        for &(v, j) in &recs {
+            assert_ne!(v, VertexId(10));
+            assert!((0.0..=1.0).contains(&j));
+        }
+    }
+}

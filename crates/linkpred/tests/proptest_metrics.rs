@@ -1,0 +1,115 @@
+//! Property-based tests for the evaluation metrics.
+
+use linkpred::metrics::{
+    auc, auc_naive, average_relative_error, kendall_tau, mae, precision_at_k, recall_at_k, rmse,
+};
+use proptest::prelude::*;
+
+fn scores() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 1..50)
+}
+
+proptest! {
+    /// AUC is always in [0, 1] and anti-symmetric under class swap.
+    #[test]
+    fn auc_bounds_and_swap(pos in scores(), neg in scores()) {
+        let a = auc(&pos, &neg).unwrap();
+        prop_assert!((0.0..=1.0).contains(&a));
+        let swapped = auc(&neg, &pos).unwrap();
+        prop_assert!((a + swapped - 1.0).abs() < 1e-9);
+    }
+
+    /// The O(n log n) rank-based AUC equals the naive pairwise
+    /// specification on arbitrary inputs, including ties.
+    #[test]
+    fn auc_matches_naive_spec(
+        pos in proptest::collection::vec(0.0f64..5.0, 1..40),
+        neg in proptest::collection::vec(0.0f64..5.0, 1..40),
+    ) {
+        // Quantize to force frequent ties.
+        let q = |v: &Vec<f64>| v.iter().map(|x| (x * 4.0).round() / 4.0).collect::<Vec<_>>();
+        let (pos, neg) = (q(&pos), q(&neg));
+        let fast = auc(&pos, &neg).unwrap();
+        let slow = auc_naive(&pos, &neg).unwrap();
+        prop_assert!((fast - slow).abs() < 1e-9, "fast {fast} vs naive {slow}");
+    }
+
+    /// Shifting every positive above every negative forces AUC = 1.
+    #[test]
+    fn auc_separable_is_one(pos in scores(), neg in scores()) {
+        let max_neg = neg.iter().cloned().fold(f64::MIN, f64::max);
+        let shifted: Vec<f64> = pos.iter().map(|p| p + max_neg + 1.0).collect();
+        prop_assert_eq!(auc(&shifted, &neg), Some(1.0));
+    }
+
+    /// Precision and recall are in [0, 1]; recall at n equals 1 whenever
+    /// positives exist.
+    #[test]
+    fn precision_recall_bounds(items in proptest::collection::vec((0.0f64..10.0, any::<bool>()), 2..40),
+                               k in 1usize..10) {
+        prop_assume!(k <= items.len());
+        if let Some(p) = precision_at_k(&items, k) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        if let Some(r) = recall_at_k(&items, k) {
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+        if items.iter().any(|(_, pos)| *pos) {
+            prop_assert_eq!(recall_at_k(&items, items.len()), Some(1.0));
+        }
+    }
+
+    /// MAE ≤ RMSE (Jensen) and both are zero iff the lists agree.
+    #[test]
+    fn mae_le_rmse(est in scores()) {
+        let truth: Vec<f64> = est.iter().map(|x| x * 1.1 + 0.5).collect();
+        let m = mae(&est, &truth);
+        let r = rmse(&est, &truth);
+        prop_assert!(m <= r + 1e-12);
+        prop_assert_eq!(mae(&est, &est), 0.0);
+        prop_assert_eq!(rmse(&est, &est), 0.0);
+    }
+
+    /// ARE is scale-invariant: scaling both lists leaves it unchanged.
+    #[test]
+    fn are_scale_invariant(est in scores(), scale in 0.1f64..10.0) {
+        let truth: Vec<f64> = est.iter().map(|x| x + 1.0).collect();
+        let a = average_relative_error(&est, &truth, 1e-12);
+        let est2: Vec<f64> = est.iter().map(|x| x * scale).collect();
+        let truth2: Vec<f64> = truth.iter().map(|x| x * scale).collect();
+        let b = average_relative_error(&est2, &truth2, 1e-12);
+        match (a, b) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+
+    /// Kendall τ is symmetric, bounded, and 1 against itself (mod ties).
+    #[test]
+    fn kendall_properties(a in proptest::collection::vec(0.0f64..10.0, 2..30)) {
+        let b: Vec<f64> = a.iter().rev().cloned().collect();
+        if let Some(t) = kendall_tau(&a, &b) {
+            prop_assert!((-1.0..=1.0).contains(&t));
+            prop_assert_eq!(kendall_tau(&b, &a), Some(t));
+        }
+        if let Some(self_t) = kendall_tau(&a, &a) {
+            prop_assert!((self_t - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Monotone transforms never change τ.
+    #[test]
+    fn kendall_monotone_invariant(a in proptest::collection::vec(0.0f64..10.0, 2..30)) {
+        let b: Vec<f64> = a.iter().map(|x| x * 3.0 + 7.0).collect();
+        let exp: Vec<f64> = a.iter().map(|x| x.exp()).collect();
+        match (kendall_tau(&a, &b), kendall_tau(&a, &exp)) {
+            (Some(x), Some(y)) => {
+                prop_assert!((x - 1.0).abs() < 1e-12);
+                prop_assert!((y - 1.0).abs() < 1e-12);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "mismatch: {other:?}"),
+        }
+    }
+}

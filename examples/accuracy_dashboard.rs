@@ -1,0 +1,68 @@
+//! The accuracy story end-to-end: predicted vs measured error bands.
+//!
+//! Shows the theory modules doing real work: for a sweep of sketch
+//! sizes, compare the Hoeffding error bound and the binomial standard
+//! deviation against the *measured* error of real sketches, and
+//! demonstrate per-query Wilson confidence intervals.
+//!
+//! ```sh
+//! cargo run --release --example accuracy_dashboard
+//! ```
+
+use streamlink::data::{Scale, SimulatedDataset};
+use streamlink::predict::evaluate::sample_overlap_pairs;
+use streamlink::prelude::*;
+use streamlink::sketch::AccuracyPlan;
+
+fn main() {
+    let stream = SimulatedDataset::DblpLike.stream(Scale::Small);
+    let exact = AdjacencyGraph::from_edges(stream.edges());
+    let pairs = sample_overlap_pairs(&exact, 400, 3);
+    println!(
+        "dataset: {} | {} query pairs with overlap\n",
+        SimulatedDataset::DblpLike,
+        pairs.len()
+    );
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>12}",
+        "k", "bound ε(δ=5%)", "binomial σ", "measured MAE", "95% misses"
+    );
+    for k in [32usize, 64, 128, 256, 512] {
+        let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(11));
+        store.insert_stream(stream.edges());
+
+        let eps = AccuracyPlan::error_bound(k, 0.05);
+        let mut mae = 0.0;
+        let mut misses = 0usize;
+        let mut sigma_sum = 0.0;
+        for &(u, v) in &pairs {
+            let truth = exact.jaccard(u, v);
+            let est = store.jaccard(u, v).unwrap_or(0.0);
+            mae += (est - truth).abs();
+            sigma_sum += AccuracyPlan::jaccard_variance(truth, k).sqrt();
+            // Wilson interval at 95%: does it cover the truth?
+            let matches = (est * k as f64).round() as usize;
+            let (lo, hi) = AccuracyPlan::wilson_interval(matches, k, 1.96);
+            if truth < lo || truth > hi {
+                misses += 1;
+            }
+        }
+        let n = pairs.len() as f64;
+        println!(
+            "{:>6} {:>14.4} {:>14.4} {:>14.4} {:>11.1}%",
+            k,
+            eps,
+            sigma_sum / n,
+            mae / n,
+            100.0 * misses as f64 / n
+        );
+    }
+
+    println!(
+        "\nreading: measured MAE tracks the binomial σ (the tight truth), the\n\
+         Hoeffding ε is the conservative worst-case band above both, and the\n\
+         Wilson 95% intervals miss the truth ≈5% of the time — the guarantee\n\
+         the paper's estimators promise, reproduced end to end."
+    );
+}
