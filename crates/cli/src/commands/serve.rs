@@ -1,251 +1,142 @@
-//! `streamlink serve` — a line-protocol query server over a sketch store.
+//! `streamlink serve` — a fault-tolerant line-protocol server over a
+//! sketch store.
 //!
-//! Loads a snapshot and answers measure queries over TCP, one text
-//! command per line. This is the "online" deployment shape the paper's
-//! streaming setting implies: the stream writer keeps calling `INSERT`,
-//! dashboards and recommenders read estimates concurrently.
+//! This module is the flag-parsing shell; the runtime lives in
+//! [`crate::server`] (protocol, connection handling, signals,
+//! persistence). The protocol itself is documented in
+//! [`crate::server::protocol`].
 //!
-//! ## Protocol
+//! ## Flags
 //!
 //! ```text
-//! JACCARD u v | CN u v | AA u v | RA u v | PA u v | COSINE u v | OVERLAP u v
-//!     -> OK <float>        measure estimate
-//!     -> OK unseen         either endpoint never appeared
-//! DEGREE u                 -> OK <int>
-//! INSERT u v               -> OK inserted
-//! STATS                    -> OK vertices=<n> edges=<m> memory=<bytes>
-//! PING                     -> OK pong
-//! QUIT                     -> OK bye (closes the connection)
-//! anything else            -> ERR <reason>
+//! --addr HOST:PORT            bind address        (127.0.0.1:7878)
+//! --data-dir DIR              durable mode: recover snapshot+journal,
+//!                             journal every INSERT before acking
+//! --snapshot FILE             read-mostly mode: load a snapshot file
+//!                             (mutually exclusive with --data-dir)
+//! --slots N --seed S          sketch shape for a fresh store  (256, 0)
+//! --fsync always|interval|never   journal durability      (interval)
+//! --max-conns N               connection cap, shed `ERR busy`  (1024)
+//! --idle-timeout-ms MS        disconnect quiet clients        (30000)
+//! --drain-secs S              shutdown drain deadline             (5)
+//! --snapshot-every-secs S     checkpoint interval                (30)
+//! --snapshot-every-edges N    checkpoint edge budget          (50000)
 //! ```
 //!
-//! Concurrency: one thread per connection; the store sits behind a
-//! `RwLock`, so reads run in parallel and `INSERT`s serialize.
+//! On SIGINT/SIGTERM the server stops accepting, drains, writes a final
+//! snapshot (durable mode), and exits 0. The first stdout line is
+//! `LISTENING <addr>` so scripts and tests can discover the bound port.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, RwLock};
+use std::io::Write;
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
 
-use graphstream::VertexId;
-use linkpred::Measure;
+use streamlink_core::journal::FsyncPolicy;
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{SketchConfig, SketchStore};
 
 use crate::args::Flags;
+use crate::server::{self, persistence, signals, ServerConfig, ServerState};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
     let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
-    let store = match flags.get("snapshot") {
-        Some(path) => {
-            let json =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let snap: StoreSnapshot =
-                serde_json::from_str(&json).map_err(|e| format!("bad snapshot: {e}"))?;
-            snap.restore()
-        }
-        None => {
-            let slots = flags.get_parsed_or("slots", 256usize)?;
-            let seed = flags.get_parsed_or("seed", 0u64)?;
-            if slots == 0 {
-                return Err("--slots must be positive".into());
-            }
-            SketchStore::new(SketchConfig::with_slots(slots).seed(seed))
-        }
+    let config = ServerConfig {
+        max_conns: flags.get_parsed_or("max-conns", 1024usize)?,
+        idle_timeout: Duration::from_millis(flags.get_parsed_or("idle-timeout-ms", 30_000u64)?),
+        drain_deadline: Duration::from_secs(flags.get_parsed_or("drain-secs", 5u64)?),
+        snapshot_every: Duration::from_secs(flags.get_parsed_or("snapshot-every-secs", 30u64)?),
+        snapshot_every_edges: flags.get_parsed_or("snapshot-every-edges", 50_000u64)?,
     };
+    if config.max_conns == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    let slots = flags.get_parsed_or("slots", 256usize)?;
+    let seed = flags.get_parsed_or("seed", 0u64)?;
+    if slots == 0 {
+        return Err("--slots must be positive".into());
+    }
+    let sketch_config = SketchConfig::with_slots(slots).seed(seed);
+    let fsync = match flags.get("fsync") {
+        None => FsyncPolicy::OnRotate,
+        Some(raw) => FsyncPolicy::parse(raw)
+            .ok_or_else(|| format!("bad --fsync {raw:?}, expected always|interval|never"))?,
+    };
+
+    let state = match (flags.get("data-dir"), flags.get("snapshot")) {
+        (Some(_), Some(_)) => {
+            return Err(
+                "--data-dir and --snapshot are mutually exclusive (a data dir carries \
+                 its own snapshot)"
+                    .into(),
+            )
+        }
+        (Some(dir), None) => {
+            let (persist, recovery) = persistence::open(Path::new(dir), sketch_config, fsync)
+                .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+            eprintln!(
+                "recovered {} edges from {dir} (snapshot seq {}, {} journal entr{} replayed{})",
+                recovery.store.edges_processed(),
+                recovery.snapshot_seq,
+                recovery.journal.replayed,
+                if recovery.journal.replayed == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                if recovery.journal.torn_tail {
+                    ", torn tail dropped"
+                } else {
+                    ""
+                },
+            );
+            ServerState::with_persistence(recovery.store, persist, recovery.snapshot_seq, config)
+        }
+        (None, Some(path)) => {
+            let snap = StoreSnapshot::read_from(Path::new(path))
+                .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
+            ServerState::in_memory(snap.restore(), config)
+        }
+        (None, None) => ServerState::in_memory(SketchStore::new(sketch_config), config),
+    };
+
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    signals::install();
+    let local = listener.local_addr().map_or(addr, |a| a.to_string());
+    println!("LISTENING {local}");
+    let _ = std::io::stdout().flush();
     eprintln!(
-        "serving {} vertices on {} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, DEGREE u, INSERT u v, STATS, QUIT)",
-        store.vertex_count(),
-        listener.local_addr().map_or(addr, |a| a.to_string()),
+        "serving {} vertices on {local} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, \
+         DEGREE u, INSERT u v, STATS, QUIT)",
+        state.read_store().vertex_count(),
     );
-    serve_forever(listener, store);
+    let state = Arc::new(state);
+    server::serve(listener, &state).map_err(|e| format!("server error: {e}"))?;
+    eprintln!("shut down cleanly");
     Ok(())
 }
 
-/// Accept loop: one thread per connection. Runs until the process exits.
+/// Back-compat accept loop over an in-memory store with default limits.
+/// Runs until the process exits or shutdown is requested.
 pub fn serve_forever(listener: TcpListener, store: SketchStore) {
-    let shared = Arc::new(RwLock::new(store));
-    for conn in listener.incoming() {
-        match conn {
-            Ok(stream) => {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || handle_connection(stream, &shared));
-            }
-            Err(e) => eprintln!("accept failed: {e}"),
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, store: &RwLock<SketchStore>) {
-    let peer = stream
-        .peer_addr()
-        .map_or_else(|_| "?".into(), |a| a.to_string());
-    let reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("{peer}: clone failed: {e}");
-            return;
-        }
-    });
-    let mut writer = stream;
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        let response = handle_command(store, &line);
-        let closing = response == "OK bye";
-        if writeln!(writer, "{response}").is_err() {
-            break;
-        }
-        if closing {
-            break;
-        }
-    }
-}
-
-/// Executes one protocol command against the store. Pure with respect to
-/// IO, so the full command surface is unit-testable without sockets.
-pub fn handle_command(store: &RwLock<SketchStore>, line: &str) -> String {
-    let mut parts = line.split_whitespace();
-    let Some(command) = parts.next() else {
-        return "ERR empty command".into();
-    };
-    let args: Vec<&str> = parts.collect();
-
-    let parse_vertex = |raw: &str| -> Result<VertexId, String> {
-        raw.parse::<u64>()
-            .map(VertexId)
-            .map_err(|e| format!("bad vertex id {raw:?}: {e}"))
-    };
-    let pair = |args: &[&str]| -> Result<(VertexId, VertexId), String> {
-        if args.len() != 2 {
-            return Err(format!("expected 2 vertex ids, got {}", args.len()));
-        }
-        Ok((parse_vertex(args[0])?, parse_vertex(args[1])?))
-    };
-
-    let upper = command.to_ascii_uppercase();
-    match upper.as_str() {
-        "PING" => "OK pong".into(),
-        "QUIT" => "OK bye".into(),
-        "STATS" => {
-            let guard = store.read().expect("store lock poisoned");
-            format!(
-                "OK vertices={} edges={} memory={}",
-                guard.vertex_count(),
-                guard.edges_processed(),
-                guard.memory_bytes()
-            )
-        }
-        "DEGREE" => match args.as_slice() {
-            [raw] => match parse_vertex(raw) {
-                Ok(v) => {
-                    let guard = store.read().expect("store lock poisoned");
-                    format!("OK {}", guard.degree(v))
-                }
-                Err(e) => format!("ERR {e}"),
-            },
-            _ => "ERR DEGREE takes exactly one vertex id".into(),
-        },
-        "INSERT" => match pair(&args) {
-            Ok((u, v)) => {
-                store
-                    .write()
-                    .expect("store lock poisoned")
-                    .insert_edge(u, v);
-                "OK inserted".into()
-            }
-            Err(e) => format!("ERR {e}"),
-        },
-        "JACCARD" | "CN" | "AA" | "RA" | "PA" | "COSINE" | "OVERLAP" => {
-            let measure = Measure::parse(&upper).expect("command names are measure keys");
-            match pair(&args) {
-                Ok((u, v)) => {
-                    let guard = store.read().expect("store lock poisoned");
-                    let score = match measure {
-                        Measure::Jaccard => guard.jaccard(u, v),
-                        Measure::CommonNeighbors => guard.common_neighbors(u, v),
-                        Measure::AdamicAdar => guard.adamic_adar(u, v),
-                        Measure::ResourceAllocation => guard.resource_allocation(u, v),
-                        Measure::PreferentialAttachment => guard.preferential_attachment(u, v),
-                        Measure::Cosine => guard.cosine(u, v),
-                        Measure::Overlap => guard.overlap(u, v),
-                    };
-                    match score {
-                        Some(s) => format!("OK {s:.6}"),
-                        None => "OK unseen".into(),
-                    }
-                }
-                Err(e) => format!("ERR {e}"),
-            }
-        }
-        other => format!("ERR unknown command {other:?}"),
+    let state = Arc::new(ServerState::in_memory(store, ServerConfig::default()));
+    if let Err(e) = server::serve(listener, &state) {
+        eprintln!("server error: {e}");
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn store() -> RwLock<SketchStore> {
-        let mut s = SketchStore::new(SketchConfig::with_slots(64).seed(1));
-        for w in 10..30u64 {
-            s.insert_edge(VertexId(0), VertexId(w));
-            s.insert_edge(VertexId(1), VertexId(w));
-        }
-        RwLock::new(s)
-    }
-
-    #[test]
-    fn ping_and_quit() {
-        let s = store();
-        assert_eq!(handle_command(&s, "PING"), "OK pong");
-        assert_eq!(handle_command(&s, "quit"), "OK bye");
-    }
-
-    #[test]
-    fn measure_queries() {
-        let s = store();
-        assert_eq!(handle_command(&s, "JACCARD 0 1"), "OK 1.000000");
-        assert!(handle_command(&s, "CN 0 1").starts_with("OK 20"));
-        assert!(handle_command(&s, "AA 0 1").starts_with("OK "));
-        assert!(handle_command(&s, "cosine 0 1").starts_with("OK "));
-        assert_eq!(handle_command(&s, "JACCARD 0 9999"), "OK unseen");
-    }
-
-    #[test]
-    fn degree_and_stats() {
-        let s = store();
-        assert_eq!(handle_command(&s, "DEGREE 0"), "OK 20");
-        assert_eq!(handle_command(&s, "DEGREE 404"), "OK 0");
-        let stats = handle_command(&s, "STATS");
-        assert!(
-            stats.contains("vertices=22") && stats.contains("edges=40"),
-            "{stats}"
-        );
-    }
-
-    #[test]
-    fn insert_updates_state() {
-        let s = store();
-        assert_eq!(handle_command(&s, "INSERT 0 500"), "OK inserted");
-        assert_eq!(handle_command(&s, "DEGREE 500"), "OK 1");
-        assert_eq!(handle_command(&s, "DEGREE 0"), "OK 21");
-    }
-
-    #[test]
-    fn errors_are_reported_not_panicked() {
-        let s = store();
-        assert!(handle_command(&s, "").starts_with("ERR"));
-        assert!(handle_command(&s, "FROBNICATE 1 2").starts_with("ERR"));
-        assert!(handle_command(&s, "JACCARD 1").starts_with("ERR"));
-        assert!(handle_command(&s, "JACCARD a b").starts_with("ERR"));
-        assert!(handle_command(&s, "DEGREE").starts_with("ERR"));
-        assert!(handle_command(&s, "INSERT 1 2 3").starts_with("ERR"));
-    }
+    use crate::server::protocol::handle_command;
+    use graphstream::VertexId;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     #[test]
     fn end_to_end_over_tcp() {
-        use std::io::{BufRead, BufReader, Write};
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let mut s = SketchStore::new(SketchConfig::with_slots(32).seed(2));
@@ -255,7 +146,7 @@ mod tests {
         }
         std::thread::spawn(move || serve_forever(listener, s));
 
-        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        let mut conn = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(conn.try_clone().unwrap());
         let mut ask = |cmd: &str| -> String {
             writeln!(conn, "{cmd}").unwrap();
@@ -272,7 +163,6 @@ mod tests {
 
     #[test]
     fn concurrent_clients() {
-        use std::io::{BufRead, BufReader, Write};
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let mut s = SketchStore::new(SketchConfig::with_slots(16).seed(3));
@@ -282,7 +172,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|t| {
                 std::thread::spawn(move || {
-                    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+                    let mut conn = TcpStream::connect(addr).unwrap();
                     let mut reader = BufReader::new(conn.try_clone().unwrap());
                     for i in 0..50u64 {
                         writeln!(conn, "INSERT {} {}", 1000 + t, 2000 + i).unwrap();
@@ -297,11 +187,91 @@ mod tests {
             h.join().unwrap();
         }
 
-        let mut conn = std::net::TcpStream::connect(addr).unwrap();
+        let mut conn = TcpStream::connect(addr).unwrap();
         let mut reader = BufReader::new(conn.try_clone().unwrap());
         writeln!(conn, "STATS").unwrap();
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
-        assert!(line.contains("edges=201"), "{line}");
+        assert!(line.contains(" edges=201 "), "{line}");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_err_busy() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let store = SketchStore::new(SketchConfig::with_slots(16).seed(4));
+        let state = Arc::new(ServerState::in_memory(
+            store,
+            ServerConfig {
+                max_conns: 2,
+                ..ServerConfig::default()
+            },
+        ));
+        let st = Arc::clone(&state);
+        std::thread::spawn(move || server::serve(listener, &st));
+
+        // Fill both slots with live connections.
+        let mut held = Vec::new();
+        for _ in 0..2 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(conn.try_clone().unwrap());
+            writeln!(conn, "PING").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "OK pong");
+            held.push((conn, reader));
+        }
+        // The third is shed before any command is read.
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "ERR busy");
+        state.request_shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_and_returns() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let store = SketchStore::new(SketchConfig::with_slots(16).seed(5));
+        let state = Arc::new(ServerState::in_memory(store, ServerConfig::default()));
+        let st = Arc::clone(&state);
+        let server = std::thread::spawn(move || server::serve(listener, &st));
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        writeln!(conn, "INSERT 1 2").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "OK inserted");
+
+        state.request_shutdown();
+        server.join().unwrap().unwrap();
+        assert_eq!(state.connections_active(), 0);
+        assert_eq!(state.read_store().edges_processed(), 1);
+    }
+
+    #[test]
+    fn in_memory_state_answers_protocol() {
+        // The command surface itself is covered in server::protocol;
+        // this pins the wiring the `serve` command relies on.
+        let state = ServerState::in_memory(
+            SketchStore::new(SketchConfig::with_slots(16).seed(6)),
+            ServerConfig::default(),
+        );
+        assert_eq!(handle_command(&state, "INSERT 3 4"), "OK inserted");
+        assert_eq!(handle_command(&state, "DEGREE 3"), "OK 1");
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        let argv =
+            |flags: &[&str]| -> Vec<String> { flags.iter().map(|s| s.to_string()).collect() };
+        assert!(run(&argv(&["--slots", "0"])).is_err());
+        assert!(run(&argv(&["--max-conns", "0"])).is_err());
+        assert!(run(&argv(&["--fsync", "sometimes"])).is_err());
+        assert!(run(&argv(&["--data-dir", "/tmp/x", "--snapshot", "/tmp/y"])).is_err());
+        assert!(run(&argv(&["--idle-timeout-ms", "soon"])).is_err());
     }
 }

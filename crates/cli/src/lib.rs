@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod server;
 
 /// Dispatches one CLI invocation (argv without the program name).
 ///
@@ -63,7 +64,9 @@ USAGE:
   streamlink query    --snapshot <file.json> --measure <jaccard|cn|aa|ra|pa> --pair U:V [--pair U:V ...]
   streamlink evaluate --dataset <key> [--scale ...] [--slots N] [--fraction F]
   streamlink top      --snapshot <file.json> --vertex V [--k N] [--bands B] [--rows R]
-  streamlink serve    [--snapshot <file.json>] [--addr HOST:PORT] [--slots N]
+  streamlink serve    [--data-dir DIR | --snapshot <file.json>] [--addr HOST:PORT] [--slots N]
+                      [--fsync always|interval|never] [--max-conns N] [--idle-timeout-ms MS]
+                      [--drain-secs S] [--snapshot-every-secs S] [--snapshot-every-edges N]
   streamlink convert  --input <file> --out <file> [--format csv|bin|compact]
   streamlink recommend --snapshot <file.json> --vertex V [--k N] [--measure aa] [--bands B] [--rows R]"
     );

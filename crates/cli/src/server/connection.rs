@@ -1,0 +1,84 @@
+//! One connection: a line-in/line-out loop with timeouts.
+//!
+//! The socket read timeout doubles as the poll tick: every tick the
+//! loop checks the shutdown flag (drain) and the idle clock (slow or
+//! stuck clients are disconnected instead of pinning a thread and a
+//! connection slot forever).
+//!
+//! A read timeout can fire mid-line; the partially read bytes stay in
+//! the line buffer across ticks, so a slow writer loses nothing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use super::{protocol, ServerState, POLL_INTERVAL};
+
+/// Serves one accepted connection until the client quits, goes idle,
+/// errors out, or the server drains.
+pub(super) fn handle(stream: TcpStream, state: &ServerState) {
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "?".into(), |a| a.to_string());
+    let poll = POLL_INTERVAL.max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(poll)).is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_secs(5)))
+            .is_err()
+    {
+        return;
+    }
+    // One write per response below; without this, Nagle + delayed ACK
+    // add tens of milliseconds to every request round-trip.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{peer}: clone failed: {e}");
+            return;
+        }
+    });
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        let buffered = line.len();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                last_activity = Instant::now();
+                let mut response =
+                    protocol::handle_command(state, line.trim_end_matches(['\r', '\n']));
+                let closing = response == "OK bye";
+                response.push('\n');
+                if writer.write_all(response.as_bytes()).is_err() || closing {
+                    break;
+                }
+                line.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                if line.len() > buffered {
+                    // Partial progress mid-line still counts as activity.
+                    last_activity = Instant::now();
+                }
+                if state.shutdown_requested() && line.is_empty() {
+                    // Quiet connection during drain: close it so the
+                    // server can finish shutting down.
+                    break;
+                }
+                if last_activity.elapsed() >= state.config().idle_timeout {
+                    let _ = writeln!(writer, "ERR idle timeout, closing");
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+}

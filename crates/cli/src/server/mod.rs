@@ -1,0 +1,302 @@
+//! The serving runtime behind `streamlink serve`.
+//!
+//! [`commands::serve`](crate::commands::serve) parses flags; everything
+//! that actually runs lives here, split by concern:
+//!
+//! * [`protocol`] — executes one text command against the shared state
+//!   (pure with respect to IO, unit-testable without sockets).
+//! * [`connection`] — per-connection loop: read/poll with a timeout,
+//!   idle disconnect, drain on shutdown.
+//! * [`signals`] — SIGINT/SIGTERM handlers flipping the shutdown flag.
+//! * [`persistence`] — data-directory recovery, the edge journal, and
+//!   the background checkpointer.
+//!
+//! ## Lifecycle
+//!
+//! [`serve`] accepts connections (shedding with `ERR busy` past the
+//! connection cap) until shutdown is requested, then stops accepting,
+//! drains live connections up to a deadline, writes a final snapshot
+//! when a data directory is configured, and returns — so the process
+//! exits 0 on SIGINT/SIGTERM.
+//!
+//! ## Durability contract
+//!
+//! With a data directory, every `INSERT` is appended to the journal
+//! *before* it is acked (see [`ServerState::insert_edge`]); a crash at
+//! any instant loses at most un-acked work. The checkpointer
+//! periodically folds the journal into an atomic snapshot so recovery
+//! stays fast and the journal stays short.
+
+pub mod connection;
+pub mod persistence;
+pub mod protocol;
+pub mod signals;
+
+use std::io::{self, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use graphstream::VertexId;
+use streamlink_core::journal::JournalEntry;
+use streamlink_core::SketchStore;
+
+use persistence::Persist;
+
+/// How often the accept loop and connection loops wake up to poll the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Tunables for one server instance. All have serving-grade defaults;
+/// `streamlink serve` exposes each as a flag.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum simultaneous connections; extras are shed with
+    /// `ERR busy`.
+    pub max_conns: usize,
+    /// Close a connection after this long without a complete command.
+    pub idle_timeout: Duration,
+    /// How long shutdown waits for live connections before giving up.
+    pub drain_deadline: Duration,
+    /// Checkpoint at least this often while new edges exist.
+    pub snapshot_every: Duration,
+    /// Checkpoint as soon as the journal lag reaches this many edges.
+    pub snapshot_every_edges: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_conns: 1024,
+            idle_timeout: Duration::from_secs(30),
+            drain_deadline: Duration::from_secs(5),
+            snapshot_every: Duration::from_secs(30),
+            snapshot_every_edges: 50_000,
+        }
+    }
+}
+
+/// Everything the serving threads share: the store, the optional
+/// persistence layer, counters, and the shutdown flag.
+///
+/// Lock order is `store` then `persist` everywhere; both locks recover
+/// from poisoning (a panicked connection thread must not take the
+/// server down with it).
+pub struct ServerState {
+    store: RwLock<SketchStore>,
+    persist: Option<Mutex<Persist>>,
+    config: ServerConfig,
+    started: Instant,
+    active: AtomicUsize,
+    last_snapshot_seq: AtomicU64,
+    local_shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// A server over an in-memory store: no journal, no snapshots.
+    #[must_use]
+    pub fn in_memory(store: SketchStore, config: ServerConfig) -> Self {
+        Self::new(store, None, 0, config)
+    }
+
+    /// A server backed by a data directory (opened via
+    /// [`persistence::open`]); `snapshot_seq` is the recovered
+    /// snapshot's high-water mark.
+    #[must_use]
+    pub fn with_persistence(
+        store: SketchStore,
+        persist: Persist,
+        snapshot_seq: u64,
+        config: ServerConfig,
+    ) -> Self {
+        Self::new(store, Some(persist), snapshot_seq, config)
+    }
+
+    fn new(
+        store: SketchStore,
+        persist: Option<Persist>,
+        snapshot_seq: u64,
+        config: ServerConfig,
+    ) -> Self {
+        ServerState {
+            store: RwLock::new(store),
+            persist: persist.map(Mutex::new),
+            config,
+            started: Instant::now(),
+            active: AtomicUsize::new(0),
+            last_snapshot_seq: AtomicU64::new(snapshot_seq),
+            local_shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The server's tunables.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Read access to the store, recovering from lock poisoning.
+    pub fn read_store(&self) -> RwLockReadGuard<'_, SketchStore> {
+        self.store.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access to the store, recovering from lock poisoning.
+    pub fn write_store(&self) -> RwLockWriteGuard<'_, SketchStore> {
+        self.store.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn persist_guard(&self) -> Option<MutexGuard<'_, Persist>> {
+        self.persist
+            .as_ref()
+            .map(|p| p.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Applies one edge: journal first (when persistence is on), then
+    /// the in-memory store. Returns only after the edge is at least
+    /// crash-durable — callers ack the client on `Ok` and must not on
+    /// `Err`.
+    ///
+    /// # Errors
+    /// Fails if the journal append fails; the store is then left
+    /// untouched, so an errored (un-acked) edge is never half-applied.
+    pub fn insert_edge(&self, u: VertexId, v: VertexId) -> io::Result<()> {
+        let mut store = self.write_store();
+        if let Some(mut persist) = self.persist_guard() {
+            let seq = store.edges_processed() + 1;
+            persist.journal.append(JournalEntry { seq, u, v })?;
+        }
+        store.insert_edge(u, v);
+        Ok(())
+    }
+
+    /// Whether shutdown was requested, by signal or programmatically.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.local_shutdown.load(Ordering::SeqCst) || signals::shutdown_requested()
+    }
+
+    /// Requests shutdown without a signal (used by tests).
+    pub fn request_shutdown(&self) {
+        self.local_shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Connections currently being served.
+    #[must_use]
+    pub fn connections_active(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
+    /// Seconds since this server state was created.
+    #[must_use]
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Acked edges not yet covered by a durable snapshot (0 when
+    /// serving purely in memory).
+    #[must_use]
+    pub fn journal_lag(&self) -> u64 {
+        if self.persist.is_none() {
+            return 0;
+        }
+        let edges = self.read_store().edges_processed();
+        edges.saturating_sub(self.last_snapshot_seq.load(Ordering::SeqCst))
+    }
+
+    fn set_last_snapshot_seq(&self, seq: u64) {
+        self.last_snapshot_seq.store(seq, Ordering::SeqCst);
+    }
+}
+
+/// Decrements the active-connection counter when dropped, so a panicked
+/// handler thread still releases its slot.
+struct ActiveGuard<'a>(&'a ServerState);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs the full server lifecycle: accept until shutdown, drain, write
+/// the final checkpoint. Returns `Ok(())` on a clean shutdown so the
+/// process can exit 0.
+///
+/// # Errors
+/// Fails if the listener cannot be configured or the final checkpoint
+/// cannot be written (acked edges are still safe in the journal).
+pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let checkpointer = if state.persist.is_some() {
+        let st = Arc::clone(state);
+        Some(
+            thread::Builder::new()
+                .name("checkpointer".into())
+                .spawn(move || persistence::checkpoint_loop(&st))?,
+        )
+    } else {
+        None
+    };
+
+    while !state.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let previous = state.active.fetch_add(1, Ordering::SeqCst);
+                if previous >= state.config.max_conns {
+                    state.active.fetch_sub(1, Ordering::SeqCst);
+                    shed(stream);
+                    continue;
+                }
+                let st = Arc::clone(state);
+                let spawned = thread::Builder::new()
+                    .name("connection".into())
+                    .spawn(move || {
+                        let _slot = ActiveGuard(&st);
+                        connection::handle(stream, &st);
+                    });
+                if let Err(e) = spawned {
+                    state.active.fetch_sub(1, Ordering::SeqCst);
+                    eprintln!("cannot spawn connection thread: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+    drop(listener); // stop accepting before draining
+
+    let deadline = Instant::now() + state.config.drain_deadline;
+    while state.connections_active() > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    let stragglers = state.connections_active();
+    if stragglers > 0 {
+        eprintln!("drain deadline hit with {stragglers} connection(s) still open");
+    }
+
+    if let Some(handle) = checkpointer {
+        let _ = handle.join();
+    }
+    if state.persist.is_some() {
+        let report = persistence::checkpoint_now(state)?;
+        eprintln!(
+            "final snapshot at seq {} ({} journal segment(s) pruned)",
+            report.snapshot_seq, report.segments_pruned
+        );
+    }
+    Ok(())
+}
+
+/// Rejects a connection past the cap: one `ERR busy` line, then close.
+fn shed(stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = writeln!(stream, "ERR busy");
+}

@@ -1,0 +1,134 @@
+//! The serving side of durability: open a data directory, keep the
+//! journal, run the background checkpointer.
+//!
+//! The crash-safety protocol itself lives in `streamlink-core`
+//! ([`streamlink_core::journal`], [`streamlink_core::durable`]); this
+//! module wires it to the live server:
+//!
+//! * [`open`] recovers the store (snapshot + journal tail) and opens a
+//!   fresh journal segment for new edges.
+//! * [`checkpoint_now`] captures a snapshot and rotates the journal
+//!   under the locks, then writes and prunes with no lock held, so
+//!   ingestion stalls only for the in-memory capture.
+//! * [`checkpoint_loop`] runs `checkpoint_now` whenever the journal lag
+//!   passes the configured edge budget or the time interval elapses.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use streamlink_core::durable::{self, Recovery};
+use streamlink_core::journal::{FsyncPolicy, Journal};
+use streamlink_core::snapshot::StoreSnapshot;
+
+use super::ServerState;
+
+/// A live data directory: its path plus the journal accepting new
+/// appends. Sits behind a `Mutex` inside [`ServerState`].
+#[derive(Debug)]
+pub struct Persist {
+    pub(super) dir: PathBuf,
+    pub(super) journal: Journal,
+}
+
+/// Recovers the store from `dir` (moving it out via
+/// [`Recovery::store`]) and opens a journal segment for the edges this
+/// process will ack. Returns the recovery report so the caller can log
+/// what was rebuilt.
+///
+/// # Errors
+/// Fails on unreadable files, a corrupt snapshot, or journal-creation
+/// errors. A missing/empty directory is not an error (fresh start).
+pub fn open(
+    dir: &Path,
+    config: streamlink_core::SketchConfig,
+    fsync: FsyncPolicy,
+) -> io::Result<(Persist, Recovery)> {
+    std::fs::create_dir_all(dir)?;
+    let recovery = durable::recover(dir, config)?;
+    let journal = Journal::create(dir, recovery.store.edges_processed() + 1, fsync)?;
+    Ok((
+        Persist {
+            dir: dir.to_path_buf(),
+            journal,
+        },
+        recovery,
+    ))
+}
+
+/// What one checkpoint accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// `edges_processed` the snapshot covers.
+    pub snapshot_seq: u64,
+    /// Journal segments the snapshot made deletable.
+    pub segments_pruned: usize,
+}
+
+/// Takes one checkpoint: capture + journal rotation under the locks
+/// (brief), atomic snapshot write + prune without them (slow but
+/// non-blocking for ingestion).
+///
+/// Safe against a crash at any point: the snapshot write is atomic, and
+/// pruning only runs after it returns (see
+/// [`streamlink_core::checkpoint`] for the ordering argument).
+///
+/// # Errors
+/// Fails on IO errors; the journal still holds every acked edge, so a
+/// failed checkpoint costs nothing but disk space.
+pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
+    let Some(persist) = state.persist.as_ref() else {
+        return Ok(CheckpointReport {
+            snapshot_seq: 0,
+            segments_pruned: 0,
+        });
+    };
+    fn lock(p: &std::sync::Mutex<Persist>) -> std::sync::MutexGuard<'_, Persist> {
+        p.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    let (snapshot, dir) = {
+        let store = state.read_store();
+        let mut persist = lock(persist);
+        let snapshot = StoreSnapshot::capture(&store);
+        persist.journal.rotate(snapshot.edges_processed + 1)?;
+        (snapshot, persist.dir.clone())
+    };
+    snapshot.write_atomic(&durable::snapshot_path(&dir))?;
+    let segments_pruned = lock(persist)
+        .journal
+        .prune_below(snapshot.edges_processed)?;
+    state.set_last_snapshot_seq(snapshot.edges_processed);
+    Ok(CheckpointReport {
+        snapshot_seq: snapshot.edges_processed,
+        segments_pruned,
+    })
+}
+
+/// The checkpointer thread body: poll until shutdown, checkpointing
+/// when the journal lag hits the edge budget or the interval elapses
+/// with anything to persist. The final shutdown checkpoint is the
+/// lifecycle's job ([`super::serve`]), not this loop's.
+pub(super) fn checkpoint_loop(state: &ServerState) {
+    let interval = state.config().snapshot_every;
+    let edge_budget = state.config().snapshot_every_edges.max(1);
+    let mut last_attempt = Instant::now();
+    while !state.shutdown_requested() {
+        thread::sleep(Duration::from_millis(25));
+        let lag = state.journal_lag();
+        let due = lag >= edge_budget || (lag > 0 && last_attempt.elapsed() >= interval);
+        if !due {
+            continue;
+        }
+        last_attempt = Instant::now();
+        match checkpoint_now(state) {
+            Ok(report) => eprintln!(
+                "checkpoint: snapshot at seq {} ({} segment(s) pruned)",
+                report.snapshot_seq, report.segments_pruned
+            ),
+            // Non-fatal: the journal still holds everything acked.
+            Err(e) => eprintln!("checkpoint failed (will retry): {e}"),
+        }
+    }
+}

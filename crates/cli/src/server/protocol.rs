@@ -1,0 +1,186 @@
+//! The text protocol: one command in, one response line out.
+//!
+//! ```text
+//! JACCARD u v | CN u v | AA u v | RA u v | PA u v | COSINE u v | OVERLAP u v
+//!     -> OK <float>        measure estimate
+//!     -> OK unseen         either endpoint never appeared
+//! DEGREE u                 -> OK <int>
+//! INSERT u v               -> OK inserted          (journaled first when
+//!                                                   a data dir is set)
+//! STATS                    -> OK vertices=<n> edges=<m> memory=<bytes>
+//!                                uptime_secs=<s> connections_active=<c>
+//!                                journal_lag_edges=<l>   (one line)
+//! PING                     -> OK pong
+//! QUIT                     -> OK bye (closes the connection)
+//! anything else            -> ERR <reason>
+//! ```
+//!
+//! Every malformed input maps to an `ERR` line — nothing a client sends
+//! can panic a connection thread.
+
+use graphstream::VertexId;
+use linkpred::Measure;
+
+use super::ServerState;
+
+/// Executes one protocol command against the shared state. Pure with
+/// respect to IO, so the full command surface is unit-testable without
+/// sockets.
+#[must_use]
+pub fn handle_command(state: &ServerState, line: &str) -> String {
+    let mut parts = line.split_whitespace();
+    let Some(command) = parts.next() else {
+        return "ERR empty command".into();
+    };
+    let args: Vec<&str> = parts.collect();
+
+    let parse_vertex = |raw: &str| -> Result<VertexId, String> {
+        raw.parse::<u64>()
+            .map(VertexId)
+            .map_err(|e| format!("bad vertex id {raw:?}: {e}"))
+    };
+    let pair = |args: &[&str]| -> Result<(VertexId, VertexId), String> {
+        if args.len() != 2 {
+            return Err(format!("expected 2 vertex ids, got {}", args.len()));
+        }
+        Ok((parse_vertex(args[0])?, parse_vertex(args[1])?))
+    };
+
+    let upper = command.to_ascii_uppercase();
+    match upper.as_str() {
+        "PING" => "OK pong".into(),
+        "QUIT" => "OK bye".into(),
+        "STATS" => {
+            let (vertices, edges, memory) = {
+                let guard = state.read_store();
+                (
+                    guard.vertex_count(),
+                    guard.edges_processed(),
+                    guard.memory_bytes(),
+                )
+            };
+            format!(
+                "OK vertices={vertices} edges={edges} memory={memory} \
+                 uptime_secs={} connections_active={} journal_lag_edges={}",
+                state.uptime_secs(),
+                state.connections_active(),
+                state.journal_lag(),
+            )
+        }
+        "DEGREE" => match args.as_slice() {
+            [raw] => match parse_vertex(raw) {
+                Ok(v) => format!("OK {}", state.read_store().degree(v)),
+                Err(e) => format!("ERR {e}"),
+            },
+            _ => "ERR DEGREE takes exactly one vertex id".into(),
+        },
+        "INSERT" => match pair(&args) {
+            Ok((u, v)) => match state.insert_edge(u, v) {
+                Ok(()) => "OK inserted".into(),
+                // Not acked: the edge was neither journaled nor applied.
+                Err(e) => format!("ERR not persisted: {e}"),
+            },
+            Err(e) => format!("ERR {e}"),
+        },
+        "JACCARD" | "CN" | "AA" | "RA" | "PA" | "COSINE" | "OVERLAP" => {
+            let Some(measure) = Measure::parse(&upper) else {
+                return format!("ERR unknown measure {upper:?}");
+            };
+            match pair(&args) {
+                Ok((u, v)) => {
+                    let guard = state.read_store();
+                    let score = match measure {
+                        Measure::Jaccard => guard.jaccard(u, v),
+                        Measure::CommonNeighbors => guard.common_neighbors(u, v),
+                        Measure::AdamicAdar => guard.adamic_adar(u, v),
+                        Measure::ResourceAllocation => guard.resource_allocation(u, v),
+                        Measure::PreferentialAttachment => guard.preferential_attachment(u, v),
+                        Measure::Cosine => guard.cosine(u, v),
+                        Measure::Overlap => guard.overlap(u, v),
+                    };
+                    match score {
+                        Some(s) => format!("OK {s:.6}"),
+                        None => "OK unseen".into(),
+                    }
+                }
+                Err(e) => format!("ERR {e}"),
+            }
+        }
+        other => format!("ERR unknown command {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, ServerState};
+    use streamlink_core::{SketchConfig, SketchStore};
+
+    fn state() -> ServerState {
+        let mut s = SketchStore::new(SketchConfig::with_slots(64).seed(1));
+        for w in 10..30u64 {
+            s.insert_edge(VertexId(0), VertexId(w));
+            s.insert_edge(VertexId(1), VertexId(w));
+        }
+        ServerState::in_memory(s, ServerConfig::default())
+    }
+
+    #[test]
+    fn ping_and_quit() {
+        let s = state();
+        assert_eq!(handle_command(&s, "PING"), "OK pong");
+        assert_eq!(handle_command(&s, "quit"), "OK bye");
+    }
+
+    #[test]
+    fn measure_queries() {
+        let s = state();
+        assert_eq!(handle_command(&s, "JACCARD 0 1"), "OK 1.000000");
+        assert!(handle_command(&s, "CN 0 1").starts_with("OK 20"));
+        assert!(handle_command(&s, "AA 0 1").starts_with("OK "));
+        assert!(handle_command(&s, "cosine 0 1").starts_with("OK "));
+        assert_eq!(handle_command(&s, "JACCARD 0 9999"), "OK unseen");
+    }
+
+    #[test]
+    fn degree_and_stats() {
+        let s = state();
+        assert_eq!(handle_command(&s, "DEGREE 0"), "OK 20");
+        assert_eq!(handle_command(&s, "DEGREE 404"), "OK 0");
+        let stats = handle_command(&s, "STATS");
+        assert!(
+            stats.contains("vertices=22") && stats.contains(" edges=40"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn stats_reports_serving_fields() {
+        let s = state();
+        let stats = handle_command(&s, "STATS");
+        assert!(stats.contains("uptime_secs="), "{stats}");
+        assert!(stats.contains("connections_active=0"), "{stats}");
+        // In-memory serving has no journal, hence no lag.
+        assert!(stats.contains("journal_lag_edges=0"), "{stats}");
+    }
+
+    #[test]
+    fn insert_updates_state() {
+        let s = state();
+        assert_eq!(handle_command(&s, "INSERT 0 500"), "OK inserted");
+        assert_eq!(handle_command(&s, "DEGREE 500"), "OK 1");
+        assert_eq!(handle_command(&s, "DEGREE 0"), "OK 21");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let s = state();
+        assert!(handle_command(&s, "").starts_with("ERR"));
+        assert!(handle_command(&s, "FROBNICATE 1 2").starts_with("ERR"));
+        assert!(handle_command(&s, "JACCARD 1").starts_with("ERR"));
+        assert!(handle_command(&s, "JACCARD a b").starts_with("ERR"));
+        assert!(handle_command(&s, "DEGREE").starts_with("ERR"));
+        assert!(handle_command(&s, "INSERT 1 2 3").starts_with("ERR"));
+        assert!(handle_command(&s, "INSERT x 2").starts_with("ERR"));
+    }
+}

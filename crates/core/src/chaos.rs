@@ -1,0 +1,188 @@
+//! Fault-injection helpers for durability testing.
+//!
+//! Production code must survive torn writes, partial files, and injected
+//! IO errors; this module provides the tools the tests use to produce
+//! those conditions deterministically:
+//!
+//! * [`ChaosWriter`] — a writer that fails with an injected error after a
+//!   byte budget, leaving a genuine partial write behind;
+//! * [`tear_file`] — chops bytes off a file's end, reproducing a write
+//!   cut by a crash;
+//! * [`append_garbage`] — appends non-protocol bytes, reproducing a
+//!   corrupted tail.
+//!
+//! It ships in the library (not behind `cfg(test)`) so integration tests
+//! and the bench harness can drive the same faults against real files;
+//! nothing in the serving path calls it.
+
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A writer that emits an injected error once `budget` bytes have been
+/// written, forwarding everything before that to the inner writer.
+///
+/// The partial prefix *is* written — exactly what a crash mid-write
+/// leaves on disk.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    budget: usize,
+    written: usize,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner`, allowing `budget` bytes through before failing.
+    #[must_use]
+    pub fn new(inner: W, budget: usize) -> Self {
+        ChaosWriter {
+            inner,
+            budget,
+            written: 0,
+        }
+    }
+
+    /// Total bytes actually forwarded to the inner writer.
+    #[must_use]
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let remaining = self.budget.saturating_sub(self.written);
+        if remaining == 0 {
+            return Err(io::Error::other("injected fault: write budget exhausted"));
+        }
+        let n = self.inner.write(&buf[..buf.len().min(remaining)])?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Truncates the last `bytes` bytes off the file at `path`, simulating a
+/// write torn by a crash. Truncating more than the file holds empties it.
+///
+/// # Errors
+/// Fails if the file cannot be opened or resized.
+pub fn tear_file(path: &Path, bytes: u64) -> io::Result<()> {
+    let len = fs::metadata(path)?.len();
+    let f = OpenOptions::new().write(true).open(path)?;
+    f.set_len(len.saturating_sub(bytes))?;
+    f.sync_all()
+}
+
+/// Appends `garbage` to the file at `path`, simulating a corrupted tail.
+///
+/// # Errors
+/// Fails if the file cannot be opened or written.
+pub fn append_garbage(path: &Path, garbage: &[u8]) -> io::Result<()> {
+    let mut f = OpenOptions::new().append(true).open(path)?;
+    f.write_all(garbage)?;
+    f.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{self, FsyncPolicy, Journal, JournalEntry};
+    use graphstream::VertexId;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("streamlink-chaos-{}-{tag}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn chaos_writer_fails_after_budget_with_partial_prefix() {
+        let mut w = ChaosWriter::new(Vec::new(), 10);
+        assert_eq!(w.write(b"hello ").unwrap(), 6);
+        assert_eq!(w.write(b"world!!").unwrap(), 4); // clipped at budget
+        let err = w.write(b"more").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Other);
+        assert!(err.to_string().contains("injected fault"));
+        assert_eq!(w.written(), 10);
+        assert_eq!(w.into_inner(), b"hello worl");
+    }
+
+    #[test]
+    fn chaos_writer_with_zero_budget_fails_immediately() {
+        let mut w = ChaosWriter::new(Vec::new(), 0);
+        assert!(w.write(b"x").is_err());
+        assert!(w.into_inner().is_empty());
+    }
+
+    #[test]
+    fn torn_journal_write_loses_only_the_unacked_tail() {
+        // Drive a real journal through tear_file and confirm replay drops
+        // exactly the torn entry.
+        let dir = temp_dir("tear");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=4 {
+            j.append(JournalEntry {
+                seq,
+                u: VertexId(seq),
+                v: VertexId(seq + 10),
+            })
+            .unwrap();
+        }
+        drop(j);
+        let (_, path) = journal::list_segments(&dir).unwrap()[0].clone();
+        tear_file(&path, 3).unwrap(); // cut into entry 4's line
+
+        let mut seen = Vec::new();
+        let report = journal::replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert!(report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn garbage_tail_is_ignored_by_replay() {
+        let dir = temp_dir("garbage");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            j.append(JournalEntry {
+                seq,
+                u: VertexId(seq),
+                v: VertexId(seq + 10),
+            })
+            .unwrap();
+        }
+        drop(j);
+        let (_, path) = journal::list_segments(&dir).unwrap()[0].clone();
+        append_garbage(&path, b"\x00\xffnot a journal line\x7f").unwrap();
+
+        let mut seen = Vec::new();
+        let report = journal::replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert!(report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tear_beyond_length_empties_file() {
+        let dir = temp_dir("empty");
+        let path = dir.join("f");
+        fs::write(&path, b"abc").unwrap();
+        tear_file(&path, 100).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,273 @@
+//! Crash recovery: last snapshot + journal tail replay.
+//!
+//! A data directory persists a serving store as two artifacts:
+//!
+//! * `snapshot.json` — an atomic [`StoreSnapshot`] (see
+//!   [`StoreSnapshot::write_atomic`]), rewritten periodically;
+//! * `wal.<seq>.log` — journal segments holding every acked edge (see
+//!   [`crate::journal`]).
+//!
+//! [`recover`] rebuilds the store the crashed process promised its
+//! clients: load the snapshot (or start empty), then re-apply every
+//! journal entry past the snapshot's high-water mark. Because journal
+//! appends happen before acks and snapshots are written atomically, the
+//! recovered store contains **every acked edge** regardless of where the
+//! process died — the only droppable artifact is a torn final journal
+//! line, which was never acked.
+//!
+//! [`checkpoint`] is the other half of the contract: write the new
+//! snapshot atomically *first*, then prune journal segments it made
+//! redundant. If the process dies between the two steps, recovery merely
+//! replays entries the snapshot already covers — [`crate::journal::replay`]
+//! skips them by sequence number.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::SketchConfig;
+use crate::journal::{self, Journal, ReplayReport};
+use crate::snapshot::StoreSnapshot;
+use crate::store::SketchStore;
+
+/// The snapshot file inside a data directory.
+#[must_use]
+pub fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.json")
+}
+
+/// What [`recover`] rebuilt and from where.
+#[derive(Debug)]
+pub struct Recovery {
+    /// The recovered store, ready to serve.
+    pub store: SketchStore,
+    /// `edges_processed` of the snapshot that seeded recovery (0 when
+    /// starting empty).
+    pub snapshot_seq: u64,
+    /// Whether a snapshot file was found and loaded.
+    pub snapshot_loaded: bool,
+    /// Journal replay details (entries applied/skipped, torn tail).
+    pub journal: ReplayReport,
+}
+
+/// Rebuilds the store from `dir`: snapshot first, then the journal tail.
+///
+/// When no snapshot exists, recovery starts from an empty store built
+/// with `config`; when one exists, its embedded config wins (the journal
+/// tail must be applied with the same hashers that produced the
+/// snapshot).
+///
+/// # Errors
+/// Fails on unreadable files or a corrupt snapshot. A *missing* snapshot
+/// or journal is not an error — that is simply a fresh directory.
+pub fn recover(dir: &Path, config: SketchConfig) -> io::Result<Recovery> {
+    let (mut store, snapshot_seq, snapshot_loaded) =
+        match StoreSnapshot::read_from(&snapshot_path(dir)) {
+            Ok(snap) => {
+                let seq = snap.edges_processed;
+                (snap.restore(), seq, true)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (SketchStore::new(config), 0, false),
+            Err(e) => return Err(e),
+        };
+    let journal = journal::replay(dir, snapshot_seq, |entry| {
+        store.insert_edge(entry.u, entry.v);
+    })?;
+    Ok(Recovery {
+        store,
+        snapshot_seq,
+        snapshot_loaded,
+        journal,
+    })
+}
+
+/// Persists `snapshot` atomically, then prunes journal segments it made
+/// redundant. Returns the number of segments removed.
+///
+/// Order matters: the snapshot must be durable before any journal entry
+/// covering the same edges is deleted. Callers should capture `snapshot`
+/// and rotate `journal` under the store lock, then call this without it.
+///
+/// # Errors
+/// Fails on IO errors. A failure after the snapshot write leaves extra
+/// journal segments behind, which is safe (replay skips them).
+pub fn checkpoint(
+    snapshot: &StoreSnapshot,
+    dir: &Path,
+    journal: &mut Journal,
+) -> io::Result<usize> {
+    snapshot.write_atomic(&snapshot_path(dir))?;
+    journal.prune_below(snapshot.edges_processed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{FsyncPolicy, JournalEntry};
+    use graphstream::{BarabasiAlbert, EdgeStream, VertexId};
+    use std::fs;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "streamlink-durable-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::with_slots(32).seed(9)
+    }
+
+    /// Simulates a serving process: journal-then-apply for each edge.
+    fn ingest(store: &mut SketchStore, journal: &mut Journal, u: u64, v: u64) {
+        let seq = store.edges_processed() + 1;
+        journal
+            .append(JournalEntry {
+                seq,
+                u: VertexId(u),
+                v: VertexId(v),
+            })
+            .unwrap();
+        store.insert_edge(VertexId(u), VertexId(v));
+        assert_eq!(store.edges_processed(), seq);
+    }
+
+    #[test]
+    fn fresh_directory_recovers_empty() {
+        let dir = temp_dir("fresh");
+        let rec = recover(&dir, cfg()).unwrap();
+        assert!(!rec.snapshot_loaded);
+        assert_eq!(rec.snapshot_seq, 0);
+        assert_eq!(rec.store.edges_processed(), 0);
+        assert_eq!(rec.journal, ReplayReport::default());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_only_recovery_matches_direct_ingestion() {
+        let dir = temp_dir("walonly");
+        let edges: Vec<_> = BarabasiAlbert::new(80, 2, 3).edges().collect();
+
+        let mut store = SketchStore::new(cfg());
+        let mut journal = Journal::create(&dir, 1, FsyncPolicy::OnRotate).unwrap();
+        for e in &edges {
+            ingest(&mut store, &mut journal, e.src.0, e.dst.0);
+        }
+        drop(journal); // crash: no snapshot ever written
+
+        let rec = recover(&dir, cfg()).unwrap();
+        assert!(!rec.snapshot_loaded);
+        assert_eq!(rec.journal.replayed, edges.len() as u64);
+        assert_eq!(rec.store.edges_processed(), store.edges_processed());
+        for v in store.vertices() {
+            assert_eq!(rec.store.sketch(v), store.sketch(v), "sketch at {v}");
+            assert_eq!(rec.store.degree(v), store.degree(v));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_tail_recovery() {
+        let dir = temp_dir("snaptail");
+        let edges: Vec<_> = BarabasiAlbert::new(120, 2, 4).edges().collect();
+        let cut = edges.len() / 2;
+
+        let mut store = SketchStore::new(cfg());
+        let mut journal = Journal::create(&dir, 1, FsyncPolicy::OnRotate).unwrap();
+        for e in &edges[..cut] {
+            ingest(&mut store, &mut journal, e.src.0, e.dst.0);
+        }
+        // Checkpoint mid-stream (the serving protocol: rotate under lock,
+        // then write + prune).
+        let snap = StoreSnapshot::capture(&store);
+        journal.rotate(snap.edges_processed + 1).unwrap();
+        checkpoint(&snap, &dir, &mut journal).unwrap();
+        for e in &edges[cut..] {
+            ingest(&mut store, &mut journal, e.src.0, e.dst.0);
+        }
+        drop(journal); // crash after more ingestion
+
+        let rec = recover(&dir, cfg()).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.snapshot_seq, cut as u64);
+        assert_eq!(rec.journal.replayed, (edges.len() - cut) as u64);
+        assert_eq!(rec.store.edges_processed(), edges.len() as u64);
+        for v in store.vertices() {
+            assert_eq!(rec.store.sketch(v), store.sketch(v), "sketch at {v}");
+            assert_eq!(rec.store.degree(v), store.degree(v));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_prune_is_harmless() {
+        let dir = temp_dir("nopurge");
+        let mut store = SketchStore::new(cfg());
+        let mut journal = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for i in 0..10 {
+            ingest(&mut store, &mut journal, i, i + 100);
+        }
+        let snap = StoreSnapshot::capture(&store);
+        journal.rotate(snap.edges_processed + 1).unwrap();
+        // Snapshot written but prune never ran (crash in between): the
+        // old segment's entries are all covered by the snapshot.
+        snap.write_atomic(&snapshot_path(&dir)).unwrap();
+        drop(journal);
+
+        let rec = recover(&dir, cfg()).unwrap();
+        assert_eq!(rec.journal.replayed, 0);
+        assert_eq!(rec.journal.skipped, 10);
+        assert_eq!(rec.store.edges_processed(), 10);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_config_wins_over_caller_config() {
+        let dir = temp_dir("cfgwins");
+        let mut store = SketchStore::new(cfg());
+        store.insert_edge(VertexId(1), VertexId(2));
+        StoreSnapshot::capture(&store)
+            .write_atomic(&snapshot_path(&dir))
+            .unwrap();
+
+        let other = SketchConfig::with_slots(64).seed(123);
+        let rec = recover(&dir, other).unwrap();
+        assert_eq!(rec.store.config().slots(), cfg().slots());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_hard_error() {
+        let dir = temp_dir("corrupt");
+        fs::write(snapshot_path(&dir), b"{ not json").unwrap();
+        let err = recover(&dir, cfg()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_acked_prefix() {
+        let dir = temp_dir("torn");
+        let mut store = SketchStore::new(cfg());
+        let mut journal = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for i in 0..5 {
+            ingest(&mut store, &mut journal, i, i + 50);
+        }
+        drop(journal);
+        // Crash mid-append of entry 6 (never acked).
+        let (_, path) = &journal::list_segments(&dir).unwrap()[0];
+        let mut content = fs::read(path).unwrap();
+        content.extend_from_slice(b"E 6 5");
+        fs::write(path, content).unwrap();
+
+        let rec = recover(&dir, cfg()).unwrap();
+        assert!(rec.journal.torn_tail);
+        assert_eq!(rec.store.edges_processed(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,506 @@
+//! Append-only edge journal (write-ahead log) for crash-safe ingestion.
+//!
+//! The serving layer appends every accepted edge here *before*
+//! acknowledging it to the client, so an acked edge survives a crash even
+//! if it is not yet in any snapshot. Recovery loads the newest snapshot
+//! and replays the journal tail (see [`crate::durable`]).
+//!
+//! ## Layout
+//!
+//! A journal is a directory of segment files named `wal.<first_seq>.log`,
+//! where `first_seq` is the sequence number of the first entry the
+//! segment may contain. Entries are text lines:
+//!
+//! ```text
+//! E <seq> <u> <v>\n
+//! ```
+//!
+//! `seq` is the store's `edges_processed` value *after* applying the
+//! edge, so a snapshot taken at `edges_processed = S` makes every entry
+//! with `seq <= S` redundant.
+//!
+//! ## Crash semantics
+//!
+//! Appends are flushed to the OS (a `write` syscall) before the caller
+//! acks, which survives process death (SIGKILL) unconditionally. Whether
+//! they survive *power loss* is governed by [`FsyncPolicy`]; `Always`
+//! issues `fdatasync` per entry, `Never` leaves it to the OS. Replay
+//! tolerates a torn final line — the entry was never acked, so dropping
+//! it loses nothing that was promised.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use graphstream::VertexId;
+
+/// When journal appends are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append: survives power loss, slowest.
+    Always,
+    /// Flush to the OS per append (survives process crash), sync only on
+    /// rotation and shutdown. The default serving tradeoff.
+    #[default]
+    OnRotate,
+    /// Never sync explicitly; fastest, weakest.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses the CLI spelling (`always` | `interval` | `never`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "interval" => Some(FsyncPolicy::OnRotate),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
+/// One journaled edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEntry {
+    /// `edges_processed` after this edge was applied.
+    pub seq: u64,
+    /// Edge source.
+    pub u: VertexId,
+    /// Edge destination.
+    pub v: VertexId,
+}
+
+impl fmt::Display for JournalEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E {} {} {}", self.seq, self.u.0, self.v.0)
+    }
+}
+
+impl JournalEntry {
+    /// Parses one journal line; `None` for malformed (torn) lines.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<Self> {
+        let mut parts = line.split(' ');
+        if parts.next() != Some("E") {
+            return None;
+        }
+        let seq = parts.next()?.parse().ok()?;
+        let u = parts.next()?.parse().ok()?;
+        let v = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(JournalEntry {
+            seq,
+            u: VertexId(u),
+            v: VertexId(v),
+        })
+    }
+}
+
+/// The active, appendable journal for one data directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    writer: BufWriter<File>,
+    policy: FsyncPolicy,
+    /// First seq the active segment may contain (its name).
+    segment_first_seq: u64,
+    /// Seq of the last entry appended to the active segment, if any.
+    last_seq: Option<u64>,
+}
+
+fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
+    dir.join(format!("wal.{first_seq}.log"))
+}
+
+/// Lists `(first_seq, path)` for every segment in `dir`, sorted by seq.
+///
+/// # Errors
+/// Fails if the directory cannot be read.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(first_seq) = name
+            .strip_prefix("wal.")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|seq| seq.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        segments.push((first_seq, entry.path()));
+    }
+    segments.sort_unstable_by_key(|(seq, _)| *seq);
+    Ok(segments)
+}
+
+impl Journal {
+    /// Opens a fresh segment that will hold entries from `next_seq` on.
+    ///
+    /// The directory is created if missing. Existing segments are left in
+    /// place — replay them first (see [`replay`]) and prune after the
+    /// next checkpoint.
+    ///
+    /// # Errors
+    /// Fails on directory-creation or file-open errors.
+    pub fn create(dir: &Path, next_seq: u64, policy: FsyncPolicy) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let path = segment_path(dir, next_seq);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal {
+            dir: dir.to_path_buf(),
+            writer: BufWriter::new(file),
+            policy,
+            segment_first_seq: next_seq,
+            last_seq: None,
+        })
+    }
+
+    /// Appends one edge and flushes it to the OS; with
+    /// [`FsyncPolicy::Always`] also forces it to stable storage.
+    ///
+    /// Returns only after the entry is at least crash-durable (survives
+    /// process death). Callers must not ack the edge before this returns.
+    ///
+    /// # Errors
+    /// Fails on write, flush, or sync errors; the entry must then be
+    /// treated as not persisted (nack the client).
+    pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
+        writeln!(self.writer, "{entry}")?;
+        self.writer.flush()?;
+        if self.policy == FsyncPolicy::Always {
+            self.writer.get_ref().sync_data()?;
+        }
+        self.last_seq = Some(entry.seq);
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage.
+    ///
+    /// # Errors
+    /// Fails on flush or sync errors.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().sync_data()
+    }
+
+    /// Seals the active segment and starts a new one holding entries from
+    /// `next_seq` on.
+    ///
+    /// Call this at checkpoint time *while holding the store lock* so no
+    /// entry with `seq >= next_seq` can land in the sealed segment.
+    ///
+    /// # Errors
+    /// Fails on sync or file-open errors; on error the old segment stays
+    /// active.
+    pub fn rotate(&mut self, next_seq: u64) -> io::Result<()> {
+        if self.policy != FsyncPolicy::Never {
+            self.sync()?;
+        } else {
+            self.writer.flush()?;
+        }
+        let path = segment_path(&self.dir, next_seq);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        self.writer = BufWriter::new(file);
+        self.segment_first_seq = next_seq;
+        self.last_seq = None;
+        Ok(())
+    }
+
+    /// Deletes sealed segments made fully redundant by a snapshot taken
+    /// at `snapshot_seq` (every entry in them has `seq <= snapshot_seq`).
+    ///
+    /// The active segment is never deleted. Call only *after* the
+    /// snapshot is durably on disk — the snapshot-then-prune order is
+    /// what keeps the recovery chain unbroken if either step dies.
+    ///
+    /// # Errors
+    /// Fails if the directory listing or a deletion fails; a partial
+    /// prune is harmless (replay skips redundant entries by seq).
+    pub fn prune_below(&mut self, snapshot_seq: u64) -> io::Result<usize> {
+        let segments = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for window in segments.windows(2) {
+            let (first, path) = &window[0];
+            let (next_first, _) = &window[1];
+            // Segment `first` holds seqs in [first, next_first); redundant
+            // iff next_first - 1 <= snapshot_seq.
+            if *first < self.segment_first_seq && *next_first <= snapshot_seq + 1 {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Seq of the last appended entry in the active segment, if any.
+    #[must_use]
+    pub fn last_seq(&self) -> Option<u64> {
+        self.last_seq
+    }
+
+    /// First seq the active segment may contain.
+    #[must_use]
+    pub fn segment_first_seq(&self) -> u64 {
+        self.segment_first_seq
+    }
+}
+
+/// What [`replay`] found in the journal directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Entries applied (seq beyond the snapshot).
+    pub replayed: u64,
+    /// Entries skipped as redundant (seq already covered by the
+    /// snapshot).
+    pub skipped: u64,
+    /// Segments scanned.
+    pub segments: usize,
+    /// Whether a torn (incomplete or malformed) tail line was dropped.
+    pub torn_tail: bool,
+    /// Highest seq seen across all entries, if any.
+    pub last_seq: Option<u64>,
+}
+
+/// Replays every journal entry with `seq > after_seq`, in order, through
+/// `apply`, tolerating a torn tail.
+///
+/// A malformed or unterminated line ends that segment's replay (it can
+/// only be the product of a crash mid-append, and the entry was never
+/// acked). Later segments are still scanned.
+///
+/// # Errors
+/// Fails if the directory or a segment cannot be read.
+pub fn replay(
+    dir: &Path,
+    after_seq: u64,
+    mut apply: impl FnMut(JournalEntry),
+) -> io::Result<ReplayReport> {
+    let mut report = ReplayReport::default();
+    let segments = match list_segments(dir) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+        Err(e) => return Err(e),
+    };
+    report.segments = segments.len();
+    for (_, path) in segments {
+        // Read as bytes and convert lossily: a crash can leave arbitrary
+        // garbage at the tail, which must read as a torn line, not an
+        // IO error.
+        let bytes = fs::read(&path)?;
+        let content = String::from_utf8_lossy(&bytes);
+        if content.is_empty() {
+            continue; // freshly created active segment
+        }
+        let terminated = content.ends_with('\n');
+        let mut lines = content.split('\n').collect::<Vec<_>>();
+        // split('\n') leaves a trailing empty piece for terminated files.
+        if terminated {
+            lines.pop();
+        }
+        let count = lines.len();
+        for (i, line) in lines.into_iter().enumerate() {
+            let last_line = i + 1 == count;
+            let parsed = JournalEntry::parse(line);
+            match parsed {
+                Some(entry) if !last_line || terminated => {
+                    report.last_seq = Some(report.last_seq.map_or(entry.seq, |s| s.max(entry.seq)));
+                    if entry.seq > after_seq {
+                        apply(entry);
+                        report.replayed += 1;
+                    } else {
+                        report.skipped += 1;
+                    }
+                }
+                _ => {
+                    // Torn: malformed line, or a well-formed final line
+                    // missing its newline (the write was cut mid-entry).
+                    report.torn_tail = true;
+                    break;
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "streamlink-journal-{}-{tag}-{n}",
+            std::process::id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            u: VertexId(seq * 2),
+            v: VertexId(seq * 2 + 1),
+        }
+    }
+
+    #[test]
+    fn entry_line_roundtrip() {
+        let e = JournalEntry {
+            seq: 7,
+            u: VertexId(3),
+            v: VertexId(9),
+        };
+        assert_eq!(e.to_string(), "E 7 3 9");
+        assert_eq!(JournalEntry::parse("E 7 3 9"), Some(e));
+        assert_eq!(JournalEntry::parse("E 7 3"), None);
+        assert_eq!(JournalEntry::parse("E 7 3 9 1"), None);
+        assert_eq!(JournalEntry::parse("X 7 3 9"), None);
+        assert_eq!(JournalEntry::parse("E 7 3 banana"), None);
+        assert_eq!(JournalEntry::parse(""), None);
+    }
+
+    #[test]
+    fn append_then_replay() {
+        let dir = temp_dir("append");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::OnRotate).unwrap();
+        for seq in 1..=5 {
+            j.append(entry(seq)).unwrap();
+        }
+        assert_eq!(j.last_seq(), Some(5));
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5]);
+        assert_eq!(report.replayed, 5);
+        assert_eq!(report.skipped, 0);
+        assert!(!report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_skips_entries_covered_by_snapshot() {
+        let dir = temp_dir("skip");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=10 {
+            j.append(entry(seq)).unwrap();
+        }
+        let mut seen = Vec::new();
+        let report = replay(&dir, 7, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![8, 9, 10]);
+        assert_eq!(report.skipped, 7);
+        assert_eq!(report.last_seq, Some(10));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = temp_dir("torn");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        // Simulate a crash mid-append: a partial line with no newline.
+        let (first, path) = &list_segments(&dir).unwrap()[0];
+        assert_eq!(*first, 1);
+        let mut f = OpenOptions::new().append(true).open(path).unwrap();
+        write!(f, "E 4 8").unwrap();
+        drop(f);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert!(report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn complete_final_line_without_newline_is_treated_as_torn() {
+        // A well-formed line missing its terminator means the write was
+        // cut exactly at the line end — it was never flushed-and-acked as
+        // a whole, so it must not be replayed.
+        let dir = temp_dir("noterm");
+        fs::write(segment_path(&dir, 1), "E 1 0 1\nE 2 2 3").unwrap();
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1]);
+        assert!(report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_and_pruning() {
+        let dir = temp_dir("rotate");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::OnRotate).unwrap();
+        for seq in 1..=4 {
+            j.append(entry(seq)).unwrap();
+        }
+        j.rotate(5).unwrap();
+        for seq in 5..=6 {
+            j.append(entry(seq)).unwrap();
+        }
+        assert_eq!(list_segments(&dir).unwrap().len(), 2);
+
+        // Snapshot at seq 4 makes the first segment redundant.
+        assert_eq!(j.prune_below(4).unwrap(), 1);
+        let remaining = list_segments(&dir).unwrap();
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].0, 5);
+
+        // Replay after pruning still yields the tail.
+        let mut seen = Vec::new();
+        replay(&dir, 4, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![5, 6]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_keeps_segments_with_unsnapshotted_entries() {
+        let dir = temp_dir("prune-keep");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=4 {
+            j.append(entry(seq)).unwrap();
+        }
+        j.rotate(5).unwrap();
+        j.append(entry(5)).unwrap();
+        // Snapshot at 3: segment [1,4] still holds seq 4 > 3 — keep it.
+        assert_eq!(j.prune_below(3).unwrap(), 0);
+        assert_eq!(list_segments(&dir).unwrap().len(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_active_segment_is_not_torn() {
+        let dir = temp_dir("empty");
+        let _j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        let report = replay(&dir, 0, |_| {}).unwrap();
+        assert!(!report.torn_tail);
+        assert_eq!(report.replayed, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_on_missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join("streamlink-journal-does-not-exist-xyzzy");
+        let report = replay(&dir, 0, |_| panic!("nothing to apply")).unwrap();
+        assert_eq!(report, ReplayReport::default());
+    }
+
+    #[test]
+    fn fsync_policy_parses_cli_spellings() {
+        assert_eq!(FsyncPolicy::parse("always"), Some(FsyncPolicy::Always));
+        assert_eq!(FsyncPolicy::parse("interval"), Some(FsyncPolicy::OnRotate));
+        assert_eq!(FsyncPolicy::parse("never"), Some(FsyncPolicy::Never));
+        assert_eq!(FsyncPolicy::parse("sometimes"), None);
+    }
+}

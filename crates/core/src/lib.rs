@@ -45,7 +45,12 @@
 //! * [`compressed`] — frozen b-bit replicas for serving/shipping
 //!   (Li–König b-bit minwise hashing).
 //! * [`parallel`] — sharded multi-threaded ingestion.
-//! * [`snapshot`] — serde snapshots for persistence.
+//! * [`snapshot`] — serde snapshots for persistence, with atomic
+//!   (temp-file–fsync–rename) on-disk writes.
+//! * [`journal`] — append-only edge WAL: acked edges survive crashes.
+//! * [`durable`] — recovery (snapshot + journal tail) and checkpointing.
+//! * [`chaos`] — fault injection (torn/partial writes) for durability
+//!   tests.
 //!
 //! ## Quick example
 //!
@@ -69,11 +74,14 @@
 pub mod accuracy;
 pub mod biased;
 pub mod bottomk;
+pub mod chaos;
 pub mod compressed;
 pub mod concurrent;
 pub mod config;
+pub mod durable;
 pub mod estimators;
 pub mod hll;
+pub mod journal;
 pub mod lsh;
 pub mod merge;
 pub mod parallel;
@@ -89,7 +97,9 @@ pub use bottomk::BottomKStore;
 pub use compressed::CompressedStore;
 pub use concurrent::ConcurrentSketchStore;
 pub use config::{HasherBackend, SketchConfig};
+pub use durable::{checkpoint, recover, Recovery};
 pub use hll::HyperLogLog;
+pub use journal::{FsyncPolicy, Journal, JournalEntry, ReplayReport};
 pub use lsh::LshIndex;
 pub use robust::RobustStore;
 pub use store::SketchStore;

@@ -5,15 +5,61 @@
 //! ship it across processes, or archive per-epoch states of a long-running
 //! stream. Restoring rebuilds the hasher bank from the embedded config, so
 //! a restored store continues ingesting the stream exactly where the
-//! original left off.
+//! original left off. [`RobustSnapshot`] does the same for
+//! [`RobustStore`], persisting its HyperLogLog degree sketches.
+//!
+//! ## Crash-safe writes
+//!
+//! [`StoreSnapshot::write_atomic`] (and the `RobustSnapshot` twin) uses
+//! the temp-file–fsync–rename protocol: readers either see the previous
+//! complete snapshot or the new complete snapshot, never a torn one. A
+//! crash mid-write leaves at most a stale `.tmp` file, which the next
+//! successful write replaces.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
 use graphstream::VertexId;
 
 use crate::config::SketchConfig;
+use crate::hll::HyperLogLog;
+use crate::robust::RobustStore;
 use crate::sketch::VertexSketch;
 use crate::store::SketchStore;
+
+/// Writes `json` to `path` atomically: temp file in the same directory,
+/// flush + fsync, rename over the target, fsync the directory.
+fn write_json_atomic(path: &Path, json: &str) -> io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync can be unsupported on
+    // some filesystems; failing the write for that would be worse than
+    // the (tiny) window it closes.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+fn read_json<T: serde::Deserialize>(path: &Path) -> io::Result<T> {
+    let content = fs::read_to_string(path)?;
+    serde_json::from_str(&content).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt snapshot {}: {e}", path.display()),
+        )
+    })
+}
 
 /// One vertex's persisted state.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -71,6 +117,117 @@ impl StoreSnapshot {
             *edges = self.edges_processed;
         }
         store
+    }
+
+    /// Persists the snapshot as JSON at `path` using the atomic
+    /// temp-file–fsync–rename protocol.
+    ///
+    /// # Errors
+    /// Fails on IO errors; the previous snapshot at `path` (if any) is
+    /// untouched on failure.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_json_atomic(path, &json)
+    }
+
+    /// Loads a snapshot previously written with [`Self::write_atomic`].
+    ///
+    /// # Errors
+    /// Fails if the file is missing ([`io::ErrorKind::NotFound`]) or does
+    /// not parse ([`io::ErrorKind::InvalidData`]).
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        read_json(path)
+    }
+}
+
+/// One vertex's persisted state in a [`RobustSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RobustVertexEntry {
+    /// The vertex.
+    pub vertex: VertexId,
+    /// Its sketch.
+    pub sketch: VertexSketch,
+    /// Its HyperLogLog distinct-degree sketch.
+    pub degree: HyperLogLog,
+}
+
+/// A serializable image of a [`RobustStore`], HLL degrees included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustSnapshot {
+    /// The configuration (slots, seed, backend).
+    pub config: SketchConfig,
+    /// HLL precision of the degree sketches.
+    pub hll_precision: u8,
+    /// Edges processed when the snapshot was taken.
+    pub edges_processed: u64,
+    /// Per-vertex state, sorted by vertex id for deterministic output.
+    pub vertices: Vec<RobustVertexEntry>,
+}
+
+impl RobustSnapshot {
+    /// Captures a snapshot of `store`.
+    ///
+    /// # Panics
+    /// Panics if the store's internal maps disagree on membership (a
+    /// vertex with a sketch but no degree sketch), which would indicate
+    /// internal corruption.
+    #[must_use]
+    pub fn capture(store: &RobustStore) -> Self {
+        let (sketches, degrees, edges_processed) = store.parts();
+        let mut vertices: Vec<RobustVertexEntry> = sketches
+            .iter()
+            .map(|(&vertex, sketch)| RobustVertexEntry {
+                vertex,
+                sketch: sketch.clone(),
+                degree: degrees
+                    .get(&vertex)
+                    .expect("robust store invariant: sketch without degree HLL")
+                    .clone(),
+            })
+            .collect();
+        vertices.sort_by_key(|e| e.vertex);
+        Self {
+            config: *store.config(),
+            hll_precision: store.hll_precision(),
+            edges_processed,
+            vertices,
+        }
+    }
+
+    /// Restores a live store from the snapshot.
+    #[must_use]
+    pub fn restore(&self) -> RobustStore {
+        let mut store = RobustStore::new(self.config, self.hll_precision);
+        {
+            let (sketches, degrees, edges) = store.parts_mut();
+            for entry in &self.vertices {
+                sketches.insert(entry.vertex, entry.sketch.clone());
+                degrees.insert(entry.vertex, entry.degree.clone());
+            }
+            *edges = self.edges_processed;
+        }
+        store
+    }
+
+    /// Persists the snapshot as JSON at `path` atomically (see
+    /// [`StoreSnapshot::write_atomic`]).
+    ///
+    /// # Errors
+    /// Fails on IO errors; the previous snapshot at `path` (if any) is
+    /// untouched on failure.
+    pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_json_atomic(path, &json)
+    }
+
+    /// Loads a snapshot previously written with [`Self::write_atomic`].
+    ///
+    /// # Errors
+    /// Fails if the file is missing or does not parse.
+    pub fn read_from(path: &Path) -> io::Result<Self> {
+        read_json(path)
     }
 }
 
@@ -156,5 +313,144 @@ mod tests {
         let restored = StoreSnapshot::capture(&s).restore();
         assert_eq!(restored.vertex_count(), 0);
         assert_eq!(restored.edges_processed(), 0);
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "streamlink-snap-{}-{tag}-{n}.json",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn atomic_write_read_roundtrip() {
+        let path = temp_path("roundtrip");
+        let snap = StoreSnapshot::capture(&populated());
+        snap.write_atomic(&path).unwrap();
+        let back = StoreSnapshot::read_from(&path).unwrap();
+        assert_eq!(snap, back);
+        // No temp file left behind.
+        assert!(!path.with_extension("json.tmp").exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn atomic_write_replaces_previous_snapshot() {
+        let path = temp_path("replace");
+        let mut store = populated();
+        StoreSnapshot::capture(&store).write_atomic(&path).unwrap();
+        store.insert_edge(VertexId(1000), VertexId(1001));
+        let newer = StoreSnapshot::capture(&store);
+        newer.write_atomic(&path).unwrap();
+        assert_eq!(StoreSnapshot::read_from(&path).unwrap(), newer);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_file_does_not_break_reads_or_writes() {
+        // A crash between temp-write and rename leaves `.json.tmp`; the
+        // real snapshot must stay readable and the next write must win.
+        let path = temp_path("staletmp");
+        let snap = StoreSnapshot::capture(&populated());
+        snap.write_atomic(&path).unwrap();
+        fs::write(path.with_extension("json.tmp"), b"{ torn garbage").unwrap();
+        assert_eq!(StoreSnapshot::read_from(&path).unwrap(), snap);
+        snap.write_atomic(&path).unwrap();
+        assert!(!path.with_extension("json.tmp").exists());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_errors_are_typed() {
+        let missing = temp_path("missing");
+        let err = StoreSnapshot::read_from(&missing).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotFound);
+
+        let corrupt = temp_path("corrupt");
+        fs::write(&corrupt, b"not json at all").unwrap();
+        let err = StoreSnapshot::read_from(&corrupt).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        fs::remove_file(&corrupt).unwrap();
+    }
+
+    fn populated_robust() -> RobustStore {
+        let mut s = RobustStore::new(SketchConfig::with_slots(32).seed(5), 10);
+        s.insert_stream(BarabasiAlbert::new(150, 2, 8).edges());
+        s
+    }
+
+    #[test]
+    fn robust_capture_restore_preserves_everything() {
+        let original = populated_robust();
+        let restored = RobustSnapshot::capture(&original).restore();
+        assert_eq!(restored.vertex_count(), original.vertex_count());
+        assert_eq!(restored.edges_processed(), original.edges_processed());
+        assert_eq!(restored.hll_precision(), original.hll_precision());
+        for v in (0..150).map(VertexId) {
+            assert_eq!(
+                restored.degree_estimate(v),
+                original.degree_estimate(v),
+                "HLL degree diverged at {v}"
+            );
+        }
+        for u in 0..30u64 {
+            for v in (u + 1)..30u64 {
+                let (u, v) = (VertexId(u), VertexId(v));
+                assert_eq!(original.jaccard(u, v), restored.jaccard(u, v));
+                assert_eq!(
+                    original.common_neighbors(u, v),
+                    restored.common_neighbors(u, v)
+                );
+                assert_eq!(original.adamic_adar(u, v), restored.adamic_adar(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn robust_restored_store_continues_ingesting_consistently() {
+        let edges: Vec<_> = BarabasiAlbert::new(200, 2, 6).edges().collect();
+        let (head, tail) = edges.split_at(edges.len() / 2);
+
+        let mut prefix = RobustStore::new(SketchConfig::with_slots(16).seed(1), 8);
+        prefix.insert_stream(head.iter().copied());
+        let mut resumed = RobustSnapshot::capture(&prefix).restore();
+        resumed.insert_stream(tail.iter().copied());
+
+        let mut whole = RobustStore::new(SketchConfig::with_slots(16).seed(1), 8);
+        whole.insert_stream(edges.iter().copied());
+
+        assert_eq!(resumed.edges_processed(), whole.edges_processed());
+        for v in (0..200).map(VertexId) {
+            assert_eq!(
+                resumed.degree_estimate(v),
+                whole.degree_estimate(v),
+                "divergence at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn robust_json_and_file_roundtrip() {
+        let snap = RobustSnapshot::capture(&populated_robust());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: RobustSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap, back);
+
+        let path = temp_path("robust");
+        snap.write_atomic(&path).unwrap();
+        assert_eq!(RobustSnapshot::read_from(&path).unwrap(), snap);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn robust_empty_store_roundtrips() {
+        let s = RobustStore::new(SketchConfig::with_slots(4), 6);
+        let restored = RobustSnapshot::capture(&s).restore();
+        assert_eq!(restored.vertex_count(), 0);
+        assert_eq!(restored.edges_processed(), 0);
+        assert_eq!(restored.hll_precision(), 6);
     }
 }

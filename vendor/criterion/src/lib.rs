@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a deliberately
+//! lightweight measurement loop: a short warmup, then a fixed time
+//! budget, reporting mean ns/iter to stdout. No statistics, plots, or
+//! baselines; the real experiment harness lives in `crates/bench/src/bin`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Time budget per benchmark after warmup.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark name, e.g. `minhash_mixer/64`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into one id.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work done per iteration (reported as a rate).
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Accepted for API compatibility; this stub sizes runs by time, not
+    /// by sample count.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), bencher.result);
+    }
+
+    /// Runs one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), bencher.result);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, result: Option<Measurement>) {
+        let Some(m) = result else {
+            println!("{}/{id}: no measurement recorded", self.name);
+            return;
+        };
+        let ns_per_iter = m.total.as_nanos() as f64 / m.iters as f64;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(", {:.3} Melem/s", n as f64 / ns_per_iter * 1e3)
+            }
+            Throughput::Bytes(n) => {
+                format!(
+                    ", {:.3} MiB/s",
+                    n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0) / 1e6
+                )
+            }
+        });
+        println!(
+            "{}/{id}: {:.1} ns/iter ({} iters{})",
+            self.name,
+            ns_per_iter,
+            m.iters,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+struct Measurement {
+    total: Duration,
+    iters: u64,
+}
+
+/// Times closures handed to it by the benchmark body.
+pub struct Bencher {
+    measure_for: Duration,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly for the time budget and records ns/iter.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup + calibration: time a single run.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = self.measure_for;
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.result = Some(Measurement {
+            total: start.elapsed(),
+            iters,
+        });
+    }
+}
+
+/// Bundles benchmark functions into a runner callable by
+/// [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0u64..10).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_to", 100u64), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut criterion = Criterion {
+            measure_for: Duration::from_millis(2),
+        };
+        sample_bench(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 64).to_string(), "a/64");
+    }
+}

@@ -1,0 +1,107 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides [`scope`] with crossbeam's signature (closures receive the
+//! scope handle, the call returns `Result` capturing panics) implemented
+//! on top of `std::thread::scope`, which has been stable since 1.63.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Error type of [`scope`]: the payload of a panicking closure.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A handle for spawning scoped threads; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread; mirrors crossbeam's join semantics.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result (`Err` on panic).
+    pub fn join(self) -> Result<T, ScopeError> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives the
+    /// scope handle so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope handle; all spawned threads are joined before
+/// this returns. Returns `Err` if `f` or any *unjoined* spawned thread
+/// panicked, matching crossbeam's contract.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Namespace parity with the real crate (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let counter = AtomicUsize::new(0);
+        let out = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|_| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                        7usize
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(out, 28);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panicking_thread_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn::<_, ()>(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

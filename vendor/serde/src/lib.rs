@@ -1,0 +1,492 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate supplies
+//! the serialization surface the workspace actually uses. Instead of
+//! serde's visitor-based data model it uses a concrete [`value::Value`]
+//! tree: `Serialize` renders into a `Value`, `Deserialize` reads out of
+//! one, and the `serde_json` stand-in is the only format on top. The
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! companion `serde_derive` stub) support plain structs, unit-variant
+//! enums, `#[serde(transparent)]`, and `#[serde(rename_all =
+//! "snake_case")]` — the shapes present in this repository.
+
+pub mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` out of a value tree.
+    ///
+    /// # Errors
+    /// Returns a message describing the first shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// The value to use when an object field is absent entirely
+    /// (`None` means "absence is an error"); `Option<T>` overrides this.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------- ser
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// Renders a map key as the JSON object-member name, matching serde_json's
+/// rule that string and integral keys become strings and anything else is
+/// unsupported.
+fn key_to_string(key: &Value) -> String {
+    match key {
+        Value::String(s) => s.clone(),
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must serialize to a string or number, got {other:?}"),
+    }
+}
+
+/// Reads a JSON object-member name back into a key type: strings first,
+/// then the integral reading (for `VertexId`-style numeric newtypes).
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::String(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        return K::from_value(&Value::Number(crate::value::Number::PosInt(u)));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return K::from_value(&Value::Number(crate::value::Number::NegInt(i)));
+    }
+    Err(Error::custom(format!("cannot read map key from {s:?}")))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output regardless of hash seed.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+// ---------------------------------------------------------------- de
+
+fn type_name_of(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Number(_) => "number",
+        Value::String(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+fn mismatch(expected: &str, got: &Value) -> Error {
+    Error::custom(format!("expected {expected}, found {}", type_name_of(got)))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            ))
+                        }),
+                    other => Err(mismatch("unsigned integer", other)),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| {
+                            Error::custom(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            ))
+                        }),
+                    other => Err(mismatch("integer", other)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => n
+                .as_f64()
+                .ok_or_else(|| Error::custom(format!("number {n} not representable as f64"))),
+            other => Err(mismatch("number", other)),
+        }
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(mismatch("bool", other)),
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(mismatch("string", other)),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain `'static`; acceptable because the only
+    /// types using this are small static spec tables deserialized (if
+    /// ever) in tests. Real serde instead restricts this impl to
+    /// borrowed input.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(mismatch("array", other)),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(mismatch(
+                        concat!("array of length ", $len),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            other => Err(mismatch("object", other)),
+        }
+    }
+}
+
+impl<K, V> Deserialize for std::collections::HashMap<K, V>
+where
+    K: Deserialize + Eq + std::hash::Hash,
+    V: Deserialize,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, val)| Ok((key_from_string(k)?, V::from_value(val)?)))
+                .collect(),
+            other => Err(mismatch("object", other)),
+        }
+    }
+}
+
+/// Support code generated by the derive macros; not part of the public
+/// API contract.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Looks up `name` in an object value and deserializes it; absent
+    /// fields fall back to [`Deserialize::absent`].
+    ///
+    /// # Errors
+    /// Non-object input, a missing mandatory field, or a field-level
+    /// deserialization failure.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+        match v {
+            Value::Object(entries) => match entries.iter().find(|(k, _)| k == name) {
+                Some((_, fv)) => {
+                    T::from_value(fv).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+                }
+                None => T::absent().ok_or_else(|| Error::custom(format!("missing field `{name}`"))),
+            },
+            other => Err(super::mismatch("object", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_via_value() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_value()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn integers_deserialize_into_floats() {
+        assert_eq!(f64::from_value(&7u64.to_value()).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn option_handles_null_and_absent() {
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u64>::from_value(&5u64.to_value()).unwrap(),
+            Some(5)
+        );
+        let obj = Value::Object(vec![]);
+        let missing: Option<u64> = __private::field(&obj, "nope").unwrap();
+        assert_eq!(missing, None);
+        assert!(__private::field::<u64>(&obj, "nope").is_err());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let b: Box<[u64]> = v.clone().into_boxed_slice();
+        assert_eq!(Box::<[u64]>::from_value(&b.to_value()).unwrap(), b);
+        let t = (1u64, 2.5f64);
+        assert_eq!(<(u64, f64)>::from_value(&t.to_value()).unwrap(), t);
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        assert!(u8::from_value(&300u64.to_value()).is_err());
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! built directly on `proc_macro` (the environment has no crates.io, so
+//! no `syn`/`quote`). Supports exactly the container shapes this
+//! workspace uses:
+//!
+//! * structs with named fields
+//! * tuple structs (serialized as arrays, or forwarded when
+//!   `#[serde(transparent)]`)
+//! * enums with unit variants only, optionally
+//!   `#[serde(rename_all = "snake_case")]`
+//!
+//! Anything else (generics, payload-carrying variants, other serde
+//! attributes) produces a compile error naming the limitation, so a
+//! future session extending the workspace gets a clear signal instead of
+//! silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Container {
+    name: String,
+    transparent: bool,
+    rename_all_snake: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Enum of unit variants.
+    Enum(Vec<String>),
+}
+
+/// Derives the stand-in `serde::Serialize` (Value-rendering) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives the stand-in `serde::Deserialize` (Value-reading) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let container = match parse(input) {
+        Ok(c) => c,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = generate(&container, mode);
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde stub derive produced invalid code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------- parse
+
+fn parse(input: TokenStream) -> Result<Container, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    let mut transparent = false;
+    let mut rename_all_snake = false;
+
+    // Container attributes.
+    while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            inspect_serde_attr(g.stream(), &mut transparent, &mut rename_all_snake)?;
+        }
+        i += 2;
+    }
+
+    // Visibility.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected a type name, found {other:?}")),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stub derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    let kind = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Struct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Kind::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_unit_variants(g.stream())?)
+        }
+        _ => return Err(format!("serde stub derive: unsupported shape for `{name}`")),
+    };
+
+    Ok(Container {
+        name,
+        transparent,
+        rename_all_snake,
+        kind,
+    })
+}
+
+fn inspect_serde_attr(
+    attr: TokenStream,
+    transparent: &mut bool,
+    rename_all_snake: &mut bool,
+) -> Result<(), String> {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    let is_serde =
+        matches!(tokens.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return Ok(()); // doc comments, #[derive(...)], #[default], ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return Ok(());
+    };
+    let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "transparent" => *transparent = true,
+                "rename_all" => {
+                    let lit = inner.get(j + 2).map(|t| t.to_string()).unwrap_or_default();
+                    if lit != "\"snake_case\"" {
+                        return Err(format!(
+                            "serde stub derive: only rename_all = \"snake_case\" is supported, got {lit}"
+                        ));
+                    }
+                    *rename_all_snake = true;
+                    j += 2;
+                }
+                other => {
+                    return Err(format!(
+                        "serde stub derive: unsupported serde attribute `{other}`"
+                    ))
+                }
+            },
+            TokenTree::Punct(_) => {}
+            other => {
+                return Err(format!(
+                    "serde stub derive: unexpected token {other} in #[serde(...)]"
+                ))
+            }
+        }
+        j += 1;
+    }
+    Ok(())
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Field attributes and doc comments.
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        // Visibility.
+        if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(id.to_string());
+        i += 1;
+        if !matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+            return Err(format!(
+                "expected `:` after field `{}`",
+                fields.last().unwrap()
+            ));
+        }
+        i += 1;
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut any = false;
+    let mut count = 0usize;
+    for tok in body {
+        any = true;
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // N-1 commas for N fields (tolerating a trailing comma is harmless
+    // here: `u64,` still means one field because the trailing comma is
+    // followed by nothing).
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        while matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                "serde stub derive: variant `{}` carries data; only unit variants are supported",
+                variants.last().unwrap()
+            ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "serde stub derive: unexpected token {other} after variant"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- generate
+
+fn generate(c: &Container, mode: Mode) -> String {
+    match (&c.kind, mode) {
+        (Kind::Struct(fields), Mode::Ser) => gen_struct_ser(c, fields),
+        (Kind::Struct(fields), Mode::De) => gen_struct_de(c, fields),
+        (Kind::Tuple(n), Mode::Ser) => gen_tuple_ser(c, *n),
+        (Kind::Tuple(n), Mode::De) => gen_tuple_de(c, *n),
+        (Kind::Enum(variants), Mode::Ser) => gen_enum_ser(c, variants),
+        (Kind::Enum(variants), Mode::De) => gen_enum_de(c, variants),
+    }
+}
+
+fn variant_string(c: &Container, variant: &str) -> String {
+    if c.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_string()
+    }
+}
+
+fn gen_struct_ser(c: &Container, fields: &[String]) -> String {
+    let name = &c.name;
+    if c.transparent && fields.len() == 1 {
+        let f = &fields[0];
+        return format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::value::Value {{
+                    ::serde::Serialize::to_value(&self.{f})
+                }}
+            }}"
+        );
+    }
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "__obj.push((::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::value::Value {{
+                let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::value::Value)> =
+                    ::std::vec::Vec::with_capacity({len});
+                {pushes}
+                ::serde::value::Value::Object(__obj)
+            }}
+        }}",
+        len = fields.len(),
+    )
+}
+
+fn gen_struct_de(c: &Container, fields: &[String]) -> String {
+    let name = &c.name;
+    if c.transparent && fields.len() == 1 {
+        let f = &fields[0];
+        return format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(__v: &::serde::value::Value)
+                    -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name} {{
+                        {f}: ::serde::Deserialize::from_value(__v)?,
+                    }})
+                }}
+            }}"
+        );
+    }
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field(__v, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(__v: &::serde::value::Value)
+                -> ::std::result::Result<Self, ::serde::Error> {{
+                ::std::result::Result::Ok({name} {{ {inits} }})
+            }}
+        }}"
+    )
+}
+
+fn gen_tuple_ser(c: &Container, n: usize) -> String {
+    let name = &c.name;
+    if c.transparent || n == 1 {
+        return format!(
+            "impl ::serde::Serialize for {name} {{
+                fn to_value(&self) -> ::serde::value::Value {{
+                    ::serde::Serialize::to_value(&self.0)
+                }}
+            }}"
+        );
+    }
+    let items: String = (0..n)
+        .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::value::Value {{
+                ::serde::value::Value::Array(::std::vec![{items}])
+            }}
+        }}"
+    )
+}
+
+fn gen_tuple_de(c: &Container, n: usize) -> String {
+    let name = &c.name;
+    if c.transparent || n == 1 {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{
+                fn from_value(__v: &::serde::value::Value)
+                    -> ::std::result::Result<Self, ::serde::Error> {{
+                    ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))
+                }}
+            }}"
+        );
+    }
+    let items: String = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(__v: &::serde::value::Value)
+                -> ::std::result::Result<Self, ::serde::Error> {{
+                match __v {{
+                    ::serde::value::Value::Array(__items) if __items.len() == {n} => {{
+                        ::std::result::Result::Ok({name}({items}))
+                    }}
+                    _ => ::std::result::Result::Err(::serde::Error::custom(
+                        concat!(\"expected array of length \", {n}, \" for \", {name:?}),
+                    )),
+                }}
+            }}
+        }}"
+    )
+}
+
+fn gen_enum_ser(c: &Container, variants: &[String]) -> String {
+    let name = &c.name;
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let s = variant_string(c, v);
+            format!("{name}::{v} => {s:?},")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{
+            fn to_value(&self) -> ::serde::value::Value {{
+                ::serde::value::Value::String(::std::string::String::from(match self {{
+                    {arms}
+                }}))
+            }}
+        }}"
+    )
+}
+
+fn gen_enum_de(c: &Container, variants: &[String]) -> String {
+    let name = &c.name;
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let s = variant_string(c, v);
+            format!("{s:?} => ::std::result::Result::Ok({name}::{v}),")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{
+            fn from_value(__v: &::serde::value::Value)
+                -> ::std::result::Result<Self, ::serde::Error> {{
+                match __v {{
+                    ::serde::value::Value::String(__s) => match __s.as_str() {{
+                        {arms}
+                        __other => ::std::result::Result::Err(::serde::Error::custom(
+                            format!(\"unknown {name} variant {{__other:?}}\"),
+                        )),
+                    }},
+                    _ => ::std::result::Result::Err(::serde::Error::custom(
+                        concat!(\"expected string for enum \", {name:?}),
+                    )),
+                }}
+            }}
+        }}"
+    )
+}
