@@ -1,0 +1,126 @@
+//! **E19 (metrics overhead)** — ingestion throughput with the metrics
+//! registry enabled vs disabled, proving observability stays under the
+//! documented overhead budget on the O(k) insert hot path.
+//!
+//! Methodology: for each sketch size, ingest the same stream several
+//! times with `metrics::global()` disabled and several times enabled,
+//! keeping the *best* run of each mode (min time — the standard way to
+//! strip scheduler noise from a throughput microbenchmark). Overhead is
+//! `(best_enabled - best_disabled) / best_disabled`.
+//!
+//! `--max-overhead-pct N` turns the run into a gate: the process exits
+//! nonzero if any sketch size exceeds N% overhead. CI runs
+//! `--scale small --max-overhead-pct 10`; the design budget in
+//! docs/OPERATIONS.md §8 is 5% on release builds.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_metrics -- \
+//!     [--scale small|standard|large] [--max-overhead-pct 10]
+//! ```
+
+use std::time::Instant;
+
+use datasets::SimulatedDataset;
+use graphstream::EdgeStream;
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::{SketchConfig, SketchStore};
+
+/// Ingest repetitions per mode; best-of-N is reported.
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    k: usize,
+    edges: u64,
+    reps: usize,
+    disabled_best_secs: f64,
+    enabled_best_secs: f64,
+    overhead_pct: f64,
+    insert_p99_ns: u64,
+}
+
+fn ingest_once(edges: &[graphstream::Edge], k: usize) -> f64 {
+    let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+    let t = Instant::now();
+    store.insert_stream(edges.iter().copied());
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&store);
+    secs
+}
+
+fn best_of(edges: &[graphstream::Edge], k: usize) -> f64 {
+    (0..REPS)
+        .map(|_| ingest_once(edges, k))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let max_overhead_pct: Option<f64> = flag_value(&args, "--max-overhead-pct")
+        .map(|v| v.parse().expect("--max-overhead-pct expects a number"));
+    let mut out = ResultWriter::new("e19_metrics_overhead");
+    let metrics = streamlink_core::metrics::global();
+
+    let dataset = SimulatedDataset::DblpLike;
+    let stream = dataset.stream(scale);
+    let edges: Vec<_> = stream.edges().collect();
+
+    println!("\nE19 — metrics registry overhead on ingest ({scale:?})\n");
+    println!(
+        "dataset {} ({} edges, best of {REPS} runs per mode)",
+        dataset.spec().key,
+        edges.len()
+    );
+    table_header(&["k", "off (s)", "on (s)", "overhead %", "p99 ns"]);
+
+    let mut worst_pct = f64::NEG_INFINITY;
+    for &k in &[64usize, 256] {
+        // Warm caches once so neither mode pays first-touch costs.
+        ingest_once(&edges, k);
+
+        metrics.set_enabled(false);
+        let disabled = best_of(&edges, k);
+
+        metrics.set_enabled(true);
+        metrics.reset();
+        let enabled = best_of(&edges, k);
+        let p99 = metrics
+            .snapshot()
+            .histogram("core.insert.latency_ns")
+            .map_or(0, |h| h.p99_ns);
+
+        let pct = (enabled - disabled) / disabled * 100.0;
+        worst_pct = worst_pct.max(pct);
+        table_row(&[
+            k.to_string(),
+            format!("{disabled:.4}"),
+            format!("{enabled:.4}"),
+            format!("{pct:+.2}"),
+            p99.to_string(),
+        ]);
+        out.write_row(&Row {
+            dataset: dataset.spec().key.to_string(),
+            k,
+            edges: edges.len() as u64,
+            reps: REPS,
+            disabled_best_secs: disabled,
+            enabled_best_secs: enabled,
+            overhead_pct: pct,
+            insert_p99_ns: p99,
+        });
+    }
+    metrics.set_enabled(true);
+
+    if let Some(limit) = max_overhead_pct {
+        if worst_pct > limit {
+            eprintln!("FAIL: metrics overhead {worst_pct:.2}% exceeds the {limit}% budget");
+            std::process::exit(1);
+        }
+        println!("\nPASS: worst overhead {worst_pct:.2}% within the {limit}% budget");
+    }
+}

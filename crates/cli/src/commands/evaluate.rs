@@ -39,5 +39,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let json = serde_json::to_string_pretty(&reports)
         .map_err(|e| format!("cannot serialize reports: {e}"))?;
     println!("{json}");
+    crate::commands::write_metrics_out(&flags)?;
     Ok(())
 }

@@ -1,11 +1,14 @@
 //! `streamlink ingest` — build a sketch store from a stream file and
 //! persist a snapshot.
+//!
+//! `--metrics-out PATH` additionally dumps the global metrics registry
+//! (ingest counters, insert-latency percentiles) as JSON.
 
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{SketchConfig, SketchStore};
 
 use crate::args::Flags;
-use crate::commands::load_stream;
+use crate::commands::{load_stream, write_metrics_out};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
@@ -37,5 +40,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         eps,
         store.memory_bytes(),
     );
+    write_metrics_out(&flags)?;
     Ok(())
 }

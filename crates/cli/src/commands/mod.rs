@@ -13,6 +13,20 @@ pub mod top;
 use datasets::{Scale, SimulatedDataset};
 use graphstream::{io, MemoryStream, StreamError};
 
+use crate::args::Flags;
+
+/// Honors the shared `--metrics-out PATH` flag of batch commands: dumps
+/// the global metrics registry as JSON (schema `streamlink.metrics.v1`)
+/// so experiment harnesses can record the same counters the `METRICS`
+/// protocol command exports. A missing flag is a no-op.
+pub fn write_metrics_out(flags: &Flags) -> Result<(), String> {
+    let Some(path) = flags.get("metrics-out") else {
+        return Ok(());
+    };
+    let json = streamlink_core::metrics::global().snapshot().render_json();
+    std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))
+}
+
 /// Parses `--scale` values.
 pub fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
     match raw.unwrap_or("small") {

@@ -5,6 +5,7 @@ use linkpred::Measure;
 use streamlink_core::snapshot::StoreSnapshot;
 
 use crate::args::Flags;
+use crate::commands::write_metrics_out;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
@@ -38,6 +39,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             None => println!("{} {}:{} unseen", measure.key(), u.0, v.0),
         }
     }
+    write_metrics_out(&flags)?;
     Ok(())
 }
 

@@ -21,6 +21,7 @@
 //! --drain-secs S              shutdown drain deadline             (5)
 //! --snapshot-every-secs S     checkpoint interval                (30)
 //! --snapshot-every-edges N    checkpoint edge budget          (50000)
+//! --metrics-log-secs S        periodic metrics log line; 0 off   (60)
 //! ```
 //!
 //! On SIGINT/SIGTERM the server stops accepting, drains, writes a final
@@ -49,6 +50,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         drain_deadline: Duration::from_secs(flags.get_parsed_or("drain-secs", 5u64)?),
         snapshot_every: Duration::from_secs(flags.get_parsed_or("snapshot-every-secs", 30u64)?),
         snapshot_every_edges: flags.get_parsed_or("snapshot-every-edges", 50_000u64)?,
+        metrics_log_every: Duration::from_secs(flags.get_parsed_or("metrics-log-secs", 60u64)?),
     };
     if config.max_conns == 0 {
         return Err("--max-conns must be positive".into());
@@ -109,7 +111,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     eprintln!(
         "serving {} vertices on {local} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, \
-         DEGREE u, INSERT u v, STATS, QUIT)",
+         DEGREE u, INSERT u v, STATS, METRICS, QUIT)",
         state.read_store().vertex_count(),
     );
     let state = Arc::new(state);

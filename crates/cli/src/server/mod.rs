@@ -64,6 +64,8 @@ pub struct ServerConfig {
     pub snapshot_every: Duration,
     /// Checkpoint as soon as the journal lag reaches this many edges.
     pub snapshot_every_edges: u64,
+    /// Log a one-line metrics summary this often (zero disables).
+    pub metrics_log_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +76,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             snapshot_every: Duration::from_secs(30),
             snapshot_every_edges: 50_000,
+            metrics_log_every: Duration::from_secs(60),
         }
     }
 }
@@ -240,9 +243,18 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
         None
     };
 
+    let mut last_metrics_log = Instant::now();
     while !state.shutdown_requested() {
+        let log_every = state.config.metrics_log_every;
+        if !log_every.is_zero() && last_metrics_log.elapsed() >= log_every {
+            last_metrics_log = Instant::now();
+            eprintln!("{}", metrics_log_line(state));
+        }
         match listener.accept() {
             Ok((stream, _)) => {
+                streamlink_core::metrics::global()
+                    .connections_accepted
+                    .incr();
                 let previous = state.active.fetch_add(1, Ordering::SeqCst);
                 if previous >= state.config.max_conns {
                     state.active.fetch_sub(1, Ordering::SeqCst);
@@ -295,8 +307,40 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
 
 /// Rejects a connection past the cap: one `ERR busy` line, then close.
 fn shed(stream: TcpStream) {
+    streamlink_core::metrics::global().connections_shed.incr();
     let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let _ = writeln!(stream, "ERR busy");
+}
+
+/// The periodic one-line metrics summary the accept loop logs: the
+/// load-bearing subset of `METRICS` (full catalogue via the protocol
+/// command).
+fn metrics_log_line(state: &ServerState) -> String {
+    let m = streamlink_core::metrics::global();
+    m.connections_active.set(state.connections_active() as u64);
+    m.journal_lag_edges.set(state.journal_lag());
+    let snap = m.snapshot();
+    let insert = snap
+        .histogram("core.insert.latency_ns")
+        .copied()
+        .unwrap_or_default();
+    let cmd = snap
+        .histogram("server.command_latency_ns")
+        .copied()
+        .unwrap_or_default();
+    format!(
+        "metrics: edges={} commands={} errors={} conns={} shed={} \
+         journal_lag={} insert_p99_ns={} cmd_p50_ns={} cmd_p99_ns={}",
+        snap.value("core.insert.edges").unwrap_or(0),
+        snap.value("server.commands").unwrap_or(0),
+        snap.value("server.command_errors").unwrap_or(0),
+        state.connections_active(),
+        snap.value("server.connections_shed").unwrap_or(0),
+        state.journal_lag(),
+        insert.p99_ns,
+        cmd.p50_ns,
+        cmd.p99_ns,
+    )
 }

@@ -88,22 +88,37 @@ pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
         p.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    let (snapshot, dir) = {
-        let store = state.read_store();
-        let mut persist = lock(persist);
-        let snapshot = StoreSnapshot::capture(&store);
-        persist.journal.rotate(snapshot.edges_processed + 1)?;
-        (snapshot, persist.dir.clone())
+    let metrics = streamlink_core::metrics::global();
+    let start = std::time::Instant::now();
+    let run = || -> io::Result<CheckpointReport> {
+        let (snapshot, dir) = {
+            let store = state.read_store();
+            let mut persist = lock(persist);
+            let snapshot = StoreSnapshot::capture(&store);
+            persist.journal.rotate(snapshot.edges_processed + 1)?;
+            (snapshot, persist.dir.clone())
+        };
+        snapshot.write_atomic(&durable::snapshot_path(&dir))?;
+        let segments_pruned = lock(persist)
+            .journal
+            .prune_below(snapshot.edges_processed)?;
+        state.set_last_snapshot_seq(snapshot.edges_processed);
+        Ok(CheckpointReport {
+            snapshot_seq: snapshot.edges_processed,
+            segments_pruned,
+        })
     };
-    snapshot.write_atomic(&durable::snapshot_path(&dir))?;
-    let segments_pruned = lock(persist)
-        .journal
-        .prune_below(snapshot.edges_processed)?;
-    state.set_last_snapshot_seq(snapshot.edges_processed);
-    Ok(CheckpointReport {
-        snapshot_seq: snapshot.edges_processed,
-        segments_pruned,
-    })
+    let result = run();
+    match &result {
+        Ok(_) => {
+            metrics.checkpoints.incr();
+            metrics.checkpoint_latency.observe(start);
+        }
+        Err(_) => {
+            metrics.checkpoint_failures.incr();
+        }
+    }
+    result
 }
 
 /// The checkpointer thread body: poll until shutdown, checkpointing

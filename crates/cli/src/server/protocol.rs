@@ -10,24 +10,56 @@
 //! STATS                    -> OK vertices=<n> edges=<m> memory=<bytes>
 //!                                uptime_secs=<s> connections_active=<c>
 //!                                journal_lag_edges=<l>   (one line)
+//! METRICS                  -> one key=value line per exported metric,
+//!                             terminated by `OK <n> metrics`
 //! PING                     -> OK pong
 //! QUIT                     -> OK bye (closes the connection)
 //! anything else            -> ERR <reason>
 //! ```
 //!
-//! Every malformed input maps to an `ERR` line — nothing a client sends
-//! can panic a connection thread.
+//! Command words are case-insensitive, and leading/trailing whitespace —
+//! including the `\r` a telnet/netcat client leaves on every line — is
+//! ignored. Vertex-id and measure parsing stays strict. Every malformed
+//! input maps to an `ERR` line — nothing a client sends can panic a
+//! connection thread.
+//!
+//! `METRICS` is the complete counterpart of the one-line `STATS`: every
+//! counter, gauge, and latency-histogram percentile in the global
+//! [`streamlink_core::metrics`] registry, one `key=value` per line (see
+//! `docs/OPERATIONS.md` §8 for the key catalogue). Clients read until
+//! the `OK` line.
 
 use graphstream::VertexId;
 use linkpred::Measure;
+use streamlink_core::metrics;
 
 use super::ServerState;
 
 /// Executes one protocol command against the shared state. Pure with
 /// respect to IO, so the full command surface is unit-testable without
 /// sockets.
+///
+/// Also the protocol-layer instrumentation point: every call bumps
+/// `server.commands` (plus the per-class counters) and feeds the
+/// command-latency histogram, so `METRICS` sees all traffic regardless
+/// of which transport delivered the command.
 #[must_use]
 pub fn handle_command(state: &ServerState, line: &str) -> String {
+    let m = metrics::global();
+    let start = std::time::Instant::now();
+    let response = execute(state, line);
+    m.server_commands.incr();
+    if response.starts_with("ERR") {
+        m.server_command_errors.incr();
+    }
+    m.server_command_latency.observe(start);
+    response
+}
+
+fn execute(state: &ServerState, line: &str) -> String {
+    // Telnet/netcat clients terminate lines with `\r\n`, and humans pad
+    // with spaces; `split_whitespace` treats `\r`, tabs, and padding as
+    // separators, so both parse like the bare command.
     let mut parts = line.split_whitespace();
     let Some(command) = parts.next() else {
         return "ERR empty command".into();
@@ -67,16 +99,30 @@ pub fn handle_command(state: &ServerState, line: &str) -> String {
                 state.journal_lag(),
             )
         }
+        "METRICS" => {
+            let m = metrics::global();
+            // Gauges are levels, not events: refresh them at read time.
+            m.connections_active.set(state.connections_active() as u64);
+            m.journal_lag_edges.set(state.journal_lag());
+            let snapshot = m.snapshot();
+            format!("{}\nOK {} metrics", snapshot.render_text(), snapshot.len())
+        }
         "DEGREE" => match args.as_slice() {
             [raw] => match parse_vertex(raw) {
-                Ok(v) => format!("OK {}", state.read_store().degree(v)),
+                Ok(v) => {
+                    metrics::global().server_queries.incr();
+                    format!("OK {}", state.read_store().degree(v))
+                }
                 Err(e) => format!("ERR {e}"),
             },
             _ => "ERR DEGREE takes exactly one vertex id".into(),
         },
         "INSERT" => match pair(&args) {
             Ok((u, v)) => match state.insert_edge(u, v) {
-                Ok(()) => "OK inserted".into(),
+                Ok(()) => {
+                    metrics::global().server_inserts.incr();
+                    "OK inserted".into()
+                }
                 // Not acked: the edge was neither journaled nor applied.
                 Err(e) => format!("ERR not persisted: {e}"),
             },
@@ -88,6 +134,7 @@ pub fn handle_command(state: &ServerState, line: &str) -> String {
             };
             match pair(&args) {
                 Ok((u, v)) => {
+                    metrics::global().server_queries.incr();
                     let guard = state.read_store();
                     let score = match measure {
                         Measure::Jaccard => guard.jaccard(u, v),
@@ -162,6 +209,72 @@ mod tests {
         assert!(stats.contains("connections_active=0"), "{stats}");
         // In-memory serving has no journal, hence no lag.
         assert!(stats.contains("journal_lag_edges=0"), "{stats}");
+    }
+
+    #[test]
+    fn crlf_and_surrounding_whitespace_are_trimmed() {
+        // What telnet/netcat actually deliver: trailing `\r`, padding.
+        let s = state();
+        assert!(handle_command(&s, "stats\r").starts_with("OK vertices="));
+        assert_eq!(handle_command(&s, "  INSERT 1 2  "), "OK inserted");
+        assert_eq!(handle_command(&s, "\tPING\r"), "OK pong");
+        assert_eq!(handle_command(&s, "degree 0\r"), "OK 20");
+        // Strictness is preserved where it matters: a vertex id with
+        // embedded garbage still errors.
+        assert!(handle_command(&s, "INSERT 1\r2 3").starts_with("ERR"));
+    }
+
+    #[test]
+    fn commands_are_case_insensitive() {
+        let s = state();
+        assert_eq!(handle_command(&s, "ping"), "OK pong");
+        assert!(handle_command(&s, "jaccard 0 1").starts_with("OK 1.0"));
+        assert_eq!(handle_command(&s, "Insert 0 600"), "OK inserted");
+        assert!(handle_command(&s, "metrics\r").ends_with(" metrics"));
+    }
+
+    #[test]
+    fn metrics_returns_key_value_lines_with_ok_terminator() {
+        let s = state();
+        // Generate some traffic so counters are visibly nonzero.
+        let _ = handle_command(&s, "JACCARD 0 1");
+        let _ = handle_command(&s, "INSERT 5 6");
+        let response = handle_command(&s, "METRICS");
+        let lines: Vec<&str> = response.lines().collect();
+        let last = lines.last().unwrap();
+        assert!(
+            last.starts_with("OK ") && last.ends_with(" metrics"),
+            "terminator: {last}"
+        );
+        let body = &lines[..lines.len() - 1];
+        assert_eq!(
+            body.len().to_string(),
+            last.split_whitespace().nth(1).unwrap(),
+            "OK line must announce the metric count"
+        );
+        for line in body {
+            let (k, v) = line.split_once('=').expect("key=value line");
+            assert!(!k.is_empty(), "{line}");
+            v.parse::<u64>()
+                .unwrap_or_else(|_| panic!("bad value in {line}"));
+        }
+        let find = |key: &str| {
+            body.iter()
+                .find_map(|l| l.strip_prefix(&format!("{key}=")))
+                .unwrap_or_else(|| panic!("missing {key}"))
+                .parse::<u64>()
+                .unwrap()
+        };
+        assert!(find("core.insert.edges") >= 41, "ingest counter");
+        assert!(find("server.queries") >= 1, "query counter");
+        assert!(find("server.inserts") >= 1);
+        let (p50, p99) = (
+            find("core.insert.latency_ns.p50"),
+            find("core.insert.latency_ns.p99"),
+        );
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert_eq!(find("server.connections_active"), 0);
+        assert_eq!(find("journal.lag_edges"), 0);
     }
 
     #[test]

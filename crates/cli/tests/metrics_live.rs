@@ -1,0 +1,189 @@
+//! Live metrics coherence tests.
+//!
+//! The registry is read lock-free while writers are hot, so the
+//! interesting failures are torn or regressing snapshots: a counter
+//! that appears to go backwards between two `METRICS` responses, or a
+//! histogram whose p50 exceeds its p99. The first test hammers
+//! `METRICS` from several reader threads while a writer ingests through
+//! the real command path; the second drives a real `streamlink serve`
+//! process over TCP and checks the multi-line `METRICS` response shape
+//! end to end.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+use streamlink_cli::server::protocol::handle_command;
+use streamlink_cli::server::{ServerConfig, ServerState};
+use streamlink_core::{SketchConfig, SketchStore};
+
+/// Parses a `METRICS` response body into `(key, value)` pairs, checking
+/// the `OK <n> metrics` terminator and that every value is a bare u64.
+fn parse_metrics(response: &str) -> std::collections::HashMap<String, u64> {
+    let mut lines: Vec<&str> = response.lines().collect();
+    let terminator = lines.pop().expect("empty METRICS response");
+    assert!(
+        terminator.starts_with("OK ") && terminator.ends_with(" metrics"),
+        "bad terminator: {terminator:?}"
+    );
+    let announced: usize = terminator
+        .split_whitespace()
+        .nth(1)
+        .and_then(|n| n.parse().ok())
+        .expect("terminator count");
+    assert_eq!(lines.len(), announced, "terminator count vs body lines");
+    lines
+        .iter()
+        .map(|line| {
+            let (k, v) = line.split_once('=').expect("key=value line");
+            (k.to_string(), v.parse::<u64>().expect("u64 metric value"))
+        })
+        .collect()
+}
+
+/// Asserts every histogram in a parsed snapshot reports ordered
+/// percentiles (p50 ≤ p95 ≤ p99 ≤ max when non-empty).
+fn assert_percentiles_ordered(m: &std::collections::HashMap<String, u64>) {
+    for (key, &count) in m {
+        let Some(base) = key.strip_suffix(".count") else {
+            continue;
+        };
+        if count == 0 {
+            continue;
+        }
+        let get = |s: &str| m[&format!("{base}.{s}")];
+        let (p50, p95, p99) = (get("p50"), get("p95"), get("p99"));
+        assert!(p50 <= p95 && p95 <= p99, "{base}: {p50} > {p95} > {p99}?");
+        assert!(p99 <= get("max").max(p99), "{base}: p99 above max bucket");
+    }
+}
+
+#[test]
+fn metrics_stay_coherent_under_concurrent_ingest() {
+    const EDGES: u64 = 20_000;
+    const READERS: usize = 3;
+
+    let store = SketchStore::new(SketchConfig::with_slots(32).seed(7));
+    let state = Arc::new(ServerState::in_memory(store, ServerConfig::default()));
+    let baseline = parse_metrics(&handle_command(&state, "METRICS"))["core.insert.edges"];
+
+    let writer = {
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            for i in 0..EDGES {
+                let reply = handle_command(&state, &format!("INSERT {} {}", i % 97, 1000 + i));
+                assert!(reply.starts_with("OK"), "insert failed: {reply}");
+            }
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let mut last_edges = 0u64;
+                let mut last_commands = 0u64;
+                for _ in 0..200 {
+                    let snap = parse_metrics(&handle_command(&state, "METRICS"));
+                    let edges = snap["core.insert.edges"];
+                    let commands = snap["server.commands"];
+                    assert!(edges >= last_edges, "edges went backwards: {edges}");
+                    assert!(commands >= last_commands, "commands went backwards");
+                    assert_percentiles_ordered(&snap);
+                    last_edges = edges;
+                    last_commands = commands;
+                }
+            })
+        })
+        .collect();
+
+    writer.join().expect("writer panicked");
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    let final_snap = parse_metrics(&handle_command(&state, "METRICS"));
+    assert!(
+        final_snap["core.insert.edges"] >= baseline + EDGES,
+        "final edge count {} below baseline {baseline} + {EDGES}",
+        final_snap["core.insert.edges"]
+    );
+    assert!(final_snap["server.inserts"] >= EDGES);
+    assert_percentiles_ordered(&final_snap);
+}
+
+/// A `streamlink serve` child for the TCP end-to-end check.
+struct ServeChild(Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn metrics_command_works_over_live_tcp_session() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_streamlink"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--slots", "32"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn streamlink serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let child = ServeChild(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(a) = line.strip_prefix("LISTENING ") {
+                    break a.to_string();
+                }
+            }
+            _ => panic!("server exited before LISTENING"),
+        }
+    };
+
+    let conn = TcpStream::connect(&addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+    let mut conn = conn;
+    let mut line = String::new();
+
+    const INSERTS: u64 = 50;
+    for i in 0..INSERTS {
+        writeln!(conn, "insert {i} {}", i + 1).unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("OK"), "insert reply: {line:?}");
+    }
+
+    // METRICS is multi-line: read until the OK terminator.
+    writeln!(conn, "METRICS").unwrap();
+    let mut body = String::new();
+    loop {
+        line.clear();
+        assert!(reader.read_line(&mut line).unwrap() > 0, "EOF mid-METRICS");
+        body.push_str(&line);
+        if line.starts_with("OK ") {
+            break;
+        }
+    }
+    let snap = parse_metrics(body.trim_end());
+    assert!(snap["core.insert.edges"] >= INSERTS);
+    assert!(snap["server.inserts"] >= INSERTS);
+    // The in-flight METRICS command itself is counted only after it
+    // renders its own snapshot, so equality is the floor here.
+    assert!(snap["server.commands"] >= INSERTS);
+    assert_eq!(snap["server.connections_active"], 1);
+    assert_percentiles_ordered(&snap);
+
+    writeln!(conn, "QUIT").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK bye");
+    drop(child);
+}

@@ -95,8 +95,21 @@ pub fn checkpoint(
     dir: &Path,
     journal: &mut Journal,
 ) -> io::Result<usize> {
-    snapshot.write_atomic(&snapshot_path(dir))?;
-    journal.prune_below(snapshot.edges_processed)
+    let metrics = crate::metrics::global();
+    let start = std::time::Instant::now();
+    let result = snapshot
+        .write_atomic(&snapshot_path(dir))
+        .and_then(|()| journal.prune_below(snapshot.edges_processed));
+    match &result {
+        Ok(_) => {
+            metrics.checkpoints.incr();
+            metrics.checkpoint_latency.observe(start);
+        }
+        Err(_) => {
+            metrics.checkpoint_failures.incr();
+        }
+    }
+    result
 }
 
 #[cfg(test)]

@@ -171,12 +171,17 @@ impl Journal {
     /// Fails on write, flush, or sync errors; the entry must then be
     /// treated as not persisted (nack the client).
     pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
+        let metrics = crate::metrics::global();
+        let start = std::time::Instant::now();
         writeln!(self.writer, "{entry}")?;
         self.writer.flush()?;
         if self.policy == FsyncPolicy::Always {
             self.writer.get_ref().sync_data()?;
+            metrics.journal_fsyncs.incr();
         }
         self.last_seq = Some(entry.seq);
+        metrics.journal_appends.incr();
+        metrics.journal_append_latency.observe(start);
         Ok(())
     }
 
@@ -186,7 +191,9 @@ impl Journal {
     /// Fails on flush or sync errors.
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush()?;
-        self.writer.get_ref().sync_data()
+        self.writer.get_ref().sync_data()?;
+        crate::metrics::global().journal_fsyncs.incr();
+        Ok(())
     }
 
     /// Seals the active segment and starts a new one holding entries from
@@ -209,6 +216,7 @@ impl Journal {
         self.writer = BufWriter::new(file);
         self.segment_first_seq = next_seq;
         self.last_seq = None;
+        crate::metrics::global().journal_rotations.incr();
         Ok(())
     }
 
@@ -326,6 +334,9 @@ pub fn replay(
             }
         }
     }
+    crate::metrics::global()
+        .journal_replayed
+        .add(report.replayed);
     Ok(report)
 }
 

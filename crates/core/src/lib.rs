@@ -38,6 +38,8 @@
 //! * [`windowed`] — epoch-based sliding-window store (recent structure
 //!   only).
 //! * [`merge`] — sketch-store union for distributed ingestion.
+//! * [`metrics`] — zero-dependency observability: atomic counters,
+//!   gauges, and latency histograms behind one global registry.
 //! * [`concurrent`] — sharded `RwLock` store for live ingest + query
 //!   serving.
 //! * [`hll`] / [`robust`] — HyperLogLog distinct-degree estimation and
@@ -84,6 +86,7 @@ pub mod hll;
 pub mod journal;
 pub mod lsh;
 pub mod merge;
+pub mod metrics;
 pub mod parallel;
 pub mod robust;
 pub mod sketch;
@@ -101,6 +104,7 @@ pub use durable::{checkpoint, recover, Recovery};
 pub use hll::HyperLogLog;
 pub use journal::{FsyncPolicy, Journal, JournalEntry, ReplayReport};
 pub use lsh::LshIndex;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use robust::RobustStore;
 pub use store::SketchStore;
 pub use windowed::WindowedStore;

@@ -65,6 +65,7 @@ pub fn merge_into(dst: &mut SketchStore, src: &SketchStore) -> Result<(), MergeE
         return Err(MergeError::BackendMismatch);
     }
 
+    let start = std::time::Instant::now();
     let k = dc.slots();
     let (src_sketches, src_degrees, src_edges) = src.parts();
     // Clone out of src first so we never hold two mutable views.
@@ -83,6 +84,9 @@ pub fn merge_into(dst: &mut SketchStore, src: &SketchStore) -> Result<(), MergeE
         *dst_degrees.entry(v).or_insert(0) += d;
     }
     *dst_edges += src_edges;
+    let m = crate::metrics::global();
+    m.merge_ops.incr();
+    m.merge_latency.observe(start);
     Ok(())
 }
 

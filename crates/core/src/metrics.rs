@@ -1,0 +1,680 @@
+//! Zero-dependency observability: atomic counters, gauges, and
+//! fixed-bucket latency histograms behind one process-wide registry.
+//!
+//! The serving north-star needs workload *measurement* before any
+//! workload-aware optimization (gSketch-style partitioning, EdgeSketch's
+//! throughput/latency evaluation) is possible. This module provides the
+//! counters, cheap enough for the O(k) insert hot path:
+//!
+//! * [`Counter`] — one relaxed `fetch_add` per event.
+//! * [`Gauge`] — a last-write-wins level (set at observation time).
+//! * [`LatencyHistogram`] — 32 power-of-two nanosecond buckets; recording
+//!   is two relaxed `fetch_add`s plus a `fetch_max`, and percentiles are
+//!   computed from a single coherent pass over a bucket snapshot, so a
+//!   reported p50 can never exceed the p99 of the same snapshot.
+//!
+//! ## The registry
+//!
+//! [`global()`] returns the process-wide [`Metrics`] — a plain `static`
+//! of named instruments, so the hot path pays no map lookup and no lock.
+//! Everything is always safe to call from any thread.
+//!
+//! ## Cost model and the `enabled` switch
+//!
+//! [`Metrics::set_enabled`] gates the *data-plane* hot path
+//! ([`crate::store::SketchStore::insert_edge`]): when disabled, inserts
+//! skip even the counter increment. Insert latency is additionally
+//! *sampled* (1 in [`INSERT_SAMPLE_INTERVAL`]) because two `Instant`
+//! reads per edge would be measurable at small `k`. Control-plane
+//! instruments (journal, checkpoint, server commands) are always
+//! recorded — their cost is dwarfed by the IO they measure. The
+//! `exp_metrics` experiment pins the enabled-vs-disabled ingest overhead
+//! below 5%.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Insert latency is timed once every this many inserts (power of two).
+pub const INSERT_SAMPLE_INTERVAL: u64 = 64;
+
+const SAMPLE_MASK: u64 = INSERT_SAMPLE_INTERVAL - 1;
+
+/// A monotone event counter (relaxed atomic increments).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter, usable in `static` contexts.
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one; returns the *previous* value (useful for sampling).
+    #[inline]
+    pub fn incr(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins level (e.g. live connections, journal lag).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge, usable in `static` contexts.
+    #[must_use]
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.set(0);
+    }
+}
+
+/// Number of histogram buckets.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Bucket 0 holds everything at or below this many nanoseconds; each
+/// later bucket doubles the bound.
+const FIRST_BUCKET_NS: u64 = 128;
+
+/// Upper bound (inclusive, in ns) of bucket `i`; the last bucket absorbs
+/// every larger value.
+#[must_use]
+fn bucket_bound_ns(i: usize) -> u64 {
+    FIRST_BUCKET_NS << i
+}
+
+fn bucket_index(ns: u64) -> usize {
+    // Values <= 128ns land in bucket 0; each doubling moves one bucket up.
+    let shifted = ns.saturating_sub(1) / FIRST_BUCKET_NS;
+    let idx = (u64::BITS - shifted.leading_zeros()) as usize;
+    idx.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A fixed-bucket latency histogram over power-of-two nanosecond bins.
+///
+/// Recording is lock-free and allocation-free. Percentiles are answered
+/// from a coherent single-pass snapshot of the buckets, which makes them
+/// monotone in `p` by construction — p50 ≤ p95 ≤ p99 always holds for
+/// values reported together via [`LatencyHistogram::summary`].
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram, usable in `static` contexts.
+    #[must_use]
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LatencyHistogram {
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one duration in nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Records the time elapsed since `start`.
+    #[inline]
+    pub fn observe(&self, start: Instant) {
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.record_ns(ns);
+    }
+
+    /// A coherent summary (count, mean, max, p50/p95/p99) from one pass
+    /// over the buckets.
+    #[must_use]
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let percentile = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            // ceil(p * count) with pure integer arithmetic would overflow
+            // for huge counts; f64 rank is exact enough for bucket walks.
+            let rank = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut cumulative = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                cumulative += c;
+                if cumulative >= rank {
+                    return bucket_bound_ns(i);
+                }
+            }
+            bucket_bound_ns(HISTOGRAM_BUCKETS - 1)
+        };
+        HistogramSummary {
+            count,
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            p50_ns: percentile(0.50),
+            p95_ns: percentile(0.95),
+            p99_ns: percentile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum_ns.store(0, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One coherent histogram read-out. Latencies are bucket upper bounds in
+/// nanoseconds, so reported percentiles are conservative (never
+/// understated) and p50 ≤ p95 ≤ p99 by construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded durations (ns).
+    pub sum_ns: u64,
+    /// Largest recorded duration (ns).
+    pub max_ns: u64,
+    /// Median latency (ns, bucket upper bound).
+    pub p50_ns: u64,
+    /// 95th-percentile latency (ns).
+    pub p95_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+}
+
+/// The process-wide instrument registry. Obtain it via [`global()`].
+///
+/// Field names mirror the exported metric keys (see
+/// `docs/OPERATIONS.md` §8 for meanings and units).
+#[derive(Debug)]
+pub struct Metrics {
+    enabled: AtomicBool,
+    /// Edges folded into any [`crate::store::SketchStore`] (data plane).
+    pub insert_edges: Counter,
+    /// Sampled per-edge insert latency (1 in [`INSERT_SAMPLE_INTERVAL`]).
+    pub insert_latency: LatencyHistogram,
+    /// Successful [`crate::merge::merge_into`] calls.
+    pub merge_ops: Counter,
+    /// Whole-merge latency.
+    pub merge_latency: LatencyHistogram,
+    /// [`crate::parallel::ingest_parallel`] invocations.
+    pub parallel_ingests: Counter,
+    /// Per-shard ingest duration inside `ingest_parallel`.
+    pub shard_latency: LatencyHistogram,
+    /// Journal entries appended.
+    pub journal_appends: Counter,
+    /// Explicit `fdatasync`s issued by the journal.
+    pub journal_fsyncs: Counter,
+    /// Per-append latency (write + flush + optional sync).
+    pub journal_append_latency: LatencyHistogram,
+    /// Journal segment rotations.
+    pub journal_rotations: Counter,
+    /// Journal entries replayed during recovery.
+    pub journal_replayed: Counter,
+    /// Checkpoints completed (snapshot written + journal pruned).
+    pub checkpoints: Counter,
+    /// Checkpoints that failed with an IO error.
+    pub checkpoint_failures: Counter,
+    /// Whole-checkpoint latency.
+    pub checkpoint_latency: LatencyHistogram,
+    /// Protocol commands executed (any result).
+    pub server_commands: Counter,
+    /// Protocol commands answered with `ERR`.
+    pub server_command_errors: Counter,
+    /// `INSERT` commands accepted.
+    pub server_inserts: Counter,
+    /// Measure/DEGREE read queries served.
+    pub server_queries: Counter,
+    /// Whole-command latency at the protocol layer.
+    pub server_command_latency: LatencyHistogram,
+    /// Connections accepted into a handler thread.
+    pub connections_accepted: Counter,
+    /// Connections shed with `ERR busy` at the cap.
+    pub connections_shed: Counter,
+    /// Live connections (set at observation time).
+    pub connections_active: Gauge,
+    /// Acked edges not yet covered by a snapshot (set at observation
+    /// time).
+    pub journal_lag_edges: Gauge,
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Metrics {
+            enabled: AtomicBool::new(true),
+            insert_edges: Counter::new(),
+            insert_latency: LatencyHistogram::new(),
+            merge_ops: Counter::new(),
+            merge_latency: LatencyHistogram::new(),
+            parallel_ingests: Counter::new(),
+            shard_latency: LatencyHistogram::new(),
+            journal_appends: Counter::new(),
+            journal_fsyncs: Counter::new(),
+            journal_append_latency: LatencyHistogram::new(),
+            journal_rotations: Counter::new(),
+            journal_replayed: Counter::new(),
+            checkpoints: Counter::new(),
+            checkpoint_failures: Counter::new(),
+            checkpoint_latency: LatencyHistogram::new(),
+            server_commands: Counter::new(),
+            server_command_errors: Counter::new(),
+            server_inserts: Counter::new(),
+            server_queries: Counter::new(),
+            server_command_latency: LatencyHistogram::new(),
+            connections_accepted: Counter::new(),
+            connections_shed: Counter::new(),
+            connections_active: Gauge::new(),
+            journal_lag_edges: Gauge::new(),
+        }
+    }
+
+    /// Whether data-plane (insert hot path) instrumentation is on.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns data-plane instrumentation on or off. Control-plane
+    /// instruments are unaffected.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Hot-path hook for `SketchStore::insert_edge`: counts the edge and
+    /// decides (by sampling) whether this one should be timed. Returns
+    /// `Some(start)` when the caller must report back via
+    /// [`Metrics::insert_latency`].
+    #[inline]
+    #[must_use]
+    pub fn on_insert(&self) -> Option<Instant> {
+        if !self.enabled() {
+            return None;
+        }
+        let n = self.insert_edges.incr();
+        (n & SAMPLE_MASK == 0).then(Instant::now)
+    }
+
+    /// A coherent snapshot of every instrument, in a stable export order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![
+                ("core.insert.edges", self.insert_edges.get()),
+                ("core.merge.ops", self.merge_ops.get()),
+                ("core.parallel.ingests", self.parallel_ingests.get()),
+                ("journal.appends", self.journal_appends.get()),
+                ("journal.fsyncs", self.journal_fsyncs.get()),
+                ("journal.rotations", self.journal_rotations.get()),
+                ("journal.replayed", self.journal_replayed.get()),
+                ("checkpoint.count", self.checkpoints.get()),
+                ("checkpoint.failures", self.checkpoint_failures.get()),
+                ("server.commands", self.server_commands.get()),
+                ("server.command_errors", self.server_command_errors.get()),
+                ("server.inserts", self.server_inserts.get()),
+                ("server.queries", self.server_queries.get()),
+                (
+                    "server.connections_accepted",
+                    self.connections_accepted.get(),
+                ),
+                ("server.connections_shed", self.connections_shed.get()),
+            ],
+            gauges: vec![
+                ("server.connections_active", self.connections_active.get()),
+                ("journal.lag_edges", self.journal_lag_edges.get()),
+            ],
+            histograms: vec![
+                ("core.insert.latency_ns", self.insert_latency.summary()),
+                ("core.merge.latency_ns", self.merge_latency.summary()),
+                (
+                    "core.parallel.shard_latency_ns",
+                    self.shard_latency.summary(),
+                ),
+                (
+                    "journal.append_latency_ns",
+                    self.journal_append_latency.summary(),
+                ),
+                ("checkpoint.latency_ns", self.checkpoint_latency.summary()),
+                (
+                    "server.command_latency_ns",
+                    self.server_command_latency.summary(),
+                ),
+            ],
+        }
+    }
+
+    /// Zeroes every instrument (benchmarks and tests; the serving path
+    /// never resets).
+    pub fn reset(&self) {
+        for c in [
+            &self.insert_edges,
+            &self.merge_ops,
+            &self.parallel_ingests,
+            &self.journal_appends,
+            &self.journal_fsyncs,
+            &self.journal_rotations,
+            &self.journal_replayed,
+            &self.checkpoints,
+            &self.checkpoint_failures,
+            &self.server_commands,
+            &self.server_command_errors,
+            &self.server_inserts,
+            &self.server_queries,
+            &self.connections_accepted,
+            &self.connections_shed,
+        ] {
+            c.reset();
+        }
+        self.connections_active.reset();
+        self.journal_lag_edges.reset();
+        for h in [
+            &self.insert_latency,
+            &self.merge_latency,
+            &self.shard_latency,
+            &self.journal_append_latency,
+            &self.checkpoint_latency,
+            &self.server_command_latency,
+        ] {
+            h.reset();
+        }
+    }
+}
+
+static GLOBAL: Metrics = Metrics::new();
+
+/// The process-wide metrics registry.
+#[must_use]
+pub fn global() -> &'static Metrics {
+    &GLOBAL
+}
+
+/// One coherent read-out of the whole registry, renderable as text
+/// key=value lines (the `METRICS` protocol command) or JSON
+/// (`--metrics-out`).
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// `(key, value)` monotone counters.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(key, value)` point-in-time levels.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(key, summary)` latency histograms.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter or gauge by key.
+    #[must_use]
+    pub fn value(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .chain(&self.gauges)
+            .find(|(k, _)| *k == key)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram summary by key.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, h)| h)
+    }
+
+    /// Renders `key=value` lines — one per counter and gauge, six per
+    /// histogram (`.count`, `.sum`, `.max`, `.p50`, `.p95`, `.p99`) — in
+    /// stable order, one metric per line, no trailing newline.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in self.counters.iter().chain(&self.gauges) {
+            out.push_str(&format!("{k}={v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{k}.count={}\n{k}.sum={}\n{k}.max={}\n{k}.p50={}\n{k}.p95={}\n{k}.p99={}\n",
+                h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns
+            ));
+        }
+        out.pop(); // drop the final '\n'
+        out
+    }
+
+    /// Renders the snapshot as a self-describing JSON object (schema
+    /// `streamlink.metrics.v1`). Hand-rolled: keys are static
+    /// identifiers and values are integers, so no escaping is needed.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"streamlink.metrics.v1\",\"counters\":{");
+        let kv: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        out.push_str(&kv.join(","));
+        out.push_str("},\"gauges\":{");
+        let kv: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        out.push_str(&kv.join(","));
+        out.push_str("},\"histograms\":{");
+        let kv: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{k}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\
+                     \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
+                    h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns
+                )
+            })
+            .collect();
+        out.push_str(&kv.join(","));
+        out.push_str("}}");
+        out
+    }
+
+    /// Number of exported metric lines ([`MetricsSnapshot::render_text`]
+    /// line count).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + 6 * self.histograms.len()
+    }
+
+    /// Whether the snapshot exports nothing (never true for the global
+    /// registry).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.incr(), 0);
+        assert_eq!(c.incr(), 1);
+        c.add(10);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = Gauge::new();
+        g.set(7);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(128), 0);
+        assert_eq!(bucket_index(129), 1);
+        assert_eq!(bucket_index(256), 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut prev = 0;
+        for ns in [1u64, 50, 200, 1_000, 10_000, 1_000_000, u64::MAX / 2] {
+            let idx = bucket_index(ns);
+            assert!(idx >= prev, "bucket index must be monotone in ns");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LatencyHistogram::new();
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ns, 0);
+        assert_eq!(s.p99_ns, 0);
+        assert_eq!(s.max_ns, 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        // 90 fast samples, 10 slow ones: p50 low, p99 high.
+        for _ in 0..90 {
+            h.record_ns(100);
+        }
+        for _ in 0..10 {
+            h.record_ns(1_000_000);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns, "{s:?}");
+        assert!(s.p50_ns <= 128, "median should sit in the fast bucket");
+        assert!(s.p99_ns >= 1_000_000, "p99 must cover the slow tail");
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.sum_ns, 90 * 100 + 10 * 1_000_000);
+    }
+
+    #[test]
+    fn single_sample_percentiles_agree() {
+        let h = LatencyHistogram::new();
+        h.record_ns(5_000);
+        let s = h.summary();
+        assert_eq!(s.p50_ns, s.p99_ns);
+        assert!(s.p50_ns >= 5_000, "bucket bound must not understate");
+    }
+
+    #[test]
+    fn snapshot_text_lines_match_len() {
+        let snap = global().snapshot();
+        assert_eq!(snap.render_text().lines().count(), snap.len());
+        for line in snap.render_text().lines() {
+            let (k, v) = line.split_once('=').expect("every line is key=value");
+            assert!(!k.is_empty());
+            v.parse::<u64>().expect("every value is an integer");
+        }
+    }
+
+    #[test]
+    fn snapshot_lookup_finds_known_keys() {
+        let snap = global().snapshot();
+        assert!(snap.value("core.insert.edges").is_some());
+        assert!(snap.value("journal.lag_edges").is_some());
+        assert!(snap.histogram("core.insert.latency_ns").is_some());
+        assert!(snap.value("no.such.metric").is_none());
+        assert!(!snap.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_valid() {
+        let json = global().snapshot().render_json();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("render_json must emit valid JSON");
+        drop(parsed);
+        assert!(json.contains("\"schema\":\"streamlink.metrics.v1\""));
+        assert!(json.contains("\"core.insert.edges\""));
+        assert!(json.contains("\"p99_ns\""));
+    }
+
+    #[test]
+    fn on_insert_counts_and_samples() {
+        // Use a private registry so concurrent tests cannot interfere.
+        let m = Metrics::new();
+        let mut timed = 0;
+        for _ in 0..(2 * INSERT_SAMPLE_INTERVAL) {
+            if let Some(start) = m.on_insert() {
+                m.insert_latency.observe(start);
+                timed += 1;
+            }
+        }
+        assert_eq!(m.insert_edges.get(), 2 * INSERT_SAMPLE_INTERVAL);
+        assert_eq!(timed, 2, "exactly 1 in {INSERT_SAMPLE_INTERVAL} sampled");
+        assert_eq!(m.insert_latency.summary().count, 2);
+        m.set_enabled(false);
+        assert!(m.on_insert().is_none());
+        assert_eq!(
+            m.insert_edges.get(),
+            2 * INSERT_SAMPLE_INTERVAL,
+            "disabled inserts are not counted"
+        );
+        m.set_enabled(true);
+        m.reset();
+        assert_eq!(m.insert_edges.get(), 0);
+        assert_eq!(m.insert_latency.summary().count, 0);
+    }
+}

@@ -20,9 +20,13 @@ use crate::store::SketchStore;
 #[must_use]
 pub fn ingest_parallel(config: SketchConfig, edges: &[Edge], threads: usize) -> SketchStore {
     assert!(threads > 0, "need at least one ingestion thread");
+    let metrics = crate::metrics::global();
+    metrics.parallel_ingests.incr();
     if threads == 1 || edges.len() < 2 * threads {
+        let start = std::time::Instant::now();
         let mut store = SketchStore::new(config);
         store.insert_stream(edges.iter().copied());
+        metrics.shard_latency.observe(start);
         return store;
     }
 
@@ -32,8 +36,10 @@ pub fn ingest_parallel(config: SketchConfig, edges: &[Edge], threads: usize) -> 
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move |_| {
+                    let start = std::time::Instant::now();
                     let mut store = SketchStore::new(config);
                     store.insert_stream(part.iter().copied());
+                    crate::metrics::global().shard_latency.observe(start);
                     store
                 })
             })

@@ -62,7 +62,22 @@ impl SketchStore {
     ///
     /// Self-loops are counted as processed but otherwise ignored (they
     /// carry no neighborhood signal).
+    ///
+    /// When the global [`crate::metrics`] registry is enabled this also
+    /// bumps `core.insert.edges` and, for a sampled subset of inserts,
+    /// records the per-edge latency histogram.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
+        let m = crate::metrics::global();
+        match m.on_insert() {
+            None => self.insert_edge_inner(u, v),
+            Some(start) => {
+                self.insert_edge_inner(u, v);
+                m.insert_latency.observe(start);
+            }
+        }
+    }
+
+    fn insert_edge_inner(&mut self, u: VertexId, v: VertexId) {
         self.edges_processed += 1;
         if u == v {
             return;

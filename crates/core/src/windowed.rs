@@ -81,10 +81,31 @@ impl WindowedStore {
 
     /// Processes one stream edge.
     ///
-    /// Degree semantics: a vertex's degree is summed across epochs, so an
-    /// edge re-delivered in two different epochs counts twice (the
-    /// sketches themselves stay exact — min-folding is idempotent). This
-    /// matches the window model: each epoch witnesses its own traffic.
+    /// ## Degree semantics and the exact over-count bound
+    ///
+    /// A vertex's window degree is summed across live epochs, so an edge
+    /// re-delivered in several epochs contributes once *per epoch that
+    /// witnessed it* (the sketches themselves stay exact — min-folding
+    /// is idempotent). This is a deliberate pinned behavior, not an
+    /// accident; deduplicating at fold time is impossible without
+    /// storing per-epoch neighbor sets, which would break the constant
+    /// space-per-vertex contract.
+    ///
+    /// The error is therefore exactly characterized: for a vertex `v`,
+    ///
+    /// ```text
+    /// degree(v) = true_window_degree(v) + Σ_e (epochs_live(e, v) − 1)
+    /// ```
+    ///
+    /// summed over `v`'s distinct window edges `e`, where
+    /// `epochs_live(e, v)` is the number of *live* epochs that received
+    /// a delivery of `e`. A window whose feed delivers each edge once
+    /// (the simple-graph stream contract) has zero error; an
+    /// at-least-once feed over-counts each duplicated edge by at most
+    /// `epochs − 1`. Degrees feed the CN/AA scale factors linearly, so
+    /// estimates inflate by the same ratio; feeds with heavy
+    /// re-delivery should dedup upstream or use
+    /// [`crate::robust::RobustStore`] semantics per epoch.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
         let newest = self.epochs.back_mut().expect("queue never empty");
         newest.insert_edge(u, v);
@@ -121,6 +142,9 @@ impl WindowedStore {
     }
 
     /// The window degree of `v` (sum across epochs; 0 if absent).
+    ///
+    /// An edge delivered to several live epochs counts once per epoch —
+    /// see [`WindowedStore::insert_edge`] for the exact bound.
     #[must_use]
     pub fn degree(&self, v: VertexId) -> u64 {
         self.epochs.iter().map(|e| e.degree(v)).sum()
@@ -238,6 +262,49 @@ mod tests {
         );
         assert_eq!(windowed.degree(VertexId(1)), 0);
         assert_eq!(windowed.jaccard(VertexId(1), VertexId(5000)), None);
+    }
+
+    #[test]
+    fn duplicate_edge_across_epochs_pins_documented_degree_bound() {
+        // Pin the documented behavior: an edge delivered in two live
+        // epochs contributes one degree per epoch, while the merged
+        // window sketch stays identical to a dedup'd store's.
+        let mut windowed = WindowedStore::new(cfg(), 4, 3);
+        windowed.insert_edge(VertexId(1), VertexId(2));
+        // Fill the rest of epoch 0 and roll into epoch 1.
+        for i in 0..3u64 {
+            windowed.insert_edge(VertexId(100 + i), VertexId(200 + i));
+        }
+        assert_eq!(windowed.epoch_count(), 2);
+        // Same edge again, now landing in the second live epoch.
+        windowed.insert_edge(VertexId(1), VertexId(2));
+
+        // degree = true_window_degree (1) + (epochs_live − 1) (1) = 2.
+        assert_eq!(windowed.degree(VertexId(1)), 2);
+        assert_eq!(windowed.degree(VertexId(2)), 2);
+
+        // Sketches are idempotent: the merged window sketch equals a
+        // fresh store's that saw the edge once.
+        let mut dedup = SketchStore::new(cfg());
+        dedup.insert_edge(VertexId(1), VertexId(2));
+        assert_eq!(
+            windowed.window_sketch(VertexId(1)).as_ref(),
+            dedup.sketch(VertexId(1))
+        );
+        // Jaccard (sketch-only) is unaffected by the duplicate...
+        assert_eq!(
+            windowed.jaccard(VertexId(1), VertexId(2)),
+            dedup.jaccard(VertexId(1), VertexId(2))
+        );
+        // ...while CN inflates through the degree scale factor, exactly
+        // as documented (degrees 2/2 instead of 1/1 double the d(u)+d(v)
+        // term).
+        let windowed_cn = windowed.common_neighbors(VertexId(1), VertexId(2)).unwrap();
+        let dedup_cn = dedup.common_neighbors(VertexId(1), VertexId(2)).unwrap();
+        assert!(
+            (windowed_cn - 2.0 * dedup_cn).abs() < 1e-12,
+            "CN inflation should track the degree ratio: {windowed_cn} vs {dedup_cn}"
+        );
     }
 
     #[test]

@@ -43,12 +43,17 @@ impl CandidateSource for TwoHopCandidates<'_> {
         let Some(nbrs) = self.graph.neighbors(u) else {
             return Vec::new();
         };
+        // Hash the first hop once: the inner loop runs d(u)·d(w) times,
+        // and a linear `nbrs.contains` scan there made candidate
+        // generation O(d²) per hub — quadratic on exactly the vertices
+        // recommendation queries care about.
+        let first_hop: std::collections::HashSet<VertexId> = nbrs.iter().copied().collect();
         let mut out: Vec<VertexId> = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for &w in nbrs {
             if let Some(second) = self.graph.neighbors(w) {
                 for &c in second {
-                    if c != u && !nbrs.contains(&c) && seen.insert(c) {
+                    if c != u && !first_hop.contains(&c) && seen.insert(c) {
                         out.push(c);
                     }
                 }
@@ -153,6 +158,42 @@ mod tests {
                 "candidate {c} is already a neighbor"
             );
             assert!(graph.common_neighbors(u, *c) >= 1, "{c} is not two-hop");
+        }
+    }
+
+    #[test]
+    fn two_hop_matches_linear_scan_reference() {
+        // Regression pin for the HashSet first-hop lookup: identical
+        // output to the original O(d²) `nbrs.contains` implementation,
+        // on every vertex of a non-trivial graph.
+        let (graph, _) = setup();
+        let linear_reference = |u: VertexId| -> Vec<VertexId> {
+            let Some(nbrs) = graph.neighbors(u) else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for &w in nbrs {
+                if let Some(second) = graph.neighbors(w) {
+                    for &c in second {
+                        if c != u && !nbrs.contains(&c) && seen.insert(c) {
+                            out.push(c);
+                        }
+                    }
+                }
+            }
+            out.sort_unstable();
+            out
+        };
+        let source = TwoHopCandidates::new(&graph);
+        let mut vertices: Vec<VertexId> = graph.vertices().collect();
+        vertices.sort_unstable();
+        for u in vertices {
+            assert_eq!(
+                source.candidates(u),
+                linear_reference(u),
+                "candidate set diverged at {u}"
+            );
         }
     }
 
