@@ -193,7 +193,14 @@ fn crash_recovery_experiment(scale: Scale, k: usize) {
             if i + 1 == checkpoint_at {
                 let snap = StoreSnapshot::capture(&store);
                 journal.rotate(snap.edges_processed + 1).expect("rotate");
-                streamlink_core::checkpoint(&snap, &dir, &mut journal).expect("checkpoint");
+                streamlink_core::checkpoint(
+                    &snap,
+                    snap.edges_processed,
+                    &dir,
+                    &mut journal,
+                    streamlink_core::DEFAULT_SNAPSHOT_KEEP,
+                )
+                .expect("checkpoint");
             }
         }
         drop(store); // crash: the in-memory store is gone,

@@ -6,6 +6,7 @@ pub mod generate;
 pub mod ingest;
 pub mod query;
 pub mod recommend;
+pub mod scrub;
 pub mod serve;
 pub mod stats;
 pub mod top;

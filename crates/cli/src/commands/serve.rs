@@ -21,6 +21,7 @@
 //! --drain-secs S              shutdown drain deadline             (5)
 //! --snapshot-every-secs S     checkpoint interval                (30)
 //! --snapshot-every-edges N    checkpoint edge budget          (50000)
+//! --snapshot-keep K           snapshot generations retained       (3)
 //! --metrics-log-secs S        periodic metrics log line; 0 off   (60)
 //! ```
 //!
@@ -50,10 +51,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         drain_deadline: Duration::from_secs(flags.get_parsed_or("drain-secs", 5u64)?),
         snapshot_every: Duration::from_secs(flags.get_parsed_or("snapshot-every-secs", 30u64)?),
         snapshot_every_edges: flags.get_parsed_or("snapshot-every-edges", 50_000u64)?,
+        snapshot_keep: flags
+            .get_parsed_or("snapshot-keep", streamlink_core::DEFAULT_SNAPSHOT_KEEP)?,
         metrics_log_every: Duration::from_secs(flags.get_parsed_or("metrics-log-secs", 60u64)?),
     };
     if config.max_conns == 0 {
         return Err("--max-conns must be positive".into());
+    }
+    if config.snapshot_keep == 0 {
+        return Err("--snapshot-keep must be positive".into());
     }
     let slots = flags.get_parsed_or("slots", 256usize)?;
     let seed = flags.get_parsed_or("seed", 0u64)?;
@@ -94,6 +100,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     ""
                 },
             );
+            if recovery.fallbacks > 0 || recovery.journal.quarantined > 0 {
+                eprintln!(
+                    "recovery healed around damage: {} snapshot generation(s) skipped, \
+                     {} journal record(s) quarantined (see {dir}/quarantine/)",
+                    recovery.fallbacks, recovery.journal.quarantined,
+                );
+            }
             ServerState::with_persistence(recovery.store, persist, recovery.snapshot_seq, config)
         }
         (None, Some(path)) => {
@@ -228,7 +241,10 @@ mod tests {
         let mut reader = BufReader::new(conn);
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
-        assert_eq!(line.trim_end(), "ERR busy");
+        assert_eq!(
+            line.trim_end(),
+            "ERR busy retry: connection cap 2 reached, back off and reconnect"
+        );
         state.request_shutdown();
     }
 
@@ -272,6 +288,7 @@ mod tests {
             |flags: &[&str]| -> Vec<String> { flags.iter().map(|s| s.to_string()).collect() };
         assert!(run(&argv(&["--slots", "0"])).is_err());
         assert!(run(&argv(&["--max-conns", "0"])).is_err());
+        assert!(run(&argv(&["--snapshot-keep", "0"])).is_err());
         assert!(run(&argv(&["--fsync", "sometimes"])).is_err());
         assert!(run(&argv(&["--data-dir", "/tmp/x", "--snapshot", "/tmp/y"])).is_err());
         assert!(run(&argv(&["--idle-timeout-ms", "soon"])).is_err());

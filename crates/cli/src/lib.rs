@@ -13,6 +13,8 @@
 //! * `serve`     — TCP line-protocol query server over a snapshot.
 //! * `convert`   — transcode edge files between csv/bin/compact.
 //! * `recommend` — top-k recommendations via LSH retrieval + reranking.
+//! * `scrub`     — verify (and repair) a data directory's checksummed
+//!   snapshots and WAL segments.
 //!
 //! Argument parsing is hand-rolled (`args.rs`) to keep the dependency
 //! set at the workspace baseline.
@@ -21,30 +23,34 @@ pub mod args;
 pub mod commands;
 pub mod server;
 
-/// Dispatches one CLI invocation (argv without the program name).
+/// Dispatches one CLI invocation (argv without the program name) and
+/// returns the process exit code. Most commands exit 0 on success;
+/// `scrub` uses the full 0/1/2 range (clean / repaired / data loss).
 ///
 /// # Errors
 /// Returns a human-readable message for unknown subcommands, bad flags,
 /// or any command failure.
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<u8, String> {
     let Some(command) = argv.first() else {
         print_usage();
         return Err("no subcommand given".into());
     };
     let rest = &argv[1..];
+    let ok = |()| 0u8;
     match command.as_str() {
-        "generate" => commands::generate::run(rest),
-        "stats" => commands::stats::run(rest),
-        "ingest" => commands::ingest::run(rest),
-        "query" => commands::query::run(rest),
-        "evaluate" => commands::evaluate::run(rest),
-        "top" => commands::top::run(rest),
-        "serve" => commands::serve::run(rest),
-        "convert" => commands::convert::run(rest),
-        "recommend" => commands::recommend::run(rest),
+        "generate" => commands::generate::run(rest).map(ok),
+        "stats" => commands::stats::run(rest).map(ok),
+        "ingest" => commands::ingest::run(rest).map(ok),
+        "query" => commands::query::run(rest).map(ok),
+        "evaluate" => commands::evaluate::run(rest).map(ok),
+        "top" => commands::top::run(rest).map(ok),
+        "serve" => commands::serve::run(rest).map(ok),
+        "convert" => commands::convert::run(rest).map(ok),
+        "recommend" => commands::recommend::run(rest).map(ok),
+        "scrub" => commands::scrub::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
-            Ok(())
+            Ok(0)
         }
         other => Err(format!(
             "unknown subcommand {other:?}; try `streamlink help`"
@@ -67,6 +73,8 @@ USAGE:
   streamlink serve    [--data-dir DIR | --snapshot <file.json>] [--addr HOST:PORT] [--slots N]
                       [--fsync always|interval|never] [--max-conns N] [--idle-timeout-ms MS]
                       [--drain-secs S] [--snapshot-every-secs S] [--snapshot-every-edges N]
+                      [--snapshot-keep K]
+  streamlink scrub    --data-dir DIR [--repair] [--metrics-out <file.json>]
   streamlink convert  --input <file> --out <file> [--format csv|bin|compact]
   streamlink recommend --snapshot <file.json> --vertex V [--k N] [--measure aa] [--bands B] [--rows R]"
     );

@@ -13,8 +13,8 @@
 //!
 //! ## Lifecycle
 //!
-//! [`serve`] accepts connections (shedding with `ERR busy` past the
-//! connection cap) until shutdown is requested, then stops accepting,
+//! [`serve`] accepts connections (shedding with `ERR busy retry` past
+//! the connection cap) until shutdown is requested, then stops accepting,
 //! drains live connections up to a deadline, writes a final snapshot
 //! when a data directory is configured, and returns — so the process
 //! exits 0 on SIGINT/SIGTERM.
@@ -54,7 +54,7 @@ const POLL_INTERVAL: Duration = Duration::from_millis(25);
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum simultaneous connections; extras are shed with
-    /// `ERR busy`.
+    /// `ERR busy retry`.
     pub max_conns: usize,
     /// Close a connection after this long without a complete command.
     pub idle_timeout: Duration,
@@ -64,6 +64,9 @@ pub struct ServerConfig {
     pub snapshot_every: Duration,
     /// Checkpoint as soon as the journal lag reaches this many edges.
     pub snapshot_every_edges: u64,
+    /// Snapshot generations each checkpoint retains (the recovery
+    /// chain's depth; at least 1).
+    pub snapshot_keep: usize,
     /// Log a one-line metrics summary this often (zero disables).
     pub metrics_log_every: Duration,
 }
@@ -76,6 +79,7 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             snapshot_every: Duration::from_secs(30),
             snapshot_every_edges: 50_000,
+            snapshot_keep: streamlink_core::DEFAULT_SNAPSHOT_KEEP,
             metrics_log_every: Duration::from_secs(60),
         }
     }
@@ -161,13 +165,21 @@ impl ServerState {
     /// crash-durable — callers ack the client on `Ok` and must not on
     /// `Err`.
     ///
+    /// The seq comes from the journal's own high-water mark, not the
+    /// store's edge count: after recovery has quarantined corrupt
+    /// records the two diverge, and deriving seqs from the count would
+    /// reuse numbers already on disk (replay would then silently skip
+    /// the new edges).
+    ///
     /// # Errors
-    /// Fails if the journal append fails; the store is then left
-    /// untouched, so an errored (un-acked) edge is never half-applied.
+    /// Fails if the journal append fails — real disk trouble or an
+    /// injected fault; the store is then left untouched, so an errored
+    /// (un-acked) edge is never half-applied, and the server keeps
+    /// serving reads.
     pub fn insert_edge(&self, u: VertexId, v: VertexId) -> io::Result<()> {
         let mut store = self.write_store();
         if let Some(mut persist) = self.persist_guard() {
-            let seq = store.edges_processed() + 1;
+            let seq = persist.journal.next_seq();
             persist.journal.append(JournalEntry { seq, u, v })?;
         }
         store.insert_edge(u, v);
@@ -258,7 +270,7 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
                 let previous = state.active.fetch_add(1, Ordering::SeqCst);
                 if previous >= state.config.max_conns {
                     state.active.fetch_sub(1, Ordering::SeqCst);
-                    shed(stream);
+                    shed(stream, state.config.max_conns);
                     continue;
                 }
                 let st = Arc::clone(state);
@@ -305,13 +317,18 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     Ok(())
 }
 
-/// Rejects a connection past the cap: one `ERR busy` line, then close.
-fn shed(stream: TcpStream) {
+/// Rejects a connection past the cap: one `ERR busy retry` line with a
+/// back-off hint (so clients can distinguish "retry later" from a hard
+/// failure), then close.
+fn shed(stream: TcpStream, cap: usize) {
     streamlink_core::metrics::global().connections_shed.incr();
     let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let _ = writeln!(stream, "ERR busy");
+    let _ = writeln!(
+        stream,
+        "ERR busy retry: connection cap {cap} reached, back off and reconnect"
+    );
 }
 
 /// The periodic one-line metrics summary the accept loop logs: the

@@ -5,19 +5,26 @@
 //! ([`streamlink_core::journal`], [`streamlink_core::durable`]); this
 //! module wires it to the live server:
 //!
-//! * [`open`] recovers the store (snapshot + journal tail) and opens a
-//!   fresh journal segment for new edges.
+//! * [`open`] recovers the store (best snapshot generation + journal
+//!   tail, falling back past corrupt generations) and opens a fresh
+//!   journal segment at the recovered WAL high-water mark — *not* the
+//!   store's edge count, which runs behind after corrupt records were
+//!   quarantined.
 //! * [`checkpoint_now`] captures a snapshot and rotates the journal
-//!   under the locks, then writes and prunes with no lock held, so
-//!   ingestion stalls only for the in-memory capture.
-//! * [`checkpoint_loop`] runs `checkpoint_now` whenever the journal lag
+//!   under the locks, then writes a new generation, trims retention, and
+//!   prunes with no store lock held, so ingestion stalls only for the
+//!   in-memory capture.
+//! * `checkpoint_loop` runs `checkpoint_now` whenever the journal lag
 //!   passes the configured edge budget or the time interval elapses.
 
+use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use streamlink_core::chaos::FaultPlan;
 use streamlink_core::durable::{self, Recovery};
 use streamlink_core::journal::{FsyncPolicy, Journal};
 use streamlink_core::snapshot::StoreSnapshot;
@@ -35,19 +42,36 @@ pub struct Persist {
 /// Recovers the store from `dir` (moving it out via
 /// [`Recovery::store`]) and opens a journal segment for the edges this
 /// process will ack. Returns the recovery report so the caller can log
-/// what was rebuilt.
+/// what was rebuilt (fallbacks taken, records quarantined).
 ///
 /// # Errors
-/// Fails on unreadable files, a corrupt snapshot, or journal-creation
-/// errors. A missing/empty directory is not an error (fresh start).
+/// Fails on environmental IO errors (unreadable directory, journal
+/// creation). Corruption is not fatal: recovery falls back and
+/// quarantines (see [`streamlink_core::recover`]). A missing/empty
+/// directory is not an error (fresh start).
 pub fn open(
     dir: &Path,
     config: streamlink_core::SketchConfig,
     fsync: FsyncPolicy,
 ) -> io::Result<(Persist, Recovery)> {
-    std::fs::create_dir_all(dir)?;
+    open_with_faults(dir, config, fsync, None)
+}
+
+/// Like [`open`], but installs a scripted [`FaultPlan`] on the journal,
+/// so tests can make exact appends/fsyncs/snapshot-writes of a *live*
+/// server fail. Production callers use [`open`].
+///
+/// # Errors
+/// As [`open`].
+pub fn open_with_faults(
+    dir: &Path,
+    config: streamlink_core::SketchConfig,
+    fsync: FsyncPolicy,
+    faults: Option<Arc<FaultPlan>>,
+) -> io::Result<(Persist, Recovery)> {
+    fs::create_dir_all(dir)?;
     let recovery = durable::recover(dir, config)?;
-    let journal = Journal::create(dir, recovery.store.edges_processed() + 1, fsync)?;
+    let journal = Journal::create_with_faults(dir, recovery.next_seq(), fsync, faults)?;
     Ok((
         Persist {
             dir: dir.to_path_buf(),
@@ -60,23 +84,26 @@ pub fn open(
 /// What one checkpoint accomplished.
 #[derive(Debug, Clone, Copy)]
 pub struct CheckpointReport {
-    /// `edges_processed` the snapshot covers.
+    /// WAL seq the new snapshot generation covers.
     pub snapshot_seq: u64,
-    /// Journal segments the snapshot made deletable.
+    /// Journal segments the retained generations made deletable.
     pub segments_pruned: usize,
 }
 
 /// Takes one checkpoint: capture + journal rotation under the locks
-/// (brief), atomic snapshot write + prune without them (slow but
-/// non-blocking for ingestion).
+/// (brief), then — without the store lock — atomic generation write,
+/// retention trim to `snapshot_keep`, and a journal prune back to the
+/// oldest retained generation (so every retained generation can still
+/// replay forward; see [`streamlink_core::checkpoint`] for the ordering
+/// argument).
 ///
 /// Safe against a crash at any point: the snapshot write is atomic, and
-/// pruning only runs after it returns (see
-/// [`streamlink_core::checkpoint`] for the ordering argument).
+/// trimming/pruning only run after it returns.
 ///
 /// # Errors
-/// Fails on IO errors; the journal still holds every acked edge, so a
-/// failed checkpoint costs nothing but disk space.
+/// Fails on IO errors — real or injected via the journal's
+/// [`FaultPlan`]; the journal still holds every acked edge, so a failed
+/// checkpoint costs nothing but disk space.
 pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
     let Some(persist) = state.persist.as_ref() else {
         return Ok(CheckpointReport {
@@ -91,20 +118,42 @@ pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
     let metrics = streamlink_core::metrics::global();
     let start = std::time::Instant::now();
     let run = || -> io::Result<CheckpointReport> {
-        let (snapshot, dir) = {
+        let (snapshot, wal_seq, dir, faults) = {
             let store = state.read_store();
             let mut persist = lock(persist);
             let snapshot = StoreSnapshot::capture(&store);
-            persist.journal.rotate(snapshot.edges_processed + 1)?;
-            (snapshot, persist.dir.clone())
+            let wal_seq = persist.journal.next_seq() - 1;
+            persist.journal.rotate(wal_seq + 1)?;
+            (
+                snapshot,
+                wal_seq,
+                persist.dir.clone(),
+                persist.journal.faults().cloned(),
+            )
         };
-        snapshot.write_atomic(&durable::snapshot_path(&dir))?;
-        let segments_pruned = lock(persist)
-            .journal
-            .prune_below(snapshot.edges_processed)?;
+        if let Some(plan) = &faults {
+            plan.next_snapshot()?;
+        }
+        snapshot.write_atomic(&durable::generation_path(&dir, wal_seq))?;
+        match fs::remove_file(durable::snapshot_path(&dir)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut generations = durable::list_generations(&dir)?;
+        let keep = state.config().snapshot_keep.max(1);
+        while generations.len() > keep {
+            let (_, path) = generations.remove(0);
+            fs::remove_file(&path)?;
+        }
+        metrics
+            .snapshot_generations_kept
+            .set(generations.len() as u64);
+        let oldest_retained = generations.first().map_or(wal_seq, |(seq, _)| *seq);
+        let segments_pruned = lock(persist).journal.prune_below(oldest_retained)?;
         state.set_last_snapshot_seq(snapshot.edges_processed);
         Ok(CheckpointReport {
-            snapshot_seq: snapshot.edges_processed,
+            snapshot_seq: wal_seq,
             segments_pruned,
         })
     };

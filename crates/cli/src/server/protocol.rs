@@ -9,7 +9,10 @@
 //!                                                   a data dir is set)
 //! STATS                    -> OK vertices=<n> edges=<m> memory=<bytes>
 //!                                uptime_secs=<s> connections_active=<c>
-//!                                journal_lag_edges=<l>   (one line)
+//!                                journal_lag_edges=<l> shed_total=<n>
+//!                                snapshot_generations=<k>
+//!                                replay_quarantined=<q>
+//!                                scrub_last_exit=<code>   (one line)
 //! METRICS                  -> one key=value line per exported metric,
 //!                             terminated by `OK <n> metrics`
 //! PING                     -> OK pong
@@ -91,12 +94,19 @@ fn execute(state: &ServerState, line: &str) -> String {
                     guard.memory_bytes(),
                 )
             };
+            let m = metrics::global();
             format!(
                 "OK vertices={vertices} edges={edges} memory={memory} \
-                 uptime_secs={} connections_active={} journal_lag_edges={}",
+                 uptime_secs={} connections_active={} journal_lag_edges={} \
+                 shed_total={} snapshot_generations={} replay_quarantined={} \
+                 scrub_last_exit={}",
                 state.uptime_secs(),
                 state.connections_active(),
                 state.journal_lag(),
+                m.connections_shed.get(),
+                m.snapshot_generations_kept.get(),
+                m.wal_replay_skipped.get(),
+                m.scrub_last_exit.get(),
             )
         }
         "METRICS" => {
@@ -124,7 +134,13 @@ fn execute(state: &ServerState, line: &str) -> String {
                     "OK inserted".into()
                 }
                 // Not acked: the edge was neither journaled nor applied.
-                Err(e) => format!("ERR not persisted: {e}"),
+                // The connection stays up and reads keep serving — a
+                // failing disk degrades writes, it does not kill the
+                // server.
+                Err(e) => {
+                    metrics::global().storage_errors.incr();
+                    format!("ERR storage: {e}")
+                }
             },
             Err(e) => format!("ERR {e}"),
         },
@@ -209,6 +225,59 @@ mod tests {
         assert!(stats.contains("connections_active=0"), "{stats}");
         // In-memory serving has no journal, hence no lag.
         assert!(stats.contains("journal_lag_edges=0"), "{stats}");
+        // The self-healing-storage fields are always present.
+        assert!(stats.contains("shed_total="), "{stats}");
+        assert!(stats.contains("snapshot_generations="), "{stats}");
+        assert!(stats.contains("replay_quarantined="), "{stats}");
+        assert!(stats.contains("scrub_last_exit="), "{stats}");
+    }
+
+    #[test]
+    fn insert_degrades_to_err_storage_and_reads_keep_serving() {
+        // A failing journal append must nack the INSERT with
+        // `ERR storage`, leave the store untouched, and leave the server
+        // serving reads — never panic or half-apply.
+        use crate::server::persistence;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        use streamlink_core::chaos::{FaultKind, FaultPlan};
+        use streamlink_core::journal::FsyncPolicy;
+
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "streamlink-proto-storage-{}-{n}",
+            std::process::id()
+        ));
+
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(1, FaultKind::Enospc);
+        let (persist, recovery) = persistence::open_with_faults(
+            &dir,
+            SketchConfig::with_slots(16).seed(3),
+            FsyncPolicy::Never,
+            Some(plan),
+        )
+        .unwrap();
+        let before = metrics::global().storage_errors.get();
+        let s = ServerState::with_persistence(
+            recovery.store,
+            persist,
+            recovery.snapshot_seq,
+            ServerConfig::default(),
+        );
+
+        assert_eq!(handle_command(&s, "INSERT 1 2"), "OK inserted");
+        let nack = handle_command(&s, "INSERT 3 4");
+        assert!(nack.starts_with("ERR storage"), "{nack}");
+        assert!(nack.contains("injected fault"), "{nack}");
+        assert_eq!(metrics::global().storage_errors.get(), before + 1);
+        // The failed edge was never applied; reads still serve.
+        assert_eq!(handle_command(&s, "DEGREE 3"), "OK 0");
+        assert_eq!(handle_command(&s, "DEGREE 1"), "OK 1");
+        // One-shot fault: the write path heals.
+        assert_eq!(handle_command(&s, "INSERT 3 4"), "OK inserted");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

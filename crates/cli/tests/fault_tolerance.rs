@@ -251,11 +251,17 @@ fn sigterm_drains_writes_final_snapshot_and_exits_zero() {
     let status = server.terminate(Duration::from_secs(8));
     assert!(status.success(), "expected exit 0, got {status:?}");
 
-    // The final snapshot covers everything: recovery needs no replay.
-    let snapshot = dir.join("snapshot.json");
-    assert!(snapshot.exists(), "no final snapshot written");
-    let json: serde_json::Value =
-        serde_json::from_str(&fs::read_to_string(&snapshot).unwrap()).unwrap();
+    // The final snapshot generation covers everything: recovery needs
+    // no replay. Generations are v2-framed (`STREAMLINK-SNAP` header);
+    // read through the verifying path, exactly as recovery does.
+    let generations = streamlink_core::durable::list_generations(&dir).unwrap();
+    let (_, newest) = generations.last().expect("no final snapshot written");
+    let (payload, integrity) = streamlink_core::snapshot::read_verified(newest).unwrap();
+    assert_eq!(
+        integrity,
+        streamlink_core::snapshot::SnapshotIntegrity::Verified
+    );
+    let json: serde_json::Value = serde_json::from_str(&payload).unwrap();
     assert_eq!(
         json.get("edges_processed").and_then(|v| v.as_u64()),
         Some(stream.len() as u64)
@@ -367,7 +373,10 @@ fn busy_shedding_beyond_connection_cap() {
     let mut shed = server.connect();
     let mut line = String::new();
     shed.reader.read_line(&mut line).expect("read shed notice");
-    assert_eq!(line.trim_end(), "ERR busy");
+    assert_eq!(
+        line.trim_end(),
+        "ERR busy retry: connection cap 2 reached, back off and reconnect"
+    );
     let mut rest = String::new();
     assert_eq!(shed.reader.read_line(&mut rest).unwrap(), 0, "then EOF");
 
@@ -389,6 +398,110 @@ fn busy_shedding_beyond_connection_cap() {
     };
     assert_eq!(c.ask("PING"), "OK pong");
     drop(b);
+}
+
+#[test]
+fn corrupt_newest_snapshot_generation_falls_back_on_restart() {
+    let dir = temp_dir("snapfall");
+    let stream = edges(20);
+    let thirds: Vec<_> = stream.chunks(stream.len() / 3).collect();
+
+    // Three serve/SIGTERM cycles leave three snapshot generations (the
+    // shutdown checkpoint writes one each), all within the default
+    // retention of 3, with the WAL kept back to the oldest generation.
+    for chunk in &thirds {
+        let mut server = Server::start(&["--data-dir", dir.to_str().unwrap()]);
+        let mut client = server.connect();
+        for &(u, v) in *chunk {
+            assert_eq!(client.ask(&format!("INSERT {u} {v}")), "OK inserted");
+        }
+        drop(client);
+        let status = server.terminate(Duration::from_secs(8));
+        assert!(status.success(), "expected exit 0, got {status:?}");
+    }
+    let generations = streamlink_core::durable::list_generations(&dir).unwrap();
+    assert!(
+        generations.len() >= 2,
+        "need at least two generations to fall back, got {generations:?}"
+    );
+
+    // Rot a bit inside the newest generation's JSON payload; recovery
+    // must quarantine it and rebuild from the previous generation plus
+    // the retained WAL tail — losing nothing that was acked.
+    let (_, newest) = generations.last().unwrap();
+    streamlink_core::chaos::flip_bit(newest, 200, 3).unwrap();
+
+    let server = Server::start(&["--data-dir", dir.to_str().unwrap()]);
+    let mut client = server.connect();
+    let stats = client.ask("STATS");
+    assert_eq!(stats_field(&stats, "edges"), stream.len() as u64, "{stats}");
+    assert_eq!(
+        server_answers(&mut client, QUERY_PAIRS),
+        reference_answers(&stream, QUERY_PAIRS),
+        "fallback recovery diverges from the uninterrupted run"
+    );
+    let quarantined: Vec<_> = fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir created")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert!(
+        quarantined.iter().any(|n| n.starts_with("snapshot.")),
+        "corrupt generation should be quarantined, got {quarantined:?}"
+    );
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bit_flip_mid_journal_is_quarantined_not_fatal() {
+    let dir = temp_dir("bitflip");
+    let stream = edges(10);
+
+    let mut server = Server::start(&["--data-dir", dir.to_str().unwrap(), "--fsync", "always"]);
+    let mut client = server.connect();
+    for &(u, v) in &stream {
+        assert_eq!(client.ask(&format!("INSERT {u} {v}")), "OK inserted");
+    }
+    server.kill();
+
+    // Flip one bit in a digit of a mid-file record (not the tail), so
+    // restart sees a CRC mismatch with valid records after it.
+    let segment = newest_wal_segment(&dir);
+    let content = fs::read_to_string(&segment).unwrap();
+    let lines: Vec<&str> = content.lines().collect();
+    assert!(lines.len() > 4, "expected a populated segment");
+    let offset: usize = lines[..2].iter().map(|l| l.len() + 1).sum::<usize>() + 2;
+    streamlink_core::chaos::flip_bit(&segment, offset as u64, 0).unwrap();
+
+    let mut server = Server::start(&["--data-dir", dir.to_str().unwrap(), "--fsync", "always"]);
+    let mut client = server.connect();
+    let stats = client.ask("STATS");
+    assert_eq!(
+        stats_field(&stats, "edges"),
+        stream.len() as u64 - 1,
+        "exactly the corrupted record is lost: {stats}"
+    );
+    assert_eq!(stats_field(&stats, "replay_quarantined"), 1, "{stats}");
+    let quarantine: Vec<_> = fs::read_dir(dir.join("quarantine"))
+        .expect("quarantine dir created")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    assert_eq!(
+        quarantine.len(),
+        1,
+        "one record quarantined: {quarantine:?}"
+    );
+
+    // The server keeps ingesting, and the fresh ack survives another
+    // crash/restart cycle: new seqs skip past the quarantined gap
+    // instead of colliding with on-disk history.
+    assert_eq!(client.ask("INSERT 7 7000"), "OK inserted");
+    server.kill();
+    let server = Server::start(&["--data-dir", dir.to_str().unwrap()]);
+    let mut client = server.connect();
+    let stats = client.ask("STATS");
+    assert_eq!(stats_field(&stats, "edges"), stream.len() as u64, "{stats}");
+    assert_eq!(client.ask("DEGREE 7000"), "OK 1");
+    fs::remove_dir_all(&dir).unwrap();
 }
 
 fn newest_wal_segment(dir: &Path) -> PathBuf {

@@ -2,38 +2,65 @@
 //!
 //! The serving layer appends every accepted edge here *before*
 //! acknowledging it to the client, so an acked edge survives a crash even
-//! if it is not yet in any snapshot. Recovery loads the newest snapshot
-//! and replays the journal tail (see [`crate::durable`]).
+//! if it is not yet in any snapshot. Recovery loads the best snapshot
+//! generation and replays the journal tail (see [`crate::durable`]).
 //!
 //! ## Layout
 //!
 //! A journal is a directory of segment files named `wal.<first_seq>.log`,
 //! where `first_seq` is the sequence number of the first entry the
-//! segment may contain. Entries are text lines:
+//! segment may contain. Entries are text lines. The current (v2) framing
+//! carries a per-record CRC-32 ([`hashkit::crc32()`]) over the payload:
 //!
 //! ```text
-//! E <seq> <u> <v>\n
+//! F <seq> <u> <v> <crc32-lower-hex-8>\n
 //! ```
 //!
-//! `seq` is the store's `edges_processed` value *after* applying the
-//! edge, so a snapshot taken at `edges_processed = S` makes every entry
-//! with `seq <= S` redundant.
+//! Pre-CRC (v1) records — `E <seq> <u> <v>\n` — are still read and
+//! replayed, so data directories written before the framing change load
+//! unmodified; they simply cannot be *verified*, only parsed. New
+//! appends always write v2 records.
 //!
-//! ## Crash semantics
+//! `seq` is a monotone log sequence number. In an uncorrupted directory
+//! it equals the store's `edges_processed` after applying the edge; after
+//! a corruption event has quarantined records the two may diverge, which
+//! is why recovery resumes from the journal's high-water mark, not the
+//! store's counter (see [`crate::durable::recover`]).
+//!
+//! ## Crash and corruption semantics
 //!
 //! Appends are flushed to the OS (a `write` syscall) before the caller
 //! acks, which survives process death (SIGKILL) unconditionally. Whether
 //! they survive *power loss* is governed by [`FsyncPolicy`]; `Always`
-//! issues `fdatasync` per entry, `Never` leaves it to the OS. Replay
-//! tolerates a torn final line — the entry was never acked, so dropping
-//! it loses nothing that was promised.
+//! issues `fdatasync` per entry, `Never` leaves it to the OS.
+//!
+//! [`replay`] distinguishes two corruption shapes:
+//!
+//! * **Torn tail** — the trailing run of unparseable (or unterminated)
+//!   lines after the last valid record. Only a crash mid-append can
+//!   produce it; the records were never acked, so they are dropped and
+//!   counted ([`ReplayReport::tail_dropped`]).
+//! * **Mid-file corruption** — a bad record *followed by* valid records.
+//!   That is bit rot of acked data, never a torn write. The record is
+//!   quarantined into `quarantine/` (raw bytes preserved for forensics),
+//!   counted in [`ReplayReport::quarantined`] and the
+//!   `journal.replay_skipped_records` metric, and replay continues — an
+//!   acked edge is either recovered or *explicitly reported*, never
+//!   silently lost.
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use graphstream::VertexId;
+use hashkit::crc32;
+
+use crate::chaos::{AppendDecision, FaultPlan};
+
+/// The subdirectory of a data dir that receives corrupt artifacts.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// When journal appends are flushed to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,7 +91,7 @@ impl FsyncPolicy {
 /// One journaled edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JournalEntry {
-    /// `edges_processed` after this edge was applied.
+    /// Log sequence number of this record (monotone per directory).
     pub seq: u64,
     /// Edge source.
     pub u: VertexId,
@@ -73,30 +100,112 @@ pub struct JournalEntry {
 }
 
 impl fmt::Display for JournalEntry {
+    /// Renders the v2 checksummed line (without the trailing newline).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "E {} {} {}", self.seq, self.u.0, self.v.0)
+        let payload = self.payload();
+        write!(f, "{payload} {:08x}", crc32(payload.as_bytes()))
     }
 }
 
-impl JournalEntry {
-    /// Parses one journal line; `None` for malformed (torn) lines.
+/// What [`JournalEntry::check_line`] found in one journal line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineCheck {
+    /// A v2 record whose CRC verified.
+    Verified(JournalEntry),
+    /// A legacy v1 record — parseable, but carrying no checksum.
+    Legacy(JournalEntry),
+    /// Structurally invalid (wrong tag, field count, or field syntax).
+    Malformed,
+    /// Well-formed v2 framing whose CRC does not match the payload.
+    BadCrc,
+}
+
+impl LineCheck {
+    /// The entry, when the line parsed.
     #[must_use]
-    pub fn parse(line: &str) -> Option<Self> {
+    pub fn entry(self) -> Option<JournalEntry> {
+        match self {
+            LineCheck::Verified(e) | LineCheck::Legacy(e) => Some(e),
+            LineCheck::Malformed | LineCheck::BadCrc => None,
+        }
+    }
+}
+
+/// Strict canonical u64: ASCII digits only (no sign, no padding), as
+/// written — so any mutated byte is either a CRC mismatch or a parse
+/// failure, never a silently different number.
+fn parse_u64_strict(tok: &str) -> Option<u64> {
+    if tok.is_empty() || !tok.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    tok.parse().ok()
+}
+
+impl JournalEntry {
+    /// The checksummed payload of the v2 line (everything before the CRC
+    /// field).
+    #[must_use]
+    fn payload(&self) -> String {
+        format!("F {} {} {}", self.seq, self.u.0, self.v.0)
+    }
+
+    /// Classifies one journal line: verified v2, legacy v1, malformed,
+    /// or CRC mismatch.
+    #[must_use]
+    pub fn check_line(line: &str) -> LineCheck {
         let mut parts = line.split(' ');
-        if parts.next() != Some("E") {
-            return None;
-        }
-        let seq = parts.next()?.parse().ok()?;
-        let u = parts.next()?.parse().ok()?;
-        let v = parts.next()?.parse().ok()?;
+        let tag = parts.next();
+        let (Some(seq), Some(u), Some(v)) = (
+            parts.next().and_then(parse_u64_strict),
+            parts.next().and_then(parse_u64_strict),
+            parts.next().and_then(parse_u64_strict),
+        ) else {
+            return LineCheck::Malformed;
+        };
+        let crc_tok = parts.next();
         if parts.next().is_some() {
-            return None;
+            return LineCheck::Malformed;
         }
-        Some(JournalEntry {
+        let entry = JournalEntry {
             seq,
             u: VertexId(u),
             v: VertexId(v),
-        })
+        };
+        match (tag, crc_tok) {
+            // Legacy v1: exactly four fields, no checksum to verify.
+            (Some("E"), None) => LineCheck::Legacy(entry),
+            // v2: exactly five fields; the CRC must be canonical
+            // lowercase 8-hex (case-insensitive parsing would let a
+            // single case-bit flip in the CRC field go undetected).
+            (Some("F"), Some(crc_tok)) => {
+                if crc_tok.len() != 8
+                    || !crc_tok
+                        .bytes()
+                        .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+                {
+                    return LineCheck::Malformed;
+                }
+                let Ok(found) = u32::from_str_radix(crc_tok, 16) else {
+                    return LineCheck::Malformed;
+                };
+                // CRC the line bytes as stored, not a re-rendering: any
+                // byte drift since write is a mismatch.
+                let payload_len = line.len() - 9; // strip " <8 hex>"
+                if crc32(&line.as_bytes()[..payload_len]) == found {
+                    LineCheck::Verified(entry)
+                } else {
+                    LineCheck::BadCrc
+                }
+            }
+            _ => LineCheck::Malformed,
+        }
+    }
+
+    /// Parses one journal line (either framing version); `None` for
+    /// malformed or checksum-failing lines.
+    #[must_use]
+    pub fn parse(line: &str) -> Option<Self> {
+        Self::check_line(line).entry()
     }
 }
 
@@ -110,6 +219,12 @@ pub struct Journal {
     segment_first_seq: u64,
     /// Seq of the last entry appended to the active segment, if any.
     last_seq: Option<u64>,
+    /// Scripted storage faults (tests only; `None` in production).
+    faults: Option<Arc<FaultPlan>>,
+    /// A failed append may have left partial bytes at the tail; the next
+    /// write must seal them off with a guard newline so an acked record
+    /// can never merge into un-acked debris.
+    tainted: bool,
 }
 
 fn segment_path(dir: &Path, first_seq: u64) -> PathBuf {
@@ -139,6 +254,30 @@ pub fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     Ok(segments)
 }
 
+/// Writes one corrupt artifact into `dir/quarantine/`, best-effort (a
+/// failing quarantine write must not abort recovery). Returns whether
+/// the artifact landed.
+pub fn quarantine_bytes(dir: &Path, name: &str, bytes: &[u8]) -> bool {
+    let qdir = dir.join(QUARANTINE_DIR);
+    if fs::create_dir_all(&qdir).is_err() {
+        return false;
+    }
+    fs::write(qdir.join(name), bytes).is_ok()
+}
+
+/// Moves a corrupt file into `dir/quarantine/` under its own name,
+/// best-effort. Returns whether the move landed.
+pub fn quarantine_file(dir: &Path, path: &Path) -> bool {
+    let qdir = dir.join(QUARANTINE_DIR);
+    if fs::create_dir_all(&qdir).is_err() {
+        return false;
+    }
+    let Some(name) = path.file_name() else {
+        return false;
+    };
+    fs::rename(path, qdir.join(name)).is_ok()
+}
+
 impl Journal {
     /// Opens a fresh segment that will hold entries from `next_seq` on.
     ///
@@ -149,6 +288,21 @@ impl Journal {
     /// # Errors
     /// Fails on directory-creation or file-open errors.
     pub fn create(dir: &Path, next_seq: u64, policy: FsyncPolicy) -> io::Result<Self> {
+        Self::create_with_faults(dir, next_seq, policy, None)
+    }
+
+    /// Like [`Journal::create`], but every append/fsync consults the
+    /// given [`FaultPlan`] first. Production callers pass `None` (via
+    /// [`Journal::create`]); tests script exact-operation failures.
+    ///
+    /// # Errors
+    /// Fails on directory-creation or file-open errors.
+    pub fn create_with_faults(
+        dir: &Path,
+        next_seq: u64,
+        policy: FsyncPolicy,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         let path = segment_path(dir, next_seq);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -158,7 +312,23 @@ impl Journal {
             policy,
             segment_first_seq: next_seq,
             last_seq: None,
+            faults,
+            tainted: false,
         })
+    }
+
+    /// The installed fault plan, if any (threaded to the checkpoint path
+    /// so snapshot writes honor the same schedule).
+    #[must_use]
+    pub fn faults(&self) -> Option<&Arc<FaultPlan>> {
+        self.faults.as_ref()
+    }
+
+    /// The seq the next appended entry should carry.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.last_seq
+            .map_or(self.segment_first_seq, |s| s.saturating_add(1))
     }
 
     /// Appends one edge and flushes it to the OS; with
@@ -168,15 +338,55 @@ impl Journal {
     /// process death). Callers must not ack the edge before this returns.
     ///
     /// # Errors
-    /// Fails on write, flush, or sync errors; the entry must then be
-    /// treated as not persisted (nack the client).
+    /// Fails on write, flush, or sync errors — real or injected by the
+    /// fault plan; the entry must then be treated as not persisted (nack
+    /// the client). A short-write fault leaves a genuine partial record
+    /// on disk, which replay later classifies as a torn tail; the next
+    /// successful append seals it behind a guard newline so no later
+    /// (acked) record can merge into the debris.
     pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
         let metrics = crate::metrics::global();
         let start = std::time::Instant::now();
-        writeln!(self.writer, "{entry}")?;
-        self.writer.flush()?;
+        let line = format!("{entry}\n");
+        if self.tainted {
+            // Seal off the previous failure's partial bytes as their own
+            // (un-acked, torn) line before this record touches the file.
+            self.writer.write_all(b"\n")?;
+            self.writer.flush()?;
+            self.tainted = false;
+        }
+        if let Some(plan) = &self.faults {
+            match plan.next_append() {
+                AppendDecision::Proceed => {}
+                AppendDecision::Fail => {
+                    return Err(FaultPlan::error("append failed (storage full)"))
+                }
+                AppendDecision::ShortWrite(n) => {
+                    let n = n.min(line.len());
+                    self.tainted = true;
+                    self.writer.write_all(&line.as_bytes()[..n])?;
+                    self.writer.flush()?;
+                    return Err(FaultPlan::error("append cut short"));
+                }
+            }
+        }
+        self.writer
+            .write_all(line.as_bytes())
+            .inspect_err(|_| self.tainted = true)?;
+        self.writer.flush().inspect_err(|_| self.tainted = true)?;
         if self.policy == FsyncPolicy::Always {
-            self.writer.get_ref().sync_data()?;
+            let synced = match &self.faults {
+                Some(plan) => plan.next_fsync(),
+                None => Ok(()),
+            }
+            .and_then(|()| self.writer.get_ref().sync_data());
+            if let Err(e) = synced {
+                // The record reached the OS and may well survive; its
+                // seq is burned so the next (acked) append can never
+                // collide with a ghost of this one in replay.
+                self.last_seq = Some(entry.seq);
+                return Err(e);
+            }
             metrics.journal_fsyncs.incr();
         }
         self.last_seq = Some(entry.seq);
@@ -188,9 +398,12 @@ impl Journal {
     /// Forces everything appended so far to stable storage.
     ///
     /// # Errors
-    /// Fails on flush or sync errors.
+    /// Fails on flush or sync errors (real or injected).
     pub fn sync(&mut self) -> io::Result<()> {
         self.writer.flush()?;
+        if let Some(plan) = &self.faults {
+            plan.next_fsync()?;
+        }
         self.writer.get_ref().sync_data()?;
         crate::metrics::global().journal_fsyncs.incr();
         Ok(())
@@ -206,6 +419,12 @@ impl Journal {
     /// Fails on sync or file-open errors; on error the old segment stays
     /// active.
     pub fn rotate(&mut self, next_seq: u64) -> io::Result<()> {
+        if self.tainted {
+            // Do not seal a partial record into the outgoing segment
+            // tail, where it would read as mid-file corruption later.
+            self.writer.write_all(b"\n")?;
+            self.tainted = false;
+        }
         if self.policy != FsyncPolicy::Never {
             self.sync()?;
         } else {
@@ -220,12 +439,14 @@ impl Journal {
         Ok(())
     }
 
-    /// Deletes sealed segments made fully redundant by a snapshot taken
-    /// at `snapshot_seq` (every entry in them has `seq <= snapshot_seq`).
+    /// Deletes sealed segments made fully redundant by a snapshot
+    /// covering every seq up to and including `snapshot_seq`.
     ///
     /// The active segment is never deleted. Call only *after* the
-    /// snapshot is durably on disk — the snapshot-then-prune order is
-    /// what keeps the recovery chain unbroken if either step dies.
+    /// snapshot is durably on disk — and, with a retention chain, pass
+    /// the seq of the **oldest retained** generation, so every retained
+    /// snapshot can still replay forward from its own seq (see
+    /// [`crate::durable::checkpoint`]).
     ///
     /// # Errors
     /// Fails if the directory listing or a deletion fails; a partial
@@ -269,18 +490,50 @@ pub struct ReplayReport {
     pub skipped: u64,
     /// Segments scanned.
     pub segments: usize,
-    /// Whether a torn (incomplete or malformed) tail line was dropped.
+    /// Whether a torn (incomplete or malformed) tail was dropped.
     pub torn_tail: bool,
-    /// Highest seq seen across all entries, if any.
+    /// Lines discarded in the torn-tail region (trailing run of invalid
+    /// lines after the last valid record — never-acked crash debris).
+    pub tail_dropped: u64,
+    /// Corrupt records found *before* later valid records (bit rot of
+    /// acked data), quarantined into `quarantine/` and skipped.
+    pub quarantined: u64,
+    /// Highest seq seen across all valid entries, if any.
     pub last_seq: Option<u64>,
 }
 
+impl ReplayReport {
+    /// Whether replay saw any corruption at all (torn tail or
+    /// quarantined records).
+    #[must_use]
+    pub fn corruption_seen(&self) -> bool {
+        self.torn_tail || self.quarantined > 0
+    }
+}
+
+/// Splits file bytes into lines, reporting whether the final line was
+/// newline-terminated. The trailing empty piece of a terminated file is
+/// dropped.
+fn split_lines(bytes: &[u8]) -> (Vec<&[u8]>, bool) {
+    if bytes.is_empty() {
+        return (Vec::new(), true);
+    }
+    let terminated = bytes.ends_with(b"\n");
+    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
+    if terminated {
+        lines.pop();
+    }
+    (lines, terminated)
+}
+
 /// Replays every journal entry with `seq > after_seq`, in order, through
-/// `apply`, tolerating a torn tail.
+/// `apply`, tolerating a torn tail and quarantining mid-file corruption.
 ///
-/// A malformed or unterminated line ends that segment's replay (it can
-/// only be the product of a crash mid-append, and the entry was never
-/// acked). Later segments are still scanned.
+/// The trailing run of invalid lines after the last valid record is the
+/// torn tail: dropped (those records can only be un-acked crash debris)
+/// and counted. An invalid line *followed by* a valid record anywhere in
+/// the chain is bit rot of acked data: its raw bytes are written to
+/// `dir/quarantine/` and replay continues with the records after it.
 ///
 /// # Errors
 /// Fails if the directory or a segment cannot be read.
@@ -296,47 +549,91 @@ pub fn replay(
         Err(e) => return Err(e),
     };
     report.segments = segments.len();
-    for (_, path) in segments {
-        // Read as bytes and convert lossily: a crash can leave arbitrary
-        // garbage at the tail, which must read as a torn line, not an
-        // IO error.
-        let bytes = fs::read(&path)?;
-        let content = String::from_utf8_lossy(&bytes);
-        if content.is_empty() {
-            continue; // freshly created active segment
-        }
-        let terminated = content.ends_with('\n');
-        let mut lines = content.split('\n').collect::<Vec<_>>();
-        // split('\n') leaves a trailing empty piece for terminated files.
-        if terminated {
-            lines.pop();
-        }
-        let count = lines.len();
-        for (i, line) in lines.into_iter().enumerate() {
-            let last_line = i + 1 == count;
-            let parsed = JournalEntry::parse(line);
-            match parsed {
-                Some(entry) if !last_line || terminated => {
+
+    // Read everything first: torn/rotten bytes must classify by position
+    // (is any *valid* record after this line?), which needs the whole
+    // chain. Journal size is bounded by the checkpoint cadence.
+    let mut files = Vec::with_capacity(segments.len());
+    for (_, path) in &segments {
+        files.push(fs::read(path)?);
+    }
+
+    // A line is usable iff it parses (v1 or v2 with a good CRC) *and* is
+    // newline-terminated (each file's final line may not be: a write cut
+    // exactly at the line boundary was never flushed-and-acked whole).
+    type CheckedLines<'a> = Vec<(&'a [u8], Option<JournalEntry>)>;
+    let parsed: Vec<(usize, CheckedLines)> = files
+        .iter()
+        .enumerate()
+        .map(|(seg_idx, bytes)| {
+            let (lines, terminated) = split_lines(bytes);
+            let count = lines.len();
+            let checked = lines
+                .into_iter()
+                .enumerate()
+                .map(|(i, raw)| {
+                    let unterminated_last = i + 1 == count && !terminated;
+                    let entry = std::str::from_utf8(raw)
+                        .ok()
+                        .and_then(JournalEntry::parse)
+                        .filter(|_| !unterminated_last);
+                    (raw, entry)
+                })
+                .collect();
+            (seg_idx, checked)
+        })
+        .collect();
+
+    // Position of the last valid record in the whole chain; every
+    // invalid line after it is the torn tail, every one before it is
+    // mid-file corruption.
+    let last_valid = parsed
+        .iter()
+        .flat_map(|(seg, lines)| {
+            lines
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, e))| e.is_some())
+                .map(move |(i, _)| (*seg, i))
+        })
+        .next_back();
+
+    for (seg_idx, lines) in &parsed {
+        let seg_name = segments[*seg_idx]
+            .1
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("wal.unknown.log")
+            .to_string();
+        for (line_idx, (raw, entry)) in lines.iter().enumerate() {
+            match entry {
+                Some(entry) => {
                     report.last_seq = Some(report.last_seq.map_or(entry.seq, |s| s.max(entry.seq)));
                     if entry.seq > after_seq {
-                        apply(entry);
+                        apply(*entry);
                         report.replayed += 1;
                     } else {
                         report.skipped += 1;
                     }
                 }
-                _ => {
-                    // Torn: malformed line, or a well-formed final line
-                    // missing its newline (the write was cut mid-entry).
+                None if raw.is_empty() && Some((*seg_idx, line_idx)) > last_valid => {
+                    // Blank padding at the very end of the chain (e.g. a
+                    // freshly rotated empty segment) is not corruption.
+                }
+                None if last_valid.is_none_or(|pos| (*seg_idx, line_idx) > pos) => {
                     report.torn_tail = true;
-                    break;
+                    report.tail_dropped += 1;
+                }
+                None => {
+                    quarantine_bytes(dir, &format!("{seg_name}.line{line_idx}.rec"), raw);
+                    report.quarantined += 1;
                 }
             }
         }
     }
-    crate::metrics::global()
-        .journal_replayed
-        .add(report.replayed);
+    let metrics = crate::metrics::global();
+    metrics.journal_replayed.add(report.replayed);
+    metrics.wal_replay_skipped.add(report.quarantined);
     Ok(report)
 }
 
@@ -365,19 +662,83 @@ mod tests {
     }
 
     #[test]
-    fn entry_line_roundtrip() {
+    fn entry_line_roundtrip_v2() {
         let e = JournalEntry {
             seq: 7,
             u: VertexId(3),
             v: VertexId(9),
         };
-        assert_eq!(e.to_string(), "E 7 3 9");
+        let line = e.to_string();
+        assert!(line.starts_with("F 7 3 9 "), "{line}");
+        assert_eq!(line.len(), "F 7 3 9".len() + 9, "8 hex chars + space");
+        assert_eq!(JournalEntry::parse(&line), Some(e));
+        assert!(matches!(
+            JournalEntry::check_line(&line),
+            LineCheck::Verified(got) if got == e
+        ));
+    }
+
+    #[test]
+    fn legacy_v1_lines_still_parse() {
+        let e = JournalEntry {
+            seq: 7,
+            u: VertexId(3),
+            v: VertexId(9),
+        };
         assert_eq!(JournalEntry::parse("E 7 3 9"), Some(e));
-        assert_eq!(JournalEntry::parse("E 7 3"), None);
-        assert_eq!(JournalEntry::parse("E 7 3 9 1"), None);
-        assert_eq!(JournalEntry::parse("X 7 3 9"), None);
-        assert_eq!(JournalEntry::parse("E 7 3 banana"), None);
-        assert_eq!(JournalEntry::parse(""), None);
+        assert!(matches!(
+            JournalEntry::check_line("E 7 3 9"),
+            LineCheck::Legacy(got) if got == e
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "E 7 3",
+            "E 7 3 9 1", // v1 tag with five fields
+            "F 7 3 9",   // v2 tag with four fields
+            "X 7 3 9",
+            "E 7 3 banana",
+            "F 7 3 9 zzzzzzzz",  // non-hex CRC
+            "F 7 3 9 abc",       // short CRC
+            "F 7 3 9 ABCDEF12",  // uppercase CRC (non-canonical)
+            "F 7 3 9 abcdef123", // long CRC
+            "E +7 3 9",          // sign is not canonical
+            "E 7 3 9 ",          // trailing separator
+        ] {
+            assert_eq!(JournalEntry::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn crc_mismatch_is_detected_not_malformed() {
+        let mut line = entry(5).to_string();
+        // Corrupt one payload digit without breaking the structure.
+        line = line.replacen("F 5", "F 6", 1);
+        assert_eq!(JournalEntry::check_line(&line), LineCheck::BadCrc);
+        assert_eq!(JournalEntry::parse(&line), None);
+    }
+
+    #[test]
+    fn every_single_bit_flip_in_a_v2_record_is_detected() {
+        // The framing guarantee the proptest satellite pins at scale;
+        // here the deterministic spot-check on one record.
+        let line = entry(123_456_789).to_string();
+        let mut bytes = line.clone().into_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                bytes[byte] ^= 1 << bit;
+                let mutated = String::from_utf8_lossy(&bytes).into_owned();
+                assert!(
+                    JournalEntry::parse(&mutated).is_none(),
+                    "flip {byte}:{bit} produced a silently valid record {mutated:?}"
+                );
+                bytes[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(String::from_utf8(bytes).unwrap(), line);
     }
 
     #[test]
@@ -388,13 +749,14 @@ mod tests {
             j.append(entry(seq)).unwrap();
         }
         assert_eq!(j.last_seq(), Some(5));
+        assert_eq!(j.next_seq(), 6);
 
         let mut seen = Vec::new();
         let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
         assert_eq!(seen, vec![1, 2, 3, 4, 5]);
         assert_eq!(report.replayed, 5);
         assert_eq!(report.skipped, 0);
-        assert!(!report.torn_tail);
+        assert!(!report.corruption_seen());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -425,13 +787,15 @@ mod tests {
         let (first, path) = &list_segments(&dir).unwrap()[0];
         assert_eq!(*first, 1);
         let mut f = OpenOptions::new().append(true).open(path).unwrap();
-        write!(f, "E 4 8").unwrap();
+        write!(f, "F 4 8").unwrap();
         drop(f);
 
         let mut seen = Vec::new();
         let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
         assert_eq!(seen, vec![1, 2, 3]);
         assert!(report.torn_tail);
+        assert_eq!(report.tail_dropped, 1);
+        assert_eq!(report.quarantined, 0, "a torn tail is not quarantined");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -439,13 +803,101 @@ mod tests {
     fn complete_final_line_without_newline_is_treated_as_torn() {
         // A well-formed line missing its terminator means the write was
         // cut exactly at the line end — it was never flushed-and-acked as
-        // a whole, so it must not be replayed.
+        // a whole, so it must not be replayed. (v1 framing, which also
+        // pins the legacy read path.)
         let dir = temp_dir("noterm");
         fs::write(segment_path(&dir, 1), "E 1 0 1\nE 2 2 3").unwrap();
         let mut seen = Vec::new();
         let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
         assert_eq!(seen, vec![1]);
         assert!(report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_quarantined_and_replay_continues() {
+        let dir = temp_dir("midfile");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=5 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        // Rot record 3 in place: flip a payload bit.
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        let content = fs::read_to_string(path).unwrap();
+        let rotted = content.replacen("F 3", "F 7", 1);
+        assert_ne!(content, rotted);
+        fs::write(path, rotted).unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 4, 5], "records after the rot still apply");
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.torn_tail);
+        // The corrupt raw line is preserved for forensics.
+        let quarantined: Vec<_> = fs::read_dir(dir.join(QUARANTINE_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(quarantined.len(), 1);
+        let saved = fs::read_to_string(&quarantined[0]).unwrap();
+        assert!(saved.starts_with("F 7"), "{saved}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_a_sealed_segment_is_mid_file_not_torn() {
+        // A bad record at the end of a *sealed* segment is followed by
+        // the next segment's valid records — bit rot, not a torn write.
+        let dir = temp_dir("sealedrot");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            j.append(entry(seq)).unwrap();
+        }
+        j.rotate(4).unwrap();
+        j.append(entry(4)).unwrap();
+        drop(j);
+        let (_, sealed) = &list_segments(&dir).unwrap()[0];
+        crate::chaos::flip_bit(sealed, 2, 1).unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![2, 3, 4]);
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_garbage_run_is_all_torn_tail() {
+        let dir = temp_dir("garbagerun");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=2 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        crate::chaos::append_garbage(path, b"\x00garbage\nmore garbage\nF 9 9").unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2]);
+        assert!(report.torn_tail);
+        assert_eq!(report.tail_dropped, 3);
+        assert_eq!(report.quarantined, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_segments_replay_unmodified() {
+        // A pre-CRC data dir: plain `E` lines, no checksums.
+        let dir = temp_dir("v1compat");
+        fs::write(segment_path(&dir, 1), "E 1 10 11\nE 2 12 13\nE 3 14 15\n").unwrap();
+        let mut seen = Vec::new();
+        let report = replay(&dir, 1, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![2, 3]);
+        assert_eq!(report.skipped, 1);
+        assert!(!report.corruption_seen());
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -457,6 +909,7 @@ mod tests {
             j.append(entry(seq)).unwrap();
         }
         j.rotate(5).unwrap();
+        assert_eq!(j.next_seq(), 5);
         for seq in 5..=6 {
             j.append(entry(seq)).unwrap();
         }
@@ -505,6 +958,119 @@ mod tests {
         let dir = std::env::temp_dir().join("streamlink-journal-does-not-exist-xyzzy");
         let report = replay(&dir, 0, |_| panic!("nothing to apply")).unwrap();
         assert_eq!(report, ReplayReport::default());
+    }
+
+    #[test]
+    fn injected_enospc_fails_append_without_writing() {
+        let dir = temp_dir("enospc");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(1, crate::chaos::FaultKind::Enospc);
+        let mut j = Journal::create_with_faults(&dir, 1, FsyncPolicy::Never, Some(plan)).unwrap();
+        j.append(entry(1)).unwrap();
+        let err = j.append(entry(2)).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The plan is one-shot: the journal heals.
+        j.append(entry(2)).unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2], "the failed append left no record");
+        assert!(!report.corruption_seen());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_short_write_leaves_a_torn_tail() {
+        let dir = temp_dir("shortwrite");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(2, crate::chaos::FaultKind::ShortWrite(5));
+        let mut j = Journal::create_with_faults(&dir, 1, FsyncPolicy::Never, Some(plan)).unwrap();
+        j.append(entry(1)).unwrap();
+        j.append(entry(2)).unwrap();
+        assert!(j.append(entry(3)).is_err());
+        drop(j);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2], "partial record must not replay");
+        assert!(report.torn_tail);
+        assert_eq!(report.quarantined, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_after_short_write_seals_debris_behind_guard_newline() {
+        let dir = temp_dir("guard");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(1, crate::chaos::FaultKind::ShortWrite(4));
+        let mut j = Journal::create_with_faults(&dir, 1, FsyncPolicy::Never, Some(plan)).unwrap();
+        j.append(entry(1)).unwrap();
+        assert!(j.append(entry(2)).is_err(), "short write must nack");
+        // The journal keeps accepting appends after the failure; the
+        // acked records on either side of the debris must both survive.
+        j.append(entry(3)).unwrap();
+        drop(j);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 3], "acked records never merge into debris");
+        assert_eq!(
+            report.quarantined, 1,
+            "the sealed partial record is explicit, not silent"
+        );
+        assert!(!report.torn_tail, "the tail itself ends clean");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_after_short_write_seals_debris_in_the_old_segment() {
+        let dir = temp_dir("guardrotate");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(1, crate::chaos::FaultKind::ShortWrite(4));
+        let mut j = Journal::create_with_faults(&dir, 1, FsyncPolicy::Never, Some(plan)).unwrap();
+        j.append(entry(1)).unwrap();
+        assert!(j.append(entry(2)).is_err());
+        j.rotate(3).unwrap();
+        j.append(entry(3)).unwrap();
+        drop(j);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 3]);
+        assert_eq!(report.quarantined, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsync_failure_burns_the_seq_so_replay_never_sees_duplicates() {
+        let dir = temp_dir("fsyncburn");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_fsync(0);
+        let mut j = Journal::create_with_faults(&dir, 1, FsyncPolicy::Always, Some(plan)).unwrap();
+        assert!(j.append(entry(1)).is_err(), "failed fsync must nack");
+        assert_eq!(j.next_seq(), 2, "the unsynced record's seq is burned");
+        j.append(entry(2)).unwrap();
+        drop(j);
+
+        // The ghost of seq 1 survives on disk (it reached the OS) and
+        // replays; what matters is the acked record kept its own seq.
+        let mut seen = Vec::new();
+        replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces_on_sync() {
+        let dir = temp_dir("fsyncfail");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_fsync(0);
+        let mut j =
+            Journal::create_with_faults(&dir, 1, FsyncPolicy::OnRotate, Some(plan)).unwrap();
+        j.append(entry(1)).unwrap();
+        assert!(j.sync().is_err());
+        assert!(j.sync().is_ok(), "one-shot fault heals");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

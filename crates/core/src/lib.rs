@@ -47,12 +47,18 @@
 //! * [`compressed`] — frozen b-bit replicas for serving/shipping
 //!   (Li–König b-bit minwise hashing).
 //! * [`parallel`] — sharded multi-threaded ingestion.
-//! * [`snapshot`] — serde snapshots for persistence, with atomic
-//!   (temp-file–fsync–rename) on-disk writes.
-//! * [`journal`] — append-only edge WAL: acked edges survive crashes.
-//! * [`durable`] — recovery (snapshot + journal tail) and checkpointing.
-//! * [`chaos`] — fault injection (torn/partial writes) for durability
-//!   tests.
+//! * [`snapshot`] — serde snapshots for persistence: atomic
+//!   (temp-file–fsync–rename) writes under a versioned, checksummed
+//!   header, with transparent v1 read-compat.
+//! * [`journal`] — append-only edge WAL with per-record CRC-32 framing:
+//!   acked edges survive crashes, and corruption is detected, not
+//!   replayed.
+//! * [`durable`] — self-healing recovery (last-known-good snapshot
+//!   chain + journal tail, quarantine of corrupt artifacts) and
+//!   retention-aware checkpointing.
+//! * [`chaos`] — fault injection (torn/partial writes, scripted
+//!   [`chaos::FaultPlan`] ENOSPC/short-write/failed-fsync schedules, bit
+//!   flips) for durability tests.
 //!
 //! ## Quick example
 //!
@@ -97,12 +103,13 @@ pub mod windowed;
 pub use accuracy::AccuracyPlan;
 pub use biased::BiasedStore;
 pub use bottomk::BottomKStore;
+pub use chaos::{FaultKind, FaultPlan};
 pub use compressed::CompressedStore;
 pub use concurrent::ConcurrentSketchStore;
 pub use config::{HasherBackend, SketchConfig};
-pub use durable::{checkpoint, recover, Recovery};
+pub use durable::{checkpoint, recover, Recovery, DEFAULT_SNAPSHOT_KEEP};
 pub use hll::HyperLogLog;
-pub use journal::{FsyncPolicy, Journal, JournalEntry, ReplayReport};
+pub use journal::{FsyncPolicy, Journal, JournalEntry, LineCheck, ReplayReport};
 pub use lsh::LshIndex;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use robust::RobustStore;

@@ -264,6 +264,12 @@ pub struct Metrics {
     pub journal_rotations: Counter,
     /// Journal entries replayed during recovery.
     pub journal_replayed: Counter,
+    /// Mid-file corrupt journal records quarantined (not replayed)
+    /// during recovery.
+    pub wal_replay_skipped: Counter,
+    /// Snapshot generations found corrupt on load and skipped in favor
+    /// of an older one.
+    pub snapshot_fallbacks: Counter,
     /// Checkpoints completed (snapshot written + journal pruned).
     pub checkpoints: Counter,
     /// Checkpoints that failed with an IO error.
@@ -282,13 +288,22 @@ pub struct Metrics {
     pub server_command_latency: LatencyHistogram,
     /// Connections accepted into a handler thread.
     pub connections_accepted: Counter,
-    /// Connections shed with `ERR busy` at the cap.
+    /// Connections shed with `ERR busy retry` at the cap.
     pub connections_shed: Counter,
+    /// `INSERT` commands nacked with `ERR storage` because the journal
+    /// append failed.
+    pub storage_errors: Counter,
     /// Live connections (set at observation time).
     pub connections_active: Gauge,
     /// Acked edges not yet covered by a snapshot (set at observation
     /// time).
     pub journal_lag_edges: Gauge,
+    /// Snapshot generations currently retained on disk (set at
+    /// checkpoint/recovery time).
+    pub snapshot_generations_kept: Gauge,
+    /// Exit code of the most recent in-process `scrub` run (0 = clean,
+    /// 1 = repaired/repairable, 2 = unrepairable loss).
+    pub scrub_last_exit: Gauge,
 }
 
 impl Metrics {
@@ -306,6 +321,8 @@ impl Metrics {
             journal_append_latency: LatencyHistogram::new(),
             journal_rotations: Counter::new(),
             journal_replayed: Counter::new(),
+            wal_replay_skipped: Counter::new(),
+            snapshot_fallbacks: Counter::new(),
             checkpoints: Counter::new(),
             checkpoint_failures: Counter::new(),
             checkpoint_latency: LatencyHistogram::new(),
@@ -316,8 +333,11 @@ impl Metrics {
             server_command_latency: LatencyHistogram::new(),
             connections_accepted: Counter::new(),
             connections_shed: Counter::new(),
+            storage_errors: Counter::new(),
             connections_active: Gauge::new(),
             journal_lag_edges: Gauge::new(),
+            snapshot_generations_kept: Gauge::new(),
+            scrub_last_exit: Gauge::new(),
         }
     }
 
@@ -360,6 +380,11 @@ impl Metrics {
                 ("journal.fsyncs", self.journal_fsyncs.get()),
                 ("journal.rotations", self.journal_rotations.get()),
                 ("journal.replayed", self.journal_replayed.get()),
+                (
+                    "journal.replay_skipped_records",
+                    self.wal_replay_skipped.get(),
+                ),
+                ("snapshot.fallbacks_total", self.snapshot_fallbacks.get()),
                 ("checkpoint.count", self.checkpoints.get()),
                 ("checkpoint.failures", self.checkpoint_failures.get()),
                 ("server.commands", self.server_commands.get()),
@@ -371,10 +396,16 @@ impl Metrics {
                     self.connections_accepted.get(),
                 ),
                 ("server.connections_shed", self.connections_shed.get()),
+                ("server.storage_errors", self.storage_errors.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
                 ("journal.lag_edges", self.journal_lag_edges.get()),
+                (
+                    "snapshot.generations_kept",
+                    self.snapshot_generations_kept.get(),
+                ),
+                ("scrub.last_exit", self.scrub_last_exit.get()),
             ],
             histograms: vec![
                 ("core.insert.latency_ns", self.insert_latency.summary()),
@@ -407,6 +438,8 @@ impl Metrics {
             &self.journal_fsyncs,
             &self.journal_rotations,
             &self.journal_replayed,
+            &self.wal_replay_skipped,
+            &self.snapshot_fallbacks,
             &self.checkpoints,
             &self.checkpoint_failures,
             &self.server_commands,
@@ -415,11 +448,14 @@ impl Metrics {
             &self.server_queries,
             &self.connections_accepted,
             &self.connections_shed,
+            &self.storage_errors,
         ] {
             c.reset();
         }
         self.connections_active.reset();
         self.journal_lag_edges.reset();
+        self.snapshot_generations_kept.reset();
+        self.scrub_last_exit.reset();
         for h in [
             &self.insert_latency,
             &self.merge_latency,

@@ -15,11 +15,30 @@
 //! complete snapshot or the new complete snapshot, never a torn one. A
 //! crash mid-write leaves at most a stale `.tmp` file, which the next
 //! successful write replaces.
+//!
+//! ## Verifiable files (format v2)
+//!
+//! Atomic rename proves a snapshot was written *whole*; it proves nothing
+//! about the bytes staying intact afterwards. Snapshots therefore carry a
+//! versioned header with a whole-file digest:
+//!
+//! ```text
+//! STREAMLINK-SNAP v2 len=<payload bytes> crc32=<lower-hex-8>\n
+//! <JSON payload>
+//! ```
+//!
+//! The CRC-32 ([`hashkit::crc32()`]) covers the payload; `len` pins its
+//! exact size, so truncation and bit rot are both detected on read —
+//! before the JSON parser ever sees the bytes. Reads fall back
+//! transparently to v1 (bare JSON, no header): old data directories load
+//! unmodified, they just cannot be *verified* (see
+//! [`SnapshotIntegrity::Legacy`]).
 
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::Path;
 
+use hashkit::crc32;
 use serde::{Deserialize, Serialize};
 
 use graphstream::VertexId;
@@ -30,13 +49,103 @@ use crate::robust::RobustStore;
 use crate::sketch::VertexSketch;
 use crate::store::SketchStore;
 
-/// Writes `json` to `path` atomically: temp file in the same directory,
-/// flush + fsync, rename over the target, fsync the directory.
-fn write_json_atomic(path: &Path, json: &str) -> io::Result<()> {
+/// The magic prefix of a v2 snapshot header line.
+pub const SNAPSHOT_MAGIC: &str = "STREAMLINK-SNAP";
+
+/// What the framing check proved about a snapshot file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotIntegrity {
+    /// v2 framing: length and whole-file CRC both verified.
+    Verified,
+    /// Legacy v1 file — parseable bare JSON, but carrying no digest, so
+    /// integrity cannot be proven.
+    Legacy,
+}
+
+/// Renders the framed v2 file contents for `json`.
+fn frame_v2(json: &str) -> String {
+    format!(
+        "{SNAPSHOT_MAGIC} v2 len={} crc32={:08x}\n{json}",
+        json.len(),
+        crc32(json.as_bytes())
+    )
+}
+
+/// Reads a snapshot file and verifies its framing, returning the JSON
+/// payload and what the check proved. Does not interpret the payload —
+/// `scrub` uses this to verify files it never deserializes.
+///
+/// # Errors
+/// * [`io::ErrorKind::NotFound`] — no file.
+/// * [`io::ErrorKind::InvalidData`] — malformed header, length mismatch
+///   (truncation or trailing garbage), or CRC mismatch (bit rot). The
+///   message says which.
+pub fn read_verified(path: &Path) -> io::Result<(String, SnapshotIntegrity)> {
+    let content =
+        fs::read_to_string(path).map_err(|e| rewrap(e, path, "unreadable or not UTF-8"))?;
+    let Some(rest) = content.strip_prefix(SNAPSHOT_MAGIC) else {
+        // No magic: a legacy v1 bare-JSON snapshot.
+        return Ok((content, SnapshotIntegrity::Legacy));
+    };
+    let (header, payload) = rest
+        .split_once('\n')
+        .ok_or_else(|| corrupt(path, "v2 header line is unterminated"))?;
+    let mut fields = header.split(' ').filter(|f| !f.is_empty());
+    if fields.next() != Some("v2") {
+        return Err(corrupt(path, "unsupported snapshot format version"));
+    }
+    let len: usize = fields
+        .next()
+        .and_then(|f| f.strip_prefix("len="))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| corrupt(path, "v2 header has no parseable len field"))?;
+    let expected: u32 = fields
+        .next()
+        .and_then(|f| f.strip_prefix("crc32="))
+        .filter(|v| v.len() == 8)
+        .and_then(|v| u32::from_str_radix(v, 16).ok())
+        .ok_or_else(|| corrupt(path, "v2 header has no parseable crc32 field"))?;
+    if payload.len() != len {
+        return Err(corrupt(
+            path,
+            &format!(
+                "payload length mismatch: header says {len} bytes, file holds {}",
+                payload.len()
+            ),
+        ));
+    }
+    let found = crc32(payload.as_bytes());
+    if found != expected {
+        return Err(corrupt(
+            path,
+            &format!("payload CRC mismatch: header {expected:08x}, computed {found:08x}"),
+        ));
+    }
+    Ok((payload.to_string(), SnapshotIntegrity::Verified))
+}
+
+fn corrupt(path: &Path, detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt snapshot {}: {detail}", path.display()),
+    )
+}
+
+fn rewrap(e: io::Error, path: &Path, detail: &str) -> io::Error {
+    if e.kind() == io::ErrorKind::InvalidData {
+        corrupt(path, detail)
+    } else {
+        e
+    }
+}
+
+/// Writes `content` to `path` atomically: temp file in the same
+/// directory, flush + fsync, rename over the target, fsync the directory.
+fn write_atomic_bytes(path: &Path, content: &str) -> io::Result<()> {
     let tmp = path.with_extension("json.tmp");
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(json.as_bytes())?;
+        f.write_all(content.as_bytes())?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -51,14 +160,14 @@ fn write_json_atomic(path: &Path, json: &str) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes `json` to `path` atomically inside the v2 checksummed frame.
+fn write_json_atomic(path: &Path, json: &str) -> io::Result<()> {
+    write_atomic_bytes(path, &frame_v2(json))
+}
+
 fn read_json<T: serde::Deserialize>(path: &Path) -> io::Result<T> {
-    let content = fs::read_to_string(path)?;
-    serde_json::from_str(&content).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("corrupt snapshot {}: {e}", path.display()),
-        )
-    })
+    let (payload, _) = read_verified(path)?;
+    serde_json::from_str(&payload).map_err(|e| corrupt(path, &e.to_string()))
 }
 
 /// One vertex's persisted state.
@@ -374,6 +483,89 @@ mod tests {
         let err = StoreSnapshot::read_from(&corrupt).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         fs::remove_file(&corrupt).unwrap();
+    }
+
+    #[test]
+    fn v2_file_carries_verifiable_header() {
+        let path = temp_path("v2header");
+        StoreSnapshot::capture(&populated())
+            .write_atomic(&path)
+            .unwrap();
+        let content = fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("STREAMLINK-SNAP v2 len="), "{content}");
+        let (payload, integrity) = read_verified(&path).unwrap();
+        assert_eq!(integrity, SnapshotIntegrity::Verified);
+        assert!(payload.starts_with('{'), "payload is the bare JSON");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_bare_json_still_reads_as_legacy() {
+        // A pre-framing data dir: bare JSON, no header.
+        let path = temp_path("v1compat");
+        let snap = StoreSnapshot::capture(&populated());
+        fs::write(&path, serde_json::to_string(&snap).unwrap()).unwrap();
+        let (_, integrity) = read_verified(&path).unwrap();
+        assert_eq!(integrity, SnapshotIntegrity::Legacy);
+        assert_eq!(StoreSnapshot::read_from(&path).unwrap(), snap);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn payload_bit_flip_is_detected_before_parsing() {
+        let path = temp_path("bitflip");
+        StoreSnapshot::capture(&populated())
+            .write_atomic(&path)
+            .unwrap();
+        let header_len = fs::read_to_string(&path).unwrap().find('\n').unwrap() as u64 + 1;
+        // Flip a low bit of a payload digit: likely still valid JSON —
+        // only the CRC can catch it.
+        crate::chaos::flip_bit(&path, header_len + 40, 0).unwrap();
+        let err = StoreSnapshot::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("CRC mismatch"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected_by_length_check() {
+        let path = temp_path("truncate");
+        StoreSnapshot::capture(&populated())
+            .write_atomic(&path)
+            .unwrap();
+        crate::chaos::tear_file(&path, 17).unwrap();
+        let err = StoreSnapshot::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_appended_after_payload_is_detected() {
+        let path = temp_path("trailing");
+        StoreSnapshot::capture(&populated())
+            .write_atomic(&path)
+            .unwrap();
+        crate::chaos::append_garbage(&path, b"   {}").unwrap();
+        let err = StoreSnapshot::read_from(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_header_is_rejected_not_misparsed() {
+        let path = temp_path("badheader");
+        for bad in [
+            "STREAMLINK-SNAP v9 len=2 crc32=00000000\n{}",
+            "STREAMLINK-SNAP v2 len=x crc32=00000000\n{}",
+            "STREAMLINK-SNAP v2 len=2 crc32=nothex00\n{}",
+            "STREAMLINK-SNAP v2 len=2 crc32=00000000", // no payload line
+        ] {
+            fs::write(&path, bad).unwrap();
+            let err = read_verified(&path).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad:?}");
+        }
+        fs::remove_file(&path).unwrap();
     }
 
     fn populated_robust() -> RobustStore {

@@ -1,0 +1,92 @@
+//! Property-based tests for the journal's record framing: the v2
+//! CRC-32 line format round-trips any entry, legacy v1 stays readable,
+//! and — the load-bearing guarantee — no single-bit flip, whitespace
+//! injection, or truncation ever passes verification.
+
+use graphstream::VertexId;
+use proptest::prelude::*;
+use streamlink_core::journal::{JournalEntry, LineCheck};
+
+fn arb_entry() -> impl Strategy<Value = JournalEntry> {
+    // Full-range ids: the framing must survive u64::MAX-width fields.
+    (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(seq, u, v)| JournalEntry {
+        seq,
+        u: VertexId(u),
+        v: VertexId(v),
+    })
+}
+
+proptest! {
+    /// Display → check_line round-trips every entry as a verified v2
+    /// record, including max-width u64 ids.
+    #[test]
+    fn v2_roundtrip(entry in arb_entry()) {
+        let line = entry.to_string();
+        prop_assert_eq!(LineCheck::Verified(entry), JournalEntry::check_line(&line));
+        prop_assert_eq!(Some(entry), JournalEntry::parse(&line));
+    }
+
+    /// Legacy v1 lines (no CRC) parse for every id width, flagged as
+    /// legacy rather than verified.
+    #[test]
+    fn v1_roundtrip(entry in arb_entry()) {
+        let line = format!("E {} {} {}", entry.seq, entry.u.0, entry.v.0);
+        prop_assert_eq!(LineCheck::Legacy(entry), JournalEntry::check_line(&line));
+        prop_assert_eq!(Some(entry), JournalEntry::parse(&line));
+    }
+
+    /// Every single-bit flip anywhere in a v2 record is detected: the
+    /// damaged line is never accepted, as v2 *or* as a legacy record.
+    #[test]
+    fn every_single_bit_flip_is_detected(entry in arb_entry()) {
+        let line = entry.to_string();
+        let bytes = line.as_bytes();
+        for byte_idx in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut damaged = bytes.to_vec();
+                damaged[byte_idx] ^= 1 << bit;
+                // A flip may leave invalid UTF-8; that is detection too.
+                let Ok(s) = std::str::from_utf8(&damaged) else { continue };
+                let check = JournalEntry::check_line(s);
+                prop_assert!(
+                    matches!(check, LineCheck::Malformed | LineCheck::BadCrc),
+                    "flip byte {} bit {} of {:?} passed as {:?}",
+                    byte_idx, bit, line, check,
+                );
+            }
+        }
+    }
+
+    /// Injected whitespace (space, tab, CR) at any position — the
+    /// classic copy/transport mangling — never yields a valid record.
+    #[test]
+    fn whitespace_injection_is_rejected(entry in arb_entry(), pos_frac in 0.0f64..1.0, ws in 0usize..3) {
+        let line = entry.to_string();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let pos = ((line.len() + 1) as f64 * pos_frac) as usize;
+        let pos = pos.min(line.len());
+        let c = [' ', '\t', '\r'][ws];
+        let mut mangled = line.clone();
+        mangled.insert(pos, c);
+        let check = JournalEntry::check_line(&mangled);
+        prop_assert!(
+            matches!(check, LineCheck::Malformed | LineCheck::BadCrc),
+            "inserting {c:?} at {pos} in {line:?} passed as {check:?}",
+        );
+    }
+
+    /// No strict prefix of a v2 line verifies: a record cut anywhere by
+    /// a torn write is detected, whatever boundary the cut lands on.
+    #[test]
+    fn truncation_is_always_detected(entry in arb_entry()) {
+        let line = entry.to_string();
+        for cut in 0..line.len() {
+            let check = JournalEntry::check_line(&line[..cut]);
+            prop_assert!(
+                matches!(check, LineCheck::Malformed | LineCheck::BadCrc),
+                "prefix of {cut} bytes of {:?} passed as {:?}",
+                line, check,
+            );
+        }
+    }
+}

@@ -20,6 +20,10 @@
 //! layer exposes it as an opt-in backend and the benchmark suite compares
 //! both.
 //!
+//! [`crc32()`] is a different animal: not a sketch hash but an error
+//! -detecting code, used by the storage layer to frame WAL records and
+//! snapshot payloads so recovery can prove what it reads.
+//!
 //! ## Determinism
 //!
 //! Every function here is a pure function of `(seed, key)`. Nothing reads
@@ -29,11 +33,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod family;
 pub mod mix;
 pub mod tabulation;
 pub mod uniform;
 
+pub use crc32::crc32;
 pub use family::{HashFamily, SeededHash};
 pub use mix::{mix64, mix64_v3, unmix64};
 pub use tabulation::TabulationHash;
