@@ -1,0 +1,180 @@
+//! **E21 (tracing + audit overhead)** — ingestion throughput with the
+//! trace subsystem and accuracy auditor enabled vs disabled, proving
+//! the new observability layers stay inside their overhead budget on
+//! the O(k) insert hot path.
+//!
+//! Methodology mirrors E19 (`exp_metrics`): for each sketch size,
+//! ingest the same stream several times per mode and keep the best run
+//! (min time strips scheduler noise). Both modes run the *identical*
+//! loop shape — the metrics registry stays ON in both, and the
+//! auditor's `wants()` hash check is executed in both, so the measured
+//! delta isolates exactly what this PR added: sampled span recording,
+//! shadow-adjacency maintenance for sampled vertices, and a periodic
+//! audit cycle (every [`AUDIT_EVERY_EDGES`] edges, as a background
+//! auditor would on a ~30 s interval).
+//!
+//! `--max-overhead-pct N` turns the run into a gate: the process exits
+//! nonzero if any sketch size exceeds N% overhead. CI runs
+//! `--scale small --max-overhead-pct 10`; the design budget in
+//! docs/OPERATIONS.md §9 is 5% on release builds.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_trace -- \
+//!     [--scale small|standard|large] [--max-overhead-pct 10]
+//! ```
+
+use std::time::Instant;
+
+use datasets::SimulatedDataset;
+use graphstream::EdgeStream;
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::{trace, AccuracyAuditor, AuditConfig, SketchConfig, SketchStore};
+
+/// Ingest repetitions per mode; best-of-N is reported.
+const REPS: usize = 5;
+
+/// Edges between audit cycles in enabled mode — the per-edge-rate
+/// equivalent of a background auditor ticking every ~30 s.
+const AUDIT_EVERY_EDGES: usize = 200_000;
+
+/// Pairs scored per audit cycle (the `--audit-pairs` default).
+const AUDIT_PAIRS: usize = 64;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    k: usize,
+    edges: u64,
+    reps: usize,
+    disabled_best_secs: f64,
+    enabled_best_secs: f64,
+    overhead_pct: f64,
+    spans_recorded: u64,
+    audit_pairs_scored: u64,
+    audit_jaccard_mae: f64,
+}
+
+/// One ingest pass. `auditor` is `Some` only in enabled mode, but the
+/// per-edge branch structure is identical either way — the disabled
+/// mode measures the true cost of having the hooks compiled in.
+fn ingest_once(edges: &[graphstream::Edge], k: usize, auditor: Option<&AccuracyAuditor>) -> f64 {
+    let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+    let t = Instant::now();
+    let mut since_cycle = 0usize;
+    for e in edges {
+        if let Some(a) = auditor {
+            let (u, v) = (e.src, e.dst);
+            if a.wants(u) || a.wants(v) {
+                let (du, dv) = (store.degree(u), store.degree(v));
+                store.insert_edge(u, v);
+                a.observe_edge(u, v, du, dv);
+            } else {
+                store.insert_edge(u, v);
+            }
+            since_cycle += 1;
+            if since_cycle >= AUDIT_EVERY_EDGES {
+                since_cycle = 0;
+                a.run_cycle(&store, AUDIT_PAIRS);
+            }
+        } else {
+            store.insert_edge(e.src, e.dst);
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&store);
+    secs
+}
+
+fn best_of(edges: &[graphstream::Edge], k: usize, auditor: Option<&AccuracyAuditor>) -> f64 {
+    (0..REPS)
+        .map(|_| ingest_once(edges, k, auditor))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let max_overhead_pct: Option<f64> = flag_value(&args, "--max-overhead-pct")
+        .map(|v| v.parse().expect("--max-overhead-pct expects a number"));
+    let mut out = ResultWriter::new("e21_trace_overhead");
+    let metrics = streamlink_core::metrics::global();
+
+    let dataset = SimulatedDataset::DblpLike;
+    let stream = dataset.stream(scale);
+    let edges: Vec<_> = stream.edges().collect();
+
+    println!("\nE21 — tracing + audit overhead on ingest ({scale:?})\n");
+    println!(
+        "dataset {} ({} edges, best of {REPS} runs per mode; audit cycle every {AUDIT_EVERY_EDGES} edges)",
+        dataset.spec().key,
+        edges.len()
+    );
+    table_header(&[
+        "k",
+        "off (s)",
+        "on (s)",
+        "overhead %",
+        "spans",
+        "audit pairs",
+        "J mae",
+    ]);
+
+    // Keep the slow-op threshold at its default (50 ms): no sampled
+    // insert span can cross it, so the measured cost excludes log IO —
+    // exactly the steady-state serving configuration.
+    let mut worst_pct = f64::NEG_INFINITY;
+    for &k in &[64usize, 256] {
+        // Warm caches once so neither mode pays first-touch costs.
+        ingest_once(&edges, k, None);
+
+        // Baseline: metrics ON (the E19-audited configuration this PR
+        // started from), trace OFF, no auditor.
+        trace::set_enabled(false);
+        let disabled = best_of(&edges, k, None);
+
+        // Enabled: trace ON + auditor ON.
+        trace::set_enabled(true);
+        trace::reset();
+        metrics.reset();
+        let auditor = AccuracyAuditor::new(AuditConfig::default());
+        let enabled = best_of(&edges, k, Some(&auditor));
+        let spans = trace::spans_recorded();
+        let audit = auditor.snapshot();
+
+        let pct = (enabled - disabled) / disabled * 100.0;
+        worst_pct = worst_pct.max(pct);
+        table_row(&[
+            k.to_string(),
+            format!("{disabled:.4}"),
+            format!("{enabled:.4}"),
+            format!("{pct:+.2}"),
+            spans.to_string(),
+            audit.pairs_evaluated.to_string(),
+            format!("{:.4}", audit.jaccard_mae),
+        ]);
+        out.write_row(&Row {
+            dataset: dataset.spec().key.to_string(),
+            k,
+            edges: edges.len() as u64,
+            reps: REPS,
+            disabled_best_secs: disabled,
+            enabled_best_secs: enabled,
+            overhead_pct: pct,
+            spans_recorded: spans,
+            audit_pairs_scored: audit.pairs_evaluated,
+            audit_jaccard_mae: audit.jaccard_mae,
+        });
+    }
+    trace::set_enabled(true);
+
+    if let Some(limit) = max_overhead_pct {
+        if worst_pct > limit {
+            eprintln!("FAIL: trace+audit overhead {worst_pct:.2}% exceeds the {limit}% budget");
+            std::process::exit(1);
+        }
+        println!("\nPASS: worst overhead {worst_pct:.2}% within the {limit}% budget");
+    }
+}

@@ -40,5 +40,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .map_err(|e| format!("cannot serialize reports: {e}"))?;
     println!("{json}");
     crate::commands::write_metrics_out(&flags)?;
+    crate::commands::write_trace_out(&flags)?;
     Ok(())
 }

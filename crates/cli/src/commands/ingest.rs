@@ -2,13 +2,15 @@
 //! persist a snapshot.
 //!
 //! `--metrics-out PATH` additionally dumps the global metrics registry
-//! (ingest counters, insert-latency percentiles) as JSON.
+//! (ingest counters, insert-latency percentiles) as JSON, and
+//! `--trace-out PATH` dumps the sampled insert spans from the trace
+//! ring for after-the-fact breakdowns.
 
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{SketchConfig, SketchStore};
 
 use crate::args::Flags;
-use crate::commands::{load_stream, write_metrics_out};
+use crate::commands::{load_stream, write_metrics_out, write_trace_out};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
@@ -41,5 +43,6 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         store.memory_bytes(),
     );
     write_metrics_out(&flags)?;
+    write_trace_out(&flags)?;
     Ok(())
 }

@@ -28,6 +28,18 @@ pub fn write_metrics_out(flags: &Flags) -> Result<(), String> {
     std::fs::write(path, json).map_err(|e| format!("cannot write metrics to {path}: {e}"))
 }
 
+/// Honors the shared `--trace-out PATH` flag of batch commands: dumps
+/// the newest completed trace spans as JSON (schema
+/// `streamlink.trace.v1`) so a slow batch run can be broken down after
+/// the fact without a live server. A missing flag is a no-op.
+pub fn write_trace_out(flags: &Flags) -> Result<(), String> {
+    let Some(path) = flags.get("trace-out") else {
+        return Ok(());
+    };
+    let json = streamlink_core::trace::render_trace_json(streamlink_core::trace::RING_CAPACITY);
+    std::fs::write(path, json).map_err(|e| format!("cannot write trace to {path}: {e}"))
+}
+
 /// Parses `--scale` values.
 pub fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
     match raw.unwrap_or("small") {

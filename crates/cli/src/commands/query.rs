@@ -5,7 +5,7 @@ use linkpred::Measure;
 use streamlink_core::snapshot::StoreSnapshot;
 
 use crate::args::Flags;
-use crate::commands::write_metrics_out;
+use crate::commands::{write_metrics_out, write_trace_out};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let flags = Flags::parse(argv)?;
@@ -25,6 +25,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     for raw in pairs {
         let (u, v) = parse_pair(raw)?;
+        // One trace op per pair so `--trace-out` shows the per-query
+        // estimator breakdown, same as a served cmd.query span.
+        let t = streamlink_core::trace::op("cmd.query");
+        t.note_degree(store.degree(u).max(store.degree(v)));
         let score = match measure {
             Measure::Jaccard => store.jaccard(u, v),
             Measure::CommonNeighbors => store.common_neighbors(u, v),
@@ -34,12 +38,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             Measure::Cosine => store.cosine(u, v),
             Measure::Overlap => store.overlap(u, v),
         };
+        drop(t);
         match score {
             Some(s) => println!("{} {}:{} {:.6}", measure.key(), u.0, v.0, s),
             None => println!("{} {}:{} unseen", measure.key(), u.0, v.0),
         }
     }
     write_metrics_out(&flags)?;
+    write_trace_out(&flags)?;
     Ok(())
 }
 

@@ -53,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         .scrub_last_exit
         .set(u64::from(code));
     super::write_metrics_out(&flags)?;
+    super::write_trace_out(&flags)?;
     println!("{}", report.summary(repair));
     Ok(code)
 }

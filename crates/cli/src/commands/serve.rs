@@ -23,6 +23,15 @@
 //! --snapshot-every-edges N    checkpoint edge budget          (50000)
 //! --snapshot-keep K           snapshot generations retained       (3)
 //! --metrics-log-secs S        periodic metrics log line; 0 off   (60)
+//! --slow-op-ms MS             slow-op threshold; 0 off           (50)
+//! --slow-op-log PATH          slow-op JSONL sink (default
+//!                             DATA_DIR/slowops.jsonl in durable mode,
+//!                             otherwise off unless set)
+//! --slow-op-log-bytes N       rotate the slow-op log past N bytes
+//!                             (10485760)
+//! --audit-secs S              accuracy-audit cycle interval; 0
+//!                             disables the auditor               (30)
+//! --audit-pairs K             vertex pairs scored per cycle      (64)
 //! ```
 //!
 //! On SIGINT/SIGTERM the server stops accepting, drains, writes a final
@@ -54,6 +63,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         snapshot_keep: flags
             .get_parsed_or("snapshot-keep", streamlink_core::DEFAULT_SNAPSHOT_KEEP)?,
         metrics_log_every: Duration::from_secs(flags.get_parsed_or("metrics-log-secs", 60u64)?),
+        audit_interval: Duration::from_secs(flags.get_parsed_or("audit-secs", 30u64)?),
+        audit_pairs: flags.get_parsed_or("audit-pairs", 64usize)?,
     };
     if config.max_conns == 0 {
         return Err("--max-conns must be positive".into());
@@ -61,6 +72,27 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if config.snapshot_keep == 0 {
         return Err("--snapshot-keep must be positive".into());
     }
+    if !config.audit_interval.is_zero() && config.audit_pairs == 0 {
+        return Err("--audit-pairs must be positive while auditing is on".into());
+    }
+
+    // Slow-op settings are process-global (the trace ring is too).
+    let slow_op_ms =
+        flags.get_parsed_or("slow-op-ms", streamlink_core::trace::DEFAULT_SLOW_OP_MS)?;
+    streamlink_core::trace::set_slow_op_threshold_ms(slow_op_ms);
+    let slow_op_log_bytes = flags.get_parsed_or(
+        "slow-op-log-bytes",
+        streamlink_core::trace::DEFAULT_SLOW_OP_LOG_BYTES,
+    )?;
+    if slow_op_log_bytes == 0 {
+        return Err("--slow-op-log-bytes must be positive".into());
+    }
+    let slow_op_log: Option<std::path::PathBuf> = match flags.get("slow-op-log") {
+        Some(path) => Some(path.into()),
+        None => flags
+            .get("data-dir")
+            .map(|dir| Path::new(dir).join("slowops.jsonl")),
+    };
     let slots = flags.get_parsed_or("slots", 256usize)?;
     let seed = flags.get_parsed_or("seed", 0u64)?;
     if slots == 0 {
@@ -117,6 +149,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         (None, None) => ServerState::in_memory(SketchStore::new(sketch_config), config),
     };
 
+    // Install the slow-op sink after the data dir exists (recovery
+    // above creates it in durable mode).
+    if slow_op_ms > 0 {
+        if let Some(path) = &slow_op_log {
+            streamlink_core::trace::install_slow_op_log(path, slow_op_log_bytes)
+                .map_err(|e| format!("cannot open slow-op log {}: {e}", path.display()))?;
+            eprintln!(
+                "slow-op log: {} (threshold {slow_op_ms} ms, rotate past {slow_op_log_bytes} \
+                 bytes)",
+                path.display()
+            );
+        }
+    }
+
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     signals::install();
     let local = listener.local_addr().map_or(addr, |a| a.to_string());
@@ -124,7 +170,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     eprintln!(
         "serving {} vertices on {local} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, \
-         DEGREE u, INSERT u v, STATS, METRICS, QUIT)",
+         DEGREE u, INSERT u v, STATS, METRICS, TRACE [n], HEALTH, QUIT)",
         state.read_store().vertex_count(),
     );
     let state = Arc::new(state);
@@ -292,5 +338,9 @@ mod tests {
         assert!(run(&argv(&["--fsync", "sometimes"])).is_err());
         assert!(run(&argv(&["--data-dir", "/tmp/x", "--snapshot", "/tmp/y"])).is_err());
         assert!(run(&argv(&["--idle-timeout-ms", "soon"])).is_err());
+        assert!(run(&argv(&["--slow-op-ms", "fast"])).is_err());
+        assert!(run(&argv(&["--slow-op-log-bytes", "0"])).is_err());
+        assert!(run(&argv(&["--audit-secs", "later"])).is_err());
+        assert!(run(&argv(&["--audit-pairs", "0"])).is_err());
     }
 }

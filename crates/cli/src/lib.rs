@@ -73,8 +73,12 @@ USAGE:
   streamlink serve    [--data-dir DIR | --snapshot <file.json>] [--addr HOST:PORT] [--slots N]
                       [--fsync always|interval|never] [--max-conns N] [--idle-timeout-ms MS]
                       [--drain-secs S] [--snapshot-every-secs S] [--snapshot-every-edges N]
-                      [--snapshot-keep K]
+                      [--snapshot-keep K] [--slow-op-ms MS] [--slow-op-log PATH]
+                      [--audit-secs S] [--audit-pairs K]
   streamlink scrub    --data-dir DIR [--repair] [--metrics-out <file.json>]
+
+Batch commands (ingest/query/evaluate/scrub) also accept --metrics-out <file.json>
+and --trace-out <file.json> to export the metrics registry and trace ring.
   streamlink convert  --input <file> --out <file> [--format csv|bin|compact]
   streamlink recommend --snapshot <file.json> --vertex V [--k N] [--measure aa] [--bands B] [--rows R]"
     );

@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use graphstream::VertexId;
 use streamlink_core::journal::JournalEntry;
-use streamlink_core::SketchStore;
+use streamlink_core::{AccuracyAuditor, AuditConfig, AuditSnapshot, SketchStore};
 
 use persistence::Persist;
 
@@ -69,6 +69,11 @@ pub struct ServerConfig {
     pub snapshot_keep: usize,
     /// Log a one-line metrics summary this often (zero disables).
     pub metrics_log_every: Duration,
+    /// Run an accuracy-audit cycle this often (zero disables the
+    /// auditor entirely — no shadow tracking, no background thread).
+    pub audit_interval: Duration,
+    /// Vertex pairs scored per audit cycle.
+    pub audit_pairs: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +86,8 @@ impl Default for ServerConfig {
             snapshot_every_edges: 50_000,
             snapshot_keep: streamlink_core::DEFAULT_SNAPSHOT_KEEP,
             metrics_log_every: Duration::from_secs(60),
+            audit_interval: Duration::from_secs(30),
+            audit_pairs: 64,
         }
     }
 }
@@ -99,6 +106,11 @@ pub struct ServerState {
     active: AtomicUsize,
     last_snapshot_seq: AtomicU64,
     local_shutdown: AtomicBool,
+    /// Online accuracy auditor (`None` when `audit_interval` is zero).
+    /// Lock order: the store lock is always taken before the auditor's
+    /// internal lock — both the insert path (write store → observe) and
+    /// the audit cycle (read store → score) follow it.
+    auditor: Option<AccuracyAuditor>,
 }
 
 impl ServerState {
@@ -127,6 +139,8 @@ impl ServerState {
         snapshot_seq: u64,
         config: ServerConfig,
     ) -> Self {
+        let auditor = (!config.audit_interval.is_zero())
+            .then(|| AccuracyAuditor::new(AuditConfig::default()));
         ServerState {
             store: RwLock::new(store),
             persist: persist.map(Mutex::new),
@@ -135,6 +149,7 @@ impl ServerState {
             active: AtomicUsize::new(0),
             last_snapshot_seq: AtomicU64::new(snapshot_seq),
             local_shutdown: AtomicBool::new(false),
+            auditor,
         }
     }
 
@@ -177,13 +192,35 @@ impl ServerState {
     /// (un-acked) edge is never half-applied, and the server keeps
     /// serving reads.
     pub fn insert_edge(&self, u: VertexId, v: VertexId) -> io::Result<()> {
+        // Cheap hash check first: only audited edges pay for the two
+        // pre-insert degree lookups and the auditor lock.
+        let audit = self.auditor.as_ref().filter(|a| a.wants(u) || a.wants(v));
         let mut store = self.write_store();
+        let degrees_before = audit.map(|_| (store.degree(u), store.degree(v)));
         if let Some(mut persist) = self.persist_guard() {
             let seq = persist.journal.next_seq();
             persist.journal.append(JournalEntry { seq, u, v })?;
         }
         store.insert_edge(u, v);
+        if let (Some(a), Some((du, dv))) = (audit, degrees_before) {
+            a.observe_edge(u, v, du, dv);
+        }
         Ok(())
+    }
+
+    /// The auditor's current rolling error state, if auditing is on.
+    #[must_use]
+    pub fn audit_snapshot(&self) -> Option<AuditSnapshot> {
+        self.auditor.as_ref().map(AccuracyAuditor::snapshot)
+    }
+
+    /// Runs one accuracy-audit cycle against the live store (the
+    /// background audit thread's body; public so tests and tools can
+    /// force a cycle). `None` when auditing is disabled.
+    pub fn run_audit_cycle(&self) -> Option<AuditSnapshot> {
+        let auditor = self.auditor.as_ref()?;
+        let store = self.read_store();
+        Some(auditor.run_cycle(&store, self.config.audit_pairs))
     }
 
     /// Whether shutdown was requested, by signal or programmatically.
@@ -254,6 +291,16 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     } else {
         None
     };
+    let audit_thread = if state.auditor.is_some() && !state.config.audit_interval.is_zero() {
+        let st = Arc::clone(state);
+        Some(
+            thread::Builder::new()
+                .name("auditor".into())
+                .spawn(move || audit_loop(&st))?,
+        )
+    } else {
+        None
+    };
 
     let mut last_metrics_log = Instant::now();
     while !state.shutdown_requested() {
@@ -307,6 +354,9 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     if let Some(handle) = checkpointer {
         let _ = handle.join();
     }
+    if let Some(handle) = audit_thread {
+        let _ = handle.join();
+    }
     if state.persist.is_some() {
         let report = persistence::checkpoint_now(state)?;
         eprintln!(
@@ -315,6 +365,19 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
         );
     }
     Ok(())
+}
+
+/// The accuracy-audit thread body: one cycle per `audit_interval`,
+/// polling the shutdown flag between sleeps so draining stays prompt.
+fn audit_loop(state: &ServerState) {
+    let mut last = Instant::now();
+    while !state.shutdown_requested() {
+        if last.elapsed() >= state.config.audit_interval {
+            last = Instant::now();
+            let _ = state.run_audit_cycle();
+        }
+        thread::sleep(POLL_INTERVAL);
+    }
 }
 
 /// Rejects a connection past the cap: one `ERR busy retry` line with a
@@ -347,9 +410,12 @@ fn metrics_log_line(state: &ServerState) -> String {
         .histogram("server.command_latency_ns")
         .copied()
         .unwrap_or_default();
+    let audit = state.audit_snapshot().unwrap_or_default();
     format!(
         "metrics: edges={} commands={} errors={} conns={} shed={} \
-         journal_lag={} insert_p99_ns={} cmd_p50_ns={} cmd_p99_ns={}",
+         journal_lag={} insert_p99_ns={} cmd_p50_ns={} cmd_p99_ns={} \
+         slow_ops={} audit_cycles={} audit_tracked={} \
+         audit_jaccard_mae={:.6} audit_cn_rel_err_p95={:.6}",
         snap.value("core.insert.edges").unwrap_or(0),
         snap.value("server.commands").unwrap_or(0),
         snap.value("server.command_errors").unwrap_or(0),
@@ -359,5 +425,10 @@ fn metrics_log_line(state: &ServerState) -> String {
         insert.p99_ns,
         cmd.p50_ns,
         cmd.p99_ns,
+        snap.value("trace.slow_ops").unwrap_or(0),
+        audit.cycles,
+        audit.tracked,
+        audit.jaccard_mae,
+        audit.cn_rel_err_p95,
     )
 }

@@ -15,6 +15,15 @@
 //!                                scrub_last_exit=<code>   (one line)
 //! METRICS                  -> one key=value line per exported metric,
 //!                             terminated by `OK <n> metrics`
+//! TRACE [N]                -> newest N (default 16) completed trace
+//!                             spans, one line each, terminated by
+//!                             `OK <n> spans`
+//! HEALTH                   -> OK audit_cycles=<n> audit_pairs=<n>
+//!                                tracked_vertices=<n> jaccard_mae=<f>
+//!                                cn_rel_err_p95=<f> aa_mae=<f>
+//!                                slow_ops=<n> spans_recorded=<n>
+//!                                slow_op_threshold_ms=<n>
+//!                                uptime_secs=<s>   (one line)
 //! PING                     -> OK pong
 //! QUIT                     -> OK bye (closes the connection)
 //! anything else            -> ERR <reason>
@@ -31,10 +40,16 @@
 //! [`streamlink_core::metrics`] registry, one `key=value` per line (see
 //! `docs/OPERATIONS.md` §8 for the key catalogue). Clients read until
 //! the `OK` line.
+//!
+//! `TRACE` and `HEALTH` surface the [`streamlink_core::trace`] ring and
+//! the [`streamlink_core::audit`] rolling error state (§9): `TRACE`
+//! answers "where did recent requests spend their time", `HEALTH`
+//! answers "are the sketches still inside their error envelope". Both
+//! follow the same CRLF/case tolerance as every other command.
 
 use graphstream::VertexId;
 use linkpred::Measure;
-use streamlink_core::metrics;
+use streamlink_core::{metrics, trace};
 
 use super::ServerState;
 
@@ -49,8 +64,11 @@ use super::ServerState;
 #[must_use]
 pub fn handle_command(state: &ServerState, line: &str) -> String {
     let m = metrics::global();
+    // The trace span covers exactly what the latency histogram covers,
+    // so a slow-op line and a histogram tail sample always agree.
+    let t = trace::op(command_span_name(line));
     let start = std::time::Instant::now();
-    let response = execute(state, line);
+    let response = execute(state, line, &t);
     m.server_commands.incr();
     if response.starts_with("ERR") {
         m.server_command_errors.incr();
@@ -59,7 +77,26 @@ pub fn handle_command(state: &ServerState, line: &str) -> String {
     response
 }
 
-fn execute(state: &ServerState, line: &str) -> String {
+/// Static span name for a command line (span names must be `&'static`).
+fn command_span_name(line: &str) -> &'static str {
+    let Some(word) = line.split_whitespace().next() else {
+        return "cmd.other";
+    };
+    match word.to_ascii_uppercase().as_str() {
+        "INSERT" => "cmd.insert",
+        "JACCARD" | "CN" | "AA" | "RA" | "PA" | "COSINE" | "OVERLAP" => "cmd.query",
+        "DEGREE" => "cmd.degree",
+        "STATS" => "cmd.stats",
+        "METRICS" => "cmd.metrics",
+        "TRACE" => "cmd.trace",
+        "HEALTH" => "cmd.health",
+        "PING" => "cmd.ping",
+        "QUIT" => "cmd.quit",
+        _ => "cmd.other",
+    }
+}
+
+fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
     // Telnet/netcat clients terminate lines with `\r\n`, and humans pad
     // with spaces; `split_whitespace` treats `\r`, tabs, and padding as
     // separators, so both parse like the bare command.
@@ -117,11 +154,74 @@ fn execute(state: &ServerState, line: &str) -> String {
             let snapshot = m.snapshot();
             format!("{}\nOK {} metrics", snapshot.render_text(), snapshot.len())
         }
+        "TRACE" => {
+            let n = match args.as_slice() {
+                [] => 16,
+                [raw] => match raw.parse::<usize>() {
+                    Ok(n) if n >= 1 => n.min(trace::RING_CAPACITY),
+                    _ => {
+                        return format!(
+                            "ERR TRACE count must be 1..={}, got {raw:?}",
+                            trace::RING_CAPACITY
+                        )
+                    }
+                },
+                _ => return "ERR TRACE takes at most one count".into(),
+            };
+            let spans = trace::recent(n);
+            let mut out = String::new();
+            for span in &spans {
+                out.push_str(&span.render_line());
+                out.push('\n');
+            }
+            out.push_str(&format!("OK {} spans", spans.len()));
+            out
+        }
+        "HEALTH" => {
+            if !args.is_empty() {
+                return "ERR HEALTH takes no arguments".into();
+            }
+            let m = metrics::global();
+            // Prefer the auditor's live rolling state; a server without
+            // an auditor (in-memory, audit disabled) reports the last
+            // published gauges, which stay at zero.
+            let (cycles, pairs, tracked, j_mae, cn_p95, aa_mae) = match state.audit_snapshot() {
+                Some(s) => (
+                    s.cycles,
+                    s.pairs_evaluated,
+                    s.tracked as u64,
+                    s.jaccard_mae,
+                    s.cn_rel_err_p95,
+                    s.aa_mae,
+                ),
+                None => (
+                    m.audit_cycles.get(),
+                    m.audit_pairs.get(),
+                    m.audit_tracked_vertices.get(),
+                    m.audit_jaccard_mae_ppm.get() as f64 / 1e6,
+                    m.audit_cn_rel_err_p95_ppm.get() as f64 / 1e6,
+                    m.audit_aa_mae_ppm.get() as f64 / 1e6,
+                ),
+            };
+            format!(
+                "OK audit_cycles={cycles} audit_pairs={pairs} \
+                 tracked_vertices={tracked} jaccard_mae={j_mae:.6} \
+                 cn_rel_err_p95={cn_p95:.6} aa_mae={aa_mae:.6} \
+                 slow_ops={} spans_recorded={} slow_op_threshold_ms={} \
+                 uptime_secs={}",
+                m.trace_slow_ops.get(),
+                trace::spans_recorded(),
+                trace::slow_op_threshold_ns() / 1_000_000,
+                state.uptime_secs(),
+            )
+        }
         "DEGREE" => match args.as_slice() {
             [raw] => match parse_vertex(raw) {
                 Ok(v) => {
                     metrics::global().server_queries.incr();
-                    format!("OK {}", state.read_store().degree(v))
+                    let d = state.read_store().degree(v);
+                    t.note_degree(d);
+                    format!("OK {d}")
                 }
                 Err(e) => format!("ERR {e}"),
             },
@@ -131,6 +231,8 @@ fn execute(state: &ServerState, line: &str) -> String {
             Ok((u, v)) => match state.insert_edge(u, v) {
                 Ok(()) => {
                     metrics::global().server_inserts.incr();
+                    let guard = state.read_store();
+                    t.note_degree(guard.degree(u).max(guard.degree(v)));
                     "OK inserted".into()
                 }
                 // Not acked: the edge was neither journaled nor applied.
@@ -152,6 +254,7 @@ fn execute(state: &ServerState, line: &str) -> String {
                 Ok((u, v)) => {
                     metrics::global().server_queries.incr();
                     let guard = state.read_store();
+                    t.note_degree(guard.degree(u).max(guard.degree(v)));
                     let score = match measure {
                         Measure::Jaccard => guard.jaccard(u, v),
                         Measure::CommonNeighbors => guard.common_neighbors(u, v),
@@ -344,6 +447,112 @@ mod tests {
         assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
         assert_eq!(find("server.connections_active"), 0);
         assert_eq!(find("journal.lag_edges"), 0);
+    }
+
+    #[test]
+    fn trace_returns_span_lines_with_ok_terminator() {
+        let s = state();
+        // Generate traced traffic first.
+        let _ = handle_command(&s, "JACCARD 0 1");
+        let _ = handle_command(&s, "INSERT 7 8");
+        let response = handle_command(&s, "TRACE 8");
+        let lines: Vec<&str> = response.lines().collect();
+        let last = lines.last().unwrap();
+        assert!(
+            last.starts_with("OK ") && last.ends_with(" spans"),
+            "terminator: {last}"
+        );
+        let announced: usize = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(lines.len() - 1, announced, "count must match body");
+        assert!(announced >= 1, "previous commands must have left spans");
+        for line in &lines[..lines.len() - 1] {
+            assert!(line.contains("seq="), "{line}");
+            assert!(line.contains("op="), "{line}");
+            assert!(line.contains("dur_ns="), "{line}");
+            assert!(line.contains("degree_class="), "{line}");
+        }
+        // The query span carries the degree class of its endpoints.
+        assert!(
+            response.contains("op=cmd.query"),
+            "expected a cmd.query span: {response}"
+        );
+    }
+
+    #[test]
+    fn trace_and_health_are_crlf_and_case_tolerant() {
+        let s = state();
+        let _ = handle_command(&s, "PING");
+        assert!(handle_command(&s, "trace\r").ends_with(" spans"));
+        assert!(handle_command(&s, "  Trace 4  \r").ends_with(" spans"));
+        assert!(handle_command(&s, "health\r").starts_with("OK audit_cycles="));
+        assert!(handle_command(&s, "\tHEALTH\r").starts_with("OK audit_cycles="));
+    }
+
+    #[test]
+    fn trace_and_health_bad_arguments_are_err() {
+        let s = state();
+        assert!(
+            handle_command(&s, "TRACE 0").starts_with("ERR"),
+            "zero count"
+        );
+        assert!(
+            handle_command(&s, "TRACE abc").starts_with("ERR"),
+            "non-numeric"
+        );
+        assert!(
+            handle_command(&s, "TRACE -3").starts_with("ERR"),
+            "negative"
+        );
+        assert!(
+            handle_command(&s, "TRACE 1 2").starts_with("ERR"),
+            "extra args"
+        );
+        assert!(
+            handle_command(&s, "HEALTH now").starts_with("ERR"),
+            "HEALTH args"
+        );
+    }
+
+    #[test]
+    fn trace_caps_requested_count_at_ring_capacity() {
+        let s = state();
+        let response = handle_command(&s, &format!("TRACE {}", trace::RING_CAPACITY * 10));
+        assert!(response.ends_with(" spans"), "{response}");
+    }
+
+    #[test]
+    fn health_reports_parseable_fields() {
+        let s = state();
+        let response = handle_command(&s, "HEALTH");
+        let body = response.strip_prefix("OK ").expect("OK response");
+        let mut keys = Vec::new();
+        for field in body.split_whitespace() {
+            let (k, v) = field.split_once('=').expect("key=value field");
+            keys.push(k);
+            // Error gauges are fixed-precision floats; everything else
+            // is an integer.
+            if k.ends_with("_mae") || k.ends_with("_p95") {
+                let f: f64 = v.parse().unwrap_or_else(|_| panic!("bad float {field}"));
+                assert!(f >= 0.0, "{field}");
+            } else {
+                v.parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad integer {field}"));
+            }
+        }
+        for expect in [
+            "audit_cycles",
+            "audit_pairs",
+            "tracked_vertices",
+            "jaccard_mae",
+            "cn_rel_err_p95",
+            "aa_mae",
+            "slow_ops",
+            "spans_recorded",
+            "slow_op_threshold_ms",
+            "uptime_secs",
+        ] {
+            assert!(keys.contains(&expect), "missing {expect} in {response}");
+        }
     }
 
     #[test]

@@ -44,7 +44,8 @@ fn parse_metrics(response: &str) -> std::collections::HashMap<String, u64> {
 }
 
 /// Asserts every histogram in a parsed snapshot reports ordered
-/// percentiles (p50 ≤ p95 ≤ p99 ≤ max when non-empty).
+/// percentiles (p50 ≤ p95 ≤ p99 ≤ p999 ≤ max when non-empty) and that
+/// its per-bucket lines sum back to the recorded count.
 fn assert_percentiles_ordered(m: &std::collections::HashMap<String, u64>) {
     for (key, &count) in m {
         let Some(base) = key.strip_suffix(".count") else {
@@ -54,9 +55,22 @@ fn assert_percentiles_ordered(m: &std::collections::HashMap<String, u64>) {
             continue;
         }
         let get = |s: &str| m[&format!("{base}.{s}")];
-        let (p50, p95, p99) = (get("p50"), get("p95"), get("p99"));
+        let (p50, p95, p99, p999) = (get("p50"), get("p95"), get("p99"), get("p999"));
         assert!(p50 <= p95 && p95 <= p99, "{base}: {p50} > {p95} > {p99}?");
-        assert!(p99 <= get("max").max(p99), "{base}: p99 above max bucket");
+        assert!(p99 <= p999, "{base}: p99 {p99} above p999 {p999}");
+        assert!(
+            p999 <= get("max").max(p999),
+            "{base}: p999 above max bucket"
+        );
+        let bucket_sum: u64 = m
+            .iter()
+            .filter(|(k, _)| {
+                k.strip_prefix(base)
+                    .is_some_and(|rest| rest.starts_with(".bucket_le_"))
+            })
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(bucket_sum, count, "{base}: bucket counts vs count");
     }
 }
 

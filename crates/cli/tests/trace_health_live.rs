@@ -1,0 +1,218 @@
+//! Live tracing + audit tests over a real `streamlink serve` process.
+//!
+//! Drives the TCP line protocol end to end: ingests a stationary
+//! overlapping-neighborhood stream, waits for the background auditor to
+//! complete a cycle, and checks that `HEALTH` reports sane rolling
+//! error gauges, that `TRACE` returns well-formed span lines, and that
+//! the slow-op log is installed at its default data-dir path.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A `streamlink serve` child that is killed on drop.
+struct ServeChild(Child);
+
+impl Drop for ServeChild {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+struct Session {
+    reader: BufReader<TcpStream>,
+    conn: TcpStream,
+}
+
+impl Session {
+    fn send(&mut self, command: &str) -> String {
+        writeln!(self.conn, "{command}").expect("write command");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        line.trim_end().to_string()
+    }
+
+    /// Sends a multi-line command and reads until the `OK ...` line.
+    fn send_multiline(&mut self, command: &str) -> Vec<String> {
+        writeln!(self.conn, "{command}").expect("write command");
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            assert!(
+                self.reader.read_line(&mut line).expect("read line") > 0,
+                "EOF mid-response to {command:?}"
+            );
+            let trimmed = line.trim_end().to_string();
+            let done = trimmed.starts_with("OK ") || trimmed.starts_with("ERR");
+            lines.push(trimmed);
+            if done {
+                break;
+            }
+        }
+        lines
+    }
+}
+
+fn spawn_server(data_dir: &std::path::Path) -> (ServeChild, Session) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_streamlink"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--slots",
+            "256",
+            "--data-dir",
+            data_dir.to_str().unwrap(),
+            "--fsync",
+            "never",
+            "--audit-secs",
+            "1",
+            "--audit-pairs",
+            "32",
+            "--slow-op-ms",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn streamlink serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let child = ServeChild(child);
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        match lines.next() {
+            Some(Ok(line)) => {
+                if let Some(a) = line.strip_prefix("LISTENING ") {
+                    break a.to_string();
+                }
+            }
+            _ => panic!("server exited before LISTENING"),
+        }
+    };
+    let conn = TcpStream::connect(&addr).expect("connect");
+    conn.set_nodelay(true).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = BufReader::new(conn.try_clone().unwrap());
+    (child, Session { reader, conn })
+}
+
+/// Parses the single-line `HEALTH` reply into its key=value fields.
+fn parse_health(reply: &str) -> HashMap<String, String> {
+    let body = reply.strip_prefix("OK ").expect("HEALTH reply is OK");
+    body.split_whitespace()
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').expect("key=value field");
+            (k.to_string(), v.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn health_and_trace_work_over_live_tcp_session() {
+    let data_dir =
+        std::env::temp_dir().join(format!("streamlink-trace-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let (child, mut session) = spawn_server(&data_dir);
+
+    // Stationary stream with heavy neighborhood overlap: consecutive
+    // hubs share 15 of their 20 neighbors, so exact Jaccard is high and
+    // the k=256 sketch estimate should track it closely.
+    for hub in 0u64..120 {
+        for j in 0u64..20 {
+            let neighbor = 10_000 + hub * 5 + j;
+            let reply = session.send(&format!("INSERT {hub} {neighbor}"));
+            assert!(reply.starts_with("OK"), "insert reply: {reply}");
+        }
+    }
+
+    // Wait for the 1 s background auditor to complete at least one
+    // cycle that actually scored pairs.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let health = loop {
+        let fields = parse_health(&session.send("HEALTH"));
+        let cycles: u64 = fields["audit_cycles"].parse().expect("audit_cycles u64");
+        let pairs: u64 = fields["audit_pairs"].parse().expect("audit_pairs u64");
+        if cycles >= 1 && pairs >= 1 {
+            break fields;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "auditor never completed a cycle; last HEALTH: {fields:?}"
+        );
+        std::thread::sleep(Duration::from_millis(200));
+    };
+
+    // Every advertised field is present and typed as expected.
+    for key in [
+        "audit_cycles",
+        "audit_pairs",
+        "tracked_vertices",
+        "slow_ops",
+        "spans_recorded",
+        "slow_op_threshold_ms",
+        "uptime_secs",
+    ] {
+        health[key].parse::<u64>().unwrap_or_else(|_| {
+            panic!("HEALTH field {key}={:?} is not a u64", health[key]);
+        });
+    }
+    for key in ["jaccard_mae", "cn_rel_err_p95", "aa_mae"] {
+        let v: f64 = health[key]
+            .parse()
+            .unwrap_or_else(|_| panic!("HEALTH field {key}={:?} is not an f64", health[key]));
+        assert!(v.is_finite() && v >= 0.0, "{key}={v} out of range");
+    }
+    // Sketch-vs-exact Jaccard error on a stationary stream with k=256
+    // slots: the offline E2 accuracy envelope at this k is ~0.06 MAE,
+    // so 2× that plus small-sample slack stays well under 0.25.
+    let mae: f64 = health["jaccard_mae"].parse().unwrap();
+    assert!(mae <= 0.25, "audit jaccard_mae {mae} outside 2x envelope");
+    assert_eq!(health["slow_op_threshold_ms"], "1");
+
+    // TRACE returns well-formed span lines for the command roots above.
+    let trace = session.send_multiline("trace 5\r");
+    let terminator = trace.last().expect("nonempty TRACE reply");
+    assert!(
+        terminator.starts_with("OK ") && terminator.ends_with(" spans"),
+        "bad TRACE terminator: {terminator:?}"
+    );
+    let announced: usize = terminator
+        .split_whitespace()
+        .nth(1)
+        .and_then(|n| n.parse().ok())
+        .expect("span count in terminator");
+    assert_eq!(announced, 5);
+    assert_eq!(trace.len(), announced + 1);
+    for span in &trace[..announced] {
+        for field in ["seq=", "op=", "dur_ns=", "degree_class=", "parent="] {
+            assert!(span.contains(field), "span line missing {field}: {span:?}");
+        }
+    }
+    // The most recent roots are the HEALTH polls and INSERTs above, so
+    // at least one command span must be visible.
+    assert!(
+        trace[..announced].iter().any(|s| s.contains("op=cmd.")),
+        "no command root span in TRACE output: {trace:?}"
+    );
+
+    // The slow-op log is installed at its default data-dir path, and
+    // anything it has captured is valid single-line JSON.
+    let slowops = data_dir.join("slowops.jsonl");
+    assert!(slowops.exists(), "slowops.jsonl not installed in data dir");
+    let contents = std::fs::read_to_string(&slowops).expect("read slowops.jsonl");
+    for line in contents.lines() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("slow-op line is not JSON ({e}): {line:?}"));
+        assert!(v.get("op").and_then(|o| o.as_str()).is_some());
+        assert!(v.get("dur_ns").and_then(|d| d.as_u64()).is_some());
+    }
+
+    let bye = session.send("QUIT");
+    assert_eq!(bye, "OK bye");
+    drop(child);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}

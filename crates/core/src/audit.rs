@@ -1,0 +1,537 @@
+//! Online sketch-health auditing: exact-vs-estimate error tracking on a
+//! live store.
+//!
+//! The offline experiments (E2 `exp_accuracy`) prove the `(ε, δ)`
+//! guarantee on a frozen dataset; this module makes estimator accuracy a
+//! *continuously observed* signal on a deployment, following gSketch's
+//! observation that graph-stream estimation error is workload-dependent.
+//!
+//! ## How exactness is possible in constant-ish space
+//!
+//! The [`crate::SketchStore`] deliberately keeps no adjacency lists —
+//! that is the paper's whole point. The auditor therefore maintains a
+//! bounded **shadow adjacency** for a hash-sampled subset of vertices
+//! (default 1-in-32, [`AuditConfig::vertex_sample_shift`]). A vertex is
+//! eligible only if the auditor saw its *entire* history: it must be
+//! first observed with a pre-insert degree of 0. Vertices that appear
+//! mid-stream (e.g. after snapshot recovery, where the sketch exists but
+//! the edges are gone) are *burned* — permanently ineligible — so the
+//! "exact" side is never silently wrong. Saturated vertices (shadow set
+//! past [`AuditConfig::max_neighbors`]) are evicted and burned too.
+//!
+//! ## The cycle
+//!
+//! [`AccuracyAuditor::run_cycle`] draws up to K random pairs of tracked
+//! vertices, computes exact Jaccard / common-neighbors / Adamic–Adar
+//! from the shadow sets (AA degrees come from the store's exact degree
+//! counters — the same source the estimator scales by), computes the
+//! sketch estimates side by side, and pushes the errors into rolling
+//! windows. It then publishes:
+//!
+//! * `audit.jaccard_mae_ppm` — mean absolute Jaccard error × 10⁶
+//! * `audit.cn_rel_err_p95_ppm` — p95 relative CN error × 10⁶
+//! * `audit.aa_mae_ppm` — mean absolute AA error × 10⁶
+//! * `audit.tracked_vertices`, `audit.cycles`, `audit.pairs`
+//!
+//! Gauges are fixed-point parts-per-million because the metrics registry
+//! is integer-only; the `HEALTH` protocol command renders them back as
+//! floats. On a stationary stream the rolling Jaccard MAE should sit
+//! within the offline Hoeffding envelope for the deployed `k`
+//! ([`crate::AccuracyPlan`]); a sustained excursion past ~2× is the
+//! alert condition (OPERATIONS.md §9).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use graphstream::VertexId;
+use hashkit::mix64;
+
+use crate::store::SketchStore;
+
+/// Tuning knobs for the [`AccuracyAuditor`].
+#[derive(Debug, Clone, Copy)]
+pub struct AuditConfig {
+    /// Sample 1-in-2^shift vertices into the shadow adjacency
+    /// (default 5 → 1/32, which keeps the audited-ingest overhead
+    /// inside the E21 budget). Shift 0 tracks every vertex (tests).
+    pub vertex_sample_shift: u32,
+    /// Hard cap on simultaneously tracked vertices (default 4096).
+    pub max_tracked: usize,
+    /// Shadow neighbor-set size past which a vertex is evicted and
+    /// burned (default 4096) — bounds worst-case memory at
+    /// `max_tracked × max_neighbors` words.
+    pub max_neighbors: usize,
+    /// Rolling error-window length in samples (default 1024).
+    pub window: usize,
+    /// Seed for the sampling hash and the pair-drawing RNG.
+    pub seed: u64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            vertex_sample_shift: 5,
+            max_tracked: 4096,
+            max_neighbors: 4096,
+            window: 1024,
+            seed: 0x000A_0D17,
+        }
+    }
+}
+
+/// Rolling audit state, published after each [`AccuracyAuditor::run_cycle`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AuditSnapshot {
+    /// Completed audit cycles.
+    pub cycles: u64,
+    /// Vertex pairs evaluated in total.
+    pub pairs_evaluated: u64,
+    /// Currently tracked (fully-observed) vertices.
+    pub tracked: usize,
+    /// Vertices permanently excluded (incomplete history or evicted).
+    pub burned: usize,
+    /// Rolling mean absolute Jaccard error.
+    pub jaccard_mae: f64,
+    /// Rolling p95 relative common-neighbors error.
+    pub cn_rel_err_p95: f64,
+    /// Rolling mean absolute Adamic–Adar error.
+    pub aa_mae: f64,
+}
+
+struct Windows {
+    jaccard_abs: VecDeque<f64>,
+    cn_rel: VecDeque<f64>,
+    aa_abs: VecDeque<f64>,
+}
+
+struct Inner {
+    tracked: HashMap<u64, HashSet<u64>>,
+    burned: HashSet<u64>,
+    windows: Windows,
+    rng_state: u64,
+    cycles: u64,
+    pairs_evaluated: u64,
+}
+
+/// Background accuracy auditor: a bounded shadow adjacency over a
+/// hash-sampled vertex subset plus rolling exact-vs-estimate error
+/// windows. Shared by the ingest path (`observe_edge`) and the audit
+/// thread (`run_cycle`); one short mutex holds the shadow state.
+pub struct AccuracyAuditor {
+    config: AuditConfig,
+    mask: u64,
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl AccuracyAuditor {
+    /// Creates an auditor with the given knobs.
+    #[must_use]
+    pub fn new(config: AuditConfig) -> Self {
+        let mask = (1u64 << config.vertex_sample_shift.min(63)) - 1;
+        Self {
+            config,
+            mask,
+            enabled: AtomicBool::new(true),
+            inner: Mutex::new(Inner {
+                tracked: HashMap::new(),
+                burned: HashSet::new(),
+                windows: Windows {
+                    jaccard_abs: VecDeque::new(),
+                    cn_rel: VecDeque::new(),
+                    aa_abs: VecDeque::new(),
+                },
+                rng_state: config.seed ^ 0x5EED_CAFE,
+                cycles: 0,
+                pairs_evaluated: 0,
+            }),
+        }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &AuditConfig {
+        &self.config
+    }
+
+    /// Turns edge observation and cycles on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Lock-free sampling hint: whether `v` falls in the audited hash
+    /// slice. The ingest path checks this *before* paying for degree
+    /// lookups or the shadow-state lock.
+    #[inline]
+    #[must_use]
+    pub fn wants(&self, v: VertexId) -> bool {
+        self.enabled.load(Ordering::Relaxed) && mix64(v.0 ^ self.config.seed) & self.mask == 0
+    }
+
+    /// Feeds one accepted edge into the shadow adjacency. Callers pass
+    /// the *pre-insert* store degrees of both endpoints; an endpoint is
+    /// only ever tracked if its first observation has degree 0, which
+    /// guarantees the shadow set is its complete neighborhood.
+    ///
+    /// Call only when [`Self::wants`] is true for at least one
+    /// endpoint; the other endpoint is ignored unless it is also
+    /// sampled.
+    pub fn observe_edge(&self, u: VertexId, v: VertexId, du_before: u64, dv_before: u64) {
+        if !self.enabled.load(Ordering::Relaxed) || u == v {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if self.wants(u) {
+            Self::observe_endpoint(&self.config, &mut inner, u.0, v.0, du_before);
+        }
+        if self.wants(v) {
+            Self::observe_endpoint(&self.config, &mut inner, v.0, u.0, dv_before);
+        }
+    }
+
+    fn observe_endpoint(
+        config: &AuditConfig,
+        inner: &mut Inner,
+        vertex: u64,
+        neighbor: u64,
+        degree_before: u64,
+    ) {
+        if inner.burned.contains(&vertex) {
+            return;
+        }
+        if let Some(set) = inner.tracked.get_mut(&vertex) {
+            set.insert(neighbor);
+            if set.len() > config.max_neighbors {
+                inner.tracked.remove(&vertex);
+                inner.burned.insert(vertex);
+            }
+            return;
+        }
+        if degree_before == 0 && inner.tracked.len() < config.max_tracked {
+            let mut set = HashSet::new();
+            set.insert(neighbor);
+            inner.tracked.insert(vertex, set);
+        } else {
+            // Joined mid-stream (or no room): the shadow set could
+            // never be complete, so exact values would be wrong.
+            inner.burned.insert(vertex);
+        }
+    }
+
+    /// Draws up to `pairs` random tracked-vertex pairs, scores exact vs
+    /// sketch estimates, updates the rolling windows, publishes gauges
+    /// into the global metrics registry, and returns the new snapshot.
+    ///
+    /// Cheap no-op (returns the current snapshot) with fewer than two
+    /// tracked vertices.
+    pub fn run_cycle(&self, store: &SketchStore, pairs: usize) -> AuditSnapshot {
+        let m = crate::metrics::global();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let keys: Vec<u64> = inner.tracked.keys().copied().collect();
+        if keys.len() >= 2 && self.enabled.load(Ordering::Relaxed) {
+            let window = self.config.window.max(1);
+            for _ in 0..pairs {
+                let a = keys[Self::next_index(&mut inner.rng_state, keys.len())];
+                let b = keys[Self::next_index(&mut inner.rng_state, keys.len())];
+                if a == b {
+                    continue;
+                }
+                let Some(scored) = Self::score_pair(store, &inner.tracked, a, b) else {
+                    continue;
+                };
+                let w = &mut inner.windows;
+                push_capped(&mut w.jaccard_abs, scored.jaccard_abs, window);
+                push_capped(&mut w.cn_rel, scored.cn_rel, window);
+                push_capped(&mut w.aa_abs, scored.aa_abs, window);
+                inner.pairs_evaluated += 1;
+                m.audit_pairs.incr();
+            }
+            inner.cycles += 1;
+            m.audit_cycles.incr();
+        }
+        let snap = AuditSnapshot {
+            cycles: inner.cycles,
+            pairs_evaluated: inner.pairs_evaluated,
+            tracked: inner.tracked.len(),
+            burned: inner.burned.len(),
+            jaccard_mae: mean(&inner.windows.jaccard_abs),
+            cn_rel_err_p95: p95(&inner.windows.cn_rel),
+            aa_mae: mean(&inner.windows.aa_abs),
+        };
+        drop(inner);
+        m.audit_tracked_vertices.set(snap.tracked as u64);
+        m.audit_jaccard_mae_ppm.set(to_ppm(snap.jaccard_mae));
+        m.audit_cn_rel_err_p95_ppm.set(to_ppm(snap.cn_rel_err_p95));
+        m.audit_aa_mae_ppm.set(to_ppm(snap.aa_mae));
+        snap
+    }
+
+    /// The current rolling state without drawing new pairs.
+    #[must_use]
+    pub fn snapshot(&self) -> AuditSnapshot {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        AuditSnapshot {
+            cycles: inner.cycles,
+            pairs_evaluated: inner.pairs_evaluated,
+            tracked: inner.tracked.len(),
+            burned: inner.burned.len(),
+            jaccard_mae: mean(&inner.windows.jaccard_abs),
+            cn_rel_err_p95: p95(&inner.windows.cn_rel),
+            aa_mae: mean(&inner.windows.aa_abs),
+        }
+    }
+
+    fn score_pair(
+        store: &SketchStore,
+        tracked: &HashMap<u64, HashSet<u64>>,
+        a: u64,
+        b: u64,
+    ) -> Option<PairErrors> {
+        let (na, nb) = (tracked.get(&a)?, tracked.get(&b)?);
+        let inter: Vec<u64> = na.intersection(nb).copied().collect();
+        let union = na.len() + nb.len() - inter.len();
+        let exact_j = if union == 0 {
+            0.0
+        } else {
+            inter.len() as f64 / union as f64
+        };
+        let exact_cn = inter.len() as f64;
+        // Exact AA uses the store's exact degree counters — the same
+        // degree source the sketch estimator scales by, so the audit
+        // isolates *sampling* error rather than degree-model error.
+        let exact_aa: f64 = inter
+            .iter()
+            .map(|&w| 1.0 / (store.degree(VertexId(w)).max(2) as f64).ln())
+            .sum();
+        let (ua, ub) = (VertexId(a), VertexId(b));
+        let est_j = store.jaccard(ua, ub)?;
+        let est_cn = store.common_neighbors(ua, ub)?;
+        let est_aa = store.adamic_adar(ua, ub)?;
+        Some(PairErrors {
+            jaccard_abs: (est_j - exact_j).abs(),
+            cn_rel: (est_cn - exact_cn).abs() / exact_cn.max(1.0),
+            aa_abs: (est_aa - exact_aa).abs(),
+        })
+    }
+
+    /// SplitMix64 step → uniform index in `[0, len)`. In-repo RNG; the
+    /// core crate takes no `rand` dependency.
+    fn next_index(state: &mut u64, len: usize) -> usize {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (mix64(*state) % len as u64) as usize
+    }
+}
+
+struct PairErrors {
+    jaccard_abs: f64,
+    cn_rel: f64,
+    aa_abs: f64,
+}
+
+fn push_capped(window: &mut VecDeque<f64>, value: f64, cap: usize) {
+    if window.len() == cap {
+        window.pop_front();
+    }
+    window.push_back(value);
+}
+
+fn mean(window: &VecDeque<f64>) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    window.iter().sum::<f64>() / window.len() as f64
+}
+
+fn p95(window: &VecDeque<f64>) -> f64 {
+    if window.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = window.iter().copied().collect();
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64) * 0.95).ceil() as usize;
+    sorted[idx.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Converts a non-negative error to fixed-point parts-per-million for
+/// the integer-only gauge registry (saturating; NaN → 0).
+#[must_use]
+pub fn to_ppm(x: f64) -> u64 {
+    if !x.is_finite() || x <= 0.0 {
+        return 0;
+    }
+    let scaled = x * 1e6;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        scaled as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SketchConfig;
+
+    fn track_all() -> AuditConfig {
+        AuditConfig {
+            vertex_sample_shift: 0,
+            ..AuditConfig::default()
+        }
+    }
+
+    /// Mirrors the server ingest path: degrees before, store insert,
+    /// then observe.
+    fn insert(store: &mut SketchStore, auditor: &AccuracyAuditor, u: u64, v: u64) {
+        let (u, v) = (VertexId(u), VertexId(v));
+        let need = auditor.wants(u) || auditor.wants(v);
+        let (du, dv) = if need {
+            (store.degree(u), store.degree(v))
+        } else {
+            (0, 0)
+        };
+        store.insert_edge(u, v);
+        if need {
+            auditor.observe_edge(u, v, du, dv);
+        }
+    }
+
+    #[test]
+    fn audit_errors_small_on_stationary_overlap() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(256));
+        let auditor = AccuracyAuditor::new(track_all());
+        // Vertices 0 and 1 share neighbors 10..40; each also has 10
+        // private neighbors. True J = 30 / 50 = 0.6.
+        for w in 10u64..40 {
+            insert(&mut store, &auditor, 0, w);
+            insert(&mut store, &auditor, 1, w);
+        }
+        for w in 100u64..110 {
+            insert(&mut store, &auditor, 0, w);
+        }
+        for w in 200u64..210 {
+            insert(&mut store, &auditor, 1, w);
+        }
+        let snap = auditor.run_cycle(&store, 256);
+        assert!(snap.cycles == 1);
+        assert!(snap.pairs_evaluated > 0);
+        assert!(snap.tracked > 2);
+        // k=256 Hoeffding bound at δ=0.01 is ~0.116; the rolling MAE
+        // across many pairs should be comfortably below it.
+        assert!(
+            snap.jaccard_mae < 0.12,
+            "jaccard MAE {} out of envelope",
+            snap.jaccard_mae
+        );
+        assert!(snap.aa_mae.is_finite());
+        assert!(snap.cn_rel_err_p95 >= 0.0);
+    }
+
+    #[test]
+    fn exact_side_matches_ground_truth() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(256));
+        let auditor = AccuracyAuditor::new(track_all());
+        for w in 10u64..14 {
+            insert(&mut store, &auditor, 0, w);
+            insert(&mut store, &auditor, 1, w);
+        }
+        insert(&mut store, &auditor, 0, 99);
+        let inner = auditor.inner.lock().unwrap();
+        let n0 = inner.tracked.get(&0).expect("0 tracked");
+        let n1 = inner.tracked.get(&1).expect("1 tracked");
+        assert_eq!(n0.len(), 5);
+        assert_eq!(n1.len(), 4);
+        assert_eq!(n0.intersection(n1).count(), 4);
+    }
+
+    #[test]
+    fn mid_stream_vertices_are_burned_not_mistracked() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        // First build degree outside the auditor's sight (simulates
+        // snapshot recovery: sketches exist, history lost).
+        store.insert_edge(VertexId(7), VertexId(8));
+        let auditor = AccuracyAuditor::new(track_all());
+        insert(&mut store, &auditor, 7, 9);
+        let snap = auditor.snapshot();
+        let inner = auditor.inner.lock().unwrap();
+        assert!(!inner.tracked.contains_key(&7), "incomplete history");
+        assert!(inner.burned.contains(&7));
+        drop(inner);
+        assert!(snap.tracked <= 2); // 8 was never observed post-create; 9 tracked
+    }
+
+    #[test]
+    fn duplicate_edges_do_not_inflate_shadow_sets() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let auditor = AccuracyAuditor::new(track_all());
+        for _ in 0..5 {
+            insert(&mut store, &auditor, 3, 4);
+        }
+        let inner = auditor.inner.lock().unwrap();
+        assert_eq!(inner.tracked.get(&3).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn saturated_vertices_are_evicted_and_burned() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let config = AuditConfig {
+            vertex_sample_shift: 0,
+            max_neighbors: 8,
+            ..AuditConfig::default()
+        };
+        let auditor = AccuracyAuditor::new(config);
+        for w in 100u64..120 {
+            insert(&mut store, &auditor, 1, w);
+        }
+        let inner = auditor.inner.lock().unwrap();
+        assert!(!inner.tracked.contains_key(&1));
+        assert!(inner.burned.contains(&1));
+    }
+
+    #[test]
+    fn sampling_shift_reduces_tracked_population() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let config = AuditConfig {
+            vertex_sample_shift: 4,
+            ..AuditConfig::default()
+        };
+        let auditor = AccuracyAuditor::new(config);
+        for v in 0u64..2000 {
+            insert(&mut store, &auditor, v, v + 10_000);
+        }
+        let snap = auditor.snapshot();
+        // 4000 distinct vertices at 1/16 ≈ 250 expected; allow wide slack.
+        assert!(snap.tracked > 60, "tracked {}", snap.tracked);
+        assert!(snap.tracked < 1000, "tracked {}", snap.tracked);
+    }
+
+    #[test]
+    fn disabled_auditor_ignores_everything() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let auditor = AccuracyAuditor::new(track_all());
+        auditor.set_enabled(false);
+        assert!(!auditor.wants(VertexId(0)));
+        insert(&mut store, &auditor, 0, 1);
+        auditor.observe_edge(VertexId(0), VertexId(1), 0, 0);
+        assert_eq!(auditor.snapshot().tracked, 0);
+    }
+
+    #[test]
+    fn ppm_conversion_saturates_and_handles_nan() {
+        assert_eq!(to_ppm(0.5), 500_000);
+        assert_eq!(to_ppm(0.0), 0);
+        assert_eq!(to_ppm(f64::NAN), 0);
+        assert_eq!(to_ppm(f64::INFINITY), 0);
+        assert_eq!(to_ppm(1e300), u64::MAX);
+    }
+
+    #[test]
+    fn p95_picks_upper_tail() {
+        let mut w = VecDeque::new();
+        for i in 1..=100 {
+            w.push_back(f64::from(i));
+        }
+        assert!((p95(&w) - 95.0).abs() < 1e-9);
+        assert_eq!(p95(&VecDeque::new()), 0.0);
+    }
+}

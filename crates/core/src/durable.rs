@@ -219,6 +219,7 @@ pub fn checkpoint(
     keep: usize,
 ) -> io::Result<usize> {
     let metrics = crate::metrics::global();
+    let _t = crate::trace::op("checkpoint");
     let start = std::time::Instant::now();
     let result = checkpoint_inner(snapshot, wal_seq, dir, journal, keep);
     match &result {

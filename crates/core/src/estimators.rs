@@ -1,5 +1,11 @@
 //! The pure estimation formulas, isolated from sketch plumbing so the
 //! math is unit-testable with synthetic match statistics.
+//!
+//! These functions are deliberately free of instrumentation: tracing
+//! attribution for estimator work happens one level up, where
+//! [`crate::SketchStore`] wraps each query in an `estimate.*` child
+//! span (see [`crate::trace`]), and accuracy auditing of the estimates
+//! lives in [`crate::audit`].
 
 /// Jaccard estimate from slot agreement: `matches / k`.
 ///

@@ -346,6 +346,7 @@ impl Journal {
     /// (acked) record can merge into the debris.
     pub fn append(&mut self, entry: JournalEntry) -> io::Result<()> {
         let metrics = crate::metrics::global();
+        let _t = crate::trace::child("journal.append");
         let start = std::time::Instant::now();
         let line = format!("{entry}\n");
         if self.tainted {

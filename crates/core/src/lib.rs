@@ -40,6 +40,12 @@
 //! * [`merge`] — sketch-store union for distributed ingestion.
 //! * [`metrics`] — zero-dependency observability: atomic counters,
 //!   gauges, and latency histograms behind one global registry.
+//! * [`trace`] — request tracing: span guards over a fixed-capacity
+//!   ring buffer, sampled on the insert hot path, plus a rotating
+//!   slow-op JSONL log.
+//! * [`audit`] — online sketch-health auditing: a bounded exact shadow
+//!   adjacency over sampled vertices, scored against the live sketch
+//!   estimates into rolling error gauges.
 //! * [`concurrent`] — sharded `RwLock` store for live ingest + query
 //!   serving.
 //! * [`hll`] / [`robust`] — HyperLogLog distinct-degree estimation and
@@ -80,6 +86,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod audit;
 pub mod biased;
 pub mod bottomk;
 pub mod chaos;
@@ -98,9 +105,11 @@ pub mod robust;
 pub mod sketch;
 pub mod snapshot;
 pub mod store;
+pub mod trace;
 pub mod windowed;
 
 pub use accuracy::AccuracyPlan;
+pub use audit::{AccuracyAuditor, AuditConfig, AuditSnapshot};
 pub use biased::BiasedStore;
 pub use bottomk::BottomKStore;
 pub use chaos::{FaultKind, FaultPlan};

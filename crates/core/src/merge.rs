@@ -65,6 +65,7 @@ pub fn merge_into(dst: &mut SketchStore, src: &SketchStore) -> Result<(), MergeE
         return Err(MergeError::BackendMismatch);
     }
 
+    let _t = crate::trace::op("merge");
     let start = std::time::Instant::now();
     let k = dc.slots();
     let (src_sketches, src_degrees, src_edges) = src.parts();

@@ -32,7 +32,8 @@
 //! below 5%.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Instant, SystemTime};
 
 /// Insert latency is timed once every this many inserts (power of two).
 pub const INSERT_SAMPLE_INTERVAL: u64 = 64;
@@ -197,6 +198,8 @@ impl LatencyHistogram {
             }
             bucket_bound_ns(HISTOGRAM_BUCKETS - 1)
         };
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets.copy_from_slice(&counts);
         HistogramSummary {
             count,
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
@@ -204,6 +207,8 @@ impl LatencyHistogram {
             p50_ns: percentile(0.50),
             p95_ns: percentile(0.95),
             p99_ns: percentile(0.99),
+            p999_ns: percentile(0.999),
+            buckets,
         }
     }
 
@@ -233,6 +238,29 @@ pub struct HistogramSummary {
     pub p95_ns: u64,
     /// 99th-percentile latency (ns).
     pub p99_ns: u64,
+    /// 99.9th-percentile latency (ns) — the tail the slow-op log hunts.
+    pub p999_ns: u64,
+    /// Raw per-bucket counts from the same coherent pass; bucket `i`
+    /// covers durations up to `128 << i` ns (see [`HistogramSummary::bucket_bound_ns`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSummary {
+    /// Upper bound (inclusive, ns) of bucket `i`; the last bucket
+    /// absorbs every larger value.
+    #[must_use]
+    pub fn bucket_bound_ns(i: usize) -> u64 {
+        bucket_bound_ns(i.min(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Export lines this histogram contributes to
+    /// [`MetricsSnapshot::render_text`]: seven scalar lines plus one per
+    /// non-zero bucket (empty buckets are elided to keep `METRICS`
+    /// output proportional to observed behavior).
+    #[must_use]
+    pub fn text_lines(&self) -> usize {
+        7 + self.buckets.iter().filter(|&&c| c > 0).count()
+    }
 }
 
 /// The process-wide instrument registry. Obtain it via [`global()`].
@@ -304,6 +332,22 @@ pub struct Metrics {
     /// Exit code of the most recent in-process `scrub` run (0 = clean,
     /// 1 = repaired/repairable, 2 = unrepairable loss).
     pub scrub_last_exit: Gauge,
+    /// Trace spans recorded into the [`crate::trace`] ring.
+    pub trace_spans: Counter,
+    /// Spans that met the slow-op threshold.
+    pub trace_slow_ops: Counter,
+    /// Completed [`crate::audit`] cycles.
+    pub audit_cycles: Counter,
+    /// Vertex pairs scored by the auditor.
+    pub audit_pairs: Counter,
+    /// Vertices currently under exact shadow tracking.
+    pub audit_tracked_vertices: Gauge,
+    /// Rolling mean absolute Jaccard error, parts-per-million.
+    pub audit_jaccard_mae_ppm: Gauge,
+    /// Rolling p95 relative common-neighbors error, parts-per-million.
+    pub audit_cn_rel_err_p95_ppm: Gauge,
+    /// Rolling mean absolute Adamic–Adar error, parts-per-million.
+    pub audit_aa_mae_ppm: Gauge,
 }
 
 impl Metrics {
@@ -338,6 +382,14 @@ impl Metrics {
             journal_lag_edges: Gauge::new(),
             snapshot_generations_kept: Gauge::new(),
             scrub_last_exit: Gauge::new(),
+            trace_spans: Counter::new(),
+            trace_slow_ops: Counter::new(),
+            audit_cycles: Counter::new(),
+            audit_pairs: Counter::new(),
+            audit_tracked_vertices: Gauge::new(),
+            audit_jaccard_mae_ppm: Gauge::new(),
+            audit_cn_rel_err_p95_ppm: Gauge::new(),
+            audit_aa_mae_ppm: Gauge::new(),
         }
     }
 
@@ -397,6 +449,10 @@ impl Metrics {
                 ),
                 ("server.connections_shed", self.connections_shed.get()),
                 ("server.storage_errors", self.storage_errors.get()),
+                ("trace.spans", self.trace_spans.get()),
+                ("trace.slow_ops", self.trace_slow_ops.get()),
+                ("audit.cycles", self.audit_cycles.get()),
+                ("audit.pairs", self.audit_pairs.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
@@ -406,6 +462,15 @@ impl Metrics {
                     self.snapshot_generations_kept.get(),
                 ),
                 ("scrub.last_exit", self.scrub_last_exit.get()),
+                ("audit.tracked_vertices", self.audit_tracked_vertices.get()),
+                ("audit.jaccard_mae_ppm", self.audit_jaccard_mae_ppm.get()),
+                (
+                    "audit.cn_rel_err_p95_ppm",
+                    self.audit_cn_rel_err_p95_ppm.get(),
+                ),
+                ("audit.aa_mae_ppm", self.audit_aa_mae_ppm.get()),
+                ("process.uptime_secs", uptime_secs()),
+                ("process.as_of_unix_ms", as_of_unix_ms()),
             ],
             histograms: vec![
                 ("core.insert.latency_ns", self.insert_latency.summary()),
@@ -449,6 +514,10 @@ impl Metrics {
             &self.connections_accepted,
             &self.connections_shed,
             &self.storage_errors,
+            &self.trace_spans,
+            &self.trace_slow_ops,
+            &self.audit_cycles,
+            &self.audit_pairs,
         ] {
             c.reset();
         }
@@ -456,6 +525,10 @@ impl Metrics {
         self.journal_lag_edges.reset();
         self.snapshot_generations_kept.reset();
         self.scrub_last_exit.reset();
+        self.audit_tracked_vertices.reset();
+        self.audit_jaccard_mae_ppm.reset();
+        self.audit_cn_rel_err_p95_ppm.reset();
+        self.audit_aa_mae_ppm.reset();
         for h in [
             &self.insert_latency,
             &self.merge_latency,
@@ -474,7 +547,34 @@ static GLOBAL: Metrics = Metrics::new();
 /// The process-wide metrics registry.
 #[must_use]
 pub fn global() -> &'static Metrics {
+    // Anchor the uptime clock on first registry access so
+    // `process.uptime_secs` measures from effective process start.
+    let _ = process_start();
     &GLOBAL
+}
+
+/// The instant the registry was first touched (≈ process start; the
+/// `Metrics` static is `const`-constructed so it cannot hold an
+/// `Instant` itself).
+#[must_use]
+pub fn process_start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Whole seconds since [`process_start`] — monotone, restart-resetting.
+#[must_use]
+pub fn uptime_secs() -> u64 {
+    process_start().elapsed().as_secs()
+}
+
+/// Current wall-clock time in Unix milliseconds (0 if the system clock
+/// sits before the epoch).
+#[must_use]
+pub fn as_of_unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
 }
 
 /// One coherent read-out of the whole registry, renderable as text
@@ -510,9 +610,11 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
-    /// Renders `key=value` lines — one per counter and gauge, six per
-    /// histogram (`.count`, `.sum`, `.max`, `.p50`, `.p95`, `.p99`) — in
-    /// stable order, one metric per line, no trailing newline.
+    /// Renders `key=value` lines — one per counter and gauge, and per
+    /// histogram seven scalars (`.count`, `.sum`, `.max`, `.p50`,
+    /// `.p95`, `.p99`, `.p999`) plus one `.bucket_le_<ns>` line per
+    /// non-zero bucket — in stable order, one metric per line, no
+    /// trailing newline.
     #[must_use]
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -521,9 +623,18 @@ impl MetricsSnapshot {
         }
         for (k, h) in &self.histograms {
             out.push_str(&format!(
-                "{k}.count={}\n{k}.sum={}\n{k}.max={}\n{k}.p50={}\n{k}.p95={}\n{k}.p99={}\n",
-                h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns
+                "{k}.count={}\n{k}.sum={}\n{k}.max={}\n{k}.p50={}\n{k}.p95={}\n{k}.p99={}\n\
+                 {k}.p999={}\n",
+                h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns, h.p999_ns
             ));
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    out.push_str(&format!(
+                        "{k}.bucket_le_{}={c}\n",
+                        HistogramSummary::bucket_bound_ns(i)
+                    ));
+                }
+            }
         }
         out.pop(); // drop the final '\n'
         out
@@ -553,15 +664,34 @@ impl MetricsSnapshot {
             .histograms
             .iter()
             .map(|(k, h)| {
+                let buckets: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(std::string::ToString::to_string)
+                    .collect();
                 format!(
                     "\"{k}\":{{\"count\":{},\"sum_ns\":{},\"max_ns\":{},\
-                     \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{}}}",
-                    h.count, h.sum_ns, h.max_ns, h.p50_ns, h.p95_ns, h.p99_ns
+                     \"p50_ns\":{},\"p95_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\
+                     \"buckets\":[{}]}}",
+                    h.count,
+                    h.sum_ns,
+                    h.max_ns,
+                    h.p50_ns,
+                    h.p95_ns,
+                    h.p99_ns,
+                    h.p999_ns,
+                    buckets.join(",")
                 )
             })
             .collect();
         out.push_str(&kv.join(","));
-        out.push_str("}}");
+        // Snapshot timestamps at top level so scraped files are
+        // orderable even when the gauges section is filtered away.
+        out.push_str(&format!(
+            "}},\"uptime_secs\":{},\"as_of_unix_ms\":{}}}",
+            self.value("process.uptime_secs").unwrap_or(0),
+            self.value("process.as_of_unix_ms").unwrap_or(0),
+        ));
         out
     }
 
@@ -569,7 +699,13 @@ impl MetricsSnapshot {
     /// line count).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.counters.len() + self.gauges.len() + 6 * self.histograms.len()
+        self.counters.len()
+            + self.gauges.len()
+            + self
+                .histograms
+                .iter()
+                .map(|(_, h)| h.text_lines())
+                .sum::<usize>()
     }
 
     /// Whether the snapshot exports nothing (never true for the global
@@ -639,11 +775,17 @@ mod tests {
         }
         let s = h.summary();
         assert_eq!(s.count, 100);
-        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns, "{s:?}");
+        assert!(
+            s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.p999_ns,
+            "{s:?}"
+        );
         assert!(s.p50_ns <= 128, "median should sit in the fast bucket");
         assert!(s.p99_ns >= 1_000_000, "p99 must cover the slow tail");
         assert_eq!(s.max_ns, 1_000_000);
         assert_eq!(s.sum_ns, 90 * 100 + 10 * 1_000_000);
+        assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        assert_eq!(s.buckets[bucket_index(100)], 90);
+        assert_eq!(s.buckets[bucket_index(1_000_000)], 10);
     }
 
     #[test]
@@ -684,7 +826,111 @@ mod tests {
         drop(parsed);
         assert!(json.contains("\"schema\":\"streamlink.metrics.v1\""));
         assert!(json.contains("\"core.insert.edges\""));
-        assert!(json.contains("\"p99_ns\""));
+        assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"buckets\":["));
+        assert!(json.contains("\"uptime_secs\":"));
+        assert!(json.contains("\"as_of_unix_ms\":"));
+    }
+
+    #[test]
+    fn render_json_round_trips_through_parser() {
+        // Put nonzero data everywhere so the round trip exercises real
+        // values, not just zeroes.
+        let m = Metrics::new();
+        m.server_commands.add(41);
+        m.connections_active.set(3);
+        m.server_command_latency.record_ns(900);
+        m.server_command_latency.record_ns(5_000_000);
+        let snap = m.snapshot();
+        let json = snap.render_json();
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+
+        assert_eq!(
+            v.get("schema").and_then(serde_json::Value::as_str),
+            Some("streamlink.metrics.v1")
+        );
+        // Every counter and gauge survives with its exact value.
+        for (k, val) in snap.counters.iter().chain(&snap.gauges) {
+            let section = if snap.counters.iter().any(|(ck, _)| ck == k) {
+                "counters"
+            } else {
+                "gauges"
+            };
+            let got = v
+                .get(section)
+                .and_then(|s| s.get(k))
+                .and_then(serde_json::Value::as_u64);
+            assert_eq!(got, Some(*val), "round trip lost {k}");
+        }
+        // Histogram scalars and the bucket array survive.
+        let h = snap.histogram("server.command_latency_ns").unwrap();
+        let hv = v
+            .get("histograms")
+            .and_then(|s| s.get("server.command_latency_ns"))
+            .expect("histogram object");
+        assert_eq!(
+            hv.get("count").and_then(serde_json::Value::as_u64),
+            Some(h.count)
+        );
+        assert_eq!(
+            hv.get("p999_ns").and_then(serde_json::Value::as_u64),
+            Some(h.p999_ns)
+        );
+        let buckets = hv.get("buckets").expect("buckets array");
+        let serde_json::Value::Array(items) = buckets else {
+            panic!("buckets must be an array")
+        };
+        assert_eq!(items.len(), HISTOGRAM_BUCKETS);
+        let total: u64 = items
+            .iter()
+            .map(|b| b.as_u64().expect("bucket counts are u64"))
+            .sum();
+        assert_eq!(total, h.count);
+        // Top-level timestamps parse as integers.
+        assert!(v
+            .get("uptime_secs")
+            .and_then(serde_json::Value::as_u64)
+            .is_some());
+        assert!(v
+            .get("as_of_unix_ms")
+            .and_then(serde_json::Value::as_u64)
+            .is_some());
+    }
+
+    #[test]
+    fn text_lines_include_p999_and_nonzero_buckets_only() {
+        let m = Metrics::new();
+        m.insert_latency.record_ns(100); // bucket 0
+        m.insert_latency.record_ns(100);
+        m.insert_latency.record_ns(1_000_000);
+        let snap = m.snapshot();
+        let text = snap.render_text();
+        assert_eq!(text.lines().count(), snap.len());
+        assert!(text.contains("core.insert.latency_ns.p999="));
+        assert!(
+            text.contains("core.insert.latency_ns.bucket_le_128=2"),
+            "{text}"
+        );
+        // Only 2 buckets are populated for this histogram.
+        let bucket_lines = text
+            .lines()
+            .filter(|l| l.starts_with("core.insert.latency_ns.bucket_le_"))
+            .count();
+        assert_eq!(bucket_lines, 2);
+        // Empty histograms contribute exactly their 7 scalar lines.
+        let merge_lines = text
+            .lines()
+            .filter(|l| l.starts_with("core.merge.latency_ns."))
+            .count();
+        assert_eq!(merge_lines, 7);
+    }
+
+    #[test]
+    fn snapshot_carries_timestamps() {
+        let snap = global().snapshot();
+        assert!(snap.value("process.uptime_secs").is_some());
+        let as_of = snap.value("process.as_of_unix_ms").expect("as_of gauge");
+        assert!(as_of > 1_500_000_000_000, "wall clock should be post-2017");
     }
 
     #[test]

@@ -73,6 +73,10 @@ impl SketchStore {
             Some(start) => {
                 self.insert_edge_inner(u, v);
                 m.insert_latency.observe(start);
+                // Reuse the same sampling decision (and Instant) for the
+                // trace ring: the hot path never pays a second clock read
+                // on unsampled edges.
+                crate::trace::record_sampled("store.insert", start);
             }
         }
     }
@@ -110,6 +114,7 @@ impl SketchStore {
     /// vertex is unseen.
     #[must_use]
     pub fn jaccard(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let _t = crate::trace::child("estimate.jaccard");
         let (su, sv) = (self.sketches.get(&u)?, self.sketches.get(&v)?);
         Some(estimators::jaccard_from_matches(
             su.match_count(sv),
@@ -120,6 +125,7 @@ impl SketchStore {
     /// Estimated common-neighbor count of `(u, v)`.
     #[must_use]
     pub fn common_neighbors(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let _t = crate::trace::child("estimate.common_neighbors");
         let j = self.jaccard(u, v)?;
         Some(estimators::cn_from_jaccard(
             j,
@@ -133,6 +139,7 @@ impl SketchStore {
     /// *current* degrees estimate the mean AA weight.
     #[must_use]
     pub fn adamic_adar(&self, u: VertexId, v: VertexId) -> Option<f64> {
+        let _t = crate::trace::child("estimate.adamic_adar");
         let (su, sv) = (self.sketches.get(&u)?, self.sketches.get(&v)?);
         let matches = su.match_count(sv);
         let j = estimators::jaccard_from_matches(matches, self.config.slots());

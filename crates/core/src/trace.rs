@@ -1,0 +1,707 @@
+//! Zero-dependency request tracing: span guards, a fixed-capacity
+//! global ring buffer, and a slow-operation log.
+//!
+//! The metrics registry ([`crate::metrics`]) answers *how much* and *how
+//! fast in aggregate*; this module answers *where one slow request spent
+//! its time*. Three pieces:
+//!
+//! * **Operation spans** — [`op`] returns a guard that times a
+//!   top-level operation (a protocol command, a merge, a checkpoint)
+//!   and, on drop, records a [`SpanRecord`] into the global ring.
+//!   Nested ops aggregate into their parent's child breakdown *and*
+//!   record their own span.
+//! * **Child spans** — [`child`] times a sub-step (journal append,
+//!   store insert, estimator evaluation) and folds it into the
+//!   innermost active op's per-child-name breakdown. When no op is
+//!   active on the thread, a child guard is a no-op costing one
+//!   thread-local read — cheap enough for library-level call sites.
+//! * **Sampled hot-path records** — the per-edge insert path cannot
+//!   afford two `Instant` reads per edge; [`record_sampled`] reuses the
+//!   1-in-64 timing decision the metrics sampler already made
+//!   ([`crate::metrics::Metrics::on_insert`]) and turns that same
+//!   measurement into a span record, so steady-state ingest overhead
+//!   stays within the E21 budget (<5% proven, CI-gated at 10%).
+//!
+//! ## The ring
+//!
+//! Completed spans land in a fixed-capacity ring ([`RING_CAPACITY`]
+//! slots, overwritten oldest-first). [`recent`] returns the newest `n`
+//! records — the `TRACE [N]` protocol command and `--trace-out` JSON
+//! export read it. Recording is one uncontended per-slot mutex lock;
+//! readers never block writers for more than one slot.
+//!
+//! ## The slow-op log
+//!
+//! Any completed span whose duration meets the threshold
+//! ([`set_slow_op_threshold_ms`], default [`DEFAULT_SLOW_OP_MS`]) bumps
+//! `trace.slow_ops` and, when a log file is installed
+//! ([`install_slow_op_log`]), appends one structured JSON line
+//! (schema `streamlink.slowop.v1`: op, duration, child breakdown,
+//! degree class) to `slowops.jsonl`. The file is bounded: past
+//! `max_bytes` it rotates once to `slowops.jsonl.1`, so disk usage
+//! never exceeds two generations.
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Instant, SystemTime};
+
+/// Completed-span slots in the global ring buffer.
+pub const RING_CAPACITY: usize = 2048;
+
+/// Distinct child names aggregated per span; further names fold into
+/// an `(other)` bucket.
+pub const MAX_CHILDREN: usize = 8;
+
+/// Default slow-op threshold in milliseconds (`--slow-op-ms`).
+pub const DEFAULT_SLOW_OP_MS: u64 = 50;
+
+/// Default slow-op log size bound before rotation (10 MiB).
+pub const DEFAULT_SLOW_OP_LOG_BYTES: u64 = 10 * 1024 * 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static SLOW_OP_NS: AtomicU64 = AtomicU64::new(DEFAULT_SLOW_OP_MS * 1_000_000);
+
+/// Whether span recording is on (default true; recording is sampled on
+/// the insert hot path regardless).
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span recording on or off process-wide. Disabling also stops
+/// slow-op logging (nothing completes a span).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Sets the slow-op threshold; `0` disables slow-op accounting while
+/// leaving span recording untouched.
+pub fn set_slow_op_threshold_ms(ms: u64) {
+    SLOW_OP_NS.store(ms.saturating_mul(1_000_000), Ordering::Relaxed);
+}
+
+/// The active slow-op threshold in nanoseconds (0 = disabled).
+#[must_use]
+pub fn slow_op_threshold_ns() -> u64 {
+    SLOW_OP_NS.load(Ordering::Relaxed)
+}
+
+/// The log₂ degree class of a degree counter: 0 for unseen, else
+/// `⌊log₂ d⌋ + 1` — class 1 is degree 1, class 5 is degrees 16–31.
+/// Slow-op records carry the class, not the raw degree, so log lines
+/// bucket naturally by hub-ness.
+#[inline]
+#[must_use]
+pub fn degree_class(degree: u64) -> u8 {
+    (u64::BITS - degree.leading_zeros()) as u8
+}
+
+/// One completed span, as stored in the ring and exported by
+/// `TRACE` / `--trace-out` / the slow-op log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global completion sequence number (monotone, 1-based).
+    pub seq: u64,
+    /// Operation name (static identifier, e.g. `cmd.insert`).
+    pub op: &'static str,
+    /// Name of the op this one was nested under, if any.
+    pub parent: Option<&'static str>,
+    /// Wall-clock completion time (Unix milliseconds).
+    pub ts_unix_ms: u64,
+    /// Total duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Degree class of the largest vertex the op touched, if noted
+    /// (see [`degree_class`]).
+    pub degree_class: Option<u8>,
+    /// Aggregated child breakdown: `(name, total ns)`, insertion order.
+    pub children: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// One-line `key=value` rendering for the `TRACE` protocol command.
+    #[must_use]
+    pub fn render_line(&self) -> String {
+        let mut out = format!("seq={} op={} dur_ns={}", self.seq, self.op, self.dur_ns);
+        match self.degree_class {
+            Some(c) => out.push_str(&format!(" degree_class={c}")),
+            None => out.push_str(" degree_class=-"),
+        }
+        match self.parent {
+            Some(p) => out.push_str(&format!(" parent={p}")),
+            None => out.push_str(" parent=-"),
+        }
+        if self.children.is_empty() {
+            out.push_str(" children=-");
+        } else {
+            let parts: Vec<String> = self
+                .children
+                .iter()
+                .map(|(n, ns)| format!("{n}:{ns}"))
+                .collect();
+            out.push_str(&format!(" children={}", parts.join(",")));
+        }
+        out
+    }
+
+    /// JSON object rendering (hand-rolled — every key and op name is a
+    /// static identifier, so no escaping is needed). Shared by the
+    /// slow-op log lines and the `--trace-out` export.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"op\":\"{}\",\"parent\":{},\"ts_unix_ms\":{},\
+             \"dur_ns\":{},\"dur_ms\":{:.3},\"degree_class\":{},\"children\":{{",
+            self.seq,
+            self.op,
+            self.parent
+                .map_or_else(|| "null".to_string(), |p| format!("\"{p}\"")),
+            self.ts_unix_ms,
+            self.dur_ns,
+            self.dur_ns as f64 / 1e6,
+            self.degree_class
+                .map_or_else(|| "null".to_string(), |c| c.to_string()),
+        );
+        let kv: Vec<String> = self
+            .children
+            .iter()
+            .map(|(n, ns)| format!("\"{n}\":{ns}"))
+            .collect();
+        out.push_str(&kv.join(","));
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders the newest `n` ring records as a self-describing JSON
+/// document (schema `streamlink.trace.v1`) for `--trace-out`.
+#[must_use]
+pub fn render_trace_json(n: usize) -> String {
+    let spans = recent(n);
+    let rows: Vec<String> = spans.iter().map(SpanRecord::render_json).collect();
+    format!(
+        "{{\"schema\":\"streamlink.trace.v1\",\"spans\":[{}]}}",
+        rows.join(",")
+    )
+}
+
+// ---------------------------------------------------------------- ring
+
+struct Ring {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    next: AtomicU64,
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring {
+        slots: (0..RING_CAPACITY).map(|_| Mutex::new(None)).collect(),
+        next: AtomicU64::new(0),
+    })
+}
+
+impl Ring {
+    /// Claims the next sequence number and stores the record.
+    fn push(&self, mut record: SpanRecord) -> u64 {
+        let n = self.next.fetch_add(1, Ordering::Relaxed);
+        let seq = n + 1;
+        record.seq = seq;
+        let slot = &self.slots[(n as usize) % self.slots.len()];
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(record);
+        seq
+    }
+
+    fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        let end = self.next.load(Ordering::Relaxed);
+        let have = (end as usize).min(self.slots.len());
+        let want = n.min(have);
+        let mut out = Vec::with_capacity(want);
+        for i in 0..want {
+            let idx = ((end - 1 - i as u64) as usize) % self.slots.len();
+            let guard = self.slots[idx]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(rec) = guard.as_ref() {
+                out.push(rec.clone());
+            }
+        }
+        out
+    }
+
+    fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+        self.next.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The newest `n` completed spans, newest first.
+#[must_use]
+pub fn recent(n: usize) -> Vec<SpanRecord> {
+    ring().recent(n)
+}
+
+/// Total spans recorded since process start (or the last [`reset`]).
+#[must_use]
+pub fn spans_recorded() -> u64 {
+    ring().next.load(Ordering::Relaxed)
+}
+
+/// Clears the ring and the sequence counter (tests and benchmarks; the
+/// serving path never resets).
+pub fn reset() {
+    ring().clear();
+}
+
+// ------------------------------------------------------- span guards
+
+struct ActiveOp {
+    op: &'static str,
+    start: Instant,
+    max_degree: u64,
+    children: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static OPS: RefCell<Vec<ActiveOp>> = const { RefCell::new(Vec::new()) };
+}
+
+fn add_child(children: &mut Vec<(&'static str, u64)>, name: &'static str, ns: u64) {
+    if let Some(entry) = children.iter_mut().find(|(n, _)| *n == name) {
+        entry.1 += ns;
+        return;
+    }
+    if children.len() < MAX_CHILDREN {
+        children.push((name, ns));
+        return;
+    }
+    if let Some(entry) = children.iter_mut().find(|(n, _)| *n == "(other)") {
+        entry.1 += ns;
+    } else {
+        let last = children.last_mut().expect("MAX_CHILDREN > 0");
+        *last = ("(other)", last.1 + ns);
+    }
+}
+
+/// Times a top-level operation; the returned guard records a span on
+/// drop. Nested calls aggregate into the enclosing op's breakdown and
+/// still record their own span. Returns a disarmed (free) guard when
+/// tracing is disabled.
+#[must_use]
+pub fn op(name: &'static str) -> OpGuard {
+    if !enabled() {
+        return OpGuard {
+            armed: false,
+            _not_send: std::marker::PhantomData,
+        };
+    }
+    OPS.with(|ops| {
+        ops.borrow_mut().push(ActiveOp {
+            op: name,
+            start: Instant::now(),
+            max_degree: 0,
+            children: Vec::new(),
+        });
+    });
+    OpGuard {
+        armed: true,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Guard for one [`op`] span. Dropping it completes the span. Not
+/// `Send`: span begin/end must pair on one thread.
+pub struct OpGuard {
+    armed: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl OpGuard {
+    /// Notes a vertex degree the op touched; the span keeps the largest
+    /// one's [`degree_class`].
+    pub fn note_degree(&self, degree: u64) {
+        if !self.armed {
+            return;
+        }
+        OPS.with(|ops| {
+            if let Some(top) = ops.borrow_mut().last_mut() {
+                top.max_degree = top.max_degree.max(degree);
+            }
+        });
+    }
+}
+
+impl Drop for OpGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let done = OPS.with(|ops| ops.borrow_mut().pop());
+        let Some(done) = done else { return };
+        let dur_ns = u64::try_from(done.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let parent = OPS.with(|ops| {
+            let mut ops = ops.borrow_mut();
+            match ops.last_mut() {
+                Some(p) => {
+                    add_child(&mut p.children, done.op, dur_ns);
+                    Some(p.op)
+                }
+                None => None,
+            }
+        });
+        finish(SpanRecord {
+            seq: 0, // assigned by the ring
+            op: done.op,
+            parent,
+            ts_unix_ms: unix_ms(),
+            dur_ns,
+            degree_class: (done.max_degree > 0).then(|| degree_class(done.max_degree)),
+            children: done.children,
+        });
+    }
+}
+
+/// Times a sub-step of the innermost active op. A no-op (one
+/// thread-local read) when no op is active on this thread.
+#[must_use]
+pub fn child(name: &'static str) -> ChildGuard {
+    let active = enabled() && OPS.with(|ops| !ops.borrow().is_empty());
+    ChildGuard {
+        name,
+        start: active.then(Instant::now),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Guard for one [`child`] span; folds its elapsed time into the
+/// enclosing op's breakdown on drop.
+pub struct ChildGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        OPS.with(|ops| {
+            if let Some(top) = ops.borrow_mut().last_mut() {
+                add_child(&mut top.children, self.name, ns);
+            }
+        });
+    }
+}
+
+/// Records a completed hot-path span from a measurement that already
+/// exists — the 1-in-64 sampled insert timing. No child breakdown, no
+/// thread-local traffic beyond the ring push.
+pub fn record_sampled(name: &'static str, start: Instant) {
+    if !enabled() {
+        return;
+    }
+    let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    finish(SpanRecord {
+        seq: 0,
+        op: name,
+        parent: None,
+        ts_unix_ms: unix_ms(),
+        dur_ns,
+        degree_class: None,
+        children: Vec::new(),
+    });
+}
+
+fn finish(record: SpanRecord) {
+    let threshold = slow_op_threshold_ns();
+    let slow = threshold > 0 && record.dur_ns >= threshold;
+    let slow_copy = slow.then(|| record.clone());
+    let seq = ring().push(record);
+    let m = crate::metrics::global();
+    m.trace_spans.incr();
+    if let Some(mut rec) = slow_copy {
+        rec.seq = seq;
+        m.trace_slow_ops.incr();
+        write_slow_op(&rec);
+    }
+}
+
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+// ---------------------------------------------------- slow-op log file
+
+struct SlowOpLog {
+    path: PathBuf,
+    max_bytes: u64,
+    file: std::fs::File,
+    bytes: u64,
+}
+
+static SLOW_LOG: Mutex<Option<SlowOpLog>> = Mutex::new(None);
+
+/// Installs (or replaces) the on-disk slow-op log. Records exceeding
+/// the threshold append one JSON line each; when the file passes
+/// `max_bytes` it rotates once to `<path>.1`.
+///
+/// # Errors
+/// Fails if the file cannot be created or appended to.
+pub fn install_slow_op_log(path: &Path, max_bytes: u64) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let bytes = file.metadata().map_or(0, |m| m.len());
+    let mut guard = SLOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = Some(SlowOpLog {
+        path: path.to_path_buf(),
+        max_bytes: max_bytes.max(1),
+        file,
+        bytes,
+    });
+    Ok(())
+}
+
+/// Removes the slow-op log sink (tests). Threshold accounting via
+/// `trace.slow_ops` continues.
+pub fn uninstall_slow_op_log() {
+    let mut guard = SLOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = None;
+}
+
+/// Appends one JSON line for a slow span to the installed log, if any.
+fn write_slow_op(record: &SpanRecord) {
+    let mut guard = SLOW_LOG.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(log) = guard.as_mut() else { return };
+    let mut line = record.render_json();
+    line.push('\n');
+    if log.bytes + line.len() as u64 > log.max_bytes {
+        let rotated = rotated_path(&log.path);
+        let _ = std::fs::rename(&log.path, rotated);
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log.path)
+        {
+            Ok(f) => {
+                log.file = f;
+                log.bytes = 0;
+            }
+            Err(_) => return, // keep the old handle; try again next time
+        }
+    }
+    if log.file.write_all(line.as_bytes()).is_ok() {
+        log.bytes += line.len() as u64;
+    }
+}
+
+/// `<path>.1` — the single rotated generation of the slow-op log.
+#[must_use]
+pub fn rotated_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("slowops.jsonl"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(".1");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes trace tests: they share the global ring.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn op_records_span_with_children() {
+        let _gate = lock();
+        reset();
+        {
+            let g = op("cmd.query");
+            g.note_degree(20);
+            {
+                let _c = child("store.read");
+                std::hint::black_box(42);
+            }
+            {
+                let _c = child("store.read");
+            }
+            {
+                let _c = child("estimate.jaccard");
+            }
+        }
+        let spans = recent(10);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!(s.op, "cmd.query");
+        assert_eq!(s.parent, None);
+        assert_eq!(s.degree_class, Some(degree_class(20)));
+        assert_eq!(s.children.len(), 2, "same-name children aggregate: {s:?}");
+        assert_eq!(s.children[0].0, "store.read");
+        assert!(s.dur_ns > 0);
+    }
+
+    #[test]
+    fn nested_ops_record_parent_and_breakdown() {
+        let _gate = lock();
+        reset();
+        {
+            let _outer = op("cmd.insert");
+            {
+                let _inner = op("merge");
+            }
+        }
+        let spans = recent(10);
+        assert_eq!(spans.len(), 2);
+        // Newest first: outer completed last.
+        assert_eq!(spans[0].op, "cmd.insert");
+        assert_eq!(spans[1].op, "merge");
+        assert_eq!(spans[1].parent, Some("cmd.insert"));
+        assert_eq!(spans[0].children[0].0, "merge");
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        let _gate = lock();
+        reset();
+        set_enabled(false);
+        {
+            let _g = op("cmd.query");
+            let _c = child("store.read");
+        }
+        record_sampled("store.insert", Instant::now());
+        set_enabled(true);
+        assert!(recent(10).is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_wraps() {
+        let _gate = lock();
+        reset();
+        for _ in 0..(RING_CAPACITY + 10) {
+            record_sampled("store.insert", Instant::now());
+        }
+        let spans = recent(5);
+        assert_eq!(spans.len(), 5);
+        assert_eq!(spans[0].seq, (RING_CAPACITY + 10) as u64);
+        assert!(spans[0].seq > spans[1].seq, "newest first");
+        assert_eq!(spans_recorded(), (RING_CAPACITY + 10) as u64);
+    }
+
+    #[test]
+    fn degree_classes_bucket_by_log2() {
+        assert_eq!(degree_class(0), 0);
+        assert_eq!(degree_class(1), 1);
+        assert_eq!(degree_class(2), 2);
+        assert_eq!(degree_class(3), 2);
+        assert_eq!(degree_class(16), 5);
+        assert_eq!(degree_class(31), 5);
+        assert_eq!(degree_class(u64::MAX), 64);
+    }
+
+    #[test]
+    fn render_line_and_json_shapes() {
+        let rec = SpanRecord {
+            seq: 7,
+            op: "cmd.insert",
+            parent: None,
+            ts_unix_ms: 1000,
+            dur_ns: 2_500_000,
+            degree_class: Some(3),
+            children: vec![("journal.append", 2_000_000), ("store.insert", 400_000)],
+        };
+        let line = rec.render_line();
+        assert!(line.contains("op=cmd.insert"), "{line}");
+        assert!(line.contains("dur_ns=2500000"), "{line}");
+        assert!(line.contains("degree_class=3"), "{line}");
+        assert!(line.contains("children=journal.append:2000000,store.insert:400000"));
+        let json = rec.render_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid span JSON");
+        drop(parsed);
+        assert!(json.contains("\"dur_ms\":2.500"), "{json}");
+        assert!(json.contains("\"journal.append\":2000000"), "{json}");
+
+        let bare = SpanRecord {
+            seq: 1,
+            op: "x",
+            parent: None,
+            ts_unix_ms: 0,
+            dur_ns: 1,
+            degree_class: None,
+            children: vec![],
+        };
+        assert!(bare
+            .render_line()
+            .ends_with("degree_class=- parent=- children=-"));
+        let json = bare.render_json();
+        assert!(json.contains("\"degree_class\":null"), "{json}");
+        let _: serde_json::Value = serde_json::from_str(&json).expect("valid bare span JSON");
+    }
+
+    #[test]
+    fn child_breakdown_caps_at_max_children() {
+        let mut children = Vec::new();
+        let names: [&'static str; 12] =
+            ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"];
+        for n in names {
+            add_child(&mut children, n, 10);
+        }
+        assert_eq!(children.len(), MAX_CHILDREN);
+        let other = children.iter().find(|(n, _)| *n == "(other)").unwrap();
+        assert_eq!(other.1, 10 * (names.len() - MAX_CHILDREN + 1) as u64);
+    }
+
+    #[test]
+    fn slow_op_log_writes_and_rotates() {
+        let _gate = lock();
+        reset();
+        let dir = std::env::temp_dir().join(format!("streamlink-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("slowops.jsonl");
+        // Tiny bound forces rotation after a couple of records.
+        install_slow_op_log(&path, 400).unwrap();
+        set_slow_op_threshold_ms(0);
+        SLOW_OP_NS.store(1, Ordering::Relaxed); // everything is "slow"
+        for _ in 0..8 {
+            let _g = op("cmd.query");
+        }
+        set_slow_op_threshold_ms(DEFAULT_SLOW_OP_MS);
+        uninstall_slow_op_log();
+
+        let current = std::fs::read_to_string(&path).unwrap();
+        for line in current.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid slowop line");
+            drop(v);
+            assert!(line.contains("\"op\":\"cmd.query\""), "{line}");
+        }
+        let rotated = std::fs::read_to_string(rotated_path(&path)).expect("rotated generation");
+        assert!(!rotated.is_empty());
+        assert!(current.len() as u64 <= 400);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_json_export_is_valid() {
+        let _gate = lock();
+        reset();
+        {
+            let _g = op("cmd.stats");
+        }
+        let json = render_trace_json(16);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid trace JSON");
+        drop(parsed);
+        assert!(json.contains("\"schema\":\"streamlink.trace.v1\""));
+        assert!(json.contains("\"op\":\"cmd.stats\""));
+    }
+}
