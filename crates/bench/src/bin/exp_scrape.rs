@@ -1,0 +1,195 @@
+//! **E22 (scrape overhead)** — ingestion throughput with a live HTTP
+//! scraper polling `/metrics` and `/memz` at 1 Hz vs no scraper,
+//! proving the exposition plane stays off the ingest hot path.
+//!
+//! Methodology mirrors E19/E21: for each sketch size, ingest the same
+//! stream several times per mode and keep the best run. Both modes
+//! drive the *identical* server insert path ([`ServerState::insert_edge`]
+//! with the registry hot); the scrape mode adds what this PR added — an
+//! HTTP listener thread plus a client scraping the Prometheus
+//! exposition and the memory report once a second, each scrape
+//! refreshing the `mem.*` gauges under the store read lock.
+//!
+//! `--max-overhead-pct N` turns the run into a gate: the process exits
+//! nonzero if any sketch size exceeds N% overhead. CI runs
+//! `--scale small --max-overhead-pct 10`; the design budget in
+//! docs/OPERATIONS.md §10 is 5% on release builds.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_scrape -- \
+//!     [--scale small|standard|large] [--max-overhead-pct 10]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datasets::SimulatedDataset;
+use graphstream::EdgeStream;
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_cli::server::{http, ServerConfig, ServerState};
+use streamlink_core::{SketchConfig, SketchStore};
+
+/// Ingest repetitions per mode; best-of-N is reported.
+const REPS: usize = 5;
+
+/// Scrape cadence — the Prometheus-default 1 Hz worst case.
+const SCRAPE_PERIOD: Duration = Duration::from_secs(1);
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    k: usize,
+    edges: u64,
+    reps: usize,
+    no_scrape_best_secs: f64,
+    scrape_best_secs: f64,
+    overhead_pct: f64,
+    scrapes_completed: u64,
+}
+
+fn fresh_state(k: usize) -> ServerState {
+    ServerState::in_memory(
+        SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED)),
+        ServerConfig::default(),
+    )
+}
+
+/// One timed ingest pass through the real server insert path.
+fn ingest_secs(edges: &[graphstream::Edge], state: &ServerState) -> f64 {
+    let t = Instant::now();
+    for e in edges {
+        state
+            .insert_edge(e.src, e.dst)
+            .expect("in-memory insert cannot fail");
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(state.read_store().edges_processed());
+    secs
+}
+
+/// One full GET over a fresh connection; true on a 200 with a body.
+fn scrape_once(addr: SocketAddr, target: &str) -> bool {
+    let Ok(mut conn) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+        return false;
+    };
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(2)));
+    if write!(
+        conn,
+        "GET {target} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+    )
+    .is_err()
+    {
+        return false;
+    }
+    let mut body = String::new();
+    conn.read_to_string(&mut body).is_ok() && body.starts_with("HTTP/1.1 200")
+}
+
+/// Best-of-REPS ingest with a live 1 Hz scraper; returns the best time
+/// and the total scrapes completed across all reps.
+fn best_scraped(edges: &[graphstream::Edge], k: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut scrapes_total = 0u64;
+    for _ in 0..REPS {
+        let state = Arc::new(fresh_state(k));
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind scrape port");
+        let addr = listener.local_addr().expect("scrape addr");
+        let server = http::spawn(listener, Arc::clone(&state)).expect("spawn http plane");
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let scrapes = Arc::new(AtomicU64::new(0));
+        let scraper = {
+            let (stop, scrapes) = (Arc::clone(&stop), Arc::clone(&scrapes));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if scrape_once(addr, "/metrics") && scrape_once(addr, "/memz") {
+                        scrapes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let pause = Instant::now();
+                    while pause.elapsed() < SCRAPE_PERIOD && !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            })
+        };
+
+        best = best.min(ingest_secs(edges, &state));
+
+        stop.store(true, Ordering::Relaxed);
+        scraper.join().expect("scraper thread");
+        state.request_shutdown();
+        server.join().expect("http thread");
+        scrapes_total += scrapes.load(Ordering::Relaxed);
+    }
+    (best, scrapes_total)
+}
+
+fn best_unscraped(edges: &[graphstream::Edge], k: usize) -> f64 {
+    (0..REPS)
+        .map(|_| ingest_secs(edges, &fresh_state(k)))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let max_overhead_pct: Option<f64> = flag_value(&args, "--max-overhead-pct")
+        .map(|v| v.parse().expect("--max-overhead-pct expects a number"));
+    let mut out = ResultWriter::new("e22_scrape_overhead");
+
+    let dataset = SimulatedDataset::DblpLike;
+    let stream = dataset.stream(scale);
+    let edges: Vec<_> = stream.edges().collect();
+
+    println!("\nE22 — HTTP scrape overhead on ingest ({scale:?})\n");
+    println!(
+        "dataset {} ({} edges, best of {REPS} runs per mode; /metrics + /memz every {:?})",
+        dataset.spec().key,
+        edges.len(),
+        SCRAPE_PERIOD,
+    );
+    table_header(&["k", "off (s)", "scraped (s)", "overhead %", "scrapes"]);
+
+    let mut worst_pct = f64::NEG_INFINITY;
+    for &k in &[64usize, 256] {
+        // Warm caches once so neither mode pays first-touch costs.
+        ingest_secs(&edges, &fresh_state(k));
+
+        let off = best_unscraped(&edges, k);
+        let (on, scrapes) = best_scraped(&edges, k);
+
+        let pct = (on - off) / off * 100.0;
+        worst_pct = worst_pct.max(pct);
+        table_row(&[
+            k.to_string(),
+            format!("{off:.4}"),
+            format!("{on:.4}"),
+            format!("{pct:+.2}"),
+            scrapes.to_string(),
+        ]);
+        out.write_row(&Row {
+            dataset: dataset.spec().key.to_string(),
+            k,
+            edges: edges.len() as u64,
+            reps: REPS,
+            no_scrape_best_secs: off,
+            scrape_best_secs: on,
+            overhead_pct: pct,
+            scrapes_completed: scrapes,
+        });
+    }
+
+    if let Some(limit) = max_overhead_pct {
+        if worst_pct > limit {
+            eprintln!("FAIL: scrape overhead {worst_pct:.2}% exceeds the {limit}% budget");
+            std::process::exit(1);
+        }
+        println!("\nPASS: worst overhead {worst_pct:.2}% within the {limit}% budget");
+    }
+}

@@ -10,6 +10,9 @@
 //!
 //! ```text
 //! --addr HOST:PORT            bind address        (127.0.0.1:7878)
+//! --http-addr HOST:PORT       also serve the HTTP exposition plane
+//!                             (/metrics, /healthz, /tracez, /memz);
+//!                             off unless set
 //! --data-dir DIR              durable mode: recover snapshot+journal,
 //!                             journal every INSERT before acking
 //! --snapshot FILE             read-mostly mode: load a snapshot file
@@ -36,7 +39,8 @@
 //!
 //! On SIGINT/SIGTERM the server stops accepting, drains, writes a final
 //! snapshot (durable mode), and exits 0. The first stdout line is
-//! `LISTENING <addr>` so scripts and tests can discover the bound port.
+//! `LISTENING <addr>` so scripts and tests can discover the bound port;
+//! with `--http-addr` a second line `HTTP LISTENING <addr>` follows.
 
 use std::io::Write;
 use std::net::TcpListener;
@@ -163,6 +167,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
     }
 
+    // Bind the optional HTTP exposition plane first so a bad
+    // --http-addr fails fast, before the protocol port is taken.
+    let http_listener = match flags.get("http-addr") {
+        Some(http_addr) => Some(
+            TcpListener::bind(http_addr)
+                .map_err(|e| format!("cannot bind --http-addr {http_addr}: {e}"))?,
+        ),
+        None => None,
+    };
     let listener = TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     signals::install();
     let local = listener.local_addr().map_or(addr, |a| a.to_string());
@@ -170,11 +183,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let _ = std::io::stdout().flush();
     eprintln!(
         "serving {} vertices on {local} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, \
-         DEGREE u, INSERT u v, STATS, METRICS, TRACE [n], HEALTH, QUIT)",
+         DEGREE u, INSERT u v, EXPLAIN m u v, STATS, METRICS, TRACE [n], HEALTH, QUIT)",
         state.read_store().vertex_count(),
     );
     let state = Arc::new(state);
+    let http_thread = match http_listener {
+        Some(l) => {
+            let http_local = l
+                .local_addr()
+                .map_err(|e| format!("cannot resolve --http-addr: {e}"))?;
+            println!("HTTP LISTENING {http_local}");
+            let _ = std::io::stdout().flush();
+            eprintln!("scrape plane on http://{http_local} (/metrics /healthz /tracez /memz)");
+            Some(
+                server::http::spawn(l, Arc::clone(&state))
+                    .map_err(|e| format!("cannot start http listener: {e}"))?,
+            )
+        }
+        None => None,
+    };
     server::serve(listener, &state).map_err(|e| format!("server error: {e}"))?;
+    if let Some(handle) = http_thread {
+        let _ = handle.join();
+    }
     eprintln!("shut down cleanly");
     Ok(())
 }
@@ -342,5 +373,8 @@ mod tests {
         assert!(run(&argv(&["--slow-op-log-bytes", "0"])).is_err());
         assert!(run(&argv(&["--audit-secs", "later"])).is_err());
         assert!(run(&argv(&["--audit-pairs", "0"])).is_err());
+        // A malformed --http-addr fails at bind time, before the
+        // protocol port is ever taken.
+        assert!(run(&argv(&["--http-addr", "not-an-addr"])).is_err());
     }
 }

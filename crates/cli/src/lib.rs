@@ -74,7 +74,7 @@ USAGE:
                       [--fsync always|interval|never] [--max-conns N] [--idle-timeout-ms MS]
                       [--drain-secs S] [--snapshot-every-secs S] [--snapshot-every-edges N]
                       [--snapshot-keep K] [--slow-op-ms MS] [--slow-op-log PATH]
-                      [--audit-secs S] [--audit-pairs K]
+                      [--audit-secs S] [--audit-pairs K] [--http-addr HOST:PORT]
   streamlink scrub    --data-dir DIR [--repair] [--metrics-out <file.json>]
 
 Batch commands (ingest/query/evaluate/scrub) also accept --metrics-out <file.json>

@@ -1,0 +1,405 @@
+//! The optional HTTP exposition plane behind `--http-addr`.
+//!
+//! A deliberately minimal std-only HTTP/1.1 listener — no framework, no
+//! keep-alive, one response per connection — serving the observability
+//! surfaces to standard scrapers:
+//!
+//! * `GET /metrics` — the full registry in Prometheus text exposition
+//!   format 0.0.4 ([`MetricsSnapshot::render_prometheus`]).
+//! * `GET /healthz` — liveness verdict: `200` when storage is healthy
+//!   and the audit error gauges sit inside the accuracy envelope,
+//!   `503` otherwise, with a JSON body explaining which leg failed.
+//! * `GET /tracez[?n=N]` — the most recent `N` spans from the trace
+//!   ring as `streamlink.trace.v1` JSON.
+//! * `GET /memz` — the live component memory breakdown as
+//!   `streamlink.memz.v1` JSON (also refreshes the `mem.*` gauges).
+//!
+//! ## Why a stuck scraper cannot stall ingest
+//!
+//! The plane runs on its own accept thread with per-connection handler
+//! threads, capped at [`MAX_SCRAPER_CONNS`] (extras are shed with a
+//! `503`). Every socket gets a short read/write timeout and request
+//! heads are bounded to [`MAX_REQUEST_BYTES`], so the worst a hostile
+//! or wedged scraper can do is occupy a capped scraper slot for a
+//! couple of seconds. The ingest plane shares nothing with this module
+//! except the atomic metrics registry and short-lived store read locks.
+//!
+//! [`MetricsSnapshot::render_prometheus`]: streamlink_core::MetricsSnapshot::render_prometheus
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use streamlink_core::{trace, AccuracyPlan};
+
+use super::{ServerState, POLL_INTERVAL};
+
+/// Maximum simultaneous scraper connections; extras get an immediate
+/// `503` and a `Retry-After` hint.
+pub const MAX_SCRAPER_CONNS: usize = 8;
+
+/// Per-socket read/write timeout: a scraper that cannot send a request
+/// line or drain a response this fast forfeits its slot.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on the request head (request line + headers) in bytes.
+pub const MAX_REQUEST_BYTES: usize = 8192;
+
+/// Default span count for `/tracez` without an `n` parameter.
+const DEFAULT_TRACEZ_SPANS: usize = 64;
+
+/// Content type for the Prometheus text exposition format.
+const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// One routed HTTP response, independent of the socket that carries it.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code (200, 400, 404, 405, 503).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body (already rendered).
+    pub body: String,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn status_text(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Starts the exposition plane on an already-bound listener. Returns
+/// the accept thread's handle; the thread exits when the shared
+/// shutdown flag flips.
+///
+/// # Errors
+/// Fails if the listener cannot be switched to non-blocking mode or the
+/// accept thread cannot be spawned.
+pub fn spawn(listener: TcpListener, state: Arc<ServerState>) -> io::Result<JoinHandle<()>> {
+    listener.set_nonblocking(true)?;
+    thread::Builder::new()
+        .name("http".into())
+        .spawn(move || accept_loop(&listener, &state))
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    let live = Arc::new(AtomicUsize::new(0));
+    while !state.shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if live.fetch_add(1, Ordering::SeqCst) >= MAX_SCRAPER_CONNS {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    shed(stream);
+                    continue;
+                }
+                let st = Arc::clone(state);
+                let slots = Arc::clone(&live);
+                let spawned = thread::Builder::new()
+                    .name("http-conn".into())
+                    .spawn(move || {
+                        handle_connection(stream, &st);
+                        slots.fetch_sub(1, Ordering::SeqCst);
+                    });
+                if let Err(e) = spawned {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    eprintln!("cannot spawn http connection thread: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                eprintln!("http accept failed: {e}");
+                thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+/// Sheds a connection over the scraper cap: counted as a served (error)
+/// request so the cap itself is observable.
+fn shed(stream: TcpStream) {
+    let m = streamlink_core::metrics::global();
+    m.http_requests.incr();
+    m.http_errors.incr();
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let body = "{\"error\":\"scraper connection cap reached\"}";
+    let _ = write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nRetry-After: 1\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+}
+
+/// Serves exactly one request on `stream`: read a bounded head, route,
+/// respond, close. Every outcome is counted and timed.
+fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let m = streamlink_core::metrics::global();
+    let start = Instant::now();
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    if stream.set_nonblocking(false).is_err()
+        || stream.set_read_timeout(Some(IO_TIMEOUT)).is_err()
+        || stream.set_write_timeout(Some(IO_TIMEOUT)).is_err()
+    {
+        m.http_requests.incr();
+        m.http_errors.incr();
+        return;
+    }
+    let response = match read_request_head(&mut stream) {
+        Some(head) => match parse_request_line(&head) {
+            Some((method, target)) => respond(state, method, target),
+            None => Response::json(400, "{\"error\":\"malformed request line\"}".into()),
+        },
+        None => Response::json(
+            400,
+            "{\"error\":\"incomplete or oversized request\"}".into(),
+        ),
+    };
+    m.http_requests.incr();
+    if response.status != 200 {
+        m.http_errors.incr();
+    }
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        response.status_text(),
+        response.content_type,
+        response.body.len(),
+        response.body
+    );
+    let _ = stream.flush();
+    m.http_request_latency.observe(start);
+}
+
+/// Reads until the end of the request head (blank line), an EOF, a
+/// timeout, or the [`MAX_REQUEST_BYTES`] bound. Returns `None` unless a
+/// complete head arrived within bounds.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    return Some(String::from_utf8_lossy(&buf).into_owned());
+                }
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None, // timeout or reset: forfeit the slot
+        }
+    }
+}
+
+/// Extracts `(method, target)` from the request line, requiring an
+/// `HTTP/1.x` version tag.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = (parts.next()?, parts.next()?, parts.next()?);
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return None;
+    }
+    Some((method, target))
+}
+
+/// Routes one parsed request to its endpoint. Public so tests can
+/// exercise routing without sockets.
+#[must_use]
+pub fn respond(state: &ServerState, method: &str, target: &str) -> Response {
+    if method != "GET" {
+        return Response::json(
+            405,
+            format!(
+                "{{\"error\":\"method {} not allowed\"}}",
+                json_safe(method, 16)
+            ),
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            state.refresh_observable_gauges();
+            Response {
+                status: 200,
+                content_type: PROMETHEUS_CONTENT_TYPE,
+                body: streamlink_core::metrics::global()
+                    .snapshot()
+                    .render_prometheus(),
+            }
+        }
+        "/healthz" => healthz(state),
+        "/tracez" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("n=").and_then(|v| v.parse().ok()))
+                })
+                .unwrap_or(DEFAULT_TRACEZ_SPANS)
+                .clamp(1, trace::RING_CAPACITY);
+            Response::json(200, trace::render_trace_json(n))
+        }
+        "/memz" => {
+            let report = state.memory_report();
+            report.publish();
+            Response::json(200, report.render_json())
+        }
+        _ => Response::json(
+            404,
+            format!("{{\"error\":\"no such path {}\"}}", json_safe(path, 64)),
+        ),
+    }
+}
+
+/// Client-controlled text echoed into a JSON error body: keep only
+/// printable ASCII that cannot terminate a JSON string, and bound the
+/// length so an absurd request line cannot inflate the response.
+fn json_safe(raw: &str, max: usize) -> String {
+    raw.chars()
+        .filter(|c| c.is_ascii_graphic() && *c != '"' && *c != '\\')
+        .take(max)
+        .collect()
+}
+
+/// The `/healthz` verdict: `200` iff storage is healthy *and* the
+/// rolling audit Jaccard MAE sits inside twice the offline Hoeffding
+/// envelope for the deployed `k` (the OPERATIONS.md §9 alert rule).
+/// Audit legs with no completed cycle yet pass vacuously.
+fn healthz(state: &ServerState) -> Response {
+    let storage_ok = !state.storage_degraded();
+    let k = state.read_store().config().slots();
+    let envelope = 2.0 * AccuracyPlan::error_bound(k, 0.01);
+    let audit = state.audit_snapshot();
+    let (audit_ok, audit_json) = match &audit {
+        Some(snap) => {
+            let scored = snap.cycles > 0 && snap.pairs_evaluated > 0;
+            let ok = !scored || snap.jaccard_mae <= envelope;
+            (
+                ok,
+                format!(
+                    "{{\"cycles\":{},\"pairs\":{},\"tracked\":{},\"jaccard_mae\":{:.6},\
+                     \"envelope\":{envelope:.6}}}",
+                    snap.cycles, snap.pairs_evaluated, snap.tracked, snap.jaccard_mae
+                ),
+            )
+        }
+        None => (true, "null".to_string()),
+    };
+    let healthy = storage_ok && audit_ok;
+    let body = format!(
+        "{{\"schema\":\"streamlink.healthz.v1\",\"status\":\"{}\",\"storage_ok\":{storage_ok},\
+         \"audit_ok\":{audit_ok},\"uptime_secs\":{},\"audit\":{audit_json}}}",
+        if healthy { "ok" } else { "degraded" },
+        state.uptime_secs()
+    );
+    Response::json(if healthy { 200 } else { 503 }, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use streamlink_core::{SketchConfig, SketchStore};
+
+    fn state() -> ServerState {
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        ServerState::in_memory(store, ServerConfig::default())
+    }
+
+    #[test]
+    fn request_line_parsing_accepts_http1_gets_only() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n"),
+            Some(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("POST /metrics HTTP/1.0\r\n\r\n"),
+            Some(("POST", "/metrics"))
+        );
+        assert_eq!(parse_request_line("GET /metrics\r\n\r\n"), None);
+        assert_eq!(parse_request_line("GET /metrics HTTP/2\r\n\r\n"), None);
+        assert_eq!(parse_request_line("GET /a b HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(parse_request_line(""), None);
+    }
+
+    #[test]
+    fn metrics_route_renders_prometheus() {
+        let s = state();
+        let r = respond(&s, "GET", "/metrics");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.content_type, PROMETHEUS_CONTENT_TYPE);
+        assert!(r
+            .body
+            .contains("# TYPE streamlink_core_insert_edges_total counter"));
+        assert!(r.body.contains("streamlink_mem_total_bytes"));
+    }
+
+    #[test]
+    fn healthz_is_ok_on_a_fresh_in_memory_server() {
+        let s = state();
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"status\":\"ok\""));
+        assert!(r.body.contains("\"storage_ok\":true"));
+    }
+
+    #[test]
+    fn tracez_clamps_and_parses_span_count() {
+        let s = state();
+        for target in ["/tracez", "/tracez?n=5", "/tracez?n=0", "/tracez?n=junk"] {
+            let r = respond(&s, "GET", target);
+            assert_eq!(r.status, 200, "{target}");
+            assert!(r.body.starts_with("{\"schema\":\"streamlink.trace.v1\""));
+        }
+    }
+
+    #[test]
+    fn memz_reports_all_components() {
+        let s = state();
+        let r = respond(&s, "GET", "/memz");
+        assert_eq!(r.status, 200);
+        assert!(r.body.starts_with("{\"schema\":\"streamlink.memz.v1\""));
+        for name in ["store.sketch_slots", "trace.ring", "journal.write_buffer"] {
+            assert!(r.body.contains(name), "missing component {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_are_errors() {
+        let s = state();
+        assert_eq!(respond(&s, "GET", "/nope").status, 404);
+        assert_eq!(respond(&s, "POST", "/metrics").status, 405);
+        assert_eq!(respond(&s, "DELETE", "/healthz").status, 405);
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`signals`] — SIGINT/SIGTERM handlers flipping the shutdown flag.
 //! * [`persistence`] — data-directory recovery, the edge journal, and
 //!   the background checkpointer.
+//! * [`http`] — the optional scrape plane (`--http-addr`): Prometheus
+//!   `/metrics`, `/healthz`, `/tracez`, and `/memz` over a bounded,
+//!   timeboxed std-only HTTP/1.1 listener.
 //!
 //! ## Lifecycle
 //!
@@ -28,6 +31,7 @@
 //! stays fast and the journal stays short.
 
 pub mod connection;
+pub mod http;
 pub mod persistence;
 pub mod protocol;
 pub mod signals;
@@ -41,13 +45,18 @@ use std::time::{Duration, Instant};
 
 use graphstream::VertexId;
 use streamlink_core::journal::JournalEntry;
-use streamlink_core::{AccuracyAuditor, AuditConfig, AuditSnapshot, SketchStore};
+use streamlink_core::{AccuracyAuditor, AuditConfig, AuditSnapshot, MemoryReport, SketchStore};
 
 use persistence::Persist;
 
 /// How often the accept loop and connection loops wake up to poll the
 /// shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// How often the accept loop refreshes the `mem.*` gauges from a fresh
+/// [`MemoryReport`] (scrapes also refresh on demand; this keeps the TCP
+/// `METRICS` view current even with no scraper attached).
+pub const MEM_REFRESH_INTERVAL: Duration = Duration::from_secs(5);
 
 /// Tunables for one server instance. All have serving-grade defaults;
 /// `streamlink serve` exposes each as a flag.
@@ -106,6 +115,10 @@ pub struct ServerState {
     active: AtomicUsize,
     last_snapshot_seq: AtomicU64,
     local_shutdown: AtomicBool,
+    /// False after a journal append fails, true again after the next
+    /// success — the `/healthz` degraded-storage signal. Always true
+    /// for in-memory deployments.
+    storage_ok: AtomicBool,
     /// Online accuracy auditor (`None` when `audit_interval` is zero).
     /// Lock order: the store lock is always taken before the auditor's
     /// internal lock — both the insert path (write store → observe) and
@@ -149,6 +162,7 @@ impl ServerState {
             active: AtomicUsize::new(0),
             last_snapshot_seq: AtomicU64::new(snapshot_seq),
             local_shutdown: AtomicBool::new(false),
+            storage_ok: AtomicBool::new(true),
             auditor,
         }
     }
@@ -199,7 +213,11 @@ impl ServerState {
         let degrees_before = audit.map(|_| (store.degree(u), store.degree(v)));
         if let Some(mut persist) = self.persist_guard() {
             let seq = persist.journal.next_seq();
-            persist.journal.append(JournalEntry { seq, u, v })?;
+            if let Err(e) = persist.journal.append(JournalEntry { seq, u, v }) {
+                self.storage_ok.store(false, Ordering::SeqCst);
+                return Err(e);
+            }
+            self.storage_ok.store(true, Ordering::SeqCst);
         }
         store.insert_edge(u, v);
         if let (Some(a), Some((du, dv))) = (audit, degrees_before) {
@@ -212,6 +230,44 @@ impl ServerState {
     #[must_use]
     pub fn audit_snapshot(&self) -> Option<AuditSnapshot> {
         self.auditor.as_ref().map(AccuracyAuditor::snapshot)
+    }
+
+    /// The online accuracy auditor, if auditing is on ( `EXPLAIN` uses
+    /// it to report shadow-sample coverage of the queried endpoints).
+    #[must_use]
+    pub fn auditor(&self) -> Option<&AccuracyAuditor> {
+        self.auditor.as_ref()
+    }
+
+    /// Whether the most recent journal append failed — the storage leg
+    /// of the `/healthz` verdict. Heals itself on the next successful
+    /// append.
+    #[must_use]
+    pub fn storage_degraded(&self) -> bool {
+        !self.storage_ok.load(Ordering::SeqCst)
+    }
+
+    /// Assembles a fresh component [`MemoryReport`] over the live store,
+    /// journal, trace ring, and audit shadow state.
+    ///
+    /// Takes the persistence lock and the store read lock in sequence
+    /// (never nested), so it is safe from any thread.
+    #[must_use]
+    pub fn memory_report(&self) -> MemoryReport {
+        let journal_buffer = self.persist_guard().map_or(0, |p| p.journal.buffer_bytes());
+        let store = self.read_store();
+        MemoryReport::collect(&store, self.auditor.as_ref(), journal_buffer)
+    }
+
+    /// Refreshes every observation-time gauge: live connections,
+    /// journal lag, and the full `mem.*` breakdown. Called by the
+    /// accept loop every [`MEM_REFRESH_INTERVAL`] and by `/metrics` so
+    /// scrapes are never staler than one request.
+    pub fn refresh_observable_gauges(&self) {
+        let m = streamlink_core::metrics::global();
+        m.connections_active.set(self.connections_active() as u64);
+        m.journal_lag_edges.set(self.journal_lag());
+        self.memory_report().publish();
     }
 
     /// Runs one accuracy-audit cycle against the live store (the
@@ -302,12 +358,18 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
         None
     };
 
+    state.refresh_observable_gauges();
     let mut last_metrics_log = Instant::now();
+    let mut last_mem_refresh = Instant::now();
     while !state.shutdown_requested() {
         let log_every = state.config.metrics_log_every;
         if !log_every.is_zero() && last_metrics_log.elapsed() >= log_every {
             last_metrics_log = Instant::now();
             eprintln!("{}", metrics_log_line(state));
+        }
+        if last_mem_refresh.elapsed() >= MEM_REFRESH_INTERVAL {
+            last_mem_refresh = Instant::now();
+            state.refresh_observable_gauges();
         }
         match listener.accept() {
             Ok((stream, _)) => {

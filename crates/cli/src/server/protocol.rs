@@ -5,6 +5,12 @@
 //!     -> OK <float>        measure estimate
 //!     -> OK unseen         either endpoint never appeared
 //! DEGREE u                 -> OK <int>
+//! EXPLAIN <JACCARD|OVERLAP|DEGREE> u v
+//!     -> OK measure=<m> u=<u> v=<v> estimate=<f> k=<k> fill_u=<n>
+//!           fill_v=<n> epsilon95=<f> interval_low=<f> interval_high=<f>
+//!           audit_u=<0|1> audit_v=<0|1> [...]   (one line; the estimate
+//!           plus its 95%-confidence machinery — see docs/THEORY.md)
+//!     -> OK unseen         either endpoint never appeared
 //! INSERT u v               -> OK inserted          (journaled first when
 //!                                                   a data dir is set)
 //! STATS                    -> OK vertices=<n> edges=<m> memory=<bytes>
@@ -12,7 +18,9 @@
 //!                                journal_lag_edges=<l> shed_total=<n>
 //!                                snapshot_generations=<k>
 //!                                replay_quarantined=<q>
-//!                                scrub_last_exit=<code>   (one line)
+//!                                scrub_last_exit=<code>
+//!                                process_uptime_secs=<s>
+//!                                process_as_of_unix_ms=<ms>   (one line)
 //! METRICS                  -> one key=value line per exported metric,
 //!                             terminated by `OK <n> metrics`
 //! TRACE [N]                -> newest N (default 16) completed trace
@@ -46,6 +54,12 @@
 //! answers "where did recent requests spend their time", `HEALTH`
 //! answers "are the sketches still inside their error envelope". Both
 //! follow the same CRLF/case tolerance as every other command.
+//!
+//! `EXPLAIN` turns the accuracy guarantee into a per-query answer: the
+//! estimate, the slot evidence behind it (`k`, matches, slot fill), the
+//! Hoeffding ε at 95% confidence, the Wilson interval implied by the
+//! observed matches, and whether the online audit's shadow sample
+//! covers either endpoint (`audit_u`/`audit_v`).
 
 use graphstream::VertexId;
 use linkpred::Measure;
@@ -86,6 +100,7 @@ fn command_span_name(line: &str) -> &'static str {
         "INSERT" => "cmd.insert",
         "JACCARD" | "CN" | "AA" | "RA" | "PA" | "COSINE" | "OVERLAP" => "cmd.query",
         "DEGREE" => "cmd.degree",
+        "EXPLAIN" => "cmd.explain",
         "STATS" => "cmd.stats",
         "METRICS" => "cmd.metrics",
         "TRACE" => "cmd.trace",
@@ -132,11 +147,15 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
                 )
             };
             let m = metrics::global();
+            // The process_* timestamps mirror METRICS's
+            // `process.uptime_secs` / `process.as_of_unix_ms` so the two
+            // surfaces can be correlated sample-for-sample.
             format!(
                 "OK vertices={vertices} edges={edges} memory={memory} \
                  uptime_secs={} connections_active={} journal_lag_edges={} \
                  shed_total={} snapshot_generations={} replay_quarantined={} \
-                 scrub_last_exit={}",
+                 scrub_last_exit={} process_uptime_secs={} \
+                 process_as_of_unix_ms={}",
                 state.uptime_secs(),
                 state.connections_active(),
                 state.journal_lag(),
@@ -144,6 +163,8 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
                 m.snapshot_generations_kept.get(),
                 m.wal_replay_skipped.get(),
                 m.scrub_last_exit.get(),
+                metrics::uptime_secs(),
+                metrics::as_of_unix_ms(),
             )
         }
         "METRICS" => {
@@ -246,6 +267,27 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             },
             Err(e) => format!("ERR {e}"),
         },
+        "EXPLAIN" => {
+            if args.len() != 3 {
+                return "ERR EXPLAIN takes <JACCARD|OVERLAP|DEGREE> u v".into();
+            }
+            let what = args[0].to_ascii_uppercase();
+            if !matches!(what.as_str(), "JACCARD" | "OVERLAP" | "DEGREE") {
+                return format!(
+                    "ERR EXPLAIN supports JACCARD, OVERLAP, or DEGREE, got {:?}",
+                    args[0]
+                );
+            }
+            match pair(&args[1..]) {
+                Ok((u, v)) => {
+                    metrics::global().server_queries.incr();
+                    let guard = state.read_store();
+                    t.note_degree(guard.degree(u).max(guard.degree(v)));
+                    explain(state, &guard, &what, u, v)
+                }
+                Err(e) => format!("ERR {e}"),
+            }
+        }
         "JACCARD" | "CN" | "AA" | "RA" | "PA" | "COSINE" | "OVERLAP" => {
             let Some(measure) = Measure::parse(&upper) else {
                 return format!("ERR unknown measure {upper:?}");
@@ -272,7 +314,78 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
                 Err(e) => format!("ERR {e}"),
             }
         }
-        other => format!("ERR unknown command {other:?}"),
+        other => format!(
+            "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
+             RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
+             HEALTH, PING, QUIT)"
+        ),
+    }
+}
+
+/// Builds the one-line `EXPLAIN` response: the estimate plus the
+/// `(ε, δ)` machinery behind it, so an operator can see not just a
+/// number but how much to trust it.
+///
+/// `what` is pre-validated to one of `JACCARD`, `OVERLAP`, `DEGREE`.
+fn explain(
+    state: &ServerState,
+    store: &streamlink_core::SketchStore,
+    what: &str,
+    u: VertexId,
+    v: VertexId,
+) -> String {
+    use streamlink_core::AccuracyPlan;
+
+    /// z-score for a two-sided 95% confidence interval.
+    const Z95: f64 = 1.959_964;
+
+    let (Some(su), Some(sv)) = (store.sketch(u), store.sketch(v)) else {
+        return "OK unseen".into();
+    };
+    let k = store.config().slots();
+    let (du, dv) = (store.degree(u), store.degree(v));
+    let matches = su.match_count(sv);
+    let covered = |x: VertexId| u8::from(state.auditor().is_some_and(|a| a.covers(x)));
+    let common = format!(
+        "u={} v={} k={k} fill_u={} fill_v={} audit_u={} audit_v={}",
+        u.0,
+        v.0,
+        su.filled_slots(),
+        sv.filled_slots(),
+        covered(u),
+        covered(v),
+    );
+    match what {
+        "JACCARD" => {
+            let estimate = matches as f64 / k as f64;
+            let (lo, hi) = AccuracyPlan::wilson_interval(matches, k, Z95);
+            format!(
+                "OK measure=JACCARD {common} estimate={estimate:.6} matches={matches} \
+                 epsilon95={:.6} interval_low={lo:.6} interval_high={hi:.6}",
+                AccuracyPlan::error_bound(k, 0.05),
+            )
+        }
+        "OVERLAP" => {
+            // Overlap = CN / min(d(u), d(v)); propagate the CN interval
+            // through the same denominator the estimator uses.
+            let denom = du.min(dv).max(1) as f64;
+            let estimate = store.overlap(u, v).unwrap_or(0.0);
+            let (cn_lo, cn_hi) = AccuracyPlan::cn_interval(matches, k, du, dv, Z95);
+            format!(
+                "OK measure=OVERLAP {common} estimate={estimate:.6} matches={matches} \
+                 epsilon95={:.6} interval_low={:.6} interval_high={:.6}",
+                AccuracyPlan::error_bound(k, 0.05),
+                (cn_lo / denom).clamp(0.0, 1.0),
+                (cn_hi / denom).clamp(0.0, 1.0),
+            )
+        }
+        // DEGREE: exact counters, so the interval is degenerate and the
+        // error bound is zero — included so clients can treat every
+        // EXPLAIN response uniformly.
+        _ => format!(
+            "OK measure=DEGREE {common} estimate={du} degree_u={du} degree_v={dv} \
+             epsilon95=0.000000 interval_low={du}.000000 interval_high={du}.000000"
+        ),
     }
 }
 
@@ -510,6 +623,123 @@ mod tests {
         assert!(
             handle_command(&s, "HEALTH now").starts_with("ERR"),
             "HEALTH args"
+        );
+    }
+
+    #[test]
+    fn explain_jaccard_reports_estimate_with_interval() {
+        let s = state();
+        let reply = handle_command(&s, "EXPLAIN JACCARD 0 1");
+        let body = reply.strip_prefix("OK ").expect("OK response");
+        let fields: std::collections::HashMap<&str, &str> = body
+            .split_whitespace()
+            .map(|kv| kv.split_once('=').expect("key=value field"))
+            .collect();
+        assert_eq!(fields["measure"], "JACCARD");
+        assert_eq!(fields["k"], "64");
+        // The fixture populates the store before the server (and its
+        // auditor) exists, so no endpoint is shadow-covered.
+        assert_eq!(fields["audit_u"], "0");
+        assert_eq!(fields["audit_v"], "0");
+        let estimate: f64 = fields["estimate"].parse().unwrap();
+        let matches: usize = fields["matches"].parse().unwrap();
+        let lo: f64 = fields["interval_low"].parse().unwrap();
+        let hi: f64 = fields["interval_high"].parse().unwrap();
+        let eps: f64 = fields["epsilon95"].parse().unwrap();
+        // Perfect overlap: every slot matches, estimate 1.0.
+        assert_eq!(matches, 64);
+        assert!((estimate - 1.0).abs() < 1e-9);
+        assert!(
+            lo <= estimate && estimate <= hi,
+            "{lo} <= {estimate} <= {hi}"
+        );
+        assert!(
+            lo > 0.9,
+            "Wilson low bound at p=1, k=64 should be tight: {lo}"
+        );
+        assert!(eps > 0.0 && eps < 1.0);
+        let fill: usize = fields["fill_u"].parse().unwrap();
+        assert!((1..=64).contains(&fill));
+    }
+
+    #[test]
+    fn explain_overlap_and_degree_variants() {
+        let s = state();
+        let overlap = handle_command(&s, "EXPLAIN OVERLAP 0 1");
+        assert!(overlap.contains("measure=OVERLAP"), "{overlap}");
+        assert!(overlap.contains("interval_low="), "{overlap}");
+        let degree = handle_command(&s, "EXPLAIN DEGREE 0 1");
+        assert!(degree.contains("measure=DEGREE"), "{degree}");
+        assert!(degree.contains("degree_u=20"), "{degree}");
+        assert!(degree.contains("degree_v=20"), "{degree}");
+        assert!(degree.contains("epsilon95=0.000000"), "{degree}");
+        assert_eq!(handle_command(&s, "EXPLAIN JACCARD 0 9999"), "OK unseen");
+    }
+
+    #[test]
+    fn explain_is_crlf_and_case_tolerant() {
+        // Mirrors the TRACE/HEALTH hygiene suite: telnet-style CRLF
+        // terminators, padding, and any case must all parse.
+        let s = state();
+        assert!(handle_command(&s, "explain jaccard 0 1\r").starts_with("OK measure=JACCARD"));
+        assert!(handle_command(&s, "  Explain Overlap 0 1  \r").starts_with("OK measure=OVERLAP"));
+        assert!(handle_command(&s, "\tEXPLAIN degree 0 1\r").starts_with("OK measure=DEGREE"));
+    }
+
+    #[test]
+    fn explain_bad_arguments_are_err() {
+        let s = state();
+        assert!(handle_command(&s, "EXPLAIN").starts_with("ERR"), "no args");
+        assert!(
+            handle_command(&s, "EXPLAIN JACCARD 0").starts_with("ERR"),
+            "one vertex"
+        );
+        assert!(
+            handle_command(&s, "EXPLAIN JACCARD 0 1 2").starts_with("ERR"),
+            "extra args"
+        );
+        assert!(
+            handle_command(&s, "EXPLAIN COSINE 0 1").starts_with("ERR EXPLAIN supports"),
+            "unsupported measure"
+        );
+        assert!(
+            handle_command(&s, "EXPLAIN JACCARD a b").starts_with("ERR bad vertex id"),
+            "non-numeric ids"
+        );
+    }
+
+    #[test]
+    fn unknown_command_help_lists_explain() {
+        let s = state();
+        let reply = handle_command(&s, "FROBNICATE");
+        assert!(reply.starts_with("ERR unknown command"), "{reply}");
+        for cmd in ["EXPLAIN", "INSERT", "METRICS", "TRACE", "HEALTH"] {
+            assert!(reply.contains(cmd), "help text missing {cmd}: {reply}");
+        }
+    }
+
+    #[test]
+    fn stats_carries_process_timestamps_matching_metrics() {
+        let s = state();
+        let stats = handle_command(&s, "STATS");
+        assert!(stats.contains("process_uptime_secs="), "{stats}");
+        let stats_ms: u64 = stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("process_as_of_unix_ms="))
+            .expect("process_as_of_unix_ms field")
+            .parse()
+            .expect("u64 ms");
+        let response = handle_command(&s, "METRICS");
+        let metrics_ms: u64 = response
+            .lines()
+            .find_map(|l| l.strip_prefix("process.as_of_unix_ms="))
+            .expect("METRICS as_of")
+            .parse()
+            .expect("u64 ms");
+        // Taken moments apart in the same process: within 10 s.
+        assert!(
+            metrics_ms.abs_diff(stats_ms) < 10_000,
+            "STATS ({stats_ms}) and METRICS ({metrics_ms}) disagree"
         );
     }
 

@@ -1,0 +1,132 @@
+//! Offline calibration of `EXPLAIN` error bars.
+//!
+//! Builds a sketch store and an exact adjacency graph from the same
+//! deterministic Barabási–Albert stream, then checks that the 95%
+//! Wilson interval reported by `EXPLAIN JACCARD u v` contains the exact
+//! Jaccard for at least 95% of sampled pairs. MinHash slot agreement is
+//! Binomial(k, J) under an ideal hash, so the interval's nominal
+//! coverage should hold on a stationary fixture; this test is the
+//! empirical pin for that claim.
+
+use std::collections::HashMap;
+
+use graphstream::{AdjacencyGraph, BarabasiAlbert, EdgeStream, VertexId};
+use streamlink_cli::server::protocol::handle_command;
+use streamlink_cli::server::{ServerConfig, ServerState};
+use streamlink_core::{SketchConfig, SketchStore};
+
+fn explain_fields(state: &ServerState, command: &str) -> HashMap<String, String> {
+    let reply = handle_command(state, command);
+    let body = reply
+        .strip_prefix("OK ")
+        .unwrap_or_else(|| panic!("{command:?} failed: {reply}"));
+    body.split_whitespace()
+        .filter_map(|kv| kv.split_once('='))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn explain_jaccard_interval_covers_exact_value_on_offline_fixture() {
+    const SLOTS: usize = 256;
+    const MIN_COVERAGE: f64 = 0.95;
+
+    let edges: Vec<_> = BarabasiAlbert::new(600, 5, 42).edges().collect();
+    let mut store = SketchStore::new(SketchConfig::with_slots(SLOTS).seed(7));
+    let mut exact = AdjacencyGraph::new();
+    for e in &edges {
+        store.insert_edge(e.src, e.dst);
+        exact.insert_edge(e.src, e.dst);
+    }
+    let state = ServerState::in_memory(store, ServerConfig::default());
+
+    // Sample pairs across the degree spectrum: early BA vertices are
+    // hubs (high, varied Jaccard), late ones are leaves (near-zero
+    // Jaccard), so the interval is exercised at both ends.
+    let mut sampled = 0u32;
+    let mut covered = 0u32;
+    let mut widths = Vec::new();
+    for u in 0u64..100 {
+        for dv in 1u64..=4 {
+            let v = u + dv * 37;
+            let (vu, vv) = (VertexId(u), VertexId(v % 600));
+            if vu == vv || exact.degree(vu) == 0 || exact.degree(vv) == 0 {
+                continue;
+            }
+            let fields = explain_fields(&state, &format!("EXPLAIN JACCARD {} {}", vu.0, vv.0));
+            let lo: f64 = fields["interval_low"].parse().expect("interval_low f64");
+            let hi: f64 = fields["interval_high"].parse().expect("interval_high f64");
+            let estimate: f64 = fields["estimate"].parse().expect("estimate f64");
+            assert!(
+                lo <= estimate && estimate <= hi,
+                "estimate {estimate} outside its own interval [{lo}, {hi}]"
+            );
+            let truth = exact.jaccard(vu, vv);
+            sampled += 1;
+            if (lo..=hi).contains(&truth) {
+                covered += 1;
+            }
+            widths.push(hi - lo);
+        }
+    }
+
+    assert!(sampled >= 300, "fixture produced only {sampled} pairs");
+    let coverage = f64::from(covered) / f64::from(sampled);
+    assert!(
+        coverage >= MIN_COVERAGE,
+        "95% interval covered exact Jaccard on only {covered}/{sampled} pairs ({coverage:.3})"
+    );
+    // The interval is informative, not vacuous: at k=256 the Wilson
+    // width tops out near 2·1.96·sqrt(0.25/256) ≈ 0.125.
+    let max_width = widths.iter().fold(0.0f64, |a, &w| a.max(w));
+    assert!(
+        max_width < 0.2,
+        "interval width {max_width} too loose for k={SLOTS}"
+    );
+}
+
+#[test]
+fn explain_overlap_interval_covers_exact_value_on_hub_pairs() {
+    const SLOTS: usize = 256;
+
+    let edges: Vec<_> = BarabasiAlbert::new(600, 5, 43).edges().collect();
+    let mut store = SketchStore::new(SketchConfig::with_slots(SLOTS).seed(9));
+    let mut exact = AdjacencyGraph::new();
+    for e in &edges {
+        store.insert_edge(e.src, e.dst);
+        exact.insert_edge(e.src, e.dst);
+    }
+    let state = ServerState::in_memory(store, ServerConfig::default());
+
+    // Hub pairs only: overlap = CN / min-degree needs a meaningful
+    // denominator for the propagated interval to be exercised.
+    let mut sampled = 0u32;
+    let mut covered = 0u32;
+    for u in 0u64..40 {
+        for v in (u + 1)..40 {
+            let (vu, vv) = (VertexId(u), VertexId(v));
+            if exact.degree(vu) < 5 || exact.degree(vv) < 5 {
+                continue;
+            }
+            let fields = explain_fields(&state, &format!("EXPLAIN OVERLAP {u} {v}"));
+            let lo: f64 = fields["interval_low"].parse().unwrap();
+            let hi: f64 = fields["interval_high"].parse().unwrap();
+            let truth = exact.common_neighbors(vu, vv) as f64
+                / exact.degree(vu).min(exact.degree(vv)) as f64;
+            sampled += 1;
+            if (lo..=hi).contains(&truth) {
+                covered += 1;
+            }
+        }
+    }
+
+    assert!(sampled >= 200, "fixture produced only {sampled} hub pairs");
+    // The CN interval inherits Jaccard's coverage but propagates
+    // through degree counters measured on the same stream; hold it to
+    // the same nominal floor.
+    let coverage = f64::from(covered) / f64::from(sampled);
+    assert!(
+        coverage >= 0.95,
+        "OVERLAP interval covered truth on only {covered}/{sampled} pairs ({coverage:.3})"
+    );
+}

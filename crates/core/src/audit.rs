@@ -282,6 +282,40 @@ impl AccuracyAuditor {
         }
     }
 
+    /// Whether the shadow adjacency currently holds a complete
+    /// neighborhood for `v` — i.e. an `EXPLAIN`/audit exact value for a
+    /// pair touching `v` is available. Burned or never-sampled vertices
+    /// report false.
+    #[must_use]
+    pub fn covers(&self, v: VertexId) -> bool {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.tracked.contains_key(&v.0)
+    }
+
+    /// Approximate resident bytes of the shadow state: tracked map and
+    /// neighbor sets, burned set, and the rolling error windows. A
+    /// deterministic capacity model matching the store's accounting
+    /// style; bounded by `max_tracked × max_neighbors` words.
+    #[must_use]
+    pub fn shadow_memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let set_entry = size_of::<u64>() * 2; // element + control/overhead word
+        let neighbor_bytes: usize = inner
+            .tracked
+            .values()
+            .map(|set| set.capacity() * set_entry)
+            .sum();
+        let tracked_map =
+            inner.tracked.capacity() * (size_of::<(u64, HashSet<u64>)>() + size_of::<u64>());
+        let burned = inner.burned.capacity() * set_entry;
+        let windows = (inner.windows.jaccard_abs.capacity()
+            + inner.windows.cn_rel.capacity()
+            + inner.windows.aa_abs.capacity())
+            * size_of::<f64>();
+        neighbor_bytes + tracked_map + burned + windows + size_of::<Self>()
+    }
+
     fn score_pair(
         store: &SketchStore,
         tracked: &HashMap<u64, HashSet<u64>>,
@@ -442,6 +476,32 @@ mod tests {
         assert_eq!(n0.len(), 5);
         assert_eq!(n1.len(), 4);
         assert_eq!(n0.intersection(n1).count(), 4);
+    }
+
+    #[test]
+    fn covers_reflects_tracked_shadow_sets() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let auditor = AccuracyAuditor::new(track_all());
+        assert!(!auditor.covers(VertexId(0)));
+        insert(&mut store, &auditor, 0, 1);
+        assert!(auditor.covers(VertexId(0)));
+        assert!(auditor.covers(VertexId(1)));
+        assert!(!auditor.covers(VertexId(42)));
+    }
+
+    #[test]
+    fn shadow_memory_grows_with_tracked_population() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64));
+        let auditor = AccuracyAuditor::new(track_all());
+        let empty = auditor.shadow_memory_bytes();
+        assert!(empty >= std::mem::size_of::<AccuracyAuditor>());
+        for v in 0u64..200 {
+            insert(&mut store, &auditor, v, v + 10_000);
+        }
+        assert!(
+            auditor.shadow_memory_bytes() > empty,
+            "shadow accounting did not grow with 400 tracked vertices"
+        );
     }
 
     #[test]

@@ -479,6 +479,14 @@ impl Journal {
     pub fn segment_first_seq(&self) -> u64 {
         self.segment_first_seq
     }
+
+    /// Capacity of the in-memory write buffer in front of the active
+    /// segment file — the journal's contribution to the process memory
+    /// report (`mem.journal_buffer_bytes`).
+    #[must_use]
+    pub fn buffer_bytes(&self) -> usize {
+        self.writer.capacity()
+    }
 }
 
 /// What [`replay`] found in the journal directory.

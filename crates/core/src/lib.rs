@@ -39,7 +39,11 @@
 //!   only).
 //! * [`merge`] — sketch-store union for distributed ingestion.
 //! * [`metrics`] — zero-dependency observability: atomic counters,
-//!   gauges, and latency histograms behind one global registry.
+//!   gauges, and latency histograms behind one global registry, with
+//!   Prometheus text exposition rendering.
+//! * [`memory`] — live component-wise memory accounting
+//!   ([`memory::MemoryReport`]): the "constant space per vertex" claim
+//!   as a set of scrapeable `mem.*` gauges.
 //! * [`trace`] — request tracing: span guards over a fixed-capacity
 //!   ring buffer, sampled on the insert hot path, plus a rotating
 //!   slow-op JSONL log.
@@ -98,6 +102,7 @@ pub mod estimators;
 pub mod hll;
 pub mod journal;
 pub mod lsh;
+pub mod memory;
 pub mod merge;
 pub mod metrics;
 pub mod parallel;
@@ -120,6 +125,7 @@ pub use durable::{checkpoint, recover, Recovery, DEFAULT_SNAPSHOT_KEEP};
 pub use hll::HyperLogLog;
 pub use journal::{FsyncPolicy, Journal, JournalEntry, LineCheck, ReplayReport};
 pub use lsh::LshIndex;
+pub use memory::{MemoryComponent, MemoryReport};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use robust::RobustStore;
 pub use store::SketchStore;

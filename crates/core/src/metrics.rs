@@ -348,6 +348,35 @@ pub struct Metrics {
     pub audit_cn_rel_err_p95_ppm: Gauge,
     /// Rolling mean absolute Adamic–Adar error, parts-per-million.
     pub audit_aa_mae_ppm: Gauge,
+    /// HTTP exposition-plane requests served (any status).
+    pub http_requests: Counter,
+    /// HTTP requests answered with a non-200 status (bad path, parse
+    /// failure, timeout, or shed at the scraper-connection cap).
+    pub http_errors: Counter,
+    /// Whole-request latency at the HTTP exposition plane.
+    pub http_request_latency: LatencyHistogram,
+    /// Total modeled resident bytes across every accounted component
+    /// (see [`crate::memory::MemoryReport`]).
+    pub mem_total_bytes: Gauge,
+    /// Sketch slot bytes (`vertices × k × slot size`).
+    pub mem_sketch_slot_bytes: Gauge,
+    /// Sketch hash-map overhead (capacity-based model).
+    pub mem_sketch_map_bytes: Gauge,
+    /// Degree-counter map bytes (capacity-based model).
+    pub mem_degree_map_bytes: Gauge,
+    /// Fixed store overhead: the struct itself plus per-edge scratch.
+    pub mem_store_fixed_bytes: Gauge,
+    /// Journal write-buffer capacity (0 without persistence).
+    pub mem_journal_buffer_bytes: Gauge,
+    /// Trace-ring capacity bytes (constant once the ring exists).
+    pub mem_trace_ring_bytes: Gauge,
+    /// Audit shadow-adjacency bytes (0 when auditing is off).
+    pub mem_audit_shadow_bytes: Gauge,
+    /// Vertices covered by the memory report.
+    pub mem_vertices: Gauge,
+    /// Live total bytes per observed vertex — the paper's
+    /// "constant space per vertex" claim as a scrapeable gauge.
+    pub mem_bytes_per_vertex: Gauge,
 }
 
 impl Metrics {
@@ -390,6 +419,19 @@ impl Metrics {
             audit_jaccard_mae_ppm: Gauge::new(),
             audit_cn_rel_err_p95_ppm: Gauge::new(),
             audit_aa_mae_ppm: Gauge::new(),
+            http_requests: Counter::new(),
+            http_errors: Counter::new(),
+            http_request_latency: LatencyHistogram::new(),
+            mem_total_bytes: Gauge::new(),
+            mem_sketch_slot_bytes: Gauge::new(),
+            mem_sketch_map_bytes: Gauge::new(),
+            mem_degree_map_bytes: Gauge::new(),
+            mem_store_fixed_bytes: Gauge::new(),
+            mem_journal_buffer_bytes: Gauge::new(),
+            mem_trace_ring_bytes: Gauge::new(),
+            mem_audit_shadow_bytes: Gauge::new(),
+            mem_vertices: Gauge::new(),
+            mem_bytes_per_vertex: Gauge::new(),
         }
     }
 
@@ -453,6 +495,8 @@ impl Metrics {
                 ("trace.slow_ops", self.trace_slow_ops.get()),
                 ("audit.cycles", self.audit_cycles.get()),
                 ("audit.pairs", self.audit_pairs.get()),
+                ("http.requests", self.http_requests.get()),
+                ("http.errors", self.http_errors.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
@@ -469,6 +513,19 @@ impl Metrics {
                     self.audit_cn_rel_err_p95_ppm.get(),
                 ),
                 ("audit.aa_mae_ppm", self.audit_aa_mae_ppm.get()),
+                ("mem.total_bytes", self.mem_total_bytes.get()),
+                ("mem.sketch_slot_bytes", self.mem_sketch_slot_bytes.get()),
+                ("mem.sketch_map_bytes", self.mem_sketch_map_bytes.get()),
+                ("mem.degree_map_bytes", self.mem_degree_map_bytes.get()),
+                ("mem.store_fixed_bytes", self.mem_store_fixed_bytes.get()),
+                (
+                    "mem.journal_buffer_bytes",
+                    self.mem_journal_buffer_bytes.get(),
+                ),
+                ("mem.trace_ring_bytes", self.mem_trace_ring_bytes.get()),
+                ("mem.audit_shadow_bytes", self.mem_audit_shadow_bytes.get()),
+                ("mem.vertices", self.mem_vertices.get()),
+                ("mem.bytes_per_vertex", self.mem_bytes_per_vertex.get()),
                 ("process.uptime_secs", uptime_secs()),
                 ("process.as_of_unix_ms", as_of_unix_ms()),
             ],
@@ -487,6 +544,10 @@ impl Metrics {
                 (
                     "server.command_latency_ns",
                     self.server_command_latency.summary(),
+                ),
+                (
+                    "http.request_latency_ns",
+                    self.http_request_latency.summary(),
                 ),
             ],
         }
@@ -518,6 +579,8 @@ impl Metrics {
             &self.trace_slow_ops,
             &self.audit_cycles,
             &self.audit_pairs,
+            &self.http_requests,
+            &self.http_errors,
         ] {
             c.reset();
         }
@@ -529,6 +592,16 @@ impl Metrics {
         self.audit_jaccard_mae_ppm.reset();
         self.audit_cn_rel_err_p95_ppm.reset();
         self.audit_aa_mae_ppm.reset();
+        self.mem_total_bytes.reset();
+        self.mem_sketch_slot_bytes.reset();
+        self.mem_sketch_map_bytes.reset();
+        self.mem_degree_map_bytes.reset();
+        self.mem_store_fixed_bytes.reset();
+        self.mem_journal_buffer_bytes.reset();
+        self.mem_trace_ring_bytes.reset();
+        self.mem_audit_shadow_bytes.reset();
+        self.mem_vertices.reset();
+        self.mem_bytes_per_vertex.reset();
         for h in [
             &self.insert_latency,
             &self.merge_latency,
@@ -536,6 +609,7 @@ impl Metrics {
             &self.journal_append_latency,
             &self.checkpoint_latency,
             &self.server_command_latency,
+            &self.http_request_latency,
         ] {
             h.reset();
         }
@@ -692,6 +766,63 @@ impl MetricsSnapshot {
             self.value("process.uptime_secs").unwrap_or(0),
             self.value("process.as_of_unix_ms").unwrap_or(0),
         ));
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), for the HTTP `/metrics` endpoint.
+    ///
+    /// Dotted keys are mangled to legal metric names (`.` → `_`) under a
+    /// `streamlink_` namespace; counters gain the conventional `_total`
+    /// suffix. Each histogram becomes a native Prometheus histogram:
+    /// cumulative `_bucket{le="…"}` series over the registry's
+    /// power-of-two nanosecond bounds (the last, open-ended bucket is
+    /// exported as `le="+Inf"` only, so every finite bound is honest),
+    /// plus `_sum` and `_count`. Ends with a trailing newline, as the
+    /// format requires.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        fn mangle(key: &str) -> String {
+            let mut name = String::with_capacity(key.len() + 11);
+            name.push_str("streamlink_");
+            for c in key.chars() {
+                name.push(if c == '.' { '_' } else { c });
+            }
+            name
+        }
+        let mut out = String::new();
+        for (key, value) in &self.counters {
+            let name = format!("{}_total", mangle(key));
+            out.push_str(&format!(
+                "# HELP {name} Streamlink counter `{key}`.\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        }
+        for (key, value) in &self.gauges {
+            let name = mangle(key);
+            out.push_str(&format!(
+                "# HELP {name} Streamlink gauge `{key}`.\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        }
+        for (key, h) in &self.histograms {
+            let name = mangle(key);
+            out.push_str(&format!(
+                "# HELP {name} Streamlink latency histogram `{key}` (nanoseconds).\n\
+                 # TYPE {name} histogram\n"
+            ));
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS - 1) {
+                cumulative += c;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    HistogramSummary::bucket_bound_ns(i)
+                ));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n",
+                h.sum_ns, h.count
+            ));
+        }
         out
     }
 
@@ -958,5 +1089,58 @@ mod tests {
         m.reset();
         assert_eq!(m.insert_edges.get(), 0);
         assert_eq!(m.insert_latency.summary().count, 0);
+    }
+
+    #[test]
+    fn prometheus_rendering_mangles_and_types_every_family() {
+        let m = Metrics::new();
+        m.insert_edges.add(17);
+        m.connections_active.set(3);
+        m.insert_latency.record_ns(100);
+        m.insert_latency.record_ns(1_000_000);
+        let text = m.snapshot().render_prometheus();
+        assert!(text.ends_with('\n'), "exposition must end with a newline");
+        assert!(text.contains("# TYPE streamlink_core_insert_edges_total counter"));
+        assert!(text.contains("streamlink_core_insert_edges_total 17"));
+        assert!(text.contains("# TYPE streamlink_server_connections_active gauge"));
+        assert!(text.contains("streamlink_server_connections_active 3"));
+        assert!(text.contains("# TYPE streamlink_core_insert_latency_ns histogram"));
+        assert!(text.contains("streamlink_core_insert_latency_ns_bucket{le=\"128\"} 1"));
+        assert!(text.contains("streamlink_core_insert_latency_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("streamlink_core_insert_latency_ns_sum 1000100"));
+        assert!(text.contains("streamlink_core_insert_latency_ns_count 2"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split([' ', '{']).next().unwrap();
+            assert!(!name.contains('.'), "unmangled metric name: {line:?}");
+            assert!(name.starts_with("streamlink_"), "unprefixed name: {line:?}");
+        }
+        // New memory and http instruments are exported.
+        assert!(text.contains("streamlink_mem_bytes_per_vertex "));
+        assert!(text.contains("streamlink_http_requests_total "));
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_monotone() {
+        let m = Metrics::new();
+        for ns in [1u64, 100, 200, 5_000, 5_000, u64::MAX] {
+            m.server_command_latency.record_ns(ns);
+        }
+        let text = m.snapshot().render_prometheus();
+        let mut last = 0u64;
+        let mut inf = None;
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("streamlink_server_command_latency_ns_bucket{le=\"")
+            else {
+                continue;
+            };
+            let (le, count) = rest.split_once("\"} ").expect("bucket line shape");
+            let count: u64 = count.parse().expect("bucket count");
+            assert!(count >= last, "bucket series regressed at le={le}");
+            last = count;
+            if le == "+Inf" {
+                inf = Some(count);
+            }
+        }
+        assert_eq!(inf, Some(6), "+Inf bucket must equal the sample count");
     }
 }

@@ -158,11 +158,23 @@ impl VertexSketch {
         }
     }
 
-    /// Resident bytes of this sketch (slots only; the store adds map
-    /// overhead).
+    /// Resident bytes of this sketch (slots only; the store-level
+    /// [`crate::store::SketchStore::memory_bytes`] adds map overhead on
+    /// top of the per-sketch sums).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
         self.slots.len() * std::mem::size_of::<Slot>()
+    }
+
+    /// Number of slots that have absorbed at least one neighbor hash.
+    ///
+    /// A freshly created sketch reports 0; once the neighborhood is at
+    /// least as large as the slot count, every slot is filled with
+    /// probability 1 (each slot folds every neighbor). Surfaced by the
+    /// `EXPLAIN` protocol command as a cheap saturation diagnostic.
+    #[must_use]
+    pub fn filled_slots(&self) -> usize {
+        self.slots.iter().filter(|s| !s.is_empty()).count()
     }
 }
 

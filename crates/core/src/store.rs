@@ -8,6 +8,30 @@ use crate::config::{HasherBank, SketchConfig};
 use crate::estimators;
 use crate::sketch::VertexSketch;
 
+/// Component-wise resident-byte model of a [`SketchStore`].
+///
+/// Produced by [`SketchStore::memory_breakdown`]; the sum of the fields
+/// is exactly [`SketchStore::memory_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMemory {
+    /// Slot arrays of every resident sketch (`vertices × k × 16`).
+    pub sketch_slot_bytes: usize,
+    /// Sketch hash-map overhead (capacity × entry + control bytes).
+    pub sketch_map_bytes: usize,
+    /// Degree-counter hash-map overhead.
+    pub degree_map_bytes: usize,
+    /// Fixed struct size plus the reused per-edge hash scratch buffers.
+    pub fixed_bytes: usize,
+}
+
+impl StoreMemory {
+    /// Total resident bytes — the sum of every component.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.sketch_slot_bytes + self.sketch_map_bytes + self.degree_map_bytes + self.fixed_bytes
+    }
+}
+
 /// The streaming sketch index: one [`VertexSketch`] plus one degree
 /// counter per observed vertex.
 ///
@@ -246,15 +270,34 @@ impl SketchStore {
     /// Approximate resident bytes: sketches + degree counters + map
     /// overhead. A deterministic model (entries × slot sizes), comparable
     /// against `AdjacencyGraph::memory_bytes` in experiment E7.
+    ///
+    /// Always at least the sum of [`VertexSketch::memory_bytes`] over
+    /// every resident sketch — the map overhead promised by the sketch
+    /// doc comment is accounted for here, not there.
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
+        self.memory_breakdown().total()
+    }
+
+    /// The same accounting as [`SketchStore::memory_bytes`], split into
+    /// its components for the `mem.*` gauges and `/memz` endpoint.
+    ///
+    /// Every store sketch has exactly `config.slots()` slots, so the
+    /// slot-byte term is `O(1)` — safe to call from a metrics refresh
+    /// cycle while holding a read lock.
+    #[must_use]
+    pub fn memory_breakdown(&self) -> StoreMemory {
         use std::mem::size_of;
-        let sketch_bytes: usize = self.sketches.values().map(VertexSketch::memory_bytes).sum();
-        let sketch_map =
-            self.sketches.capacity() * (size_of::<(VertexId, VertexSketch)>() + size_of::<u64>());
-        let degree_map =
-            self.degrees.capacity() * (size_of::<(VertexId, u64)>() + size_of::<u64>());
-        sketch_bytes + sketch_map + degree_map + size_of::<Self>()
+        let slot_bytes_per_sketch = self.config.slots() * size_of::<crate::sketch::Slot>();
+        StoreMemory {
+            sketch_slot_bytes: self.sketches.len() * slot_bytes_per_sketch,
+            sketch_map_bytes: self.sketches.capacity()
+                * (size_of::<(VertexId, VertexSketch)>() + size_of::<u64>()),
+            degree_map_bytes: self.degrees.capacity()
+                * (size_of::<(VertexId, u64)>() + size_of::<u64>()),
+            fixed_bytes: size_of::<Self>()
+                + (self.scratch_u.capacity() + self.scratch_v.capacity()) * size_of::<u64>(),
+        }
     }
 
     /// Internal access for the merge module.
@@ -301,6 +344,31 @@ mod tests {
             s.insert_edge(VertexId(1), VertexId(w));
         }
         s
+    }
+
+    #[test]
+    fn store_memory_covers_sketches_plus_map_overhead() {
+        let mut s = store(64);
+        let stream = BarabasiAlbert::new(500, 4, 99);
+        for Edge { src, dst, .. } in stream.edges() {
+            s.insert_edge(src, dst);
+        }
+        let sketch_sum: usize = s
+            .vertices()
+            .map(|v| s.sketch(v).unwrap().memory_bytes())
+            .sum();
+        let breakdown = s.memory_breakdown();
+        assert_eq!(breakdown.sketch_slot_bytes, sketch_sum);
+        assert_eq!(breakdown.total(), s.memory_bytes());
+        assert!(
+            s.memory_bytes() > sketch_sum,
+            "store accounting ({}) must exceed the bare sketch sum ({sketch_sum}) \
+             by the map/scratch overhead",
+            s.memory_bytes()
+        );
+        assert!(breakdown.sketch_map_bytes > 0);
+        assert!(breakdown.degree_map_bytes > 0);
+        assert!(breakdown.fixed_bytes >= std::mem::size_of::<SketchStore>());
     }
 
     #[test]

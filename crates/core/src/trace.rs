@@ -251,6 +251,17 @@ pub fn spans_recorded() -> u64 {
     ring().next.load(Ordering::Relaxed)
 }
 
+/// Resident bytes of the span ring: a constant capacity model
+/// (`RING_CAPACITY` slots, each a mutexed record with up to
+/// [`MAX_CHILDREN`] child aggregates), independent of fill level — the
+/// ring allocates all slots up front.
+#[must_use]
+pub fn ring_memory_bytes() -> usize {
+    use std::mem::size_of;
+    RING_CAPACITY
+        * (size_of::<Mutex<Option<SpanRecord>>>() + MAX_CHILDREN * size_of::<(&'static str, u64)>())
+}
+
 /// Clears the ring and the sequence counter (tests and benchmarks; the
 /// serving path never resets).
 pub fn reset() {

@@ -1,0 +1,156 @@
+//! Property tests for the Prometheus text exposition renderer.
+//!
+//! `render_prometheus` output must be well-formed for *any* registry
+//! state a scraper could observe: every sample name unique per label
+//! set, `_bucket` series cumulative and monotone non-decreasing with
+//! `+Inf` equal to `_count`, and `_count`/`_sum` agreeing with the
+//! snapshot's own histogram summaries. The registry here is the real
+//! global one, driven with randomized counter/gauge/histogram traffic
+//! before each snapshot.
+
+use std::collections::{HashMap, HashSet};
+
+use proptest::prelude::*;
+use streamlink_core::metrics::global;
+
+/// One parsed sample line: `(name, labels, value)`.
+type Sample = (String, String, u64);
+
+/// Splits exposition text into typed HELP/TYPE headers and samples,
+/// asserting basic line shape along the way.
+fn parse_exposition(text: &str) -> (HashMap<String, String>, Vec<Sample>) {
+    let mut types = HashMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().expect("TYPE name").to_string();
+            let kind = it.next().expect("TYPE kind").to_string();
+            assert!(
+                matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} for {name}"
+            );
+            assert!(
+                types.insert(name.clone(), kind).is_none(),
+                "duplicate TYPE for {name}"
+            );
+            continue;
+        }
+        if line.starts_with("# HELP ") {
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment shape: {line:?}");
+        let (name_labels, value) = line.rsplit_once(' ').expect("sample line");
+        let value: u64 = value.parse().unwrap_or_else(|_| {
+            panic!("sample value is not a bare u64: {line:?}");
+        });
+        let (name, labels) = match name_labels.split_once('{') {
+            Some((n, l)) => (
+                n.to_string(),
+                l.strip_suffix('}').expect("closed label set").to_string(),
+            ),
+            None => (name_labels.to_string(), String::new()),
+        };
+        samples.push((name, labels, value));
+    }
+    (types, samples)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever traffic hits the registry, the exposition stays
+    /// well-formed and internally consistent.
+    #[test]
+    fn rendered_exposition_is_well_formed(
+        counter_adds in proptest::collection::vec(0u64..10_000, 0..16),
+        gauge_sets in proptest::collection::vec(0u64..u32::MAX as u64, 0..16),
+        latencies in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let m = global();
+        m.set_enabled(true);
+        // Spread randomized traffic over several instruments of each
+        // kind so the exposition exercises multiple families.
+        for (i, &n) in counter_adds.iter().enumerate() {
+            match i % 3 {
+                0 => m.server_commands.add(n),
+                1 => m.http_requests.add(n),
+                _ => m.journal_appends.add(n),
+            }
+        }
+        for (i, &v) in gauge_sets.iter().enumerate() {
+            match i % 3 {
+                0 => m.mem_total_bytes.set(v),
+                1 => m.connections_active.set(v),
+                _ => m.mem_bytes_per_vertex.set(v),
+            }
+        }
+        for (i, &ns) in latencies.iter().enumerate() {
+            match i % 3 {
+                0 => m.server_command_latency.record_ns(ns),
+                1 => m.http_request_latency.record_ns(ns),
+                _ => m.insert_latency.record_ns(ns),
+            }
+        }
+
+        let snap = m.snapshot();
+        let text = snap.render_prometheus();
+        let (types, samples) = parse_exposition(&text);
+
+        // Unique (name, labels) across every sample line.
+        let mut seen = HashSet::new();
+        for (name, labels, _) in &samples {
+            prop_assert!(
+                seen.insert((name.clone(), labels.clone())),
+                "duplicate sample {name}{{{labels}}}"
+            );
+        }
+
+        // Every sample belongs to a declared family; counters carry the
+        // `_total` suffix.
+        for (name, _, _) in &samples {
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .unwrap_or(name);
+            let kind = types
+                .get(family)
+                .or_else(|| types.get(name))
+                .unwrap_or_else(|| panic!("sample {name} has no TYPE header"));
+            if kind == "counter" {
+                prop_assert!(name.ends_with("_total"), "counter {name} lacks _total");
+            }
+        }
+
+        // Histogram invariants, checked against the snapshot itself.
+        let by_sample: HashMap<(String, String), u64> = samples
+            .iter()
+            .map(|(n, l, v)| ((n.clone(), l.clone()), *v))
+            .collect();
+        for (key, summary) in &snap.histograms {
+            let family = format!("streamlink_{}", key.replace('.', "_"));
+            prop_assert_eq!(types.get(&family).map(String::as_str), Some("histogram"));
+            let buckets: Vec<(String, u64)> = samples
+                .iter()
+                .filter(|(n, _, _)| n == &format!("{family}_bucket"))
+                .map(|(_, l, v)| (l.clone(), *v))
+                .collect();
+            prop_assert!(!buckets.is_empty(), "{family} has no bucket lines");
+            let mut last = 0u64;
+            for (labels, cumulative) in &buckets {
+                prop_assert!(
+                    *cumulative >= last,
+                    "{family} bucket {labels} regressed: {cumulative} < {last}"
+                );
+                last = *cumulative;
+            }
+            let (inf_labels, inf_value) = buckets.last().unwrap();
+            prop_assert_eq!(inf_labels.as_str(), "le=\"+Inf\"");
+            prop_assert_eq!(*inf_value, summary.count, "{family} +Inf vs count");
+            let count = by_sample[&(format!("{family}_count"), String::new())];
+            let sum = by_sample[&(format!("{family}_sum"), String::new())];
+            prop_assert_eq!(count, summary.count, "{family} _count vs summary");
+            prop_assert_eq!(sum, summary.sum_ns, "{family} _sum vs summary");
+        }
+    }
+}

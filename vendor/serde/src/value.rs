@@ -59,6 +59,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The element sequence, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Value {
