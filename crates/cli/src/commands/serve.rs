@@ -35,6 +35,19 @@
 //! --audit-secs S              accuracy-audit cycle interval; 0
 //!                             disables the auditor               (30)
 //! --audit-pairs K             vertex pairs scored per cycle      (64)
+//! --replicate-from HOST:PORT  run as a read replica of that primary
+//!                             (mutually exclusive with --data-dir
+//!                             and --snapshot); writes answer
+//!                             `ERR readonly`
+//! --repl-id NAME              replica id shown in the primary's lag
+//!                             gauges              (replica-<pid>)
+//! --repl-buffer N             primary ship-ring capacity in entries;
+//!                             0 disables serving REPL      (65536)
+//! --repl-pull-batch N         entries per REPL PULL         (4096)
+//! --repl-poll-ms MS           idle poll between pulls        (100)
+//! --repl-anti-entropy-secs S  snapshot-join period; 0 off     (30)
+//! --repl-lag-slo N            lag (edges) past which a replica's
+//!                             /healthz flips 503          (100000)
 //! ```
 //!
 //! On SIGINT/SIGTERM the server stops accepting, drains, writes a final
@@ -69,6 +82,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         metrics_log_every: Duration::from_secs(flags.get_parsed_or("metrics-log-secs", 60u64)?),
         audit_interval: Duration::from_secs(flags.get_parsed_or("audit-secs", 30u64)?),
         audit_pairs: flags.get_parsed_or("audit-pairs", 64usize)?,
+        repl_buffer: flags.get_parsed_or("repl-buffer", 65_536usize)?,
     };
     if config.max_conns == 0 {
         return Err("--max-conns must be positive".into());
@@ -109,48 +123,94 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("bad --fsync {raw:?}, expected always|interval|never"))?,
     };
 
-    let state = match (flags.get("data-dir"), flags.get("snapshot")) {
-        (Some(_), Some(_)) => {
+    // Replica flags parse (and validate) regardless of role so typos
+    // fail fast; the runtime only exists with --replicate-from.
+    let repl_tuning = server::replication::ReplicaTuning {
+        pull_batch: flags.get_parsed_or("repl-pull-batch", 4096usize)?,
+        poll_interval: Duration::from_millis(flags.get_parsed_or("repl-poll-ms", 100u64)?),
+        anti_entropy_every: Duration::from_secs(
+            flags.get_parsed_or("repl-anti-entropy-secs", 30u64)?,
+        ),
+        ..server::replication::ReplicaTuning::default()
+    };
+    if repl_tuning.pull_batch == 0 {
+        return Err("--repl-pull-batch must be positive".into());
+    }
+    let repl_lag_slo = flags.get_parsed_or("repl-lag-slo", 100_000u64)?;
+    if repl_lag_slo == 0 {
+        return Err("--repl-lag-slo must be positive".into());
+    }
+    let repl_id = flags
+        .get("repl-id")
+        .map_or_else(|| format!("replica-{}", std::process::id()), str::to_string);
+
+    let state = if let Some(primary) = flags.get("replicate-from") {
+        if flags.get("data-dir").is_some() || flags.get("snapshot").is_some() {
             return Err(
-                "--data-dir and --snapshot are mutually exclusive (a data dir carries \
-                 its own snapshot)"
+                "--replicate-from is mutually exclusive with --data-dir and --snapshot \
+                 (a replica's state is the primary's, pulled over the wire)"
                     .into(),
-            )
-        }
-        (Some(dir), None) => {
-            let (persist, recovery) = persistence::open(Path::new(dir), sketch_config, fsync)
-                .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
-            eprintln!(
-                "recovered {} edges from {dir} (snapshot seq {}, {} journal entr{} replayed{})",
-                recovery.store.edges_processed(),
-                recovery.snapshot_seq,
-                recovery.journal.replayed,
-                if recovery.journal.replayed == 1 {
-                    "y"
-                } else {
-                    "ies"
-                },
-                if recovery.journal.torn_tail {
-                    ", torn tail dropped"
-                } else {
-                    ""
-                },
             );
-            if recovery.fallbacks > 0 || recovery.journal.quarantined > 0 {
-                eprintln!(
-                    "recovery healed around damage: {} snapshot generation(s) skipped, \
-                     {} journal record(s) quarantined (see {dir}/quarantine/)",
-                    recovery.fallbacks, recovery.journal.quarantined,
-                );
+        }
+        let runtime = Arc::new(server::replication::ReplicaRuntime::new(
+            primary.to_string(),
+            repl_id,
+            repl_lag_slo,
+            repl_tuning,
+        ));
+        // The fresh store's shape is provisional: the handshake adopts
+        // the primary's slots/seed/backend while the store is empty.
+        ServerState::replica(SketchStore::new(sketch_config), config, runtime)
+    } else {
+        match (flags.get("data-dir"), flags.get("snapshot")) {
+            (Some(_), Some(_)) => {
+                return Err(
+                    "--data-dir and --snapshot are mutually exclusive (a data dir carries \
+                 its own snapshot)"
+                        .into(),
+                )
             }
-            ServerState::with_persistence(recovery.store, persist, recovery.snapshot_seq, config)
+            (Some(dir), None) => {
+                let (persist, recovery) =
+                    persistence::open(Path::new(dir), sketch_config, fsync)
+                        .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+                eprintln!(
+                    "recovered {} edges from {dir} (snapshot seq {}, {} journal entr{} replayed{})",
+                    recovery.store.edges_processed(),
+                    recovery.snapshot_seq,
+                    recovery.journal.replayed,
+                    if recovery.journal.replayed == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    },
+                    if recovery.journal.torn_tail {
+                        ", torn tail dropped"
+                    } else {
+                        ""
+                    },
+                );
+                if recovery.fallbacks > 0 || recovery.journal.quarantined > 0 {
+                    eprintln!(
+                        "recovery healed around damage: {} snapshot generation(s) skipped, \
+                     {} journal record(s) quarantined (see {dir}/quarantine/)",
+                        recovery.fallbacks, recovery.journal.quarantined,
+                    );
+                }
+                ServerState::with_persistence(
+                    recovery.store,
+                    persist,
+                    recovery.snapshot_seq,
+                    config,
+                )
+            }
+            (None, Some(path)) => {
+                let snap = StoreSnapshot::read_from(Path::new(path))
+                    .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
+                ServerState::in_memory(snap.restore(), config)
+            }
+            (None, None) => ServerState::in_memory(SketchStore::new(sketch_config), config),
         }
-        (None, Some(path)) => {
-            let snap = StoreSnapshot::read_from(Path::new(path))
-                .map_err(|e| format!("cannot load snapshot {path}: {e}"))?;
-            ServerState::in_memory(snap.restore(), config)
-        }
-        (None, None) => ServerState::in_memory(SketchStore::new(sketch_config), config),
     };
 
     // Install the slow-op sink after the data dir exists (recovery
@@ -180,6 +240,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     signals::install();
     let local = listener.local_addr().map_or(addr, |a| a.to_string());
     println!("LISTENING {local}");
+    if let Some(runtime) = state.replica_runtime() {
+        println!("REPLICATING {}", runtime.primary_addr);
+        eprintln!(
+            "read replica of {} (id {}, lag SLO {} edges); writes answer ERR readonly",
+            runtime.primary_addr, runtime.id, runtime.lag_slo
+        );
+    }
     let _ = std::io::stdout().flush();
     eprintln!(
         "serving {} vertices on {local} (commands: JACCARD/CN/AA/RA/PA/COSINE/OVERLAP u v, \
@@ -373,6 +440,24 @@ mod tests {
         assert!(run(&argv(&["--slow-op-log-bytes", "0"])).is_err());
         assert!(run(&argv(&["--audit-secs", "later"])).is_err());
         assert!(run(&argv(&["--audit-pairs", "0"])).is_err());
+        assert!(run(&argv(&["--repl-pull-batch", "0"])).is_err());
+        assert!(run(&argv(&["--repl-poll-ms", "soon"])).is_err());
+        assert!(run(&argv(&["--repl-lag-slo", "0"])).is_err());
+        assert!(run(&argv(&["--repl-buffer", "many"])).is_err());
+        assert!(run(&argv(&[
+            "--replicate-from",
+            "127.0.0.1:1",
+            "--data-dir",
+            "/tmp/x"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "--replicate-from",
+            "127.0.0.1:1",
+            "--snapshot",
+            "/tmp/y"
+        ]))
+        .is_err());
         // A malformed --http-addr fails at bind time, before the
         // protocol port is ever taken.
         assert!(run(&argv(&["--http-addr", "not-an-addr"])).is_err());

@@ -292,10 +292,12 @@ fn json_safe(raw: &str, max: usize) -> String {
         .collect()
 }
 
-/// The `/healthz` verdict: `200` iff storage is healthy *and* the
-/// rolling audit Jaccard MAE sits inside twice the offline Hoeffding
-/// envelope for the deployed `k` (the OPERATIONS.md §9 alert rule).
-/// Audit legs with no completed cycle yet pass vacuously.
+/// The `/healthz` verdict: `200` iff storage is healthy, the rolling
+/// audit Jaccard MAE sits inside twice the offline Hoeffding envelope
+/// for the deployed `k` (the OPERATIONS.md §9 alert rule), *and* — on a
+/// read replica — replication lag sits inside the `--repl-lag-slo`
+/// budget (the §11 alert rule). Legs with nothing to report pass
+/// vacuously.
 fn healthz(state: &ServerState) -> Response {
     let storage_ok = !state.storage_degraded();
     let k = state.read_store().config().slots();
@@ -316,10 +318,39 @@ fn healthz(state: &ServerState) -> Response {
         }
         None => (true, "null".to_string()),
     };
-    let healthy = storage_ok && audit_ok;
+    let (repl_ok, repl_json) = match (state.replica_runtime(), state.primary_repl()) {
+        (Some(runtime), _) => (
+            !runtime.lag_exceeds_slo(),
+            format!(
+                "{{\"role\":\"replica\",\"primary\":\"{}\",\"connected\":{},\
+                 \"applied_seq\":{},\"primary_seq\":{},\"lag_edges\":{},\"lag_slo\":{}}}",
+                runtime.primary_addr,
+                runtime.connected(),
+                runtime.applied_seq(),
+                runtime.primary_seq(),
+                runtime.lag(),
+                runtime.lag_slo,
+            ),
+        ),
+        (None, Some(repl)) => {
+            // A primary's own health does not depend on its replicas —
+            // lag is surfaced for alerting, never flips this endpoint.
+            let (connected, max_lag) = repl.lag_overview();
+            (
+                true,
+                format!(
+                    "{{\"role\":\"primary\",\"replicas_connected\":{connected},\
+                     \"max_lag_edges\":{max_lag}}}"
+                ),
+            )
+        }
+        (None, None) => (true, "null".to_string()),
+    };
+    let healthy = storage_ok && audit_ok && repl_ok;
     let body = format!(
         "{{\"schema\":\"streamlink.healthz.v1\",\"status\":\"{}\",\"storage_ok\":{storage_ok},\
-         \"audit_ok\":{audit_ok},\"uptime_secs\":{},\"audit\":{audit_json}}}",
+         \"audit_ok\":{audit_ok},\"repl_ok\":{repl_ok},\"uptime_secs\":{},\"audit\":{audit_json},\
+         \"replication\":{repl_json}}}",
         if healthy { "ok" } else { "degraded" },
         state.uptime_secs()
     );
@@ -393,6 +424,46 @@ mod tests {
         for name in ["store.sketch_slots", "trace.ring", "journal.write_buffer"] {
             assert!(r.body.contains(name), "missing component {name}");
         }
+    }
+
+    #[test]
+    fn healthz_flips_503_when_replica_lag_exceeds_the_slo() {
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:9".into(),
+            "lag-test".into(),
+            1_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        let s = ServerState::replica(store, ServerConfig::default(), Arc::clone(&runtime));
+
+        // Caught up: healthy, and the replication leg is reported.
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"repl_ok\":true"), "{}", r.body);
+        assert!(r.body.contains("\"role\":\"replica\""), "{}", r.body);
+
+        // The primary runs ahead of what we've applied by more than the
+        // SLO: degraded.
+        runtime.note_primary_seq(1_001);
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("\"status\":\"degraded\""), "{}", r.body);
+        assert!(r.body.contains("\"repl_ok\":false"), "{}", r.body);
+        assert!(r.body.contains("\"lag_edges\":1001"), "{}", r.body);
+    }
+
+    #[test]
+    fn healthz_reports_the_primary_replication_leg_without_flipping() {
+        // A primary with lagging replicas stays 200 — replica lag is an
+        // alerting signal, not a primary liveness failure.
+        let s = state();
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"role\":\"primary\""), "{}", r.body);
+        assert!(r.body.contains("\"repl_ok\":true"), "{}", r.body);
     }
 
     #[test]

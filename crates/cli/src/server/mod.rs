@@ -13,6 +13,9 @@
 //! * [`http`] — the optional scrape plane (`--http-addr`): Prometheus
 //!   `/metrics`, `/healthz`, `/tracez`, and `/memz` over a bounded,
 //!   timeboxed std-only HTTP/1.1 listener.
+//! * [`replication`] — WAL shipping: the primary's bounded ship ring
+//!   and `REPL` command family, and the replica's puller thread with
+//!   anti-entropy (see `docs/OPERATIONS.md` §11).
 //!
 //! ## Lifecycle
 //!
@@ -34,6 +37,7 @@ pub mod connection;
 pub mod http;
 pub mod persistence;
 pub mod protocol;
+pub mod replication;
 pub mod signals;
 
 use std::io::{self, Write};
@@ -83,6 +87,9 @@ pub struct ServerConfig {
     pub audit_interval: Duration,
     /// Vertex pairs scored per audit cycle.
     pub audit_pairs: usize,
+    /// Capacity (entries) of the replication ship ring on a primary;
+    /// zero disables serving `REPL` pulls entirely.
+    pub repl_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +104,7 @@ impl Default for ServerConfig {
             metrics_log_every: Duration::from_secs(60),
             audit_interval: Duration::from_secs(30),
             audit_pairs: 64,
+            repl_buffer: 65_536,
         }
     }
 }
@@ -124,6 +132,14 @@ pub struct ServerState {
     /// internal lock — both the insert path (write store → observe) and
     /// the audit cycle (read store → score) follow it.
     auditor: Option<AccuracyAuditor>,
+    /// Primary-side replication: the bounded ship ring + peer registry
+    /// (`None` when `repl_buffer` is zero or this node is a replica).
+    /// Lock order: the ring's lock is taken under the store write lock
+    /// on the insert path, so store → ring everywhere.
+    repl: Option<replication::PrimaryRepl>,
+    /// Replica-side replication: where the primary is and how far apply
+    /// has gotten (`None` on primaries).
+    replica: Option<Arc<replication::ReplicaRuntime>>,
 }
 
 impl ServerState {
@@ -146,6 +162,21 @@ impl ServerState {
         Self::new(store, Some(persist), snapshot_seq, config)
     }
 
+    /// A read replica: in-memory store, no journal, writes rejected at
+    /// the protocol layer, state pulled from `runtime.primary_addr` by
+    /// the puller thread [`serve`] spawns.
+    #[must_use]
+    pub fn replica(
+        store: SketchStore,
+        config: ServerConfig,
+        runtime: Arc<replication::ReplicaRuntime>,
+    ) -> Self {
+        let mut state = Self::new(store, None, 0, config);
+        state.repl = None; // replicas do not re-ship
+        state.replica = Some(runtime);
+        state
+    }
+
     fn new(
         store: SketchStore,
         persist: Option<Persist>,
@@ -154,6 +185,16 @@ impl ServerState {
     ) -> Self {
         let auditor = (!config.audit_interval.is_zero())
             .then(|| AccuracyAuditor::new(AuditConfig::default()));
+        // Seed the ship ring at the primary's current WAL position so
+        // replicated seqs line up with what is already on disk; a
+        // journal-less primary numbers from its edge count instead.
+        let repl = (config.repl_buffer > 0).then(|| {
+            let last_seq = persist.as_ref().map_or_else(
+                || store.edges_processed(),
+                |p| p.journal.next_seq().saturating_sub(1),
+            );
+            replication::PrimaryRepl::new(config.repl_buffer, last_seq)
+        });
         ServerState {
             store: RwLock::new(store),
             persist: persist.map(Mutex::new),
@@ -164,6 +205,8 @@ impl ServerState {
             local_shutdown: AtomicBool::new(false),
             storage_ok: AtomicBool::new(true),
             auditor,
+            repl,
+            replica: None,
         }
     }
 
@@ -211,6 +254,7 @@ impl ServerState {
         let audit = self.auditor.as_ref().filter(|a| a.wants(u) || a.wants(v));
         let mut store = self.write_store();
         let degrees_before = audit.map(|_| (store.degree(u), store.degree(v)));
+        let mut wal_seq = None;
         if let Some(mut persist) = self.persist_guard() {
             let seq = persist.journal.next_seq();
             if let Err(e) = persist.journal.append(JournalEntry { seq, u, v }) {
@@ -218,12 +262,43 @@ impl ServerState {
                 return Err(e);
             }
             self.storage_ok.store(true, Ordering::SeqCst);
+            wal_seq = Some(seq);
         }
         store.insert_edge(u, v);
+        // Ship-ring record happens under the store write lock, so a
+        // `REPL SNAPSHOT` (read store, then ring) always sees a ring
+        // seq consistent with the captured store.
+        if let Some(repl) = &self.repl {
+            let mut log = repl.log();
+            match wal_seq {
+                Some(seq) => log.record(JournalEntry { seq, u, v }),
+                None => {
+                    log.assign_and_record(u, v);
+                }
+            }
+        }
         if let (Some(a), Some((du, dv))) = (audit, degrees_before) {
             a.observe_edge(u, v, du, dv);
         }
         Ok(())
+    }
+
+    /// Primary-side replication state, when this node ships WAL entries.
+    #[must_use]
+    pub fn primary_repl(&self) -> Option<&replication::PrimaryRepl> {
+        self.repl.as_ref()
+    }
+
+    /// Replica-side replication state, when this node is a replica.
+    #[must_use]
+    pub fn replica_runtime(&self) -> Option<&Arc<replication::ReplicaRuntime>> {
+        self.replica.as_ref()
+    }
+
+    /// Whether this node is a read replica (writes get `ERR readonly`).
+    #[must_use]
+    pub fn is_replica(&self) -> bool {
+        self.replica.is_some()
     }
 
     /// The auditor's current rolling error state, if auditing is on.
@@ -255,8 +330,9 @@ impl ServerState {
     #[must_use]
     pub fn memory_report(&self) -> MemoryReport {
         let journal_buffer = self.persist_guard().map_or(0, |p| p.journal.buffer_bytes());
+        let repl_buffer = self.repl.as_ref().map_or(0, |r| r.buffer_bytes());
         let store = self.read_store();
-        MemoryReport::collect(&store, self.auditor.as_ref(), journal_buffer)
+        MemoryReport::collect(&store, self.auditor.as_ref(), journal_buffer, repl_buffer)
     }
 
     /// Refreshes every observation-time gauge: live connections,
@@ -267,6 +343,12 @@ impl ServerState {
         let m = streamlink_core::metrics::global();
         m.connections_active.set(self.connections_active() as u64);
         m.journal_lag_edges.set(self.journal_lag());
+        if let Some(repl) = &self.repl {
+            repl.update_gauges();
+        }
+        if let Some(replica) = &self.replica {
+            replica.update_gauges();
+        }
         self.memory_report().publish();
     }
 
@@ -357,6 +439,18 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     } else {
         None
     };
+    let repl_thread = match &state.replica {
+        Some(runtime) => {
+            let st = Arc::clone(state);
+            let rt = Arc::clone(runtime);
+            Some(
+                thread::Builder::new()
+                    .name("replication".into())
+                    .spawn(move || replication::replica_loop(&st, &rt))?,
+            )
+        }
+        None => None,
+    };
 
     state.refresh_observable_gauges();
     let mut last_metrics_log = Instant::now();
@@ -417,6 +511,9 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
         let _ = handle.join();
     }
     if let Some(handle) = audit_thread {
+        let _ = handle.join();
+    }
+    if let Some(handle) = repl_thread {
         let _ = handle.join();
     }
     if state.persist.is_some() {

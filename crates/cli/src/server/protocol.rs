@@ -32,10 +32,25 @@
 //!                                slow_ops=<n> spans_recorded=<n>
 //!                                slow_op_threshold_ms=<n>
 //!                                uptime_secs=<s>   (one line)
+//! REPL HELLO <id>          -> OK repl hello primary_seq=<s> slots=<k>
+//!                                seed=<s> backend=<b>   (handshake)
+//! REPL PULL <id> <after> <n>
+//!                          -> up to n WAL v2 lines (`F <seq> <u> <v>
+//!                             <crc>`) with seq > after, terminated by
+//!                             `OK <n> entries primary_seq=<s>`; or
+//!                             `ERR resync` when the range was shed
+//! REPL SNAPSHOT            -> `OK snapshot seq=<s> len=<n> crc32=<hex>`
+//!                             + one line of StoreSnapshot JSON
+//! REPL STATUS              -> one-line role/lag summary (either role)
 //! PING                     -> OK pong
 //! QUIT                     -> OK bye (closes the connection)
 //! anything else            -> ERR <reason>
 //! ```
+//!
+//! On a read replica (`--replicate-from`), `INSERT` and the serving
+//! `REPL` subcommands answer `ERR readonly ...` — writes go to the
+//! primary; reads, `STATS`/`METRICS`/`HEALTH`, and `REPL STATUS` keep
+//! serving.
 //!
 //! Command words are case-insensitive, and leading/trailing whitespace —
 //! including the `\r` a telnet/netcat client leaves on every line — is
@@ -105,6 +120,7 @@ fn command_span_name(line: &str) -> &'static str {
         "METRICS" => "cmd.metrics",
         "TRACE" => "cmd.trace",
         "HEALTH" => "cmd.health",
+        "REPL" => "cmd.repl",
         "PING" => "cmd.ping",
         "QUIT" => "cmd.quit",
         _ => "cmd.other",
@@ -248,25 +264,36 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             },
             _ => "ERR DEGREE takes exactly one vertex id".into(),
         },
-        "INSERT" => match pair(&args) {
-            Ok((u, v)) => match state.insert_edge(u, v) {
-                Ok(()) => {
-                    metrics::global().server_inserts.incr();
-                    let guard = state.read_store();
-                    t.note_degree(guard.degree(u).max(guard.degree(v)));
-                    "OK inserted".into()
-                }
-                // Not acked: the edge was neither journaled nor applied.
-                // The connection stays up and reads keep serving — a
-                // failing disk degrades writes, it does not kill the
-                // server.
-                Err(e) => {
-                    metrics::global().storage_errors.incr();
-                    format!("ERR storage: {e}")
-                }
-            },
-            Err(e) => format!("ERR {e}"),
-        },
+        "REPL" => super::replication::repl_command(state, &args),
+        "INSERT" => {
+            // Replicas are readonly: their store is the primary's, and
+            // a local write would fork it permanently.
+            if let Some(runtime) = state.replica_runtime() {
+                return format!(
+                    "ERR readonly: this node replicates from {}; send writes to the primary",
+                    runtime.primary_addr
+                );
+            }
+            match pair(&args) {
+                Ok((u, v)) => match state.insert_edge(u, v) {
+                    Ok(()) => {
+                        metrics::global().server_inserts.incr();
+                        let guard = state.read_store();
+                        t.note_degree(guard.degree(u).max(guard.degree(v)));
+                        "OK inserted".into()
+                    }
+                    // Not acked: the edge was neither journaled nor
+                    // applied. The connection stays up and reads keep
+                    // serving — a failing disk degrades writes, it does
+                    // not kill the server.
+                    Err(e) => {
+                        metrics::global().storage_errors.incr();
+                        format!("ERR storage: {e}")
+                    }
+                },
+                Err(e) => format!("ERR {e}"),
+            }
+        }
         "EXPLAIN" => {
             if args.len() != 3 {
                 return "ERR EXPLAIN takes <JACCARD|OVERLAP|DEGREE> u v".into();
@@ -317,7 +344,7 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         other => format!(
             "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
              RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
-             HEALTH, PING, QUIT)"
+             HEALTH, REPL, PING, QUIT)"
         ),
     }
 }
@@ -783,6 +810,63 @@ mod tests {
         ] {
             assert!(keys.contains(&expect), "missing {expect} in {response}");
         }
+    }
+
+    fn replica() -> ServerState {
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:9".into(),
+            "test-replica".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(1));
+        ServerState::replica(store, ServerConfig::default(), runtime)
+    }
+
+    #[test]
+    fn repl_commands_are_crlf_and_case_tolerant() {
+        let s = state();
+        let _ = handle_command(&s, "INSERT 50 51");
+        assert!(handle_command(&s, "repl status\r").starts_with("OK role=primary"));
+        assert!(handle_command(&s, "  Repl Hello r1  \r").starts_with("OK repl hello"));
+        // The fixture store carries 40 pre-server edges, so the ring
+        // starts at seq 40 and the INSERT above is seq 41.
+        assert!(
+            handle_command(&s, "\tREPL pull r1 40 10\r").ends_with("OK 1 entries primary_seq=41")
+        );
+        assert!(handle_command(&s, "repl snapshot\r").starts_with("OK snapshot seq="));
+    }
+
+    #[test]
+    fn repl_bad_arguments_are_err_lines() {
+        let s = state();
+        assert!(handle_command(&s, "REPL").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL HELLO").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL PULL r1").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL PULL r1 x 10").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL PULL r1 0 0").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL SNAPSHOT now").starts_with("ERR"));
+        assert!(handle_command(&s, "REPL FROBNICATE").starts_with("ERR unknown REPL"));
+    }
+
+    #[test]
+    fn replica_rejects_writes_with_err_readonly() {
+        let s = replica();
+        let nack = handle_command(&s, "INSERT 1 2");
+        assert!(nack.starts_with("ERR readonly"), "{nack}");
+        assert!(nack.contains("127.0.0.1:9"), "{nack}");
+        // Nothing was applied, and reads keep serving.
+        assert_eq!(handle_command(&s, "DEGREE 1"), "OK 0");
+        assert!(handle_command(&s, "STATS").starts_with("OK vertices=0"));
+        assert!(handle_command(&s, "JACCARD 1 2").starts_with("OK"));
+        assert!(handle_command(&s, "HEALTH").starts_with("OK audit_cycles="));
+        // Case/CRLF tolerance applies to the readonly gate too.
+        assert!(handle_command(&s, "insert 1 2\r").starts_with("ERR readonly"));
+        // Serving REPL subcommands are also refused on a replica.
+        assert!(handle_command(&s, "REPL HELLO x").starts_with("ERR readonly"));
+        assert!(handle_command(&s, "REPL STATUS").starts_with("OK role=replica"));
     }
 
     #[test]

@@ -1,0 +1,1039 @@
+//! WAL-shipping replication: the primary's ship buffer + peer registry
+//! and the replica's puller loop.
+//!
+//! ## Topology
+//!
+//! One primary accepts writes; N read replicas pull its CRC-framed WAL
+//! entries (`F <seq> <u> <v> <crc>`) over the same TCP protocol port via
+//! the `REPL` command family ([`repl_command`]):
+//!
+//! ```text
+//! REPL HELLO <id>            handshake: primary seq + sketch shape
+//! REPL PULL <id> <after> <n> up to n WAL lines with seq > after, then
+//!                            `OK <n> entries primary_seq=<s>`; or
+//!                            `ERR resync` when the range was shed
+//! REPL SNAPSHOT              `OK snapshot seq=<s> len=<n> crc32=<hex>`
+//!                            + one line of StoreSnapshot JSON
+//! REPL STATUS                one-line role/lag summary (any node)
+//! ```
+//!
+//! ## Why the primary can never stall
+//!
+//! Shipping is pull-based over a bounded in-memory ring
+//! ([`streamlink_core::ReplLog`]): the insert path appends to the ring
+//! under the store write lock and never blocks on any replica. A slow or
+//! stuck replica simply falls behind; once the ring sheds its range it
+//! is told to resync from a snapshot (durable primaries first try the
+//! on-disk WAL tail via [`streamlink_core::journal::read_entries_after`],
+//! which is cheaper than a full snapshot).
+//!
+//! ## Why replicas converge
+//!
+//! Replicas apply entries through the monotone-seq gate
+//! ([`streamlink_core::ReplicaApplier`]), so duplicated or reordered
+//! frames never double-count degrees; dropped frames leave gaps that the
+//! periodic anti-entropy round repairs by pulling a snapshot and joining
+//! it with [`streamlink_core::merge::merge_join`] (slot min / degree max
+//! / edge-count max). Experiment E23 asserts byte-exact convergence
+//! under randomized drop/duplicate/reorder/crash schedules.
+//!
+//! ## Failure behavior
+//!
+//! The puller reconnects with jittered exponential backoff and resumes
+//! from its last applied seq — a replica killed mid-stream loses nothing
+//! it already applied. A primary that restarted into a lower seq space
+//! is detected at handshake and answered with a full local reset.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use streamlink_core::journal::{self, JournalEntry, LineCheck};
+use streamlink_core::merge::merge_join;
+use streamlink_core::snapshot::StoreSnapshot;
+use streamlink_core::{
+    metrics, ApplyOutcome, HasherBackend, PullOutcome, ReplLog, ReplicaApplier, SketchConfig,
+    SketchStore,
+};
+
+use super::{ServerState, POLL_INTERVAL};
+
+/// Hard cap on entries served per `REPL PULL`, whatever the client asks.
+pub const MAX_PULL_BATCH: usize = 65_536;
+
+/// A peer that has not pulled for this long no longer counts as
+/// connected in the `repl.replicas_connected` / `repl.max_lag_edges`
+/// gauges.
+pub const PEER_LIVENESS: Duration = Duration::from_secs(10);
+
+/// Connect timeout for the replica's link to its primary.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(3);
+
+/// Per-socket read/write timeout on the replication link. `REPL PULL`
+/// always answers promptly (an empty batch is still an `OK` line), so a
+/// healthy link never comes close to this.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Replica-side tunables, all flag-settable via `--repl-*`.
+#[derive(Debug, Clone)]
+pub struct ReplicaTuning {
+    /// Entries requested per `REPL PULL`.
+    pub pull_batch: usize,
+    /// Sleep between pulls once caught up.
+    pub poll_interval: Duration,
+    /// Period between anti-entropy snapshot joins (zero disables the
+    /// periodic rounds; resync-on-demand still works).
+    pub anti_entropy_every: Duration,
+    /// First reconnect backoff after a link failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for ReplicaTuning {
+    fn default() -> Self {
+        ReplicaTuning {
+            pull_batch: 4096,
+            poll_interval: Duration::from_millis(100),
+            anti_entropy_every: Duration::from_secs(30),
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Primary-side replication state: the bounded ship ring plus a registry
+/// of the replicas that have pulled recently.
+pub struct PrimaryRepl {
+    log: Mutex<ReplLog>,
+    peers: Mutex<HashMap<String, PeerStatus>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerStatus {
+    acked_seq: u64,
+    last_seen: Instant,
+}
+
+impl PrimaryRepl {
+    /// A ship ring holding at most `capacity` entries, seeded with the
+    /// primary's current WAL high-water mark.
+    #[must_use]
+    pub fn new(capacity: usize, last_seq: u64) -> Self {
+        PrimaryRepl {
+            log: Mutex::new(ReplLog::new(capacity, last_seq)),
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The ship ring, recovering from lock poisoning.
+    pub fn log(&self) -> MutexGuard<'_, ReplLog> {
+        self.log.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn peers(&self) -> MutexGuard<'_, HashMap<String, PeerStatus>> {
+        self.peers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records that replica `id` has applied everything up to
+    /// `acked_seq` (it asked for entries strictly after that mark).
+    fn note_peer(&self, id: &str, acked_seq: u64) {
+        self.peers().insert(
+            id.to_string(),
+            PeerStatus {
+                acked_seq,
+                last_seen: Instant::now(),
+            },
+        );
+    }
+
+    /// Bytes held by the ship ring (the `mem.repl.buffer` component).
+    #[must_use]
+    pub fn buffer_bytes(&self) -> usize {
+        self.log().memory_bytes()
+    }
+
+    /// `(connected replicas, worst lag in edges)` over peers seen within
+    /// [`PEER_LIVENESS`].
+    #[must_use]
+    pub fn lag_overview(&self) -> (usize, u64) {
+        let last_seq = self.log().last_seq();
+        let peers = self.peers();
+        let mut connected = 0usize;
+        let mut max_lag = 0u64;
+        for status in peers.values() {
+            if status.last_seen.elapsed() <= PEER_LIVENESS {
+                connected += 1;
+                max_lag = max_lag.max(last_seq.saturating_sub(status.acked_seq));
+            }
+        }
+        (connected, max_lag)
+    }
+
+    /// Refreshes the primary-side replication gauges.
+    pub fn update_gauges(&self) {
+        let (connected, max_lag) = self.lag_overview();
+        let m = metrics::global();
+        m.repl_replicas_connected.set(connected as u64);
+        m.repl_max_lag_edges.set(max_lag);
+    }
+}
+
+/// Replica-side shared state: where the primary is, how far we have
+/// applied, and the tunables the puller thread runs with.
+pub struct ReplicaRuntime {
+    /// `HOST:PORT` of the primary this node replicates from.
+    pub primary_addr: String,
+    /// This replica's id, echoed in `REPL PULL` so the primary's peer
+    /// registry and lag gauges can tell replicas apart.
+    pub id: String,
+    /// Replica lag (edges) beyond which `/healthz` reports 503.
+    pub lag_slo: u64,
+    /// Puller tunables.
+    pub tuning: ReplicaTuning,
+    applier: Mutex<ReplicaApplier>,
+    applied_seq: AtomicU64,
+    primary_seq: AtomicU64,
+    connected: AtomicBool,
+}
+
+impl ReplicaRuntime {
+    /// A fresh runtime that has applied nothing yet.
+    #[must_use]
+    pub fn new(primary_addr: String, id: String, lag_slo: u64, tuning: ReplicaTuning) -> Self {
+        ReplicaRuntime {
+            primary_addr,
+            id,
+            lag_slo,
+            tuning,
+            applier: Mutex::new(ReplicaApplier::new(0)),
+            applied_seq: AtomicU64::new(0),
+            primary_seq: AtomicU64::new(0),
+            connected: AtomicBool::new(false),
+        }
+    }
+
+    fn applier(&self) -> MutexGuard<'_, ReplicaApplier> {
+        self.applier.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Highest primary seq reflected in the local store.
+    #[must_use]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq.load(Ordering::Relaxed)
+    }
+
+    /// The primary's WAL position as of the last exchange.
+    #[must_use]
+    pub fn primary_seq(&self) -> u64 {
+        self.primary_seq.load(Ordering::Relaxed)
+    }
+
+    /// Records a primary seq observation (never lowers the mark — a
+    /// stale `OK` line racing a snapshot must not shrink reported lag).
+    pub fn note_primary_seq(&self, seq: u64) {
+        self.primary_seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    /// Replication lag in edges: entries the primary has that this
+    /// replica has not applied.
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.primary_seq().saturating_sub(self.applied_seq())
+    }
+
+    /// Whether the lag SLO is currently violated (the `/healthz` leg).
+    #[must_use]
+    pub fn lag_exceeds_slo(&self) -> bool {
+        self.lag() > self.lag_slo
+    }
+
+    /// Whether the puller currently holds a live link to the primary.
+    #[must_use]
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::Relaxed)
+    }
+
+    fn set_connected(&self, up: bool) {
+        self.connected.store(up, Ordering::Relaxed);
+    }
+
+    /// Refreshes the replica-side replication gauges.
+    pub fn update_gauges(&self) {
+        let m = metrics::global();
+        m.repl_connected.set(u64::from(self.connected()));
+        m.repl_applied_seq.set(self.applied_seq());
+        m.repl_lag_edges.set(self.lag());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primary side: serving the REPL command family.
+// ---------------------------------------------------------------------
+
+/// Executes one `REPL <sub>` command (the text after the `REPL` word is
+/// in `args`). Called from the protocol dispatcher; every malformed
+/// input maps to an `ERR` line.
+#[must_use]
+pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
+    let Some(sub) = args.first() else {
+        return "ERR REPL takes a subcommand (HELLO, PULL, SNAPSHOT, STATUS)".into();
+    };
+    match sub.to_ascii_uppercase().as_str() {
+        "STATUS" => status_line(state),
+        "HELLO" => {
+            let Some(repl) = serving_repl(state) else {
+                return repl_unavailable(state);
+            };
+            match args {
+                [_, id] => {
+                    repl.note_peer(id, 0);
+                    let store = state.read_store();
+                    let cfg = store.config();
+                    let last_seq = repl.log().last_seq();
+                    format!(
+                        "OK repl hello primary_seq={last_seq} slots={} seed={} backend={}",
+                        cfg.slots(),
+                        cfg.base_seed(),
+                        backend_name(cfg.hasher_backend()),
+                    )
+                }
+                _ => "ERR REPL HELLO takes exactly one replica id".into(),
+            }
+        }
+        "PULL" => {
+            let Some(repl) = serving_repl(state) else {
+                return repl_unavailable(state);
+            };
+            let [_, id, after, max] = args else {
+                return "ERR REPL PULL takes <id> <after_seq> <max>".into();
+            };
+            let Ok(after) = after.parse::<u64>() else {
+                return format!("ERR bad after_seq {after:?}");
+            };
+            let Ok(max) = max.parse::<usize>() else {
+                return format!("ERR bad batch size {max:?}");
+            };
+            if max == 0 {
+                return "ERR batch size must be positive".into();
+            }
+            let max = max.min(MAX_PULL_BATCH);
+            repl.note_peer(id, after);
+            let (outcome, last_seq) = {
+                let log = repl.log();
+                (log.entries_after(after, max), log.last_seq())
+            };
+            match outcome {
+                PullOutcome::Entries(entries) => render_pull(&entries, last_seq),
+                PullOutcome::ResyncRequired => {
+                    // Durable primaries keep the full WAL on disk; serve
+                    // the tail from there before forcing a snapshot.
+                    if let Some(dir) = state.persist_guard().map(|p| p.dir.clone()) {
+                        if let Ok(entries) = journal::read_entries_after(&dir, after, max) {
+                            if entries.first().map(|e| e.seq) == Some(after + 1) {
+                                return render_pull(&entries, last_seq);
+                            }
+                        }
+                    }
+                    metrics::global().repl_resyncs.incr();
+                    format!(
+                        "ERR resync: entries after seq {after} are no longer buffered; \
+                         pull REPL SNAPSHOT"
+                    )
+                }
+            }
+        }
+        "SNAPSHOT" => {
+            let Some(repl) = serving_repl(state) else {
+                return repl_unavailable(state);
+            };
+            if args.len() != 1 {
+                return "ERR REPL SNAPSHOT takes no arguments".into();
+            }
+            // Holding the store read lock blocks inserts, and inserts
+            // record into the ring under the write lock — so the ring's
+            // last_seq read here is exactly the snapshot's high-water
+            // mark.
+            let (snap, seq) = {
+                let store = state.read_store();
+                let seq = repl.log().last_seq();
+                (StoreSnapshot::capture(&store), seq)
+            };
+            match serde_json::to_string(&snap) {
+                Ok(json) => {
+                    metrics::global().repl_snapshots_shipped.incr();
+                    format!(
+                        "OK snapshot seq={seq} len={} crc32={:08x}\n{json}",
+                        json.len(),
+                        hashkit::crc32(json.as_bytes()),
+                    )
+                }
+                Err(e) => format!("ERR cannot serialize snapshot: {e}"),
+            }
+        }
+        other => format!("ERR unknown REPL subcommand {other:?} (HELLO, PULL, SNAPSHOT, STATUS)"),
+    }
+}
+
+/// The primary-side replication handle, unless this node is a replica
+/// (replicas do not re-ship).
+fn serving_repl(state: &ServerState) -> Option<&PrimaryRepl> {
+    if state.is_replica() {
+        None
+    } else {
+        state.primary_repl()
+    }
+}
+
+fn repl_unavailable(state: &ServerState) -> String {
+    if let Some(runtime) = state.replica_runtime() {
+        format!(
+            "ERR readonly: this node replicates from {}; replicate from the primary",
+            runtime.primary_addr
+        )
+    } else {
+        "ERR replication disabled (--repl-buffer 0)".into()
+    }
+}
+
+fn render_pull(entries: &[JournalEntry], last_seq: u64) -> String {
+    let mut out = String::with_capacity(entries.len() * 24 + 40);
+    for e in entries {
+        out.push_str(&e.to_string());
+        out.push('\n');
+    }
+    metrics::global()
+        .repl_entries_shipped
+        .add(entries.len() as u64);
+    out.push_str(&format!(
+        "OK {} entries primary_seq={last_seq}",
+        entries.len()
+    ));
+    out
+}
+
+/// The `REPL STATUS` line for either role.
+fn status_line(state: &ServerState) -> String {
+    if let Some(runtime) = state.replica_runtime() {
+        return format!(
+            "OK role=replica primary={} connected={} applied_seq={} primary_seq={} \
+             lag_edges={} lag_slo={}",
+            runtime.primary_addr,
+            u64::from(runtime.connected()),
+            runtime.applied_seq(),
+            runtime.primary_seq(),
+            runtime.lag(),
+            runtime.lag_slo,
+        );
+    }
+    match state.primary_repl() {
+        Some(repl) => {
+            let (last_seq, buffered) = {
+                let log = repl.log();
+                (log.last_seq(), log.buffered())
+            };
+            let (connected, max_lag) = repl.lag_overview();
+            format!(
+                "OK role=primary last_seq={last_seq} buffered={buffered} \
+                 replicas_connected={connected} max_lag_edges={max_lag}"
+            )
+        }
+        None => "OK role=primary replication=disabled".into(),
+    }
+}
+
+fn backend_name(backend: HasherBackend) -> &'static str {
+    match backend {
+        HasherBackend::Mixer => "mixer",
+        HasherBackend::Tabulation => "tabulation",
+    }
+}
+
+fn parse_backend(name: &str) -> Option<HasherBackend> {
+    match name {
+        "mixer" => Some(HasherBackend::Mixer),
+        "tabulation" => Some(HasherBackend::Tabulation),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replica side: the puller thread.
+// ---------------------------------------------------------------------
+
+/// The replica puller thread body: connect, handshake, pull until
+/// shutdown; on any link error back off (jittered exponential) and
+/// reconnect, resuming from the last applied seq.
+pub fn replica_loop(state: &Arc<ServerState>, runtime: &Arc<ReplicaRuntime>) {
+    // Cheap deterministic jitter source, seeded per replica id so a
+    // fleet restarting together does not reconnect in lockstep.
+    let mut rng = Lcg::new(runtime.id.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
+        acc.rotate_left(8) ^ u64::from(b)
+    }));
+    let mut backoff = runtime.tuning.backoff_base;
+    while !state.shutdown_requested() {
+        match run_session(state, runtime, &mut backoff) {
+            Ok(()) => break, // clean shutdown
+            Err(e) => {
+                runtime.set_connected(false);
+                runtime.update_gauges();
+                metrics::global().repl_reconnects.incr();
+                if state.shutdown_requested() {
+                    break;
+                }
+                let delay = jittered(&mut rng, backoff);
+                eprintln!(
+                    "replication: link to {}: {e}; retrying in {}ms",
+                    runtime.primary_addr,
+                    delay.as_millis(),
+                );
+                sleep_poll(state, delay);
+                backoff = (backoff * 2).min(runtime.tuning.backoff_max);
+            }
+        }
+    }
+    runtime.set_connected(false);
+    runtime.update_gauges();
+}
+
+/// One connected session: handshake, then pull/anti-entropy until the
+/// link errors or shutdown is requested.
+fn run_session(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    backoff: &mut Duration,
+) -> io::Result<()> {
+    let mut link = PrimaryLink::connect(&runtime.primary_addr)?;
+    handshake(state, runtime, &mut link)?;
+    // A completed handshake proves the primary is healthy: reset the
+    // reconnect backoff so the next outage starts from the base delay.
+    *backoff = runtime.tuning.backoff_base;
+    runtime.set_connected(true);
+    runtime.update_gauges();
+    let mut last_anti_entropy = Instant::now();
+    loop {
+        if state.shutdown_requested() {
+            return Ok(());
+        }
+        let advanced = pull_once(state, runtime, &mut link)?;
+        if !runtime.tuning.anti_entropy_every.is_zero()
+            && last_anti_entropy.elapsed() >= runtime.tuning.anti_entropy_every
+        {
+            last_anti_entropy = Instant::now();
+            snapshot_round(state, runtime, &mut link)?;
+            metrics::global().repl_anti_entropy_rounds.incr();
+        }
+        runtime.update_gauges();
+        if !advanced {
+            sleep_poll(state, runtime.tuning.poll_interval);
+        }
+    }
+}
+
+/// `REPL HELLO` + config adoption / divergence handling.
+fn handshake(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+) -> io::Result<()> {
+    link.send(&format!("REPL HELLO {}", runtime.id))?;
+    let line = link.recv()?;
+    let hello =
+        parse_hello(&line).ok_or_else(|| bad_data(format!("bad REPL HELLO response: {line:?}")))?;
+    let primary_cfg = SketchConfig::with_slots(hello.slots)
+        .seed(hello.seed)
+        .backend(hello.backend);
+    {
+        let mut store = state.write_store();
+        let mut applier = runtime.applier();
+        if *store.config() != primary_cfg {
+            if store.vertex_count() == 0 && store.edges_processed() == 0 {
+                // Fresh replica: adopt the primary's sketch shape.
+                *store = SketchStore::new(primary_cfg);
+                applier.reset_to(0);
+            } else {
+                return Err(bad_data(format!(
+                    "sketch config mismatch with primary (local {:?}, primary {:?}); \
+                     wipe this replica or fix the flags",
+                    store.config(),
+                    primary_cfg
+                )));
+            }
+        }
+        if hello.primary_seq < applier.applied_seq() {
+            // The primary restarted into a lower seq space: our state
+            // belongs to a dead timeline. Start over.
+            eprintln!(
+                "replication: primary seq {} behind local {}; full resync",
+                hello.primary_seq,
+                applier.applied_seq(),
+            );
+            *store = SketchStore::new(primary_cfg);
+            applier.reset_to(0);
+            metrics::global().repl_resyncs.incr();
+        }
+        runtime
+            .applied_seq
+            .store(applier.applied_seq(), Ordering::Relaxed);
+    }
+    runtime.note_primary_seq(hello.primary_seq);
+    Ok(())
+}
+
+struct Hello {
+    primary_seq: u64,
+    slots: usize,
+    seed: u64,
+    backend: HasherBackend,
+}
+
+fn parse_hello(line: &str) -> Option<Hello> {
+    if !line.starts_with("OK repl hello ") {
+        return None;
+    }
+    let field = |key: &str| {
+        line.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key))
+            .map(str::to_string)
+    };
+    Some(Hello {
+        primary_seq: field("primary_seq=")?.parse().ok()?,
+        slots: field("slots=")?.parse().ok()?,
+        seed: field("seed=")?.parse().ok()?,
+        backend: parse_backend(&field("backend=")?)?,
+    })
+}
+
+/// One `REPL PULL` round. Returns whether the round made progress (so
+/// the caller knows to skip the idle sleep).
+fn pull_once(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+) -> io::Result<bool> {
+    let after = runtime.applied_seq();
+    link.send(&format!(
+        "REPL PULL {} {after} {}",
+        runtime.id, runtime.tuning.pull_batch
+    ))?;
+    let mut applied_any = false;
+    loop {
+        let line = link.recv()?;
+        if let Some(rest) = line.strip_prefix("OK ") {
+            if let Some(seq) = rest
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("primary_seq="))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                runtime.note_primary_seq(seq);
+            }
+            return Ok(applied_any);
+        }
+        if line.starts_with("ERR resync") {
+            snapshot_round(state, runtime, link)?;
+            return Ok(true);
+        }
+        if line.starts_with("ERR") {
+            return Err(bad_data(format!("primary rejected pull: {line}")));
+        }
+        // A WAL v2 frame: CRC-verify before applying. A corrupt frame
+        // means the link (or primary) is lying — drop the session and
+        // resync rather than apply garbage.
+        let entry = match JournalEntry::check_line(&line) {
+            LineCheck::Verified(entry) | LineCheck::Legacy(entry) => entry,
+            LineCheck::Malformed | LineCheck::BadCrc => {
+                return Err(bad_data(format!("corrupt replication frame: {line:?}")));
+            }
+        };
+        apply_entry(state, runtime, entry);
+        applied_any = true;
+    }
+}
+
+/// Applies one shipped entry through the seq-dedup gate, under the store
+/// write lock (lock order: store, then applier — same as every path).
+fn apply_entry(state: &ServerState, runtime: &ReplicaRuntime, entry: JournalEntry) {
+    let mut store = state.write_store();
+    let mut applier = runtime.applier();
+    match applier.offer(&mut store, entry) {
+        ApplyOutcome::Applied => {
+            metrics::global().repl_entries_applied.incr();
+        }
+        ApplyOutcome::Deduped => {
+            metrics::global().repl_entries_deduped.incr();
+        }
+    }
+    runtime
+        .applied_seq
+        .store(applier.applied_seq(), Ordering::Relaxed);
+}
+
+/// One anti-entropy round: pull a primary snapshot and union it into the
+/// local store with the idempotent join, then advance the dedup gate to
+/// the snapshot's seq.
+fn snapshot_round(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+) -> io::Result<()> {
+    link.send("REPL SNAPSHOT")?;
+    let header = link.recv()?;
+    let rest = header
+        .strip_prefix("OK snapshot ")
+        .ok_or_else(|| bad_data(format!("bad REPL SNAPSHOT response: {header:?}")))?;
+    let field = |key: &str| {
+        rest.split_whitespace()
+            .find_map(|kv| kv.strip_prefix(key))
+            .map(str::to_string)
+    };
+    let seq: u64 = field("seq=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad_data("snapshot header missing seq"))?;
+    let len: usize = field("len=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| bad_data("snapshot header missing len"))?;
+    let crc: u32 = field("crc32=")
+        .and_then(|v| u32::from_str_radix(&v, 16).ok())
+        .ok_or_else(|| bad_data("snapshot header missing crc32"))?;
+    let json = link.recv()?;
+    if json.len() != len || hashkit::crc32(json.as_bytes()) != crc {
+        return Err(bad_data(format!(
+            "snapshot integrity check failed (len {} vs {len}, crc mismatch)",
+            json.len()
+        )));
+    }
+    let snap: StoreSnapshot =
+        serde_json::from_str(&json).map_err(|e| bad_data(format!("bad snapshot JSON: {e}")))?;
+    let incoming = snap.restore();
+    {
+        let mut store = state.write_store();
+        let mut applier = runtime.applier();
+        if *store.config() != *incoming.config() {
+            if store.vertex_count() == 0 && store.edges_processed() == 0 {
+                *store = incoming;
+                applier.reset_to(seq);
+            } else {
+                return Err(bad_data("snapshot config mismatch with local store"));
+            }
+        } else if seq < applier.applied_seq() {
+            // The snapshot is from an older timeline than our applied
+            // mark — only possible after a primary reset the handshake
+            // did not see. Replace wholesale.
+            *store = incoming;
+            applier.reset_to(seq);
+            metrics::global().repl_resyncs.incr();
+        } else {
+            merge_join(&mut store, &incoming)
+                .map_err(|e| bad_data(format!("anti-entropy join failed: {e}")))?;
+            applier.advance_to(seq);
+        }
+        runtime
+            .applied_seq
+            .store(applier.applied_seq(), Ordering::Relaxed);
+    }
+    runtime.note_primary_seq(seq);
+    Ok(())
+}
+
+/// The replica's line-oriented client connection to the primary.
+struct PrimaryLink {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl PrimaryLink {
+    fn connect(addr: &str) -> io::Result<Self> {
+        let target = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| bad_data(format!("cannot resolve primary address {addr:?}")))?;
+        let stream = TcpStream::connect_timeout(&target, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        Ok(PrimaryLink {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "primary closed the replication link",
+            ));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(line)
+    }
+}
+
+fn bad_data(msg: impl ToString) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Sleeps up to `total`, polling the shutdown flag so draining stays
+/// prompt even mid-backoff.
+fn sleep_poll(state: &ServerState, total: Duration) {
+    let deadline = Instant::now() + total;
+    while !state.shutdown_requested() {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        thread::sleep(POLL_INTERVAL.min(deadline - now));
+    }
+}
+
+/// Minimal multiplicative congruential generator for backoff jitter —
+/// quality does not matter here, only cheap decorrelation.
+struct Lcg(u64);
+
+impl Lcg {
+    fn new(seed: u64) -> Self {
+        Lcg(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0
+    }
+}
+
+/// `base` scaled to a uniform value in `[0.75 * base, 1.25 * base)`.
+fn jittered(rng: &mut Lcg, base: Duration) -> Duration {
+    let nanos = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let spread = nanos / 2;
+    let offset = if spread == 0 { 0 } else { rng.next() % spread };
+    Duration::from_nanos(nanos - spread / 2 + offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, ServerState};
+    use graphstream::VertexId;
+
+    fn primary_state() -> ServerState {
+        let store = SketchStore::new(SketchConfig::with_slots(32).seed(5));
+        ServerState::in_memory(store, ServerConfig::default())
+    }
+
+    fn replica_state() -> (ServerState, Arc<ReplicaRuntime>) {
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:1".into(),
+            "r1".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(32).seed(5));
+        let state = ServerState::replica(store, ServerConfig::default(), Arc::clone(&runtime));
+        (state, runtime)
+    }
+
+    #[test]
+    fn hello_reports_seq_and_sketch_shape() {
+        let state = primary_state();
+        state.insert_edge(VertexId(1), VertexId(2)).unwrap();
+        let reply = repl_command(&state, &["HELLO", "r1"]);
+        assert_eq!(
+            reply,
+            "OK repl hello primary_seq=1 slots=32 seed=5 backend=mixer"
+        );
+        let parsed = parse_hello(&reply).expect("round-trips");
+        assert_eq!(parsed.primary_seq, 1);
+        assert_eq!(parsed.slots, 32);
+        assert_eq!(parsed.seed, 5);
+        assert_eq!(parsed.backend, HasherBackend::Mixer);
+    }
+
+    #[test]
+    fn pull_ships_crc_framed_lines_with_ok_terminator() {
+        let state = primary_state();
+        for i in 1..=5u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 100)).unwrap();
+        }
+        let reply = repl_command(&state, &["PULL", "r1", "2", "10"]);
+        let lines: Vec<&str> = reply.lines().collect();
+        assert_eq!(lines.len(), 4, "{reply}");
+        assert_eq!(*lines.last().unwrap(), "OK 3 entries primary_seq=5");
+        for line in &lines[..3] {
+            match JournalEntry::check_line(line) {
+                LineCheck::Verified(_) => {}
+                other => panic!("expected CRC-verified frame, got {other:?}: {line}"),
+            }
+        }
+        // Caught-up pull: empty body, still OK.
+        let reply = repl_command(&state, &["PULL", "r1", "5", "10"]);
+        assert_eq!(reply, "OK 0 entries primary_seq=5");
+    }
+
+    #[test]
+    fn pull_past_the_ring_requires_resync() {
+        let store = SketchStore::new(SketchConfig::with_slots(16).seed(1));
+        let state = ServerState::in_memory(
+            store,
+            ServerConfig {
+                repl_buffer: 4,
+                ..ServerConfig::default()
+            },
+        );
+        for i in 1..=10u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 50)).unwrap();
+        }
+        let reply = repl_command(&state, &["PULL", "r1", "0", "100"]);
+        assert!(reply.starts_with("ERR resync"), "{reply}");
+        // The tail that is still buffered serves fine.
+        let reply = repl_command(&state, &["PULL", "r1", "6", "100"]);
+        assert!(reply.ends_with("OK 4 entries primary_seq=10"), "{reply}");
+    }
+
+    #[test]
+    fn snapshot_response_is_integrity_checkable() {
+        let state = primary_state();
+        for i in 1..=7u64 {
+            state
+                .insert_edge(VertexId(i), VertexId(i % 3 + 200))
+                .unwrap();
+        }
+        let reply = repl_command(&state, &["SNAPSHOT"]);
+        let (header, json) = reply.split_once('\n').expect("header + JSON");
+        let rest = header.strip_prefix("OK snapshot ").expect("OK header");
+        let field = |key: &str| {
+            rest.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(key))
+                .map(str::to_string)
+                .unwrap()
+        };
+        assert_eq!(field("seq="), "7");
+        assert_eq!(field("len="), json.len().to_string());
+        assert_eq!(
+            u32::from_str_radix(&field("crc32="), 16).unwrap(),
+            hashkit::crc32(json.as_bytes())
+        );
+        let snap: StoreSnapshot = serde_json::from_str(json).expect("valid snapshot JSON");
+        assert_eq!(snap.restore().edges_processed(), 7);
+    }
+
+    #[test]
+    fn peer_registry_feeds_lag_overview() {
+        let state = primary_state();
+        for i in 1..=20u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 70)).unwrap();
+        }
+        let _ = repl_command(&state, &["PULL", "a", "20", "10"]);
+        let _ = repl_command(&state, &["PULL", "b", "5", "10"]);
+        let repl = state.primary_repl().expect("primary has a ship ring");
+        let (connected, max_lag) = repl.lag_overview();
+        assert_eq!(connected, 2);
+        assert_eq!(max_lag, 15);
+        let status = repl_command(&state, &["STATUS"]);
+        assert_eq!(
+            status,
+            "OK role=primary last_seq=20 buffered=20 replicas_connected=2 max_lag_edges=15"
+        );
+    }
+
+    #[test]
+    fn repl_bad_arguments_are_err() {
+        let state = primary_state();
+        assert!(repl_command(&state, &[]).starts_with("ERR"));
+        assert!(repl_command(&state, &["HELLO"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["HELLO", "a", "b"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["PULL", "r1", "x", "5"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["PULL", "r1", "0", "zero"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["PULL", "r1", "0", "0"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["PULL", "r1"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["SNAPSHOT", "now"]).starts_with("ERR"));
+        assert!(repl_command(&state, &["FROB"]).starts_with("ERR unknown REPL"));
+    }
+
+    #[test]
+    fn replica_rejects_repl_serving_but_answers_status() {
+        let (state, runtime) = replica_state();
+        assert!(repl_command(&state, &["HELLO", "x"]).starts_with("ERR readonly"));
+        assert!(repl_command(&state, &["PULL", "x", "0", "1"]).starts_with("ERR readonly"));
+        runtime.note_primary_seq(42);
+        let status = repl_command(&state, &["STATUS"]);
+        assert!(
+            status.starts_with("OK role=replica primary=127.0.0.1:1"),
+            "{status}"
+        );
+        assert!(status.contains("lag_edges=42"), "{status}");
+        assert!(status.contains("lag_slo=100000"), "{status}");
+    }
+
+    #[test]
+    fn replica_runtime_tracks_lag_and_slo() {
+        let (_state, runtime) = replica_state();
+        assert_eq!(runtime.lag(), 0);
+        assert!(!runtime.lag_exceeds_slo());
+        runtime.note_primary_seq(200_001);
+        assert_eq!(runtime.lag(), 200_001);
+        assert!(runtime.lag_exceeds_slo());
+        // note_primary_seq never lowers the mark.
+        runtime.note_primary_seq(10);
+        assert_eq!(runtime.primary_seq(), 200_001);
+    }
+
+    #[test]
+    fn apply_entry_dedupes_and_updates_the_runtime() {
+        let (state, runtime) = replica_state();
+        let e = JournalEntry {
+            seq: 1,
+            u: VertexId(1),
+            v: VertexId(2),
+        };
+        apply_entry(&state, &runtime, e);
+        apply_entry(&state, &runtime, e);
+        assert_eq!(state.read_store().edges_processed(), 1);
+        assert_eq!(runtime.applied_seq(), 1);
+    }
+
+    #[test]
+    fn jitter_stays_within_a_quarter_of_base() {
+        let mut rng = Lcg::new(7);
+        let base = Duration::from_millis(400);
+        for _ in 0..200 {
+            let d = jittered(&mut rng, base);
+            assert!(d >= Duration::from_millis(300), "{d:?}");
+            assert!(d < Duration::from_millis(500), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn disabled_replication_reports_clean_errors() {
+        let store = SketchStore::new(SketchConfig::with_slots(16).seed(2));
+        let state = ServerState::in_memory(
+            store,
+            ServerConfig {
+                repl_buffer: 0,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(
+            repl_command(&state, &["HELLO", "r"]),
+            "ERR replication disabled (--repl-buffer 0)"
+        );
+        assert_eq!(
+            repl_command(&state, &["STATUS"]),
+            "OK role=primary replication=disabled"
+        );
+    }
+}

@@ -646,6 +646,57 @@ pub fn replay(
     Ok(report)
 }
 
+/// Reads up to `max` verified entries with `seq > after_seq` from the
+/// segment chain, oldest first — the replication PULL path for entries
+/// that have aged out of the primary's in-memory ship buffer but are
+/// still on disk.
+///
+/// Read-only and side-effect free: unlike [`replay`] it never
+/// quarantines — corrupt or torn lines are simply not shipped (recovery
+/// owns forensics). Segments fully covered by `after_seq` are skipped
+/// without being read.
+///
+/// # Errors
+/// Fails if the directory or a needed segment cannot be read.
+pub fn read_entries_after(dir: &Path, after_seq: u64, max: usize) -> io::Result<Vec<JournalEntry>> {
+    let mut out = Vec::new();
+    if max == 0 {
+        return Ok(out);
+    }
+    let segments = match list_segments(dir) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for (i, (_, path)) in segments.iter().enumerate() {
+        // Segment i holds seqs in [first_i, first_{i+1}); skip it when
+        // that whole range is already covered.
+        if let Some((next_first, _)) = segments.get(i + 1) {
+            if *next_first <= after_seq + 1 {
+                continue;
+            }
+        }
+        let bytes = fs::read(path)?;
+        let (lines, terminated) = split_lines(&bytes);
+        let count = lines.len();
+        for (idx, raw) in lines.into_iter().enumerate() {
+            if idx + 1 == count && !terminated {
+                break; // possibly torn final line: never ship it
+            }
+            let Some(entry) = std::str::from_utf8(raw).ok().and_then(JournalEntry::parse) else {
+                continue;
+            };
+            if entry.seq > after_seq {
+                out.push(entry);
+                if out.len() == max {
+                    return Ok(out);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1079,6 +1130,55 @@ mod tests {
         j.append(entry(1)).unwrap();
         assert!(j.sync().is_err());
         assert!(j.sync().is_ok(), "one-shot fault heals");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_entries_after_serves_the_tail_across_segments() {
+        let dir = temp_dir("readafter");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=4 {
+            j.append(entry(seq)).unwrap();
+        }
+        j.rotate(5).unwrap();
+        for seq in 5..=8 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+
+        let all = read_entries_after(&dir, 0, 100).unwrap();
+        assert_eq!(
+            all.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (1..=8).collect::<Vec<_>>()
+        );
+        // Covered prefix skipped; batch limit honored.
+        let tail = read_entries_after(&dir, 5, 2).unwrap();
+        assert_eq!(tail.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![6, 7]);
+        assert!(read_entries_after(&dir, 8, 10).unwrap().is_empty());
+        assert!(read_entries_after(&dir, 3, 0).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_entries_after_never_ships_corrupt_or_torn_lines() {
+        let dir = temp_dir("readclean");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        // Rot record 2, then leave a torn (unterminated) record 4.
+        let content = fs::read_to_string(path).unwrap();
+        fs::write(path, content.replacen("F 2", "F 9", 1)).unwrap();
+        let mut f = OpenOptions::new().append(true).open(path).unwrap();
+        write!(f, "F 4 8").unwrap();
+        drop(f);
+
+        let got = read_entries_after(&dir, 0, 100).unwrap();
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 3]);
+        // No quarantine side effects from the read path.
+        assert!(!dir.join(QUARANTINE_DIR).exists());
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -67,8 +67,13 @@
 //!   chain + journal tail, quarantine of corrupt artifacts) and
 //!   retention-aware checkpointing.
 //! * [`chaos`] — fault injection (torn/partial writes, scripted
-//!   [`chaos::FaultPlan`] ENOSPC/short-write/failed-fsync schedules, bit
-//!   flips) for durability tests.
+//!   [`chaos::FaultPlan`] ENOSPC/short-write/failed-fsync schedules,
+//!   scripted [`chaos::DeliveryPlan`] drop/duplicate/reorder delivery
+//!   schedules, bit flips) for durability and replication tests.
+//! * [`repl`] — replication primitives: seq-deduplicated apply
+//!   ([`repl::ReplicaApplier`]), the primary's bounded ship buffer
+//!   ([`repl::ReplLog`]), and the byte-exact convergence check
+//!   ([`repl::divergence`]).
 //!
 //! ## Quick example
 //!
@@ -106,6 +111,7 @@ pub mod memory;
 pub mod merge;
 pub mod metrics;
 pub mod parallel;
+pub mod repl;
 pub mod robust;
 pub mod sketch;
 pub mod snapshot;
@@ -117,7 +123,7 @@ pub use accuracy::AccuracyPlan;
 pub use audit::{AccuracyAuditor, AuditConfig, AuditSnapshot};
 pub use biased::BiasedStore;
 pub use bottomk::BottomKStore;
-pub use chaos::{FaultKind, FaultPlan};
+pub use chaos::{DeliveryFault, DeliveryPlan, FaultKind, FaultPlan};
 pub use compressed::CompressedStore;
 pub use concurrent::ConcurrentSketchStore;
 pub use config::{HasherBackend, SketchConfig};
@@ -127,6 +133,7 @@ pub use journal::{FsyncPolicy, Journal, JournalEntry, LineCheck, ReplayReport};
 pub use lsh::LshIndex;
 pub use memory::{MemoryComponent, MemoryReport};
 pub use metrics::{Metrics, MetricsSnapshot};
+pub use repl::{ApplyOutcome, PullOutcome, ReplLog, ReplicaApplier};
 pub use robust::RobustStore;
 pub use store::SketchStore;
 pub use windowed::WindowedStore;

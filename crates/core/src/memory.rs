@@ -49,14 +49,16 @@ pub struct MemoryReport {
 impl MemoryReport {
     /// Walks the store (and optional auditor) and assembles the report.
     ///
-    /// `journal_buffer_bytes` is passed in by the caller because the
-    /// journal lives behind the server's persistence lock, not inside
-    /// the store; pass 0 for in-memory deployments.
+    /// `journal_buffer_bytes` and `repl_buffer_bytes` are passed in by
+    /// the caller because the journal lives behind the server's
+    /// persistence lock and the replication ship buffer behind its own
+    /// lock, not inside the store; pass 0 for deployments without them.
     #[must_use]
     pub fn collect(
         store: &SketchStore,
         auditor: Option<&AccuracyAuditor>,
         journal_buffer_bytes: usize,
+        repl_buffer_bytes: usize,
     ) -> Self {
         let vertices = store.vertex_count();
         let sm = store.memory_breakdown();
@@ -100,6 +102,11 @@ impl MemoryReport {
                 bytes: shadow_bytes,
                 entries: shadow_tracked,
             },
+            MemoryComponent {
+                name: "repl.buffer",
+                bytes: repl_buffer_bytes,
+                entries: 0,
+            },
         ];
         let total_bytes = components.iter().map(|c| c.bytes).sum();
         Self {
@@ -139,6 +146,8 @@ impl MemoryReport {
             .set(self.component_bytes("trace.ring") as u64);
         m.mem_audit_shadow_bytes
             .set(self.component_bytes("audit.shadow") as u64);
+        m.mem_repl_buffer_bytes
+            .set(self.component_bytes("repl.buffer") as u64);
         m.mem_vertices.set(self.vertices as u64);
         m.mem_bytes_per_vertex.set(self.bytes_per_vertex);
     }
@@ -186,7 +195,7 @@ mod tests {
     #[test]
     fn report_totals_are_component_sums() {
         let store = populated_store(200);
-        let report = MemoryReport::collect(&store, None, 8192);
+        let report = MemoryReport::collect(&store, None, 8192, 0);
         let sum: usize = report.components.iter().map(|c| c.bytes).sum();
         assert_eq!(report.total_bytes, sum);
         assert_eq!(report.vertices, 200);
@@ -203,7 +212,7 @@ mod tests {
     #[test]
     fn empty_store_has_nonzero_per_vertex_denominator() {
         let store = SketchStore::new(SketchConfig::with_slots(64));
-        let report = MemoryReport::collect(&store, None, 0);
+        let report = MemoryReport::collect(&store, None, 0, 0);
         assert_eq!(report.vertices, 0);
         assert_eq!(report.bytes_per_vertex, report.total_bytes as u64);
     }
@@ -219,8 +228,8 @@ mod tests {
             store.insert_edge(VertexId(v), VertexId(v + 1000));
             auditor.observe_edge(VertexId(v), VertexId(v + 1000), 0, 0);
         }
-        let with = MemoryReport::collect(&store, Some(&auditor), 0);
-        let without = MemoryReport::collect(&store, None, 0);
+        let with = MemoryReport::collect(&store, Some(&auditor), 0, 0);
+        let without = MemoryReport::collect(&store, None, 0, 0);
         assert!(with.component_bytes("audit.shadow") > 0);
         assert_eq!(without.component_bytes("audit.shadow"), 0);
         assert!(with.total_bytes > without.total_bytes);
@@ -229,7 +238,7 @@ mod tests {
     #[test]
     fn json_rendering_is_single_line_and_schema_tagged() {
         let store = populated_store(20);
-        let json = MemoryReport::collect(&store, None, 0).render_json();
+        let json = MemoryReport::collect(&store, None, 0, 0).render_json();
         assert!(json.starts_with("{\"schema\":\"streamlink.memz.v1\""));
         assert!(!json.contains('\n'));
         assert!(json.contains("\"name\":\"store.sketch_slots\""));
@@ -240,7 +249,7 @@ mod tests {
             .get("components")
             .and_then(|v| v.as_array())
             .expect("components array");
-        assert_eq!(components.len(), 7);
+        assert_eq!(components.len(), 8);
     }
 
     #[test]
@@ -248,7 +257,7 @@ mod tests {
         let m = crate::metrics::global();
         m.set_enabled(true);
         let store = populated_store(100);
-        let report = MemoryReport::collect(&store, None, 4096);
+        let report = MemoryReport::collect(&store, None, 4096, 2048);
         report.publish();
         let snap = m.snapshot();
         let gauge = |k: &str| {
@@ -261,6 +270,7 @@ mod tests {
         assert_eq!(gauge("mem.total_bytes"), report.total_bytes as u64);
         assert_eq!(gauge("mem.vertices"), 100);
         assert_eq!(gauge("mem.journal_buffer_bytes"), 4096);
+        assert_eq!(gauge("mem.repl_buffer_bytes"), 2048);
         assert_eq!(gauge("mem.bytes_per_vertex"), report.bytes_per_vertex);
     }
 }

@@ -377,6 +377,36 @@ pub struct Metrics {
     /// Live total bytes per observed vertex — the paper's
     /// "constant space per vertex" claim as a scrapeable gauge.
     pub mem_bytes_per_vertex: Gauge,
+    /// Primary's replication ship-buffer capacity bytes (0 when not a
+    /// primary or replication serving is disabled).
+    pub mem_repl_buffer_bytes: Gauge,
+    /// WAL entries served to pulling replicas (primary).
+    pub repl_entries_shipped: Counter,
+    /// Full snapshots served to resyncing replicas (primary).
+    pub repl_snapshots_shipped: Counter,
+    /// Entries applied through the seq-dedup gate (replica).
+    pub repl_entries_applied: Counter,
+    /// Entries dropped as duplicates / late reorders (replica).
+    pub repl_entries_deduped: Counter,
+    /// Anti-entropy snapshot joins completed (replica).
+    pub repl_anti_entropy_rounds: Counter,
+    /// Snapshot resyncs forced by buffer shed, discontinuity, or
+    /// primary restart (replica).
+    pub repl_resyncs: Counter,
+    /// Reconnect attempts after a lost primary link (replica).
+    pub repl_reconnects: Counter,
+    /// Distinct replicas seen in the last replica-liveness window
+    /// (primary; set at observation time).
+    pub repl_replicas_connected: Gauge,
+    /// Worst known replica lag in edges (primary; set at observation
+    /// time).
+    pub repl_max_lag_edges: Gauge,
+    /// Whether the primary link is currently up (replica; 0/1).
+    pub repl_connected: Gauge,
+    /// Highest primary seq reflected in the local store (replica).
+    pub repl_applied_seq: Gauge,
+    /// Known lag behind the primary in edges (replica).
+    pub repl_lag_edges: Gauge,
 }
 
 impl Metrics {
@@ -432,6 +462,19 @@ impl Metrics {
             mem_audit_shadow_bytes: Gauge::new(),
             mem_vertices: Gauge::new(),
             mem_bytes_per_vertex: Gauge::new(),
+            mem_repl_buffer_bytes: Gauge::new(),
+            repl_entries_shipped: Counter::new(),
+            repl_snapshots_shipped: Counter::new(),
+            repl_entries_applied: Counter::new(),
+            repl_entries_deduped: Counter::new(),
+            repl_anti_entropy_rounds: Counter::new(),
+            repl_resyncs: Counter::new(),
+            repl_reconnects: Counter::new(),
+            repl_replicas_connected: Gauge::new(),
+            repl_max_lag_edges: Gauge::new(),
+            repl_connected: Gauge::new(),
+            repl_applied_seq: Gauge::new(),
+            repl_lag_edges: Gauge::new(),
         }
     }
 
@@ -497,6 +540,16 @@ impl Metrics {
                 ("audit.pairs", self.audit_pairs.get()),
                 ("http.requests", self.http_requests.get()),
                 ("http.errors", self.http_errors.get()),
+                ("repl.entries_shipped", self.repl_entries_shipped.get()),
+                ("repl.snapshots_shipped", self.repl_snapshots_shipped.get()),
+                ("repl.entries_applied", self.repl_entries_applied.get()),
+                ("repl.entries_deduped", self.repl_entries_deduped.get()),
+                (
+                    "repl.anti_entropy_rounds",
+                    self.repl_anti_entropy_rounds.get(),
+                ),
+                ("repl.resyncs", self.repl_resyncs.get()),
+                ("repl.reconnects", self.repl_reconnects.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
@@ -526,6 +579,15 @@ impl Metrics {
                 ("mem.audit_shadow_bytes", self.mem_audit_shadow_bytes.get()),
                 ("mem.vertices", self.mem_vertices.get()),
                 ("mem.bytes_per_vertex", self.mem_bytes_per_vertex.get()),
+                ("mem.repl_buffer_bytes", self.mem_repl_buffer_bytes.get()),
+                (
+                    "repl.replicas_connected",
+                    self.repl_replicas_connected.get(),
+                ),
+                ("repl.max_lag_edges", self.repl_max_lag_edges.get()),
+                ("repl.connected", self.repl_connected.get()),
+                ("repl.applied_seq", self.repl_applied_seq.get()),
+                ("repl.lag_edges", self.repl_lag_edges.get()),
                 ("process.uptime_secs", uptime_secs()),
                 ("process.as_of_unix_ms", as_of_unix_ms()),
             ],
@@ -581,6 +643,13 @@ impl Metrics {
             &self.audit_pairs,
             &self.http_requests,
             &self.http_errors,
+            &self.repl_entries_shipped,
+            &self.repl_snapshots_shipped,
+            &self.repl_entries_applied,
+            &self.repl_entries_deduped,
+            &self.repl_anti_entropy_rounds,
+            &self.repl_resyncs,
+            &self.repl_reconnects,
         ] {
             c.reset();
         }
@@ -602,6 +671,12 @@ impl Metrics {
         self.mem_audit_shadow_bytes.reset();
         self.mem_vertices.reset();
         self.mem_bytes_per_vertex.reset();
+        self.mem_repl_buffer_bytes.reset();
+        self.repl_replicas_connected.reset();
+        self.repl_max_lag_edges.reset();
+        self.repl_connected.reset();
+        self.repl_applied_seq.reset();
+        self.repl_lag_edges.reset();
         for h in [
             &self.insert_latency,
             &self.merge_latency,

@@ -1,0 +1,442 @@
+//! Replication primitives: seq-deduplicated apply and the primary's
+//! bounded ship buffer.
+//!
+//! A primary ships its CRC-framed WAL entries (`F <seq> <u> <v> <crc>`)
+//! to read replicas over the wire. Two facts shape everything here:
+//!
+//! * **Slots are idempotent, degrees are not.** Re-merging a sketch slot
+//!   is free (min-register); re-applying an edge double-counts the
+//!   degree counters and the edge count. So a replica must apply each
+//!   primary seq **at most once**.
+//! * **Delivery is unreliable.** Entries can be dropped, duplicated, or
+//!   reordered in transit (see [`crate::chaos::DeliveryPlan`]).
+//!
+//! [`ReplicaApplier`] enforces at-most-once by monotone-seq gating: an
+//! entry is applied iff its seq is strictly greater than the high-water
+//! mark, so duplicates and late reorders are deduplicated, and drops
+//! leave *gaps* — the replica's state is then a sub-multiset of the
+//! primary's applied stream (every applied seq is a real primary edge,
+//! applied once). That invariant is exactly what makes anti-entropy via
+//! [`crate::merge::merge_join`] (slot min / degree max / edge-count max)
+//! converge the replica to the primary byte-for-byte.
+//!
+//! [`ReplLog`] is the primary side: a bounded in-memory ring of recent
+//! entries served to pulling replicas. A replica that falls behind the
+//! ring's tail is told to resync from a snapshot instead of stalling
+//! ingest — the buffer is bounded, never the write path.
+
+use std::collections::VecDeque;
+
+use crate::journal::JournalEntry;
+use crate::store::SketchStore;
+
+/// What [`ReplicaApplier::offer`] did with one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The entry advanced the high-water mark and was applied.
+    Applied,
+    /// The entry's seq was already covered (duplicate or late reorder):
+    /// dropped without touching the store.
+    Deduped,
+}
+
+/// Seq-deduplicated apply gate for a replica.
+///
+/// Tracks the highest primary seq applied; [`offer`](Self::offer)
+/// applies an entry iff it advances that mark, so no seq is ever
+/// applied twice regardless of duplication or reordering in delivery.
+/// Gaps (dropped entries) are tolerated and counted — anti-entropy
+/// repairs them.
+#[derive(Debug, Clone)]
+pub struct ReplicaApplier {
+    applied_seq: u64,
+    applied: u64,
+    deduped: u64,
+    gap_skips: u64,
+}
+
+impl ReplicaApplier {
+    /// An applier whose high-water mark is `applied_seq` (0 for a fresh
+    /// replica: every real WAL seq is ≥ 1).
+    #[must_use]
+    pub fn new(applied_seq: u64) -> Self {
+        ReplicaApplier {
+            applied_seq,
+            applied: 0,
+            deduped: 0,
+            gap_skips: 0,
+        }
+    }
+
+    /// Applies `entry` to `store` iff its seq advances the high-water
+    /// mark; duplicates and late reorders are dropped.
+    pub fn offer(&mut self, store: &mut SketchStore, entry: JournalEntry) -> ApplyOutcome {
+        if entry.seq <= self.applied_seq {
+            self.deduped += 1;
+            return ApplyOutcome::Deduped;
+        }
+        self.gap_skips += entry.seq - self.applied_seq - 1;
+        self.applied_seq = entry.seq;
+        self.applied += 1;
+        store.insert_edge(entry.u, entry.v);
+        ApplyOutcome::Applied
+    }
+
+    /// Raises the high-water mark to `seq` (no-op if already past it).
+    ///
+    /// Called after anti-entropy joins a primary snapshot taken at
+    /// `seq`: every entry ≤ `seq` is now reflected in the store, so the
+    /// stream tail up to `seq` must dedupe rather than re-apply.
+    pub fn advance_to(&mut self, seq: u64) {
+        self.applied_seq = self.applied_seq.max(seq);
+    }
+
+    /// Resets the high-water mark to `seq` unconditionally — used when
+    /// the replica discards its store (full resync, or a primary that
+    /// restarted with a lower seq space).
+    pub fn reset_to(&mut self, seq: u64) {
+        self.applied_seq = seq;
+    }
+
+    /// Highest primary seq reflected in the store.
+    #[must_use]
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Entries applied through this applier.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Entries dropped as duplicates / late reorders.
+    #[must_use]
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Seqs skipped over as delivery gaps (awaiting anti-entropy).
+    #[must_use]
+    pub fn gap_skips(&self) -> u64 {
+        self.gap_skips
+    }
+}
+
+/// The primary's bounded ship buffer: a ring of the most recent WAL
+/// entries, pulled by replicas.
+///
+/// Bounded so slow or stuck replicas can never stall ingest: when the
+/// ring is full the oldest entry is shed, and a replica asking for a seq
+/// the ring no longer holds gets [`PullOutcome::ResyncRequired`] —
+/// it must resync from a snapshot (or the on-disk WAL) instead.
+#[derive(Debug)]
+pub struct ReplLog {
+    entries: VecDeque<JournalEntry>,
+    capacity: usize,
+    /// Highest seq ever recorded (survives shedding and clears).
+    last_seq: u64,
+}
+
+/// What [`ReplLog::entries_after`] can serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PullOutcome {
+    /// Entries with seq > the requested mark, oldest first (empty when
+    /// the caller is already caught up).
+    Entries(Vec<JournalEntry>),
+    /// The ring has shed (or never held) part of the requested range;
+    /// the caller must resync from a snapshot.
+    ResyncRequired,
+}
+
+impl ReplLog {
+    /// An empty ring holding at most `capacity` entries, whose seq
+    /// high-water mark starts at `last_seq` (the primary's current WAL
+    /// position; 0 for a fresh store).
+    #[must_use]
+    pub fn new(capacity: usize, last_seq: u64) -> Self {
+        ReplLog {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            last_seq,
+        }
+    }
+
+    /// Records one shipped entry. Non-contiguous seqs (a burned seq
+    /// after a failed append, a rotation gap) clear the ring — replicas
+    /// behind the discontinuity resync from a snapshot, which is always
+    /// safe.
+    pub fn record(&mut self, entry: JournalEntry) {
+        if entry.seq != self.last_seq + 1 {
+            self.entries.clear();
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.last_seq = self.last_seq.max(entry.seq);
+        self.entries.push_back(entry);
+    }
+
+    /// Assigns the next seq and records the edge — the seq authority for
+    /// primaries running without a durable journal.
+    pub fn assign_and_record(&mut self, u: graphstream::VertexId, v: graphstream::VertexId) -> u64 {
+        let seq = self.last_seq + 1;
+        self.record(JournalEntry { seq, u, v });
+        seq
+    }
+
+    /// Highest seq ever recorded.
+    #[must_use]
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Seq of the oldest entry still buffered, if any.
+    #[must_use]
+    pub fn first_buffered(&self) -> Option<u64> {
+        self.entries.front().map(|e| e.seq)
+    }
+
+    /// Number of entries currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Up to `max` entries with seq > `after_seq`, oldest first.
+    ///
+    /// Returns [`PullOutcome::ResyncRequired`] when the range
+    /// `(after_seq, last_seq]` is non-empty but its start has been shed
+    /// from the ring.
+    #[must_use]
+    pub fn entries_after(&self, after_seq: u64, max: usize) -> PullOutcome {
+        if after_seq >= self.last_seq {
+            return PullOutcome::Entries(Vec::new());
+        }
+        match self.first_buffered() {
+            Some(first) if first <= after_seq + 1 => {
+                let out: Vec<JournalEntry> = self
+                    .entries
+                    .iter()
+                    .filter(|e| e.seq > after_seq)
+                    .take(max)
+                    .copied()
+                    .collect();
+                PullOutcome::Entries(out)
+            }
+            // Ring empty or its tail already shed past the request.
+            _ => PullOutcome::ResyncRequired,
+        }
+    }
+
+    /// Approximate heap footprint of the ring (for `mem.*` accounting).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<JournalEntry>()
+    }
+}
+
+/// Compares a replica's state against the primary's, byte for byte.
+///
+/// Returns `None` when every per-vertex sketch slot, every degree
+/// counter, and the edge count match exactly; otherwise a human-readable
+/// description of the first divergence found. This is the E23 chaos
+/// convergence invariant.
+#[must_use]
+pub fn divergence(primary: &SketchStore, replica: &SketchStore) -> Option<String> {
+    if primary.edges_processed() != replica.edges_processed() {
+        return Some(format!(
+            "edges_processed: primary={} replica={}",
+            primary.edges_processed(),
+            replica.edges_processed()
+        ));
+    }
+    if primary.vertex_count() != replica.vertex_count() {
+        return Some(format!(
+            "vertex_count: primary={} replica={}",
+            primary.vertex_count(),
+            replica.vertex_count()
+        ));
+    }
+    for v in primary.vertices() {
+        if primary.degree(v) != replica.degree(v) {
+            return Some(format!(
+                "degree({v}): primary={} replica={}",
+                primary.degree(v),
+                replica.degree(v)
+            ));
+        }
+        if primary.sketch(v) != replica.sketch(v) {
+            return Some(format!("sketch({v}): slot contents differ"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::DeliveryPlan;
+    use crate::config::SketchConfig;
+    use crate::merge::merge_join;
+    use crate::snapshot::StoreSnapshot;
+    use graphstream::VertexId;
+
+    fn cfg() -> SketchConfig {
+        SketchConfig::with_slots(32).seed(11)
+    }
+
+    fn entry(seq: u64) -> JournalEntry {
+        JournalEntry {
+            seq,
+            u: VertexId(seq % 7),
+            v: VertexId(seq % 5 + 7),
+        }
+    }
+
+    #[test]
+    fn applier_applies_each_seq_at_most_once() {
+        let mut store = SketchStore::new(cfg());
+        let mut applier = ReplicaApplier::new(0);
+        assert_eq!(applier.offer(&mut store, entry(1)), ApplyOutcome::Applied);
+        assert_eq!(applier.offer(&mut store, entry(2)), ApplyOutcome::Applied);
+        // Duplicate and late reorder both dedupe.
+        assert_eq!(applier.offer(&mut store, entry(2)), ApplyOutcome::Deduped);
+        assert_eq!(applier.offer(&mut store, entry(1)), ApplyOutcome::Deduped);
+        assert_eq!(store.edges_processed(), 2);
+        assert_eq!(applier.applied(), 2);
+        assert_eq!(applier.deduped(), 2);
+        assert_eq!(applier.applied_seq(), 2);
+    }
+
+    #[test]
+    fn applier_counts_gaps_and_skips_reorder_laggards() {
+        let mut store = SketchStore::new(cfg());
+        let mut applier = ReplicaApplier::new(0);
+        applier.offer(&mut store, entry(1));
+        applier.offer(&mut store, entry(5)); // 2,3,4 lost
+        assert_eq!(applier.gap_skips(), 3);
+        // 3 arrives late (reordered): under the monotone gate it is
+        // deduped — anti-entropy, not replay, repairs the gap.
+        assert_eq!(applier.offer(&mut store, entry(3)), ApplyOutcome::Deduped);
+        assert_eq!(store.edges_processed(), 2);
+    }
+
+    #[test]
+    fn advance_to_dedupes_the_tail_after_anti_entropy() {
+        let mut store = SketchStore::new(cfg());
+        let mut applier = ReplicaApplier::new(0);
+        applier.offer(&mut store, entry(1));
+        applier.advance_to(10);
+        assert_eq!(applier.offer(&mut store, entry(7)), ApplyOutcome::Deduped);
+        assert_eq!(applier.offer(&mut store, entry(11)), ApplyOutcome::Applied);
+        // advance_to never lowers the mark.
+        applier.advance_to(4);
+        assert_eq!(applier.applied_seq(), 11);
+        applier.reset_to(4);
+        assert_eq!(applier.applied_seq(), 4);
+    }
+
+    #[test]
+    fn repl_log_serves_contiguous_tail_and_requires_resync_past_shed() {
+        let mut log = ReplLog::new(4, 0);
+        for seq in 1..=6 {
+            log.record(entry(seq));
+        }
+        // Capacity 4: seqs 1 and 2 were shed.
+        assert_eq!(log.first_buffered(), Some(3));
+        assert_eq!(log.last_seq(), 6);
+        match log.entries_after(3, 100) {
+            PullOutcome::Entries(v) => {
+                assert_eq!(v.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![4, 5, 6]);
+            }
+            PullOutcome::ResyncRequired => panic!("contiguous tail must be served"),
+        }
+        // Caught up: empty, not resync.
+        assert_eq!(log.entries_after(6, 100), PullOutcome::Entries(Vec::new()));
+        assert_eq!(log.entries_after(99, 100), PullOutcome::Entries(Vec::new()));
+        // Behind the shed point: resync.
+        assert_eq!(log.entries_after(1, 100), PullOutcome::ResyncRequired);
+        // Batch limit respected.
+        match log.entries_after(2, 2) {
+            PullOutcome::Entries(v) => {
+                assert_eq!(v.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![3, 4]);
+            }
+            PullOutcome::ResyncRequired => panic!("start of range is buffered"),
+        }
+    }
+
+    #[test]
+    fn repl_log_discontinuity_clears_ring_but_keeps_high_water() {
+        let mut log = ReplLog::new(16, 0);
+        log.record(entry(1));
+        log.record(entry(2));
+        // Seq 3 burned by a failed append; 4 lands next.
+        log.record(entry(4));
+        assert_eq!(log.last_seq(), 4);
+        assert_eq!(log.first_buffered(), Some(4));
+        assert_eq!(log.entries_after(1, 10), PullOutcome::ResyncRequired);
+        match log.entries_after(3, 10) {
+            PullOutcome::Entries(v) => assert_eq!(v.len(), 1),
+            PullOutcome::ResyncRequired => panic!("post-gap tail must be served"),
+        }
+    }
+
+    #[test]
+    fn repl_log_assigns_seqs_for_memoryless_primaries() {
+        let mut log = ReplLog::new(8, 0);
+        assert_eq!(log.assign_and_record(VertexId(1), VertexId(2)), 1);
+        assert_eq!(log.assign_and_record(VertexId(2), VertexId(3)), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.buffered(), 2);
+        assert!(log.memory_bytes() > 0);
+    }
+
+    /// End-to-end convergence at the core layer: a chaos-perturbed
+    /// delivery followed by one anti-entropy join equals the primary.
+    #[test]
+    fn perturbed_stream_plus_anti_entropy_converges_exactly() {
+        let mut primary = SketchStore::new(cfg());
+        let entries: Vec<JournalEntry> = (1..=200)
+            .map(|seq| JournalEntry {
+                seq,
+                u: VertexId(seq * 7 % 23),
+                v: VertexId(seq * 13 % 19 + 23),
+            })
+            .collect();
+        for e in &entries {
+            primary.insert_edge(e.u, e.v);
+        }
+
+        let mut plan = DeliveryPlan::new();
+        plan.drop_at(10);
+        plan.drop_at(11);
+        plan.duplicate_at(40);
+        plan.duplicate_at(41);
+        plan.delay_at(100, 30);
+        plan.delay_at(150, 5);
+
+        let mut replica = SketchStore::new(cfg());
+        let mut applier = ReplicaApplier::new(0);
+        for e in plan.apply(entries.clone()) {
+            applier.offer(&mut replica, e);
+        }
+        assert!(applier.deduped() > 0, "schedule must exercise dedup");
+        assert!(
+            divergence(&primary, &replica).is_some(),
+            "drops must leave the replica behind before anti-entropy"
+        );
+
+        // One anti-entropy round: join a primary snapshot, advance the
+        // gate to the snapshot seq.
+        let snap = StoreSnapshot::capture(&primary);
+        let restored = snap.restore();
+        merge_join(&mut replica, &restored).unwrap();
+        applier.advance_to(200);
+        assert_eq!(divergence(&primary, &replica), None);
+
+        // A second round is a no-op (idempotent join).
+        merge_join(&mut replica, &restored).unwrap();
+        assert_eq!(divergence(&primary, &replica), None);
+    }
+}

@@ -3,7 +3,9 @@
 
 use graphstream::{Edge, VertexId};
 use proptest::prelude::*;
-use streamlink_core::merge::merge_into;
+use streamlink_core::journal::JournalEntry;
+use streamlink_core::merge::{merge_into, merge_join};
+use streamlink_core::repl::{divergence, ReplicaApplier};
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{BottomKStore, SketchConfig, SketchStore};
 
@@ -91,6 +93,61 @@ proptest! {
             prop_assert_eq!(left.sketch(v), whole.sketch(v));
             prop_assert_eq!(left.degree(v), whole.degree(v));
         }
+    }
+
+    /// The replication join is idempotent: joining a store with an
+    /// identical copy of itself — once or many times — changes nothing.
+    /// Slots are min-registers (self-merge is a no-op) and degrees /
+    /// edge counts join by max, so they never double-count.
+    #[test]
+    fn merge_join_self_is_idempotent(edges in arb_edges(), rounds in 1usize..4) {
+        let reference = build(&edges, 16, 13);
+        let mut joined = build(&edges, 16, 13);
+        let copy = build(&edges, 16, 13);
+        for _ in 0..rounds {
+            merge_join(&mut joined, &copy).unwrap();
+        }
+        prop_assert_eq!(divergence(&reference, &joined), None);
+    }
+
+    /// Joining a prefix state with the full state of the same stream
+    /// recovers the full state exactly, regardless of the cut point —
+    /// the anti-entropy repair property.
+    #[test]
+    fn merge_join_prefix_recovers_full_state(edges in arb_edges(), cut_frac in 0.0f64..1.0) {
+        let cut = ((edges.len() as f64) * cut_frac) as usize;
+        let mut replica = build(&edges[..cut], 16, 17);
+        let primary = build(&edges, 16, 17);
+        merge_join(&mut replica, &primary).unwrap();
+        prop_assert_eq!(divergence(&primary, &replica), None);
+        // And a second round is a no-op.
+        merge_join(&mut replica, &primary).unwrap();
+        prop_assert_eq!(divergence(&primary, &replica), None);
+    }
+
+    /// Applying the same WAL segment twice through the seq-dedup path
+    /// leaves sketch slots unchanged and never double-counts degrees or
+    /// edge counts — replicated delivery is exactly-once in effect.
+    #[test]
+    fn replayed_segment_dedupes_not_double_counts(edges in arb_edges()) {
+        let entries: Vec<JournalEntry> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| JournalEntry { seq: i as u64 + 1, u: e.src, v: e.dst })
+            .collect();
+        let mut primary = SketchStore::new(SketchConfig::with_slots(16).seed(19));
+        for e in &entries {
+            primary.insert_edge(e.u, e.v);
+        }
+        let mut replica = SketchStore::new(SketchConfig::with_slots(16).seed(19));
+        let mut applier = ReplicaApplier::new(0);
+        // The same segment delivered twice back to back.
+        for e in entries.iter().chain(entries.iter()) {
+            applier.offer(&mut replica, *e);
+        }
+        prop_assert_eq!(applier.applied(), entries.len() as u64);
+        prop_assert_eq!(applier.deduped(), entries.len() as u64);
+        prop_assert_eq!(divergence(&primary, &replica), None);
     }
 
     /// Snapshot round-trips preserve every query answer.
