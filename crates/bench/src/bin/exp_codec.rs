@@ -1,0 +1,246 @@
+//! **E24 (codec)** — storage-format shootout: text v2 vs binary v3 on
+//! the same durable workload, gating the claim that v3 makes recovery
+//! **≥ 5× faster** and the on-disk artifacts **smaller** while the v2
+//! path stays fully readable.
+//!
+//! Per format, one simulated server lifetime: journal `n` edges
+//! (fsync-never, so timings measure encode/decode, not the disk), fire
+//! a mid-stream checkpoint (snapshot + rotation in the journal's
+//! format), leave the second half as a WAL tail, then time cold
+//! recovery — snapshot load plus tail replay — and audit that both
+//! formats recover the identical store. Durations are the best of
+//! three runs to shed scheduler noise.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_codec -- \
+//!     [--scale small|standard|large] [--min-replay-speedup 5.0]
+//! ```
+//!
+//! Exits nonzero if v3 recovery speedup falls below the gate, v3
+//! artifacts are not smaller, or the recovered stores diverge — CI runs
+//! this as a regression gate.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use graphstream::VertexId;
+use serde::Serialize;
+use streamlink_bench::{flag_value, scale_from_args, ResultWriter, EXP_SEED};
+use streamlink_core::journal::{self, FsyncPolicy, Journal, JournalEntry};
+use streamlink_core::snapshot::StoreSnapshot;
+use streamlink_core::{durable, SketchConfig, SketchStore, WireFormat};
+
+const KEEP: usize = 2;
+const RUNS: usize = 3;
+
+/// Deterministic xorshift64 PRNG so both formats see the same stream.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[derive(Serialize)]
+struct Row {
+    format: String,
+    edges: u64,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+    ingest_ms: f64,
+    checkpoint_ms: f64,
+    snapshot_load_ms: f64,
+    replay_ms: f64,
+    recover_ms: f64,
+    recovered_edges: u64,
+    recovered_vertices: u64,
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("streamlink-exp-codec-{}-{tag}", std::process::id()))
+}
+
+fn dir_bytes(dir: &PathBuf, prefix: &str) -> u64 {
+    fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.file_name().to_string_lossy().starts_with(prefix))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// One full lifetime + cold recovery under `format`. Timings are the
+/// best of [`RUNS`] repetitions over freshly rebuilt directories.
+fn run_format(format: WireFormat, edges: u64) -> Row {
+    let config = SketchConfig::with_slots(64).seed(EXP_SEED);
+    let mut best: Option<Row> = None;
+    for run in 0..RUNS {
+        let dir = temp_dir(&format!("{}-{run}", format.name()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut rng = Rng::new(EXP_SEED);
+        let mut journal = Journal::create_with_format(&dir, 1, FsyncPolicy::Never, format, None)
+            .expect("create journal");
+        let mut store = SketchStore::new(config);
+
+        // First half: journaled edges folded into the checkpoint.
+        let half = edges / 2;
+        let ingest_start = Instant::now();
+        for _ in 0..half {
+            let (u, v) = (VertexId(rng.below(10_000)), VertexId(rng.below(10_000)));
+            let seq = journal.next_seq();
+            journal.append(JournalEntry { seq, u, v }).expect("append");
+            store.insert_edge(u, v);
+        }
+        let checkpoint_start = Instant::now();
+        let snapshot = StoreSnapshot::capture(&store);
+        let wal_seq = journal.next_seq() - 1;
+        journal.rotate(wal_seq + 1).expect("rotate");
+        durable::checkpoint(&snapshot, wal_seq, &dir, &mut journal, KEEP).expect("checkpoint");
+        let checkpoint_ms = checkpoint_start.elapsed().as_secs_f64() * 1e3;
+
+        // Second half: the WAL tail recovery must replay.
+        for _ in half..edges {
+            let (u, v) = (VertexId(rng.below(10_000)), VertexId(rng.below(10_000)));
+            let seq = journal.next_seq();
+            journal.append(JournalEntry { seq, u, v }).expect("append");
+            store.insert_edge(u, v);
+        }
+        let ingest_ms = ingest_start.elapsed().as_secs_f64() * 1e3 - checkpoint_ms;
+        drop(journal);
+
+        let wal_bytes = dir_bytes(&dir, "wal.");
+        let snapshot_bytes = dir_bytes(&dir, "snapshot.");
+
+        // Cold recovery, componentized: snapshot load, then tail replay.
+        // (`durable::recover` does both in one call; timing them apart
+        // shows where each format spends its time.)
+        let load_start = Instant::now();
+        let generations = durable::list_generations(&dir).expect("list generations");
+        let (snap_seq, snap_path) = generations.last().expect("one generation");
+        let (snap, _integrity) =
+            StoreSnapshot::read_with_integrity(snap_path).expect("read snapshot");
+        let mut recovered = snap.restore();
+        let snapshot_load_ms = load_start.elapsed().as_secs_f64() * 1e3;
+        let replay_start = Instant::now();
+        let report = journal::replay(&dir, *snap_seq, |e| {
+            recovered.insert_edge(e.u, e.v);
+        })
+        .expect("replay");
+        let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.quarantined, 0, "clean dir must replay clean");
+        assert!(!report.torn_tail, "clean dir must have no torn tail");
+        assert_eq!(
+            recovered.edges_processed(),
+            store.edges_processed(),
+            "{} recovery dropped edges",
+            format.name()
+        );
+
+        let row = Row {
+            format: format.name().to_string(),
+            edges,
+            wal_bytes,
+            snapshot_bytes,
+            ingest_ms,
+            checkpoint_ms,
+            snapshot_load_ms,
+            replay_ms,
+            recover_ms: snapshot_load_ms + replay_ms,
+            recovered_edges: recovered.edges_processed(),
+            recovered_vertices: recovered.vertex_count() as u64,
+        };
+        let _ = fs::remove_dir_all(&dir);
+        best = Some(match best.take() {
+            Some(b) if b.recover_ms <= row.recover_ms => b,
+            _ => row,
+        });
+    }
+    best.expect("RUNS > 0")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let edges: u64 = match scale_from_args(&args) {
+        datasets::Scale::Small => 50_000,
+        datasets::Scale::Standard => 200_000,
+        datasets::Scale::Large => 800_000,
+    };
+    let min_speedup: f64 = flag_value(&args, "--min-replay-speedup")
+        .map(|s| s.parse().expect("--min-replay-speedup takes a number"))
+        .unwrap_or(5.0);
+
+    let mut writer = ResultWriter::new("codec");
+    println!(
+        "{:>6} {:>9} {:>11} {:>11} {:>10} {:>10} {:>10}",
+        "format", "edges", "wal_bytes", "snap_bytes", "load_ms", "replay_ms", "recover_ms"
+    );
+    let rows: Vec<Row> = [WireFormat::TextV2, WireFormat::BinaryV3]
+        .into_iter()
+        .map(|f| run_format(f, edges))
+        .collect();
+    for row in &rows {
+        println!(
+            "{:>6} {:>9} {:>11} {:>11} {:>10.2} {:>10.2} {:>10.2}",
+            row.format,
+            row.edges,
+            row.wal_bytes,
+            row.snapshot_bytes,
+            row.snapshot_load_ms,
+            row.replay_ms,
+            row.recover_ms
+        );
+        writer.write_row(row);
+    }
+
+    let (v2, v3) = (&rows[0], &rows[1]);
+    let speedup = v2.recover_ms / v3.recover_ms.max(1e-9);
+    let wal_ratio = v3.wal_bytes as f64 / v2.wal_bytes.max(1) as f64;
+    let snap_ratio = v3.snapshot_bytes as f64 / v2.snapshot_bytes.max(1) as f64;
+    println!(
+        "# recovery speedup {speedup:.1}x (gate >= {min_speedup:.1}x); v3/v2 bytes: \
+         wal {wal_ratio:.2}, snapshot {snap_ratio:.2}"
+    );
+    writer.write_row(&serde_json::json!({
+        "summary": true,
+        "edges": edges,
+        "recover_speedup": speedup,
+        "wal_bytes_ratio": wal_ratio,
+        "snapshot_bytes_ratio": snap_ratio,
+    }));
+
+    let mut failed = false;
+    if v2.recovered_edges != v3.recovered_edges || v2.recovered_vertices != v3.recovered_vertices {
+        eprintln!("FAIL: formats recovered different stores");
+        failed = true;
+    }
+    if speedup < min_speedup {
+        eprintln!("FAIL: recovery speedup {speedup:.1}x below the {min_speedup:.1}x gate");
+        failed = true;
+    }
+    if v3.wal_bytes >= v2.wal_bytes || v3.snapshot_bytes >= v2.snapshot_bytes {
+        eprintln!("FAIL: v3 artifacts are not smaller than v2");
+        failed = true;
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

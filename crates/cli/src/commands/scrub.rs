@@ -1,12 +1,15 @@
 //! `streamlink scrub` — offline integrity audit (and repair) of a data
 //! directory.
 //!
-//! Walks every snapshot generation and WAL segment, verifies the v2
-//! framing (versioned header + whole-file CRC for snapshots, per-record
-//! CRC for journal lines), and prints one verdict per file. With
-//! `--repair` it heals what it can: torn tails are truncated away,
-//! corrupt records and snapshot generations are moved into
-//! `quarantine/` so restart-time recovery never sees them.
+//! Walks every snapshot generation and WAL segment, verifies the
+//! framing each record actually uses — text v2 (versioned header +
+//! whole-file CRC for snapshots, per-record CRC for journal lines) or
+//! binary v3 (checksummed envelopes) — and prints one verdict per
+//! file. Mixed-format directories are normal mid-migration; scrub
+//! audits each record under its own framing. With `--repair` it heals
+//! what it can: torn tails are truncated away, corrupt records and
+//! snapshot generations are moved into `quarantine/` so restart-time
+//! recovery never sees them.
 //!
 //! ## Exit codes (the contract with operators and CI)
 //!
@@ -25,9 +28,10 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use streamlink_core::codec;
 use streamlink_core::durable;
-use streamlink_core::journal::{self, JournalEntry, LineCheck};
-use streamlink_core::snapshot::{self, SnapshotIntegrity, StoreSnapshot};
+use streamlink_core::journal::{self, JournalEntry, RecordKind};
+use streamlink_core::snapshot::{SnapshotIntegrity, StoreSnapshot};
 
 use crate::args::Flags;
 
@@ -65,6 +69,7 @@ struct ScrubReport {
     snapshots_corrupt: usize,
     records_ok: u64,
     records_legacy: u64,
+    records_binary: u64,
     corrupt_records: u64,
     tail_dropped: u64,
     torn_files: usize,
@@ -98,12 +103,13 @@ impl ScrubReport {
             "DAMAGED (rerun with --repair)"
         };
         format!(
-            "scrub: {} snapshot(s) ok, {} corrupt; {} record(s) ok ({} legacy v1), \
-             {} corrupt, {} torn-tail; {} acked record(s) lost — {state}",
+            "scrub: {} snapshot(s) ok, {} corrupt; {} record(s) ok ({} legacy v1, \
+             {} binary v3), {} corrupt, {} torn-tail; {} acked record(s) lost — {state}",
             self.snapshots_ok,
             self.snapshots_corrupt,
             self.records_ok,
             self.records_legacy,
+            self.records_binary,
             self.corrupt_records,
             self.tail_dropped,
             self.lost_acked,
@@ -112,58 +118,47 @@ impl ScrubReport {
 }
 
 /// Reads one snapshot through the same verifying path recovery uses,
-/// returning what the framing proved and the edge count it carries.
-fn check_snapshot(path: &Path) -> io::Result<(SnapshotIntegrity, u64)> {
-    let (payload, integrity) = snapshot::read_verified(path)?;
-    let snap: StoreSnapshot = serde_json::from_str(&payload).map_err(|e| {
-        io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("payload does not parse: {e}"),
-        )
-    })?;
-    Ok((integrity, snap.edges_processed))
+/// returning a framing tag for the verdict line and the edge count it
+/// carries.
+fn check_snapshot(path: &Path) -> io::Result<(&'static str, u64)> {
+    let binary = codec::is_binary(&fs::read(path)?);
+    let (snap, integrity) = StoreSnapshot::read_with_integrity(path)?;
+    let tag = if binary {
+        "v3 verified"
+    } else {
+        match integrity {
+            SnapshotIntegrity::Verified => "v2 verified",
+            SnapshotIntegrity::Legacy => "v1 legacy, no checksum",
+        }
+    };
+    Ok((tag, snap.edges_processed))
 }
 
-/// One journal line, classified for repair and quarantine naming.
+/// One journal record, owned (scrub outlives the segment buffer it was
+/// scanned from), classified for repair and quarantine naming.
 struct ScannedLine {
-    /// Line bytes, newline excluded.
+    /// The record's stored bytes: text lines without their newline
+    /// terminator, binary envelopes whole.
     raw: Vec<u8>,
-    /// The parsed record, `None` for anything replay would not apply
-    /// (malformed, bad CRC, or an unterminated final line).
+    /// The verified record, `None` for anything replay would not apply
+    /// (malformed, bad CRC, truncated envelope, or an unterminated
+    /// final line).
     entry: Option<JournalEntry>,
-    legacy: bool,
+    kind: RecordKind,
 }
 
-/// Splits a segment into lines the way replay does: the trailing empty
-/// piece of a terminated file is dropped, and an unterminated final
-/// line never counts as a record.
+/// Splits a segment into records the way replay does, sniffing each
+/// record's framing (binary envelope vs text line) from its first
+/// bytes.
 fn scan_lines(bytes: &[u8]) -> Vec<ScannedLine> {
-    let mut out = Vec::new();
-    let mut start = 0;
-    while start < bytes.len() {
-        let (raw, terminated, next) = match bytes[start..].iter().position(|&b| b == b'\n') {
-            Some(rel) => (&bytes[start..start + rel], true, start + rel + 1),
-            None => (&bytes[start..], false, bytes.len()),
-        };
-        let check = std::str::from_utf8(raw)
-            .map(JournalEntry::check_line)
-            .unwrap_or(LineCheck::Malformed);
-        let (entry, legacy) = match check {
-            // An unterminated final line was never flushed-and-acked
-            // whole, however well it parses.
-            _ if !terminated => (None, false),
-            LineCheck::Verified(e) => (Some(e), false),
-            LineCheck::Legacy(e) => (Some(e), true),
-            LineCheck::Malformed | LineCheck::BadCrc => (None, false),
-        };
-        out.push(ScannedLine {
-            raw: raw.to_vec(),
-            entry,
-            legacy,
-        });
-        start = next;
-    }
-    out
+    journal::scan_segment(bytes)
+        .into_iter()
+        .map(|r| ScannedLine {
+            raw: r.raw.to_vec(),
+            entry: r.entry,
+            kind: r.kind,
+        })
+        .collect()
 }
 
 fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
@@ -189,15 +184,11 @@ fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
             .unwrap_or("snapshot")
             .to_string();
         match check_snapshot(&path) {
-            Ok((integrity, edges)) => {
+            Ok((tag, edges)) => {
                 report.snapshots_ok += 1;
                 // A legacy file carries no watermark in its name; its
                 // edge count *is* its seq (pre-quarantine data dirs).
                 coverage = coverage.max(gen_seq.unwrap_or(edges));
-                let tag = match integrity {
-                    SnapshotIntegrity::Verified => "v2 verified",
-                    SnapshotIntegrity::Legacy => "v1 legacy, no checksum",
-                };
                 println!("{name}: OK ({tag}, {edges} edges)");
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -250,13 +241,15 @@ fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
     for (seg_idx, (name, path, lines)) in scanned.iter().enumerate() {
         let mut file_ok = 0u64;
         let mut file_legacy = 0u64;
+        let mut file_binary = 0u64;
         let mut file_corrupt: Vec<usize> = Vec::new();
         let mut file_torn = 0u64;
         for (line_idx, line) in lines.iter().enumerate() {
             match &line.entry {
                 Some(entry) => {
                     file_ok += 1;
-                    file_legacy += u64::from(line.legacy);
+                    file_legacy += u64::from(line.kind == RecordKind::TextV1);
+                    file_binary += u64::from(line.kind == RecordKind::Binary);
                     first_seq = Some(first_seq.map_or(entry.seq, |s| s.min(entry.seq)));
                     prev_seq = entry.seq;
                 }
@@ -279,6 +272,7 @@ fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
         }
         report.records_ok += file_ok;
         report.records_legacy += file_legacy;
+        report.records_binary += file_binary;
         report.corrupt_records += file_corrupt.len() as u64;
         report.tail_dropped += file_torn;
         report.torn_files += usize::from(file_torn > 0);
@@ -297,6 +291,9 @@ fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
         };
         if file_legacy > 0 {
             verdict.push_str(&format!(", {file_legacy} legacy v1 record(s)"));
+        }
+        if file_binary > 0 {
+            verdict.push_str(&format!(", {file_binary} binary v3 record(s)"));
         }
 
         if repair && (!file_corrupt.is_empty() || file_torn > 0) {
@@ -342,18 +339,23 @@ fn scrub(dir: &Path, repair: bool) -> io::Result<ScrubReport> {
 }
 
 /// Rewrites a damaged segment in place to exactly its valid records, in
-/// order, each newline-terminated: corrupt lines (already quarantined by
-/// the caller) disappear and the torn tail is truncated away. Atomic via
-/// the temp-file-then-rename protocol the snapshots use.
+/// order and each under its original framing (raw bytes preserved, so a
+/// repair never re-encodes acked data): corrupt records (already
+/// quarantined by the caller) disappear and the torn tail is truncated
+/// away. Atomic via the temp-file-then-rename protocol the snapshots
+/// use.
 fn rewrite_segment(path: &Path, lines: &[ScannedLine]) -> io::Result<()> {
-    let mut content = String::new();
+    let mut content = Vec::new();
     for line in lines {
-        if let Some(entry) = &line.entry {
-            content.push_str(&entry.to_string());
-            content.push('\n');
+        if line.entry.is_none() {
+            continue;
+        }
+        content.extend_from_slice(&line.raw);
+        if line.kind != RecordKind::Binary {
+            content.push(b'\n');
         }
     }
     let tmp = path.with_extension("log.tmp");
-    fs::write(&tmp, content.as_bytes())?;
+    fs::write(&tmp, &content)?;
     fs::rename(&tmp, path)
 }

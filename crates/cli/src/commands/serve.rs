@@ -19,6 +19,11 @@
 //!                             (mutually exclusive with --data-dir)
 //! --slots N --seed S          sketch shape for a fresh store  (256, 0)
 //! --fsync always|interval|never   journal durability      (interval)
+//! --format v2|v3              storage & wire format for NEW records:
+//!                             v2 text, v3 checksummed binary; both
+//!                             formats are always readable on recovery;
+//!                             v3 replicas negotiate binary WAL
+//!                             shipping                          (v2)
 //! --max-conns N               connection cap, shed `ERR busy`  (1024)
 //! --idle-timeout-ms MS        disconnect quiet clients        (30000)
 //! --drain-secs S              shutdown drain deadline             (5)
@@ -43,7 +48,8 @@
 //!                             gauges              (replica-<pid>)
 //! --repl-buffer N             primary ship-ring capacity in entries;
 //!                             0 disables serving REPL      (65536)
-//! --repl-pull-batch N         entries per REPL PULL         (4096)
+//! --repl-pull-batch N         entries per REPL PULL, at most
+//!                             65536                         (4096)
 //! --repl-poll-ms MS           idle poll between pulls        (100)
 //! --repl-anti-entropy-secs S  snapshot-join period; 0 off     (30)
 //! --repl-lag-slo N            lag (edges) past which a replica's
@@ -63,7 +69,7 @@ use std::time::Duration;
 
 use streamlink_core::journal::FsyncPolicy;
 use streamlink_core::snapshot::StoreSnapshot;
-use streamlink_core::{SketchConfig, SketchStore};
+use streamlink_core::{SketchConfig, SketchStore, WireFormat};
 
 use crate::args::Flags;
 use crate::server::{self, persistence, signals, ServerConfig, ServerState};
@@ -122,6 +128,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         Some(raw) => FsyncPolicy::parse(raw)
             .ok_or_else(|| format!("bad --fsync {raw:?}, expected always|interval|never"))?,
     };
+    let format = match flags.get("format") {
+        None => WireFormat::TextV2,
+        Some(raw) => {
+            WireFormat::parse(raw).ok_or_else(|| format!("bad --format {raw:?}, expected v2|v3"))?
+        }
+    };
 
     // Replica flags parse (and validate) regardless of role so typos
     // fail fast; the runtime only exists with --replicate-from.
@@ -131,10 +143,17 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         anti_entropy_every: Duration::from_secs(
             flags.get_parsed_or("repl-anti-entropy-secs", 30u64)?,
         ),
+        wire: format,
         ..server::replication::ReplicaTuning::default()
     };
     if repl_tuning.pull_batch == 0 {
         return Err("--repl-pull-batch must be positive".into());
+    }
+    if repl_tuning.pull_batch > server::replication::MAX_PULL_BATCH {
+        return Err(format!(
+            "--repl-pull-batch must be at most {}",
+            server::replication::MAX_PULL_BATCH
+        ));
     }
     let repl_lag_slo = flags.get_parsed_or("repl-lag-slo", 100_000u64)?;
     if repl_lag_slo == 0 {
@@ -172,7 +191,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             }
             (Some(dir), None) => {
                 let (persist, recovery) =
-                    persistence::open(Path::new(dir), sketch_config, fsync)
+                    persistence::open(Path::new(dir), sketch_config, fsync, format)
                         .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
                 eprintln!(
                     "recovered {} edges from {dir} (snapshot seq {}, {} journal entr{} replayed{})",
@@ -441,6 +460,8 @@ mod tests {
         assert!(run(&argv(&["--audit-secs", "later"])).is_err());
         assert!(run(&argv(&["--audit-pairs", "0"])).is_err());
         assert!(run(&argv(&["--repl-pull-batch", "0"])).is_err());
+        assert!(run(&argv(&["--repl-pull-batch", "65537"])).is_err());
+        assert!(run(&argv(&["--format", "v9"])).is_err());
         assert!(run(&argv(&["--repl-poll-ms", "soon"])).is_err());
         assert!(run(&argv(&["--repl-lag-slo", "0"])).is_err());
         assert!(run(&argv(&["--repl-buffer", "many"])).is_err());

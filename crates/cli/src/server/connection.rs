@@ -7,6 +7,12 @@
 //!
 //! A read timeout can fire mid-line; the partially read bytes stay in
 //! the line buffer across ticks, so a slow writer loses nothing.
+//!
+//! Requests are newline-terminated text in both wire modes. After the
+//! client sends `HELLO v3` (and the server answers `OK fmt=v3` as a
+//! plain text line), every subsequent response on the connection is a
+//! self-delimiting codec envelope instead of a text line. The switch
+//! is one-way and per-connection.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -41,17 +47,26 @@ pub(super) fn handle(stream: TcpStream, state: &ServerState) {
     let mut writer = stream;
     let mut line = String::new();
     let mut last_activity = Instant::now();
+    let mut binary = false;
     loop {
         let buffered = line.len();
         match reader.read_line(&mut line) {
             Ok(0) => break, // EOF
             Ok(_) => {
                 last_activity = Instant::now();
-                let mut response =
-                    protocol::handle_command(state, line.trim_end_matches(['\r', '\n']));
-                let closing = response == "OK bye";
-                response.push('\n');
-                if writer.write_all(response.as_bytes()).is_err() || closing {
+                let trimmed = line.trim_end_matches(['\r', '\n']);
+                let (payload, closing) = if binary {
+                    protocol::handle_command_framed(state, trimmed)
+                } else {
+                    let mut response = protocol::handle_command(state, trimmed);
+                    let closing = response == "OK bye";
+                    if response == "OK fmt=v3" {
+                        binary = true;
+                    }
+                    response.push('\n');
+                    (response.into_bytes(), closing)
+                };
+                if writer.write_all(&payload).is_err() || closing {
                     break;
                 }
                 line.clear();

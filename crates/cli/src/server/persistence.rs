@@ -28,6 +28,7 @@ use streamlink_core::chaos::FaultPlan;
 use streamlink_core::durable::{self, Recovery};
 use streamlink_core::journal::{FsyncPolicy, Journal};
 use streamlink_core::snapshot::StoreSnapshot;
+use streamlink_core::WireFormat;
 
 use super::ServerState;
 
@@ -41,7 +42,10 @@ pub struct Persist {
 
 /// Recovers the store from `dir` (moving it out via
 /// [`Recovery::store`]) and opens a journal segment for the edges this
-/// process will ack. Returns the recovery report so the caller can log
+/// process will ack. New records — journal appends and checkpoint
+/// snapshots — are written in `format`; recovery reads whatever formats
+/// the directory already holds, so switching formats needs no
+/// migration step. Returns the recovery report so the caller can log
 /// what was rebuilt (fallbacks taken, records quarantined).
 ///
 /// # Errors
@@ -53,8 +57,9 @@ pub fn open(
     dir: &Path,
     config: streamlink_core::SketchConfig,
     fsync: FsyncPolicy,
+    format: WireFormat,
 ) -> io::Result<(Persist, Recovery)> {
-    open_with_faults(dir, config, fsync, None)
+    open_with_faults(dir, config, fsync, format, None)
 }
 
 /// Like [`open`], but installs a scripted [`FaultPlan`] on the journal,
@@ -67,11 +72,12 @@ pub fn open_with_faults(
     dir: &Path,
     config: streamlink_core::SketchConfig,
     fsync: FsyncPolicy,
+    format: WireFormat,
     faults: Option<Arc<FaultPlan>>,
 ) -> io::Result<(Persist, Recovery)> {
     fs::create_dir_all(dir)?;
     let recovery = durable::recover(dir, config)?;
-    let journal = Journal::create_with_faults(dir, recovery.next_seq(), fsync, faults)?;
+    let journal = Journal::create_with_format(dir, recovery.next_seq(), fsync, format, faults)?;
     Ok((
         Persist {
             dir: dir.to_path_buf(),
@@ -118,7 +124,7 @@ pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
     let metrics = streamlink_core::metrics::global();
     let start = std::time::Instant::now();
     let run = || -> io::Result<CheckpointReport> {
-        let (snapshot, wal_seq, dir, faults) = {
+        let (snapshot, wal_seq, dir, format, faults) = {
             let store = state.read_store();
             let mut persist = lock(persist);
             let snapshot = StoreSnapshot::capture(&store);
@@ -128,13 +134,14 @@ pub fn checkpoint_now(state: &ServerState) -> io::Result<CheckpointReport> {
                 snapshot,
                 wal_seq,
                 persist.dir.clone(),
+                persist.journal.format(),
                 persist.journal.faults().cloned(),
             )
         };
         if let Some(plan) = &faults {
             plan.next_snapshot()?;
         }
-        snapshot.write_atomic(&durable::generation_path(&dir, wal_seq))?;
+        snapshot.write_atomic_as(&durable::generation_path(&dir, wal_seq), format)?;
         match fs::remove_file(durable::snapshot_path(&dir)) {
             Ok(()) => {}
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}

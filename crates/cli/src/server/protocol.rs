@@ -42,10 +42,34 @@
 //! REPL SNAPSHOT            -> `OK snapshot seq=<s> len=<n> crc32=<hex>`
 //!                             + one line of StoreSnapshot JSON
 //! REPL STATUS              -> one-line role/lag summary (either role)
+//! HELLO [v2|v3]            -> OK fmt=v2 | OK fmt=v3; `HELLO v3`
+//!                             switches this connection's *responses*
+//!                             to length-prefixed binary envelopes
+//!                             (requests stay text lines) — see below
 //! PING                     -> OK pong
 //! QUIT                     -> OK bye (closes the connection)
 //! anything else            -> ERR <reason>
 //! ```
+//!
+//! ## Binary response mode (wire format v3)
+//!
+//! `HELLO v3` is answered with a plain `OK fmt=v3` text line; from the
+//! next command on, every response is one self-delimiting
+//! [`streamlink_core::codec`] envelope: a `TEXT_FRAME` carrying the
+//! usual response text, except `REPL PULL`, whose batch ships as a
+//! single `WAL_BATCH` record (CRC-covered, seqs delta-encoded). Because
+//! frames are length-prefixed, clients can pipeline requests freely —
+//! multi-line responses like `METRICS` arrive as one frame instead of a
+//! parse-until-`OK` stream. The switch is per-connection and one-way;
+//! `HELLO` inside binary mode just re-reports `OK fmt=v3`.
+//!
+//! ## Numeric argument hardening
+//!
+//! Every numeric protocol argument goes through one checked parser
+//! ([`parse_bounded`]): ASCII digits only (no sign, no leading zeros,
+//! no whitespace), overflow-checked, and bounds-checked against the
+//! argument's documented range. Violations answer a uniform
+//! `ERR bad-arg <name>: expected integer in <range>, got <raw>` line.
 //!
 //! On a read replica (`--replicate-from`), `INSERT` and the serving
 //! `REPL` subcommands answer `ERR readonly ...` — writes go to the
@@ -78,9 +102,29 @@
 
 use graphstream::VertexId;
 use linkpred::Measure;
-use streamlink_core::{metrics, trace};
+use streamlink_core::{codec, metrics, trace};
 
 use super::ServerState;
+
+/// Parses one numeric protocol argument with explicit bounds: ASCII
+/// digits only (no sign, no leading zeros beyond a lone `0`), checked
+/// against `min..=max`. Every numeric argument in the protocol goes
+/// through here so malformed input always earns the same
+/// `bad-arg <name>` wording.
+pub(super) fn parse_bounded(name: &str, raw: &str, min: u64, max: u64) -> Result<u64, String> {
+    let bad = || format!("bad-arg {name}: expected integer in {min}..={max}, got {raw:?}");
+    if raw.is_empty() || !raw.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(bad());
+    }
+    if raw.len() > 1 && raw.starts_with('0') {
+        return Err(bad());
+    }
+    let value: u64 = raw.parse().map_err(|_| bad())?;
+    if value < min || value > max {
+        return Err(bad());
+    }
+    Ok(value)
+}
 
 /// Executes one protocol command against the shared state. Pure with
 /// respect to IO, so the full command surface is unit-testable without
@@ -121,6 +165,7 @@ fn command_span_name(line: &str) -> &'static str {
         "TRACE" => "cmd.trace",
         "HEALTH" => "cmd.health",
         "REPL" => "cmd.repl",
+        "HELLO" => "cmd.hello",
         "PING" => "cmd.ping",
         "QUIT" => "cmd.quit",
         _ => "cmd.other",
@@ -138,9 +183,7 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
     let args: Vec<&str> = parts.collect();
 
     let parse_vertex = |raw: &str| -> Result<VertexId, String> {
-        raw.parse::<u64>()
-            .map(VertexId)
-            .map_err(|e| format!("bad vertex id {raw:?}: {e}"))
+        parse_bounded("vertex-id", raw, 0, u64::MAX).map(VertexId)
     };
     let pair = |args: &[&str]| -> Result<(VertexId, VertexId), String> {
         if args.len() != 2 {
@@ -153,6 +196,15 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
     match upper.as_str() {
         "PING" => "OK pong".into(),
         "QUIT" => "OK bye".into(),
+        // Wire-format negotiation: the connection layer watches for the
+        // `OK fmt=v3` answer and flips this connection's responses to
+        // binary envelopes.
+        "HELLO" => match args.as_slice() {
+            [] => "OK fmt=v2".into(),
+            [v] if v.eq_ignore_ascii_case("v2") => "OK fmt=v2".into(),
+            [v] if v.eq_ignore_ascii_case("v3") => "OK fmt=v3".into(),
+            _ => "ERR HELLO takes an optional wire format (v2 or v3)".into(),
+        },
         "STATS" => {
             let (vertices, edges, memory) = {
                 let guard = state.read_store();
@@ -194,14 +246,13 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         "TRACE" => {
             let n = match args.as_slice() {
                 [] => 16,
-                [raw] => match raw.parse::<usize>() {
-                    Ok(n) if n >= 1 => n.min(trace::RING_CAPACITY),
-                    _ => {
-                        return format!(
-                            "ERR TRACE count must be 1..={}, got {raw:?}",
-                            trace::RING_CAPACITY
-                        )
-                    }
+                // The count itself only needs to be a well-formed
+                // integer; asks beyond the ring are capped, not errors.
+                [raw] => match parse_bounded("count", raw, 1, u64::MAX) {
+                    Ok(n) => usize::try_from(n)
+                        .unwrap_or(trace::RING_CAPACITY)
+                        .min(trace::RING_CAPACITY),
+                    Err(e) => return format!("ERR {e}"),
                 },
                 _ => return "ERR TRACE takes at most one count".into(),
             };
@@ -344,9 +395,45 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         other => format!(
             "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
              RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
-             HEALTH, REPL, PING, QUIT)"
+             HEALTH, REPL, HELLO, PING, QUIT)"
         ),
     }
+}
+
+/// Executes one command in binary (v3) response mode: the reply is one
+/// self-delimiting codec envelope — a `WAL_BATCH` record for
+/// `REPL PULL`, a `TEXT_FRAME` carrying the usual response text for
+/// everything else. Returns the frame bytes plus whether the connection
+/// should close (`QUIT`). Shares [`handle_command`]'s instrumentation,
+/// so `METRICS` counts traffic identically in both modes.
+pub(super) fn handle_command_framed(state: &ServerState, line: &str) -> (Vec<u8>, bool) {
+    let mut words = line.split_whitespace();
+    let first = words.next().unwrap_or("");
+    if first.eq_ignore_ascii_case("HELLO") {
+        // The switch is one-way and per-connection: once framed, a
+        // re-negotiation attempt just re-reports the active format.
+        metrics::global().server_commands.incr();
+        return (codec::encode_text_frame("OK fmt=v3"), false);
+    }
+    let is_pull = first.eq_ignore_ascii_case("REPL")
+        && words.next().is_some_and(|w| w.eq_ignore_ascii_case("PULL"));
+    if is_pull {
+        let m = metrics::global();
+        let t = trace::op("cmd.repl");
+        let start = std::time::Instant::now();
+        let args: Vec<&str> = line.split_whitespace().skip(1).collect();
+        let (frame, is_err) = super::replication::repl_pull_frame(state, &args);
+        drop(t);
+        m.server_commands.incr();
+        if is_err {
+            m.server_command_errors.incr();
+        }
+        m.server_command_latency.observe(start);
+        return (frame, false);
+    }
+    let response = handle_command(state, line);
+    let closing = response == "OK bye";
+    (codec::encode_text_frame(&response), closing)
 }
 
 /// Builds the one-line `EXPLAIN` response: the estimate plus the
@@ -499,6 +586,7 @@ mod tests {
             &dir,
             SketchConfig::with_slots(16).seed(3),
             FsyncPolicy::Never,
+            streamlink_core::WireFormat::TextV2,
             Some(plan),
         )
         .unwrap();
@@ -730,9 +818,98 @@ mod tests {
             "unsupported measure"
         );
         assert!(
-            handle_command(&s, "EXPLAIN JACCARD a b").starts_with("ERR bad vertex id"),
+            handle_command(&s, "EXPLAIN JACCARD a b").starts_with("ERR bad-arg vertex-id"),
             "non-numeric ids"
         );
+    }
+
+    #[test]
+    fn parse_bounded_is_strict() {
+        assert_eq!(parse_bounded("n", "0", 0, 9), Ok(0));
+        assert_eq!(parse_bounded("n", "9", 0, 9), Ok(9));
+        assert_eq!(
+            parse_bounded("n", &u64::MAX.to_string(), 0, u64::MAX),
+            Ok(u64::MAX)
+        );
+        for raw in [
+            "",
+            "-1",
+            "+1",
+            " 1",
+            "1 ",
+            "01",
+            "007",
+            "1.0",
+            "1e3",
+            "0x10",
+            "ten",
+            "18446744073709551616", // u64::MAX + 1
+            "99999999999999999999999999",
+        ] {
+            let err = parse_bounded("n", raw, 0, u64::MAX).unwrap_err();
+            assert!(err.starts_with("bad-arg n:"), "{raw:?} -> {err}");
+        }
+        // Bounds are enforced, and the error names them.
+        let err = parse_bounded("count", "10", 1, 9).unwrap_err();
+        assert!(err.contains("1..=9") && err.contains("\"10\""), "{err}");
+        assert!(parse_bounded("count", "0", 1, 9).is_err());
+    }
+
+    #[test]
+    fn numeric_args_use_uniform_bad_arg_wording() {
+        let s = state();
+        for cmd in [
+            "DEGREE 01",
+            "DEGREE +1",
+            "DEGREE 18446744073709551616",
+            "INSERT 1 -2",
+            "JACCARD 1.0 2",
+            "EXPLAIN JACCARD 0 0x1",
+        ] {
+            let reply = handle_command(&s, cmd);
+            assert!(reply.starts_with("ERR bad-arg vertex-id"), "{cmd}: {reply}");
+        }
+        assert!(handle_command(&s, "TRACE 010").starts_with("ERR bad-arg count"));
+    }
+
+    #[test]
+    fn hello_negotiates_wire_format() {
+        let s = state();
+        assert_eq!(handle_command(&s, "HELLO"), "OK fmt=v2");
+        assert_eq!(handle_command(&s, "HELLO v2"), "OK fmt=v2");
+        assert_eq!(handle_command(&s, "HELLO v3"), "OK fmt=v3");
+        assert_eq!(handle_command(&s, "hello V3\r"), "OK fmt=v3");
+        assert!(handle_command(&s, "HELLO v9").starts_with("ERR HELLO"));
+        assert!(handle_command(&s, "HELLO v2 v3").starts_with("ERR HELLO"));
+    }
+
+    #[test]
+    fn framed_mode_wraps_responses_in_envelopes() {
+        use streamlink_core::codec;
+        let s = state();
+        let (frame, closing) = handle_command_framed(&s, "PING");
+        assert!(!closing);
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.mode, codec::MODE_TEXT_FRAME);
+        assert_eq!(env.body, b"OK pong");
+        // Multi-line responses arrive as one frame.
+        let (frame, _) = handle_command_framed(&s, "METRICS");
+        let env = codec::decode_envelope(&frame).unwrap();
+        let text = std::str::from_utf8(env.body).unwrap();
+        assert!(text.lines().last().unwrap().ends_with(" metrics"), "{text}");
+        // QUIT closes, HELLO re-reports v3, and REPL PULL ships a
+        // WAL_BATCH record.
+        assert!(handle_command_framed(&s, "QUIT").1);
+        let (frame, _) = handle_command_framed(&s, "HELLO v2");
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.body, b"OK fmt=v3");
+        let _ = handle_command(&s, "INSERT 900 901");
+        let (frame, _) = handle_command_framed(&s, "REPL PULL r1 40 10");
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.mode, codec::MODE_WAL_BATCH);
+        let (entries, primary_seq) = codec::decode_wal_batch_body(env.body).unwrap();
+        assert!(!entries.is_empty());
+        assert!(primary_seq >= entries.last().unwrap().seq);
     }
 
     #[test]

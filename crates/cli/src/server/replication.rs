@@ -17,6 +17,17 @@
 //! REPL STATUS                one-line role/lag summary (any node)
 //! ```
 //!
+//! ## Binary WAL shipping (wire format v3)
+//!
+//! A replica launched with `--format v3` offers `HELLO v3` right after
+//! connecting; a primary that understands it answers `OK fmt=v3` and
+//! ships every `REPL PULL` batch as one CRC-covered
+//! [`streamlink_core::codec`] `WAL_BATCH` envelope (seqs
+//! delta-encoded) instead of per-line text frames — one checksum per
+//! batch, no per-line re-parse. An old primary answers
+//! `ERR unknown command` and the link transparently stays on text
+//! lines, so mixed-version pairs keep replicating.
+//!
 //! ## Why the primary can never stall
 //!
 //! Shipping is pull-based over a bounded in-memory ring
@@ -44,7 +55,7 @@
 //! it already applied. A primary that restarted into a lower seq space
 //! is detected at handshake and answered with a full local reset.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -56,10 +67,11 @@ use streamlink_core::journal::{self, JournalEntry, LineCheck};
 use streamlink_core::merge::merge_join;
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{
-    metrics, ApplyOutcome, HasherBackend, PullOutcome, ReplLog, ReplicaApplier, SketchConfig,
-    SketchStore,
+    codec, metrics, ApplyOutcome, HasherBackend, PullOutcome, ReplLog, ReplicaApplier,
+    SketchConfig, SketchStore, WireFormat,
 };
 
+use super::protocol::parse_bounded;
 use super::{ServerState, POLL_INTERVAL};
 
 /// Hard cap on entries served per `REPL PULL`, whatever the client asks.
@@ -81,8 +93,13 @@ const IO_TIMEOUT: Duration = Duration::from_secs(5);
 /// Replica-side tunables, all flag-settable via `--repl-*`.
 #[derive(Debug, Clone)]
 pub struct ReplicaTuning {
-    /// Entries requested per `REPL PULL`.
+    /// Entries requested per `REPL PULL` (capped at
+    /// [`MAX_PULL_BATCH`]).
     pub pull_batch: usize,
+    /// Wire format offered to the primary at connect time
+    /// (`--format`): `BinaryV3` negotiates framed `WAL_BATCH`
+    /// shipping, falling back to text when the primary is older.
+    pub wire: WireFormat,
     /// Sleep between pulls once caught up.
     pub poll_interval: Duration,
     /// Period between anti-entropy snapshot joins (zero disables the
@@ -98,6 +115,7 @@ impl Default for ReplicaTuning {
     fn default() -> Self {
         ReplicaTuning {
             pull_batch: 4096,
+            wire: WireFormat::TextV2,
             poll_interval: Duration::from_millis(100),
             anti_entropy_every: Duration::from_secs(30),
             backoff_base: Duration::from_millis(100),
@@ -305,48 +323,10 @@ pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
                 _ => "ERR REPL HELLO takes exactly one replica id".into(),
             }
         }
-        "PULL" => {
-            let Some(repl) = serving_repl(state) else {
-                return repl_unavailable(state);
-            };
-            let [_, id, after, max] = args else {
-                return "ERR REPL PULL takes <id> <after_seq> <max>".into();
-            };
-            let Ok(after) = after.parse::<u64>() else {
-                return format!("ERR bad after_seq {after:?}");
-            };
-            let Ok(max) = max.parse::<usize>() else {
-                return format!("ERR bad batch size {max:?}");
-            };
-            if max == 0 {
-                return "ERR batch size must be positive".into();
-            }
-            let max = max.min(MAX_PULL_BATCH);
-            repl.note_peer(id, after);
-            let (outcome, last_seq) = {
-                let log = repl.log();
-                (log.entries_after(after, max), log.last_seq())
-            };
-            match outcome {
-                PullOutcome::Entries(entries) => render_pull(&entries, last_seq),
-                PullOutcome::ResyncRequired => {
-                    // Durable primaries keep the full WAL on disk; serve
-                    // the tail from there before forcing a snapshot.
-                    if let Some(dir) = state.persist_guard().map(|p| p.dir.clone()) {
-                        if let Ok(entries) = journal::read_entries_after(&dir, after, max) {
-                            if entries.first().map(|e| e.seq) == Some(after + 1) {
-                                return render_pull(&entries, last_seq);
-                            }
-                        }
-                    }
-                    metrics::global().repl_resyncs.incr();
-                    format!(
-                        "ERR resync: entries after seq {after} are no longer buffered; \
-                         pull REPL SNAPSHOT"
-                    )
-                }
-            }
-        }
+        "PULL" => match pull_entries(state, args) {
+            Ok((entries, last_seq)) => render_pull(&entries, last_seq),
+            Err(line) => line,
+        },
         "SNAPSHOT" => {
             let Some(repl) = serving_repl(state) else {
                 return repl_unavailable(state);
@@ -379,6 +359,61 @@ pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
     }
 }
 
+/// The shared body of `REPL PULL`, used by both response framings.
+/// `Ok` carries the batch and the ring's high-water seq; `Err` carries
+/// a complete `ERR ...` line.
+fn pull_entries(state: &ServerState, args: &[&str]) -> Result<(Vec<JournalEntry>, u64), String> {
+    let Some(repl) = serving_repl(state) else {
+        return Err(repl_unavailable(state));
+    };
+    let [_, id, after, max] = args else {
+        return Err("ERR REPL PULL takes <id> <after_seq> <max>".into());
+    };
+    let after = parse_bounded("after_seq", after, 0, u64::MAX).map_err(|e| format!("ERR {e}"))?;
+    let max = parse_bounded("batch", max, 1, MAX_PULL_BATCH as u64)
+        .map_err(|e| format!("ERR {e}"))? as usize;
+    repl.note_peer(id, after);
+    let (outcome, last_seq) = {
+        let log = repl.log();
+        (log.entries_after(after, max), log.last_seq())
+    };
+    let shipped = |entries: Vec<JournalEntry>| {
+        metrics::global()
+            .repl_entries_shipped
+            .add(entries.len() as u64);
+        Ok((entries, last_seq))
+    };
+    match outcome {
+        PullOutcome::Entries(entries) => shipped(entries),
+        PullOutcome::ResyncRequired => {
+            // Durable primaries keep the full WAL on disk; serve the
+            // tail from there before forcing a snapshot.
+            if let Some(dir) = state.persist_guard().map(|p| p.dir.clone()) {
+                if let Ok(entries) = journal::read_entries_after(&dir, after, max) {
+                    if entries.first().map(|e| e.seq) == Some(after + 1) {
+                        return shipped(entries);
+                    }
+                }
+            }
+            metrics::global().repl_resyncs.incr();
+            Err(format!(
+                "ERR resync: entries after seq {after} are no longer buffered; \
+                 pull REPL SNAPSHOT"
+            ))
+        }
+    }
+}
+
+/// Binary-mode `REPL PULL`: the whole batch as one `WAL_BATCH`
+/// envelope; errors ship as a `TEXT_FRAME` carrying the usual `ERR`
+/// line. Returns `(frame bytes, is_err)`.
+pub(super) fn repl_pull_frame(state: &ServerState, args: &[&str]) -> (Vec<u8>, bool) {
+    match pull_entries(state, args) {
+        Ok((entries, last_seq)) => (codec::encode_wal_batch(&entries, last_seq), false),
+        Err(line) => (codec::encode_text_frame(&line), true),
+    }
+}
+
 /// The primary-side replication handle, unless this node is a replica
 /// (replicas do not re-ship).
 fn serving_repl(state: &ServerState) -> Option<&PrimaryRepl> {
@@ -406,9 +441,6 @@ fn render_pull(entries: &[JournalEntry], last_seq: u64) -> String {
         out.push_str(&e.to_string());
         out.push('\n');
     }
-    metrics::global()
-        .repl_entries_shipped
-        .add(entries.len() as u64);
     out.push_str(&format!(
         "OK {} entries primary_seq={last_seq}",
         entries.len()
@@ -507,7 +539,7 @@ fn run_session(
     runtime: &ReplicaRuntime,
     backoff: &mut Duration,
 ) -> io::Result<()> {
-    let mut link = PrimaryLink::connect(&runtime.primary_addr)?;
+    let mut link = PrimaryLink::connect(&runtime.primary_addr, runtime.tuning.wire)?;
     handshake(state, runtime, &mut link)?;
     // A completed handshake proves the primary is healthy: reset the
     // reconnect backoff so the next outage starts from the base delay.
@@ -616,10 +648,11 @@ fn pull_once(
     link: &mut PrimaryLink,
 ) -> io::Result<bool> {
     let after = runtime.applied_seq();
-    link.send(&format!(
-        "REPL PULL {} {after} {}",
-        runtime.id, runtime.tuning.pull_batch
-    ))?;
+    let batch = runtime.tuning.pull_batch.min(MAX_PULL_BATCH);
+    link.send(&format!("REPL PULL {} {after} {batch}", runtime.id))?;
+    if link.binary {
+        return pull_once_binary(state, runtime, link);
+    }
     let mut applied_any = false;
     loop {
         let line = link.recv()?;
@@ -651,6 +684,38 @@ fn pull_once(
         };
         apply_entry(state, runtime, entry);
         applied_any = true;
+    }
+}
+
+/// The framed-mode pull response: one `WAL_BATCH` envelope, or a
+/// `TEXT_FRAME` carrying an `ERR` line. The envelope CRC covers the
+/// whole batch, so there is no per-entry re-verification.
+fn pull_once_binary(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+) -> io::Result<bool> {
+    match link.recv_frame()? {
+        (codec::MODE_WAL_BATCH, body) => {
+            let (entries, primary_seq) =
+                codec::decode_wal_batch_body(&body).map_err(io::Error::from)?;
+            let applied_any = !entries.is_empty();
+            for entry in entries {
+                apply_entry(state, runtime, entry);
+            }
+            runtime.note_primary_seq(primary_seq);
+            Ok(applied_any)
+        }
+        (codec::MODE_TEXT_FRAME, body) => {
+            let line = String::from_utf8(body).map_err(|_| bad_data("text frame not UTF-8"))?;
+            if line.starts_with("ERR resync") {
+                snapshot_round(state, runtime, link)?;
+                Ok(true)
+            } else {
+                Err(bad_data(format!("primary rejected pull: {line}")))
+            }
+        }
+        (mode, _) => Err(bad_data(format!("unexpected frame mode {mode:#04x}"))),
     }
 }
 
@@ -739,14 +804,22 @@ fn snapshot_round(
     Ok(())
 }
 
-/// The replica's line-oriented client connection to the primary.
+/// The replica's client connection to the primary. Requests are always
+/// text lines; responses are text lines too until `HELLO v3` upgrades
+/// the link, after which they arrive as codec envelopes.
 struct PrimaryLink {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether the primary agreed to v3 framed responses.
+    binary: bool,
+    /// Lines split out of the last `TEXT_FRAME`, oldest first, so the
+    /// line-oriented handshake/snapshot code works unchanged in binary
+    /// mode.
+    pending: VecDeque<String>,
 }
 
 impl PrimaryLink {
-    fn connect(addr: &str) -> io::Result<Self> {
+    fn connect(addr: &str, wire: WireFormat) -> io::Result<Self> {
         let target = addr
             .to_socket_addrs()?
             .next()
@@ -755,10 +828,22 @@ impl PrimaryLink {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(IO_TIMEOUT))?;
         stream.set_write_timeout(Some(IO_TIMEOUT))?;
-        Ok(PrimaryLink {
+        let mut link = PrimaryLink {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
-        })
+            binary: false,
+            pending: VecDeque::new(),
+        };
+        if wire == WireFormat::BinaryV3 {
+            // Offer framed responses. The negotiation reply is always a
+            // plain text line; an old primary answers `ERR unknown
+            // command` and the link stays on text.
+            link.send("HELLO v3")?;
+            if link.recv_text_line()? == "OK fmt=v3" {
+                link.binary = true;
+            }
+        }
+        Ok(link)
     }
 
     fn send(&mut self, line: &str) -> io::Result<()> {
@@ -767,6 +852,30 @@ impl PrimaryLink {
     }
 
     fn recv(&mut self) -> io::Result<String> {
+        if !self.binary {
+            return self.recv_text_line();
+        }
+        if let Some(line) = self.pending.pop_front() {
+            return Ok(line);
+        }
+        let (mode, body) = self.recv_frame()?;
+        if mode != codec::MODE_TEXT_FRAME {
+            return Err(bad_data(format!(
+                "expected a text frame, got mode {mode:#04x}"
+            )));
+        }
+        let text = String::from_utf8(body).map_err(|_| bad_data("text frame not UTF-8"))?;
+        self.pending.extend(text.split('\n').map(str::to_string));
+        self.pending
+            .pop_front()
+            .ok_or_else(|| bad_data("empty text frame"))
+    }
+
+    fn recv_frame(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        codec::read_envelope_blocking(&mut self.reader)
+    }
+
+    fn recv_text_line(&mut self) -> io::Result<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -882,6 +991,59 @@ mod tests {
         // Caught-up pull: empty body, still OK.
         let reply = repl_command(&state, &["PULL", "r1", "5", "10"]);
         assert_eq!(reply, "OK 0 entries primary_seq=5");
+    }
+
+    #[test]
+    fn pull_frame_ships_a_wal_batch_envelope() {
+        let state = primary_state();
+        for i in 1..=5u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 100)).unwrap();
+        }
+        let (frame, closing) = repl_pull_frame(&state, &["PULL", "r1", "2", "10"]);
+        assert!(!closing);
+        let env = codec::decode_envelope(&frame).expect("valid envelope");
+        assert_eq!(env.mode, codec::MODE_WAL_BATCH);
+        assert_eq!(env.consumed, frame.len());
+        let (entries, primary_seq) = codec::decode_wal_batch_body(env.body).unwrap();
+        assert_eq!(primary_seq, 5);
+        let seqs: Vec<u64> = entries.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4, 5]);
+        assert_eq!(entries[0].u, VertexId(3));
+        assert_eq!(entries[0].v, VertexId(103));
+    }
+
+    #[test]
+    fn pull_frame_errors_arrive_as_text_frames() {
+        let state = primary_state();
+        // Bad batch argument: over the cap.
+        let over = (MAX_PULL_BATCH + 1).to_string();
+        let (frame, closing) = repl_pull_frame(&state, &["PULL", "r1", "0", &over]);
+        assert!(closing);
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.mode, codec::MODE_TEXT_FRAME);
+        let line = std::str::from_utf8(env.body).unwrap();
+        assert!(line.starts_with("ERR bad-arg batch"), "{line}");
+
+        // Malformed after_seq gets the same uniform wording.
+        let (frame, _) = repl_pull_frame(&state, &["PULL", "r1", "-1", "10"]);
+        let env = codec::decode_envelope(&frame).unwrap();
+        let line = std::str::from_utf8(env.body).unwrap();
+        assert!(line.starts_with("ERR bad-arg after_seq"), "{line}");
+    }
+
+    #[test]
+    fn pull_batch_above_cap_is_rejected() {
+        let state = primary_state();
+        state.insert_edge(VertexId(1), VertexId(2)).unwrap();
+        let over = (MAX_PULL_BATCH + 1).to_string();
+        let reply = repl_command(&state, &["PULL", "r1", "0", &over]);
+        assert!(reply.starts_with("ERR bad-arg batch"), "{reply}");
+        let reply = repl_command(&state, &["PULL", "r1", "0", "0"]);
+        assert!(reply.starts_with("ERR bad-arg batch"), "{reply}");
+        // The cap itself is fine.
+        let at_cap = MAX_PULL_BATCH.to_string();
+        let reply = repl_command(&state, &["PULL", "r1", "0", &at_cap]);
+        assert!(reply.ends_with("OK 1 entries primary_seq=1"), "{reply}");
     }
 
     #[test]

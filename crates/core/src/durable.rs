@@ -244,7 +244,9 @@ fn checkpoint_inner(
     if let Some(plan) = journal.faults() {
         plan.next_snapshot()?;
     }
-    snapshot.write_atomic(&generation_path(dir, wal_seq))?;
+    // Snapshots follow the journal's format choice, so one `--format`
+    // flag governs the whole data directory.
+    snapshot.write_atomic_as(&generation_path(dir, wal_seq), journal.format())?;
     match fs::remove_file(snapshot_path(dir)) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::NotFound => {}
@@ -339,6 +341,51 @@ mod tests {
         let rec = recover(&dir, cfg()).unwrap();
         assert!(!rec.snapshot_loaded);
         assert_eq!(rec.journal.replayed, edges.len() as u64);
+        assert_eq!(rec.store.edges_processed(), store.edges_processed());
+        for v in store.vertices() {
+            assert_eq!(rec.store.sketch(v), store.sketch(v), "sketch at {v}");
+            assert_eq!(rec.store.degree(v), store.degree(v));
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_v3_chain_checkpoints_and_recovers() {
+        // The full v3 recovery chain: binary WAL, binary snapshot
+        // generation (the checkpoint follows the journal's format), and
+        // a crash with a journal tail to replay.
+        let dir = temp_dir("v3chain");
+        let edges: Vec<_> = BarabasiAlbert::new(120, 2, 4).edges().collect();
+        let cut = edges.len() / 2;
+
+        let mut store = SketchStore::new(cfg());
+        let mut journal = Journal::create_with_format(
+            &dir,
+            1,
+            FsyncPolicy::OnRotate,
+            crate::codec::WireFormat::BinaryV3,
+            None,
+        )
+        .unwrap();
+        for e in &edges[..cut] {
+            ingest(&mut store, &mut journal, e.src.0, e.dst.0);
+        }
+        run_checkpoint(&store, &dir, &mut journal, DEFAULT_SNAPSHOT_KEEP);
+        for e in &edges[cut..] {
+            ingest(&mut store, &mut journal, e.src.0, e.dst.0);
+        }
+        drop(journal); // crash
+
+        let generations = list_generations(&dir).unwrap();
+        let (_, gen_path) = generations.last().unwrap();
+        assert!(
+            crate::codec::is_binary(&fs::read(gen_path).unwrap()),
+            "the generation file must be a binary envelope"
+        );
+
+        let rec = recover(&dir, cfg()).unwrap();
+        assert!(rec.snapshot_loaded);
+        assert_eq!(rec.journal.replayed, (edges.len() - cut) as u64);
         assert_eq!(rec.store.edges_processed(), store.edges_processed());
         for v in store.vertices() {
             assert_eq!(rec.store.sketch(v), store.sketch(v), "sketch at {v}");

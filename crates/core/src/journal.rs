@@ -18,8 +18,14 @@
 //!
 //! Pre-CRC (v1) records — `E <seq> <u> <v>\n` — are still read and
 //! replayed, so data directories written before the framing change load
-//! unmodified; they simply cannot be *verified*, only parsed. New
-//! appends always write v2 records.
+//! unmodified; they simply cannot be *verified*, only parsed.
+//!
+//! A journal opened with [`crate::codec::WireFormat::BinaryV3`] appends
+//! binary envelope records instead (see [`crate::codec`]): same
+//! per-record CRC guarantee, a fraction of the bytes, no text parsing on
+//! replay. [`scan_segment`] sniffs each record's framing from its first
+//! bytes, so segments of any format — even interleaved in one directory
+//! across a migration — replay through the same classification logic.
 //!
 //! `seq` is a monotone log sequence number. In an uncorrupted directory
 //! it equals the store's `edges_processed` after applying the edge; after
@@ -58,6 +64,7 @@ use graphstream::VertexId;
 use hashkit::crc32;
 
 use crate::chaos::{AppendDecision, FaultPlan};
+use crate::codec::{self, WireFormat};
 
 /// The subdirectory of a data dir that receives corrupt artifacts.
 pub const QUARANTINE_DIR: &str = "quarantine";
@@ -189,8 +196,11 @@ impl JournalEntry {
                     return LineCheck::Malformed;
                 };
                 // CRC the line bytes as stored, not a re-rendering: any
-                // byte drift since write is a mismatch.
-                let payload_len = line.len() - 9; // strip " <8 hex>"
+                // byte drift since write is a mismatch. Checked length
+                // math: a corrupt short line must classify, not panic.
+                let Some(payload_len) = line.len().checked_sub(9) else {
+                    return LineCheck::Malformed; // strip " <8 hex>"
+                };
                 if crc32(&line.as_bytes()[..payload_len]) == found {
                     LineCheck::Verified(entry)
                 } else {
@@ -221,6 +231,8 @@ pub struct Journal {
     last_seq: Option<u64>,
     /// Scripted storage faults (tests only; `None` in production).
     faults: Option<Arc<FaultPlan>>,
+    /// The record framing new appends use (reads always sniff).
+    format: WireFormat,
     /// A failed append may have left partial bytes at the tail; the next
     /// write must seal them off with a guard newline so an acked record
     /// can never merge into un-acked debris.
@@ -303,6 +315,23 @@ impl Journal {
         policy: FsyncPolicy,
         faults: Option<Arc<FaultPlan>>,
     ) -> io::Result<Self> {
+        Self::create_with_format(dir, next_seq, policy, WireFormat::TextV2, faults)
+    }
+
+    /// Like [`Journal::create_with_faults`], also choosing the record
+    /// framing for new appends ([`WireFormat::TextV2`] text lines or
+    /// [`WireFormat::BinaryV3`] envelopes). Replay sniffs per record, so
+    /// a directory may freely mix segment formats across restarts.
+    ///
+    /// # Errors
+    /// Fails on directory-creation or file-open errors.
+    pub fn create_with_format(
+        dir: &Path,
+        next_seq: u64,
+        policy: FsyncPolicy,
+        format: WireFormat,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<Self> {
         fs::create_dir_all(dir)?;
         let path = segment_path(dir, next_seq);
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
@@ -313,8 +342,15 @@ impl Journal {
             segment_first_seq: next_seq,
             last_seq: None,
             faults,
+            format,
             tainted: false,
         })
+    }
+
+    /// The record framing new appends use.
+    #[must_use]
+    pub fn format(&self) -> WireFormat {
+        self.format
     }
 
     /// The installed fault plan, if any (threaded to the checkpoint path
@@ -348,7 +384,7 @@ impl Journal {
         let metrics = crate::metrics::global();
         let _t = crate::trace::child("journal.append");
         let start = std::time::Instant::now();
-        let line = format!("{entry}\n");
+        let line = self.format.codec().encode_wal_record(&entry);
         if self.tainted {
             // Seal off the previous failure's partial bytes as their own
             // (un-acked, torn) line before this record touches the file.
@@ -365,14 +401,14 @@ impl Journal {
                 AppendDecision::ShortWrite(n) => {
                     let n = n.min(line.len());
                     self.tainted = true;
-                    self.writer.write_all(&line.as_bytes()[..n])?;
+                    self.writer.write_all(&line[..n])?;
                     self.writer.flush()?;
                     return Err(FaultPlan::error("append cut short"));
                 }
             }
         }
         self.writer
-            .write_all(line.as_bytes())
+            .write_all(&line)
             .inspect_err(|_| self.tainted = true)?;
         self.writer.flush().inspect_err(|_| self.tainted = true)?;
         if self.policy == FsyncPolicy::Always {
@@ -520,19 +556,126 @@ impl ReplayReport {
     }
 }
 
-/// Splits file bytes into lines, reporting whether the final line was
-/// newline-terminated. The trailing empty piece of a terminated file is
-/// dropped.
-fn split_lines(bytes: &[u8]) -> (Vec<&[u8]>, bool) {
-    if bytes.is_empty() {
-        return (Vec::new(), true);
+/// What framing one scanned journal record used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Checksummed text v2 line, verified.
+    TextV2,
+    /// Legacy text v1 line — parseable, no checksum.
+    TextV1,
+    /// Binary v3 envelope, verified.
+    Binary,
+    /// Unverifiable bytes: corrupt, truncated, unterminated, or a
+    /// non-WAL envelope. Whether that means a torn tail or quarantine
+    /// is positional and decided by the caller.
+    Invalid,
+}
+
+/// One record found by [`scan_segment`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScannedRecord<'a> {
+    /// The record's bytes as stored — text records without their newline
+    /// terminator, binary records as the whole envelope, invalid chunks
+    /// verbatim.
+    pub raw: &'a [u8],
+    /// The decoded entry, when the record verified (or parsed, for v1).
+    pub entry: Option<JournalEntry>,
+    /// The framing the bytes used.
+    pub kind: RecordKind,
+}
+
+fn classify_text_record(raw: &[u8]) -> (Option<JournalEntry>, RecordKind) {
+    let Ok(line) = std::str::from_utf8(raw) else {
+        return (None, RecordKind::Invalid);
+    };
+    match JournalEntry::check_line(line) {
+        LineCheck::Verified(e) => (Some(e), RecordKind::TextV2),
+        LineCheck::Legacy(e) => (Some(e), RecordKind::TextV1),
+        LineCheck::Malformed | LineCheck::BadCrc => (None, RecordKind::Invalid),
     }
-    let terminated = bytes.ends_with(b"\n");
-    let mut lines: Vec<&[u8]> = bytes.split(|&b| b == b'\n').collect();
-    if terminated {
-        lines.pop();
+}
+
+/// Where scanning restarts after a failed binary decode at `from - 1`:
+/// the next binary magic or the byte after the next newline, whichever
+/// comes first — the only two places a later record can begin.
+fn resync(bytes: &[u8], from: usize) -> usize {
+    let magic = (from..bytes.len()).find(|&i| bytes[i..].starts_with(&codec::BINARY_MAGIC));
+    let newline = bytes[from.min(bytes.len())..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| from + i + 1);
+    match (magic, newline) {
+        (Some(m), Some(n)) => m.min(n),
+        (Some(m), None) => m,
+        (None, Some(n)) => n,
+        (None, None) => bytes.len(),
     }
-    (lines, terminated)
+}
+
+/// Splits one segment's bytes into records, sniffing each record's
+/// framing from its first bytes: a binary magic starts an envelope,
+/// anything else is a text line running to the next newline.
+///
+/// Purely structural — no quarantining, no position-dependent torn-tail
+/// judgment; [`replay`] and `scrub` layer those on top. An unterminated
+/// final text line is always [`RecordKind::Invalid`] (it was never
+/// flushed-and-acked whole), as is a truncated or corrupt envelope (the
+/// bytes up to the next plausible record start become one invalid
+/// chunk).
+#[must_use]
+pub fn scan_segment(bytes: &[u8]) -> Vec<ScannedRecord<'_>> {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        if codec::is_binary(&bytes[pos..]) {
+            match codec::decode_envelope(&bytes[pos..]) {
+                Ok(env) => {
+                    let entry = (env.mode == codec::MODE_WAL_ENTRY)
+                        .then(|| codec::decode_wal_entry_body(env.body).ok())
+                        .flatten();
+                    records.push(ScannedRecord {
+                        raw: &bytes[pos..pos + env.consumed],
+                        entry,
+                        kind: if entry.is_some() {
+                            RecordKind::Binary
+                        } else {
+                            RecordKind::Invalid
+                        },
+                    });
+                    pos += env.consumed;
+                }
+                Err(_) => {
+                    let end = resync(bytes, pos + 1);
+                    records.push(ScannedRecord {
+                        raw: &bytes[pos..end],
+                        entry: None,
+                        kind: RecordKind::Invalid,
+                    });
+                    pos = end;
+                }
+            }
+        } else {
+            match bytes[pos..].iter().position(|&b| b == b'\n') {
+                Some(rel) => {
+                    let raw = &bytes[pos..pos + rel];
+                    let (entry, kind) = classify_text_record(raw);
+                    records.push(ScannedRecord { raw, entry, kind });
+                    pos += rel + 1;
+                }
+                None => {
+                    // Unterminated final line: a write cut exactly at the
+                    // line boundary was never flushed-and-acked whole.
+                    records.push(ScannedRecord {
+                        raw: &bytes[pos..],
+                        entry: None,
+                        kind: RecordKind::Invalid,
+                    });
+                    pos = bytes.len();
+                }
+            }
+        }
+    }
+    records
 }
 
 /// Replays every journal entry with `seq > after_seq`, in order, through
@@ -567,74 +710,53 @@ pub fn replay(
         files.push(fs::read(path)?);
     }
 
-    // A line is usable iff it parses (v1 or v2 with a good CRC) *and* is
-    // newline-terminated (each file's final line may not be: a write cut
-    // exactly at the line boundary was never flushed-and-acked whole).
-    type CheckedLines<'a> = Vec<(&'a [u8], Option<JournalEntry>)>;
-    let parsed: Vec<(usize, CheckedLines)> = files
-        .iter()
-        .enumerate()
-        .map(|(seg_idx, bytes)| {
-            let (lines, terminated) = split_lines(bytes);
-            let count = lines.len();
-            let checked = lines
-                .into_iter()
-                .enumerate()
-                .map(|(i, raw)| {
-                    let unterminated_last = i + 1 == count && !terminated;
-                    let entry = std::str::from_utf8(raw)
-                        .ok()
-                        .and_then(JournalEntry::parse)
-                        .filter(|_| !unterminated_last);
-                    (raw, entry)
-                })
-                .collect();
-            (seg_idx, checked)
-        })
-        .collect();
+    // A record is usable iff the scanner verified it (v1/v2 text or a
+    // binary envelope); everything else classifies by position.
+    let parsed: Vec<Vec<ScannedRecord>> = files.iter().map(|bytes| scan_segment(bytes)).collect();
 
     // Position of the last valid record in the whole chain; every
-    // invalid line after it is the torn tail, every one before it is
+    // invalid record after it is the torn tail, every one before it is
     // mid-file corruption.
     let last_valid = parsed
         .iter()
-        .flat_map(|(seg, lines)| {
-            lines
+        .enumerate()
+        .flat_map(|(seg, records)| {
+            records
                 .iter()
                 .enumerate()
-                .filter(|(_, (_, e))| e.is_some())
-                .map(move |(i, _)| (*seg, i))
+                .filter(|(_, r)| r.entry.is_some())
+                .map(move |(i, _)| (seg, i))
         })
         .next_back();
 
-    for (seg_idx, lines) in &parsed {
-        let seg_name = segments[*seg_idx]
+    for (seg_idx, records) in parsed.iter().enumerate() {
+        let seg_name = segments[seg_idx]
             .1
             .file_name()
             .and_then(|n| n.to_str())
             .unwrap_or("wal.unknown.log")
             .to_string();
-        for (line_idx, (raw, entry)) in lines.iter().enumerate() {
-            match entry {
+        for (rec_idx, record) in records.iter().enumerate() {
+            match record.entry {
                 Some(entry) => {
                     report.last_seq = Some(report.last_seq.map_or(entry.seq, |s| s.max(entry.seq)));
                     if entry.seq > after_seq {
-                        apply(*entry);
+                        apply(entry);
                         report.replayed += 1;
                     } else {
                         report.skipped += 1;
                     }
                 }
-                None if raw.is_empty() && Some((*seg_idx, line_idx)) > last_valid => {
+                None if record.raw.is_empty() && Some((seg_idx, rec_idx)) > last_valid => {
                     // Blank padding at the very end of the chain (e.g. a
                     // freshly rotated empty segment) is not corruption.
                 }
-                None if last_valid.is_none_or(|pos| (*seg_idx, line_idx) > pos) => {
+                None if last_valid.is_none_or(|pos| (seg_idx, rec_idx) > pos) => {
                     report.torn_tail = true;
                     report.tail_dropped += 1;
                 }
                 None => {
-                    quarantine_bytes(dir, &format!("{seg_name}.line{line_idx}.rec"), raw);
+                    quarantine_bytes(dir, &format!("{seg_name}.line{rec_idx}.rec"), record.raw);
                     report.quarantined += 1;
                 }
             }
@@ -677,15 +799,10 @@ pub fn read_entries_after(dir: &Path, after_seq: u64, max: usize) -> io::Result<
             }
         }
         let bytes = fs::read(path)?;
-        let (lines, terminated) = split_lines(&bytes);
-        let count = lines.len();
-        for (idx, raw) in lines.into_iter().enumerate() {
-            if idx + 1 == count && !terminated {
-                break; // possibly torn final line: never ship it
-            }
-            let Some(entry) = std::str::from_utf8(raw).ok().and_then(JournalEntry::parse) else {
-                continue;
-            };
+        for record in scan_segment(&bytes) {
+            // Invalid chunks (torn, rotten, or unterminated) are simply
+            // not shipped; recovery owns forensics.
+            let Some(entry) = record.entry else { continue };
             if entry.seq > after_seq {
                 out.push(entry);
                 if out.len() == max {
@@ -1180,6 +1297,182 @@ mod tests {
         // No quarantine side effects from the read path.
         assert!(!dir.join(QUARANTINE_DIR).exists());
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn binary_journal(dir: &Path, next_seq: u64) -> Journal {
+        Journal::create_with_format(
+            dir,
+            next_seq,
+            FsyncPolicy::Never,
+            WireFormat::BinaryV3,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_append_then_replay() {
+        let dir = temp_dir("bin-append");
+        let mut j = binary_journal(&dir, 1);
+        assert_eq!(j.format(), WireFormat::BinaryV3);
+        for seq in 1..=5 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        let bytes = fs::read(path).unwrap();
+        assert!(codec::is_binary(&bytes), "segment must open with the magic");
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 2, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![3, 4, 5]);
+        assert_eq!(report.skipped, 2);
+        assert_eq!(report.last_seq, Some(5));
+        assert!(!report.corruption_seen());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mixed_format_directory_replays_in_order() {
+        // A v2 deployment restarted with --format v3: the old text
+        // segment and the new binary segment replay through one scanner.
+        let dir = temp_dir("bin-mixed");
+        let mut j = Journal::create(&dir, 1, FsyncPolicy::Never).unwrap();
+        for seq in 1..=3 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        let mut j = binary_journal(&dir, 4);
+        for seq in 4..=6 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6]);
+        assert!(!report.corruption_seen());
+        assert_eq!(
+            read_entries_after(&dir, 2, 3)
+                .unwrap()
+                .iter()
+                .map(|e| e.seq)
+                .collect::<Vec<_>>(),
+            vec![3, 4, 5]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_torn_tail_is_dropped_not_fatal() {
+        let dir = temp_dir("bin-torn");
+        let mut j = binary_journal(&dir, 1);
+        for seq in 1..=3 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        // Crash mid-append: cut the final envelope short.
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        let bytes = fs::read(path).unwrap();
+        fs::write(path, &bytes[..bytes.len() - 3]).unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 2]);
+        assert!(report.torn_tail);
+        assert_eq!(report.quarantined, 0, "a torn tail is not quarantined");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_mid_file_corruption_is_quarantined_and_replay_continues() {
+        let dir = temp_dir("bin-midfile");
+        let mut j = binary_journal(&dir, 1);
+        for seq in 1..=5 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        // Rot a byte inside the second record's body.
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        let one_record = codec::encode_wal_entry(&entry(1)).len() as u64;
+        crate::chaos::flip_bit(path, one_record + 8, 3).unwrap();
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 3, 4, 5], "records after the rot still apply");
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.torn_tail);
+        // The corrupt raw chunk is preserved for forensics.
+        assert_eq!(fs::read_dir(dir.join(QUARANTINE_DIR)).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_append_after_short_write_seals_debris() {
+        let dir = temp_dir("bin-guard");
+        let plan = Arc::new(FaultPlan::new());
+        plan.fail_append(1, crate::chaos::FaultKind::ShortWrite(6));
+        let mut j = Journal::create_with_format(
+            &dir,
+            1,
+            FsyncPolicy::Never,
+            WireFormat::BinaryV3,
+            Some(plan),
+        )
+        .unwrap();
+        j.append(entry(1)).unwrap();
+        assert!(j.append(entry(2)).is_err(), "short write must nack");
+        j.append(entry(3)).unwrap();
+        drop(j);
+
+        let mut seen = Vec::new();
+        let report = replay(&dir, 0, |e| seen.push(e.seq)).unwrap();
+        assert_eq!(seen, vec![1, 3], "acked records never merge into debris");
+        assert_eq!(report.quarantined, 1);
+        assert!(!report.torn_tail);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn binary_read_entries_after_never_ships_corrupt_records() {
+        let dir = temp_dir("bin-readclean");
+        let mut j = binary_journal(&dir, 1);
+        for seq in 1..=4 {
+            j.append(entry(seq)).unwrap();
+        }
+        drop(j);
+        let (_, path) = &list_segments(&dir).unwrap()[0];
+        let one_record = codec::encode_wal_entry(&entry(1)).len() as u64;
+        crate::chaos::flip_bit(path, one_record * 2 + 5, 2).unwrap();
+
+        let got = read_entries_after(&dir, 0, 100).unwrap();
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 4]);
+        assert!(!dir.join(QUARANTINE_DIR).exists(), "read path is pure");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_segment_reports_record_kinds() {
+        let v2 = entry(1).to_string();
+        let bin = codec::encode_wal_entry(&entry(2));
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(v2.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(b"E 7 3 9\n");
+        bytes.extend_from_slice(&bin);
+        bytes.extend_from_slice(b"not a record\n");
+        let records = scan_segment(&bytes);
+        assert_eq!(
+            records.iter().map(|r| r.kind).collect::<Vec<_>>(),
+            vec![
+                RecordKind::TextV2,
+                RecordKind::TextV1,
+                RecordKind::Binary,
+                RecordKind::Invalid
+            ]
+        );
+        assert_eq!(records[2].entry, Some(entry(2)));
+        assert_eq!(records[3].raw, b"not a record");
     }
 
     #[test]

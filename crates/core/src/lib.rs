@@ -57,6 +57,10 @@
 //! * [`compressed`] — frozen b-bit replicas for serving/shipping
 //!   (Li–König b-bit minwise hashing).
 //! * [`parallel`] — sharded multi-threaded ingestion.
+//! * [`codec`] — the storage/wire format layer: a [`codec::Codec`]
+//!   trait with the readable text v2 formats and the checksummed binary
+//!   v3 envelope (LEB128 varints, delta-encoded slot columns); every
+//!   read path sniffs the format, so mixed directories stay readable.
 //! * [`snapshot`] — serde snapshots for persistence: atomic
 //!   (temp-file–fsync–rename) writes under a versioned, checksummed
 //!   header, with transparent v1 read-compat.
@@ -99,6 +103,7 @@ pub mod audit;
 pub mod biased;
 pub mod bottomk;
 pub mod chaos;
+pub mod codec;
 pub mod compressed;
 pub mod concurrent;
 pub mod config;
@@ -124,6 +129,7 @@ pub use audit::{AccuracyAuditor, AuditConfig, AuditSnapshot};
 pub use biased::BiasedStore;
 pub use bottomk::BottomKStore;
 pub use chaos::{DeliveryFault, DeliveryPlan, FaultKind, FaultPlan};
+pub use codec::{BinaryV3, Codec, CodecError, TextV2, WireFormat};
 pub use compressed::CompressedStore;
 pub use concurrent::ConcurrentSketchStore;
 pub use config::{HasherBackend, SketchConfig};

@@ -64,6 +64,13 @@ impl VertexSketch {
         }
     }
 
+    /// Builds a sketch directly from slot state (the binary codec's
+    /// decode path; validation happens in the codec).
+    #[must_use]
+    pub(crate) fn from_slots(slots: Box<[Slot]>) -> Self {
+        Self { slots }
+    }
+
     /// Number of slots.
     #[inline]
     #[must_use]

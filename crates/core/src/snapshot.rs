@@ -43,6 +43,7 @@ use serde::{Deserialize, Serialize};
 
 use graphstream::VertexId;
 
+use crate::codec::{self, Codec};
 use crate::config::SketchConfig;
 use crate::hll::HyperLogLog;
 use crate::robust::RobustStore;
@@ -63,7 +64,7 @@ pub enum SnapshotIntegrity {
 }
 
 /// Renders the framed v2 file contents for `json`.
-fn frame_v2(json: &str) -> String {
+pub(crate) fn frame_v2(json: &str) -> String {
     format!(
         "{SNAPSHOT_MAGIC} v2 len={} crc32={:08x}\n{json}",
         json.len(),
@@ -81,45 +82,49 @@ fn frame_v2(json: &str) -> String {
 ///   (truncation or trailing garbage), or CRC mismatch (bit rot). The
 ///   message says which.
 pub fn read_verified(path: &Path) -> io::Result<(String, SnapshotIntegrity)> {
-    let content =
-        fs::read_to_string(path).map_err(|e| rewrap(e, path, "unreadable or not UTF-8"))?;
+    let bytes = fs::read(path)?;
+    verify_text(&bytes).map_err(|e| rewrap(e, path))
+}
+
+/// Verifies v2/v1 text framing over in-memory bytes, returning the JSON
+/// payload and what the check proved. The text half of the codec layer;
+/// [`read_verified`] wraps it with path context.
+pub(crate) fn verify_text(bytes: &[u8]) -> io::Result<(String, SnapshotIntegrity)> {
+    let invalid = |detail: &str| io::Error::new(io::ErrorKind::InvalidData, detail.to_string());
+    let content = std::str::from_utf8(bytes).map_err(|_| invalid("unreadable or not UTF-8"))?;
     let Some(rest) = content.strip_prefix(SNAPSHOT_MAGIC) else {
         // No magic: a legacy v1 bare-JSON snapshot.
-        return Ok((content, SnapshotIntegrity::Legacy));
+        return Ok((content.to_string(), SnapshotIntegrity::Legacy));
     };
     let (header, payload) = rest
         .split_once('\n')
-        .ok_or_else(|| corrupt(path, "v2 header line is unterminated"))?;
+        .ok_or_else(|| invalid("v2 header line is unterminated"))?;
     let mut fields = header.split(' ').filter(|f| !f.is_empty());
     if fields.next() != Some("v2") {
-        return Err(corrupt(path, "unsupported snapshot format version"));
+        return Err(invalid("unsupported snapshot format version"));
     }
     let len: usize = fields
         .next()
         .and_then(|f| f.strip_prefix("len="))
         .and_then(|v| v.parse().ok())
-        .ok_or_else(|| corrupt(path, "v2 header has no parseable len field"))?;
+        .ok_or_else(|| invalid("v2 header has no parseable len field"))?;
     let expected: u32 = fields
         .next()
         .and_then(|f| f.strip_prefix("crc32="))
         .filter(|v| v.len() == 8)
         .and_then(|v| u32::from_str_radix(v, 16).ok())
-        .ok_or_else(|| corrupt(path, "v2 header has no parseable crc32 field"))?;
+        .ok_or_else(|| invalid("v2 header has no parseable crc32 field"))?;
     if payload.len() != len {
-        return Err(corrupt(
-            path,
-            &format!(
-                "payload length mismatch: header says {len} bytes, file holds {}",
-                payload.len()
-            ),
-        ));
+        return Err(invalid(&format!(
+            "payload length mismatch: header says {len} bytes, file holds {}",
+            payload.len()
+        )));
     }
     let found = crc32(payload.as_bytes());
     if found != expected {
-        return Err(corrupt(
-            path,
-            &format!("payload CRC mismatch: header {expected:08x}, computed {found:08x}"),
-        ));
+        return Err(invalid(&format!(
+            "payload CRC mismatch: header {expected:08x}, computed {found:08x}"
+        )));
     }
     Ok((payload.to_string(), SnapshotIntegrity::Verified))
 }
@@ -131,9 +136,11 @@ fn corrupt(path: &Path, detail: &str) -> io::Error {
     )
 }
 
-fn rewrap(e: io::Error, path: &Path, detail: &str) -> io::Error {
+/// Re-wraps an `InvalidData` error with the snapshot's path context;
+/// other kinds (e.g. `NotFound`) pass through untouched.
+fn rewrap(e: io::Error, path: &Path) -> io::Error {
     if e.kind() == io::ErrorKind::InvalidData {
-        corrupt(path, detail)
+        corrupt(path, &e.to_string())
     } else {
         e
     }
@@ -141,11 +148,11 @@ fn rewrap(e: io::Error, path: &Path, detail: &str) -> io::Error {
 
 /// Writes `content` to `path` atomically: temp file in the same
 /// directory, flush + fsync, rename over the target, fsync the directory.
-fn write_atomic_bytes(path: &Path, content: &str) -> io::Result<()> {
+fn write_atomic_bytes(path: &Path, content: &[u8]) -> io::Result<()> {
     let tmp = path.with_extension("json.tmp");
     {
         let mut f = File::create(&tmp)?;
-        f.write_all(content.as_bytes())?;
+        f.write_all(content)?;
         f.sync_all()?;
     }
     fs::rename(&tmp, path)?;
@@ -158,16 +165,6 @@ fn write_atomic_bytes(path: &Path, content: &str) -> io::Result<()> {
         }
     }
     Ok(())
-}
-
-/// Writes `json` to `path` atomically inside the v2 checksummed frame.
-fn write_json_atomic(path: &Path, json: &str) -> io::Result<()> {
-    write_atomic_bytes(path, &frame_v2(json))
-}
-
-fn read_json<T: serde::Deserialize>(path: &Path) -> io::Result<T> {
-    let (payload, _) = read_verified(path)?;
-    serde_json::from_str(&payload).map_err(|e| corrupt(path, &e.to_string()))
 }
 
 /// One vertex's persisted state.
@@ -228,25 +225,52 @@ impl StoreSnapshot {
         store
     }
 
-    /// Persists the snapshot as JSON at `path` using the atomic
-    /// temp-file–fsync–rename protocol.
+    /// Persists the snapshot at `path` in the v2 text format using the
+    /// atomic temp-file–fsync–rename protocol.
     ///
     /// # Errors
     /// Fails on IO errors; the previous snapshot at `path` (if any) is
     /// untouched on failure.
     pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        write_json_atomic(path, &json)
+        self.write_atomic_as(path, codec::WireFormat::TextV2)
     }
 
-    /// Loads a snapshot previously written with [`Self::write_atomic`].
+    /// Persists the snapshot at `path` atomically in the given format.
+    ///
+    /// # Errors
+    /// Fails on IO errors; the previous snapshot at `path` (if any) is
+    /// untouched on failure.
+    pub fn write_atomic_as(&self, path: &Path, format: codec::WireFormat) -> io::Result<()> {
+        write_atomic_bytes(path, &format.codec().encode_store_snapshot(self)?)
+    }
+
+    /// Loads a snapshot previously written with [`Self::write_atomic`]
+    /// or [`Self::write_atomic_as`], sniffing the format from the bytes.
     ///
     /// # Errors
     /// Fails if the file is missing ([`io::ErrorKind::NotFound`]) or does
-    /// not parse ([`io::ErrorKind::InvalidData`]).
+    /// not verify ([`io::ErrorKind::InvalidData`]).
     pub fn read_from(path: &Path) -> io::Result<Self> {
-        read_json(path)
+        Ok(Self::read_with_integrity(path)?.0)
+    }
+
+    /// Like [`Self::read_from`], also reporting what the framing check
+    /// proved. Binary v3 snapshots always verify (the envelope CRC is
+    /// mandatory); text snapshots report v2 verified or v1 legacy.
+    ///
+    /// # Errors
+    /// Fails if the file is missing or does not verify.
+    pub fn read_with_integrity(path: &Path) -> io::Result<(Self, SnapshotIntegrity)> {
+        let bytes = fs::read(path)?;
+        if codec::is_binary(&bytes) {
+            let snap = codec::BinaryV3
+                .decode_store_snapshot(&bytes)
+                .map_err(|e| rewrap(e, path))?;
+            return Ok((snap, SnapshotIntegrity::Verified));
+        }
+        let (payload, integrity) = verify_text(&bytes).map_err(|e| rewrap(e, path))?;
+        let snap = serde_json::from_str(&payload).map_err(|e| corrupt(path, &e.to_string()))?;
+        Ok((snap, integrity))
     }
 }
 
@@ -319,24 +343,39 @@ impl RobustSnapshot {
         store
     }
 
-    /// Persists the snapshot as JSON at `path` atomically (see
-    /// [`StoreSnapshot::write_atomic`]).
+    /// Persists the snapshot at `path` atomically in the v2 text format
+    /// (see [`StoreSnapshot::write_atomic`]).
     ///
     /// # Errors
     /// Fails on IO errors; the previous snapshot at `path` (if any) is
     /// untouched on failure.
     pub fn write_atomic(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        write_json_atomic(path, &json)
+        self.write_atomic_as(path, codec::WireFormat::TextV2)
     }
 
-    /// Loads a snapshot previously written with [`Self::write_atomic`].
+    /// Persists the snapshot at `path` atomically in the given format.
     ///
     /// # Errors
-    /// Fails if the file is missing or does not parse.
+    /// Fails on IO errors; the previous snapshot at `path` (if any) is
+    /// untouched on failure.
+    pub fn write_atomic_as(&self, path: &Path, format: codec::WireFormat) -> io::Result<()> {
+        write_atomic_bytes(path, &format.codec().encode_robust_snapshot(self)?)
+    }
+
+    /// Loads a snapshot previously written with [`Self::write_atomic`]
+    /// or [`Self::write_atomic_as`], sniffing the format from the bytes.
+    ///
+    /// # Errors
+    /// Fails if the file is missing or does not verify.
     pub fn read_from(path: &Path) -> io::Result<Self> {
-        read_json(path)
+        let bytes = fs::read(path)?;
+        if codec::is_binary(&bytes) {
+            return codec::BinaryV3
+                .decode_robust_snapshot(&bytes)
+                .map_err(|e| rewrap(e, path));
+        }
+        let (payload, _) = verify_text(&bytes).map_err(|e| rewrap(e, path))?;
+        serde_json::from_str(&payload).map_err(|e| corrupt(path, &e.to_string()))
     }
 }
 

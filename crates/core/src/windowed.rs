@@ -15,11 +15,12 @@
 //!   window's edges.
 //!
 //! Because epoch merge is exact, a windowed query returns *the same
-//! answer* a fresh store fed only the window's edges would return (up to
-//! degree counters when the same edge appears in several epochs — see
-//! [`WindowedStore::insert_edge`]). The tests verify that equivalence.
+//! answer* a fresh store fed only the window's edges would return — and
+//! since the store dedups re-delivered edges across live epochs (see
+//! [`WindowedStore::insert_edge`]), that holds for degrees too, even
+//! under at-least-once delivery. The tests verify that equivalence.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use graphstream::{Edge, VertexId};
 
@@ -51,8 +52,42 @@ pub struct WindowedStore {
     epoch_edges: u64,
     max_epochs: usize,
     /// Oldest epoch first, newest last; never empty.
-    epochs: VecDeque<SketchStore>,
+    epochs: VecDeque<Epoch>,
     edges_processed: u64,
+}
+
+/// One window epoch: its sketch store plus the set of edges it applied,
+/// which gates cross-epoch re-deliveries (see
+/// [`WindowedStore::insert_edge`]).
+#[derive(Debug, Clone)]
+struct Epoch {
+    store: SketchStore,
+    /// Normalized `(min, max)` endpoint pairs of every edge this epoch
+    /// applied. One 16-byte key per distinct window edge — bounded by
+    /// the window length, independent of the stream length.
+    seen: HashSet<(u64, u64)>,
+}
+
+impl Epoch {
+    fn new(config: SketchConfig) -> Self {
+        Self {
+            store: SketchStore::new(config),
+            seen: HashSet::new(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.store.memory_bytes() + self.seen.capacity() * std::mem::size_of::<(u64, u64)>()
+    }
+}
+
+/// The undirected dedup key of an edge.
+fn edge_key(u: VertexId, v: VertexId) -> (u64, u64) {
+    if u.0 <= v.0 {
+        (u.0, v.0)
+    } else {
+        (v.0, u.0)
+    }
 }
 
 impl WindowedStore {
@@ -69,7 +104,7 @@ impl WindowedStore {
         assert!(epoch_edges > 0, "epochs must hold at least one edge");
         assert!(epochs > 0, "need at least one epoch");
         let mut queue = VecDeque::with_capacity(epochs + 1);
-        queue.push_back(SketchStore::new(config));
+        queue.push_back(Epoch::new(config));
         Self {
             config,
             epoch_edges,
@@ -81,37 +116,38 @@ impl WindowedStore {
 
     /// Processes one stream edge.
     ///
-    /// ## Degree semantics and the exact over-count bound
+    /// ## Degree semantics under re-delivery
     ///
-    /// A vertex's window degree is summed across live epochs, so an edge
-    /// re-delivered in several epochs contributes once *per epoch that
-    /// witnessed it* (the sketches themselves stay exact — min-folding
-    /// is idempotent). This is a deliberate pinned behavior, not an
-    /// accident; deduplicating at fold time is impossible without
-    /// storing per-epoch neighbor sets, which would break the constant
-    /// space-per-vertex contract.
+    /// A vertex's window degree is summed across live epochs, so it
+    /// would over-count if the same edge landed in several epochs. To
+    /// keep degrees *exact* under at-least-once delivery, each epoch
+    /// remembers the (normalized) edges it applied, and an insert whose
+    /// edge is already present in **any** live epoch is a no-op — the
+    /// re-delivery is anchored at the edge's first (most recent live)
+    /// delivery rather than refreshing it. Once the edge ages out with
+    /// its epoch, a new delivery is a genuinely new window edge again.
     ///
-    /// The error is therefore exactly characterized: for a vertex `v`,
+    /// Two consequences, both deliberate:
     ///
-    /// ```text
-    /// degree(v) = true_window_degree(v) + Σ_e (epochs_live(e, v) − 1)
-    /// ```
+    /// * the window spans the last `W` *distinct* edges — duplicate
+    ///   deliveries do not advance epoch rotation;
+    /// * the seen-sets cost one 16-byte key per live window edge —
+    ///   `O(W)` total, independent of the stream length (the per-vertex
+    ///   sketch space contract is untouched).
     ///
-    /// summed over `v`'s distinct window edges `e`, where
-    /// `epochs_live(e, v)` is the number of *live* epochs that received
-    /// a delivery of `e`. A window whose feed delivers each edge once
-    /// (the simple-graph stream contract) has zero error; an
-    /// at-least-once feed over-counts each duplicated edge by at most
-    /// `epochs − 1`. Degrees feed the CN/AA scale factors linearly, so
-    /// estimates inflate by the same ratio; feeds with heavy
-    /// re-delivery should dedup upstream or use
-    /// [`crate::robust::RobustStore`] semantics per epoch.
+    /// The dedup probe is `O(epochs)` hash lookups per insert, in front
+    /// of the `O(k)` fold hot path.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) {
-        let newest = self.epochs.back_mut().expect("queue never empty");
-        newest.insert_edge(u, v);
         self.edges_processed += 1;
-        if newest.edges_processed() >= self.epoch_edges {
-            self.epochs.push_back(SketchStore::new(self.config));
+        let key = edge_key(u, v);
+        if self.epochs.iter().any(|e| e.seen.contains(&key)) {
+            return; // re-delivery of a live edge: exact no-op
+        }
+        let newest = self.epochs.back_mut().expect("queue never empty");
+        newest.seen.insert(key);
+        newest.store.insert_edge(u, v);
+        if newest.store.edges_processed() >= self.epoch_edges {
+            self.epochs.push_back(Epoch::new(self.config));
             while self.epochs.len() > self.max_epochs {
                 self.epochs.pop_front();
             }
@@ -131,7 +167,7 @@ impl WindowedStore {
     pub fn window_sketch(&self, v: VertexId) -> Option<VertexSketch> {
         let mut merged: Option<VertexSketch> = None;
         for epoch in &self.epochs {
-            if let Some(s) = epoch.sketch(v) {
+            if let Some(s) = epoch.store.sketch(v) {
                 match &mut merged {
                     Some(m) => m.merge(s),
                     None => merged = Some(s.clone()),
@@ -143,11 +179,12 @@ impl WindowedStore {
 
     /// The window degree of `v` (sum across epochs; 0 if absent).
     ///
-    /// An edge delivered to several live epochs counts once per epoch —
-    /// see [`WindowedStore::insert_edge`] for the exact bound.
+    /// Exact over the window's distinct edges, even under at-least-once
+    /// delivery — cross-epoch re-deliveries are no-ops (see
+    /// [`WindowedStore::insert_edge`]).
     #[must_use]
     pub fn degree(&self, v: VertexId) -> u64 {
-        self.epochs.iter().map(|e| e.degree(v)).sum()
+        self.epochs.iter().map(|e| e.store.degree(v)).sum()
     }
 
     /// Estimated Jaccard over the window.
@@ -195,10 +232,11 @@ impl WindowedStore {
         self.edges_processed
     }
 
-    /// Approximate resident bytes (sum of live epochs).
+    /// Approximate resident bytes (sum of live epochs, sketch stores
+    /// plus the per-epoch dedup sets).
     #[must_use]
     pub fn memory_bytes(&self) -> usize {
-        self.epochs.iter().map(SketchStore::memory_bytes).sum()
+        self.epochs.iter().map(Epoch::memory_bytes).sum()
     }
 }
 
@@ -265,10 +303,10 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_edge_across_epochs_pins_documented_degree_bound() {
-        // Pin the documented behavior: an edge delivered in two live
-        // epochs contributes one degree per epoch, while the merged
-        // window sketch stays identical to a dedup'd store's.
+    fn duplicate_edge_across_epochs_does_not_overcount_degrees() {
+        // An edge re-delivered while still live in an older epoch is a
+        // no-op: degrees stay exact and every estimator matches a
+        // dedup'd store's answer.
         let mut windowed = WindowedStore::new(cfg(), 4, 3);
         windowed.insert_edge(VertexId(1), VertexId(2));
         // Fill the rest of epoch 0 and roll into epoch 1.
@@ -276,35 +314,52 @@ mod tests {
             windowed.insert_edge(VertexId(100 + i), VertexId(200 + i));
         }
         assert_eq!(windowed.epoch_count(), 2);
-        // Same edge again, now landing in the second live epoch.
+        // Same edge again (both orientations), landing while epoch 0 is
+        // still live: both are exact no-ops.
         windowed.insert_edge(VertexId(1), VertexId(2));
+        windowed.insert_edge(VertexId(2), VertexId(1));
 
-        // degree = true_window_degree (1) + (epochs_live − 1) (1) = 2.
-        assert_eq!(windowed.degree(VertexId(1)), 2);
-        assert_eq!(windowed.degree(VertexId(2)), 2);
+        // Exact window degrees: the edge counts once.
+        assert_eq!(windowed.degree(VertexId(1)), 1);
+        assert_eq!(windowed.degree(VertexId(2)), 1);
+        // The lifetime delivery counter still counts every delivery.
+        assert_eq!(windowed.edges_processed(), 6);
 
-        // Sketches are idempotent: the merged window sketch equals a
-        // fresh store's that saw the edge once.
+        // Every estimator now matches a store that saw the edge once.
         let mut dedup = SketchStore::new(cfg());
         dedup.insert_edge(VertexId(1), VertexId(2));
         assert_eq!(
             windowed.window_sketch(VertexId(1)).as_ref(),
             dedup.sketch(VertexId(1))
         );
-        // Jaccard (sketch-only) is unaffected by the duplicate...
         assert_eq!(
             windowed.jaccard(VertexId(1), VertexId(2)),
             dedup.jaccard(VertexId(1), VertexId(2))
         );
-        // ...while CN inflates through the degree scale factor, exactly
-        // as documented (degrees 2/2 instead of 1/1 double the d(u)+d(v)
-        // term).
-        let windowed_cn = windowed.common_neighbors(VertexId(1), VertexId(2)).unwrap();
-        let dedup_cn = dedup.common_neighbors(VertexId(1), VertexId(2)).unwrap();
-        assert!(
-            (windowed_cn - 2.0 * dedup_cn).abs() < 1e-12,
-            "CN inflation should track the degree ratio: {windowed_cn} vs {dedup_cn}"
+        assert_eq!(
+            windowed.common_neighbors(VertexId(1), VertexId(2)),
+            dedup.common_neighbors(VertexId(1), VertexId(2))
         );
+        assert_eq!(
+            windowed.adamic_adar(VertexId(1), VertexId(2)),
+            dedup.adamic_adar(VertexId(1), VertexId(2))
+        );
+    }
+
+    #[test]
+    fn forgotten_edge_recounts_after_aging_out() {
+        // Once an edge's epoch is evicted, a new delivery is a genuine
+        // window edge again — dedup gates only *live* epochs.
+        let mut windowed = WindowedStore::new(cfg(), 4, 2);
+        windowed.insert_edge(VertexId(1), VertexId(2));
+        // Two full epochs of unrelated traffic evict epoch 0.
+        for i in 0..8u64 {
+            windowed.insert_edge(VertexId(100 + i), VertexId(200 + i));
+        }
+        assert_eq!(windowed.degree(VertexId(1)), 0);
+        windowed.insert_edge(VertexId(1), VertexId(2));
+        assert_eq!(windowed.degree(VertexId(1)), 1);
+        assert_eq!(windowed.degree(VertexId(2)), 1);
     }
 
     #[test]
