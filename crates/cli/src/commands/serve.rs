@@ -41,11 +41,30 @@
 //!                             disables the auditor               (30)
 //! --audit-pairs K             vertex pairs scored per cycle      (64)
 //! --replicate-from HOST:PORT  run as a read replica of that primary
-//!                             (mutually exclusive with --data-dir
-//!                             and --snapshot); writes answer
-//!                             `ERR readonly`
+//!                             (mutually exclusive with --snapshot);
+//!                             writes answer `ERR readonly MOVED`.
+//!                             With --data-dir the replica journals
+//!                             what it applies and resumes from its
+//!                             own disk after a restart
 //! --repl-id NAME              replica id shown in the primary's lag
 //!                             gauges              (replica-<pid>)
+//! --peers A,B                 cluster mode: the other members'
+//!                             protocol addresses, comma-separated.
+//!                             Enables lease-based automatic failover
+//!                             (REPL LEASE/VOTE, epoch fencing,
+//!                             PROMOTE/DEMOTE); mutually exclusive
+//!                             with --replicate-from and --snapshot
+//! --advertise HOST:PORT       this node's address as peers dial it
+//!                             (default --addr; required in cluster
+//!                             mode when --addr uses port 0)
+//! --lease-ms MS               failover lease window L: the primary
+//!                             stays writable while a majority renewed
+//!                             within L; elections start after 2L of
+//!                             silence               (1000, min 50)
+//! --primary true              bootstrap a *fresh* cluster as the
+//!                             epoch-1 primary; refused (and the node
+//!                             rejoins as a replica) once any epoch
+//!                             exists
 //! --repl-buffer N             primary ship-ring capacity in entries;
 //!                             0 disables serving REPL      (65536)
 //! --repl-pull-batch N         entries per REPL PULL, at most
@@ -163,13 +182,111 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         .get("repl-id")
         .map_or_else(|| format!("replica-{}", std::process::id()), str::to_string);
 
-    let state = if let Some(primary) = flags.get("replicate-from") {
-        if flags.get("data-dir").is_some() || flags.get("snapshot").is_some() {
+    let state = if let Some(peers_raw) = flags.get("peers") {
+        if flags.get("replicate-from").is_some() {
             return Err(
-                "--replicate-from is mutually exclusive with --data-dir and --snapshot \
-                 (a replica's state is the primary's, pulled over the wire)"
+                "--peers (cluster mode) is mutually exclusive with --replicate-from \
+                 (cluster nodes discover the primary through the lease protocol)"
                     .into(),
             );
+        }
+        if flags.get("snapshot").is_some() {
+            return Err(
+                "--peers is mutually exclusive with --snapshot (cluster state is \
+                 replicated; use --data-dir for durability)"
+                    .into(),
+            );
+        }
+        if config.repl_buffer == 0 {
+            return Err("cluster mode needs a ship ring; raise --repl-buffer above 0".into());
+        }
+        let peers: Vec<String> = peers_raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if peers.is_empty() {
+            return Err("--peers needs at least one peer address".into());
+        }
+        let lease_ms = flags.get_parsed_or("lease-ms", 1_000u64)?;
+        if lease_ms < 50 {
+            return Err("--lease-ms must be at least 50".into());
+        }
+        let advertise = match flags.get("advertise") {
+            Some(a) => a.to_string(),
+            // Peers dial the advertised address; an OS-assigned port is
+            // unknown to them, so it must be stated explicitly.
+            None if addr.ends_with(":0") => {
+                return Err("cluster mode with an ephemeral --addr port needs --advertise".into())
+            }
+            None => addr.clone(),
+        };
+        if peers.contains(&advertise) {
+            return Err(format!(
+                "--peers must list the *other* members; {advertise} is this node"
+            ));
+        }
+        let cluster_config = server::failover::ClusterConfig {
+            advertise: advertise.clone(),
+            peers: peers.clone(),
+            lease: Duration::from_millis(lease_ms),
+            bootstrap_primary: flags.get_parsed_or("primary", false)?,
+        };
+        let runtime = Arc::new(server::replication::ReplicaRuntime::new(
+            peers[0].clone(),
+            advertise,
+            repl_lag_slo,
+            repl_tuning,
+        ));
+        match flags.get("data-dir") {
+            Some(dir) => {
+                let (persist, recovery) =
+                    persistence::open(Path::new(dir), sketch_config, fsync, format)
+                        .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+                let local_seq = recovery.next_seq().saturating_sub(1);
+                runtime.seed_applied(local_seq);
+                eprintln!(
+                    "cluster node recovered {} edges from {dir} (local WAL seq {local_seq})",
+                    recovery.store.edges_processed(),
+                );
+                let cluster = Arc::new(
+                    server::failover::ClusterRuntime::new(
+                        &cluster_config,
+                        Some(Path::new(dir)),
+                        local_seq,
+                    )
+                    .map_err(|e| format!("cannot persist cluster state in {dir}: {e}"))?,
+                );
+                ServerState::with_cluster(
+                    recovery.store,
+                    Some(persist),
+                    recovery.snapshot_seq,
+                    config,
+                    runtime,
+                    cluster,
+                )
+            }
+            None => {
+                let cluster = Arc::new(
+                    server::failover::ClusterRuntime::new(&cluster_config, None, 0)
+                        .map_err(|e| format!("cannot initialise cluster state: {e}"))?,
+                );
+                ServerState::with_cluster(
+                    SketchStore::new(sketch_config),
+                    None,
+                    0,
+                    config,
+                    runtime,
+                    cluster,
+                )
+            }
+        }
+    } else if let Some(primary) = flags.get("replicate-from") {
+        if flags.get("snapshot").is_some() {
+            return Err("--replicate-from is mutually exclusive with --snapshot \
+                 (a replica's state is the primary's, pulled over the wire)"
+                .into());
         }
         let runtime = Arc::new(server::replication::ReplicaRuntime::new(
             primary.to_string(),
@@ -177,9 +294,33 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             repl_lag_slo,
             repl_tuning,
         ));
-        // The fresh store's shape is provisional: the handshake adopts
-        // the primary's slots/seed/backend while the store is empty.
-        ServerState::replica(SketchStore::new(sketch_config), config, runtime)
+        match flags.get("data-dir") {
+            // A durable replica journals what it applies and resumes
+            // from its own disk seq after a restart instead of
+            // re-pulling the world from the primary.
+            Some(dir) => {
+                let (persist, recovery) =
+                    persistence::open(Path::new(dir), sketch_config, fsync, format)
+                        .map_err(|e| format!("cannot open data dir {dir}: {e}"))?;
+                let local_seq = recovery.next_seq().saturating_sub(1);
+                runtime.seed_applied(local_seq);
+                eprintln!(
+                    "replica recovered {} edges from {dir}, resuming pulls after seq {local_seq}",
+                    recovery.store.edges_processed(),
+                );
+                ServerState::durable_replica(
+                    recovery.store,
+                    persist,
+                    recovery.snapshot_seq,
+                    config,
+                    runtime,
+                )
+            }
+            // The fresh store's shape is provisional: the handshake
+            // adopts the primary's slots/seed/backend while the store
+            // is empty.
+            None => ServerState::replica(SketchStore::new(sketch_config), config, runtime),
+        }
     } else {
         match (flags.get("data-dir"), flags.get("snapshot")) {
             (Some(_), Some(_)) => {
@@ -259,7 +400,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     signals::install();
     let local = listener.local_addr().map_or(addr, |a| a.to_string());
     println!("LISTENING {local}");
-    if let Some(runtime) = state.replica_runtime() {
+    if let Some(cluster) = state.cluster() {
+        println!(
+            "CLUSTER role={} epoch={} peers={}",
+            if cluster.is_primary() {
+                "primary"
+            } else {
+                "replica"
+            },
+            cluster.epoch(),
+            cluster.peer_count(),
+        );
+        eprintln!(
+            "failover cluster member {} (lease {} ms, epoch {}); replicas answer \
+             ERR readonly MOVED, a fenced primary answers ERR fenced",
+            cluster.advertise(),
+            cluster.lease_ms(),
+            cluster.epoch(),
+        );
+    } else if let Some(runtime) = state.replica_runtime() {
         println!("REPLICATING {}", runtime.primary_addr);
         eprintln!(
             "read replica of {} (id {}, lag SLO {} edges); writes answer ERR readonly",
@@ -465,18 +624,46 @@ mod tests {
         assert!(run(&argv(&["--repl-poll-ms", "soon"])).is_err());
         assert!(run(&argv(&["--repl-lag-slo", "0"])).is_err());
         assert!(run(&argv(&["--repl-buffer", "many"])).is_err());
-        assert!(run(&argv(&[
-            "--replicate-from",
-            "127.0.0.1:1",
-            "--data-dir",
-            "/tmp/x"
-        ]))
-        .is_err());
+        // (--replicate-from with --data-dir is now a *valid* durable
+        // replica; only the snapshot combination stays refused.)
         assert!(run(&argv(&[
             "--replicate-from",
             "127.0.0.1:1",
             "--snapshot",
             "/tmp/y"
+        ]))
+        .is_err());
+        // Cluster-mode flag validation.
+        assert!(run(&argv(&[
+            "--peers",
+            "127.0.0.1:1",
+            "--replicate-from",
+            "127.0.0.1:2"
+        ]))
+        .is_err());
+        assert!(run(&argv(&["--peers", "127.0.0.1:1", "--snapshot", "/tmp/y"])).is_err());
+        assert!(run(&argv(&["--peers", " , ,"])).is_err());
+        assert!(run(&argv(&["--peers", "127.0.0.1:1", "--lease-ms", "10"])).is_err());
+        assert!(run(&argv(&["--peers", "127.0.0.1:1", "--primary", "maybe"])).is_err());
+        assert!(run(&argv(&["--peers", "127.0.0.1:1", "--addr", "127.0.0.1:0"])).is_err());
+        assert!(run(&argv(&[
+            "--peers",
+            "127.0.0.1:1",
+            "--addr",
+            "127.0.0.1:0",
+            "--advertise",
+            "127.0.0.1:1"
+        ]))
+        .is_err());
+        assert!(run(&argv(&[
+            "--peers",
+            "127.0.0.1:1",
+            "--repl-buffer",
+            "0",
+            "--addr",
+            "127.0.0.1:0",
+            "--advertise",
+            "127.0.0.1:9"
         ]))
         .is_err());
         // A malformed --http-addr fails at bind time, before the

@@ -1,0 +1,1366 @@
+//! Automatic failover: lease-based promotion, epoch fencing, and the
+//! rejoin/handoff path for revived primaries.
+//!
+//! The decision logic — who may write, who may be elected, which vote
+//! to grant — lives in [`streamlink_core::failover`] as a pure state
+//! machine. This module wires it to the wire:
+//!
+//! ```text
+//! REPL LEASE <id> <epoch> <applied_seq>
+//!     replica -> primary, every puller tick. The primary treats it as
+//!     a lease renewal and answers `OK lease epoch=<e>
+//!     primary_seq=<s> tl=<timeline>`; a stale sender gets
+//!     `ERR fenced epoch=<e>`, a non-primary answers
+//!     `ERR not-primary epoch=<e>`.
+//! REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq>
+//!     candidate -> everyone, once its lease expired and its stagger
+//!     slot came up. Granted (`OK vote granted epoch=<t>`) at most once
+//!     per epoch, only to candidates at least as caught up as the
+//!     granter, and only while the granter's own lease agrees the
+//!     primary is gone.
+//! REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc>
+//!     a revived node -> the current primary: one un-replicated entry
+//!     from a dead timeline, re-acked as a fresh write. Deduped by a
+//!     per-old-epoch contiguous high-water mark, so retries and
+//!     concurrent survivors never double-insert.
+//! ```
+//!
+//! ## Why split-brain is impossible by construction
+//!
+//! A primary accepts a write only while a majority of the cluster
+//! (itself included) has renewed its lease within one lease window
+//! ([`FailoverNode::writable`]). A candidate is promoted only after a
+//! majority granted its target epoch, and granting requires the
+//! granter's *own* lease to have expired. Any freshness-majority and
+//! any grant-majority intersect in at least one node, and that node
+//! cannot simultaneously have renewed the old primary's lease and
+//! considered it dead — so the old primary's writable window provably
+//! closes before the new epoch can open. Every write is additionally
+//! epoch-fenced at the protocol layer (`write_gate`), so a revived
+//! pre-failover primary answers `ERR fenced` instead of accepting.
+//!
+//! ## Durability across the fence
+//!
+//! Roles are never persisted — a restarting node always rejoins as a
+//! replica and re-learns the epoch. What *is* persisted (durable nodes
+//! only, `<data-dir>/cluster.state`) is the epoch, the vote, and the
+//! timeline, so a revived node cannot vote twice in an epoch or
+//! bootstrap a second epoch-1 primary. A write acked on a dead
+//! timeline survives wherever it is durable: the revived node replays
+//! its own journal tail through `REPL HANDOFF` before resyncing onto
+//! the new timeline. Experiment E25 (`exp_failover`) chaos-tests
+//! exactly these invariants.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use streamlink_core::failover::{ExchangeOutcome, FailoverNode, Role, Timeline};
+use streamlink_core::journal::{self, JournalEntry, LineCheck};
+use streamlink_core::{metrics, PullOutcome, WireFormat};
+
+use super::protocol::parse_bounded;
+use super::replication::{
+    adopt_config, id_seed, jittered, next_backoff, pull_once, readonly_moved, say_hello,
+    sleep_poll, snapshot_round_with, Lcg, PrimaryLink, ReplicaRuntime,
+};
+use super::ServerState;
+
+/// Flag-level cluster settings, assembled by `streamlink serve`.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's own address as peers dial it (also its node id and
+    /// what `MOVED` hints point at).
+    pub advertise: String,
+    /// The other members' protocol addresses.
+    pub peers: Vec<String>,
+    /// Lease window `L`: a primary stays writable while a majority
+    /// renewed within `L`; elections start after `2L` of silence.
+    pub lease: Duration,
+    /// Seed epoch 1 as primary on a fresh cluster (`--primary`).
+    /// Ignored — loudly — once a persisted epoch exists.
+    pub bootstrap_primary: bool,
+}
+
+/// Shared cluster state: the failover node behind a lock, the fork
+/// timeline, and lock-free caches for the hot write path.
+pub struct ClusterRuntime {
+    node: Mutex<FailoverNode>,
+    timeline: Mutex<Timeline>,
+    peers: Vec<String>,
+    advertise: String,
+    lease_ms: u64,
+    started: Instant,
+    /// Current belief where the primary is (ourselves when primary).
+    believed: Mutex<Option<String>>,
+    /// Cached role for the lock-free [`write_gate`] fast path.
+    role_primary: AtomicBool,
+    /// Cached writable deadline, in ms since `started` (0 = fenced).
+    /// Refreshed on every lease/role event; between events the deadline
+    /// can only shrink with time, which the load-side compare handles.
+    writable_until: AtomicU64,
+    epoch_cache: AtomicU64,
+    /// The epoch our *data* belongs to: the epoch we were last
+    /// contiguously replicating (or serving) in. Compared against the
+    /// primary's fork timeline to detect a dead-timeline tail.
+    data_epoch: AtomicU64,
+    /// Durable home of `cluster.state` (epoch/vote/timeline), `None`
+    /// for in-memory nodes (which may double-vote after a restart — an
+    /// accepted, documented trade).
+    dir: Option<PathBuf>,
+    probe_cursor: AtomicUsize,
+}
+
+impl ClusterRuntime {
+    /// Builds the runtime, restoring any persisted epoch/vote/timeline
+    /// from `dir` and applying `--primary` bootstrap (epoch 0 only).
+    /// `local_seq` is the node's recovered WAL high-water mark, used as
+    /// the epoch-1 fork base when bootstrapping.
+    ///
+    /// # Errors
+    /// Fails when the durable cluster state cannot be written — a node
+    /// that cannot persist its vote must not join the cluster.
+    pub fn new(config: &ClusterConfig, dir: Option<&Path>, local_seq: u64) -> io::Result<Self> {
+        let cluster_size = config.peers.len() + 1;
+        let lease_ms = u64::try_from(config.lease.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let mut node = FailoverNode::new(&config.advertise, cluster_size, lease_ms);
+        let mut timeline = Timeline::new();
+        let mut data_epoch = 0u64;
+        if let Some(dir) = dir {
+            if let Some(saved) = load_state_file(&state_path(dir)) {
+                node.restore(saved.epoch, saved.voted);
+                timeline = saved.timeline;
+                data_epoch = saved.data_epoch;
+                eprintln!(
+                    "failover: restored cluster state (epoch {}, data epoch {data_epoch}, tl {})",
+                    saved.epoch,
+                    timeline.render(),
+                );
+            }
+        }
+        let mut believed = None;
+        if config.bootstrap_primary {
+            if node.bootstrap_primary() {
+                timeline.record_fork(1, local_seq);
+                data_epoch = 1;
+                believed = Some(config.advertise.clone());
+                eprintln!("failover: bootstrapped as primary at epoch 1 (base seq {local_seq})");
+            } else {
+                eprintln!(
+                    "failover: --primary ignored: cluster already at epoch {} \
+                     (rejoining as a replica; use PROMOTE to force)",
+                    node.epoch(),
+                );
+            }
+        }
+        let runtime = ClusterRuntime {
+            epoch_cache: AtomicU64::new(node.epoch()),
+            role_primary: AtomicBool::new(node.role() == Role::Primary),
+            writable_until: AtomicU64::new(0),
+            data_epoch: AtomicU64::new(data_epoch),
+            node: Mutex::new(node),
+            timeline: Mutex::new(timeline),
+            peers: config.peers.clone(),
+            advertise: config.advertise.clone(),
+            lease_ms,
+            started: Instant::now(),
+            believed: Mutex::new(believed),
+            dir: dir.map(Path::to_path_buf),
+            probe_cursor: AtomicUsize::new(0),
+        };
+        runtime.refresh_cache();
+        runtime.persist_state()?;
+        Ok(runtime)
+    }
+
+    fn node(&self) -> MutexGuard<'_, FailoverNode> {
+        self.node.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn timeline(&self) -> MutexGuard<'_, Timeline> {
+        self.timeline.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Monotonic milliseconds since this runtime was created — the
+    /// clock every lease/candidacy decision runs on.
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// This node's advertised address (its cluster id).
+    #[must_use]
+    pub fn advertise(&self) -> &str {
+        &self.advertise
+    }
+
+    /// The lease window in milliseconds.
+    #[must_use]
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// How many *other* members this node knows about.
+    #[must_use]
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The current fencing epoch (cached; exact after every exchange).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch_cache.load(Ordering::Relaxed)
+    }
+
+    /// The epoch this node's local data belongs to.
+    #[must_use]
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Whether this node currently holds the primary role (it may still
+    /// be fenced — see [`Self::writable_now`]).
+    #[must_use]
+    pub fn is_primary(&self) -> bool {
+        self.role_primary.load(Ordering::Relaxed)
+    }
+
+    /// Lock-free write check: primary role *and* inside the cached
+    /// majority-lease window.
+    #[must_use]
+    pub fn writable_now(&self) -> bool {
+        self.is_primary() && self.now_ms() <= self.writable_until.load(Ordering::Relaxed)
+    }
+
+    /// Where this node believes the primary is (itself when primary).
+    #[must_use]
+    pub fn believed_primary(&self) -> Option<String> {
+        if self.is_primary() {
+            return Some(self.advertise.clone());
+        }
+        self.believed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn set_believed(&self, addr: Option<String>) {
+        *self.believed.lock().unwrap_or_else(PoisonError::into_inner) = addr;
+    }
+
+    /// The rendered fork timeline (`REPL HELLO` / `REPL LEASE` `tl=`).
+    #[must_use]
+    pub fn timeline_spec(&self) -> String {
+        self.timeline().render()
+    }
+
+    fn adopt_timeline(&self, tl: &Timeline) {
+        *self.timeline() = tl.clone();
+    }
+
+    fn set_data_epoch(&self, epoch: u64) {
+        self.data_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Re-derives the lock-free caches (and the epoch gauge) from the
+    /// node. Call after *any* mutation of the failover state.
+    fn refresh_cache(&self) {
+        let now = self.now_ms();
+        let (role, epoch, deadline) = {
+            let node = self.node();
+            (node.role(), node.epoch(), node.writable_deadline(now))
+        };
+        self.epoch_cache.store(epoch, Ordering::Relaxed);
+        self.writable_until
+            .store(deadline.unwrap_or(0), Ordering::Relaxed);
+        // Order matters for the gate: publish the deadline before the
+        // role so a freshly-promoted node is never "primary with a
+        // stale fence" in between.
+        self.role_primary
+            .store(role == Role::Primary, Ordering::Release);
+        metrics::global().repl_epoch.set(epoch);
+    }
+
+    /// Refreshes the `repl.epoch` / `repl.lease_ms` gauges.
+    pub fn update_gauges(&self) {
+        let m = metrics::global();
+        m.repl_epoch.set(self.epoch());
+        m.repl_lease_ms.set(self.lease_ms);
+    }
+
+    /// This node's election stagger rank: its position in the sorted
+    /// roster. Deterministic and collision-free; the caught-up gate is
+    /// enforced by the voters, not by the rank.
+    fn rank(&self) -> u64 {
+        let mut ids: Vec<&str> = self.peers.iter().map(String::as_str).collect();
+        ids.push(&self.advertise);
+        ids.sort_unstable();
+        ids.iter().position(|&id| id == self.advertise).unwrap_or(0) as u64
+    }
+
+    /// The next address worth contacting: the believed primary if any,
+    /// else round-robin over the peer roster.
+    fn probe_target(&self) -> String {
+        if let Some(addr) = self.believed_primary() {
+            if addr != self.advertise {
+                return addr;
+            }
+        }
+        if self.peers.is_empty() {
+            return self.advertise.clone();
+        }
+        let i = self.probe_cursor.load(Ordering::Relaxed) % self.peers.len();
+        self.peers[i].clone()
+    }
+
+    /// Records that `target` was not (or no longer is) the primary:
+    /// drop the belief if it pointed there and rotate the probe cursor.
+    fn probe_failed(&self, target: &str) {
+        let mut believed = self.believed.lock().unwrap_or_else(PoisonError::into_inner);
+        if believed.as_deref() == Some(target) {
+            *believed = None;
+        }
+        drop(believed);
+        self.probe_cursor.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Persists epoch/vote/data-epoch/timeline to
+    /// `<dir>/cluster.state` (atomic tmp + rename). No-op for
+    /// in-memory nodes.
+    ///
+    /// # Errors
+    /// Propagates the underlying IO error; callers on the vote path
+    /// must surface it loudly (an unpersisted vote can be double-cast
+    /// after a restart).
+    fn persist_state(&self) -> io::Result<()> {
+        let node = self.node();
+        let timeline = self.timeline();
+        self.persist_with(&node, &timeline)
+    }
+
+    /// [`Self::persist_state`] for callers already holding both guards
+    /// (lock order: node, then timeline).
+    fn persist_with(&self, node: &FailoverNode, timeline: &Timeline) -> io::Result<()> {
+        let Some(dir) = &self.dir else {
+            return Ok(());
+        };
+        let voted = node
+            .voted()
+            .map_or_else(|| "-".to_string(), |(e, who)| format!("{e}:{who}"));
+        let body = format!(
+            "epoch={}\nvoted={voted}\ndata_epoch={}\ntl={}\n",
+            node.epoch(),
+            self.data_epoch.load(Ordering::Relaxed),
+            timeline.render(),
+        );
+        let tmp = dir.join("cluster.state.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(body.as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, state_path(dir))
+    }
+}
+
+fn state_path(dir: &Path) -> PathBuf {
+    dir.join("cluster.state")
+}
+
+struct SavedState {
+    epoch: u64,
+    voted: Option<(u64, String)>,
+    data_epoch: u64,
+    timeline: Timeline,
+}
+
+fn load_state_file(path: &Path) -> Option<SavedState> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut saved = SavedState {
+        epoch: 0,
+        voted: None,
+        data_epoch: 0,
+        timeline: Timeline::new(),
+    };
+    for line in text.lines() {
+        let (key, value) = line.split_once('=')?;
+        match key {
+            "epoch" => saved.epoch = value.parse().ok()?,
+            "voted" if value != "-" => {
+                // The vote target id is an address and contains
+                // colons itself; split only the leading epoch off.
+                let (epoch, who) = value.split_once(':')?;
+                saved.voted = Some((epoch.parse().ok()?, who.to_string()));
+            }
+            "data_epoch" => saved.data_epoch = value.parse().ok()?,
+            "tl" => saved.timeline = Timeline::parse(value)?,
+            _ => {}
+        }
+    }
+    Some(saved)
+}
+
+// ---------------------------------------------------------------------
+// The write gate.
+// ---------------------------------------------------------------------
+
+/// The fence in front of every write. `None` means "go ahead"; `Some`
+/// carries the complete refusal line. Lock-free on the accept path
+/// (two atomics), so fencing costs nothing on a healthy primary.
+pub(super) fn write_gate(state: &ServerState) -> Option<String> {
+    match state.cluster() {
+        Some(cluster) => {
+            if cluster.is_primary() {
+                if cluster.writable_now() {
+                    None
+                } else {
+                    metrics::global().repl_fenced_writes.incr();
+                    Some(format!(
+                        "ERR fenced epoch={} (majority lease lost; retry once the cluster heals)",
+                        cluster.epoch(),
+                    ))
+                }
+            } else {
+                Some(readonly_moved(state))
+            }
+        }
+        None if state.is_replica() => Some(readonly_moved(state)),
+        None => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire handlers (called from the REPL dispatcher / protocol layer).
+// ---------------------------------------------------------------------
+
+fn not_clustered() -> String {
+    "ERR not clustered (start with --peers to enable failover)".into()
+}
+
+/// `REPL LEASE <id> <epoch> <applied_seq>` — the replica's combined
+/// liveness probe and lease renewal.
+pub(super) fn lease_command(state: &ServerState, args: &[&str]) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    let [_, id, epoch, seq] = args else {
+        return "ERR REPL LEASE takes <id> <epoch> <applied_seq>".into();
+    };
+    let peer_epoch = match parse_bounded("epoch", epoch, 0, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let peer_seq = match parse_bounded("applied_seq", seq, 0, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let now = cluster.now_ms();
+    let (outcome, prior_role, my_epoch) = {
+        let mut node = cluster.node();
+        let prior = node.role();
+        let outcome = node.note_peer(id, peer_epoch, now);
+        (outcome, prior, node.epoch())
+    };
+    match outcome {
+        ExchangeOutcome::RemoteStale => format!(
+            "ERR fenced epoch={my_epoch} (your epoch {peer_epoch} is stale; \
+             rejoin via the current primary)"
+        ),
+        ExchangeOutcome::Adopted => {
+            after_adoption(state, cluster, prior_role);
+            format!("ERR not-primary epoch={}", cluster.epoch())
+        }
+        ExchangeOutcome::Ok => {
+            if prior_role != Role::Primary {
+                return format!("ERR not-primary epoch={my_epoch} (this node is a replica)");
+            }
+            // A renewal can extend the writable deadline: refresh the
+            // gate's cache while we are at it.
+            cluster.refresh_cache();
+            let primary_seq = state.primary_repl().map_or(0, |repl| {
+                repl.note_peer(id, peer_seq);
+                repl.log().last_seq()
+            });
+            format!(
+                "OK lease epoch={my_epoch} primary_seq={primary_seq} tl={}",
+                cluster.timeline_spec(),
+            )
+        }
+    }
+}
+
+/// `REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq>`.
+///
+/// The candidate's log identity is `(data_epoch, seq)`, compared
+/// lexicographically against ours: a revived ex-primary with a long
+/// journal on a dead timeline must not outrank a shorter log that
+/// carries the newer epoch's acknowledged writes.
+pub(super) fn vote_command(state: &ServerState, args: &[&str]) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    let [_, candidate, target, data_epoch, seq] = args else {
+        return "ERR REPL VOTE takes <candidate> <target_epoch> <data_epoch> <candidate_seq>"
+            .into();
+    };
+    let target_epoch = match parse_bounded("target_epoch", target, 1, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let candidate_data_epoch = match parse_bounded("data_epoch", data_epoch, 0, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let candidate_seq = match parse_bounded("candidate_seq", seq, 0, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let own_log = (cluster.data_epoch(), local_seq(state, cluster));
+    let now = cluster.now_ms();
+    let (granted, prior_role, my_epoch) = {
+        let mut node = cluster.node();
+        let prior = node.role();
+        let granted = node.grant_vote(
+            candidate,
+            target_epoch,
+            (candidate_data_epoch, candidate_seq),
+            own_log,
+            now,
+        );
+        (granted, prior, node.epoch())
+    };
+    if !granted {
+        return format!("ERR vote denied epoch={my_epoch}");
+    }
+    if prior_role == Role::Primary {
+        after_step_down(state, cluster);
+    } else {
+        cluster.refresh_cache();
+    }
+    cluster.set_believed(Some((*candidate).to_string()));
+    if let Err(e) = cluster.persist_state() {
+        eprintln!("failover: could not persist vote for epoch {target_epoch}: {e}");
+    }
+    format!("OK vote granted epoch={target_epoch}")
+}
+
+/// `REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc>` — one dead-timeline
+/// entry, re-acked as a fresh write on the current primary.
+pub(super) fn handoff_command(state: &ServerState, args: &[&str]) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    if args.len() < 3 {
+        return "ERR REPL HANDOFF takes <old_epoch> <wal line>".into();
+    }
+    let old_epoch = match parse_bounded("old_epoch", args[1], 1, u64::MAX) {
+        Ok(v) => v,
+        Err(e) => return format!("ERR {e}"),
+    };
+    let line = args[2..].join(" ");
+    let entry = match JournalEntry::check_line(&line) {
+        LineCheck::Verified(entry) | LineCheck::Legacy(entry) => entry,
+        LineCheck::Malformed | LineCheck::BadCrc => {
+            return "ERR bad handoff frame (expected `F <seq> <u> <v> <crc>`)".into();
+        }
+    };
+    let now = cluster.now_ms();
+    // Lock order: node → timeline → store/persist (via insert_edge).
+    // Holding both across the insert makes check-insert-commit atomic
+    // against concurrent survivors handing off the same epoch.
+    let node = cluster.node();
+    if node.role() != Role::Primary || !node.writable(now) {
+        return format!(
+            "ERR not-primary epoch={} (handoff needs a writable primary)",
+            node.epoch(),
+        );
+    }
+    let mut timeline = cluster.timeline();
+    let Some(highwater) = timeline.handoff_highwater(old_epoch) else {
+        return format!("ERR handoff unknown epoch {old_epoch} (no fork recorded after it)");
+    };
+    if entry.seq <= highwater {
+        return format!("OK handoff dup seq={}", entry.seq);
+    }
+    if entry.seq != highwater + 1 {
+        return format!("ERR handoff gap expected={}", highwater + 1);
+    }
+    match state.insert_edge(entry.u, entry.v) {
+        Ok(new_seq) => {
+            let accepted = timeline.accept_handoff(old_epoch, entry.seq, new_seq);
+            debug_assert!(accepted, "highwater moved while both locks were held");
+            if let Err(e) = cluster.persist_with(&node, &timeline) {
+                eprintln!("failover: could not persist handoff highwater: {e}");
+            }
+            format!("OK handoff accepted seq={}", entry.seq)
+        }
+        Err(e) => format!("ERR storage: {e}"),
+    }
+}
+
+/// The top-level `PROMOTE` command: manual, lease-bypassing promotion
+/// (the operator's big red switch; see OPERATIONS §11.3).
+pub(super) fn promote_command(state: &ServerState) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    if cluster.is_primary() {
+        return format!("OK promoted epoch={} (already primary)", cluster.epoch());
+    }
+    let epoch = cluster.node().force_promote();
+    complete_promotion(state, cluster, epoch);
+    format!("OK promoted epoch={epoch} (forced; fencing resumes once a majority reconnects)")
+}
+
+/// The top-level `DEMOTE` command: step down and rejoin as a replica.
+pub(super) fn demote_command(state: &ServerState) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    let was_primary = {
+        let mut node = cluster.node();
+        let was = node.role() == Role::Primary;
+        node.force_demote();
+        was
+    };
+    if was_primary {
+        after_step_down(state, cluster);
+        format!(
+            "OK demoted epoch={} (rejoining as a replica)",
+            cluster.epoch()
+        )
+    } else {
+        format!("OK demoted epoch={} (already a replica)", cluster.epoch())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Role-transition plumbing.
+// ---------------------------------------------------------------------
+
+/// The node's local WAL high-water mark, whichever side it is on.
+fn local_seq(state: &ServerState, cluster: &ClusterRuntime) -> u64 {
+    if cluster.is_primary() {
+        state.primary_repl().map_or(0, |repl| repl.log().last_seq())
+    } else {
+        state.replica_runtime().map_or(0, |r| r.applied_seq())
+    }
+}
+
+/// Everything promotion entails beyond the role flip: record the fork,
+/// re-seat the ship ring and journal at the fork base, persist, and
+/// refresh the gate caches.
+fn complete_promotion(state: &ServerState, cluster: &ClusterRuntime, epoch: u64) {
+    let base = state.replica_runtime().map_or(0, |r| r.applied_seq());
+    {
+        let node = cluster.node();
+        let mut timeline = cluster.timeline();
+        timeline.record_fork(epoch, base);
+        cluster.set_data_epoch(epoch);
+        if let Err(e) = cluster.persist_with(&node, &timeline) {
+            eprintln!("failover: could not persist promotion to epoch {epoch}: {e}");
+        }
+    }
+    if let Some(repl) = state.primary_repl() {
+        // The ring may hold stale boot-time seqs; re-seat it so new
+        // writes number contiguously from the fork base.
+        repl.log().reset(base);
+    }
+    if let Some(mut persist) = state.persist_guard() {
+        if persist.journal.next_seq() != base + 1 {
+            if let Err(e) = persist.journal.rotate(base + 1) {
+                eprintln!("failover: journal realign at promotion failed: {e}");
+            }
+        }
+    }
+    cluster.set_believed(Some(cluster.advertise.clone()));
+    cluster.refresh_cache();
+    let m = metrics::global();
+    m.repl_promotions.incr();
+    m.repl_epoch.set(epoch);
+    eprintln!("failover: promoted to primary at epoch {epoch} (base seq {base})");
+}
+
+/// Everything stepping down entails: refresh the gate caches (fencing
+/// writes immediately), forget the primary belief, and re-seat the pull
+/// gate at our local high-water mark so pulling resumes where this
+/// node's data actually ends.
+fn after_step_down(state: &ServerState, cluster: &ClusterRuntime) {
+    cluster.refresh_cache();
+    cluster.set_believed(None);
+    if let (Some(runtime), Some(repl)) = (state.replica_runtime(), state.primary_repl()) {
+        let last = repl.log().last_seq();
+        if runtime.applied_seq() != last {
+            runtime.seed_applied(last);
+        }
+    }
+    if let Err(e) = cluster.persist_state() {
+        eprintln!("failover: could not persist step-down: {e}");
+    }
+    eprintln!(
+        "failover: stepped down at epoch {} (rejoining as a replica)",
+        cluster.epoch(),
+    );
+}
+
+/// A peer exchange adopted a higher epoch. Only an ex-primary needs the
+/// full step-down treatment; a replica just refreshes its caches.
+fn after_adoption(state: &ServerState, cluster: &ClusterRuntime, prior_role: Role) {
+    if prior_role == Role::Primary {
+        after_step_down(state, cluster);
+    } else {
+        cluster.refresh_cache();
+        if let Err(e) = cluster.persist_state() {
+            eprintln!("failover: could not persist adopted epoch: {e}");
+        }
+    }
+}
+
+/// Adopts a higher epoch learned from an error reply or probe.
+fn adopt_observed(state: &ServerState, cluster: &ClusterRuntime, epoch: u64) {
+    let (changed, prior_role) = {
+        let mut node = cluster.node();
+        let prior = node.role();
+        let was_primary = node.observe_epoch(epoch, cluster.now_ms());
+        (was_primary || node.epoch() == epoch, prior)
+    };
+    if changed {
+        after_adoption(state, cluster, prior_role);
+    }
+}
+
+/// Pulls the first `epoch=` field out of a reply line.
+fn parse_epoch_field(line: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix("epoch="))
+        .and_then(|v| v.parse().ok())
+}
+
+// ---------------------------------------------------------------------
+// The cluster loop.
+// ---------------------------------------------------------------------
+
+fn how_session_ended(reply: &str) -> bool {
+    reply.starts_with("OK lease ")
+}
+
+/// What one replica session concluded about its target.
+enum SessionEnd {
+    /// Shutdown was requested; stop the loop.
+    Shutdown,
+    /// The target is not (or no longer) the primary; probe elsewhere.
+    NotPrimary,
+}
+
+/// The single cluster thread: as primary, keep the gate caches fresh;
+/// as replica, follow the primary (pull + lease) and campaign once the
+/// lease dies. Replaces [`super::replication::replica_loop`] in
+/// cluster mode.
+pub fn cluster_loop(state: &Arc<ServerState>, cluster: &Arc<ClusterRuntime>) {
+    let Some(runtime) = state.replica_runtime().cloned() else {
+        eprintln!("failover: cluster node without a replica runtime; loop disabled");
+        return;
+    };
+    let mut rng = Lcg::new(id_seed(&cluster.advertise));
+    let tick = Duration::from_millis((cluster.lease_ms / 4).clamp(10, 1000));
+    let backoff_floor = runtime.tuning.backoff_base.min(tick);
+    let backoff_ceiling = runtime
+        .tuning
+        .backoff_max
+        .min(Duration::from_millis(cluster.lease_ms.max(100)));
+    let mut backoff = backoff_floor;
+    cluster.node().arm(cluster.now_ms());
+    cluster.refresh_cache();
+    cluster.update_gauges();
+    while !state.shutdown_requested() {
+        if cluster.is_primary() {
+            cluster.refresh_cache();
+            cluster.update_gauges();
+            if !cluster.writable_now() {
+                // Fenced: probe for a newer epoch so a superseded
+                // primary discovers the new timeline and rejoins
+                // instead of serving `ERR fenced` forever.
+                fenced_probe(state, cluster);
+            }
+            sleep_poll(state, tick);
+            continue;
+        }
+        let target = cluster.probe_target();
+        match replica_session(state, cluster, &runtime, &target) {
+            Ok(SessionEnd::Shutdown) => break,
+            Ok(SessionEnd::NotPrimary) => {
+                runtime.set_connected(false);
+                cluster.probe_failed(&target);
+                backoff = backoff_floor;
+            }
+            Err(e) => {
+                runtime.set_connected(false);
+                runtime.update_gauges();
+                metrics::global().repl_reconnects.incr();
+                cluster.probe_failed(&target);
+                if state.shutdown_requested() {
+                    break;
+                }
+                eprintln!("failover: link to {target}: {e}");
+            }
+        }
+        maybe_campaign(state, cluster, &runtime);
+        if cluster.is_primary() {
+            continue;
+        }
+        // Short, jittered, lease-bounded backoff: elections must not
+        // wait out a 5s reconnect ceiling.
+        sleep_poll(state, jittered(&mut rng, backoff).min(tick));
+        backoff = next_backoff(backoff, backoff_ceiling);
+    }
+    runtime.set_connected(false);
+    runtime.update_gauges();
+}
+
+/// One session against a presumed primary: handshake, rejoin if our
+/// data sits on a dead timeline, then pull + lease until the link dies
+/// or the remote stops being primary.
+fn replica_session(
+    state: &ServerState,
+    cluster: &ClusterRuntime,
+    runtime: &ReplicaRuntime,
+    target: &str,
+) -> io::Result<SessionEnd> {
+    let mut link = PrimaryLink::connect(target, runtime.tuning.wire)?;
+    let hello = say_hello(&cluster.advertise, &mut link)?;
+    if let Some(epoch) = hello.epoch {
+        if epoch < cluster.epoch() {
+            return Ok(SessionEnd::NotPrimary);
+        }
+        if epoch > cluster.epoch() {
+            adopt_observed(state, cluster, epoch);
+        }
+    }
+    adopt_config(state, runtime, &hello)?;
+    match hello.timeline.as_deref().and_then(Timeline::parse) {
+        Some(remote_tl) => rejoin_timeline(state, cluster, runtime, &mut link, &remote_tl)?,
+        None => {
+            // A primary without timeline info (old binary or fresh
+            // cluster): fall back to the classic dead-timeline check.
+            if hello.primary_seq < runtime.applied_seq() {
+                snapshot_round_with(state, runtime, &mut link, true)?;
+            }
+        }
+    }
+    runtime.note_primary_seq(hello.primary_seq);
+    runtime.set_connected(true);
+    runtime.update_gauges();
+    let mut last_anti_entropy = Instant::now();
+    loop {
+        if state.shutdown_requested() {
+            return Ok(SessionEnd::Shutdown);
+        }
+        if cluster.is_primary() {
+            // Promoted mid-session (election or PROMOTE): stop pulling.
+            return Ok(SessionEnd::NotPrimary);
+        }
+        // The lease renewal doubles as the liveness probe; only an
+        // `OK lease` from the *primary* renews our timer.
+        link.send(&format!(
+            "REPL LEASE {} {} {}",
+            cluster.advertise,
+            cluster.epoch(),
+            runtime.applied_seq(),
+        ))?;
+        let reply = link.recv()?;
+        if how_session_ended(&reply) {
+            let now = cluster.now_ms();
+            let epoch = parse_epoch_field(&reply).unwrap_or_else(|| cluster.epoch());
+            {
+                let mut node = cluster.node();
+                node.note_primary(epoch, now);
+            }
+            cluster.refresh_cache();
+            cluster.set_believed(Some(target.to_string()));
+            cluster.set_data_epoch(epoch);
+            if let Some(seq) = reply
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("primary_seq="))
+                .and_then(|v| v.parse().ok())
+            {
+                runtime.note_primary_seq(seq);
+            }
+            if let Some(tl) = reply
+                .split_whitespace()
+                .find_map(|kv| kv.strip_prefix("tl="))
+                .and_then(Timeline::parse)
+            {
+                cluster.adopt_timeline(&tl);
+            }
+        } else {
+            if let Some(epoch) = parse_epoch_field(&reply) {
+                if epoch > cluster.epoch() {
+                    adopt_observed(state, cluster, epoch);
+                }
+            }
+            return Ok(SessionEnd::NotPrimary);
+        }
+        let advanced = pull_once(state, runtime, &mut link)?;
+        if !runtime.tuning.anti_entropy_every.is_zero()
+            && last_anti_entropy.elapsed() >= runtime.tuning.anti_entropy_every
+        {
+            last_anti_entropy = Instant::now();
+            snapshot_round_with(state, runtime, &mut link, false)?;
+            metrics::global().repl_anti_entropy_rounds.incr();
+        }
+        runtime.update_gauges();
+        cluster.update_gauges();
+        if !advanced {
+            let lease_tick = Duration::from_millis((cluster.lease_ms / 4).max(10));
+            sleep_poll(state, runtime.tuning.poll_interval.min(lease_tick));
+        }
+    }
+}
+
+/// Detects a fork past our data epoch, hands off our un-replicated
+/// tail entry-by-entry, then resyncs wholesale onto the new timeline.
+fn rejoin_timeline(
+    state: &ServerState,
+    cluster: &ClusterRuntime,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+    remote_tl: &Timeline,
+) -> io::Result<()> {
+    let data_epoch = cluster.data_epoch();
+    let Some(base) = remote_tl.fork_after(data_epoch) else {
+        // Our data is a prefix of the current timeline; nothing forked.
+        cluster.adopt_timeline(remote_tl);
+        return Ok(());
+    };
+    let applied = runtime.applied_seq();
+    if applied > base {
+        let handed = handoff_tail(state, cluster, link, data_epoch, base, applied)?;
+        eprintln!(
+            "failover: handed off {handed} un-replicated entr(y/ies) \
+             from dead epoch {data_epoch} (seqs {}..={applied})",
+            base + 1,
+        );
+    }
+    // Whatever remains local of the dead timeline is superseded:
+    // replace wholesale with the new primary's state.
+    snapshot_round_with(state, runtime, link, true)?;
+    cluster.adopt_timeline(remote_tl);
+    cluster.set_data_epoch(remote_tl.latest_epoch());
+    if let Err(e) = cluster.persist_state() {
+        eprintln!("failover: could not persist rejoin: {e}");
+    }
+    Ok(())
+}
+
+/// Ships seqs `base+1..=applied` of the dead timeline to the current
+/// primary via `REPL HANDOFF`. Returns how many entries were accepted
+/// (duplicates and gaps end the attempt quietly — another survivor got
+/// there first, or our journal has a hole; both are fine).
+///
+/// Entries that entered our journal as handoff re-acks are presented
+/// under their *origin* `(epoch, seq)` (per our timeline's provenance
+/// map), so the copy in the origin's own journal and ours dedup
+/// against the same high-water mark instead of being applied twice.
+fn handoff_tail(
+    state: &ServerState,
+    cluster: &ClusterRuntime,
+    link: &mut PrimaryLink,
+    old_epoch: u64,
+    base: u64,
+    applied: u64,
+) -> io::Result<u64> {
+    let provenance = cluster.timeline().clone();
+    let mut handed = 0u64;
+    let mut after = base;
+    'outer: while after < applied {
+        let batch = local_tail(state, after, 4096);
+        if batch.is_empty() {
+            break;
+        }
+        for entry in batch {
+            if entry.seq <= after {
+                continue;
+            }
+            if entry.seq > applied {
+                break 'outer;
+            }
+            after = entry.seq;
+            let (send_epoch, entry) = match provenance.reack_origin(entry.seq) {
+                Some((origin_epoch, origin_seq)) => (
+                    origin_epoch,
+                    JournalEntry {
+                        seq: origin_seq,
+                        ..entry
+                    },
+                ),
+                None => (old_epoch, entry),
+            };
+            link.send(&format!("REPL HANDOFF {send_epoch} {entry}"))?;
+            let reply = link.recv()?;
+            if reply.starts_with("OK handoff accepted") {
+                handed += 1;
+            } else if !reply.starts_with("OK handoff") {
+                // Gap (hole in our journal / other survivor ahead) or a
+                // primary change mid-handoff; stop, resync will follow.
+                eprintln!("failover: handoff stopped at seq {}: {reply}", entry.seq);
+                break 'outer;
+            }
+        }
+    }
+    Ok(handed)
+}
+
+/// The local WAL tail after `after`: a durable node reads its own
+/// journal (which holds everything it applied or acked); an in-memory
+/// ex-primary falls back to its ship ring. An in-memory ex-replica has
+/// neither — its tail is only recoverable from other survivors.
+fn local_tail(state: &ServerState, after: u64, max: usize) -> Vec<JournalEntry> {
+    if let Some(dir) = state.persist_guard().map(|p| p.dir.clone()) {
+        if let Ok(entries) = journal::read_entries_after(&dir, after, max) {
+            if !entries.is_empty() {
+                return entries;
+            }
+        }
+    }
+    if let Some(repl) = state.primary_repl() {
+        if let PullOutcome::Entries(entries) = repl.log().entries_after(after, max) {
+            return entries;
+        }
+    }
+    Vec::new()
+}
+
+/// Opens (or retries) a candidacy once the lease is dead and our
+/// stagger slot came up, then runs one synchronous vote round.
+fn maybe_campaign(state: &ServerState, cluster: &ClusterRuntime, runtime: &ReplicaRuntime) {
+    let now = cluster.now_ms();
+    let target = {
+        let mut node = cluster.node();
+        if node.role() == Role::Primary {
+            return;
+        }
+        if !node.candidacy_due(now, cluster.rank()) {
+            return;
+        }
+        if node.candidacy_epoch().is_some() && !node.candidacy_stale(now) {
+            return;
+        }
+        node.start_candidacy(now)
+    };
+    if let Err(e) = cluster.persist_state() {
+        eprintln!("failover: could not persist candidacy: {e}");
+    }
+    cluster.refresh_cache();
+    let my_seq = runtime.applied_seq();
+    let my_data_epoch = cluster.data_epoch();
+    eprintln!(
+        "failover: primary lease expired; seeking votes for epoch {target} \
+         (local log {my_data_epoch}:{my_seq})"
+    );
+    // Our own vote may already complete the majority (single-node
+    // clusters, or a quorum of grants recorded on a previous retry).
+    if cluster
+        .node()
+        .record_grant(&cluster.advertise, cluster.now_ms())
+    {
+        complete_promotion(state, cluster, target);
+        return;
+    }
+    for peer in &cluster.peers {
+        if state.shutdown_requested() {
+            return;
+        }
+        match request_vote(peer, &cluster.advertise, target, my_data_epoch, my_seq) {
+            VoteReply::Granted => {
+                let won = cluster.node().record_grant(peer, cluster.now_ms());
+                if won {
+                    complete_promotion(state, cluster, target);
+                    return;
+                }
+            }
+            VoteReply::Denied(epoch) => {
+                if epoch > target {
+                    adopt_observed(state, cluster, epoch);
+                    return;
+                }
+            }
+            VoteReply::Unreachable => {}
+        }
+    }
+}
+
+enum VoteReply {
+    Granted,
+    Denied(u64),
+    Unreachable,
+}
+
+fn request_vote(peer: &str, candidate: &str, target: u64, data_epoch: u64, seq: u64) -> VoteReply {
+    let ask = || -> io::Result<String> {
+        let mut link = PrimaryLink::connect(peer, WireFormat::TextV2)?;
+        link.send(&format!(
+            "REPL VOTE {candidate} {target} {data_epoch} {seq}"
+        ))?;
+        link.recv()
+    };
+    match ask() {
+        Ok(line) if line.starts_with("OK vote granted") => VoteReply::Granted,
+        Ok(line) => VoteReply::Denied(parse_epoch_field(&line).unwrap_or(0)),
+        Err(_) => VoteReply::Unreachable,
+    }
+}
+
+/// A fenced primary's way out: ask one peer whether a newer epoch
+/// exists, adopting it (and stepping down into the rejoin path) if so.
+fn fenced_probe(state: &ServerState, cluster: &ClusterRuntime) {
+    let target = cluster.probe_target();
+    if target == cluster.advertise {
+        return;
+    }
+    let probe = || -> io::Result<String> {
+        let mut link = PrimaryLink::connect(&target, WireFormat::TextV2)?;
+        link.send(&format!(
+            "REPL LEASE {} {} {}",
+            cluster.advertise,
+            cluster.epoch(),
+            local_seq(state, cluster),
+        ))?;
+        link.recv()
+    };
+    match probe() {
+        Ok(reply) => {
+            if let Some(epoch) = parse_epoch_field(&reply) {
+                if epoch > cluster.epoch() {
+                    adopt_observed(state, cluster, epoch);
+                    return;
+                }
+            }
+            cluster.probe_failed(&target);
+        }
+        Err(_) => cluster.probe_failed(&target),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::replication::ReplicaTuning;
+    use crate::server::{ServerConfig, ServerState};
+    use graphstream::VertexId;
+    use streamlink_core::{SketchConfig, SketchStore};
+
+    fn cluster_config(advertise: &str, peers: &[&str], bootstrap: bool) -> ClusterConfig {
+        ClusterConfig {
+            advertise: advertise.into(),
+            peers: peers.iter().map(|s| (*s).to_string()).collect(),
+            lease: Duration::from_millis(200),
+            bootstrap_primary: bootstrap,
+        }
+    }
+
+    fn cluster_state(bootstrap: bool) -> (ServerState, Arc<ClusterRuntime>) {
+        let config = cluster_config(
+            "127.0.0.1:7001",
+            &["127.0.0.1:7002", "127.0.0.1:7003"],
+            bootstrap,
+        );
+        let cluster = Arc::new(ClusterRuntime::new(&config, None, 0).unwrap());
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:7002".into(),
+            "127.0.0.1:7001".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(32).seed(5));
+        let state = ServerState::with_cluster(
+            store,
+            None,
+            0,
+            ServerConfig::default(),
+            runtime,
+            Arc::clone(&cluster),
+        );
+        (state, cluster)
+    }
+
+    #[test]
+    fn bootstrap_primary_serves_writes_and_ships_epoch() {
+        let (state, cluster) = cluster_state(true);
+        assert!(cluster.is_primary());
+        assert!(cluster.writable_now(), "bootstrap primary starts writable");
+        assert_eq!(cluster.epoch(), 1);
+        assert!(write_gate(&state).is_none());
+        assert!(!state.is_replica());
+        let reply = lease_command(&state, &["LEASE", "127.0.0.1:7002", "1", "0"]);
+        assert!(
+            reply.starts_with("OK lease epoch=1 primary_seq=0 tl=1:0"),
+            "{reply}"
+        );
+    }
+
+    #[test]
+    fn replica_nodes_point_writes_at_the_believed_primary() {
+        let (state, cluster) = cluster_state(false);
+        assert!(!cluster.is_primary());
+        assert!(state.is_replica());
+        let gate = write_gate(&state).expect("replicas refuse writes");
+        assert!(gate.starts_with("ERR readonly MOVED ? "), "{gate}");
+        cluster.set_believed(Some("127.0.0.1:7002".into()));
+        let gate = write_gate(&state).expect("still refused");
+        assert_eq!(
+            gate.split_whitespace().nth(3),
+            Some("127.0.0.1:7002"),
+            "{gate}"
+        );
+    }
+
+    #[test]
+    fn stale_epoch_lease_gets_fenced_and_newer_epoch_adopts() {
+        let (state, cluster) = cluster_state(true);
+        // A sender still on epoch 0 is fenced.
+        let reply = lease_command(&state, &["LEASE", "127.0.0.1:7002", "0", "0"]);
+        assert!(reply.starts_with("ERR fenced epoch=1"), "{reply}");
+        // A sender on epoch 3 demotes us on the spot.
+        let reply = lease_command(&state, &["LEASE", "127.0.0.1:7002", "3", "0"]);
+        assert!(reply.starts_with("ERR not-primary epoch=3"), "{reply}");
+        assert!(!cluster.is_primary());
+        assert_eq!(cluster.epoch(), 3);
+        let gate = write_gate(&state).expect("stepped-down node refuses writes");
+        assert!(gate.starts_with("ERR readonly MOVED"), "{gate}");
+    }
+
+    #[test]
+    fn votes_grant_once_per_epoch_and_only_to_caught_up_candidates() {
+        let (state, cluster) = cluster_state(false);
+        // Not armed yet / lease considered expired (never renewed) —
+        // grants are allowed once the node has an expired lease.
+        cluster.node().arm(0);
+        // Candidate behind our applied seq is refused.
+        state.replica_runtime().unwrap().seed_applied(10);
+        let reply = vote_command(&state, &["VOTE", "127.0.0.1:7002", "1", "0", "5"]);
+        assert!(reply.starts_with("ERR vote denied"), "{reply}");
+        // A caught-up candidate gets the vote after the lease expires...
+        std::thread::sleep(Duration::from_millis(250));
+        let reply = vote_command(&state, &["VOTE", "127.0.0.1:7002", "1", "0", "10"]);
+        assert_eq!(reply, "OK vote granted epoch=1");
+        assert_eq!(cluster.epoch(), 1);
+        // ...exactly once per epoch: another candidate is refused,
+        // the same one re-granted idempotently.
+        let reply = vote_command(&state, &["VOTE", "127.0.0.1:7003", "1", "0", "99"]);
+        assert!(reply.starts_with("ERR vote denied"), "{reply}");
+        let reply = vote_command(&state, &["VOTE", "127.0.0.1:7002", "1", "0", "10"]);
+        assert_eq!(reply, "OK vote granted epoch=1");
+        // The belief now points at the candidate.
+        assert_eq!(
+            cluster.believed_primary().as_deref(),
+            Some("127.0.0.1:7002")
+        );
+    }
+
+    #[test]
+    fn promote_and_demote_flip_the_gate() {
+        let (state, cluster) = cluster_state(false);
+        assert!(write_gate(&state).is_some());
+        let reply = promote_command(&state);
+        assert!(reply.starts_with("OK promoted epoch=1"), "{reply}");
+        assert!(cluster.is_primary());
+        assert!(
+            cluster.writable_now(),
+            "forced promotion bypasses the lease"
+        );
+        assert!(write_gate(&state).is_none());
+        assert!(!state.is_replica());
+        // Idempotent.
+        let again = promote_command(&state);
+        assert!(again.starts_with("OK promoted epoch=1 (already"), "{again}");
+        let reply = demote_command(&state);
+        assert!(reply.starts_with("OK demoted epoch=1"), "{reply}");
+        assert!(!cluster.is_primary());
+        assert!(write_gate(&state).is_some());
+    }
+
+    #[test]
+    fn handoff_replays_a_dead_tail_exactly_once() {
+        let (state, cluster) = cluster_state(true);
+        // Live writes land first; the fork for dead epoch 0 sits at 0...
+        // give the timeline a later fork to hand off against.
+        for i in 1..=3u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 50)).unwrap();
+        }
+        {
+            let mut tl = cluster.timeline();
+            tl.record_fork(2, 3);
+        }
+        cluster.node().force_promote(); // epoch 2
+        cluster.refresh_cache();
+        let entry = JournalEntry {
+            seq: 4,
+            u: VertexId(9),
+            v: VertexId(90),
+        };
+        let line = entry.to_string();
+        let mut args = vec!["HANDOFF", "1"];
+        args.extend(line.split_whitespace());
+        let reply = handoff_command(&state, &args);
+        assert_eq!(reply, "OK handoff accepted seq=4", "{reply}");
+        assert_eq!(state.read_store().edges_processed(), 4);
+        // Retry (same survivor, or another) is a dup, not a double
+        // insert.
+        let reply = handoff_command(&state, &args);
+        assert_eq!(reply, "OK handoff dup seq=4");
+        assert_eq!(state.read_store().edges_processed(), 4);
+        // A gap is refused with the expected seq.
+        let gap = JournalEntry {
+            seq: 7,
+            u: VertexId(9),
+            v: VertexId(91),
+        };
+        let line = gap.to_string();
+        let mut args = vec!["HANDOFF", "1"];
+        args.extend(line.split_whitespace());
+        let reply = handoff_command(&state, &args);
+        assert_eq!(reply, "ERR handoff gap expected=5");
+    }
+
+    #[test]
+    fn cluster_state_round_trips_through_the_state_file() {
+        let dir =
+            std::env::temp_dir().join(format!("streamlink-failover-test-{}", std::process::id(),));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let config = cluster_config("127.0.0.1:7001", &["127.0.0.1:7002"], true);
+        {
+            let cluster = ClusterRuntime::new(&config, Some(&dir), 42).unwrap();
+            assert!(cluster.is_primary());
+            assert_eq!(cluster.epoch(), 1);
+        }
+        // A restart restores the epoch; --primary is refused (epoch !=
+        // 0) and the node rejoins as a replica — roles are never
+        // persisted.
+        let cluster = ClusterRuntime::new(&config, Some(&dir), 42).unwrap();
+        assert!(!cluster.is_primary(), "roles are not persisted");
+        assert_eq!(cluster.epoch(), 1);
+        assert_eq!(cluster.data_epoch(), 1);
+        assert_eq!(cluster.timeline_spec(), "1:42");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commands_without_a_cluster_answer_not_clustered() {
+        let store = SketchStore::new(SketchConfig::with_slots(16).seed(1));
+        let state = ServerState::in_memory(store, ServerConfig::default());
+        for reply in [
+            lease_command(&state, &["LEASE", "a", "1", "0"]),
+            vote_command(&state, &["VOTE", "a", "1", "0", "0"]),
+            handoff_command(&state, &["HANDOFF", "1", "F", "1", "2", "3", "0"]),
+            promote_command(&state),
+            demote_command(&state),
+        ] {
+            assert!(reply.starts_with("ERR not clustered"), "{reply}");
+        }
+    }
+}

@@ -295,9 +295,14 @@ fn json_safe(raw: &str, max: usize) -> String {
 /// The `/healthz` verdict: `200` iff storage is healthy, the rolling
 /// audit Jaccard MAE sits inside twice the offline Hoeffding envelope
 /// for the deployed `k` (the OPERATIONS.md §9 alert rule), *and* — on a
-/// read replica — replication lag sits inside the `--repl-lag-slo`
-/// budget (the §11 alert rule). Legs with nothing to report pass
-/// vacuously.
+/// read replica — *durable* replication lag (`primary_seq -
+/// persisted_seq`) sits inside the `--repl-lag-slo` budget (the §11
+/// alert rule; an in-memory replica's persisted seq tracks its applied
+/// seq, so the check degrades gracefully). Legs with nothing to report
+/// pass vacuously. In cluster mode the body also carries a `failover`
+/// object (epoch, role, writable, believed primary) so one scrape
+/// answers "who is the primary right now" — informational only, the
+/// verdict does not depend on it.
 fn healthz(state: &ServerState) -> Response {
     let storage_ok = !state.storage_degraded();
     let k = state.read_store().config().slots();
@@ -318,39 +323,71 @@ fn healthz(state: &ServerState) -> Response {
         }
         None => (true, "null".to_string()),
     };
-    let (repl_ok, repl_json) = match (state.replica_runtime(), state.primary_repl()) {
-        (Some(runtime), _) => (
-            !runtime.lag_exceeds_slo(),
-            format!(
-                "{{\"role\":\"replica\",\"primary\":\"{}\",\"connected\":{},\
-                 \"applied_seq\":{},\"primary_seq\":{},\"lag_edges\":{},\"lag_slo\":{}}}",
-                runtime.primary_addr,
-                runtime.connected(),
-                runtime.applied_seq(),
-                runtime.primary_seq(),
-                runtime.lag(),
-                runtime.lag_slo,
-            ),
-        ),
-        (None, Some(repl)) => {
-            // A primary's own health does not depend on its replicas —
-            // lag is surfaced for alerting, never flips this endpoint.
-            let (connected, max_lag) = repl.lag_overview();
-            (
-                true,
-                format!(
-                    "{{\"role\":\"primary\",\"replicas_connected\":{connected},\
-                     \"max_lag_edges\":{max_lag}}}"
-                ),
-            )
+    // A cluster node carries a replica runtime in both roles; route on
+    // the *current* role, not on which structs exist.
+    let (repl_ok, repl_json) = if state.is_replica() {
+        match state.replica_runtime() {
+            Some(runtime) => {
+                let primary = state
+                    .cluster()
+                    .and_then(|c| c.believed_primary())
+                    .unwrap_or_else(|| runtime.primary_addr.clone());
+                (
+                    !runtime.lag_exceeds_slo(),
+                    format!(
+                        "{{\"role\":\"replica\",\"primary\":\"{primary}\",\"connected\":{},\
+                         \"applied_seq\":{},\"persisted_seq\":{},\"primary_seq\":{},\
+                         \"lag_edges\":{},\"durable_lag_edges\":{},\"lag_slo\":{}}}",
+                        runtime.connected(),
+                        runtime.applied_seq(),
+                        runtime.persisted_seq(),
+                        runtime.primary_seq(),
+                        runtime.lag(),
+                        runtime.durable_lag(),
+                        runtime.lag_slo,
+                    ),
+                )
+            }
+            None => (true, "null".to_string()),
         }
-        (None, None) => (true, "null".to_string()),
+    } else {
+        match state.primary_repl() {
+            Some(repl) => {
+                // A primary's own health does not depend on its replicas —
+                // lag is surfaced for alerting, never flips this endpoint.
+                let (connected, max_lag) = repl.lag_overview();
+                (
+                    true,
+                    format!(
+                        "{{\"role\":\"primary\",\"replicas_connected\":{connected},\
+                         \"max_lag_edges\":{max_lag}}}"
+                    ),
+                )
+            }
+            None => (true, "null".to_string()),
+        }
     };
+    let failover_json =
+        match state.cluster() {
+            Some(cluster) => {
+                format!(
+            "{{\"epoch\":{},\"role\":\"{}\",\"writable\":{},\"lease_ms\":{},\"primary\":{}}}",
+            cluster.epoch(),
+            if cluster.is_primary() { "primary" } else { "replica" },
+            cluster.writable_now(),
+            cluster.lease_ms(),
+            cluster
+                .believed_primary()
+                .map_or_else(|| "null".to_string(), |p| format!("\"{p}\"")),
+        )
+            }
+            None => "null".to_string(),
+        };
     let healthy = storage_ok && audit_ok && repl_ok;
     let body = format!(
         "{{\"schema\":\"streamlink.healthz.v1\",\"status\":\"{}\",\"storage_ok\":{storage_ok},\
          \"audit_ok\":{audit_ok},\"repl_ok\":{repl_ok},\"uptime_secs\":{},\"audit\":{audit_json},\
-         \"replication\":{repl_json}}}",
+         \"replication\":{repl_json},\"failover\":{failover_json}}}",
         if healthy { "ok" } else { "degraded" },
         state.uptime_secs()
     );
@@ -453,6 +490,76 @@ mod tests {
         assert!(r.body.contains("\"status\":\"degraded\""), "{}", r.body);
         assert!(r.body.contains("\"repl_ok\":false"), "{}", r.body);
         assert!(r.body.contains("\"lag_edges\":1001"), "{}", r.body);
+        // The durable watermark rides along: the SLO verdict is driven
+        // by persisted_seq, not just applied_seq.
+        assert!(r.body.contains("\"persisted_seq\":0"), "{}", r.body);
+        assert!(r.body.contains("\"durable_lag_edges\":1001"), "{}", r.body);
+    }
+
+    #[test]
+    fn healthz_slo_uses_the_durable_watermark_not_the_applied_one() {
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:9".into(),
+            "durable-lag-test".into(),
+            1_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        let s = ServerState::replica(store, ServerConfig::default(), Arc::clone(&runtime));
+        // Everything applied AND persisted up to the primary's seq:
+        // healthy even at a high watermark.
+        runtime.seed_applied(2_000);
+        runtime.note_primary_seq(2_000);
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        // Applied keeps up but the journal stalls: the durable lag
+        // blows the SLO even though lag_edges stays 0.
+        runtime.set_persisted(500);
+        runtime.note_primary_seq(2_000);
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(r.body.contains("\"lag_edges\":0"), "{}", r.body);
+        assert!(r.body.contains("\"durable_lag_edges\":1500"), "{}", r.body);
+    }
+
+    #[test]
+    fn healthz_reports_the_failover_leg_in_cluster_mode() {
+        use crate::server::failover::{ClusterConfig, ClusterRuntime};
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let config = ClusterConfig {
+            advertise: "127.0.0.1:7101".into(),
+            peers: vec!["127.0.0.1:7102".into()],
+            lease: Duration::from_millis(200),
+            bootstrap_primary: true,
+        };
+        let cluster = Arc::new(ClusterRuntime::new(&config, None, 0).unwrap());
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:7102".into(),
+            "127.0.0.1:7101".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        let s =
+            ServerState::with_cluster(store, None, 0, ServerConfig::default(), runtime, cluster);
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"failover\":{\"epoch\":1"), "{}", r.body);
+        assert!(r.body.contains("\"role\":\"primary\""), "{}", r.body);
+        assert!(r.body.contains("\"writable\":true"), "{}", r.body);
+        assert!(
+            r.body.contains("\"primary\":\"127.0.0.1:7101\""),
+            "{}",
+            r.body
+        );
+        // Non-clustered servers report the leg as null.
+        let plain = state();
+        let r = respond(&plain, "GET", "/healthz");
+        assert!(r.body.contains("\"failover\":null"), "{}", r.body);
     }
 
     #[test]

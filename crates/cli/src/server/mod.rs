@@ -16,6 +16,10 @@
 //! * [`replication`] — WAL shipping: the primary's bounded ship ring
 //!   and `REPL` command family, and the replica's puller thread with
 //!   anti-entropy (see `docs/OPERATIONS.md` §11).
+//! * [`failover`] — cluster mode (`--peers`): the lease/vote/handoff
+//!   wire handlers around [`streamlink_core::failover`], the single
+//!   cluster loop that replaces the plain puller, and the epoch fence
+//!   in front of every write.
 //!
 //! ## Lifecycle
 //!
@@ -34,6 +38,7 @@
 //! stays fast and the journal stays short.
 
 pub mod connection;
+pub mod failover;
 pub mod http;
 pub mod persistence;
 pub mod protocol;
@@ -140,6 +145,10 @@ pub struct ServerState {
     /// Replica-side replication: where the primary is and how far apply
     /// has gotten (`None` on primaries).
     replica: Option<Arc<replication::ReplicaRuntime>>,
+    /// Cluster membership and the failover state machine (`None`
+    /// outside `--peers` mode). Cluster nodes carry *both* `repl` and
+    /// `replica`, switching sides as their role changes.
+    cluster: Option<Arc<failover::ClusterRuntime>>,
 }
 
 impl ServerState {
@@ -177,6 +186,45 @@ impl ServerState {
         state
     }
 
+    /// A read replica with its own data directory: applied WAL entries
+    /// are journaled locally (see `replication::apply_entry`), so a
+    /// restart resumes from the local disk seq instead of re-pulling
+    /// the world. The caller seeds the runtime's applied seq from the
+    /// recovery high-water mark.
+    #[must_use]
+    pub fn durable_replica(
+        store: SketchStore,
+        persist: Persist,
+        snapshot_seq: u64,
+        config: ServerConfig,
+        runtime: Arc<replication::ReplicaRuntime>,
+    ) -> Self {
+        let mut state = Self::new(store, Some(persist), snapshot_seq, config);
+        state.repl = None; // replicas do not re-ship
+        state.replica = Some(runtime);
+        state
+    }
+
+    /// A failover-cluster node. Unlike [`Self::replica`], it keeps its
+    /// ship ring (a promotion turns it into the serving primary) and may
+    /// carry a data directory (durable replicas journal what they
+    /// apply). Whether it currently *acts* as a replica is decided by
+    /// the cluster runtime's role, not by construction.
+    #[must_use]
+    pub fn with_cluster(
+        store: SketchStore,
+        persist: Option<Persist>,
+        snapshot_seq: u64,
+        config: ServerConfig,
+        runtime: Arc<replication::ReplicaRuntime>,
+        cluster: Arc<failover::ClusterRuntime>,
+    ) -> Self {
+        let mut state = Self::new(store, persist, snapshot_seq, config);
+        state.replica = Some(runtime);
+        state.cluster = Some(cluster);
+        state
+    }
+
     fn new(
         store: SketchStore,
         persist: Option<Persist>,
@@ -207,6 +255,7 @@ impl ServerState {
             auditor,
             repl,
             replica: None,
+            cluster: None,
         }
     }
 
@@ -233,9 +282,10 @@ impl ServerState {
     }
 
     /// Applies one edge: journal first (when persistence is on), then
-    /// the in-memory store. Returns only after the edge is at least
-    /// crash-durable — callers ack the client on `Ok` and must not on
-    /// `Err`.
+    /// the in-memory store. Returns the seq the write was assigned
+    /// (WAL/ship-ring; the post-insert edge count on bare in-memory
+    /// servers), and only after the edge is at least crash-durable —
+    /// callers ack the client on `Ok` and must not on `Err`.
     ///
     /// The seq comes from the journal's own high-water mark, not the
     /// store's edge count: after recovery has quarantined corrupt
@@ -248,7 +298,7 @@ impl ServerState {
     /// injected fault; the store is then left untouched, so an errored
     /// (un-acked) edge is never half-applied, and the server keeps
     /// serving reads.
-    pub fn insert_edge(&self, u: VertexId, v: VertexId) -> io::Result<()> {
+    pub fn insert_edge(&self, u: VertexId, v: VertexId) -> io::Result<u64> {
         // Cheap hash check first: only audited edges pay for the two
         // pre-insert degree lookups and the auditor lock.
         let audit = self.auditor.as_ref().filter(|a| a.wants(u) || a.wants(v));
@@ -265,6 +315,7 @@ impl ServerState {
             wal_seq = Some(seq);
         }
         store.insert_edge(u, v);
+        let mut assigned = wal_seq;
         // Ship-ring record happens under the store write lock, so a
         // `REPL SNAPSHOT` (read store, then ring) always sees a ring
         // seq consistent with the captured store.
@@ -273,14 +324,15 @@ impl ServerState {
             match wal_seq {
                 Some(seq) => log.record(JournalEntry { seq, u, v }),
                 None => {
-                    log.assign_and_record(u, v);
+                    assigned = Some(log.assign_and_record(u, v));
                 }
             }
         }
+        let assigned = assigned.unwrap_or_else(|| store.edges_processed());
         if let (Some(a), Some((du, dv))) = (audit, degrees_before) {
             a.observe_edge(u, v, du, dv);
         }
-        Ok(())
+        Ok(assigned)
     }
 
     /// Primary-side replication state, when this node ships WAL entries.
@@ -295,10 +347,21 @@ impl ServerState {
         self.replica.as_ref()
     }
 
-    /// Whether this node is a read replica (writes get `ERR readonly`).
+    /// Cluster failover state, when this node runs with `--peers`.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&Arc<failover::ClusterRuntime>> {
+        self.cluster.as_ref()
+    }
+
+    /// Whether this node currently acts as a read replica (writes get
+    /// `ERR readonly MOVED ...`). Static for classic replicas; for
+    /// cluster nodes it follows the live failover role.
     #[must_use]
     pub fn is_replica(&self) -> bool {
-        self.replica.is_some()
+        match &self.cluster {
+            Some(cluster) => !cluster.is_primary(),
+            None => self.replica.is_some(),
+        }
     }
 
     /// The auditor's current rolling error state, if auditing is on.
@@ -439,8 +502,19 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     } else {
         None
     };
-    let repl_thread = match &state.replica {
-        Some(runtime) => {
+    let repl_thread = match (&state.cluster, &state.replica) {
+        // Cluster mode: one loop owns both sides — it pulls while the
+        // node is a replica and maintains the lease while it is primary.
+        (Some(cluster), _) => {
+            let st = Arc::clone(state);
+            let cl = Arc::clone(cluster);
+            Some(
+                thread::Builder::new()
+                    .name("failover".into())
+                    .spawn(move || failover::cluster_loop(&st, &cl))?,
+            )
+        }
+        (None, Some(runtime)) => {
             let st = Arc::clone(state);
             let rt = Arc::clone(runtime);
             Some(
@@ -449,7 +523,7 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
                     .spawn(move || replication::replica_loop(&st, &rt))?,
             )
         }
-        None => None,
+        (None, None) => None,
     };
 
     state.refresh_observable_gauges();

@@ -42,6 +42,20 @@
 //! REPL SNAPSHOT            -> `OK snapshot seq=<s> len=<n> crc32=<hex>`
 //!                             + one line of StoreSnapshot JSON
 //! REPL STATUS              -> one-line role/lag summary (either role)
+//! REPL LEASE <id> <epoch> <applied_seq>
+//!                          -> OK lease epoch=<e> primary_seq=<s>
+//!                             tl=<timeline> | ERR fenced epoch=<e> |
+//!                             ERR not-primary epoch=<e>  (cluster mode)
+//! REPL VOTE <cand> <epoch> <seq>
+//!                          -> OK vote granted epoch=<e> |
+//!                             ERR vote denied epoch=<e>  (cluster mode)
+//! REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc>
+//!                          -> OK handoff accepted seq=<s> | OK handoff
+//!                             dup seq=<s> | ERR handoff gap expected=<s>
+//! PROMOTE                  -> OK promoted epoch=<e>  (forced primary;
+//!                             cluster mode only)
+//! DEMOTE                   -> OK demoted epoch=<e>   (step down;
+//!                             cluster mode only)
 //! HELLO [v2|v3]            -> OK fmt=v2 | OK fmt=v3; `HELLO v3`
 //!                             switches this connection's *responses*
 //!                             to length-prefixed binary envelopes
@@ -57,7 +71,9 @@
 //! next command on, every response is one self-delimiting
 //! [`streamlink_core::codec`] envelope: a `TEXT_FRAME` carrying the
 //! usual response text, except `REPL PULL`, whose batch ships as a
-//! single `WAL_BATCH` record (CRC-covered, seqs delta-encoded). Because
+//! single `WAL_BATCH` record (CRC-covered, seqs delta-encoded), and
+//! `REPL SNAPSHOT`, whose body ships as one compressed
+//! `SNAPSHOT_FRAME` record. Because
 //! frames are length-prefixed, clients can pipeline requests freely —
 //! multi-line responses like `METRICS` arrive as one frame instead of a
 //! parse-until-`OK` stream. The switch is per-connection and one-way;
@@ -66,15 +82,19 @@
 //! ## Numeric argument hardening
 //!
 //! Every numeric protocol argument goes through one checked parser
-//! ([`parse_bounded`]): ASCII digits only (no sign, no leading zeros,
+//! (`parse_bounded`): ASCII digits only (no sign, no leading zeros,
 //! no whitespace), overflow-checked, and bounds-checked against the
 //! argument's documented range. Violations answer a uniform
 //! `ERR bad-arg <name>: expected integer in <range>, got <raw>` line.
 //!
-//! On a read replica (`--replicate-from`), `INSERT` and the serving
-//! `REPL` subcommands answer `ERR readonly ...` — writes go to the
-//! primary; reads, `STATS`/`METRICS`/`HEALTH`, and `REPL STATUS` keep
-//! serving.
+//! On a read replica (`--replicate-from` or a non-primary cluster
+//! node), `INSERT` and the serving `REPL` subcommands answer
+//! `ERR readonly MOVED <addr> ...` — the fourth whitespace-separated
+//! token is the primary's address, machine-parseable so clients can
+//! follow the redirect; reads, `STATS`/`METRICS`/`HEALTH`, and
+//! `REPL STATUS` keep serving. A cluster primary that lost its
+//! majority lease answers `ERR fenced epoch=<e>` instead — see
+//! [`super::failover`].
 //!
 //! Command words are case-insensitive, and leading/trailing whitespace —
 //! including the `\r` a telnet/netcat client leaves on every line — is
@@ -165,6 +185,7 @@ fn command_span_name(line: &str) -> &'static str {
         "TRACE" => "cmd.trace",
         "HEALTH" => "cmd.health",
         "REPL" => "cmd.repl",
+        "PROMOTE" | "DEMOTE" => "cmd.failover",
         "HELLO" => "cmd.hello",
         "PING" => "cmd.ping",
         "QUIT" => "cmd.quit",
@@ -316,18 +337,29 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             _ => "ERR DEGREE takes exactly one vertex id".into(),
         },
         "REPL" => super::replication::repl_command(state, &args),
+        "PROMOTE" => {
+            if !args.is_empty() {
+                return "ERR PROMOTE takes no arguments".into();
+            }
+            super::failover::promote_command(state)
+        }
+        "DEMOTE" => {
+            if !args.is_empty() {
+                return "ERR DEMOTE takes no arguments".into();
+            }
+            super::failover::demote_command(state)
+        }
         "INSERT" => {
-            // Replicas are readonly: their store is the primary's, and
-            // a local write would fork it permanently.
-            if let Some(runtime) = state.replica_runtime() {
-                return format!(
-                    "ERR readonly: this node replicates from {}; send writes to the primary",
-                    runtime.primary_addr
-                );
+            // Replicas are readonly (their store is the primary's, and
+            // a local write would fork it permanently) and a fenced
+            // cluster primary must not ack what a successor may not
+            // have; the failover gate covers both.
+            if let Some(refusal) = super::failover::write_gate(state) {
+                return refusal;
             }
             match pair(&args) {
                 Ok((u, v)) => match state.insert_edge(u, v) {
-                    Ok(()) => {
+                    Ok(_) => {
                         metrics::global().server_inserts.incr();
                         let guard = state.read_store();
                         t.note_degree(guard.degree(u).max(guard.degree(v)));
@@ -395,14 +427,15 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         other => format!(
             "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
              RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
-             HEALTH, REPL, HELLO, PING, QUIT)"
+             HEALTH, REPL, PROMOTE, DEMOTE, HELLO, PING, QUIT)"
         ),
     }
 }
 
 /// Executes one command in binary (v3) response mode: the reply is one
 /// self-delimiting codec envelope — a `WAL_BATCH` record for
-/// `REPL PULL`, a `TEXT_FRAME` carrying the usual response text for
+/// `REPL PULL`, a compressed `SNAPSHOT_FRAME` for `REPL SNAPSHOT`, a
+/// `TEXT_FRAME` carrying the usual response text for
 /// everything else. Returns the frame bytes plus whether the connection
 /// should close (`QUIT`). Shares [`handle_command`]'s instrumentation,
 /// so `METRICS` counts traffic identically in both modes.
@@ -415,14 +448,28 @@ pub(super) fn handle_command_framed(state: &ServerState, line: &str) -> (Vec<u8>
         metrics::global().server_commands.incr();
         return (codec::encode_text_frame("OK fmt=v3"), false);
     }
-    let is_pull = first.eq_ignore_ascii_case("REPL")
-        && words.next().is_some_and(|w| w.eq_ignore_ascii_case("PULL"));
-    if is_pull {
+    let sub = if first.eq_ignore_ascii_case("REPL") {
+        words.next().map(str::to_ascii_uppercase)
+    } else {
+        None
+    };
+    // PULL and SNAPSHOT have dedicated binary encodings (WAL_BATCH and
+    // SNAPSHOT_FRAME); every other REPL subcommand stays a text frame.
+    if matches!(sub.as_deref(), Some("PULL" | "SNAPSHOT")) {
         let m = metrics::global();
         let t = trace::op("cmd.repl");
         let start = std::time::Instant::now();
         let args: Vec<&str> = line.split_whitespace().skip(1).collect();
-        let (frame, is_err) = super::replication::repl_pull_frame(state, &args);
+        let (frame, is_err) = if sub.as_deref() == Some("PULL") {
+            super::replication::repl_pull_frame(state, &args)
+        } else if args.len() == 1 {
+            super::replication::repl_snapshot_frame(state)
+        } else {
+            (
+                codec::encode_text_frame("ERR REPL SNAPSHOT takes no arguments"),
+                true,
+            )
+        };
         drop(t);
         m.server_commands.incr();
         if is_err {
@@ -1044,6 +1091,58 @@ mod tests {
         // Serving REPL subcommands are also refused on a replica.
         assert!(handle_command(&s, "REPL HELLO x").starts_with("ERR readonly"));
         assert!(handle_command(&s, "REPL STATUS").starts_with("OK role=replica"));
+    }
+
+    #[test]
+    fn readonly_refusal_is_moved_with_parseable_address() {
+        let s = replica();
+        let nack = handle_command(&s, "INSERT 1 2");
+        assert!(
+            nack.starts_with("ERR readonly MOVED 127.0.0.1:9 "),
+            "{nack}"
+        );
+        // The 4th whitespace token is the address a client should
+        // redirect to — the machine-parseable part of the hint.
+        assert_eq!(nack.split_whitespace().nth(3), Some("127.0.0.1:9"));
+        // CRLF/case tolerance holds on the refusal path too.
+        let nack = handle_command(&s, "  insert 1 2\r");
+        assert_eq!(nack.split_whitespace().nth(3), Some("127.0.0.1:9"));
+    }
+
+    #[test]
+    fn promote_and_demote_answer_err_outside_cluster_mode() {
+        let s = state();
+        assert!(handle_command(&s, "PROMOTE").starts_with("ERR not clustered"));
+        assert!(handle_command(&s, "DEMOTE").starts_with("ERR not clustered"));
+        // CRLF/case tolerant, argument-strict.
+        assert!(handle_command(&s, "  promote \r").starts_with("ERR not clustered"));
+        assert!(handle_command(&s, "\tDemote\r").starts_with("ERR not clustered"));
+        assert!(handle_command(&s, "PROMOTE now").starts_with("ERR PROMOTE takes"));
+        assert!(handle_command(&s, "DEMOTE now").starts_with("ERR DEMOTE takes"));
+        // They appear in the help text.
+        let help = handle_command(&s, "FROBNICATE");
+        assert!(
+            help.contains("PROMOTE") && help.contains("DEMOTE"),
+            "{help}"
+        );
+    }
+
+    #[test]
+    fn framed_repl_snapshot_ships_a_compressed_frame() {
+        use streamlink_core::codec;
+        let s = state();
+        let (frame, closing) = handle_command_framed(&s, "REPL SNAPSHOT");
+        assert!(!closing);
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.mode, codec::MODE_SNAPSHOT_FRAME);
+        let (seq, body) = codec::decode_snapshot_frame_body(env.body).unwrap();
+        assert_eq!(seq, 40, "fixture pre-seeds 40 edges");
+        let json = String::from_utf8(body).unwrap();
+        assert!(json.contains("\"slots\""), "snapshot JSON: {json:.40}");
+        // Arguments are still refused, as a text frame.
+        let (frame, _) = handle_command_framed(&s, "REPL SNAPSHOT now");
+        let env = codec::decode_envelope(&frame).unwrap();
+        assert_eq!(env.mode, codec::MODE_TEXT_FRAME);
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //! REPL STATUS                one-line role/lag summary (any node)
 //! ```
 //!
+//! Cluster mode (`--peers`) adds three more subcommands — `REPL LEASE`,
+//! `REPL VOTE` and `REPL HANDOFF` — which delegate to
+//! [`super::failover`]: lease renewal drives epoch fencing, votes drive
+//! automatic promotion, and handoff re-acks a dead timeline's tail on
+//! the new primary.
+//!
 //! ## Binary WAL shipping (wire format v3)
 //!
 //! A replica launched with `--format v3` offers `HELLO v3` right after
@@ -72,7 +78,7 @@ use streamlink_core::{
 };
 
 use super::protocol::parse_bounded;
-use super::{ServerState, POLL_INTERVAL};
+use super::{persistence, ServerState, POLL_INTERVAL};
 
 /// Hard cap on entries served per `REPL PULL`, whatever the client asks.
 pub const MAX_PULL_BATCH: usize = 65_536;
@@ -159,7 +165,7 @@ impl PrimaryRepl {
 
     /// Records that replica `id` has applied everything up to
     /// `acked_seq` (it asked for entries strictly after that mark).
-    fn note_peer(&self, id: &str, acked_seq: u64) {
+    pub(super) fn note_peer(&self, id: &str, acked_seq: u64) {
         self.peers().insert(
             id.to_string(),
             PeerStatus {
@@ -215,6 +221,7 @@ pub struct ReplicaRuntime {
     pub tuning: ReplicaTuning,
     applier: Mutex<ReplicaApplier>,
     applied_seq: AtomicU64,
+    persisted_seq: AtomicU64,
     primary_seq: AtomicU64,
     connected: AtomicBool,
 }
@@ -230,19 +237,46 @@ impl ReplicaRuntime {
             tuning,
             applier: Mutex::new(ReplicaApplier::new(0)),
             applied_seq: AtomicU64::new(0),
+            persisted_seq: AtomicU64::new(0),
             primary_seq: AtomicU64::new(0),
             connected: AtomicBool::new(false),
         }
     }
 
-    fn applier(&self) -> MutexGuard<'_, ReplicaApplier> {
+    pub(super) fn applier(&self) -> MutexGuard<'_, ReplicaApplier> {
         self.applier.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Re-seats the dedup gate at `seq`, treating everything up to it as
+    /// both applied and locally durable. Used when a durable replica
+    /// boots from its own journal, and when a demoted primary rejoins as
+    /// a replica of the new timeline.
+    pub fn seed_applied(&self, seq: u64) {
+        self.applier().reset_to(seq);
+        self.applied_seq.store(seq, Ordering::Relaxed);
+        self.persisted_seq.store(seq, Ordering::Relaxed);
     }
 
     /// Highest primary seq reflected in the local store.
     #[must_use]
     pub fn applied_seq(&self) -> u64 {
         self.applied_seq.load(Ordering::Relaxed)
+    }
+
+    /// Highest primary seq that is durable on this node's own disk (for
+    /// in-memory replicas this tracks `applied_seq`, since RAM is all
+    /// the durability they have).
+    #[must_use]
+    pub fn persisted_seq(&self) -> u64 {
+        self.persisted_seq.load(Ordering::Relaxed)
+    }
+
+    pub(super) fn note_persisted(&self, seq: u64) {
+        self.persisted_seq.fetch_max(seq, Ordering::Relaxed);
+    }
+
+    pub(super) fn set_persisted(&self, seq: u64) {
+        self.persisted_seq.store(seq, Ordering::Relaxed);
     }
 
     /// The primary's WAL position as of the last exchange.
@@ -264,10 +298,20 @@ impl ReplicaRuntime {
         self.primary_seq().saturating_sub(self.applied_seq())
     }
 
+    /// Durable lag in edges: entries the primary has that this replica
+    /// has not journaled locally. This is the mark that matters for
+    /// failover (a promoted replica can only serve what survived on its
+    /// own disk), so the SLO judges it rather than the in-memory mark.
+    #[must_use]
+    pub fn durable_lag(&self) -> u64 {
+        self.primary_seq().saturating_sub(self.persisted_seq())
+    }
+
     /// Whether the lag SLO is currently violated (the `/healthz` leg).
+    /// Judged on [`Self::durable_lag`].
     #[must_use]
     pub fn lag_exceeds_slo(&self) -> bool {
-        self.lag() > self.lag_slo
+        self.durable_lag() > self.lag_slo
     }
 
     /// Whether the puller currently holds a live link to the primary.
@@ -276,7 +320,7 @@ impl ReplicaRuntime {
         self.connected.load(Ordering::Relaxed)
     }
 
-    fn set_connected(&self, up: bool) {
+    pub(super) fn set_connected(&self, up: bool) {
         self.connected.store(up, Ordering::Relaxed);
     }
 
@@ -285,6 +329,7 @@ impl ReplicaRuntime {
         let m = metrics::global();
         m.repl_connected.set(u64::from(self.connected()));
         m.repl_applied_seq.set(self.applied_seq());
+        m.repl_persisted_seq.set(self.persisted_seq());
         m.repl_lag_edges.set(self.lag());
     }
 }
@@ -299,10 +344,14 @@ impl ReplicaRuntime {
 #[must_use]
 pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
     let Some(sub) = args.first() else {
-        return "ERR REPL takes a subcommand (HELLO, PULL, SNAPSHOT, STATUS)".into();
+        return "ERR REPL takes a subcommand (HELLO, PULL, SNAPSHOT, STATUS, LEASE, VOTE, HANDOFF)"
+            .into();
     };
     match sub.to_ascii_uppercase().as_str() {
         "STATUS" => status_line(state),
+        "LEASE" => super::failover::lease_command(state, args),
+        "VOTE" => super::failover::vote_command(state, args),
+        "HANDOFF" => super::failover::handoff_command(state, args),
         "HELLO" => {
             let Some(repl) = serving_repl(state) else {
                 return repl_unavailable(state);
@@ -313,8 +362,15 @@ pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
                     let store = state.read_store();
                     let cfg = store.config();
                     let last_seq = repl.log().last_seq();
+                    let cluster_part = match state.cluster() {
+                        Some(cluster) => {
+                            format!(" epoch={} tl={}", cluster.epoch(), cluster.timeline_spec())
+                        }
+                        None => String::new(),
+                    };
                     format!(
-                        "OK repl hello primary_seq={last_seq} slots={} seed={} backend={}",
+                        "OK repl hello primary_seq={last_seq} slots={} seed={} \
+                         backend={}{cluster_part}",
                         cfg.slots(),
                         cfg.base_seed(),
                         backend_name(cfg.hasher_backend()),
@@ -355,7 +411,10 @@ pub fn repl_command(state: &ServerState, args: &[&str]) -> String {
                 Err(e) => format!("ERR cannot serialize snapshot: {e}"),
             }
         }
-        other => format!("ERR unknown REPL subcommand {other:?} (HELLO, PULL, SNAPSHOT, STATUS)"),
+        other => format!(
+            "ERR unknown REPL subcommand {other:?} \
+             (HELLO, PULL, SNAPSHOT, STATUS, LEASE, VOTE, HANDOFF)"
+        ),
     }
 }
 
@@ -414,6 +473,31 @@ pub(super) fn repl_pull_frame(state: &ServerState, args: &[&str]) -> (Vec<u8>, b
     }
 }
 
+/// Binary-mode `REPL SNAPSHOT`: the whole payload as one compressed
+/// `SNAPSHOT_FRAME` envelope (the envelope CRC covers the body, so no
+/// separate len/crc header is needed); errors ship as a `TEXT_FRAME`
+/// carrying the usual `ERR` line. Returns `(frame bytes, is_err)`.
+pub(super) fn repl_snapshot_frame(state: &ServerState) -> (Vec<u8>, bool) {
+    let Some(repl) = serving_repl(state) else {
+        return (codec::encode_text_frame(&repl_unavailable(state)), true);
+    };
+    let (snap, seq) = {
+        let store = state.read_store();
+        let seq = repl.log().last_seq();
+        (StoreSnapshot::capture(&store), seq)
+    };
+    match serde_json::to_string(&snap) {
+        Ok(json) => {
+            metrics::global().repl_snapshots_shipped.incr();
+            (codec::encode_snapshot_frame(seq, json.as_bytes()), false)
+        }
+        Err(e) => (
+            codec::encode_text_frame(&format!("ERR cannot serialize snapshot: {e}")),
+            true,
+        ),
+    }
+}
+
 /// The primary-side replication handle, unless this node is a replica
 /// (replicas do not re-ship).
 fn serving_repl(state: &ServerState) -> Option<&PrimaryRepl> {
@@ -424,12 +508,25 @@ fn serving_repl(state: &ServerState) -> Option<&PrimaryRepl> {
     }
 }
 
+/// The machine-parseable redirect every write/serve refusal carries:
+/// `ERR readonly MOVED <addr> ...`. The fourth whitespace token is the
+/// primary's address (`?` when no primary is currently known), so
+/// clients can follow it with `split_whitespace().nth(3)`.
+pub(super) fn readonly_moved(state: &ServerState) -> String {
+    let target = if let Some(cluster) = state.cluster() {
+        cluster.believed_primary()
+    } else {
+        state
+            .replica_runtime()
+            .map(|runtime| runtime.primary_addr.clone())
+    };
+    let target = target.unwrap_or_else(|| "?".into());
+    format!("ERR readonly MOVED {target} (this node is a read replica; retry on the primary)")
+}
+
 fn repl_unavailable(state: &ServerState) -> String {
-    if let Some(runtime) = state.replica_runtime() {
-        format!(
-            "ERR readonly: this node replicates from {}; replicate from the primary",
-            runtime.primary_addr
-        )
+    if state.is_replica() {
+        readonly_moved(state)
     } else {
         "ERR replication disabled (--repl-buffer 0)".into()
     }
@@ -448,15 +545,28 @@ fn render_pull(entries: &[JournalEntry], last_seq: u64) -> String {
     out
 }
 
-/// The `REPL STATUS` line for either role.
+/// The `REPL STATUS` line for either role. Cluster nodes append their
+/// fencing epoch; non-cluster lines keep the exact v2 shape.
 fn status_line(state: &ServerState) -> String {
-    if let Some(runtime) = state.replica_runtime() {
+    let epoch_part = match state.cluster() {
+        Some(cluster) => format!(" epoch={}", cluster.epoch()),
+        None => String::new(),
+    };
+    if state.is_replica() {
+        let Some(runtime) = state.replica_runtime() else {
+            return "ERR replica state missing".into();
+        };
+        let primary = state
+            .cluster()
+            .and_then(|cluster| cluster.believed_primary())
+            .unwrap_or_else(|| runtime.primary_addr.clone());
         return format!(
-            "OK role=replica primary={} connected={} applied_seq={} primary_seq={} \
-             lag_edges={} lag_slo={}",
-            runtime.primary_addr,
+            "OK role=replica primary={} connected={} applied_seq={} persisted_seq={} \
+             primary_seq={} lag_edges={} lag_slo={}{epoch_part}",
+            primary,
             u64::from(runtime.connected()),
             runtime.applied_seq(),
+            runtime.persisted_seq(),
             runtime.primary_seq(),
             runtime.lag(),
             runtime.lag_slo,
@@ -471,7 +581,7 @@ fn status_line(state: &ServerState) -> String {
             let (connected, max_lag) = repl.lag_overview();
             format!(
                 "OK role=primary last_seq={last_seq} buffered={buffered} \
-                 replicas_connected={connected} max_lag_edges={max_lag}"
+                 replicas_connected={connected} max_lag_edges={max_lag}{epoch_part}"
             )
         }
         None => "OK role=primary replication=disabled".into(),
@@ -503,9 +613,7 @@ fn parse_backend(name: &str) -> Option<HasherBackend> {
 pub fn replica_loop(state: &Arc<ServerState>, runtime: &Arc<ReplicaRuntime>) {
     // Cheap deterministic jitter source, seeded per replica id so a
     // fleet restarting together does not reconnect in lockstep.
-    let mut rng = Lcg::new(runtime.id.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
-        acc.rotate_left(8) ^ u64::from(b)
-    }));
+    let mut rng = Lcg::new(id_seed(&runtime.id));
     let mut backoff = runtime.tuning.backoff_base;
     while !state.shutdown_requested() {
         match run_session(state, runtime, &mut backoff) {
@@ -524,12 +632,24 @@ pub fn replica_loop(state: &Arc<ServerState>, runtime: &Arc<ReplicaRuntime>) {
                     delay.as_millis(),
                 );
                 sleep_poll(state, delay);
-                backoff = (backoff * 2).min(runtime.tuning.backoff_max);
+                backoff = next_backoff(backoff, runtime.tuning.backoff_max);
             }
         }
     }
     runtime.set_connected(false);
     runtime.update_gauges();
+}
+
+/// Folds a node id into a jitter seed (distinct ids, distinct phases).
+pub(super) fn id_seed(id: &str) -> u64 {
+    id.bytes().fold(0x9E37_79B9_7F4A_7C15u64, |acc, b| {
+        acc.rotate_left(8) ^ u64::from(b)
+    })
+}
+
+/// One reconnect backoff step: double, saturating at the ceiling.
+pub(super) fn next_backoff(cur: Duration, max: Duration) -> Duration {
+    cur.saturating_mul(2).min(max)
 }
 
 /// One connected session: handshake, then pull/anti-entropy until the
@@ -566,61 +686,87 @@ fn run_session(
     }
 }
 
-/// `REPL HELLO` + config adoption / divergence handling.
+/// `REPL HELLO` + config adoption / divergence handling (the classic,
+/// non-cluster handshake: a lower primary seq means a dead timeline and
+/// forces a full local reset).
 fn handshake(
     state: &ServerState,
     runtime: &ReplicaRuntime,
     link: &mut PrimaryLink,
 ) -> io::Result<()> {
-    link.send(&format!("REPL HELLO {}", runtime.id))?;
-    let line = link.recv()?;
-    let hello =
-        parse_hello(&line).ok_or_else(|| bad_data(format!("bad REPL HELLO response: {line:?}")))?;
-    let primary_cfg = SketchConfig::with_slots(hello.slots)
-        .seed(hello.seed)
-        .backend(hello.backend);
-    {
+    let hello = say_hello(&runtime.id, link)?;
+    adopt_config(state, runtime, &hello)?;
+    if hello.primary_seq < runtime.applied_seq() {
+        // The primary restarted into a lower seq space: our state
+        // belongs to a dead timeline. Start over.
+        eprintln!(
+            "replication: primary seq {} behind local {}; full resync",
+            hello.primary_seq,
+            runtime.applied_seq(),
+        );
         let mut store = state.write_store();
         let mut applier = runtime.applier();
-        if *store.config() != primary_cfg {
-            if store.vertex_count() == 0 && store.edges_processed() == 0 {
-                // Fresh replica: adopt the primary's sketch shape.
-                *store = SketchStore::new(primary_cfg);
-                applier.reset_to(0);
-            } else {
-                return Err(bad_data(format!(
-                    "sketch config mismatch with primary (local {:?}, primary {:?}); \
-                     wipe this replica or fix the flags",
-                    store.config(),
-                    primary_cfg
-                )));
-            }
-        }
-        if hello.primary_seq < applier.applied_seq() {
-            // The primary restarted into a lower seq space: our state
-            // belongs to a dead timeline. Start over.
-            eprintln!(
-                "replication: primary seq {} behind local {}; full resync",
-                hello.primary_seq,
-                applier.applied_seq(),
-            );
-            *store = SketchStore::new(primary_cfg);
-            applier.reset_to(0);
-            metrics::global().repl_resyncs.incr();
-        }
+        *store = SketchStore::new(*store.config());
+        applier.reset_to(0);
+        metrics::global().repl_resyncs.incr();
         runtime
             .applied_seq
             .store(applier.applied_seq(), Ordering::Relaxed);
+        runtime.set_persisted(0);
     }
     runtime.note_primary_seq(hello.primary_seq);
     Ok(())
 }
 
-struct Hello {
-    primary_seq: u64,
+/// Sends `REPL HELLO` and parses the reply. No local side effects.
+pub(super) fn say_hello(id: &str, link: &mut PrimaryLink) -> io::Result<Hello> {
+    link.send(&format!("REPL HELLO {id}"))?;
+    let line = link.recv()?;
+    parse_hello(&line).ok_or_else(|| bad_data(format!("bad REPL HELLO response: {line:?}")))
+}
+
+/// Adopts the primary's sketch shape when this node is still empty;
+/// errors on a genuine config mismatch.
+pub(super) fn adopt_config(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    hello: &Hello,
+) -> io::Result<()> {
+    let primary_cfg = SketchConfig::with_slots(hello.slots)
+        .seed(hello.seed)
+        .backend(hello.backend);
+    let mut store = state.write_store();
+    let mut applier = runtime.applier();
+    if *store.config() != primary_cfg {
+        if store.vertex_count() == 0 && store.edges_processed() == 0 {
+            // Fresh replica: adopt the primary's sketch shape.
+            *store = SketchStore::new(primary_cfg);
+            applier.reset_to(0);
+            runtime.set_persisted(0);
+        } else {
+            return Err(bad_data(format!(
+                "sketch config mismatch with primary (local {:?}, primary {:?}); \
+                 wipe this replica or fix the flags",
+                store.config(),
+                primary_cfg
+            )));
+        }
+    }
+    runtime
+        .applied_seq
+        .store(applier.applied_seq(), Ordering::Relaxed);
+    Ok(())
+}
+
+pub(super) struct Hello {
+    pub(super) primary_seq: u64,
     slots: usize,
     seed: u64,
     backend: HasherBackend,
+    /// The remote's fencing epoch (cluster primaries only).
+    pub(super) epoch: Option<u64>,
+    /// The remote's rendered timeline (cluster primaries only).
+    pub(super) timeline: Option<String>,
 }
 
 fn parse_hello(line: &str) -> Option<Hello> {
@@ -637,12 +783,14 @@ fn parse_hello(line: &str) -> Option<Hello> {
         slots: field("slots=")?.parse().ok()?,
         seed: field("seed=")?.parse().ok()?,
         backend: parse_backend(&field("backend=")?)?,
+        epoch: field("epoch=").and_then(|v| v.parse().ok()),
+        timeline: field("tl="),
     })
 }
 
 /// One `REPL PULL` round. Returns whether the round made progress (so
 /// the caller knows to skip the idle sleep).
-fn pull_once(
+pub(super) fn pull_once(
     state: &ServerState,
     runtime: &ReplicaRuntime,
     link: &mut PrimaryLink,
@@ -720,10 +868,33 @@ fn pull_once_binary(
 }
 
 /// Applies one shipped entry through the seq-dedup gate, under the store
-/// write lock (lock order: store, then applier — same as every path).
-fn apply_entry(state: &ServerState, runtime: &ReplicaRuntime, entry: JournalEntry) {
+/// write lock (lock order: store, then applier, then persist — a strict
+/// extension of the insert path's store → persist order).
+///
+/// Durable replicas journal the primary's entry (with the primary's seq
+/// — the journal tolerates gaps) before applying it, so a restart
+/// resumes from the local disk seq instead of seq 0, and a promoted
+/// replica's journal becomes the new timeline's WAL.
+pub(super) fn apply_entry(state: &ServerState, runtime: &ReplicaRuntime, entry: JournalEntry) {
     let mut store = state.write_store();
     let mut applier = runtime.applier();
+    if entry.seq > applier.applied_seq() {
+        match state.persist_guard() {
+            Some(mut persist) => match persist.journal.append(entry) {
+                Ok(()) => runtime.note_persisted(entry.seq),
+                Err(e) => {
+                    // Keep applying in memory: availability over local
+                    // durability. persisted_seq stops advancing, so the
+                    // durable-lag SLO (and /healthz) surface the stall.
+                    eprintln!(
+                        "replication: journal append failed at seq {}: {e}",
+                        entry.seq
+                    );
+                }
+            },
+            None => runtime.note_persisted(entry.seq),
+        }
+    }
     match applier.offer(&mut store, entry) {
         ApplyOutcome::Applied => {
             metrics::global().repl_entries_applied.incr();
@@ -740,12 +911,86 @@ fn apply_entry(state: &ServerState, runtime: &ReplicaRuntime, entry: JournalEntr
 /// One anti-entropy round: pull a primary snapshot and union it into the
 /// local store with the idempotent join, then advance the dedup gate to
 /// the snapshot's seq.
-fn snapshot_round(
+pub(super) fn snapshot_round(
     state: &ServerState,
     runtime: &ReplicaRuntime,
     link: &mut PrimaryLink,
 ) -> io::Result<()> {
+    snapshot_round_with(state, runtime, link, false)
+}
+
+/// [`snapshot_round`] with an explicit replace switch: `force_replace`
+/// installs the snapshot wholesale even when its seq is ahead of the
+/// local mark — the rejoin path after a failover, where the local store
+/// belongs to a dead timeline whose seq numbers no longer mean anything.
+pub(super) fn snapshot_round_with(
+    state: &ServerState,
+    runtime: &ReplicaRuntime,
+    link: &mut PrimaryLink,
+    force_replace: bool,
+) -> io::Result<()> {
     link.send("REPL SNAPSHOT")?;
+    let (seq, json) = recv_snapshot(link)?;
+    let snap: StoreSnapshot =
+        serde_json::from_str(&json).map_err(|e| bad_data(format!("bad snapshot JSON: {e}")))?;
+    let incoming = snap.restore();
+    {
+        let mut store = state.write_store();
+        let mut applier = runtime.applier();
+        if *store.config() != *incoming.config() {
+            if store.vertex_count() == 0 && store.edges_processed() == 0 {
+                *store = incoming;
+                applier.reset_to(seq);
+            } else {
+                return Err(bad_data("snapshot config mismatch with local store"));
+            }
+        } else if force_replace || seq < applier.applied_seq() {
+            // The snapshot is from a different timeline than our applied
+            // mark (a primary reset the handshake did not see, or a
+            // post-failover rejoin). Replace wholesale.
+            *store = incoming;
+            applier.reset_to(seq);
+            metrics::global().repl_resyncs.incr();
+        } else {
+            merge_join(&mut store, &incoming)
+                .map_err(|e| bad_data(format!("anti-entropy join failed: {e}")))?;
+            applier.advance_to(seq);
+        }
+        runtime
+            .applied_seq
+            .store(applier.applied_seq(), Ordering::Relaxed);
+    }
+    runtime.note_primary_seq(seq);
+    realign_durable(state, runtime, seq);
+    Ok(())
+}
+
+/// Receives one snapshot payload. On a v3 link the primary ships a
+/// single compressed `SNAPSHOT_FRAME` envelope (its CRC covers the
+/// body, so there is no separate len/crc line); text links — and v3
+/// links talking to an older primary — use the
+/// `OK snapshot seq= len= crc32=` header plus one JSON line.
+fn recv_snapshot(link: &mut PrimaryLink) -> io::Result<(u64, String)> {
+    if link.binary && link.pending.is_empty() {
+        match link.recv_frame()? {
+            (codec::MODE_SNAPSHOT_FRAME, body) => {
+                let (seq, bytes) =
+                    codec::decode_snapshot_frame_body(&body).map_err(io::Error::from)?;
+                let json =
+                    String::from_utf8(bytes).map_err(|_| bad_data("snapshot frame not UTF-8"))?;
+                return Ok((seq, json));
+            }
+            (codec::MODE_TEXT_FRAME, body) => {
+                // An older primary wraps the text response in a frame;
+                // queue its lines and fall through to the text parser.
+                let text = String::from_utf8(body).map_err(|_| bad_data("text frame not UTF-8"))?;
+                link.pending.extend(text.split('\n').map(str::to_string));
+            }
+            (mode, _) => {
+                return Err(bad_data(format!("unexpected frame mode {mode:#04x}")));
+            }
+        }
+    }
     let header = link.recv()?;
     let rest = header
         .strip_prefix("OK snapshot ")
@@ -771,43 +1016,49 @@ fn snapshot_round(
             json.len()
         )));
     }
-    let snap: StoreSnapshot =
-        serde_json::from_str(&json).map_err(|e| bad_data(format!("bad snapshot JSON: {e}")))?;
-    let incoming = snap.restore();
-    {
-        let mut store = state.write_store();
-        let mut applier = runtime.applier();
-        if *store.config() != *incoming.config() {
-            if store.vertex_count() == 0 && store.edges_processed() == 0 {
-                *store = incoming;
-                applier.reset_to(seq);
-            } else {
-                return Err(bad_data("snapshot config mismatch with local store"));
-            }
-        } else if seq < applier.applied_seq() {
-            // The snapshot is from an older timeline than our applied
-            // mark — only possible after a primary reset the handshake
-            // did not see. Replace wholesale.
-            *store = incoming;
-            applier.reset_to(seq);
-            metrics::global().repl_resyncs.incr();
+    Ok((seq, json))
+}
+
+/// After a snapshot install moved the applied mark without journal
+/// entries backing it, realign a durable node's journal to the new seq
+/// space and checkpoint immediately, so a restart recovers the
+/// snapshotted state instead of replaying a journal with a hole.
+fn realign_durable(state: &ServerState, runtime: &ReplicaRuntime, seq: u64) {
+    let realigned = {
+        let Some(mut persist) = state.persist_guard() else {
+            // In-memory node: RAM is the only durability there is.
+            runtime.set_persisted(runtime.applied_seq());
+            return;
+        };
+        if persist.journal.next_seq() == seq + 1 {
+            false
         } else {
-            merge_join(&mut store, &incoming)
-                .map_err(|e| bad_data(format!("anti-entropy join failed: {e}")))?;
-            applier.advance_to(seq);
+            match persist.journal.rotate(seq + 1) {
+                Ok(()) => true,
+                Err(e) => {
+                    eprintln!(
+                        "replication: journal realign to seq {} failed: {e}",
+                        seq + 1
+                    );
+                    return;
+                }
+            }
         }
-        runtime
-            .applied_seq
-            .store(applier.applied_seq(), Ordering::Relaxed);
+    };
+    if realigned {
+        match persistence::checkpoint_now(state) {
+            Ok(_) => runtime.set_persisted(seq),
+            Err(e) => eprintln!("replication: post-resync checkpoint failed: {e}"),
+        }
+    } else {
+        runtime.note_persisted(seq);
     }
-    runtime.note_primary_seq(seq);
-    Ok(())
 }
 
 /// The replica's client connection to the primary. Requests are always
 /// text lines; responses are text lines too until `HELLO v3` upgrades
 /// the link, after which they arrive as codec envelopes.
-struct PrimaryLink {
+pub(super) struct PrimaryLink {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     /// Whether the primary agreed to v3 framed responses.
@@ -819,7 +1070,7 @@ struct PrimaryLink {
 }
 
 impl PrimaryLink {
-    fn connect(addr: &str, wire: WireFormat) -> io::Result<Self> {
+    pub(super) fn connect(addr: &str, wire: WireFormat) -> io::Result<Self> {
         let target = addr
             .to_socket_addrs()?
             .next()
@@ -846,12 +1097,12 @@ impl PrimaryLink {
         Ok(link)
     }
 
-    fn send(&mut self, line: &str) -> io::Result<()> {
+    pub(super) fn send(&mut self, line: &str) -> io::Result<()> {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")
     }
 
-    fn recv(&mut self) -> io::Result<String> {
+    pub(super) fn recv(&mut self) -> io::Result<String> {
         if !self.binary {
             return self.recv_text_line();
         }
@@ -890,13 +1141,13 @@ impl PrimaryLink {
     }
 }
 
-fn bad_data(msg: impl ToString) -> io::Error {
+pub(super) fn bad_data(msg: impl ToString) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 /// Sleeps up to `total`, polling the shutdown flag so draining stays
 /// prompt even mid-backoff.
-fn sleep_poll(state: &ServerState, total: Duration) {
+pub(super) fn sleep_poll(state: &ServerState, total: Duration) {
     let deadline = Instant::now() + total;
     while !state.shutdown_requested() {
         let now = Instant::now();
@@ -909,10 +1160,10 @@ fn sleep_poll(state: &ServerState, total: Duration) {
 
 /// Minimal multiplicative congruential generator for backoff jitter —
 /// quality does not matter here, only cheap decorrelation.
-struct Lcg(u64);
+pub(super) struct Lcg(u64);
 
 impl Lcg {
-    fn new(seed: u64) -> Self {
+    pub(super) fn new(seed: u64) -> Self {
         Lcg(seed | 1)
     }
 
@@ -926,7 +1177,7 @@ impl Lcg {
 }
 
 /// `base` scaled to a uniform value in `[0.75 * base, 1.25 * base)`.
-fn jittered(rng: &mut Lcg, base: Duration) -> Duration {
+pub(super) fn jittered(rng: &mut Lcg, base: Duration) -> Duration {
     let nanos = base.as_nanos().min(u128::from(u64::MAX)) as u64;
     let spread = nanos / 2;
     let offset = if spread == 0 { 0 } else { rng.next() % spread };
@@ -1166,6 +1417,102 @@ mod tests {
         apply_entry(&state, &runtime, e);
         assert_eq!(state.read_store().edges_processed(), 1);
         assert_eq!(runtime.applied_seq(), 1);
+    }
+
+    #[test]
+    fn hello_parses_optional_epoch_and_timeline() {
+        let hello = parse_hello(
+            "OK repl hello primary_seq=9 slots=32 seed=5 backend=mixer epoch=3 tl=1:0,2:7",
+        )
+        .expect("parses");
+        assert_eq!(hello.epoch, Some(3));
+        assert_eq!(hello.timeline.as_deref(), Some("1:0,2:7"));
+        let plain =
+            parse_hello("OK repl hello primary_seq=9 slots=32 seed=5 backend=mixer").unwrap();
+        assert_eq!(plain.epoch, None);
+        assert_eq!(plain.timeline, None);
+    }
+
+    #[test]
+    fn readonly_refusals_carry_a_machine_parseable_moved_hint() {
+        let (state, _runtime) = replica_state();
+        let refusal = repl_command(&state, &["HELLO", "x"]);
+        assert!(
+            refusal.starts_with("ERR readonly MOVED 127.0.0.1:1 "),
+            "{refusal}"
+        );
+        // The documented client recipe: the 4th whitespace token is the
+        // primary address.
+        assert_eq!(
+            refusal.split_whitespace().nth(3),
+            Some("127.0.0.1:1"),
+            "{refusal}"
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_saturates_at_the_ceiling() {
+        let max = Duration::from_secs(5);
+        let mut cur = Duration::from_millis(100);
+        let mut seen = Vec::new();
+        for _ in 0..8 {
+            cur = next_backoff(cur, max);
+            seen.push(cur.as_millis() as u64);
+        }
+        assert_eq!(seen, vec![200, 400, 800, 1600, 3200, 5000, 5000, 5000]);
+        // Jitter keeps every step inside [0.75x, 1.25x), so the whole
+        // schedule is bounded by 1.25 * ceiling.
+        let mut rng = Lcg::new(3);
+        for &ms in &seen {
+            let d = jittered(&mut rng, Duration::from_millis(ms));
+            assert!(d >= Duration::from_millis(ms * 3 / 4), "{d:?}");
+            assert!(d < Duration::from_millis(ms * 5 / 4), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn handshake_resets_a_replica_whose_timeline_died() {
+        use std::net::TcpListener;
+
+        let (state, runtime) = replica_state();
+        // The replica has applied up to seq 5 on the old timeline.
+        for seq in 1..=5u64 {
+            apply_entry(
+                &state,
+                &runtime,
+                JournalEntry {
+                    seq,
+                    u: VertexId(seq),
+                    v: VertexId(seq + 10),
+                },
+            );
+        }
+        assert_eq!(runtime.applied_seq(), 5);
+        assert_eq!(state.read_store().edges_processed(), 5);
+
+        // A scripted primary that restarted into a lower seq space.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let fake = thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.starts_with("REPL HELLO"), "{line}");
+            let mut writer = stream;
+            writer
+                .write_all(b"OK repl hello primary_seq=1 slots=32 seed=5 backend=mixer\n")
+                .unwrap();
+        });
+        let mut link = PrimaryLink::connect(&addr, WireFormat::TextV2).unwrap();
+        handshake(&state, &runtime, &mut link).unwrap();
+        fake.join().unwrap();
+
+        // Everything local was wiped: the dead timeline's seqs mean
+        // nothing, so the replica starts over from 0.
+        assert_eq!(runtime.applied_seq(), 0);
+        assert_eq!(state.read_store().edges_processed(), 0);
+        assert_eq!(runtime.primary_seq(), 1);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Live automatic-failover test against the real `streamlink` binary.
+//!
+//! Boots a three-node cluster over loopback TCP with a short lease,
+//! SIGKILLs the primary mid-stream, and drives a client that follows
+//! `ERR readonly MOVED <addr>` hints until its writes land on the
+//! self-promoted successor. The revived old primary must come back
+//! fenced (its `--primary` flag loudly ignored), rejoin as a replica,
+//! and reconverge to the new timeline's exact answers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SLOTS: &str = "64";
+const SEED: &str = "42";
+const LEASE_MS: &str = "300";
+
+/// Reserves `n` distinct loopback ports by binding and dropping OS
+/// listeners. Cluster mode needs every member's address known up front,
+/// so `--addr 127.0.0.1:0` is not an option here.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// One cluster member as a child process on a fixed address.
+struct Node {
+    child: Child,
+    addr: String,
+}
+
+impl Node {
+    /// Boots `streamlink serve` in cluster mode and waits for its
+    /// `LISTENING` + `CLUSTER` announcement lines.
+    fn start(addrs: &[String], me: usize, data_dir: &std::path::Path, primary: bool) -> Node {
+        let peers: Vec<&str> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != me)
+            .map(|(_, a)| a.as_str())
+            .collect();
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_streamlink"));
+        cmd.arg("serve")
+            .args(["--addr", &addrs[me], "--slots", SLOTS, "--seed", SEED])
+            .args(["--peers", &peers.join(",")])
+            .args(["--lease-ms", LEASE_MS, "--repl-poll-ms", "20"])
+            .args(["--data-dir", data_dir.to_str().unwrap()])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if primary {
+            cmd.args(["--primary", "true"]);
+        }
+        let mut child = cmd.spawn().expect("spawn streamlink serve");
+        let stdout = child.stdout.take().expect("child stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if line.starts_with("CLUSTER ") {
+                        break;
+                    }
+                }
+                _ => panic!("node {me} exited before announcing CLUSTER"),
+            }
+        }
+        std::thread::spawn(move || for _ in lines {});
+        Node {
+            child,
+            addr: addrs[me].clone(),
+        }
+    }
+
+    /// SIGKILL: the crash. Nothing gets to run, flush, or clean up.
+    fn kill(&mut self) {
+        self.child.kill().expect("SIGKILL child");
+        self.child.wait().expect("reap child");
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Option<Client> {
+        let conn = TcpStream::connect(addr).ok()?;
+        conn.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+        conn.set_nodelay(true).ok()?;
+        let reader = BufReader::new(conn.try_clone().ok()?);
+        Some(Client { conn, reader })
+    }
+
+    fn ask(&mut self, cmd: &str) -> Option<String> {
+        writeln!(self.conn, "{cmd}").ok()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).ok()?;
+        if line.is_empty() {
+            return None; // peer closed the connection
+        }
+        Some(line.trim_end().to_string())
+    }
+}
+
+/// Extracts `key=value` from a status line.
+fn field(line: &str, key: &str) -> u64 {
+    line.split_whitespace()
+        .find_map(|kv| kv.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no {key}= in {line:?}"))
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric {key}= in {line:?}"))
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Blocks until the node at `addr` reports `applied_seq=want`.
+fn wait_applied(addr: &str, want: u64, what: &str) {
+    wait_for(what, || {
+        Client::connect(addr)
+            .and_then(|mut c| c.ask("REPL STATUS"))
+            .is_some_and(|s| s.contains("role=replica") && field(&s, "applied_seq") == want)
+    });
+}
+
+/// The exact failover client contract: start anywhere, follow the 4th
+/// whitespace token of `ERR readonly MOVED <addr>` replies, retry
+/// through fencing and dead peers, and return the address that finally
+/// acked the write. Rotation through `addrs` covers hints that still
+/// point at a corpse mid-election.
+fn insert_following_moved(addrs: &[String], start: &str, u: u64, v: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut target = start.to_string();
+    let mut rotate = 0usize;
+    while Instant::now() < deadline {
+        let reply = Client::connect(&target).and_then(|mut c| c.ask(&format!("INSERT {u} {v}")));
+        match reply.as_deref() {
+            Some("OK inserted") => return target,
+            Some(r) if r.starts_with("ERR readonly MOVED ") => {
+                let hint = r.split_whitespace().nth(3).expect("MOVED carries an addr");
+                if hint == target {
+                    std::thread::sleep(Duration::from_millis(50));
+                } else {
+                    target = hint.to_string();
+                }
+            }
+            // Fenced, electing, or dead: try the next member.
+            _ => {
+                std::thread::sleep(Duration::from_millis(50));
+                rotate += 1;
+                target.clone_from(&addrs[rotate % addrs.len()]);
+            }
+        }
+    }
+    panic!("no node acked INSERT {u} {v} within the deadline");
+}
+
+const QUERY_PAIRS: &[(u64, u64)] = &[(1, 2), (1, 3), (3, 4), (2, 999)];
+
+/// Every estimate the node serves for the standard query pairs.
+fn answers(addr: &str) -> Vec<String> {
+    let mut client = Client::connect(addr).expect("connect for answers");
+    let mut out = Vec::new();
+    for &(u, v) in QUERY_PAIRS {
+        for cmd in [
+            format!("JACCARD {u} {v}"),
+            format!("CN {u} {v}"),
+            format!("AA {u} {v}"),
+            format!("DEGREE {u}"),
+        ] {
+            out.push(client.ask(&cmd).expect("answer"));
+        }
+    }
+    out
+}
+
+#[test]
+fn sigkilled_primary_fails_over_and_client_follows_moved() {
+    let addrs = reserve_addrs(3);
+    let base =
+        std::env::temp_dir().join(format!("streamlink-failover-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs: Vec<_> = (0..3).map(|i| base.join(format!("n{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    let mut n0 = Node::start(&addrs, 0, &dirs[0], true);
+    let n1 = Node::start(&addrs, 1, &dirs[1], false);
+    let n2 = Node::start(&addrs, 2, &dirs[2], false);
+
+    // A fresh primary is fenced until a majority of leases arrives;
+    // the first ack means the cluster is writable.
+    let mut feed = Client::connect(&n0.addr).expect("connect primary");
+    wait_for("the bootstrap primary to collect majority leases", || {
+        feed.ask("INSERT 1 100").as_deref() == Some("OK inserted")
+    });
+    // Seed the epoch-1 timeline and let both replicas fully converge,
+    // so either is eligible to succeed the primary.
+    for w in 1..30u64 {
+        assert_eq!(
+            feed.ask(&format!("INSERT {} {}", 1 + w % 5, 100 + w))
+                .as_deref(),
+            Some("OK inserted"),
+        );
+    }
+    wait_applied(&n1.addr, 30, "n1 to catch up");
+    wait_applied(&n2.addr, 30, "n2 to catch up");
+
+    // A replica refuses writes with a machine-parseable hint at the
+    // *current* primary (the hint is `?` until discovery settles).
+    wait_for("n1 to hint MOVED at the bootstrap primary", || {
+        Client::connect(&n1.addr)
+            .and_then(|mut c| c.ask("INSERT 9 9000"))
+            .is_some_and(|refusal| {
+                assert!(refusal.starts_with("ERR readonly MOVED "), "{refusal}");
+                refusal.split_whitespace().nth(3) == Some(n0.addr.as_str())
+            })
+    });
+
+    // Crash the primary. Within a few lease windows one replica must
+    // detect the expired lease, win the vote, and self-promote into
+    // epoch 2 — and a MOVED-following client's write must land on it.
+    n0.kill();
+    let new_primary = insert_following_moved(&addrs, &n1.addr, 7, 7000);
+    assert_ne!(new_primary, n0.addr, "the corpse cannot serve writes");
+    for w in 0..10u64 {
+        insert_following_moved(&addrs, &new_primary, 8, 8000 + w);
+    }
+    let promoted = Client::connect(&new_primary)
+        .and_then(|mut c| c.ask("REPL STATUS"))
+        .expect("new primary status");
+    assert!(promoted.starts_with("OK role=primary"), "{promoted}");
+    assert!(field(&promoted, "epoch") >= 2, "{promoted}");
+
+    // Revive the old primary on its old address, still flying the
+    // --primary flag: the persisted epoch must refuse the re-bootstrap,
+    // and the node must rejoin the new timeline as a fenced replica.
+    let n0 = Node::start(&addrs, 0, &dirs[0], true);
+    wait_for("revived n0 to rejoin as a replica of the successor", || {
+        Client::connect(&n0.addr)
+            .and_then(|mut c| c.ask("REPL STATUS"))
+            .is_some_and(|s| {
+                s.starts_with("OK role=replica")
+                    && field(&s, "epoch") >= 2
+                    && field(&s, "lag_edges") == 0
+            })
+    });
+    wait_for("revived n0 to hint MOVED at the successor", || {
+        Client::connect(&n0.addr)
+            .and_then(|mut c| c.ask("INSERT 9 9001"))
+            .is_some_and(|refusal| {
+                assert!(refusal.starts_with("ERR readonly MOVED "), "{refusal}");
+                refusal.split_whitespace().nth(3) == Some(new_primary.as_str())
+            })
+    });
+
+    // Every surviving node converges to the successor's exact answers.
+    let reference = answers(&new_primary);
+    let others: Vec<&Node> = [&n0, &n1, &n2]
+        .into_iter()
+        .filter(|node| node.addr != new_primary)
+        .collect();
+    for node in others {
+        let addr = node.addr.clone();
+        wait_for("node to match the new primary's answers", || {
+            answers(&addr) == reference
+        });
+    }
+
+    drop((n0, n1, n2));
+    let _ = std::fs::remove_dir_all(&base);
+}

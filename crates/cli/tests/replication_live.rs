@@ -197,11 +197,14 @@ fn replicas_converge_serve_reads_and_refuse_writes() {
     assert_eq!(answers(&mut r1.connect()), reference, "r1 diverges");
     assert_eq!(answers(&mut r2.connect()), reference, "r2 diverges");
 
-    // Writes on a replica are refused with a pointer at the primary.
+    // Writes on a replica are refused with a machine-parseable MOVED
+    // hint: the 4th whitespace token is the primary's address.
     let mut write = r1.connect();
     let refusal = write.ask("INSERT 9 9000");
-    assert!(
-        refusal.starts_with("ERR readonly: this node replicates from "),
+    assert!(refusal.starts_with("ERR readonly MOVED "), "{refusal}");
+    assert_eq!(
+        refusal.split_whitespace().nth(3),
+        Some(primary.addr.as_str()),
         "{refusal}"
     );
     assert_eq!(write.ask("DEGREE 9000"), "OK 0", "refused write leaked");
@@ -212,6 +215,9 @@ fn replicas_converge_serve_reads_and_refuse_writes() {
     assert!(r1_status.starts_with("OK role=replica"), "{r1_status}");
     assert_eq!(field(&r1_status, "connected"), 1, "{r1_status}");
     assert_eq!(field(&r1_status, "lag_edges"), 0, "{r1_status}");
+    // The durable watermark is exposed alongside the applied one; an
+    // in-memory replica's persisted seq tracks its applied seq.
+    assert_eq!(field(&r1_status, "persisted_seq"), want, "{r1_status}");
     wait_for("primary to see two caught-up peers", || {
         let status = feed.ask("REPL STATUS");
         field(&status, "replicas_connected") == 2 && field(&status, "max_lag_edges") == 0

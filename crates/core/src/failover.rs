@@ -1,0 +1,892 @@
+//! Lease-based automatic failover: epochs, majority votes, and timelines.
+//!
+//! This module is the *pure* half of the failover design — a state
+//! machine over explicit millisecond timestamps, with no threads, no
+//! sockets, and no wall clock. The live server (`cli::server::failover`)
+//! and the E25 chaos gate (`exp_failover`) drive the exact same code,
+//! which is what lets the simulation's safety argument transfer to
+//! production.
+//!
+//! # The protocol
+//!
+//! A cluster is a fixed set of `n` nodes (configured up front, no
+//! membership changes). At any moment each node is a [`Role::Primary`]
+//! or a [`Role::Replica`]; exactly one primary may be **writable**.
+//!
+//! * **Leases.** Replicas heartbeat the primary (`REPL LEASE` on the
+//!   wire). Each successful same-epoch exchange renews two timers at
+//!   once: the replica's *lease on the primary* and the primary's
+//!   *claim on that peer*. The primary stays writable only while a
+//!   majority of the cluster (itself included) is lease-fresh — an
+//!   isolated primary therefore fences **itself** within one lease,
+//!   before anyone else can be elected (see the timing argument below).
+//! * **Elections.** A replica whose lease has been expired for a full
+//!   extra lease (plus a per-rank stagger so the most-caught-up peer
+//!   moves first) starts a candidacy for `epoch + 1` and asks every
+//!   peer for a vote. A vote is granted at most once per epoch
+//!   (persisted by durable nodes), only to candidates at least as
+//!   caught-up as the granter, and only while the granter's own lease
+//!   on the old primary is expired. A majority of grants promotes the
+//!   candidate.
+//! * **Fencing.** Every exchange carries an epoch. A node that sees a
+//!   higher epoch adopts it and steps down if it was primary; a node
+//!   that sees a lower one answers `ERR fenced`/`ERR behind` so the
+//!   stale party re-probes. Roles are never persisted: a restarted
+//!   node always comes back as a replica, so a revived old primary can
+//!   only regain writes by winning a fresh election.
+//!
+//! # Why at most one writable node at any instant
+//!
+//! Let `L` be the lease. A vote for `epoch + 1` is granted only by a
+//! node whose last successful exchange with the epoch-`e` primary is
+//! more than `2L` old (`candidacy_due` gates the candidate, and
+//! `grant_vote` gates each granter on its *own* expired lease). The
+//! primary, symmetrically, is writable only while a majority of peers
+//! exchanged within `L`. A majority of granters and the primary's
+//! freshness majority must intersect in at least one node; that node
+//! both renewed the primary within the last `L` and granted a vote
+//! after `2L` of silence — impossible on one monotonic clock, and
+//! still impossible for distinct clocks whose rates differ by less
+//! than 2×. Granting also bumps the granter's epoch, so any later
+//! exchange from it fences the old primary immediately.
+//!
+//! Acked writes that the old primary journaled but never shipped are
+//! not lost: on rejoin it *hands off* its un-replicated tail to the
+//! new timeline (see [`Timeline`]) before wholesale-resyncing.
+
+use std::collections::HashMap;
+
+/// What a node currently is. Roles are deliberately **not** persisted —
+/// a restart always rejoins as [`Role::Replica`] and must win (or
+/// discover) its way back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts writes while its majority lease holds; ships the WAL.
+    Primary,
+    /// Read-only; pulls the WAL, renews leases, votes in elections.
+    Replica,
+}
+
+/// Outcome of an incoming same-plane exchange, telling the caller what
+/// the epoch comparison implied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExchangeOutcome {
+    /// Same epoch — timers renewed, all good.
+    Ok,
+    /// The remote ran a *newer* epoch; we adopted it (and stepped down
+    /// if we were primary). The caller should re-probe for the new
+    /// primary before trusting any cached address.
+    Adopted,
+    /// The remote ran an *older* epoch. Do not renew anything; answer
+    /// with a fencing error so it re-probes.
+    RemoteStale,
+}
+
+/// An in-flight candidacy: the epoch being sought and who granted it.
+#[derive(Debug, Clone)]
+struct Candidacy {
+    epoch: u64,
+    granted: Vec<String>,
+    started_ms: u64,
+}
+
+/// The per-node failover state machine. All time parameters are plain
+/// monotonic milliseconds supplied by the caller.
+#[derive(Debug, Clone)]
+pub struct FailoverNode {
+    id: String,
+    cluster_size: usize,
+    lease_ms: u64,
+    epoch: u64,
+    role: Role,
+    /// `(epoch, candidate)` of the newest vote granted. Durable nodes
+    /// persist this — double-voting in one epoch elects two primaries.
+    voted: Option<(u64, String)>,
+    /// Replica side: last successful same-epoch exchange with the
+    /// primary (also armed at boot so a fresh node waits a full
+    /// election timeout before seeking votes).
+    last_primary_ok_ms: Option<u64>,
+    /// Primary side: per-peer time of the last same-epoch lease.
+    peer_seen_ms: HashMap<String, u64>,
+    pending: Option<Candidacy>,
+    /// Set by an operator `PROMOTE` override: writable without a
+    /// majority. Cleared the moment a higher epoch appears.
+    forced: bool,
+}
+
+impl FailoverNode {
+    /// A fresh node at epoch 0, role replica, clock not yet armed.
+    #[must_use]
+    pub fn new(id: &str, cluster_size: usize, lease_ms: u64) -> Self {
+        FailoverNode {
+            id: id.to_string(),
+            cluster_size: cluster_size.max(1),
+            lease_ms: lease_ms.max(1),
+            epoch: 0,
+            role: Role::Replica,
+            voted: None,
+            last_primary_ok_ms: None,
+            peer_seen_ms: HashMap::new(),
+            pending: None,
+            forced: false,
+        }
+    }
+
+    /// Restores persisted election state (epoch and vote) after a
+    /// restart. Role is intentionally not restorable.
+    pub fn restore(&mut self, epoch: u64, voted: Option<(u64, String)>) {
+        self.epoch = epoch;
+        self.voted = voted;
+    }
+
+    /// Claims the initial primaryship of a brand-new cluster. Only
+    /// legal at epoch 0 — on any later epoch the `--primary` flag is a
+    /// stale supervisor command line and must be ignored.
+    ///
+    /// Returns whether the claim took effect.
+    pub fn bootstrap_primary(&mut self) -> bool {
+        if self.epoch != 0 {
+            return false;
+        }
+        self.epoch = 1;
+        self.role = Role::Primary;
+        true
+    }
+
+    /// Operator override: force this node primary in a fresh epoch and
+    /// make it writable without a majority. The operator owns the
+    /// split-brain risk (documented in OPERATIONS §11.3).
+    pub fn force_promote(&mut self) -> u64 {
+        self.epoch += 1;
+        self.role = Role::Primary;
+        self.pending = None;
+        self.peer_seen_ms.clear();
+        self.forced = true;
+        self.epoch
+    }
+
+    /// Operator override: step down to replica without an election.
+    pub fn force_demote(&mut self) {
+        self.step_down();
+    }
+
+    /// This node's cluster id (its advertised address).
+    #[must_use]
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The current fencing epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current role.
+    #[must_use]
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// The `(epoch, candidate)` this node last voted for, if any.
+    #[must_use]
+    pub fn voted(&self) -> Option<&(u64, String)> {
+        self.voted.as_ref()
+    }
+
+    /// The lease window in milliseconds.
+    #[must_use]
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// Votes (including one's own) needed to win an election.
+    #[must_use]
+    pub fn majority(&self) -> usize {
+        self.cluster_size / 2 + 1
+    }
+
+    /// Starts the election clock for a node that has never heard from a
+    /// primary, so "silent since boot" is measured from boot, not 0.
+    pub fn arm(&mut self, now_ms: u64) {
+        if self.last_primary_ok_ms.is_none() {
+            self.last_primary_ok_ms = Some(now_ms);
+        }
+    }
+
+    // ---- primary side -----------------------------------------------
+
+    /// Records an incoming lease exchange from `peer` claiming
+    /// `peer_epoch`, renewing its freshness when epochs agree.
+    pub fn note_peer(&mut self, peer: &str, peer_epoch: u64, now_ms: u64) -> ExchangeOutcome {
+        if peer_epoch > self.epoch {
+            self.adopt(peer_epoch);
+            // Re-arm the election clock: an ex-primary's clock is unset
+            // after promotion, and a step-down must not leave the node
+            // permanently unable to open a candidacy.
+            self.last_primary_ok_ms = Some(now_ms);
+            return ExchangeOutcome::Adopted;
+        }
+        if peer_epoch < self.epoch {
+            return ExchangeOutcome::RemoteStale;
+        }
+        self.peer_seen_ms.insert(peer.to_string(), now_ms);
+        ExchangeOutcome::Ok
+    }
+
+    /// Until when the current majority of fresh leases keeps this
+    /// primary writable, or `None` when it is not a writable primary at
+    /// all. A single-node cluster (and a `force_promote`d node) is
+    /// writable unconditionally.
+    #[must_use]
+    pub fn writable_deadline(&self, _now_ms: u64) -> Option<u64> {
+        if self.role != Role::Primary {
+            return None;
+        }
+        if self.cluster_size == 1 || self.forced {
+            return Some(u64::MAX);
+        }
+        let needed = self.majority() - 1; // besides ourselves
+        let mut seen: Vec<u64> = self.peer_seen_ms.values().copied().collect();
+        if seen.len() < needed {
+            return None;
+        }
+        seen.sort_unstable_by(|a, b| b.cmp(a));
+        Some(seen[needed - 1].saturating_add(self.lease_ms))
+    }
+
+    /// Whether this node may ack a write *right now*.
+    #[must_use]
+    pub fn writable(&self, now_ms: u64) -> bool {
+        self.writable_deadline(now_ms)
+            .is_some_and(|until| now_ms <= until)
+    }
+
+    // ---- replica side -----------------------------------------------
+
+    /// Records a successful exchange with the primary claiming
+    /// `primary_epoch` (renewing our lease on it when epochs allow).
+    pub fn note_primary(&mut self, primary_epoch: u64, now_ms: u64) -> ExchangeOutcome {
+        if primary_epoch > self.epoch {
+            self.adopt(primary_epoch);
+            self.last_primary_ok_ms = Some(now_ms);
+            return ExchangeOutcome::Adopted;
+        }
+        if primary_epoch < self.epoch {
+            return ExchangeOutcome::RemoteStale;
+        }
+        self.last_primary_ok_ms = Some(now_ms);
+        self.pending = None; // a live same-epoch primary cancels candidacy
+        ExchangeOutcome::Ok
+    }
+
+    /// Whether our lease on the primary has lapsed (always true before
+    /// any exchange).
+    #[must_use]
+    pub fn lease_expired(&self, now_ms: u64) -> bool {
+        self.last_primary_ok_ms
+            .is_none_or(|t| now_ms.saturating_sub(t) > self.lease_ms)
+    }
+
+    /// Whether it is time to seek votes: the primary has been silent
+    /// for two full leases plus `rank` stagger slots of half a lease.
+    /// Rank 0 is the most-caught-up candidate (per the last roster the
+    /// primary shipped), so it moves before anyone else splits votes.
+    #[must_use]
+    pub fn candidacy_due(&self, now_ms: u64, rank: u64) -> bool {
+        if self.role == Role::Primary {
+            return false;
+        }
+        let Some(last) = self.last_primary_ok_ms else {
+            return false; // not armed yet
+        };
+        let wait = 2 * self.lease_ms + rank * self.lease_ms.div_ceil(2);
+        now_ms.saturating_sub(last) >= wait
+    }
+
+    /// Whether an in-flight candidacy went stale (vote split) and
+    /// should be restarted in a fresh epoch.
+    #[must_use]
+    pub fn candidacy_stale(&self, now_ms: u64) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|c| now_ms.saturating_sub(c.started_ms) >= self.lease_ms)
+    }
+
+    /// Opens a candidacy for `epoch + 1`, voting for ourselves.
+    /// Returns the epoch being sought.
+    pub fn start_candidacy(&mut self, now_ms: u64) -> u64 {
+        let target = self.epoch + 1;
+        self.epoch = target;
+        self.voted = Some((target, self.id.clone()));
+        self.pending = Some(Candidacy {
+            epoch: target,
+            granted: vec![self.id.clone()],
+            started_ms: now_ms,
+        });
+        // Each attempt consumes a full election timeout (Raft's rule):
+        // the next candidacy is due only after `2L` plus our stagger
+        // slot, not as soon as this one goes stale. A failed candidate
+        // retrying every `L` resonates with the `L`-long refusal window
+        // a grant opens on each voter — with two voters alternating in
+        // perfect anti-phase, every round collects exactly one remote
+        // grant and no election ever completes.
+        self.last_primary_ok_ms = Some(now_ms);
+        target
+    }
+
+    /// The epoch an open candidacy is seeking, if any.
+    #[must_use]
+    pub fn candidacy_epoch(&self) -> Option<u64> {
+        self.pending.as_ref().map(|c| c.epoch)
+    }
+
+    /// Decides an incoming `REPL VOTE` request. Granting adopts the
+    /// target epoch (stepping down if we were primary) and burns our
+    /// vote for it, exactly once per epoch.
+    ///
+    /// A log identity is `(data_epoch, applied_seq)` and candidates
+    /// are compared lexicographically, like Raft's up-to-date rule on
+    /// `(term, index)`: a revived ex-primary can carry a high seq on
+    /// a dead timeline, and electing it would fork below writes the
+    /// newer epoch already acknowledged. Data epoch outranks length.
+    pub fn grant_vote(
+        &mut self,
+        candidate: &str,
+        target_epoch: u64,
+        candidate_log: (u64, u64),
+        own_log: (u64, u64),
+        now_ms: u64,
+    ) -> bool {
+        if target_epoch < self.epoch {
+            return false;
+        }
+        // The vote is burned once per epoch: re-grant the same
+        // candidate idempotently (retries), refuse everyone else.
+        if let Some((e, who)) = &self.voted {
+            if *e == target_epoch {
+                return who == candidate;
+            }
+        }
+        // Our own view must agree the old primary is gone: a replica
+        // still under lease refuses; a primary refuses while writable.
+        // Checked before any epoch adoption so a lone spammer cannot
+        // fence a healthy primary through its own voters.
+        let agrees_dead = match self.role {
+            Role::Replica => self.lease_expired(now_ms),
+            Role::Primary => !self.writable(now_ms),
+        };
+        if !agrees_dead {
+            return false;
+        }
+        if target_epoch > self.epoch {
+            // Adopt the higher epoch even when the vote below is
+            // refused (Raft's term rule, with the vote left unburned):
+            // epochs must converge, or a behind candidate's stale-
+            // candidacy retries race the epoch above every viable
+            // candidate's target and no election ever completes.
+            self.adopt(target_epoch);
+        }
+        if candidate_log < own_log {
+            return false; // only at-least-as-caught-up candidates
+        }
+        self.voted = Some((target_epoch, candidate.to_string()));
+        // Granting resets the election clock (also the Raft rule):
+        // without this, a second candidate could harvest the same
+        // voters at a higher epoch while the first winner's
+        // grant-seeded leases are still fresh — two writable
+        // primaries at once.
+        self.last_primary_ok_ms = Some(now_ms);
+        true
+    }
+
+    /// Records a granted vote for the open candidacy. Returns `true`
+    /// when this grant reached a majority and we promoted: role flips
+    /// to primary and each granter counts as a fresh lease.
+    pub fn record_grant(&mut self, from: &str, now_ms: u64) -> bool {
+        let Some(c) = self.pending.as_mut() else {
+            return false;
+        };
+        if !c.granted.iter().any(|g| g == from) {
+            c.granted.push(from.to_string());
+        }
+        if c.granted.len() < self.majority() {
+            return false;
+        }
+        let c = self.pending.take().expect("candidacy present");
+        self.epoch = c.epoch;
+        self.role = Role::Primary;
+        self.forced = false;
+        self.peer_seen_ms.clear();
+        for g in &c.granted {
+            if g != &self.id {
+                self.peer_seen_ms.insert(g.clone(), now_ms);
+            }
+        }
+        self.last_primary_ok_ms = None;
+        true
+    }
+
+    /// Adopts a higher epoch learned out-of-band (probe, error reply)
+    /// at `now_ms`. Returns whether we were primary and had to step
+    /// down. Re-arms the election clock so a stepped-down node can
+    /// still campaign if the new epoch's primary never contacts it.
+    pub fn observe_epoch(&mut self, epoch: u64, now_ms: u64) -> bool {
+        if epoch <= self.epoch {
+            return false;
+        }
+        let was_primary = self.role == Role::Primary;
+        self.adopt(epoch);
+        self.last_primary_ok_ms = Some(now_ms);
+        was_primary
+    }
+
+    fn adopt(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch);
+        self.epoch = epoch;
+        self.step_down();
+    }
+
+    fn step_down(&mut self) {
+        self.role = Role::Replica;
+        self.forced = false;
+        self.pending = None;
+        self.peer_seen_ms.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Timelines and handoff
+// ---------------------------------------------------------------------
+
+/// The fork history of a cluster's WAL plus the handoff high-water
+/// marks that make rejoins exactly-once.
+///
+/// Every promotion records a **fork**: `(epoch, base_seq)` saying
+/// "epoch `e`'s WAL extends the shared prefix `..= base_seq`". A node
+/// rejoining from an older epoch compares its applied seq against the
+/// earliest fork above its data epoch: everything at or below that
+/// base is already shared; everything above it is an un-replicated
+/// tail that the old timeline acked but the new one never saw. The
+/// rejoiner **hands off** that tail (`REPL HANDOFF`) entry by entry;
+/// the primary re-acks each as a fresh write in the current epoch.
+///
+/// Handoffs dedup by a per-old-epoch high-water mark: an entry is
+/// accepted only when its seq is exactly `highwater + 1`, so two
+/// survivors offering the same tail (their journals are bytewise
+/// identical for shared seqs) apply it once, and a gap stops the
+/// handoff rather than silently skipping an acked write.
+///
+/// Each accepted handoff also records its **provenance**: the new seq
+/// the re-ack got on the current timeline, mapped back to the
+/// `(old_epoch, old_seq)` it came from. Without this, a re-acked entry
+/// exists in two journals — the origin's (under the old epoch) and the
+/// re-acking primary's (as a plain new write) — and if that primary
+/// dies before replicating, both copies would later be handed off
+/// under *different* old-epoch high-water marks and applied twice. A
+/// rejoiner consults [`Timeline::reack_origin`] and hands such entries
+/// off under their origin identity, so every copy dedups against the
+/// same mark.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Timeline {
+    /// `(epoch, base_seq)` sorted ascending by epoch.
+    forks: Vec<(u64, u64)>,
+    /// `(old_epoch, highwater_seq)` of handoffs already folded in.
+    handoff: Vec<(u64, u64)>,
+    /// `(new_seq, old_epoch, old_seq)` provenance of accepted re-acks,
+    /// ascending by `new_seq`.
+    reacks: Vec<(u64, u64, u64)>,
+}
+
+impl Timeline {
+    /// An empty timeline (no forks recorded yet).
+    #[must_use]
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records a promotion: epoch `epoch`'s WAL extends seqs
+    /// `..= base_seq`. Idempotent for an identical re-record.
+    pub fn record_fork(&mut self, epoch: u64, base_seq: u64) {
+        if let Some(&(e, b)) = self.forks.last() {
+            if e == epoch {
+                debug_assert_eq!(b, base_seq, "fork re-recorded with a different base");
+                return;
+            }
+            debug_assert!(e < epoch, "forks must be recorded in epoch order");
+        }
+        self.forks.push((epoch, base_seq));
+    }
+
+    /// Latest fork's epoch (0 when no fork is recorded yet).
+    #[must_use]
+    pub fn latest_epoch(&self) -> u64 {
+        self.forks.last().map_or(0, |&(e, _)| e)
+    }
+
+    /// Base seq of the earliest fork strictly above `epoch` — the point
+    /// where a node whose data belongs to `epoch` diverges from the
+    /// current timeline. `None` when no later fork exists (the node's
+    /// data is a plain prefix).
+    #[must_use]
+    pub fn fork_after(&self, epoch: u64) -> Option<u64> {
+        self.forks
+            .iter()
+            .find(|&&(e, _)| e > epoch)
+            .map(|&(_, b)| b)
+    }
+
+    /// Current handoff high-water for tails from `old_epoch` (starts at
+    /// the divergence base).
+    #[must_use]
+    pub fn handoff_highwater(&self, old_epoch: u64) -> Option<u64> {
+        let base = self.fork_after(old_epoch)?;
+        Some(
+            self.handoff
+                .iter()
+                .find(|&&(e, _)| e == old_epoch)
+                .map_or(base, |&(_, hw)| hw.max(base)),
+        )
+    }
+
+    /// Decides one handoff entry `(old_epoch, seq)` re-acked as
+    /// `new_seq` on the current timeline: accepted exactly when
+    /// contiguous with the high-water mark; duplicates and gaps are
+    /// refused. Acceptance records the re-ack's provenance.
+    pub fn accept_handoff(&mut self, old_epoch: u64, seq: u64, new_seq: u64) -> bool {
+        let Some(hw) = self.handoff_highwater(old_epoch) else {
+            return false; // unknown/current epoch: nothing to hand off
+        };
+        if seq != hw + 1 {
+            return false;
+        }
+        match self.handoff.iter_mut().find(|(e, _)| *e == old_epoch) {
+            Some(slot) => slot.1 = seq,
+            None => self.handoff.push((old_epoch, seq)),
+        }
+        self.reacks.push((new_seq, old_epoch, seq));
+        true
+    }
+
+    /// The `(old_epoch, old_seq)` a re-acked entry at `new_seq` came
+    /// from, if it entered this timeline through a handoff. A rejoiner
+    /// hands such entries off under this origin identity so they dedup
+    /// against the same high-water mark as the origin's own journal.
+    #[must_use]
+    pub fn reack_origin(&self, new_seq: u64) -> Option<(u64, u64)> {
+        self.reacks
+            .iter()
+            .find(|&&(n, _, _)| n == new_seq)
+            .map(|&(_, e, s)| (e, s))
+    }
+
+    /// Renders the timeline as a single `key=value`-safe token, e.g.
+    /// `1:0,2:95+1:100~101:1:96` (forks, then `+epoch:highwater`
+    /// handoffs, then `~new:epoch:old` re-ack provenance).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.forks.is_empty() {
+            out.push('-');
+        }
+        for (i, &(e, b)) in self.forks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{e}:{b}"));
+        }
+        for &(e, hw) in &self.handoff {
+            out.push_str(&format!("+{e}:{hw}"));
+        }
+        for &(n, e, s) in &self.reacks {
+            out.push_str(&format!("~{n}:{e}:{s}"));
+        }
+        out
+    }
+
+    /// Parses [`Timeline::render`] output. Returns `None` on any
+    /// malformed input (never panics on wire data).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut tl = Timeline::new();
+        let (s, reack_part) = match s.split_once('~') {
+            Some((head, r)) => (head, Some(r)),
+            None => (s, None),
+        };
+        let (forks_part, handoff_part) = match s.split_once('+') {
+            Some((f, h)) => (f, Some(h)),
+            None => (s, None),
+        };
+        if forks_part != "-" && !forks_part.is_empty() {
+            let mut prev = 0u64;
+            for pair in forks_part.split(',') {
+                let (e, b) = pair.split_once(':')?;
+                let e: u64 = e.parse().ok()?;
+                let b: u64 = b.parse().ok()?;
+                if e == 0 || e <= prev {
+                    return None;
+                }
+                prev = e;
+                tl.forks.push((e, b));
+            }
+        }
+        if let Some(rest) = handoff_part {
+            for pair in rest.split('+') {
+                let (e, hw) = pair.split_once(':')?;
+                tl.handoff.push((e.parse().ok()?, hw.parse().ok()?));
+            }
+        }
+        if let Some(rest) = reack_part {
+            for triple in rest.split('~') {
+                let (n, tail) = triple.split_once(':')?;
+                let (e, s) = tail.split_once(':')?;
+                tl.reacks
+                    .push((n.parse().ok()?, e.parse().ok()?, s.parse().ok()?));
+            }
+        }
+        Some(tl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: u64 = 1000;
+
+    fn node(id: &str) -> FailoverNode {
+        FailoverNode::new(id, 3, L)
+    }
+
+    #[test]
+    fn bootstrap_only_at_epoch_zero() {
+        let mut a = node("a");
+        assert!(a.bootstrap_primary());
+        assert_eq!(a.epoch(), 1);
+        assert_eq!(a.role(), Role::Primary);
+        let mut b = node("b");
+        b.restore(3, None);
+        assert!(!b.bootstrap_primary(), "stale --primary must be ignored");
+        assert_eq!(b.role(), Role::Replica);
+    }
+
+    #[test]
+    fn primary_needs_a_fresh_majority_to_stay_writable() {
+        let mut a = node("a");
+        a.bootstrap_primary();
+        assert!(!a.writable(0), "no peer ever leased");
+        a.note_peer("b", 1, 100);
+        assert!(a.writable(100));
+        assert!(a.writable(100 + L));
+        assert!(!a.writable(101 + L), "lease lapsed, primary self-fences");
+        a.note_peer("b", 1, 2 * L);
+        assert!(a.writable(2 * L + L));
+    }
+
+    #[test]
+    fn single_node_cluster_is_always_writable() {
+        let mut a = FailoverNode::new("a", 1, L);
+        a.bootstrap_primary();
+        assert!(a.writable(u64::MAX - 1));
+    }
+
+    #[test]
+    fn replica_lease_and_candidacy_timing() {
+        let mut b = node("b");
+        b.restore(1, None);
+        b.arm(0);
+        assert!(b.lease_expired(L + 1));
+        b.note_primary(1, 500);
+        assert!(!b.lease_expired(500 + L));
+        assert!(!b.candidacy_due(500 + 2 * L - 1, 0));
+        assert!(b.candidacy_due(500 + 2 * L, 0));
+        // Rank staggering: rank 1 waits half a lease longer.
+        assert!(!b.candidacy_due(500 + 2 * L, 1));
+        assert!(b.candidacy_due(500 + 2 * L + L / 2, 1));
+    }
+
+    #[test]
+    fn election_reaches_majority_and_promotes() {
+        let mut b = node("b");
+        b.restore(1, None);
+        b.arm(0);
+        let t = 3 * L;
+        assert!(b.candidacy_due(t, 0));
+        let target = b.start_candidacy(t);
+        assert_eq!(target, 2);
+        assert!(!b.record_grant("b", t), "own vote alone is not majority");
+        assert!(b.record_grant("c", t));
+        assert_eq!(b.role(), Role::Primary);
+        assert_eq!(b.epoch(), 2);
+        // The granters count as fresh leases: immediately writable.
+        assert!(b.writable(t));
+        assert!(!b.writable(t + L + 1));
+    }
+
+    #[test]
+    fn vote_granted_once_per_epoch_and_only_to_caught_up() {
+        let mut c = node("c");
+        c.restore(1, None);
+        c.arm(0);
+        let t = 3 * L; // lease long expired
+        assert!(
+            !c.grant_vote("b", 2, (1, 5), (1, 10), t),
+            "candidate behind us"
+        );
+        assert!(
+            !c.grant_vote("b", 2, (1, 99), (2, 5), t),
+            "longer log on an older data epoch still loses"
+        );
+        assert!(c.grant_vote("b", 2, (1, 10), (1, 10), t));
+        assert_eq!(c.epoch(), 2, "granting adopts the target epoch");
+        assert!(
+            !c.grant_vote("d", 2, (1, 99), (1, 10), t),
+            "one vote per epoch"
+        );
+        assert!(
+            c.grant_vote("b", 2, (1, 99), (1, 10), t),
+            "re-grant to same is ok"
+        );
+    }
+
+    #[test]
+    fn vote_refused_while_lease_fresh_or_primary_writable() {
+        let mut c = node("c");
+        c.restore(1, None);
+        c.note_primary(1, 1000);
+        assert!(
+            !c.grant_vote("b", 2, (1, 10), (1, 0), 1500),
+            "still under lease: primary not agreed dead"
+        );
+        let mut a = node("a");
+        a.bootstrap_primary();
+        a.note_peer("b", 1, 1000);
+        assert!(
+            !a.grant_vote("c", 2, (1, 10), (1, 0), 1200),
+            "writable primary refuses"
+        );
+        assert!(
+            a.grant_vote("c", 2, (1, 10), (1, 0), 1000 + L + 1),
+            "fenced primary grants"
+        );
+        assert_eq!(a.role(), Role::Replica, "granting steps the primary down");
+    }
+
+    #[test]
+    fn higher_epoch_fences_a_primary_on_contact() {
+        let mut a = node("a");
+        a.bootstrap_primary();
+        a.note_peer("b", 1, 0);
+        assert!(a.writable(0));
+        assert_eq!(a.note_peer("c", 2, 10), ExchangeOutcome::Adopted);
+        assert_eq!(a.role(), Role::Replica);
+        assert_eq!(a.epoch(), 2);
+        assert!(!a.writable(10));
+    }
+
+    #[test]
+    fn stale_remote_is_reported_not_renewed() {
+        let mut a = node("a");
+        a.restore(3, None);
+        assert_eq!(a.note_peer("b", 2, 0), ExchangeOutcome::RemoteStale);
+        assert_eq!(a.note_primary(2, 0), ExchangeOutcome::RemoteStale);
+        assert!(a.lease_expired(0), "stale primary must not renew our lease");
+    }
+
+    #[test]
+    fn mutual_exclusion_across_a_partition_schedule() {
+        // One shared clock, primary a + replicas b, c. Partition a away
+        // at t=5000; b and c elect. Assert never two writable nodes.
+        let mut a = node("a");
+        a.bootstrap_primary();
+        let mut b = node("b");
+        b.restore(1, None);
+        let mut c = node("c");
+        c.restore(1, None);
+        b.arm(0);
+        c.arm(0);
+        let cut = 5_000u64;
+        let mut promoted_at = None;
+        for t in (0..20_000).step_by(50) {
+            if t < cut {
+                a.note_peer("b", b.epoch(), t);
+                b.note_primary(1, t);
+                a.note_peer("c", c.epoch(), t);
+                c.note_primary(1, t);
+            }
+            // b is rank 0 (most caught up), c rank 1.
+            if b.role() == Role::Replica && b.candidacy_due(t, 0) && b.candidacy_epoch().is_none() {
+                let target = b.start_candidacy(t);
+                if c.grant_vote("b", target, (1, 100), (1, 100), t) {
+                    b.record_grant("c", t);
+                }
+            }
+            let writable = [&a, &b, &c].iter().filter(|n| n.writable(t)).count();
+            assert!(writable <= 1, "two writable nodes at t={t}");
+            if b.role() == Role::Primary && promoted_at.is_none() {
+                promoted_at = Some(t);
+            }
+        }
+        let promoted = promoted_at.expect("b should have been elected");
+        // The margin runs from b's last successful renewal (the final
+        // tick before the cut), not from the cut itself.
+        assert!(
+            promoted >= (cut - 50) + 2 * L,
+            "promotion before the margin"
+        );
+        assert!(!a.writable(promoted), "old primary fenced before election");
+    }
+
+    #[test]
+    fn forced_promote_overrides_and_higher_epoch_clears_it() {
+        let mut b = node("b");
+        b.restore(1, None);
+        let e = b.force_promote();
+        assert_eq!(e, 2);
+        assert!(b.writable(999_999), "forced primary ignores majority");
+        assert!(b.observe_epoch(3, 999_999));
+        assert!(!b.writable(999_999));
+        assert_eq!(b.role(), Role::Replica);
+    }
+
+    #[test]
+    fn timeline_fork_and_handoff_contract() {
+        let mut tl = Timeline::new();
+        tl.record_fork(1, 0);
+        tl.record_fork(2, 95);
+        assert_eq!(tl.latest_epoch(), 2);
+        assert_eq!(tl.fork_after(1), Some(95));
+        assert_eq!(tl.fork_after(2), None, "current epoch has no divergence");
+        // Handoff of epoch-1 tail 96..=98: contiguous only.
+        assert!(!tl.accept_handoff(1, 95, 101), "already shared");
+        assert!(!tl.accept_handoff(1, 97, 101), "gap refused");
+        assert!(tl.accept_handoff(1, 96, 101));
+        assert!(!tl.accept_handoff(1, 96, 102), "duplicate refused");
+        assert!(tl.accept_handoff(1, 97, 102));
+        assert!(tl.accept_handoff(1, 98, 103));
+        assert_eq!(tl.handoff_highwater(1), Some(98));
+        // A second survivor offering the same tail dedups entirely.
+        assert!(!tl.accept_handoff(1, 96, 104));
+        // Each accepted re-ack remembers where it came from, so a later
+        // handoff of OUR tail re-presents it under the origin identity.
+        assert_eq!(tl.reack_origin(102), Some((1, 97)));
+        assert_eq!(tl.reack_origin(100), None, "plain writes have no origin");
+    }
+
+    #[test]
+    fn timeline_render_parse_round_trip() {
+        let mut tl = Timeline::new();
+        assert_eq!(Timeline::parse(&tl.render()), Some(tl.clone()));
+        tl.record_fork(1, 0);
+        tl.record_fork(2, 95);
+        assert!(tl.accept_handoff(1, 96, 101));
+        let s = tl.render();
+        assert_eq!(s, "1:0,2:95+1:96~101:1:96");
+        assert_eq!(Timeline::parse(&s), Some(tl));
+        for bad in [
+            "1", "0:0", "2:1,1:0", "1:x", "1:0+z", "1:0+1", "1:0~9", "1:0~9:1",
+        ] {
+            assert_eq!(Timeline::parse(bad), None, "{bad:?} should not parse");
+        }
+    }
+}

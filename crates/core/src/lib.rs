@@ -109,6 +109,7 @@ pub mod concurrent;
 pub mod config;
 pub mod durable;
 pub mod estimators;
+pub mod failover;
 pub mod hll;
 pub mod journal;
 pub mod lsh;

@@ -407,6 +407,18 @@ pub struct Metrics {
     pub repl_applied_seq: Gauge,
     /// Known lag behind the primary in edges (replica).
     pub repl_lag_edges: Gauge,
+    /// Highest primary seq durably journaled locally (replica; equals
+    /// `repl.applied_seq` on in-memory replicas).
+    pub repl_persisted_seq: Gauge,
+    /// Current failover epoch (cluster mode; 0 outside it).
+    pub repl_epoch: Gauge,
+    /// Configured failover lease in milliseconds (cluster mode).
+    pub repl_lease_ms: Gauge,
+    /// Elections won by this node (self-promotion or forced PROMOTE).
+    pub repl_promotions: Counter,
+    /// Writes refused because this node's primaryship is fenced (lost
+    /// majority lease or a newer epoch exists).
+    pub repl_fenced_writes: Counter,
 }
 
 impl Metrics {
@@ -475,6 +487,11 @@ impl Metrics {
             repl_connected: Gauge::new(),
             repl_applied_seq: Gauge::new(),
             repl_lag_edges: Gauge::new(),
+            repl_persisted_seq: Gauge::new(),
+            repl_epoch: Gauge::new(),
+            repl_lease_ms: Gauge::new(),
+            repl_promotions: Counter::new(),
+            repl_fenced_writes: Counter::new(),
         }
     }
 
@@ -550,6 +567,8 @@ impl Metrics {
                 ),
                 ("repl.resyncs", self.repl_resyncs.get()),
                 ("repl.reconnects", self.repl_reconnects.get()),
+                ("repl.promotions", self.repl_promotions.get()),
+                ("repl.fenced_writes", self.repl_fenced_writes.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
@@ -588,6 +607,9 @@ impl Metrics {
                 ("repl.connected", self.repl_connected.get()),
                 ("repl.applied_seq", self.repl_applied_seq.get()),
                 ("repl.lag_edges", self.repl_lag_edges.get()),
+                ("repl.persisted_seq", self.repl_persisted_seq.get()),
+                ("repl.epoch", self.repl_epoch.get()),
+                ("repl.lease_ms", self.repl_lease_ms.get()),
                 ("process.uptime_secs", uptime_secs()),
                 ("process.as_of_unix_ms", as_of_unix_ms()),
             ],
@@ -650,6 +672,8 @@ impl Metrics {
             &self.repl_anti_entropy_rounds,
             &self.repl_resyncs,
             &self.repl_reconnects,
+            &self.repl_promotions,
+            &self.repl_fenced_writes,
         ] {
             c.reset();
         }
@@ -677,6 +701,9 @@ impl Metrics {
         self.repl_connected.reset();
         self.repl_applied_seq.reset();
         self.repl_lag_edges.reset();
+        self.repl_persisted_seq.reset();
+        self.repl_epoch.reset();
+        self.repl_lease_ms.reset();
         for h in [
             &self.insert_latency,
             &self.merge_latency,

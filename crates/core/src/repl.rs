@@ -234,6 +234,15 @@ impl ReplLog {
     pub fn memory_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<JournalEntry>()
     }
+
+    /// Re-seats the ring at a new WAL position, dropping everything
+    /// buffered. Used at failover promotion: a replica that becomes
+    /// primary starts shipping from its applied seq, and any entries an
+    /// earlier role buffered belong to a dead timeline.
+    pub fn reset(&mut self, last_seq: u64) {
+        self.entries.clear();
+        self.last_seq = last_seq;
+    }
 }
 
 /// Compares a replica's state against the primary's, byte for byte.
