@@ -1,0 +1,183 @@
+//! **E26 (event journal + correlation overhead)** — ingestion
+//! throughput with the cluster observability plane enabled vs
+//! disabled, proving the event journal and correlation-ID machinery
+//! stay inside their overhead budget on the O(k) insert hot path.
+//!
+//! Methodology mirrors E21 (`exp_trace`): for each sketch size, ingest
+//! the same stream several times per mode and keep the best run (min
+//! time strips scheduler noise). Both modes run the *identical* loop
+//! shape — the metrics registry and trace ring stay ON in both — so
+//! the measured delta isolates exactly what this PR added: correlation
+//! IDs threaded through replication spans and typed cluster events
+//! appended to the bounded ring *and* the on-disk `events.jsonl` sink.
+//!
+//! Enabled mode emits one correlated event (plus a corr-stamped
+//! replication span) every [`EVENT_EVERY_EDGES`] edges. That is a far
+//! denser cadence than any real cluster exhibits — elections, fences,
+//! and resyncs are seconds apart, lease renewals are time-based — so a
+//! pass here bounds the plane's cost from well above.
+//!
+//! `--max-overhead-pct N` turns the run into a gate: the process exits
+//! nonzero if any sketch size exceeds N% overhead. CI runs
+//! `--scale small --max-overhead-pct 10`; the design budget in
+//! docs/OPERATIONS.md §13 is 5% on release builds.
+//!
+//! ```sh
+//! cargo run --release -p streamlink-bench --bin exp_events -- \
+//!     [--scale small|standard|large] [--max-overhead-pct 10]
+//! ```
+
+use std::time::Instant;
+
+use datasets::SimulatedDataset;
+use graphstream::EdgeStream;
+use serde::Serialize;
+use streamlink_bench::{
+    flag_value, scale_from_args, table_header, table_row, ResultWriter, EXP_SEED,
+};
+use streamlink_core::events::{self, ClusterEvent, EventKind};
+use streamlink_core::{trace, SketchConfig, SketchStore};
+
+/// Ingest repetitions per mode; best-of-N is reported.
+const REPS: usize = 5;
+
+/// Edges between emitted events in enabled mode. Deliberately ~100×
+/// denser than real failover traffic so the gate bounds the cost from
+/// above.
+const EVENT_EVERY_EDGES: usize = 1_000;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    k: usize,
+    edges: u64,
+    reps: usize,
+    disabled_best_secs: f64,
+    enabled_best_secs: f64,
+    overhead_pct: f64,
+    events_recorded: u64,
+}
+
+/// One ingest pass. `emit` turns the observability plane's write side
+/// on, but the per-edge branch structure is identical either way — the
+/// disabled mode measures the true cost of having the hooks compiled
+/// in.
+fn ingest_once(edges: &[graphstream::Edge], k: usize, emit: bool) -> f64 {
+    let mut store = SketchStore::new(SketchConfig::with_slots(k).seed(EXP_SEED));
+    let t = Instant::now();
+    let mut since_event = 0usize;
+    let mut tick = 0u64;
+    for e in edges {
+        store.insert_edge(e.src, e.dst);
+        since_event += 1;
+        if since_event >= EVENT_EVERY_EDGES {
+            since_event = 0;
+            tick += 1;
+            if emit {
+                // What one replication round costs on a live cluster
+                // node: a corr-stamped span plus one journaled event.
+                let corr = (EXP_SEED << 20) | tick;
+                {
+                    let _span = trace::op("repl.session");
+                    trace::note_corr(corr);
+                }
+                events::emit(ClusterEvent {
+                    node_id: "bench-node".into(),
+                    epoch: 1,
+                    applied_seq: store.edges_processed(),
+                    tick_ms: tick,
+                    kind: EventKind::ConfigChange,
+                    detail: "bench: synthetic replication round".into(),
+                    corr_id: Some(corr),
+                });
+            }
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    std::hint::black_box(&store);
+    secs
+}
+
+fn best_of(edges: &[graphstream::Edge], k: usize, emit: bool) -> f64 {
+    (0..REPS)
+        .map(|_| ingest_once(edges, k, emit))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let max_overhead_pct: Option<f64> = flag_value(&args, "--max-overhead-pct")
+        .map(|v| v.parse().expect("--max-overhead-pct expects a number"));
+    let mut out = ResultWriter::new("e26_events_overhead");
+
+    let dataset = SimulatedDataset::DblpLike;
+    let stream = dataset.stream(scale);
+    let edges: Vec<_> = stream.edges().collect();
+
+    println!("\nE26 — event journal + correlation overhead on ingest ({scale:?})\n");
+    println!(
+        "dataset {} ({} edges, best of {REPS} runs per mode; one correlated event \
+         every {EVENT_EVERY_EDGES} edges in enabled mode)",
+        dataset.spec().key,
+        edges.len()
+    );
+    table_header(&["k", "off (s)", "on (s)", "overhead %", "events"]);
+
+    // Enabled mode writes through the real on-disk sink so the gate
+    // covers the jsonl append, not just the in-memory ring.
+    let log_dir = std::env::temp_dir().join(format!("streamlink-e26-{}", std::process::id()));
+    std::fs::create_dir_all(&log_dir).expect("temp events dir");
+    let log_path = log_dir.join("events.jsonl");
+
+    let mut worst_pct = f64::NEG_INFINITY;
+    for &k in &[64usize, 256] {
+        // Warm caches once so neither mode pays first-touch costs.
+        ingest_once(&edges, k, false);
+
+        // Baseline: metrics + trace ON (the E21-audited configuration
+        // this PR started from), event emission OFF.
+        events::uninstall_event_log();
+        let disabled = best_of(&edges, k, false);
+
+        // Enabled: ring + rotating jsonl sink + corr-stamped spans.
+        events::reset();
+        events::install_event_log(&log_path, events::DEFAULT_EVENT_LOG_BYTES)
+            .expect("install events log");
+        let enabled = best_of(&edges, k, true);
+        events::uninstall_event_log();
+        let recorded = events::events_recorded();
+
+        let pct = (enabled - disabled) / disabled * 100.0;
+        worst_pct = worst_pct.max(pct);
+        table_row(&[
+            k.to_string(),
+            format!("{disabled:.4}"),
+            format!("{enabled:.4}"),
+            format!("{pct:+.2}"),
+            recorded.to_string(),
+        ]);
+        out.write_row(&Row {
+            dataset: dataset.spec().key.to_string(),
+            k,
+            edges: edges.len() as u64,
+            reps: REPS,
+            disabled_best_secs: disabled,
+            enabled_best_secs: enabled,
+            overhead_pct: pct,
+            events_recorded: recorded,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&log_dir);
+
+    if let Some(limit) = max_overhead_pct {
+        if worst_pct > limit {
+            eprintln!(
+                "FAIL: event journal + correlation overhead {worst_pct:.2}% exceeds \
+                 the {limit}% budget"
+            );
+            std::process::exit(1);
+        }
+        println!("\nPASS: worst overhead {worst_pct:.2}% within the {limit}% budget");
+    }
+}

@@ -11,6 +11,14 @@
 //! 3. **Byte-for-byte convergence**: after healing, every node's store
 //!    equals the final primary's exactly ([`divergence`] is `None`),
 //!    and the final primary equals the acked-write truth store.
+//! 4. **Timeline coherence**: every node keeps a
+//!    [`streamlink_core::events`] journal of its elections, votes,
+//!    promotions, fences, handoffs, and resyncs; the journals merge
+//!    into one causal cluster timeline that must show **at most one
+//!    promotion per epoch** ([`events::check_single_primary`]). Each
+//!    seed's merged timeline is written to
+//!    `results/failover_events/seed-<n>.jsonl` so any chaos run can be
+//!    reconstructed with `streamlink cluster-events`.
 //!
 //! Each seed drives a 3–5 node cluster on a virtual 25 ms tick clock
 //! (lease L = 200 ms). Per tick a client writes to whichever node
@@ -37,7 +45,8 @@ use std::process::ExitCode;
 
 use graphstream::VertexId;
 use serde::Serialize;
-use streamlink_bench::{flag_value, scale_from_args, ResultWriter, EXP_SEED};
+use streamlink_bench::{flag_value, results_dir, scale_from_args, ResultWriter, EXP_SEED};
+use streamlink_core::events::{self, ClusterEvent, EventKind};
 use streamlink_core::failover::{ExchangeOutcome, FailoverNode, Role, Timeline};
 use streamlink_core::journal::JournalEntry;
 use streamlink_core::repl::{divergence, ReplicaApplier};
@@ -90,6 +99,7 @@ struct Row {
     refused_bootstraps: u64,
     downtime_ticks: u64,
     max_writable: u64,
+    events: u64,
     ok: bool,
     violation: String,
 }
@@ -115,6 +125,23 @@ struct Node {
     /// Whether this node ever held the primary role (drives the
     /// bootstrap-refusal check at revival).
     was_primary: bool,
+    /// This node's causal event journal — its view of the incident,
+    /// stamped with virtual ticks, merged across nodes at the end.
+    journal: Vec<ClusterEvent>,
+}
+
+/// Appends one event to `node`'s journal under its current applied seq
+/// (the simulated counterpart of [`events::emit`] on a live node).
+fn record(node: &mut Node, now: u64, kind: EventKind, epoch: u64, detail: &str) {
+    node.journal.push(ClusterEvent {
+        node_id: node.id.clone(),
+        epoch,
+        applied_seq: node.applier.applied_seq(),
+        tick_ms: now,
+        kind,
+        detail: detail.into(),
+        corr_id: None,
+    });
 }
 
 struct Counters {
@@ -155,7 +182,7 @@ fn acting_primary(nodes: &[Node]) -> Option<usize> {
 /// Offers one dead-timeline entry to the primary, exactly like
 /// `REPL HANDOFF`: deduped by the per-old-epoch contiguous high-water
 /// mark, re-acked as a fresh write on the current timeline.
-fn handoff(pri: &mut Node, old_epoch: u64, entry: &JournalEntry, c: &mut Counters) {
+fn handoff(pri: &mut Node, now: u64, old_epoch: u64, entry: &JournalEntry, c: &mut Counters) {
     let Some(hw) = pri.tl.handoff_highwater(old_epoch) else {
         return;
     };
@@ -176,12 +203,20 @@ fn handoff(pri: &mut Node, old_epoch: u64, entry: &JournalEntry, c: &mut Counter
     pri.applier.advance_to(pri.seq);
     pri.tl.accept_handoff(old_epoch, entry.seq, pri.seq);
     c.handoffs += 1;
+    let epoch = pri.fo.epoch();
+    record(
+        pri,
+        now,
+        EventKind::HandoffAccepted,
+        epoch,
+        &format!("re-acked seq {} of dead epoch {old_epoch}", entry.seq),
+    );
 }
 
 /// Rejoins `nodes[r]` onto `nodes[p]`'s timeline: hand off the
 /// un-replicated tail of the dead timeline from the rejoiner's durable
 /// journal, then resync wholesale (snapshot replace) onto the primary.
-fn rejoin(nodes: &mut [Node], r: usize, p: usize, c: &mut Counters) {
+fn rejoin(nodes: &mut [Node], now: u64, r: usize, p: usize, c: &mut Counters) {
     let (data_epoch, applied) = (nodes[r].data_epoch, nodes[r].applier.applied_seq());
     if let Some(base) = nodes[p].tl.fork_after(data_epoch) {
         if applied > base {
@@ -200,7 +235,7 @@ fn rejoin(nodes: &mut [Node], r: usize, p: usize, c: &mut Counters) {
                 .collect();
             for (oe, entry) in &tail {
                 let (pri, _) = split_two(nodes, p, r);
-                handoff(pri, *oe, entry, c);
+                handoff(pri, now, *oe, entry, c);
             }
         }
     }
@@ -217,6 +252,7 @@ fn rejoin(nodes: &mut [Node], r: usize, p: usize, c: &mut Counters) {
         let (pri, rep) = split_two(nodes, p, r);
         (pri.log.clone(), rep)
     };
+    let old_data_epoch = rep.data_epoch;
     rep.store = snapshot.restore();
     rep.applier.reset_to(0);
     rep.applier.advance_to(pri_seq);
@@ -224,6 +260,13 @@ fn rejoin(nodes: &mut [Node], r: usize, p: usize, c: &mut Counters) {
     rep.log = pri_log;
     rep.tl = pri_tl;
     rep.data_epoch = pri_epoch;
+    record(
+        rep,
+        now,
+        EventKind::Resync,
+        pri_epoch,
+        &format!("resynced off dead epoch {old_data_epoch} onto epoch {pri_epoch}"),
+    );
 }
 
 /// Two disjoint mutable borrows out of the node slice.
@@ -239,7 +282,7 @@ fn split_two(nodes: &mut [Node], a: usize, b: usize) -> (&mut Node, &mut Node) {
 }
 
 #[allow(clippy::too_many_lines)]
-fn run_seed(seed: u64) -> Row {
+fn run_seed(seed: u64) -> (Row, Vec<ClusterEvent>) {
     let mut rng = Rng::new(seed);
     let config = SketchConfig::with_slots(32).seed(EXP_SEED);
     let n = 3 + rng.below(3) as usize; // 3..=5 members
@@ -257,6 +300,7 @@ fn run_seed(seed: u64) -> Row {
             revive_at: 0,
             cut_until: 0,
             was_primary: false,
+            journal: Vec::new(),
         })
         .collect();
 
@@ -265,6 +309,13 @@ fn run_seed(seed: u64) -> Row {
     nodes[0].tl.record_fork(1, 0);
     nodes[0].data_epoch = 1;
     nodes[0].was_primary = true;
+    record(
+        &mut nodes[0],
+        0,
+        EventKind::Bootstrap,
+        1,
+        "bootstrapped as epoch-1 primary",
+    );
     let mut now = 0u64;
     for node in &mut nodes {
         node.fo.arm(now);
@@ -420,11 +471,33 @@ fn run_seed(seed: u64) -> Row {
                 ExchangeOutcome::RemoteStale => {
                     // `ERR fenced`: adopt the real epoch, rejoin below.
                     c.stale_fenced += 1;
+                    record(
+                        &mut nodes[p],
+                        now,
+                        EventKind::Fence,
+                        pri_epoch,
+                        &format!("fenced {rep_id} at stale epoch {peer_epoch}"),
+                    );
                     nodes[r].fo.observe_epoch(pri_epoch, now);
+                    record(
+                        &mut nodes[r],
+                        now,
+                        EventKind::EpochAdopted,
+                        pri_epoch,
+                        "adopted newer epoch after being fenced",
+                    );
                 }
                 ExchangeOutcome::Adopted => {
                     // Our epoch outran the contacted primary's: it just
                     // stepped down; nothing to pull from it anymore.
+                    let adopted = nodes[p].fo.epoch();
+                    record(
+                        &mut nodes[p],
+                        now,
+                        EventKind::StepDown,
+                        adopted,
+                        &format!("stepped down: {rep_id} carried a newer epoch"),
+                    );
                     continue;
                 }
                 ExchangeOutcome::Ok => {
@@ -432,7 +505,7 @@ fn run_seed(seed: u64) -> Row {
                 }
             }
             if nodes[r].data_epoch != nodes[p].tl.latest_epoch() {
-                rejoin(&mut nodes, r, p, &mut c);
+                rejoin(&mut nodes, now, r, p, &mut c);
                 continue;
             }
             // Adopt the primary's timeline (`tl=` rides every lease
@@ -469,6 +542,13 @@ fn run_seed(seed: u64) -> Row {
                 continue;
             }
             let target = nodes[i].fo.start_candidacy(now);
+            record(
+                &mut nodes[i],
+                now,
+                EventKind::CandidacyStarted,
+                target,
+                "lease expired; seeking votes",
+            );
             // A log identity is (data_epoch, seq): a revived ex-primary
             // with a long journal on a dead timeline must not outrank a
             // shorter log carrying the newer epoch's acked writes.
@@ -481,6 +561,13 @@ fn run_seed(seed: u64) -> Row {
                 }
                 let own = (nodes[v].data_epoch, local_seq(&nodes[v]));
                 if nodes[v].fo.grant_vote(&my_id, target, my_log, own, now) {
+                    record(
+                        &mut nodes[v],
+                        now,
+                        EventKind::VoteGranted,
+                        target,
+                        &format!("vote granted to {my_id}"),
+                    );
                     let granter = nodes[v].id.clone();
                     won = nodes[i].fo.record_grant(&granter, now);
                 } else {
@@ -503,6 +590,13 @@ fn run_seed(seed: u64) -> Row {
                 nodes[i].seq = base;
                 nodes[i].was_primary = true;
                 c.elections += 1;
+                record(
+                    &mut nodes[i],
+                    now,
+                    EventKind::Promotion,
+                    target,
+                    &format!("promoted to primary (base seq {base})"),
+                );
             }
         }
     }
@@ -547,7 +641,18 @@ fn run_seed(seed: u64) -> Row {
         );
     }
 
-    Row {
+    // --- Invariant 4: the merged event timeline is coherent. ---
+    // Per-node journals merge deterministically into one causal
+    // history; two Bootstrap/Promotion records inside one epoch would
+    // mean two nodes *believed* they owned the same epoch — caught
+    // here even if their writable windows never overlapped on a tick.
+    let journals: Vec<Vec<ClusterEvent>> = nodes.iter().map(|nd| nd.journal.clone()).collect();
+    let merged = events::merge(&journals);
+    if let Err(e) = events::check_single_primary(&merged) {
+        note(&mut violation, format!("merged event timeline: {e}"));
+    }
+
+    let row = Row {
         seed,
         nodes: n as u64,
         ticks,
@@ -563,9 +668,11 @@ fn run_seed(seed: u64) -> Row {
         refused_bootstraps: c.refused_bootstraps,
         downtime_ticks: c.downtime_ticks,
         max_writable: c.max_writable,
+        events: merged.len() as u64,
         ok: violation.is_empty(),
         violation,
-    }
+    };
+    (row, merged)
 }
 
 fn main() -> ExitCode {
@@ -600,9 +707,25 @@ fn main() -> ExitCode {
     let mut failures = 0u64;
     let (mut total_elections, mut total_handoffs) = (0u64, 0u64);
     let (mut total_fenced, mut total_revivals) = (0u64, 0u64);
-    let mut total_refused = 0u64;
+    let (mut total_refused, mut total_events) = (0u64, 0u64);
+    let events_dir = results_dir().join("failover_events");
+    if let Err(e) = std::fs::create_dir_all(&events_dir) {
+        eprintln!("cannot create {}: {e}", events_dir.display());
+        return ExitCode::FAILURE;
+    }
     for seed in 0..seeds {
-        let row = run_seed(seed);
+        let (row, timeline) = run_seed(seed);
+        // The merged timeline is the post-mortem artifact: feedable to
+        // `streamlink cluster-events --merge <file>` as-is.
+        let journal_path = events_dir.join(format!("seed-{seed}.jsonl"));
+        let lines: String = timeline
+            .iter()
+            .map(|e| format!("{}\n", e.render_line()))
+            .collect();
+        if let Err(e) = std::fs::write(&journal_path, lines) {
+            eprintln!("cannot write {}: {e}", journal_path.display());
+            return ExitCode::FAILURE;
+        }
         println!(
             "{:>6} {:>5} {:>6} {:>6} {:>6} {:>5} {:>7} {:>5} {:>6} {:>6} {:>8} {:>8} {:>8} {:>5}",
             row.seed,
@@ -629,13 +752,16 @@ fn main() -> ExitCode {
         total_fenced += row.fenced_writes + row.stale_fenced;
         total_revivals += row.revivals;
         total_refused += row.refused_bootstraps;
+        total_events += row.events;
         writer.write_row(&row);
     }
 
     println!(
         "# {seeds} seeds, {failures} violation(s); coverage: {total_elections} election(s), \
          {total_handoffs} handoff(s), {total_fenced} fence event(s), {total_revivals} \
-         revival(s), {total_refused} refused re-bootstrap(s)"
+         revival(s), {total_refused} refused re-bootstrap(s), {total_events} journal event(s) \
+         (merged timelines under {})",
+        events_dir.display()
     );
     if failures > 0 {
         eprintln!("FAIL: a failover safety invariant was violated (see rows above)");
@@ -649,12 +775,13 @@ fn main() -> ExitCode {
             || total_handoffs == 0
             || total_fenced == 0
             || total_revivals == 0
-            || total_refused == 0)
+            || total_refused == 0
+            || total_events == 0)
     {
         eprintln!(
             "FAIL: schedule coverage regressed (elections={total_elections} \
              handoffs={total_handoffs} fenced={total_fenced} revivals={total_revivals} \
-             refused_bootstraps={total_refused})"
+             refused_bootstraps={total_refused} events={total_events})"
         );
         return ExitCode::FAILURE;
     }

@@ -1,0 +1,233 @@
+//! `streamlink cluster-events` — post-mortem timeline reconstruction.
+//!
+//! Every cluster node appends its elections, votes, promotions,
+//! fences, handoffs, and resyncs to an on-disk `events.jsonl` (schema
+//! `streamlink.event.v1`, one rotated generation at `events.jsonl.1`).
+//! After an incident the journals of the surviving nodes are copied
+//! side by side and merged here into one causally-ordered cluster
+//! timeline:
+//!
+//! ```text
+//! streamlink cluster-events --merge node-a/ --merge node-b/ --merge node-c/
+//! ```
+//!
+//! Each `--merge` argument is a node's data directory (or a direct
+//! path to a journal file). The merged timeline prints to stdout one
+//! event per line, oldest first, and the process exit code is the
+//! verdict: `0` when the merged history satisfies the at-most-one-
+//! primary-per-epoch invariant, `1` when it does not — so the check
+//! slots into CI and incident tooling without parsing any output.
+
+use std::path::{Path, PathBuf};
+
+use streamlink_core::events::{self, ClusterEvent};
+use streamlink_core::trace::rotated_path;
+
+use crate::args::Flags;
+
+/// Entry point for `streamlink cluster-events`. Returns the process
+/// exit code (0 = invariant holds, 1 = violation found).
+///
+/// # Errors
+/// Fails on unknown flags, a missing `--merge`, or a directory with no
+/// readable journal — before any verdict is attempted.
+pub fn run(argv: &[String]) -> Result<u8, String> {
+    let flags = Flags::parse(argv)?;
+    let sources = flags.get_all("merge");
+    if sources.is_empty() {
+        return Err("missing required flag --merge <dir-or-journal> (repeatable)".into());
+    }
+    let mut journals = Vec::with_capacity(sources.len());
+    let mut skipped = 0usize;
+    for source in sources {
+        let (journal, bad) = load_journal(Path::new(source))?;
+        skipped += bad;
+        journals.push(journal);
+    }
+    let merged = events::merge(&journals);
+    for event in &merged {
+        println!("{}", event.render_line());
+    }
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparseable journal line(s)");
+    }
+    match events::check_single_primary(&merged) {
+        Ok(()) => {
+            eprintln!(
+                "ok: {} events from {} node(s); at most one primary per epoch",
+                merged.len(),
+                journals.len()
+            );
+            Ok(0)
+        }
+        Err(violation) => {
+            eprintln!("VIOLATION: {violation}");
+            Ok(1)
+        }
+    }
+}
+
+/// Loads one node's journal: a direct file path, or a data directory
+/// holding `events.jsonl` (the rotated `.1` generation, when present,
+/// is read first so the vector is oldest-first — the merge re-sorts
+/// regardless). Unparseable lines are counted, not fatal: a journal
+/// truncated mid-record by a crash must still contribute its history.
+fn load_journal(source: &Path) -> Result<(Vec<ClusterEvent>, usize), String> {
+    let files: Vec<PathBuf> = if source.is_file() {
+        vec![source.to_path_buf()]
+    } else {
+        let live = source.join("events.jsonl");
+        if !live.is_file() && !rotated_path(&live).is_file() {
+            return Err(format!(
+                "no events journal in {}: expected events.jsonl (is this a node data dir?)",
+                source.display()
+            ));
+        }
+        [rotated_path(&live), live]
+            .into_iter()
+            .filter(|p| p.is_file())
+            .collect()
+    };
+    let mut journal = Vec::new();
+    let mut skipped = 0usize;
+    for file in files {
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            match ClusterEvent::parse_line(line) {
+                Some(event) => journal.push(event),
+                None => skipped += 1,
+            }
+        }
+    }
+    Ok((journal, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use streamlink_core::events::EventKind;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "streamlink-cluster-events-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn event(node: &str, epoch: u64, tick: u64, kind: EventKind) -> ClusterEvent {
+        ClusterEvent {
+            node_id: node.into(),
+            epoch,
+            applied_seq: tick,
+            tick_ms: tick,
+            kind,
+            detail: "test".into(),
+            corr_id: Some(7),
+        }
+    }
+
+    fn write_journal(dir: &Path, events: &[ClusterEvent]) {
+        let lines: String = events
+            .iter()
+            .map(|e| format!("{}\n", e.render_line()))
+            .collect();
+        std::fs::write(dir.join("events.jsonl"), lines).unwrap();
+    }
+
+    fn argv(dirs: &[&Path]) -> Vec<String> {
+        dirs.iter()
+            .flat_map(|d| ["--merge".to_string(), d.display().to_string()])
+            .collect()
+    }
+
+    #[test]
+    fn merging_clean_journals_exits_zero() {
+        let root = scratch("clean");
+        let (a, b) = (root.join("a"), root.join("b"));
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::create_dir_all(&b).unwrap();
+        write_journal(
+            &a,
+            &[
+                event("n1", 1, 10, EventKind::Bootstrap),
+                event("n1", 2, 30, EventKind::StepDown),
+            ],
+        );
+        write_journal(
+            &b,
+            &[
+                event("n2", 2, 20, EventKind::CandidacyStarted),
+                event("n2", 2, 25, EventKind::Promotion),
+            ],
+        );
+        assert_eq!(run(&argv(&[&a, &b])), Ok(0));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn two_primaries_in_one_epoch_exit_one() {
+        let root = scratch("split");
+        let (a, b) = (root.join("a"), root.join("b"));
+        std::fs::create_dir_all(&a).unwrap();
+        std::fs::create_dir_all(&b).unwrap();
+        write_journal(&a, &[event("n1", 3, 10, EventKind::Promotion)]);
+        write_journal(&b, &[event("n2", 3, 12, EventKind::Promotion)]);
+        assert_eq!(run(&argv(&[&a, &b])), Ok(1));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped_and_direct_file_paths_work() {
+        let root = scratch("garbage");
+        let file = root.join("events.jsonl");
+        let good = event("n1", 1, 5, EventKind::Bootstrap).render_line();
+        std::fs::write(&file, format!("{good}\nnot json at all\n\n")).unwrap();
+        let (journal, skipped) = load_journal(&file).unwrap();
+        assert_eq!(journal.len(), 1);
+        assert_eq!(skipped, 1);
+        // A direct file path is accepted by the command too.
+        assert_eq!(run(&argv(&[&file])), Ok(0));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_and_missing_flag_are_errors() {
+        let root = scratch("missing");
+        let err = run(&argv(&[&root])).unwrap_err();
+        assert!(err.contains("no events journal"), "{err}");
+        let err = run(&[]).unwrap_err();
+        assert!(err.contains("--merge"), "{err}");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn rotated_generation_contributes_to_the_timeline() {
+        let root = scratch("rotated");
+        let live = root.join("events.jsonl");
+        std::fs::write(
+            rotated_path(&live),
+            format!(
+                "{}\n",
+                event("n1", 1, 1, EventKind::Bootstrap).render_line()
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &live,
+            format!(
+                "{}\n",
+                event("n1", 2, 9, EventKind::Promotion).render_line()
+            ),
+        )
+        .unwrap();
+        let (journal, skipped) = load_journal(&root).unwrap();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(skipped, 0);
+        assert_eq!(journal[0].kind, EventKind::Bootstrap);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,5 +1,6 @@
 //! CLI subcommand implementations.
 
+pub mod cluster_events;
 pub mod convert;
 pub mod evaluate;
 pub mod generate;

@@ -37,6 +37,12 @@
 //!                             otherwise off unless set)
 //! --slow-op-log-bytes N       rotate the slow-op log past N bytes
 //!                             (10485760)
+//! --events-log PATH           cluster event journal JSONL sink — the
+//!                             input of `streamlink cluster-events`
+//!                             (default DATA_DIR/events.jsonl in
+//!                             durable mode, otherwise off unless set)
+//! --events-log-bytes N        rotate the events log past N bytes
+//!                             (10485760)
 //! --audit-secs S              accuracy-audit cycle interval; 0
 //!                             disables the auditor               (30)
 //! --audit-pairs K             vertex pairs scored per cycle      (64)
@@ -136,6 +142,39 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .get("data-dir")
             .map(|dir| Path::new(dir).join("slowops.jsonl")),
     };
+    // The cluster event journal follows the same defaulting: on by
+    // default wherever there is a data dir to hold it.
+    let events_log_bytes = flags.get_parsed_or(
+        "events-log-bytes",
+        streamlink_core::events::DEFAULT_EVENT_LOG_BYTES,
+    )?;
+    if events_log_bytes == 0 {
+        return Err("--events-log-bytes must be positive".into());
+    }
+    let events_log: Option<std::path::PathBuf> = match flags.get("events-log") {
+        Some(path) => Some(path.into()),
+        None => flags
+            .get("data-dir")
+            .map(|dir| Path::new(dir).join("events.jsonl")),
+    };
+    // Installed before the cluster runtime exists: bootstrap and
+    // config-change events are the journal's first records, so the sink
+    // must be listening when they fire. The data dir may not exist yet
+    // at this point (recovery creates it later) — create it here.
+    if let Some(path) = &events_log {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        streamlink_core::events::install_event_log(path, events_log_bytes)
+            .map_err(|e| format!("cannot open events log {}: {e}", path.display()))?;
+        eprintln!(
+            "cluster event journal: {} (rotate past {events_log_bytes} bytes)",
+            path.display()
+        );
+    }
     let slots = flags.get_parsed_or("slots", 256usize)?;
     let seed = flags.get_parsed_or("seed", 0u64)?;
     if slots == 0 {
@@ -616,6 +655,8 @@ mod tests {
         assert!(run(&argv(&["--idle-timeout-ms", "soon"])).is_err());
         assert!(run(&argv(&["--slow-op-ms", "fast"])).is_err());
         assert!(run(&argv(&["--slow-op-log-bytes", "0"])).is_err());
+        assert!(run(&argv(&["--events-log-bytes", "0"])).is_err());
+        assert!(run(&argv(&["--events-log-bytes", "soon"])).is_err());
         assert!(run(&argv(&["--audit-secs", "later"])).is_err());
         assert!(run(&argv(&["--audit-pairs", "0"])).is_err());
         assert!(run(&argv(&["--repl-pull-batch", "0"])).is_err());

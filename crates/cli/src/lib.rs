@@ -15,6 +15,9 @@
 //! * `recommend` — top-k recommendations via LSH retrieval + reranking.
 //! * `scrub`     — verify (and repair) a data directory's checksummed
 //!   snapshots and WAL segments.
+//! * `cluster-events` — merge per-node `events.jsonl` journals into
+//!   one causal cluster timeline and check the at-most-one-primary-
+//!   per-epoch invariant (post-mortem reconstruction).
 //!
 //! Argument parsing is hand-rolled (`args.rs`) to keep the dependency
 //! set at the workspace baseline.
@@ -48,6 +51,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         "convert" => commands::convert::run(rest).map(ok),
         "recommend" => commands::recommend::run(rest).map(ok),
         "scrub" => commands::scrub::run(rest),
+        "cluster-events" => commands::cluster_events::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(0)
@@ -76,6 +80,8 @@ USAGE:
                       [--snapshot-keep K] [--slow-op-ms MS] [--slow-op-log PATH]
                       [--audit-secs S] [--audit-pairs K] [--http-addr HOST:PORT]
   streamlink scrub    --data-dir DIR [--repair] [--metrics-out <file.json>]
+  streamlink cluster-events --merge <dir-or-journal> [--merge ...]   (exit 1 on a
+                      two-primaries-in-one-epoch violation in the merged timeline)
 
 Batch commands (ingest/query/evaluate/scrub) also accept --metrics-out <file.json>
 and --trace-out <file.json> to export the metrics registry and trace ring.

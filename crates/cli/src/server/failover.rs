@@ -6,24 +6,40 @@
 //! machine. This module wires it to the wire:
 //!
 //! ```text
-//! REPL LEASE <id> <epoch> <applied_seq>
+//! REPL LEASE <id> <epoch> <applied_seq> [corr=<id>]
 //!     replica -> primary, every puller tick. The primary treats it as
 //!     a lease renewal and answers `OK lease epoch=<e>
 //!     primary_seq=<s> tl=<timeline>`; a stale sender gets
 //!     `ERR fenced epoch=<e>`, a non-primary answers
 //!     `ERR not-primary epoch=<e>`.
-//! REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq>
+//! REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq> [corr=<id>]
 //!     candidate -> everyone, once its lease expired and its stagger
 //!     slot came up. Granted (`OK vote granted epoch=<t>`) at most once
 //!     per epoch, only to candidates at least as caught up as the
 //!     granter, and only while the granter's own lease agrees the
 //!     primary is gone.
-//! REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc>
+//! REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc> [corr=<id>]
 //!     a revived node -> the current primary: one un-replicated entry
 //!     from a dead timeline, re-acked as a fresh write. Deduped by a
 //!     per-old-epoch contiguous high-water mark, so retries and
 //!     concurrent survivors never double-insert.
 //! ```
+//!
+//! Every message above accepts an optional trailing `corr=<id>` token:
+//! a correlation id minted by the sender at session/campaign start,
+//! stamped into the [`streamlink_core::trace`] span on both ends and
+//! into every [`streamlink_core::events`] journal entry the exchange
+//! produces — so one id threads an election (or rejoin) across every
+//! node it touched.
+//!
+//! This module is also where the control plane becomes *observable*:
+//! every election, vote, promotion, fence, handoff and resync is
+//! recorded into the global [`streamlink_core::events`] journal with
+//! `(node, epoch, applied_seq, tick_ms)` provenance, and the
+//! `CLUSTER INFO` / `CLUSTER STATUS` commands (plus HTTP `/clusterz`)
+//! aggregate every member's self-reported view into one JSON snapshot
+//! that flags belief divergence (two primaries, epoch skew, lag-SLO
+//! breach, unreachable members).
 //!
 //! ## Why split-brain is impossible by construction
 //!
@@ -58,14 +74,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
+use streamlink_core::events::{self, ClusterEvent, EventKind};
 use streamlink_core::failover::{ExchangeOutcome, FailoverNode, Role, Timeline};
 use streamlink_core::journal::{self, JournalEntry, LineCheck};
-use streamlink_core::{metrics, PullOutcome, WireFormat};
+use streamlink_core::{metrics, trace, PullOutcome, WireFormat};
 
 use super::protocol::parse_bounded;
 use super::replication::{
-    adopt_config, id_seed, jittered, next_backoff, pull_once, readonly_moved, say_hello,
-    sleep_poll, snapshot_round_with, Lcg, PrimaryLink, ReplicaRuntime,
+    adopt_config, id_seed, jittered, new_corr_id, next_backoff, pull_once, readonly_moved,
+    say_hello, sleep_poll, snapshot_round_with, take_corr, Lcg, PrimaryLink, ReplicaRuntime,
 };
 use super::ServerState;
 
@@ -144,11 +161,13 @@ impl ClusterRuntime {
             }
         }
         let mut believed = None;
+        let mut bootstrapped = false;
         if config.bootstrap_primary {
             if node.bootstrap_primary() {
                 timeline.record_fork(1, local_seq);
                 data_epoch = 1;
                 believed = Some(config.advertise.clone());
+                bootstrapped = true;
                 eprintln!("failover: bootstrapped as primary at epoch 1 (base seq {local_seq})");
             } else {
                 eprintln!(
@@ -175,6 +194,27 @@ impl ClusterRuntime {
         };
         runtime.refresh_cache();
         runtime.persist_state()?;
+        if bootstrapped {
+            runtime.record_event(
+                EventKind::Bootstrap,
+                1,
+                local_seq,
+                format!("bootstrapped as primary (base seq {local_seq})"),
+                None,
+            );
+        }
+        runtime.record_event(
+            EventKind::ConfigChange,
+            runtime.epoch(),
+            local_seq,
+            format!(
+                "cluster config: peers={} lease_ms={} durable={}",
+                runtime.peers.len(),
+                runtime.lease_ms,
+                runtime.dir.is_some(),
+            ),
+            None,
+        );
         Ok(runtime)
     }
 
@@ -187,8 +227,10 @@ impl ClusterRuntime {
     }
 
     /// Monotonic milliseconds since this runtime was created — the
-    /// clock every lease/candidacy decision runs on.
-    fn now_ms(&self) -> u64 {
+    /// clock every lease/candidacy decision runs on, and the
+    /// `tick_ms` provenance stamp on every recorded cluster event.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
         u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
 
@@ -196,6 +238,35 @@ impl ClusterRuntime {
     #[must_use]
     pub fn advertise(&self) -> &str {
         &self.advertise
+    }
+
+    /// The other members' protocol addresses — the fan-out roster for
+    /// `CLUSTER STATUS` / `/clusterz`.
+    #[must_use]
+    pub fn peers(&self) -> &[String] {
+        &self.peers
+    }
+
+    /// Records one control-plane event into the global
+    /// [`streamlink_core::events`] journal, stamped with this node's
+    /// identity and monotonic clock.
+    fn record_event(
+        &self,
+        kind: EventKind,
+        epoch: u64,
+        applied_seq: u64,
+        detail: String,
+        corr_id: Option<u64>,
+    ) {
+        events::emit(ClusterEvent {
+            node_id: self.advertise.clone(),
+            epoch,
+            applied_seq,
+            tick_ms: self.now_ms(),
+            kind,
+            detail,
+            corr_id,
+        });
     }
 
     /// The lease window in milliseconds.
@@ -441,14 +512,15 @@ fn not_clustered() -> String {
     "ERR not clustered (start with --peers to enable failover)".into()
 }
 
-/// `REPL LEASE <id> <epoch> <applied_seq>` — the replica's combined
-/// liveness probe and lease renewal.
+/// `REPL LEASE <id> <epoch> <applied_seq> [corr=<id>]` — the replica's
+/// combined liveness probe and lease renewal.
 pub(super) fn lease_command(state: &ServerState, args: &[&str]) -> String {
     let Some(cluster) = state.cluster() else {
         return not_clustered();
     };
+    let (args, corr) = take_corr(args);
     let [_, id, epoch, seq] = args else {
-        return "ERR REPL LEASE takes <id> <epoch> <applied_seq>".into();
+        return "ERR REPL LEASE takes <id> <epoch> <applied_seq> [corr=<id>]".into();
     };
     let peer_epoch = match parse_bounded("epoch", epoch, 0, u64::MAX) {
         Ok(v) => v,
@@ -466,10 +538,19 @@ pub(super) fn lease_command(state: &ServerState, args: &[&str]) -> String {
         (outcome, prior, node.epoch())
     };
     match outcome {
-        ExchangeOutcome::RemoteStale => format!(
-            "ERR fenced epoch={my_epoch} (your epoch {peer_epoch} is stale; \
-             rejoin via the current primary)"
-        ),
+        ExchangeOutcome::RemoteStale => {
+            cluster.record_event(
+                EventKind::Fence,
+                my_epoch,
+                peer_seq,
+                format!("fenced lease from {id} at stale epoch {peer_epoch}"),
+                corr,
+            );
+            format!(
+                "ERR fenced epoch={my_epoch} (your epoch {peer_epoch} is stale; \
+                 rejoin via the current primary)"
+            )
+        }
         ExchangeOutcome::Adopted => {
             after_adoption(state, cluster, prior_role);
             format!("ERR not-primary epoch={}", cluster.epoch())
@@ -493,7 +574,8 @@ pub(super) fn lease_command(state: &ServerState, args: &[&str]) -> String {
     }
 }
 
-/// `REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq>`.
+/// `REPL VOTE <candidate> <target_epoch> <data_epoch> <candidate_seq>
+/// [corr=<id>]`.
 ///
 /// The candidate's log identity is `(data_epoch, seq)`, compared
 /// lexicographically against ours: a revived ex-primary with a long
@@ -503,8 +585,10 @@ pub(super) fn vote_command(state: &ServerState, args: &[&str]) -> String {
     let Some(cluster) = state.cluster() else {
         return not_clustered();
     };
+    let (args, corr) = take_corr(args);
     let [_, candidate, target, data_epoch, seq] = args else {
-        return "ERR REPL VOTE takes <candidate> <target_epoch> <data_epoch> <candidate_seq>"
+        return "ERR REPL VOTE takes <candidate> <target_epoch> <data_epoch> <candidate_seq> \
+                [corr=<id>]"
             .into();
     };
     let target_epoch = match parse_bounded("target_epoch", target, 1, u64::MAX) {
@@ -545,17 +629,26 @@ pub(super) fn vote_command(state: &ServerState, args: &[&str]) -> String {
     if let Err(e) = cluster.persist_state() {
         eprintln!("failover: could not persist vote for epoch {target_epoch}: {e}");
     }
+    cluster.record_event(
+        EventKind::VoteGranted,
+        target_epoch,
+        own_log.1,
+        format!("vote granted to {candidate}"),
+        corr,
+    );
     format!("OK vote granted epoch={target_epoch}")
 }
 
-/// `REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc>` — one dead-timeline
-/// entry, re-acked as a fresh write on the current primary.
+/// `REPL HANDOFF <old_epoch> F <seq> <u> <v> <crc> [corr=<id>]` — one
+/// dead-timeline entry, re-acked as a fresh write on the current
+/// primary.
 pub(super) fn handoff_command(state: &ServerState, args: &[&str]) -> String {
     let Some(cluster) = state.cluster() else {
         return not_clustered();
     };
+    let (args, corr) = take_corr(args);
     if args.len() < 3 {
-        return "ERR REPL HANDOFF takes <old_epoch> <wal line>".into();
+        return "ERR REPL HANDOFF takes <old_epoch> <wal line> [corr=<id>]".into();
     }
     let old_epoch = match parse_bounded("old_epoch", args[1], 1, u64::MAX) {
         Ok(v) => v,
@@ -596,6 +689,13 @@ pub(super) fn handoff_command(state: &ServerState, args: &[&str]) -> String {
             if let Err(e) = cluster.persist_with(&node, &timeline) {
                 eprintln!("failover: could not persist handoff highwater: {e}");
             }
+            cluster.record_event(
+                EventKind::HandoffAccepted,
+                node.epoch(),
+                new_seq,
+                format!("re-acked seq {} of dead epoch {old_epoch}", entry.seq),
+                corr,
+            );
             format!("OK handoff accepted seq={}", entry.seq)
         }
         Err(e) => format!("ERR storage: {e}"),
@@ -612,7 +712,7 @@ pub(super) fn promote_command(state: &ServerState) -> String {
         return format!("OK promoted epoch={} (already primary)", cluster.epoch());
     }
     let epoch = cluster.node().force_promote();
-    complete_promotion(state, cluster, epoch);
+    complete_promotion(state, cluster, epoch, None);
     format!("OK promoted epoch={epoch} (forced; fencing resumes once a majority reconnects)")
 }
 
@@ -653,8 +753,14 @@ fn local_seq(state: &ServerState, cluster: &ClusterRuntime) -> u64 {
 
 /// Everything promotion entails beyond the role flip: record the fork,
 /// re-seat the ship ring and journal at the fork base, persist, and
-/// refresh the gate caches.
-fn complete_promotion(state: &ServerState, cluster: &ClusterRuntime, epoch: u64) {
+/// refresh the gate caches. `corr` threads the election's correlation
+/// id into the recorded Promotion event (None for operator `PROMOTE`).
+fn complete_promotion(
+    state: &ServerState,
+    cluster: &ClusterRuntime,
+    epoch: u64,
+    corr: Option<u64>,
+) {
     let base = state.replica_runtime().map_or(0, |r| r.applied_seq());
     {
         let node = cluster.node();
@@ -682,6 +788,13 @@ fn complete_promotion(state: &ServerState, cluster: &ClusterRuntime, epoch: u64)
     let m = metrics::global();
     m.repl_promotions.incr();
     m.repl_epoch.set(epoch);
+    cluster.record_event(
+        EventKind::Promotion,
+        epoch,
+        base,
+        format!("promoted to primary (base seq {base})"),
+        corr,
+    );
     eprintln!("failover: promoted to primary at epoch {epoch} (base seq {base})");
 }
 
@@ -701,6 +814,13 @@ fn after_step_down(state: &ServerState, cluster: &ClusterRuntime) {
     if let Err(e) = cluster.persist_state() {
         eprintln!("failover: could not persist step-down: {e}");
     }
+    cluster.record_event(
+        EventKind::StepDown,
+        cluster.epoch(),
+        state.replica_runtime().map_or(0, |r| r.applied_seq()),
+        "stepped down; rejoining as a replica".to_string(),
+        None,
+    );
     eprintln!(
         "failover: stepped down at epoch {} (rejoining as a replica)",
         cluster.epoch(),
@@ -717,6 +837,13 @@ fn after_adoption(state: &ServerState, cluster: &ClusterRuntime, prior_role: Rol
         if let Err(e) = cluster.persist_state() {
             eprintln!("failover: could not persist adopted epoch: {e}");
         }
+        cluster.record_event(
+            EventKind::EpochAdopted,
+            cluster.epoch(),
+            state.replica_runtime().map_or(0, |r| r.applied_seq()),
+            "adopted newer epoch from a peer exchange".to_string(),
+            None,
+        );
     }
 }
 
@@ -831,6 +958,15 @@ fn replica_session(
     target: &str,
 ) -> io::Result<SessionEnd> {
     let mut link = PrimaryLink::connect(target, runtime.tuning.wire)?;
+    // One correlation id per session: every LEASE/PULL/HANDOFF this
+    // session sends carries it, so both ends' spans and events thread
+    // into one cross-node story.
+    let corr = new_corr_id(&cluster.advertise, cluster.now_ms());
+    runtime.set_corr(corr);
+    {
+        let _t = trace::op("repl.session");
+        trace::note_corr(corr);
+    }
     let hello = say_hello(&cluster.advertise, &mut link)?;
     if let Some(epoch) = hello.epoch {
         if epoch < cluster.epoch() {
@@ -842,7 +978,7 @@ fn replica_session(
     }
     adopt_config(state, runtime, &hello)?;
     match hello.timeline.as_deref().and_then(Timeline::parse) {
-        Some(remote_tl) => rejoin_timeline(state, cluster, runtime, &mut link, &remote_tl)?,
+        Some(remote_tl) => rejoin_timeline(state, cluster, runtime, &mut link, &remote_tl, corr)?,
         None => {
             // A primary without timeline info (old binary or fresh
             // cluster): fall back to the classic dead-timeline check.
@@ -866,7 +1002,7 @@ fn replica_session(
         // The lease renewal doubles as the liveness probe; only an
         // `OK lease` from the *primary* renews our timer.
         link.send(&format!(
-            "REPL LEASE {} {} {}",
+            "REPL LEASE {} {} {} corr={corr}",
             cluster.advertise,
             cluster.epoch(),
             runtime.applied_seq(),
@@ -929,6 +1065,7 @@ fn rejoin_timeline(
     runtime: &ReplicaRuntime,
     link: &mut PrimaryLink,
     remote_tl: &Timeline,
+    corr: u64,
 ) -> io::Result<()> {
     let data_epoch = cluster.data_epoch();
     let Some(base) = remote_tl.fork_after(data_epoch) else {
@@ -938,7 +1075,7 @@ fn rejoin_timeline(
     };
     let applied = runtime.applied_seq();
     if applied > base {
-        let handed = handoff_tail(state, cluster, link, data_epoch, base, applied)?;
+        let handed = handoff_tail(state, cluster, link, data_epoch, base, applied, corr)?;
         eprintln!(
             "failover: handed off {handed} un-replicated entr(y/ies) \
              from dead epoch {data_epoch} (seqs {}..={applied})",
@@ -953,6 +1090,16 @@ fn rejoin_timeline(
     if let Err(e) = cluster.persist_state() {
         eprintln!("failover: could not persist rejoin: {e}");
     }
+    cluster.record_event(
+        EventKind::Resync,
+        remote_tl.latest_epoch(),
+        runtime.applied_seq(),
+        format!(
+            "resynced off dead epoch {data_epoch} onto timeline {}",
+            remote_tl.render()
+        ),
+        Some(corr),
+    );
     Ok(())
 }
 
@@ -972,6 +1119,7 @@ fn handoff_tail(
     old_epoch: u64,
     base: u64,
     applied: u64,
+    corr: u64,
 ) -> io::Result<u64> {
     let provenance = cluster.timeline().clone();
     let mut handed = 0u64;
@@ -999,7 +1147,7 @@ fn handoff_tail(
                 ),
                 None => (old_epoch, entry),
             };
-            link.send(&format!("REPL HANDOFF {send_epoch} {entry}"))?;
+            link.send(&format!("REPL HANDOFF {send_epoch} {entry} corr={corr}"))?;
             let reply = link.recv()?;
             if reply.starts_with("OK handoff accepted") {
                 handed += 1;
@@ -1057,6 +1205,18 @@ fn maybe_campaign(state: &ServerState, cluster: &ClusterRuntime, runtime: &Repli
     cluster.refresh_cache();
     let my_seq = runtime.applied_seq();
     let my_data_epoch = cluster.data_epoch();
+    // One correlation id per campaign: every VOTE it sends (and the
+    // Promotion it may end in) carries it, on both ends.
+    let corr = new_corr_id(&cluster.advertise, now);
+    let _campaign_span = trace::op("repl.campaign");
+    trace::note_corr(corr);
+    cluster.record_event(
+        EventKind::CandidacyStarted,
+        target,
+        my_seq,
+        format!("lease expired; seeking votes (local log {my_data_epoch}:{my_seq})"),
+        Some(corr),
+    );
     eprintln!(
         "failover: primary lease expired; seeking votes for epoch {target} \
          (local log {my_data_epoch}:{my_seq})"
@@ -1067,18 +1227,25 @@ fn maybe_campaign(state: &ServerState, cluster: &ClusterRuntime, runtime: &Repli
         .node()
         .record_grant(&cluster.advertise, cluster.now_ms())
     {
-        complete_promotion(state, cluster, target);
+        complete_promotion(state, cluster, target, Some(corr));
         return;
     }
     for peer in &cluster.peers {
         if state.shutdown_requested() {
             return;
         }
-        match request_vote(peer, &cluster.advertise, target, my_data_epoch, my_seq) {
+        match request_vote(
+            peer,
+            &cluster.advertise,
+            target,
+            my_data_epoch,
+            my_seq,
+            corr,
+        ) {
             VoteReply::Granted => {
                 let won = cluster.node().record_grant(peer, cluster.now_ms());
                 if won {
-                    complete_promotion(state, cluster, target);
+                    complete_promotion(state, cluster, target, Some(corr));
                     return;
                 }
             }
@@ -1099,11 +1266,18 @@ enum VoteReply {
     Unreachable,
 }
 
-fn request_vote(peer: &str, candidate: &str, target: u64, data_epoch: u64, seq: u64) -> VoteReply {
+fn request_vote(
+    peer: &str,
+    candidate: &str,
+    target: u64,
+    data_epoch: u64,
+    seq: u64,
+    corr: u64,
+) -> VoteReply {
     let ask = || -> io::Result<String> {
         let mut link = PrimaryLink::connect(peer, WireFormat::TextV2)?;
         link.send(&format!(
-            "REPL VOTE {candidate} {target} {data_epoch} {seq}"
+            "REPL VOTE {candidate} {target} {data_epoch} {seq} corr={corr}"
         ))?;
         link.recv()
     };
@@ -1121,10 +1295,11 @@ fn fenced_probe(state: &ServerState, cluster: &ClusterRuntime) {
     if target == cluster.advertise {
         return;
     }
+    let corr = new_corr_id(&cluster.advertise, cluster.now_ms());
     let probe = || -> io::Result<String> {
         let mut link = PrimaryLink::connect(&target, WireFormat::TextV2)?;
         link.send(&format!(
-            "REPL LEASE {} {} {}",
+            "REPL LEASE {} {} {} corr={corr}",
             cluster.advertise,
             cluster.epoch(),
             local_seq(state, cluster),
@@ -1143,6 +1318,266 @@ fn fenced_probe(state: &ServerState, cluster: &ClusterRuntime) {
         }
         Err(_) => cluster.probe_failed(&target),
     }
+}
+
+// ---------------------------------------------------------------------
+// Cluster-wide status aggregation (`CLUSTER INFO` / `CLUSTER STATUS`,
+// HTTP `/clusterz`).
+// ---------------------------------------------------------------------
+
+/// Executes one `CLUSTER <sub>` command. `INFO` answers from local
+/// state only (one parseable `OK cluster ...` line); `STATUS` fans out
+/// to every peer and returns the merged single-line
+/// `streamlink.clusterz.v1` JSON snapshot.
+pub(super) fn cluster_command(state: &ServerState, args: &[&str]) -> String {
+    let (args, _corr) = take_corr(args);
+    let Some(sub) = args.first() else {
+        return "ERR CLUSTER takes a subcommand (INFO, STATUS)".into();
+    };
+    match sub.to_ascii_uppercase().as_str() {
+        "INFO" => {
+            if args.len() != 1 {
+                return "ERR CLUSTER INFO takes no arguments".into();
+            }
+            cluster_info_line(state)
+        }
+        "STATUS" => {
+            if args.len() != 1 {
+                return "ERR CLUSTER STATUS takes no arguments".into();
+            }
+            clusterz_json(state).map_or_else(not_clustered, |(json, _divergent)| json)
+        }
+        other => format!("ERR unknown CLUSTER subcommand {other:?} (INFO, STATUS)"),
+    }
+}
+
+/// One node's own view as a single parseable `OK cluster ...` line —
+/// what `CLUSTER INFO` answers and what the `/clusterz` fan-out
+/// collects from each member.
+pub(super) fn cluster_info_line(state: &ServerState) -> String {
+    let Some(cluster) = state.cluster() else {
+        return not_clustered();
+    };
+    let is_primary = cluster.is_primary();
+    let role = if is_primary { "primary" } else { "replica" };
+    let (applied, persisted, lag) = match state.replica_runtime() {
+        Some(r) if !is_primary => (r.applied_seq(), r.persisted_seq(), r.durable_lag()),
+        _ => {
+            let seq = state.primary_repl().map_or(0, |repl| repl.log().last_seq());
+            (seq, seq, 0)
+        }
+    };
+    let lag_slo = state.replica_runtime().map_or(0, |r| r.lag_slo);
+    let healthy = if is_primary {
+        cluster.writable_now()
+    } else {
+        state
+            .replica_runtime()
+            .is_some_and(|r| r.connected() && !r.lag_exceeds_slo())
+    };
+    format!(
+        "OK cluster node={} role={role} epoch={} data_epoch={} applied_seq={applied} \
+         persisted_seq={persisted} lag={lag} lag_slo={lag_slo} writable={} \
+         believed={} healthy={}",
+        cluster.advertise(),
+        cluster.epoch(),
+        cluster.data_epoch(),
+        u64::from(cluster.writable_now()),
+        cluster.believed_primary().unwrap_or_else(|| "?".into()),
+        u64::from(healthy),
+    )
+}
+
+/// One member's parsed (or unreachable) view during a status fan-out.
+struct NodeView {
+    node: String,
+    reachable: bool,
+    role: String,
+    epoch: u64,
+    data_epoch: u64,
+    applied_seq: u64,
+    persisted_seq: u64,
+    lag: u64,
+    lag_slo: u64,
+    writable: bool,
+    believed: String,
+    healthy: bool,
+}
+
+impl NodeView {
+    fn unreachable(node: &str) -> NodeView {
+        NodeView {
+            node: node.to_string(),
+            reachable: false,
+            role: "unknown".into(),
+            epoch: 0,
+            data_epoch: 0,
+            applied_seq: 0,
+            persisted_seq: 0,
+            lag: 0,
+            lag_slo: 0,
+            writable: false,
+            believed: "?".into(),
+            healthy: false,
+        }
+    }
+
+    /// Parses an `OK cluster ...` line into a view; anything else
+    /// (error reply, old binary) counts as unreachable.
+    fn parse(node: &str, line: &str) -> NodeView {
+        if !line.starts_with("OK cluster ") {
+            return NodeView::unreachable(node);
+        }
+        let field = |key: &str| {
+            line.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(key))
+                .map(str::to_string)
+        };
+        let num = |key: &str| field(key).and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+        NodeView {
+            node: node.to_string(),
+            reachable: true,
+            role: field("role=").unwrap_or_else(|| "unknown".into()),
+            epoch: num("epoch="),
+            data_epoch: num("data_epoch="),
+            applied_seq: num("applied_seq="),
+            persisted_seq: num("persisted_seq="),
+            lag: num("lag="),
+            lag_slo: num("lag_slo="),
+            writable: num("writable=") == 1,
+            believed: field("believed=").unwrap_or_else(|| "?".into()),
+            healthy: num("healthy=") == 1,
+        }
+    }
+
+    fn render_json(&self) -> String {
+        if !self.reachable {
+            return format!("{{\"node\":{},\"reachable\":false}}", json_str(&self.node));
+        }
+        format!(
+            "{{\"node\":{},\"reachable\":true,\"role\":{},\"epoch\":{},\"data_epoch\":{},\
+             \"applied_seq\":{},\"persisted_seq\":{},\"lag\":{},\"lag_slo\":{},\
+             \"writable\":{},\"believed\":{},\"healthy\":{}}}",
+            json_str(&self.node),
+            json_str(&self.role),
+            self.epoch,
+            self.data_epoch,
+            self.applied_seq,
+            self.persisted_seq,
+            self.lag,
+            self.lag_slo,
+            self.writable,
+            json_str(&self.believed),
+            self.healthy,
+        )
+    }
+}
+
+/// Minimal JSON string quoting (addresses and roles hold no exotic
+/// characters today, but quoting stays correct if one ever does).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Dials one member and asks for its `CLUSTER INFO` line. The
+/// connect/read timeouts on [`PrimaryLink`] bound the wait, and the
+/// fan-out corr id rides along so the probe shows up correlated in the
+/// remote's trace ring.
+fn probe_cluster_info(addr: &str, corr: u64) -> Option<String> {
+    let mut link = PrimaryLink::connect(addr, WireFormat::TextV2).ok()?;
+    link.send(&format!("CLUSTER INFO corr={corr}")).ok()?;
+    link.recv().ok()
+}
+
+/// The merged `streamlink.clusterz.v1` snapshot: this node's view plus
+/// a bounded, timeout-guarded parallel fan-out to every `--peers`
+/// member. Returns `(single-line json, divergent)`; `None` when this
+/// node is not clustered.
+///
+/// Divergence flags cover the beliefs that must agree on a healthy
+/// cluster: at most one primary, one epoch, every member reachable,
+/// and no replica past its lag SLO.
+pub(super) fn clusterz_json(state: &ServerState) -> Option<(String, bool)> {
+    let cluster = state.cluster()?;
+    let corr = new_corr_id(cluster.advertise(), cluster.now_ms());
+    trace::note_corr(corr);
+    let mut views = vec![NodeView::parse(
+        cluster.advertise(),
+        &cluster_info_line(state),
+    )];
+    let peer_views: Vec<NodeView> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cluster
+            .peers()
+            .iter()
+            .map(|peer| {
+                scope.spawn(move || match probe_cluster_info(peer, corr) {
+                    Some(line) => NodeView::parse(peer, &line),
+                    None => NodeView::unreachable(peer),
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .zip(cluster.peers())
+            .map(|(h, peer)| h.join().unwrap_or_else(|_| NodeView::unreachable(peer)))
+            .collect()
+    });
+    views.extend(peer_views);
+    let primaries = views
+        .iter()
+        .filter(|v| v.reachable && v.role == "primary")
+        .count();
+    let epochs: Vec<u64> = views
+        .iter()
+        .filter(|v| v.reachable)
+        .map(|v| v.epoch)
+        .collect();
+    let epoch_min = epochs.iter().copied().min().unwrap_or(0);
+    let epoch_max = epochs.iter().copied().max().unwrap_or(0);
+    let unreachable = views.iter().filter(|v| !v.reachable).count();
+    let lag_breach = views
+        .iter()
+        .any(|v| v.reachable && v.lag_slo > 0 && v.lag > v.lag_slo);
+    let mut flags: Vec<&str> = Vec::new();
+    if primaries > 1 {
+        flags.push("multiple-primaries");
+    }
+    if primaries == 0 {
+        flags.push("no-reachable-primary");
+    }
+    if epoch_min != epoch_max {
+        flags.push("epoch-skew");
+    }
+    if lag_breach {
+        flags.push("lag-slo-breach");
+    }
+    if unreachable > 0 {
+        flags.push("unreachable-members");
+    }
+    let divergent = !flags.is_empty();
+    let node_rows: Vec<String> = views.iter().map(NodeView::render_json).collect();
+    let flag_rows: Vec<String> = flags.iter().map(|f| json_str(f)).collect();
+    let json = format!(
+        "{{\"schema\":\"streamlink.clusterz.v1\",\"observer\":{},\"corr_id\":{corr},\
+         \"epoch_min\":{epoch_min},\"epoch_max\":{epoch_max},\"primaries\":{primaries},\
+         \"unreachable\":{unreachable},\"divergent\":{divergent},\"flags\":[{}],\"nodes\":[{}]}}",
+        json_str(cluster.advertise()),
+        flag_rows.join(","),
+        node_rows.join(","),
+    );
+    Some((json, divergent))
 }
 
 #[cfg(test)]
@@ -1359,8 +1794,122 @@ mod tests {
             handoff_command(&state, &["HANDOFF", "1", "F", "1", "2", "3", "0"]),
             promote_command(&state),
             demote_command(&state),
+            cluster_command(&state, &["INFO"]),
+            cluster_command(&state, &["STATUS"]),
         ] {
             assert!(reply.starts_with("ERR not clustered"), "{reply}");
         }
+    }
+
+    #[test]
+    fn lease_round_trips_a_trailing_corr_token() {
+        let (state, _cluster) = cluster_state(true);
+        let reply = lease_command(
+            &state,
+            &["LEASE", "127.0.0.1:7002", "1", "0", "corr=42424242"],
+        );
+        assert!(
+            reply.starts_with("OK lease epoch=1 primary_seq=0 tl=1:0"),
+            "{reply}"
+        );
+        // A stale lease carrying a corr id stamps the Fence event with
+        // it, so the fence shows up correlated in the merged timeline.
+        let reply = lease_command(
+            &state,
+            &["LEASE", "127.0.0.1:7002", "0", "7", "corr=42424243"],
+        );
+        assert!(reply.starts_with("ERR fenced epoch=1"), "{reply}");
+        let fence = streamlink_core::events::recent(streamlink_core::events::RING_CAPACITY)
+            .into_iter()
+            .find(|e| e.corr_id == Some(42_424_243))
+            .expect("fence event recorded with the corr id");
+        assert_eq!(fence.kind, EventKind::Fence);
+        assert_eq!(fence.applied_seq, 7);
+        // A malformed corr value is not silently eaten: it fails the
+        // arity check instead of being parsed as a positional arg.
+        let reply = lease_command(&state, &["LEASE", "127.0.0.1:7002", "1", "0", "corr=xyz"]);
+        assert!(reply.starts_with("ERR REPL LEASE takes"), "{reply}");
+    }
+
+    #[test]
+    fn granted_votes_record_an_event_with_the_campaign_corr() {
+        let (state, cluster) = cluster_state(false);
+        cluster.node().arm(0);
+        std::thread::sleep(Duration::from_millis(250));
+        let reply = vote_command(
+            &state,
+            &["VOTE", "127.0.0.1:7002", "1", "0", "0", "corr=99990001"],
+        );
+        assert_eq!(reply, "OK vote granted epoch=1");
+        let vote = streamlink_core::events::recent(streamlink_core::events::RING_CAPACITY)
+            .into_iter()
+            .find(|e| e.corr_id == Some(99_990_001))
+            .expect("vote event recorded with the corr id");
+        assert_eq!(vote.kind, EventKind::VoteGranted);
+        assert_eq!(vote.epoch, 1);
+        assert!(vote.detail.contains("127.0.0.1:7002"), "{}", vote.detail);
+    }
+
+    #[test]
+    fn handoff_accepts_a_trailing_corr_without_corrupting_the_frame() {
+        let (state, cluster) = cluster_state(true);
+        for i in 1..=3u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 50)).unwrap();
+        }
+        {
+            let mut tl = cluster.timeline();
+            tl.record_fork(2, 3);
+        }
+        cluster.node().force_promote();
+        cluster.refresh_cache();
+        let entry = JournalEntry {
+            seq: 4,
+            u: VertexId(9),
+            v: VertexId(90),
+        };
+        let line = entry.to_string();
+        let mut args = vec!["HANDOFF", "1"];
+        args.extend(line.split_whitespace());
+        args.push("corr=55500177");
+        let reply = handoff_command(&state, &args);
+        assert_eq!(reply, "OK handoff accepted seq=4");
+        let ev = streamlink_core::events::recent(streamlink_core::events::RING_CAPACITY)
+            .into_iter()
+            .find(|e| e.corr_id == Some(55_500_177))
+            .expect("handoff event recorded with the corr id");
+        assert_eq!(ev.kind, EventKind::HandoffAccepted);
+        assert_eq!(ev.applied_seq, 4);
+    }
+
+    #[test]
+    fn clusterz_snapshot_flags_unreachable_peers() {
+        let (state, _cluster) = cluster_state(true);
+        let (json, divergent) = clusterz_json(&state).expect("clustered node");
+        assert!(
+            json.starts_with("{\"schema\":\"streamlink.clusterz.v1\""),
+            "{json}"
+        );
+        assert!(!json.contains('\n'), "snapshot must be one line");
+        assert!(divergent, "dead peers must flag divergence: {json}");
+        assert!(json.contains("\"unreachable\":2"), "{json}");
+        assert!(json.contains("\"unreachable-members\""), "{json}");
+        assert!(json.contains("\"role\":\"primary\""), "{json}");
+        // The protocol command returns the same snapshot shape.
+        let via_cmd = cluster_command(&state, &["STATUS"]);
+        assert!(
+            via_cmd.starts_with("{\"schema\":\"streamlink.clusterz.v1\""),
+            "{via_cmd}"
+        );
+        // INFO answers locally with one parseable line.
+        let info = cluster_command(&state, &["INFO"]);
+        assert!(
+            info.starts_with("OK cluster node=127.0.0.1:7001 role=primary epoch=1"),
+            "{info}"
+        );
+        let view = NodeView::parse("127.0.0.1:7001", &info);
+        assert!(view.reachable);
+        assert_eq!(view.role, "primary");
+        assert_eq!(view.epoch, 1);
+        assert_eq!(view.believed, "127.0.0.1:7001");
     }
 }

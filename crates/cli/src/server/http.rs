@@ -13,6 +13,13 @@
 //!   ring as `streamlink.trace.v1` JSON.
 //! * `GET /memz` — the live component memory breakdown as
 //!   `streamlink.memz.v1` JSON (also refreshes the `mem.*` gauges).
+//! * `GET /clusterz` — the single-pane cluster view: this node fans
+//!   out `CLUSTER INFO` to every `--peers` member and answers one
+//!   `streamlink.clusterz.v1` JSON snapshot — `200` when the members'
+//!   beliefs agree, `503` when they diverge (two primaries, epoch
+//!   skew, lag-SLO breach, unreachable members) so the endpoint can
+//!   drive an alert directly. `503` with an `error` body outside
+//!   cluster mode.
 //!
 //! ## Why a stuck scraper cannot stall ingest
 //!
@@ -251,15 +258,18 @@ pub fn respond(state: &ServerState, method: &str, target: &str) -> Response {
     match path {
         "/metrics" => {
             state.refresh_observable_gauges();
+            let mut body = streamlink_core::metrics::global()
+                .snapshot()
+                .render_prometheus();
+            append_labeled_gauges(state, &mut body);
             Response {
                 status: 200,
                 content_type: PROMETHEUS_CONTENT_TYPE,
-                body: streamlink_core::metrics::global()
-                    .snapshot()
-                    .render_prometheus(),
+                body,
             }
         }
         "/healthz" => healthz(state),
+        "/clusterz" => clusterz(state),
         "/tracez" => {
             let n = query
                 .and_then(|q| {
@@ -290,6 +300,73 @@ fn json_safe(raw: &str, max: usize) -> String {
         .filter(|c| c.is_ascii_graphic() && *c != '"' && *c != '\\')
         .take(max)
         .collect()
+}
+
+/// Appends the dynamically-labeled gauges the static registry cannot
+/// hold to the Prometheus body: one `streamlink_repl_peer_*` series
+/// per checked-in replica, plus the `streamlink_repl_believed_primary_info`
+/// info-style gauge whose label carries the MOVED hint this node would
+/// answer — so a dashboard can show "who does each node think is
+/// primary" without parsing the TCP protocol.
+fn append_labeled_gauges(state: &ServerState, body: &mut String) {
+    use std::fmt::Write as _;
+    if !body.is_empty() && !body.ends_with('\n') {
+        body.push('\n');
+    }
+    if let Some(repl) = state.primary_repl() {
+        let peers = repl.peer_overview();
+        if !peers.is_empty() {
+            let _ = writeln!(body, "# TYPE streamlink_repl_peer_lag_seq gauge");
+            for p in &peers {
+                let _ = writeln!(
+                    body,
+                    "streamlink_repl_peer_lag_seq{{peer=\"{}\"}} {}",
+                    json_safe(&p.id, 64),
+                    p.lag_seq
+                );
+            }
+            let _ = writeln!(body, "# TYPE streamlink_repl_peer_last_seen_ms gauge");
+            for p in &peers {
+                let _ = writeln!(
+                    body,
+                    "streamlink_repl_peer_last_seen_ms{{peer=\"{}\"}} {}",
+                    json_safe(&p.id, 64),
+                    p.last_seen_ms
+                );
+            }
+            let _ = writeln!(body, "# TYPE streamlink_repl_peer_state gauge");
+            for p in &peers {
+                let _ = writeln!(
+                    body,
+                    "streamlink_repl_peer_state{{peer=\"{}\"}} {}",
+                    json_safe(&p.id, 64),
+                    u64::from(p.live)
+                );
+            }
+        }
+    }
+    if let Some(primary) = state.cluster().and_then(|c| c.believed_primary()) {
+        let _ = writeln!(body, "# TYPE streamlink_repl_believed_primary_info gauge");
+        let _ = writeln!(
+            body,
+            "streamlink_repl_believed_primary_info{{primary=\"{}\"}} 1",
+            json_safe(&primary, 64)
+        );
+    }
+}
+
+/// The `/clusterz` verdict: the whole-cluster snapshot from this
+/// node's vantage point. Divergence (or an unreachable member) answers
+/// `503` so the endpoint doubles as an alert probe; a server without
+/// `--peers` has no cluster plane to describe.
+fn clusterz(state: &ServerState) -> Response {
+    match super::failover::clusterz_json(state) {
+        Some((json, divergent)) => Response::json(if divergent { 503 } else { 200 }, json),
+        None => Response::json(
+            503,
+            "{\"error\":\"not clustered: start with --peers to enable the cluster plane\"}".into(),
+        ),
+    }
 }
 
 /// The `/healthz` verdict: `200` iff storage is healthy, the rolling
@@ -356,10 +433,18 @@ fn healthz(state: &ServerState) -> Response {
                 // A primary's own health does not depend on its replicas —
                 // lag is surfaced for alerting, never flips this endpoint.
                 let (connected, max_lag) = repl.lag_overview();
+                // The believed-primary field mirrors the MOVED hint the
+                // TCP plane answers; on a healthy primary that is its
+                // own advertise address.
+                let believed = state
+                    .cluster()
+                    .and_then(|c| c.believed_primary())
+                    .map_or_else(|| "null".to_string(), |p| format!("\"{p}\""));
                 (
                     true,
                     format!(
-                        "{{\"role\":\"primary\",\"replicas_connected\":{connected},\
+                        "{{\"role\":\"primary\",\"believed_primary\":{believed},\
+                         \"replicas_connected\":{connected},\
                          \"max_lag_edges\":{max_lag}}}"
                     ),
                 )
@@ -571,6 +656,121 @@ mod tests {
         assert_eq!(r.status, 200, "{}", r.body);
         assert!(r.body.contains("\"role\":\"primary\""), "{}", r.body);
         assert!(r.body.contains("\"repl_ok\":true"), "{}", r.body);
+    }
+
+    #[test]
+    fn clusterz_is_503_with_an_error_outside_cluster_mode() {
+        let s = state();
+        let r = respond(&s, "GET", "/clusterz");
+        assert_eq!(r.status, 503);
+        assert!(r.body.contains("not clustered"), "{}", r.body);
+    }
+
+    #[test]
+    fn clusterz_answers_503_and_flags_when_members_diverge() {
+        use crate::server::failover::{ClusterConfig, ClusterRuntime};
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        use std::time::Duration;
+        // A bootstrapped primary whose two peers are dead sockets: the
+        // snapshot must come back divergent with both members flagged
+        // unreachable, and the endpoint must turn that into a 503.
+        let config = ClusterConfig {
+            advertise: "127.0.0.1:7111".into(),
+            peers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            lease: Duration::from_millis(200),
+            bootstrap_primary: true,
+        };
+        let cluster = Arc::new(ClusterRuntime::new(&config, None, 0).unwrap());
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:1".into(),
+            "127.0.0.1:7111".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        let s =
+            ServerState::with_cluster(store, None, 0, ServerConfig::default(), runtime, cluster);
+        let r = respond(&s, "GET", "/clusterz");
+        assert_eq!(r.status, 503, "{}", r.body);
+        assert!(
+            r.body.starts_with("{\"schema\":\"streamlink.clusterz.v1\""),
+            "{}",
+            r.body
+        );
+        assert!(r.body.contains("\"divergent\":true"), "{}", r.body);
+        assert!(r.body.contains("unreachable-members"), "{}", r.body);
+        // The believed-primary info gauge rides the Prometheus surface.
+        let m = respond(&s, "GET", "/metrics");
+        assert!(
+            m.body
+                .contains("streamlink_repl_believed_primary_info{primary=\"127.0.0.1:7111\"} 1"),
+            "{}",
+            m.body.lines().rev().take(8).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_per_peer_series_once_replicas_check_in() {
+        let mut store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        for v in 0..10u64 {
+            store.insert_edge(graphstream::VertexId(v), graphstream::VertexId(v + 100));
+        }
+        let s = ServerState::in_memory(store, ServerConfig::default());
+        let repl = s.primary_repl().expect("primary has a ship ring");
+        repl.note_peer("gamma", 4);
+        let r = respond(&s, "GET", "/metrics");
+        assert!(
+            r.body.contains("# TYPE streamlink_repl_peer_lag_seq gauge"),
+            "missing TYPE header"
+        );
+        assert!(
+            r.body
+                .contains("streamlink_repl_peer_lag_seq{peer=\"gamma\"} 6"),
+            "{}",
+            r.body.lines().rev().take(12).collect::<Vec<_>>().join("\n")
+        );
+        assert!(r
+            .body
+            .contains("streamlink_repl_peer_state{peer=\"gamma\"} 1"));
+        assert!(r
+            .body
+            .contains("streamlink_repl_peer_last_seen_ms{peer=\"gamma\"}"));
+    }
+
+    #[test]
+    fn healthz_primary_leg_reports_the_believed_primary_in_cluster_mode() {
+        use crate::server::failover::{ClusterConfig, ClusterRuntime};
+        use crate::server::replication::{ReplicaRuntime, ReplicaTuning};
+        use std::sync::Arc;
+        use std::time::Duration;
+        let config = ClusterConfig {
+            advertise: "127.0.0.1:7112".into(),
+            peers: vec!["127.0.0.1:1".into()],
+            lease: Duration::from_millis(200),
+            bootstrap_primary: true,
+        };
+        let cluster = Arc::new(ClusterRuntime::new(&config, None, 0).unwrap());
+        let runtime = Arc::new(ReplicaRuntime::new(
+            "127.0.0.1:1".into(),
+            "127.0.0.1:7112".into(),
+            100_000,
+            ReplicaTuning::default(),
+        ));
+        let store = SketchStore::new(SketchConfig::with_slots(64).seed(3));
+        let s =
+            ServerState::with_cluster(store, None, 0, ServerConfig::default(), runtime, cluster);
+        let r = respond(&s, "GET", "/healthz");
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(
+            r.body.contains("\"believed_primary\":\"127.0.0.1:7112\""),
+            "{}",
+            r.body
+        );
+        // Outside cluster mode the field is null, not absent.
+        let plain = state();
+        let r = respond(&plain, "GET", "/healthz");
+        assert!(r.body.contains("\"believed_primary\":null"), "{}", r.body);
     }
 
     #[test]

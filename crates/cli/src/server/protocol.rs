@@ -56,6 +56,16 @@
 //!                             cluster mode only)
 //! DEMOTE                   -> OK demoted epoch=<e>   (step down;
 //!                             cluster mode only)
+//! CLUSTER INFO             -> OK cluster node=<a> role=<r> epoch=<e>
+//!                             data_epoch=<d> applied_seq=<n>
+//!                             persisted_seq=<n> lag=<n> lag_slo=<n>
+//!                             writable=<0|1> believed=<addr|?>
+//!                             healthy=<0|1>   (this node's own belief)
+//! CLUSTER STATUS           -> one `streamlink.clusterz.v1` JSON line:
+//!                             the whole cluster as seen from here —
+//!                             fans out CLUSTER INFO to every --peers
+//!                             member and flags belief divergence
+//!                             (two primaries, epoch skew, lag breach)
 //! HELLO [v2|v3]            -> OK fmt=v2 | OK fmt=v3; `HELLO v3`
 //!                             switches this connection's *responses*
 //!                             to length-prefixed binary envelopes
@@ -185,6 +195,7 @@ fn command_span_name(line: &str) -> &'static str {
         "TRACE" => "cmd.trace",
         "HEALTH" => "cmd.health",
         "REPL" => "cmd.repl",
+        "CLUSTER" => "cmd.cluster",
         "PROMOTE" | "DEMOTE" => "cmd.failover",
         "HELLO" => "cmd.hello",
         "PING" => "cmd.ping",
@@ -262,7 +273,26 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             m.connections_active.set(state.connections_active() as u64);
             m.journal_lag_edges.set(state.journal_lag());
             let snapshot = m.snapshot();
-            format!("{}\nOK {} metrics", snapshot.render_text(), snapshot.len())
+            // Per-peer replication gauges carry a dynamic peer id the
+            // static-keyed registry cannot hold, so they are rendered
+            // here at the exposition point; the terminator's announced
+            // count covers them so clients can still trust it.
+            let mut body = snapshot.render_text();
+            let mut extra = 0usize;
+            if let Some(repl) = state.primary_repl() {
+                for peer in repl.peer_overview() {
+                    body.push_str(&format!(
+                        "\nrepl.peer.{id}.lag_seq={}\nrepl.peer.{id}.last_seen_ms={}\
+                         \nrepl.peer.{id}.state={}",
+                        peer.lag_seq,
+                        peer.last_seen_ms,
+                        u64::from(peer.live),
+                        id = peer.id,
+                    ));
+                    extra += 3;
+                }
+            }
+            format!("{body}\nOK {} metrics", snapshot.len() + extra)
         }
         "TRACE" => {
             let n = match args.as_slice() {
@@ -337,6 +367,7 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             _ => "ERR DEGREE takes exactly one vertex id".into(),
         },
         "REPL" => super::replication::repl_command(state, &args),
+        "CLUSTER" => super::failover::cluster_command(state, &args),
         "PROMOTE" => {
             if !args.is_empty() {
                 return "ERR PROMOTE takes no arguments".into();
@@ -427,7 +458,7 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         other => format!(
             "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
              RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
-             HEALTH, REPL, PROMOTE, DEMOTE, HELLO, PING, QUIT)"
+             HEALTH, REPL, CLUSTER, PROMOTE, DEMOTE, HELLO, PING, QUIT)"
         ),
     }
 }
@@ -1125,6 +1156,82 @@ mod tests {
             help.contains("PROMOTE") && help.contains("DEMOTE"),
             "{help}"
         );
+    }
+
+    #[test]
+    fn cluster_commands_are_crlf_case_tolerant_and_argument_strict() {
+        // Outside cluster mode every CLUSTER subcommand answers the
+        // same refusal the other failover verbs use, through any
+        // spelling a telnet client can produce.
+        let s = state();
+        assert!(handle_command(&s, "CLUSTER INFO").starts_with("ERR not clustered"));
+        assert!(handle_command(&s, "cluster info\r").starts_with("ERR not clustered"));
+        assert!(handle_command(&s, "  Cluster Status  \r").starts_with("ERR not clustered"));
+        // A trailing correlation token is stripped before dispatch.
+        assert!(handle_command(&s, "CLUSTER STATUS corr=17\r").starts_with("ERR not clustered"));
+        // Arity and spelling stay strict.
+        assert!(handle_command(&s, "CLUSTER").starts_with("ERR CLUSTER takes"));
+        assert!(handle_command(&s, "CLUSTER INFO now").starts_with("ERR CLUSTER"));
+        assert!(handle_command(&s, "CLUSTER FROBNICATE").starts_with("ERR unknown CLUSTER"));
+        // And the verb appears in the help text.
+        let help = handle_command(&s, "FROBNICATE");
+        assert!(help.contains("CLUSTER"), "{help}");
+    }
+
+    #[test]
+    fn repl_corr_tokens_round_trip_through_the_command_surface() {
+        // A trailing `corr=<id>` rides any REPL verb without changing
+        // the reply grammar; a malformed one is left in place so the
+        // arity check rejects it loudly.
+        let s = state();
+        let _ = handle_command(&s, "INSERT 50 51");
+        assert!(handle_command(&s, "\tREPL pull r1 40 10 corr=9000001\r")
+            .ends_with("OK 1 entries primary_seq=41"));
+        assert!(handle_command(&s, "REPL PULL r1 40 10 corr=xyz").starts_with("ERR REPL PULL"));
+        // Cluster-only verbs still answer not-clustered with a corr.
+        assert!(
+            handle_command(&s, "repl lease n2 1 0 corr=9000002\r").starts_with("ERR not clustered")
+        );
+        assert!(
+            handle_command(&s, "REPL VOTE n2 2 0 corr=9000003").starts_with("ERR not clustered")
+        );
+    }
+
+    #[test]
+    fn metrics_exposes_per_peer_replication_gauges() {
+        let s = state();
+        // Two replicas check in at different lags. The fixture ring
+        // starts at seq 40, so alpha's ask-from-5 earns a resync nack —
+        // but its ack mark (and so its lag) is recorded regardless.
+        assert!(handle_command(&s, "REPL HELLO alpha").starts_with("OK repl hello"));
+        assert!(handle_command(&s, "REPL PULL alpha 5 5").starts_with("ERR resync"));
+        assert!(handle_command(&s, "REPL HELLO beta").starts_with("OK repl hello"));
+        assert!(handle_command(&s, "REPL PULL beta 40 5").ends_with("primary_seq=40"));
+        let response = handle_command(&s, "METRICS");
+        let lines: Vec<&str> = response.lines().collect();
+        let last = lines.last().unwrap();
+        let announced: usize = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(lines.len() - 1, announced, "count must cover peer rows");
+        for key in [
+            "repl.peer.alpha.lag_seq=",
+            "repl.peer.alpha.last_seen_ms=",
+            "repl.peer.alpha.state=1",
+            "repl.peer.beta.lag_seq=0",
+            "repl.peer.beta.state=1",
+        ] {
+            assert!(
+                lines.iter().any(|l| l.starts_with(key)),
+                "missing {key}: {response}"
+            );
+        }
+        // alpha stopped at seq 5-of-40, so its lag is visible.
+        let alpha_lag: u64 = lines
+            .iter()
+            .find_map(|l| l.strip_prefix("repl.peer.alpha.lag_seq="))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(alpha_lag, 35);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! ```text
 //! REPL HELLO <id>            handshake: primary seq + sketch shape
 //! REPL PULL <id> <after> <n> up to n WAL lines with seq > after, then
-//!                            `OK <n> entries primary_seq=<s>`; or
+//!            [corr=<id>]     `OK <n> entries primary_seq=<s>`; or
 //!                            `ERR resync` when the range was shed
 //! REPL SNAPSHOT              `OK snapshot seq=<s> len=<n> crc32=<hex>`
 //!                            + one line of StoreSnapshot JSON
@@ -73,7 +73,7 @@ use streamlink_core::journal::{self, JournalEntry, LineCheck};
 use streamlink_core::merge::merge_join;
 use streamlink_core::snapshot::StoreSnapshot;
 use streamlink_core::{
-    codec, metrics, ApplyOutcome, HasherBackend, PullOutcome, ReplLog, ReplicaApplier,
+    codec, metrics, trace, ApplyOutcome, HasherBackend, PullOutcome, ReplLog, ReplicaApplier,
     SketchConfig, SketchStore, WireFormat,
 };
 
@@ -95,6 +95,30 @@ const CONNECT_TIMEOUT: Duration = Duration::from_secs(3);
 /// always answers promptly (an empty batch is still an `OK` line), so a
 /// healthy link never comes close to this.
 const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Splits an optional trailing `corr=<id>` token off a REPL argument
+/// list, stamping the enclosing trace span with the correlation id
+/// when one is present. A malformed value is left in place so the
+/// caller's arity check rejects it loudly instead of it being parsed
+/// as a positional argument.
+pub(super) fn take_corr<'a, 'b>(args: &'a [&'b str]) -> (&'a [&'b str], Option<u64>) {
+    if let Some(v) = args.last().and_then(|last| last.strip_prefix("corr=")) {
+        if let Ok(corr) = v.parse::<u64>() {
+            trace::note_corr(corr);
+            return (&args[..args.len() - 1], Some(corr));
+        }
+    }
+    (args, None)
+}
+
+/// Mints a fresh correlation id: node-seeded, time-mixed, counter-
+/// disambiguated, never zero — unique enough to grep one election or
+/// replication session out of a merged multi-node timeline.
+pub(super) fn new_corr_id(node_id: &str, now_ms: u64) -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    (id_seed(node_id) ^ now_ms.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (n << 20)) | 1
+}
 
 /// Replica-side tunables, all flag-settable via `--repl-*`.
 #[derive(Debug, Clone)]
@@ -143,6 +167,22 @@ struct PeerStatus {
     last_seen: Instant,
 }
 
+/// One registered replica's standing on the primary, as exposed by
+/// the per-peer `repl.peer.<id>.{lag_seq,last_seen_ms,state}` gauges.
+#[derive(Debug, Clone)]
+pub struct PeerOverview {
+    /// The replica id it pulls under (its advertised address in
+    /// cluster mode).
+    pub id: String,
+    /// Entries the primary has that this peer has not acked.
+    pub lag_seq: u64,
+    /// Milliseconds since this peer last pulled.
+    pub last_seen_ms: u64,
+    /// Whether the peer counts as connected (seen within
+    /// [`PEER_LIVENESS`]).
+    pub live: bool,
+}
+
 impl PrimaryRepl {
     /// A ship ring holding at most `capacity` entries, seeded with the
     /// primary's current WAL high-water mark.
@@ -179,6 +219,30 @@ impl PrimaryRepl {
     #[must_use]
     pub fn buffer_bytes(&self) -> usize {
         self.log().memory_bytes()
+    }
+
+    /// One row per registered peer — the raw material for the
+    /// `repl.peer.<id>.*` gauges and `/clusterz`. Sorted by id so
+    /// exposition output is stable across scrapes.
+    #[must_use]
+    pub fn peer_overview(&self) -> Vec<PeerOverview> {
+        let last_seq = self.log().last_seq();
+        let peers = self.peers();
+        let mut rows: Vec<PeerOverview> = peers
+            .iter()
+            .map(|(id, status)| {
+                let since = status.last_seen.elapsed();
+                PeerOverview {
+                    id: id.clone(),
+                    lag_seq: last_seq.saturating_sub(status.acked_seq),
+                    last_seen_ms: u64::try_from(since.as_millis()).unwrap_or(u64::MAX),
+                    live: since <= PEER_LIVENESS,
+                }
+            })
+            .collect();
+        drop(peers);
+        rows.sort_by(|a, b| a.id.cmp(&b.id));
+        rows
     }
 
     /// `(connected replicas, worst lag in edges)` over peers seen within
@@ -224,6 +288,9 @@ pub struct ReplicaRuntime {
     persisted_seq: AtomicU64,
     primary_seq: AtomicU64,
     connected: AtomicBool,
+    /// Correlation id threaded through this runtime's `REPL PULL`s
+    /// (0 = unset; set per session by the cluster loop).
+    corr_id: AtomicU64,
 }
 
 impl ReplicaRuntime {
@@ -240,6 +307,22 @@ impl ReplicaRuntime {
             persisted_seq: AtomicU64::new(0),
             primary_seq: AtomicU64::new(0),
             connected: AtomicBool::new(false),
+            corr_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the correlation id every subsequent `REPL PULL` carries
+    /// (0 clears it).
+    pub fn set_corr(&self, corr: u64) {
+        self.corr_id.store(corr, Ordering::Relaxed);
+    }
+
+    /// The current pull correlation id, if one is set.
+    #[must_use]
+    pub fn corr(&self) -> Option<u64> {
+        match self.corr_id.load(Ordering::Relaxed) {
+            0 => None,
+            c => Some(c),
         }
     }
 
@@ -425,8 +508,9 @@ fn pull_entries(state: &ServerState, args: &[&str]) -> Result<(Vec<JournalEntry>
     let Some(repl) = serving_repl(state) else {
         return Err(repl_unavailable(state));
     };
+    let (args, _corr) = take_corr(args);
     let [_, id, after, max] = args else {
-        return Err("ERR REPL PULL takes <id> <after_seq> <max>".into());
+        return Err("ERR REPL PULL takes <id> <after_seq> <max> [corr=<id>]".into());
     };
     let after = parse_bounded("after_seq", after, 0, u64::MAX).map_err(|e| format!("ERR {e}"))?;
     let max = parse_bounded("batch", max, 1, MAX_PULL_BATCH as u64)
@@ -579,9 +663,19 @@ fn status_line(state: &ServerState) -> String {
                 (log.last_seq(), log.buffered())
             };
             let (connected, max_lag) = repl.lag_overview();
+            // Cluster primaries also say where they believe the
+            // primary is (themselves, unless mid-transition) — the
+            // same address the `MOVED` hint would carry.
+            let believed_part = match state.cluster() {
+                Some(cluster) => format!(
+                    " believed_primary={}",
+                    cluster.believed_primary().unwrap_or_else(|| "?".into())
+                ),
+                None => String::new(),
+            };
             format!(
                 "OK role=primary last_seq={last_seq} buffered={buffered} \
-                 replicas_connected={connected} max_lag_edges={max_lag}{epoch_part}"
+                 replicas_connected={connected} max_lag_edges={max_lag}{epoch_part}{believed_part}"
             )
         }
         None => "OK role=primary replication=disabled".into(),
@@ -797,7 +891,13 @@ pub(super) fn pull_once(
 ) -> io::Result<bool> {
     let after = runtime.applied_seq();
     let batch = runtime.tuning.pull_batch.min(MAX_PULL_BATCH);
-    link.send(&format!("REPL PULL {} {after} {batch}", runtime.id))?;
+    let corr_part = runtime
+        .corr()
+        .map_or_else(String::new, |c| format!(" corr={c}"));
+    link.send(&format!(
+        "REPL PULL {} {after} {batch}{corr_part}",
+        runtime.id
+    ))?;
     if link.binary {
         return pull_once_binary(state, runtime, link);
     }
@@ -1361,6 +1461,38 @@ mod tests {
             status,
             "OK role=primary last_seq=20 buffered=20 replicas_connected=2 max_lag_edges=15"
         );
+    }
+
+    #[test]
+    fn pull_accepts_a_trailing_corr_token_and_peer_overview_reports_rows() {
+        let state = primary_state();
+        for i in 1..=10u64 {
+            state.insert_edge(VertexId(i), VertexId(i + 70)).unwrap();
+        }
+        let reply = repl_command(&state, &["PULL", "a", "10", "10", "corr=123"]);
+        assert_eq!(reply, "OK 0 entries primary_seq=10");
+        let _ = repl_command(&state, &["PULL", "b", "4", "10"]);
+        let repl = state.primary_repl().expect("primary has a ship ring");
+        let rows = repl.peer_overview();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].id, "a");
+        assert_eq!(rows[0].lag_seq, 0);
+        assert!(rows[0].live);
+        assert_eq!(rows[1].id, "b");
+        assert_eq!(rows[1].lag_seq, 6);
+        // A malformed corr value fails the arity check loudly.
+        let reply = repl_command(&state, &["PULL", "a", "0", "5", "corr=zap"]);
+        assert!(reply.starts_with("ERR REPL PULL takes"), "{reply}");
+    }
+
+    #[test]
+    fn corr_ids_are_nonzero_and_distinct() {
+        let a = new_corr_id("127.0.0.1:7001", 5);
+        let b = new_corr_id("127.0.0.1:7001", 5);
+        let c = new_corr_id("127.0.0.1:7002", 5);
+        assert_ne!(a, 0);
+        assert_ne!(a, b, "counter disambiguates same node+tick");
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Live single-pane observability test against the real `streamlink`
+//! binary.
+//!
+//! Boots a three-node cluster over loopback TCP with the HTTP scrape
+//! plane enabled, proves `/clusterz` reports a healthy (200,
+//! `divergent:false`) picture, SIGKILLs the primary, and asserts the
+//! surviving members' `/clusterz` flips to 503 with honest divergence
+//! flags — first `unreachable-members` (the corpse), and a converged
+//! single successor primary at a higher epoch. Reviving the old
+//! primary must return the pane to 200/`divergent:false`. Finally the
+//! on-disk event journals the three nodes wrote through the whole
+//! incident are merged with `streamlink cluster-events`, which must
+//! certify the at-most-one-primary-per-epoch invariant (exit 0).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SLOTS: &str = "64";
+const SEED: &str = "42";
+const LEASE_MS: &str = "300";
+
+/// Reserves `n` distinct loopback ports by binding and dropping OS
+/// listeners. Cluster mode needs every member's address known up front.
+fn reserve_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect()
+}
+
+/// One cluster member as a child process, with both planes up.
+struct Node {
+    child: Child,
+    addr: String,
+    http_addr: String,
+}
+
+impl Node {
+    /// Boots `streamlink serve` in cluster mode with `--http-addr :0`
+    /// and waits for the `CLUSTER` announcement followed by
+    /// `HTTP LISTENING <addr>` (printed in that order), capturing the
+    /// kernel-assigned scrape-plane address.
+    fn start(addrs: &[String], me: usize, data_dir: &std::path::Path, primary: bool) -> Node {
+        let peers: Vec<&str> = addrs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != me)
+            .map(|(_, a)| a.as_str())
+            .collect();
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_streamlink"));
+        cmd.arg("serve")
+            .args(["--addr", &addrs[me], "--slots", SLOTS, "--seed", SEED])
+            .args(["--peers", &peers.join(",")])
+            .args(["--lease-ms", LEASE_MS, "--repl-poll-ms", "20"])
+            .args(["--data-dir", data_dir.to_str().unwrap()])
+            .args(["--http-addr", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        if primary {
+            cmd.args(["--primary", "true"]);
+        }
+        let mut child = cmd.spawn().expect("spawn streamlink serve");
+        let stdout = child.stdout.take().expect("child stdout piped");
+        let mut lines = BufReader::new(stdout).lines();
+        let mut saw_cluster = false;
+        let http_addr = loop {
+            match lines.next() {
+                Some(Ok(line)) => {
+                    if line.starts_with("CLUSTER ") {
+                        saw_cluster = true;
+                    } else if let Some(addr) = line.strip_prefix("HTTP LISTENING ") {
+                        break addr.to_string();
+                    }
+                }
+                _ => panic!("node {me} exited before announcing its HTTP plane"),
+            }
+        };
+        assert!(saw_cluster, "node {me} never announced CLUSTER");
+        std::thread::spawn(move || for _ in lines {});
+        Node {
+            child,
+            addr: addrs[me].clone(),
+            http_addr,
+        }
+    }
+
+    /// SIGKILL: the crash. Nothing gets to run, flush, or clean up.
+    fn kill(&mut self) {
+        self.child.kill().expect("SIGKILL child");
+        self.child.wait().expect("reap child");
+    }
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Client {
+    conn: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Option<Client> {
+        let conn = TcpStream::connect(addr).ok()?;
+        conn.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+        conn.set_nodelay(true).ok()?;
+        let reader = BufReader::new(conn.try_clone().ok()?);
+        Some(Client { conn, reader })
+    }
+
+    fn ask(&mut self, cmd: &str) -> Option<String> {
+        writeln!(self.conn, "{cmd}").ok()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).ok()?;
+        if line.is_empty() {
+            return None;
+        }
+        Some(line.trim_end().to_string())
+    }
+}
+
+/// One hand-rolled HTTP/1.1 GET: returns `(status_code, body)`.
+fn http_get(addr: &str, path: &str) -> Option<(u16, String)> {
+    let mut conn = TcpStream::connect(addr).ok()?;
+    conn.set_read_timeout(Some(Duration::from_secs(10))).ok()?;
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .ok()?;
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).ok()?;
+    let status: u16 = raw.split_whitespace().nth(1)?.parse().ok()?;
+    let body = raw.split_once("\r\n\r\n")?.1.to_string();
+    Some((status, body))
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn wait_for(what: &str, mut probe: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Fetches `/clusterz` from `http_addr` if the snapshot passes `check`.
+fn clusterz_matches(http_addr: &str, check: impl Fn(u16, &str) -> bool) -> bool {
+    http_get(http_addr, "/clusterz").is_some_and(|(status, body)| {
+        assert!(
+            body.contains("\"schema\":\"streamlink.clusterz.v1\""),
+            "unexpected /clusterz payload: {body}"
+        );
+        check(status, &body)
+    })
+}
+
+#[test]
+fn clusterz_tracks_a_sigkilled_primary_through_failover_and_recovery() {
+    let addrs = reserve_addrs(3);
+    let base =
+        std::env::temp_dir().join(format!("streamlink-clusterz-live-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dirs: Vec<_> = (0..3).map(|i| base.join(format!("n{i}"))).collect();
+    for d in &dirs {
+        std::fs::create_dir_all(d).unwrap();
+    }
+
+    let mut n0 = Node::start(&addrs, 0, &dirs[0], true);
+    let n1 = Node::start(&addrs, 1, &dirs[1], false);
+    let n2 = Node::start(&addrs, 2, &dirs[2], false);
+
+    // Wait for the bootstrap primary to collect majority leases, then
+    // seed the epoch-1 timeline so both replicas have real lag gauges.
+    let mut feed = Client::connect(&n0.addr).expect("connect primary");
+    wait_for("the bootstrap primary to become writable", || {
+        feed.ask("INSERT 1 100").as_deref() == Some("OK inserted")
+    });
+    for w in 1..30u64 {
+        assert_eq!(
+            feed.ask(&format!("INSERT {} {}", 1 + w % 5, 100 + w))
+                .as_deref(),
+            Some("OK inserted"),
+        );
+    }
+
+    // Healthy steady state: every member's pane must settle on 200
+    // with no flags and exactly one primary — the same truth from any
+    // observer.
+    for node in [&n0, &n1, &n2] {
+        let http = node.http_addr.clone();
+        wait_for("a healthy 200 /clusterz from every member", || {
+            clusterz_matches(&http, |status, body| {
+                status == 200
+                    && body.contains("\"divergent\":false")
+                    && body.contains("\"primaries\":1")
+                    && body.contains("\"flags\":[]")
+            })
+        });
+    }
+
+    // The TCP aggregation answers the same snapshot for operators
+    // without HTTP access.
+    let via_cmd = Client::connect(&n1.addr)
+        .and_then(|mut c| c.ask("CLUSTER STATUS"))
+        .expect("CLUSTER STATUS");
+    assert!(
+        via_cmd.contains("\"schema\":\"streamlink.clusterz.v1\""),
+        "{via_cmd}"
+    );
+    assert!(
+        via_cmd.contains(&format!("\"observer\":\"{}\"", n1.addr)),
+        "{via_cmd}"
+    );
+
+    // Crash the primary. A surviving member's pane must flip to 503
+    // and name the corpse: `unreachable-members` persists for as long
+    // as the dead peer stays down, so this assertion has no race with
+    // the election finishing first.
+    n0.kill();
+    wait_for("/clusterz to flag the SIGKILLed primary", || {
+        clusterz_matches(&n1.http_addr, |status, body| {
+            status == 503
+                && body.contains("\"divergent\":true")
+                && body.contains("unreachable-members")
+        })
+    });
+
+    // The election must complete while the corpse is still down: one
+    // reachable primary again, at a strictly higher epoch, with the
+    // pane still honest about the unreachable member.
+    wait_for("a self-promoted successor visible in /clusterz", || {
+        clusterz_matches(&n2.http_addr, |status, body| {
+            status == 503
+                && body.contains("\"primaries\":1")
+                && body.contains("\"role\":\"primary\"")
+                && !body.contains("no-reachable-primary")
+        })
+    });
+
+    // Revive the old primary on its old address and data dir. It must
+    // rejoin fenced as a replica, and every pane returns to a clean
+    // 200 at a converged epoch >= 2.
+    let n0 = Node::start(&addrs, 0, &dirs[0], true);
+    for node in [&n0, &n1, &n2] {
+        let http = node.http_addr.clone();
+        wait_for("/clusterz to settle healthy after the revival", || {
+            clusterz_matches(&http, |status, body| {
+                status == 200
+                    && body.contains("\"divergent\":false")
+                    && body.contains("\"primaries\":1")
+                    && body.contains("\"flags\":[]")
+            })
+        });
+    }
+    let healthy = http_get(&n0.http_addr, "/clusterz")
+        .expect("final snapshot")
+        .1;
+    let epoch_min: u64 = healthy
+        .split("\"epoch_min\":")
+        .nth(1)
+        .and_then(|rest| rest.split(',').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no epoch_min in {healthy}"));
+    assert!(
+        epoch_min >= 2,
+        "failover must have advanced the epoch: {healthy}"
+    );
+
+    // Shut everything down, then reconstruct the incident from the
+    // journals the nodes wrote: the merged timeline must print and
+    // certify at most one primary per epoch (exit 0).
+    drop((n0, n1, n2));
+    let merged = Command::new(env!("CARGO_BIN_EXE_streamlink"))
+        .arg("cluster-events")
+        .args(["--merge", dirs[0].to_str().unwrap()])
+        .args(["--merge", dirs[1].to_str().unwrap()])
+        .args(["--merge", dirs[2].to_str().unwrap()])
+        .output()
+        .expect("run streamlink cluster-events");
+    let stdout = String::from_utf8_lossy(&merged.stdout);
+    let stderr = String::from_utf8_lossy(&merged.stderr);
+    assert!(
+        merged.status.success(),
+        "merged timeline violated the invariant:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("\"kind\":\"promotion\""), "{stdout}");
+    assert!(stderr.contains("at most one primary per epoch"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

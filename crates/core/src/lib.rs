@@ -47,6 +47,11 @@
 //! * [`trace`] — request tracing: span guards over a fixed-capacity
 //!   ring buffer, sampled on the insert hot path, plus a rotating
 //!   slow-op JSONL log.
+//! * [`events`] — the causally-ordered cluster event journal: typed
+//!   control-plane events (elections, fences, handoffs) with
+//!   `(node, epoch, seq, tick)` provenance, a bounded ring plus a
+//!   rotating `events.jsonl`, and a deterministic cross-node merge
+//!   that asserts at most one primary per epoch.
 //! * [`audit`] — online sketch-health auditing: a bounded exact shadow
 //!   adjacency over sampled vertices, scored against the live sketch
 //!   estimates into rolling error gauges.
@@ -109,6 +114,7 @@ pub mod concurrent;
 pub mod config;
 pub mod durable;
 pub mod estimators;
+pub mod events;
 pub mod failover;
 pub mod hll;
 pub mod journal;
@@ -135,6 +141,7 @@ pub use compressed::CompressedStore;
 pub use concurrent::ConcurrentSketchStore;
 pub use config::{HasherBackend, SketchConfig};
 pub use durable::{checkpoint, recover, Recovery, DEFAULT_SNAPSHOT_KEEP};
+pub use events::{ClusterEvent, EventJournal, EventKind};
 pub use hll::HyperLogLog;
 pub use journal::{FsyncPolicy, Journal, JournalEntry, LineCheck, ReplayReport};
 pub use lsh::LshIndex;

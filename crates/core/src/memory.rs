@@ -5,7 +5,8 @@
 //! module makes it observable on a running server: [`MemoryReport`]
 //! walks every resident component the serving stack owns (sketch slot
 //! arrays, the two store hash maps, journal write buffer, trace ring,
-//! audit shadow sets), sums a deterministic capacity model for each, and
+//! event-journal ring, audit shadow sets), sums a deterministic
+//! capacity model for each, and
 //! publishes the result into the `mem.*` gauges — including the live
 //! `mem.bytes_per_vertex` an operator can alert on.
 //!
@@ -107,6 +108,11 @@ impl MemoryReport {
                 bytes: repl_buffer_bytes,
                 entries: 0,
             },
+            MemoryComponent {
+                name: "events.ring",
+                bytes: crate::events::ring_memory_bytes(),
+                entries: crate::events::RING_CAPACITY,
+            },
         ];
         let total_bytes = components.iter().map(|c| c.bytes).sum();
         Self {
@@ -148,6 +154,8 @@ impl MemoryReport {
             .set(self.component_bytes("audit.shadow") as u64);
         m.mem_repl_buffer_bytes
             .set(self.component_bytes("repl.buffer") as u64);
+        m.mem_events_ring_bytes
+            .set(self.component_bytes("events.ring") as u64);
         m.mem_vertices.set(self.vertices as u64);
         m.mem_bytes_per_vertex.set(self.bytes_per_vertex);
     }
@@ -243,13 +251,14 @@ mod tests {
         assert!(!json.contains('\n'));
         assert!(json.contains("\"name\":\"store.sketch_slots\""));
         assert!(json.contains("\"name\":\"trace.ring\""));
+        assert!(json.contains("\"name\":\"events.ring\""));
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         assert!(parsed.get("total_bytes").and_then(|v| v.as_u64()).unwrap() > 0);
         let components = parsed
             .get("components")
             .and_then(|v| v.as_array())
             .expect("components array");
-        assert_eq!(components.len(), 8);
+        assert_eq!(components.len(), 9);
     }
 
     #[test]

@@ -419,6 +419,14 @@ pub struct Metrics {
     /// Writes refused because this node's primaryship is fenced (lost
     /// majority lease or a newer epoch exists).
     pub repl_fenced_writes: Counter,
+    /// Cluster control-plane events recorded into the
+    /// [`crate::events`] journal ring.
+    pub events_recorded: Counter,
+    /// `events.jsonl` size-cap rotations.
+    pub events_log_rotations: Counter,
+    /// Event-journal ring capacity bytes (constant once the ring
+    /// exists).
+    pub mem_events_ring_bytes: Gauge,
 }
 
 impl Metrics {
@@ -492,6 +500,9 @@ impl Metrics {
             repl_lease_ms: Gauge::new(),
             repl_promotions: Counter::new(),
             repl_fenced_writes: Counter::new(),
+            events_recorded: Counter::new(),
+            events_log_rotations: Counter::new(),
+            mem_events_ring_bytes: Gauge::new(),
         }
     }
 
@@ -569,6 +580,8 @@ impl Metrics {
                 ("repl.reconnects", self.repl_reconnects.get()),
                 ("repl.promotions", self.repl_promotions.get()),
                 ("repl.fenced_writes", self.repl_fenced_writes.get()),
+                ("events.recorded", self.events_recorded.get()),
+                ("events.log_rotations", self.events_log_rotations.get()),
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
@@ -599,6 +612,7 @@ impl Metrics {
                 ("mem.vertices", self.mem_vertices.get()),
                 ("mem.bytes_per_vertex", self.mem_bytes_per_vertex.get()),
                 ("mem.repl_buffer_bytes", self.mem_repl_buffer_bytes.get()),
+                ("mem.events_ring_bytes", self.mem_events_ring_bytes.get()),
                 (
                     "repl.replicas_connected",
                     self.repl_replicas_connected.get(),
@@ -674,6 +688,8 @@ impl Metrics {
             &self.repl_reconnects,
             &self.repl_promotions,
             &self.repl_fenced_writes,
+            &self.events_recorded,
+            &self.events_log_rotations,
         ] {
             c.reset();
         }
@@ -696,6 +712,7 @@ impl Metrics {
         self.mem_vertices.reset();
         self.mem_bytes_per_vertex.reset();
         self.mem_repl_buffer_bytes.reset();
+        self.mem_events_ring_bytes.reset();
         self.repl_replicas_connected.reset();
         self.repl_max_lag_edges.reset();
         self.repl_connected.reset();

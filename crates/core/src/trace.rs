@@ -117,6 +117,12 @@ pub struct SpanRecord {
     /// Degree class of the largest vertex the op touched, if noted
     /// (see [`degree_class`]).
     pub degree_class: Option<u8>,
+    /// Cross-node correlation ID, if the op carried one (see
+    /// [`note_corr`]): the same ID appears in spans on both ends of a
+    /// REPL exchange and in [`crate::events`] journal lines, so one
+    /// election or handoff is one reconstructable trace across
+    /// machines.
+    pub corr_id: Option<u64>,
     /// Aggregated child breakdown: `(name, total ns)`, insertion order.
     pub children: Vec<(&'static str, u64)>,
 }
@@ -126,6 +132,9 @@ impl SpanRecord {
     #[must_use]
     pub fn render_line(&self) -> String {
         let mut out = format!("seq={} op={} dur_ns={}", self.seq, self.op, self.dur_ns);
+        if let Some(corr) = self.corr_id {
+            out.push_str(&format!(" corr={corr}"));
+        }
         match self.degree_class {
             Some(c) => out.push_str(&format!(" degree_class={c}")),
             None => out.push_str(" degree_class=-"),
@@ -154,7 +163,7 @@ impl SpanRecord {
     pub fn render_json(&self) -> String {
         let mut out = format!(
             "{{\"seq\":{},\"op\":\"{}\",\"parent\":{},\"ts_unix_ms\":{},\
-             \"dur_ns\":{},\"dur_ms\":{:.3},\"degree_class\":{},\"children\":{{",
+             \"dur_ns\":{},\"dur_ms\":{:.3},\"degree_class\":{},\"corr_id\":{},\"children\":{{",
             self.seq,
             self.op,
             self.parent
@@ -163,6 +172,8 @@ impl SpanRecord {
             self.dur_ns,
             self.dur_ns as f64 / 1e6,
             self.degree_class
+                .map_or_else(|| "null".to_string(), |c| c.to_string()),
+            self.corr_id
                 .map_or_else(|| "null".to_string(), |c| c.to_string()),
         );
         let kv: Vec<String> = self
@@ -274,6 +285,7 @@ struct ActiveOp {
     op: &'static str,
     start: Instant,
     max_degree: u64,
+    corr: Option<u64>,
     children: Vec<(&'static str, u64)>,
 }
 
@@ -315,6 +327,7 @@ pub fn op(name: &'static str) -> OpGuard {
             op: name,
             start: Instant::now(),
             max_degree: 0,
+            corr: None,
             children: Vec::new(),
         });
     });
@@ -346,6 +359,20 @@ impl OpGuard {
     }
 }
 
+/// Stamps the innermost active op on this thread with a cross-node
+/// correlation ID (last write wins). A no-op when no op is active, so
+/// protocol handlers can call it without plumbing the guard through —
+/// the enclosing `cmd.*` span picks up the ID. Op names are static
+/// identifiers, which is exactly why the ID is a numeric field and not
+/// part of the name.
+pub fn note_corr(corr: u64) {
+    OPS.with(|ops| {
+        if let Some(top) = ops.borrow_mut().last_mut() {
+            top.corr = Some(corr);
+        }
+    });
+}
+
 impl Drop for OpGuard {
     fn drop(&mut self) {
         if !self.armed {
@@ -371,6 +398,7 @@ impl Drop for OpGuard {
             ts_unix_ms: unix_ms(),
             dur_ns,
             degree_class: (done.max_degree > 0).then(|| degree_class(done.max_degree)),
+            corr_id: done.corr,
             children: done.children,
         });
     }
@@ -423,6 +451,7 @@ pub fn record_sampled(name: &'static str, start: Instant) {
         ts_unix_ms: unix_ms(),
         dur_ns,
         degree_class: None,
+        corr_id: None,
         children: Vec::new(),
     });
 }
@@ -630,17 +659,20 @@ mod tests {
             ts_unix_ms: 1000,
             dur_ns: 2_500_000,
             degree_class: Some(3),
+            corr_id: Some(0xBEEF),
             children: vec![("journal.append", 2_000_000), ("store.insert", 400_000)],
         };
         let line = rec.render_line();
         assert!(line.contains("op=cmd.insert"), "{line}");
         assert!(line.contains("dur_ns=2500000"), "{line}");
+        assert!(line.contains("corr=48879"), "{line}");
         assert!(line.contains("degree_class=3"), "{line}");
         assert!(line.contains("children=journal.append:2000000,store.insert:400000"));
         let json = rec.render_json();
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid span JSON");
         drop(parsed);
         assert!(json.contains("\"dur_ms\":2.500"), "{json}");
+        assert!(json.contains("\"corr_id\":48879"), "{json}");
         assert!(json.contains("\"journal.append\":2000000"), "{json}");
 
         let bare = SpanRecord {
@@ -650,14 +682,91 @@ mod tests {
             ts_unix_ms: 0,
             dur_ns: 1,
             degree_class: None,
+            corr_id: None,
             children: vec![],
         };
         assert!(bare
             .render_line()
             .ends_with("degree_class=- parent=- children=-"));
+        assert!(!bare.render_line().contains("corr="), "absent when unset");
         let json = bare.render_json();
         assert!(json.contains("\"degree_class\":null"), "{json}");
+        assert!(json.contains("\"corr_id\":null"), "{json}");
         let _: serde_json::Value = serde_json::from_str(&json).expect("valid bare span JSON");
+    }
+
+    #[test]
+    fn note_corr_stamps_the_innermost_op() {
+        let _gate = lock();
+        reset();
+        {
+            let _outer = op("cmd.repl");
+            {
+                let _inner = op("repl.lease");
+                note_corr(42);
+            }
+            note_corr(7);
+        }
+        // No active op: must be a silent no-op, not a panic.
+        note_corr(99);
+        let spans = recent(10);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].op, "cmd.repl");
+        assert_eq!(spans[0].corr_id, Some(7));
+        assert_eq!(spans[1].op, "repl.lease");
+        assert_eq!(spans[1].corr_id, Some(42));
+    }
+
+    #[test]
+    fn ring_wraparound_survives_concurrent_scrapes() {
+        let _gate = lock();
+        reset();
+        // Writers wrap the ring several times while scrapers read it —
+        // the /tracez contract: every scrape sees only whole records
+        // with plausible sequence numbers, and the final count is exact.
+        const WRITERS: usize = 4;
+        const PER_WRITER: usize = RING_CAPACITY; // 4x capacity total
+        let scraping = std::sync::Arc::new(AtomicBool::new(true));
+        let scrapers: Vec<_> = (0..3)
+            .map(|_| {
+                let scraping = scraping.clone();
+                std::thread::spawn(move || {
+                    let mut seen_max = 0u64;
+                    while scraping.load(Ordering::Relaxed) {
+                        let spans = recent(RING_CAPACITY);
+                        assert!(spans.len() <= RING_CAPACITY);
+                        for pair in spans.windows(2) {
+                            assert!(pair[0].seq > pair[1].seq, "newest first, no torn order");
+                        }
+                        if let Some(first) = spans.first() {
+                            assert!(first.seq >= seen_max, "newest seq never regresses");
+                            seen_max = first.seq;
+                            assert_eq!(first.op, "store.insert");
+                        }
+                    }
+                })
+            })
+            .collect();
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..PER_WRITER {
+                        record_sampled("store.insert", Instant::now());
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        scraping.store(false, Ordering::Relaxed);
+        for s in scrapers {
+            s.join().unwrap();
+        }
+        assert_eq!(spans_recorded(), (WRITERS * PER_WRITER) as u64);
+        let spans = recent(RING_CAPACITY);
+        assert_eq!(spans.len(), RING_CAPACITY, "full ring after 4x wrap");
+        assert_eq!(spans[0].seq, (WRITERS * PER_WRITER) as u64);
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Golden-file pin of the `streamlink.event.v1` journal schema.
+//!
+//! The on-disk event journal is a public artifact: incident tooling,
+//! `streamlink cluster-events`, and the E25 harness all parse it, and
+//! journals written by one build must merge with journals written by
+//! another. This test renders one event of every kind with fixed
+//! provenance and diffs the result against the checked-in golden file
+//! — any change to field names, field order, kind spellings, or escape
+//! behavior fails CI until the golden is *deliberately* regenerated
+//! (and the schema version bumped if the change is breaking).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p streamlink-core --test events_schema
+//! ```
+
+use streamlink_core::events::{ClusterEvent, EventKind, ALL_KINDS};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("events.v1.jsonl")
+}
+
+/// One deterministic event per kind, plus the two encoding edge cases
+/// (an escaped detail, a missing corr id).
+fn fixture() -> Vec<ClusterEvent> {
+    let mut events: Vec<ClusterEvent> = ALL_KINDS
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| ClusterEvent {
+            node_id: format!("10.0.0.{}:7878", i + 1),
+            epoch: 3,
+            applied_seq: 100 + i as u64,
+            tick_ms: 5_000 + i as u64 * 25,
+            kind,
+            detail: format!("golden {kind:?}"),
+            corr_id: Some(0x5EED_0000 + i as u64),
+        })
+        .collect();
+    events.push(ClusterEvent {
+        node_id: "10.0.0.9:7878".into(),
+        epoch: 4,
+        applied_seq: 200,
+        tick_ms: 6_000,
+        kind: EventKind::Fence,
+        detail: "escapes: quote \" backslash \\ newline \n tab \t".into(),
+        corr_id: None,
+    });
+    events
+}
+
+#[test]
+fn rendered_events_match_the_golden_file() {
+    let rendered: String = fixture()
+        .iter()
+        .map(|e| format!("{}\n", e.render_line()))
+        .collect();
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_GOLDEN=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "streamlink.event.v1 rendering drifted from the golden file; if the change \
+         is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_lines_parse_back_to_the_fixture() {
+    // The parser must accept exactly what the golden file pins — a
+    // journal written by any released build stays mergeable.
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    let parsed: Vec<ClusterEvent> = golden
+        .lines()
+        .map(|l| ClusterEvent::parse_line(l).expect("golden line parses"))
+        .collect();
+    assert_eq!(parsed, fixture());
+}
+
+#[test]
+fn every_kind_appears_exactly_once_in_the_golden() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    for kind in ALL_KINDS {
+        let token = ClusterEvent {
+            node_id: String::new(),
+            epoch: 0,
+            applied_seq: 0,
+            tick_ms: 0,
+            kind,
+            detail: String::new(),
+            corr_id: None,
+        }
+        .render_line();
+        let kind_field = token
+            .split("\"kind\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .unwrap()
+            .to_string();
+        assert!(
+            golden.contains(&kind_field),
+            "golden file is missing kind {kind:?} ({kind_field})"
+        );
+    }
+}
