@@ -1,0 +1,30 @@
+//! Bakes the build version into the binary as the
+//! `STREAMLINK_BUILD_VERSION` compile-time env var: the crate version,
+//! suffixed with `git describe` output when a git checkout is present.
+//! `STATS`, `/healthz`, the Prometheus build-info gauge, and load
+//! reports all name this exact build, so a latency regression in a
+//! report artifact can be traced to a commit.
+//!
+//! Builds from a source tarball (no `.git`, or no `git` binary) fall
+//! back to the bare crate version — the stamp degrades, it never fails
+//! the build.
+
+use std::process::Command;
+
+fn main() {
+    // Re-stamp when the checked-out commit moves.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+    let described = Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|raw| raw.trim().to_string())
+        .filter(|described| !described.is_empty());
+    let version = match described {
+        Some(git) => format!("{}+g{git}", env!("CARGO_PKG_VERSION")),
+        None => env!("CARGO_PKG_VERSION").to_string(),
+    };
+    println!("cargo:rustc-env=STREAMLINK_BUILD_VERSION={version}");
+}

@@ -1,0 +1,306 @@
+//! `streamlink loadgen` — the open-loop, coordinated-omission-safe
+//! load generator for a live `streamlink serve` instance.
+//!
+//! The workload itself (mix, skew, determinism) lives in
+//! [`streamlink_core::loadgen`]; this command adds the transport: it
+//! splits the offered rate across `--conns` TCP connections, paces each
+//! connection against a fixed schedule of *intended start times*, and
+//! measures every operation's latency from its intended start — never
+//! from the (possibly delayed) actual send. A server stall therefore
+//! shows up in the percentiles instead of silently thinning the arrival
+//! rate (see the module docs in `core::loadgen` for why both halves
+//! matter).
+//!
+//! ```text
+//! streamlink loadgen --addr HOST:PORT [--rate OPS_PER_SEC] [--duration-secs S]
+//!                    [--conns N] [--seed S] [--mix I/J/D/E] [--zipf S]
+//!                    [--vertices N] [--slo-p99-ms MS] [--report PATH]
+//! ```
+//!
+//! The report (`streamlink.loadreport.v1` JSON) goes to stdout and,
+//! with `--report`, to a file. The process exit code is the SLO
+//! verdict: `0` when p99 ≤ `--slo-p99-ms` (or no SLO was set), `1` on a
+//! breach — so CI can gate on the command directly.
+//!
+//! Classification: a successful response line (`OK ...`) counts as
+//! `ok`, `ERR busy ...` counts as `shed` (the server's load-shedding
+//! contract), any other `ERR` counts as `err`, and a connection that
+//! dies mid-run marks its remaining scheduled operations as errors
+//! (they were offered; losing them would be coordinated omission by
+//! another name).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use streamlink_core::loadgen::{
+    intended_start_ns, LoadReport, MixSpec, OpKind, OpStream, WorkloadSpec, DEFAULT_ZIPF_S,
+};
+use streamlink_core::metrics::LatencyHistogram;
+
+use crate::args::Flags;
+
+/// What one connection worker observed; merged into the final report.
+#[derive(Debug, Default)]
+struct ConnOutcome {
+    attempted: u64,
+    ok: u64,
+    err: u64,
+    shed: u64,
+    by_kind: [u64; 4],
+}
+
+fn kind_slot(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Insert => 0,
+        OpKind::Jaccard => 1,
+        OpKind::Degree => 2,
+        OpKind::Explain => 3,
+    }
+}
+
+/// Drives one connection's schedule: `ops` operations at `rate` per
+/// second, latencies recorded into the shared histogram from intended
+/// start times.
+fn drive_connection(
+    addr: &str,
+    spec: &WorkloadSpec,
+    stream_id: u64,
+    ops: u64,
+    rate: u64,
+    histogram: &LatencyHistogram,
+) -> Result<ConnOutcome, String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_nodelay(true)
+        .map_err(|e| format!("set_nodelay: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| format!("set_read_timeout: {e}"))?;
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?,
+    );
+    let mut writer = stream;
+    let mut outcome = ConnOutcome::default();
+    let start = Instant::now();
+    let mut response = String::new();
+    for (index, op) in OpStream::new(spec, stream_id)
+        .take(ops as usize)
+        .enumerate()
+    {
+        let intended = Duration::from_nanos(intended_start_ns(index as u64, rate));
+        // Open-loop pacing: sleep only when ahead of schedule. When the
+        // server (or a previous response) made us late, send
+        // immediately — the lateness is charged to this op's latency.
+        if let Some(ahead) = intended.checked_sub(start.elapsed()) {
+            if !ahead.is_zero() {
+                thread::sleep(ahead);
+            }
+        }
+        outcome.attempted += 1;
+        if writeln!(writer, "{}", op.command_line()).is_err() {
+            outcome.err += 1 + ops - outcome.attempted;
+            break;
+        }
+        response.clear();
+        match reader.read_line(&mut response) {
+            Ok(n) if n > 0 => {
+                // Latency anchored at the *intended* start, not the send.
+                let elapsed = start.elapsed();
+                let latency = elapsed.checked_sub(intended).unwrap_or(Duration::ZERO);
+                histogram.record_ns(u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX));
+                let line = response.trim_end();
+                if line.starts_with("ERR busy") {
+                    outcome.shed += 1;
+                } else if line.starts_with("ERR") {
+                    outcome.err += 1;
+                } else {
+                    outcome.ok += 1;
+                    outcome.by_kind[kind_slot(op.kind)] += 1;
+                }
+            }
+            _ => {
+                // Dead connection: the rest of the schedule was offered
+                // but can never complete — count it, don't omit it.
+                outcome.err += 1 + ops - outcome.attempted;
+                break;
+            }
+        }
+    }
+    let _ = writeln!(writer, "QUIT");
+    Ok(outcome)
+}
+
+pub fn run(argv: &[String]) -> Result<u8, String> {
+    let flags = Flags::parse(argv)?;
+    let addr = flags.require("addr")?.to_string();
+    let rate: u64 = flags.get_parsed_or("rate", 1_000)?;
+    if rate == 0 {
+        return Err("flag --rate must be at least 1".into());
+    }
+    let duration_secs: u64 = flags.get_parsed_or("duration-secs", 10)?;
+    let conns: u64 = flags.get_parsed_or("conns", 4)?;
+    if conns == 0 {
+        return Err("flag --conns must be at least 1".into());
+    }
+    let seed: u64 = flags.get_parsed_or("seed", 0x5EED)?;
+    let vertices: u64 = flags.get_parsed_or("vertices", 10_000)?;
+    let zipf_s: f64 = flags.get_parsed_or("zipf", DEFAULT_ZIPF_S)?;
+    let mix = match flags.get("mix") {
+        Some(raw) => MixSpec::parse(raw)?,
+        None => streamlink_core::loadgen::DEFAULT_MIX,
+    };
+    let slo_p99_ms: u64 = flags.get_parsed_or("slo-p99-ms", 0)?;
+    let total_ops: u64 = flags.get_parsed_or("ops", rate.saturating_mul(duration_secs))?;
+    if total_ops == 0 {
+        return Err("nothing to do: --ops 0 (or --duration-secs 0)".into());
+    }
+
+    let spec = WorkloadSpec {
+        seed,
+        vertices: vertices.max(2),
+        zipf_s,
+        mix,
+    };
+    // Split rate and op count across connections; remainders go to the
+    // first connections so the totals come out exact.
+    let histogram = LatencyHistogram::new();
+    let errors = AtomicU64::new(0);
+    let run_start = Instant::now();
+    let outcomes: Vec<ConnOutcome> = thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for id in 0..conns {
+            let conn_ops = total_ops / conns + u64::from(id < total_ops % conns);
+            let conn_rate = (rate / conns + u64::from(id < rate % conns)).max(1);
+            let addr = &addr;
+            let spec = &spec;
+            let histogram = &histogram;
+            let errors = &errors;
+            handles.push(scope.spawn(move || {
+                match drive_connection(addr, spec, id, conn_ops, conn_rate, histogram) {
+                    Ok(outcome) => outcome,
+                    Err(e) => {
+                        eprintln!("conn {id}: {e}");
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        ConnOutcome {
+                            attempted: conn_ops,
+                            err: conn_ops,
+                            ..ConnOutcome::default()
+                        }
+                    }
+                }
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let duration = run_start.elapsed();
+    if errors.load(Ordering::Relaxed) == conns {
+        return Err(format!("no connection could reach {addr}"));
+    }
+
+    let merged = outcomes.iter().fold(ConnOutcome::default(), |mut acc, o| {
+        acc.attempted += o.attempted;
+        acc.ok += o.ok;
+        acc.err += o.err;
+        acc.shed += o.shed;
+        for (slot, n) in acc.by_kind.iter_mut().zip(o.by_kind) {
+            *slot += n;
+        }
+        acc
+    });
+    let latency = histogram.summary();
+    let completed = merged.ok + merged.err + merged.shed;
+    let secs = duration.as_secs_f64().max(1e-9);
+    let report = LoadReport {
+        version: crate::build_version().to_string(),
+        seed,
+        conns,
+        duration_ms: u64::try_from(duration.as_millis()).unwrap_or(u64::MAX),
+        offered_ops_per_sec: rate,
+        achieved_ops_per_sec: completed as f64 / secs,
+        ops_attempted: merged.attempted,
+        ops_ok: merged.ok,
+        ops_err: merged.err,
+        ops_shed: merged.shed,
+        mix_insert: merged.by_kind[0],
+        mix_jaccard: merged.by_kind[1],
+        mix_degree: merged.by_kind[2],
+        mix_explain: merged.by_kind[3],
+        latency,
+        slo_p99_ms,
+        slo_pass: LoadReport::slo_verdict(slo_p99_ms, &latency),
+    };
+    let json = report.render_json();
+    println!("{json}");
+    if let Some(path) = flags.get("report") {
+        std::fs::write(path, &json).map_err(|e| format!("cannot write report to {path}: {e}"))?;
+    }
+    eprintln!(
+        "loadgen: {} ops in {:.1}s (offered {rate}/s, achieved {:.0}/s) \
+         ok={} err={} shed={} p99={:.3}ms slo={}",
+        merged.attempted,
+        secs,
+        report.achieved_ops_per_sec,
+        merged.ok,
+        merged.err,
+        merged.shed,
+        report.latency.p99_ns as f64 / 1e6,
+        if report.slo_pass { "pass" } else { "BREACH" },
+    );
+    Ok(report.exit_code())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_slots_cover_all_kinds_distinctly() {
+        let slots = [
+            kind_slot(OpKind::Insert),
+            kind_slot(OpKind::Jaccard),
+            kind_slot(OpKind::Degree),
+            kind_slot(OpKind::Explain),
+        ];
+        let mut sorted = slots;
+        sorted.sort_unstable();
+        assert_eq!(sorted, [0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_rejects_bad_flags() {
+        let argv = |s: &[&str]| -> Vec<String> { s.iter().map(ToString::to_string).collect() };
+        assert!(run(&argv(&[])).is_err(), "missing --addr");
+        assert!(run(&argv(&["--addr", "127.0.0.1:1", "--rate", "0"])).is_err());
+        assert!(run(&argv(&["--addr", "127.0.0.1:1", "--conns", "0"])).is_err());
+        assert!(run(&argv(&["--addr", "127.0.0.1:1", "--ops", "0"])).is_err());
+        assert!(
+            run(&argv(&["--addr", "127.0.0.1:1", "--mix", "0/0/0/0"])).is_err(),
+            "all-zero mix"
+        );
+    }
+
+    #[test]
+    fn run_fails_cleanly_when_no_server_listens() {
+        // Port 1 on localhost: connection refused, not a hang.
+        let argv: Vec<String> = [
+            "--addr",
+            "127.0.0.1:1",
+            "--ops",
+            "10",
+            "--rate",
+            "1000",
+            "--conns",
+            "2",
+        ]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+        let err = run(&argv).unwrap_err();
+        assert!(err.contains("no connection could reach"), "{err}");
+    }
+}

@@ -5,6 +5,7 @@ pub mod convert;
 pub mod evaluate;
 pub mod generate;
 pub mod ingest;
+pub mod loadgen;
 pub mod query;
 pub mod recommend;
 pub mod scrub;

@@ -11,7 +11,8 @@
 //! ```text
 //! --addr HOST:PORT            bind address        (127.0.0.1:7878)
 //! --http-addr HOST:PORT       also serve the HTTP exposition plane
-//!                             (/metrics, /healthz, /tracez, /memz);
+//!                             (/metrics, /healthz, /tracez, /profilez,
+//!                             /memz);
 //!                             off unless set
 //! --data-dir DIR              durable mode: recover snapshot+journal,
 //!                             journal every INSERT before acking
@@ -478,7 +479,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot resolve --http-addr: {e}"))?;
             println!("HTTP LISTENING {http_local}");
             let _ = std::io::stdout().flush();
-            eprintln!("scrape plane on http://{http_local} (/metrics /healthz /tracez /memz)");
+            eprintln!(
+                "scrape plane on http://{http_local} (/metrics /healthz /tracez /profilez /memz)"
+            );
             Some(
                 server::http::spawn(l, Arc::clone(&state))
                     .map_err(|e| format!("cannot start http listener: {e}"))?,

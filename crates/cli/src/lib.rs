@@ -15,6 +15,8 @@
 //! * `recommend` — top-k recommendations via LSH retrieval + reranking.
 //! * `scrub`     — verify (and repair) a data directory's checksummed
 //!   snapshots and WAL segments.
+//! * `loadgen`   — open-loop, coordinated-omission-safe load generator
+//!   against a live server; exit code is the p99 SLO verdict.
 //! * `cluster-events` — merge per-node `events.jsonl` journals into
 //!   one causal cluster timeline and check the at-most-one-primary-
 //!   per-epoch invariant (post-mortem reconstruction).
@@ -25,6 +27,18 @@
 pub mod args;
 pub mod commands;
 pub mod server;
+
+/// The version baked into this build: the crate version, suffixed with
+/// `git describe` output when the build script found a git checkout
+/// (see `build.rs`). Surfaced by `STATS`, `/healthz`, the
+/// `streamlink_build_info` Prometheus gauge, and `loadgen` reports.
+#[must_use]
+pub fn build_version() -> &'static str {
+    match option_env!("STREAMLINK_BUILD_VERSION") {
+        Some(stamped) => stamped,
+        None => env!("CARGO_PKG_VERSION"),
+    }
+}
 
 /// Dispatches one CLI invocation (argv without the program name) and
 /// returns the process exit code. Most commands exit 0 on success;
@@ -51,6 +65,7 @@ pub fn run(argv: &[String]) -> Result<u8, String> {
         "convert" => commands::convert::run(rest).map(ok),
         "recommend" => commands::recommend::run(rest).map(ok),
         "scrub" => commands::scrub::run(rest),
+        "loadgen" => commands::loadgen::run(rest),
         "cluster-events" => commands::cluster_events::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
@@ -80,6 +95,9 @@ USAGE:
                       [--snapshot-keep K] [--slow-op-ms MS] [--slow-op-log PATH]
                       [--audit-secs S] [--audit-pairs K] [--http-addr HOST:PORT]
   streamlink scrub    --data-dir DIR [--repair] [--metrics-out <file.json>]
+  streamlink loadgen  --addr HOST:PORT [--rate OPS_PER_SEC] [--duration-secs S] [--ops N]
+                      [--conns N] [--seed S] [--mix I/J/D/E] [--zipf S] [--vertices N]
+                      [--slo-p99-ms MS] [--report <file.json>]   (exit 1 on SLO breach)
   streamlink cluster-events --merge <dir-or-journal> [--merge ...]   (exit 1 on a
                       two-primaries-in-one-epoch violation in the merged timeline)
 

@@ -16,9 +16,36 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use super::{protocol, ServerState, POLL_INTERVAL};
+
+/// Commands currently being handled (request read → response flushed)
+/// across every connection thread; exported as the
+/// `serve.conn_queue_depth` gauge.
+static IN_FLIGHT: AtomicU64 = AtomicU64::new(0);
+
+struct InFlightGuard;
+
+impl InFlightGuard {
+    fn enter() -> Self {
+        let depth = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        streamlink_core::metrics::global()
+            .serve_conn_queue_depth
+            .set(depth);
+        InFlightGuard
+    }
+}
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        let depth = IN_FLIGHT.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        streamlink_core::metrics::global()
+            .serve_conn_queue_depth
+            .set(depth);
+    }
+}
 
 /// Serves one accepted connection until the client quits, goes idle,
 /// errors out, or the server drains.
@@ -54,6 +81,7 @@ pub(super) fn handle(stream: TcpStream, state: &ServerState) {
             Ok(0) => break, // EOF
             Ok(_) => {
                 last_activity = Instant::now();
+                let in_flight = InFlightGuard::enter();
                 let trimmed = line.trim_end_matches(['\r', '\n']);
                 let (payload, closing) = if binary {
                     protocol::handle_command_framed(state, trimmed)
@@ -66,7 +94,13 @@ pub(super) fn handle(stream: TcpStream, state: &ServerState) {
                     response.push('\n');
                     (response.into_bytes(), closing)
                 };
-                if writer.write_all(&payload).is_err() || closing {
+                let respond_start = Instant::now();
+                let write_failed = writer.write_all(&payload).is_err();
+                streamlink_core::metrics::global()
+                    .serve_phase_respond
+                    .observe(respond_start);
+                drop(in_flight);
+                if write_failed || closing {
                     break;
                 }
                 line.clear();
@@ -89,6 +123,7 @@ pub(super) fn handle(stream: TcpStream, state: &ServerState) {
                     break;
                 }
                 if last_activity.elapsed() >= state.config().idle_timeout {
+                    streamlink_core::metrics::global().sheds_idle_timeout.incr();
                     let _ = writeln!(writer, "ERR idle timeout, closing");
                     break;
                 }

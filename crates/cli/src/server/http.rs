@@ -11,6 +11,9 @@
 //!   `503` otherwise, with a JSON body explaining which leg failed.
 //! * `GET /tracez[?n=N]` — the most recent `N` spans from the trace
 //!   ring as `streamlink.trace.v1` JSON.
+//! * `GET /profilez[?n=N]` — the most recent `N` spans merged into a
+//!   call-tree profile (inclusive/exclusive time, counts, slowest
+//!   spans) as `streamlink.profilez.v1` JSON.
 //! * `GET /memz` — the live component memory breakdown as
 //!   `streamlink.memz.v1` JSON (also refreshes the `mem.*` gauges).
 //! * `GET /clusterz` — the single-pane cluster view: this node fans
@@ -146,6 +149,7 @@ fn shed(stream: TcpStream) {
     let m = streamlink_core::metrics::global();
     m.http_requests.incr();
     m.http_errors.incr();
+    m.sheds_http_cap.incr();
     let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
@@ -280,6 +284,16 @@ pub fn respond(state: &ServerState, method: &str, target: &str) -> Response {
                 .clamp(1, trace::RING_CAPACITY);
             Response::json(200, trace::render_trace_json(n))
         }
+        "/profilez" => {
+            let n = query
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("n=").and_then(|v| v.parse().ok()))
+                })
+                .unwrap_or(trace::RING_CAPACITY)
+                .clamp(1, trace::RING_CAPACITY);
+            Response::json(200, trace::render_profilez_json(n))
+        }
         "/memz" => {
             let report = state.memory_report();
             report.publish();
@@ -313,6 +327,14 @@ fn append_labeled_gauges(state: &ServerState, body: &mut String) {
     if !body.is_empty() && !body.ends_with('\n') {
         body.push('\n');
     }
+    // The Prometheus "info metric" convention: a constant-1 gauge whose
+    // labels carry the build identity, joinable onto any other series.
+    let _ = writeln!(body, "# TYPE streamlink_build_info gauge");
+    let _ = writeln!(
+        body,
+        "streamlink_build_info{{version=\"{}\"}} 1",
+        json_safe(crate::build_version(), 64)
+    );
     if let Some(repl) = state.primary_repl() {
         let peers = repl.peer_overview();
         if !peers.is_empty() {
@@ -470,10 +492,12 @@ fn healthz(state: &ServerState) -> Response {
         };
     let healthy = storage_ok && audit_ok && repl_ok;
     let body = format!(
-        "{{\"schema\":\"streamlink.healthz.v1\",\"status\":\"{}\",\"storage_ok\":{storage_ok},\
+        "{{\"schema\":\"streamlink.healthz.v1\",\"status\":\"{}\",\"version\":\"{}\",\
+         \"storage_ok\":{storage_ok},\
          \"audit_ok\":{audit_ok},\"repl_ok\":{repl_ok},\"uptime_secs\":{},\"audit\":{audit_json},\
          \"replication\":{repl_json},\"failover\":{failover_json}}}",
         if healthy { "ok" } else { "degraded" },
+        json_safe(crate::build_version(), 64),
         state.uptime_secs()
     );
     Response::json(if healthy { 200 } else { 503 }, body)
@@ -516,6 +540,10 @@ mod tests {
             .body
             .contains("# TYPE streamlink_core_insert_edges_total counter"));
         assert!(r.body.contains("streamlink_mem_total_bytes"));
+        assert!(r.body.contains(&format!(
+            "streamlink_build_info{{version=\"{}\"}} 1",
+            crate::build_version()
+        )));
     }
 
     #[test]
@@ -524,6 +552,9 @@ mod tests {
         let r = respond(&s, "GET", "/healthz");
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"status\":\"ok\""));
+        assert!(r
+            .body
+            .contains(&format!("\"version\":\"{}\"", crate::build_version())));
         assert!(r.body.contains("\"storage_ok\":true"));
     }
 
@@ -534,6 +565,26 @@ mod tests {
             let r = respond(&s, "GET", target);
             assert_eq!(r.status, 200, "{target}");
             assert!(r.body.starts_with("{\"schema\":\"streamlink.trace.v1\""));
+        }
+    }
+
+    #[test]
+    fn profilez_clamps_and_parses_span_count() {
+        let s = state();
+        drop(trace::op("profilez.test"));
+        for target in [
+            "/profilez",
+            "/profilez?n=5",
+            "/profilez?n=0",
+            "/profilez?n=junk",
+        ] {
+            let r = respond(&s, "GET", target);
+            assert_eq!(r.status, 200, "{target}");
+            assert!(r.body.starts_with("{\"schema\":\"streamlink.profilez.v1\""));
+            let profile = trace::Profile::parse_json(&r.body).expect("parseable profile");
+            for node in &profile.nodes {
+                assert!(node.exclusive_ns <= node.inclusive_ns, "{}", node.op);
+            }
         }
     }
 

@@ -307,10 +307,14 @@ impl ServerState {
         let mut wal_seq = None;
         if let Some(mut persist) = self.persist_guard() {
             let seq = persist.journal.next_seq();
+            let append_start = std::time::Instant::now();
             if let Err(e) = persist.journal.append(JournalEntry { seq, u, v }) {
                 self.storage_ok.store(false, Ordering::SeqCst);
                 return Err(e);
             }
+            streamlink_core::metrics::global()
+                .serve_phase_journal_append
+                .observe(append_start);
             self.storage_ok.store(true, Ordering::SeqCst);
             wal_seq = Some(seq);
         }
@@ -529,6 +533,11 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
     state.refresh_observable_gauges();
     let mut last_metrics_log = Instant::now();
     let mut last_mem_refresh = Instant::now();
+    // Phase attribution: how long the acceptor idled before each
+    // connection arrived. Near-zero accept waits under load mean the
+    // listener itself is the bottleneck; large waits mean it is starved
+    // for work and latency lives elsewhere.
+    let mut last_accept = Instant::now();
     while !state.shutdown_requested() {
         let log_every = state.config.metrics_log_every;
         if !log_every.is_zero() && last_metrics_log.elapsed() >= log_every {
@@ -541,9 +550,11 @@ pub fn serve(listener: TcpListener, state: &Arc<ServerState>) -> io::Result<()> 
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                streamlink_core::metrics::global()
-                    .connections_accepted
-                    .incr();
+                let m = streamlink_core::metrics::global();
+                m.connections_accepted.incr();
+                m.serve_accept_wait_ms
+                    .set(u64::try_from(last_accept.elapsed().as_millis()).unwrap_or(u64::MAX));
+                last_accept = Instant::now();
                 let previous = state.active.fetch_add(1, Ordering::SeqCst);
                 if previous >= state.config.max_conns {
                     state.active.fetch_sub(1, Ordering::SeqCst);
@@ -617,7 +628,9 @@ fn audit_loop(state: &ServerState) {
 /// back-off hint (so clients can distinguish "retry later" from a hard
 /// failure), then close.
 fn shed(stream: TcpStream, cap: usize) {
-    streamlink_core::metrics::global().connections_shed.incr();
+    let m = streamlink_core::metrics::global();
+    m.connections_shed.incr();
+    m.sheds_busy.incr();
     let mut stream = stream;
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));

@@ -26,6 +26,11 @@
 //! TRACE [N]                -> newest N (default 16) completed trace
 //!                             spans, one line each, terminated by
 //!                             `OK <n> spans`
+//! PROFILE [N]              -> one `streamlink.profilez.v1` JSON line:
+//!                             the newest N (default: whole ring) spans
+//!                             merged into a call-tree with
+//!                             inclusive/exclusive time and the top-k
+//!                             slowest ops, terminated by `OK <n> nodes`
 //! HEALTH                   -> OK audit_cycles=<n> audit_pairs=<n>
 //!                                tracked_vertices=<n> jaccard_mae=<f>
 //!                                cn_rel_err_p95=<f> aa_mae=<f>
@@ -169,9 +174,16 @@ pub fn handle_command(state: &ServerState, line: &str) -> String {
     let m = metrics::global();
     // The trace span covers exactly what the latency histogram covers,
     // so a slow-op line and a histogram tail sample always agree.
-    let t = trace::op(command_span_name(line));
+    // Phase attribution: tokenization/dispatch cost vs execution cost.
+    // The parse phase is tiny by design; if it ever grows, the serve
+    // path — not the store — is the suspect.
+    let parse_start = std::time::Instant::now();
+    let span_name = command_span_name(line);
+    m.serve_phase_parse.observe(parse_start);
+    let t = trace::op(span_name);
     let start = std::time::Instant::now();
     let response = execute(state, line, &t);
+    m.serve_phase_execute.observe(start);
     m.server_commands.incr();
     if response.starts_with("ERR") {
         m.server_command_errors.incr();
@@ -193,6 +205,7 @@ fn command_span_name(line: &str) -> &'static str {
         "STATS" => "cmd.stats",
         "METRICS" => "cmd.metrics",
         "TRACE" => "cmd.trace",
+        "PROFILE" => "cmd.profile",
         "HEALTH" => "cmd.health",
         "REPL" => "cmd.repl",
         "CLUSTER" => "cmd.cluster",
@@ -251,11 +264,12 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             // `process.uptime_secs` / `process.as_of_unix_ms` so the two
             // surfaces can be correlated sample-for-sample.
             format!(
-                "OK vertices={vertices} edges={edges} memory={memory} \
+                "OK version={} vertices={vertices} edges={edges} memory={memory} \
                  uptime_secs={} connections_active={} journal_lag_edges={} \
                  shed_total={} snapshot_generations={} replay_quarantined={} \
                  scrub_last_exit={} process_uptime_secs={} \
                  process_as_of_unix_ms={}",
+                crate::build_version(),
                 state.uptime_secs(),
                 state.connections_active(),
                 state.journal_lag(),
@@ -315,6 +329,26 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
             }
             out.push_str(&format!("OK {} spans", spans.len()));
             out
+        }
+        "PROFILE" => {
+            let n = match args.as_slice() {
+                [] => trace::RING_CAPACITY,
+                // Like TRACE: the window only needs to be a well-formed
+                // integer; asks beyond the ring are capped, not errors.
+                [raw] => match parse_bounded("count", raw, 1, u64::MAX) {
+                    Ok(n) => usize::try_from(n)
+                        .unwrap_or(trace::RING_CAPACITY)
+                        .min(trace::RING_CAPACITY),
+                    Err(e) => return format!("ERR {e}"),
+                },
+                _ => return "ERR PROFILE takes at most one count".into(),
+            };
+            let profile = trace::profile(n);
+            format!(
+                "{}\nOK {} nodes",
+                profile.render_json(),
+                profile.nodes.len()
+            )
         }
         "HEALTH" => {
             if !args.is_empty() {
@@ -458,7 +492,7 @@ fn execute(state: &ServerState, line: &str, t: &trace::OpGuard) -> String {
         other => format!(
             "ERR unknown command {other:?} (commands: INSERT, JACCARD, CN, AA, \
              RA, PA, COSINE, OVERLAP, DEGREE, EXPLAIN, STATS, METRICS, TRACE, \
-             HEALTH, REPL, CLUSTER, PROMOTE, DEMOTE, HELLO, PING, QUIT)"
+             PROFILE, HEALTH, REPL, CLUSTER, PROMOTE, DEMOTE, HELLO, PING, QUIT)"
         ),
     }
 }
@@ -629,6 +663,10 @@ mod tests {
     fn stats_reports_serving_fields() {
         let s = state();
         let stats = handle_command(&s, "STATS");
+        assert!(
+            stats.contains(&format!("version={}", crate::build_version())),
+            "{stats}"
+        );
         assert!(stats.contains("uptime_secs="), "{stats}");
         assert!(stats.contains("connections_active=0"), "{stats}");
         // In-memory serving has no journal, hence no lag.
@@ -693,7 +731,7 @@ mod tests {
     fn crlf_and_surrounding_whitespace_are_trimmed() {
         // What telnet/netcat actually deliver: trailing `\r`, padding.
         let s = state();
-        assert!(handle_command(&s, "stats\r").starts_with("OK vertices="));
+        assert!(handle_command(&s, "stats\r").starts_with("OK version="));
         assert_eq!(handle_command(&s, "  INSERT 1 2  "), "OK inserted");
         assert_eq!(handle_command(&s, "\tPING\r"), "OK pong");
         assert_eq!(handle_command(&s, "degree 0\r"), "OK 20");
@@ -816,6 +854,61 @@ mod tests {
         assert!(
             handle_command(&s, "HEALTH now").starts_with("ERR"),
             "HEALTH args"
+        );
+    }
+
+    #[test]
+    fn profile_returns_json_call_tree_with_ok_terminator() {
+        let s = state();
+        // Generate traced traffic so the profile has nodes to merge.
+        let _ = handle_command(&s, "JACCARD 0 1");
+        let _ = handle_command(&s, "INSERT 7 8");
+        let response = handle_command(&s, "PROFILE");
+        let lines: Vec<&str> = response.lines().collect();
+        assert_eq!(lines.len(), 2, "one JSON line + terminator: {response}");
+        let body: serde_json::Value =
+            serde_json::from_str(lines[0]).expect("PROFILE body must be valid JSON");
+        assert_eq!(
+            body.get("schema").and_then(serde_json::Value::as_str),
+            Some("streamlink.profilez.v1")
+        );
+        let nodes = body
+            .get("nodes")
+            .and_then(serde_json::Value::as_array)
+            .expect("nodes array");
+        assert!(!nodes.is_empty(), "traffic must have produced nodes");
+        let last = lines.last().unwrap();
+        assert!(
+            last.starts_with("OK ") && last.ends_with(" nodes"),
+            "terminator: {last}"
+        );
+        let announced: usize = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert_eq!(nodes.len(), announced, "count must match the node list");
+    }
+
+    #[test]
+    fn profile_is_crlf_and_case_tolerant_and_rejects_bad_args() {
+        let s = state();
+        let _ = handle_command(&s, "PING");
+        assert!(handle_command(&s, "profile\r").ends_with(" nodes"));
+        assert!(handle_command(&s, "  Profile 4  \r").ends_with(" nodes"));
+        assert!(handle_command(&s, "PROFILE 0").starts_with("ERR"), "zero");
+        assert!(
+            handle_command(&s, "PROFILE abc").starts_with("ERR"),
+            "non-numeric"
+        );
+        assert!(
+            handle_command(&s, "PROFILE 010").starts_with("ERR bad-arg count"),
+            "leading zeros"
+        );
+        assert!(
+            handle_command(&s, "PROFILE 1 2").starts_with("ERR"),
+            "extra args"
+        );
+        // Asks beyond the ring are capped, not errors.
+        assert!(
+            handle_command(&s, &format!("PROFILE {}", trace::RING_CAPACITY * 10))
+                .ends_with(" nodes")
         );
     }
 
@@ -995,7 +1088,7 @@ mod tests {
         let s = state();
         let reply = handle_command(&s, "FROBNICATE");
         assert!(reply.starts_with("ERR unknown command"), "{reply}");
-        for cmd in ["EXPLAIN", "INSERT", "METRICS", "TRACE", "HEALTH"] {
+        for cmd in ["EXPLAIN", "INSERT", "METRICS", "TRACE", "PROFILE", "HEALTH"] {
             assert!(reply.contains(cmd), "help text missing {cmd}: {reply}");
         }
     }
@@ -1114,7 +1207,7 @@ mod tests {
         assert!(nack.contains("127.0.0.1:9"), "{nack}");
         // Nothing was applied, and reads keep serving.
         assert_eq!(handle_command(&s, "DEGREE 1"), "OK 0");
-        assert!(handle_command(&s, "STATS").starts_with("OK vertices=0"));
+        assert!(handle_command(&s, "STATS").contains(" vertices=0 "));
         assert!(handle_command(&s, "JACCARD 1 2").starts_with("OK"));
         assert!(handle_command(&s, "HEALTH").starts_with("OK audit_cycles="));
         // Case/CRLF tolerance applies to the readonly gate too.

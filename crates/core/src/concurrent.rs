@@ -283,6 +283,72 @@ mod tests {
     }
 
     #[test]
+    fn writer_bursts_on_a_hot_vertex_lose_no_updates() {
+        // Worst-case write contention: every edge touches vertex 0, so
+        // every insert write-locks the same home shard. The degree
+        // counter and edge count must come out exact — a lost update
+        // here would silently corrupt degree-based estimators.
+        const WRITERS: u64 = 8;
+        const PER_WRITER: u64 = 500;
+        let hot = VertexId(0);
+        let store = ConcurrentSketchStore::new(cfg(), 16);
+        crossbeam::scope(|scope| {
+            for t in 0..WRITERS {
+                let store = &store;
+                scope.spawn(move |_| {
+                    for i in 0..PER_WRITER {
+                        // Distinct partner per insert: degree counts edges.
+                        store.insert_edge(hot, VertexId(1 + t * PER_WRITER + i));
+                    }
+                });
+            }
+        })
+        .expect("threads panicked");
+        assert_eq!(store.edges_processed(), WRITERS * PER_WRITER);
+        assert_eq!(store.degree(hot), WRITERS * PER_WRITER);
+    }
+
+    #[test]
+    fn readers_observe_monotone_degrees_during_writer_bursts() {
+        // Degree counters only ever increment, so any single reader must
+        // observe a non-decreasing sequence even while writers burst —
+        // a dip would mean a reader saw a torn or rolled-back update.
+        const TOTAL: u64 = 2_000;
+        let hot = VertexId(7);
+        let store = ConcurrentSketchStore::new(cfg(), 8);
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let store = &store;
+                scope.spawn(move |_| {
+                    for i in 0..TOTAL / 4 {
+                        store.insert_edge(hot, VertexId(1_000 + t * (TOTAL / 4) + i));
+                    }
+                });
+            }
+            for _ in 0..3 {
+                let store = &store;
+                scope.spawn(move |_| {
+                    let mut prev = 0u64;
+                    loop {
+                        let d = store.degree(hot);
+                        assert!(d >= prev, "degree went backwards: {prev} -> {d}");
+                        // Reads stay sane mid-burst, not just at the end.
+                        if let Some(j) = store.jaccard(hot, VertexId(1_000)) {
+                            assert!((0.0..=1.0).contains(&j), "jaccard out of range: {j}");
+                        }
+                        if d == TOTAL {
+                            break;
+                        }
+                        prev = d;
+                    }
+                });
+            }
+        })
+        .expect("threads panicked");
+        assert_eq!(store.degree(hot), TOTAL);
+    }
+
+    #[test]
     fn self_loops_ignored() {
         let store = ConcurrentSketchStore::new(cfg(), 4);
         store.insert_edge(VertexId(1), VertexId(1));

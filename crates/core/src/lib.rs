@@ -46,7 +46,11 @@
 //!   as a set of scrapeable `mem.*` gauges.
 //! * [`trace`] — request tracing: span guards over a fixed-capacity
 //!   ring buffer, sampled on the insert hot path, plus a rotating
-//!   slow-op JSONL log.
+//!   slow-op JSONL log and a live span-aggregated self-profile
+//!   (`streamlink.profilez.v1`).
+//! * [`loadgen`] — deterministic open-loop workload synthesis
+//!   (Zipf-skewed mixed INSERT/read streams) and the
+//!   coordinated-omission-safe `streamlink.loadreport.v1` artifact.
 //! * [`events`] — the causally-ordered cluster event journal: typed
 //!   control-plane events (elections, fences, handoffs) with
 //!   `(node, epoch, seq, tick)` provenance, a bounded ring plus a
@@ -118,6 +122,7 @@ pub mod events;
 pub mod failover;
 pub mod hll;
 pub mod journal;
+pub mod loadgen;
 pub mod lsh;
 pub mod memory;
 pub mod merge;
@@ -144,6 +149,7 @@ pub use durable::{checkpoint, recover, Recovery, DEFAULT_SNAPSHOT_KEEP};
 pub use events::{ClusterEvent, EventJournal, EventKind};
 pub use hll::HyperLogLog;
 pub use journal::{FsyncPolicy, Journal, JournalEntry, LineCheck, ReplayReport};
+pub use loadgen::{LoadReport, MixSpec, OpKind, OpStream, WorkloadSpec};
 pub use lsh::LshIndex;
 pub use memory::{MemoryComponent, MemoryReport};
 pub use metrics::{Metrics, MetricsSnapshot};

@@ -318,6 +318,31 @@ pub struct Metrics {
     pub connections_accepted: Counter,
     /// Connections shed with `ERR busy retry` at the cap.
     pub connections_shed: Counter,
+    /// Connections refused at the text-protocol connection cap
+    /// (`serve.sheds_by_reason.busy`).
+    pub sheds_busy: Counter,
+    /// Connections closed by the idle-timeout reaper
+    /// (`serve.sheds_by_reason.idle_timeout`).
+    pub sheds_idle_timeout: Counter,
+    /// Scrape requests refused at the HTTP scraper-connection cap
+    /// (`serve.sheds_by_reason.http_cap`).
+    pub sheds_http_cap: Counter,
+    /// Milliseconds the acceptor idled in `accept()` before the most
+    /// recent connection arrived (set at accept time): near zero means
+    /// the listener is saturated, large means it is waiting for work.
+    pub serve_accept_wait_ms: Gauge,
+    /// Protocol commands currently in flight across all connection
+    /// handlers (set at dispatch entry/exit).
+    pub serve_conn_queue_depth: Gauge,
+    /// Serve-path phase: command-line tokenization and dispatch.
+    pub serve_phase_parse: LatencyHistogram,
+    /// Serve-path phase: command execution (store/estimator work).
+    pub serve_phase_execute: LatencyHistogram,
+    /// Serve-path phase: the durable journal append inside an accepted
+    /// `INSERT` (absent for reads).
+    pub serve_phase_journal_append: LatencyHistogram,
+    /// Serve-path phase: writing and flushing the response bytes.
+    pub serve_phase_respond: LatencyHistogram,
     /// `INSERT` commands nacked with `ERR storage` because the journal
     /// append failed.
     pub storage_errors: Counter,
@@ -456,6 +481,15 @@ impl Metrics {
             server_command_latency: LatencyHistogram::new(),
             connections_accepted: Counter::new(),
             connections_shed: Counter::new(),
+            sheds_busy: Counter::new(),
+            sheds_idle_timeout: Counter::new(),
+            sheds_http_cap: Counter::new(),
+            serve_accept_wait_ms: Gauge::new(),
+            serve_conn_queue_depth: Gauge::new(),
+            serve_phase_parse: LatencyHistogram::new(),
+            serve_phase_execute: LatencyHistogram::new(),
+            serve_phase_journal_append: LatencyHistogram::new(),
+            serve_phase_respond: LatencyHistogram::new(),
             storage_errors: Counter::new(),
             connections_active: Gauge::new(),
             journal_lag_edges: Gauge::new(),
@@ -561,6 +595,12 @@ impl Metrics {
                     self.connections_accepted.get(),
                 ),
                 ("server.connections_shed", self.connections_shed.get()),
+                ("serve.sheds_by_reason.busy", self.sheds_busy.get()),
+                (
+                    "serve.sheds_by_reason.idle_timeout",
+                    self.sheds_idle_timeout.get(),
+                ),
+                ("serve.sheds_by_reason.http_cap", self.sheds_http_cap.get()),
                 ("server.storage_errors", self.storage_errors.get()),
                 ("trace.spans", self.trace_spans.get()),
                 ("trace.slow_ops", self.trace_slow_ops.get()),
@@ -585,6 +625,8 @@ impl Metrics {
             ],
             gauges: vec![
                 ("server.connections_active", self.connections_active.get()),
+                ("serve.accept_wait_ms", self.serve_accept_wait_ms.get()),
+                ("serve.conn_queue_depth", self.serve_conn_queue_depth.get()),
                 ("journal.lag_edges", self.journal_lag_edges.get()),
                 (
                     "snapshot.generations_kept",
@@ -643,6 +685,13 @@ impl Metrics {
                     "server.command_latency_ns",
                     self.server_command_latency.summary(),
                 ),
+                ("serve.phase.parse_ns", self.serve_phase_parse.summary()),
+                ("serve.phase.execute_ns", self.serve_phase_execute.summary()),
+                (
+                    "serve.phase.journal_append_ns",
+                    self.serve_phase_journal_append.summary(),
+                ),
+                ("serve.phase.respond_ns", self.serve_phase_respond.summary()),
                 (
                     "http.request_latency_ns",
                     self.http_request_latency.summary(),
@@ -672,6 +721,9 @@ impl Metrics {
             &self.server_queries,
             &self.connections_accepted,
             &self.connections_shed,
+            &self.sheds_busy,
+            &self.sheds_idle_timeout,
+            &self.sheds_http_cap,
             &self.storage_errors,
             &self.trace_spans,
             &self.trace_slow_ops,
@@ -694,6 +746,8 @@ impl Metrics {
             c.reset();
         }
         self.connections_active.reset();
+        self.serve_accept_wait_ms.reset();
+        self.serve_conn_queue_depth.reset();
         self.journal_lag_edges.reset();
         self.snapshot_generations_kept.reset();
         self.scrub_last_exit.reset();
@@ -728,6 +782,10 @@ impl Metrics {
             &self.journal_append_latency,
             &self.checkpoint_latency,
             &self.server_command_latency,
+            &self.serve_phase_parse,
+            &self.serve_phase_execute,
+            &self.serve_phase_journal_append,
+            &self.serve_phase_respond,
             &self.http_request_latency,
         ] {
             h.reset();
@@ -1236,6 +1294,46 @@ mod tests {
         // New memory and http instruments are exported.
         assert!(text.contains("streamlink_mem_bytes_per_vertex "));
         assert!(text.contains("streamlink_http_requests_total "));
+    }
+
+    #[test]
+    fn serve_phase_and_shed_reason_instruments_are_exported() {
+        let m = Metrics::new();
+        m.sheds_busy.incr();
+        m.sheds_idle_timeout.add(2);
+        m.sheds_http_cap.add(3);
+        m.serve_accept_wait_ms.set(40);
+        m.serve_conn_queue_depth.set(5);
+        m.serve_phase_parse.record_ns(200);
+        m.serve_phase_execute.record_ns(9_000);
+        m.serve_phase_journal_append.record_ns(50_000);
+        m.serve_phase_respond.record_ns(700);
+        let snap = m.snapshot();
+        assert_eq!(snap.value("serve.sheds_by_reason.busy"), Some(1));
+        assert_eq!(snap.value("serve.sheds_by_reason.idle_timeout"), Some(2));
+        assert_eq!(snap.value("serve.sheds_by_reason.http_cap"), Some(3));
+        assert_eq!(snap.value("serve.accept_wait_ms"), Some(40));
+        assert_eq!(snap.value("serve.conn_queue_depth"), Some(5));
+        for key in [
+            "serve.phase.parse_ns",
+            "serve.phase.execute_ns",
+            "serve.phase.journal_append_ns",
+            "serve.phase.respond_ns",
+        ] {
+            let h = snap.histogram(key).unwrap_or_else(|| panic!("{key}"));
+            assert_eq!(h.count, 1, "{key}");
+        }
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("streamlink_serve_sheds_by_reason_busy_total 1"));
+        assert!(prom.contains("streamlink_serve_sheds_by_reason_idle_timeout_total 2"));
+        assert!(prom.contains("streamlink_serve_sheds_by_reason_http_cap_total 3"));
+        assert!(prom.contains("# TYPE streamlink_serve_conn_queue_depth gauge"));
+        assert!(prom.contains("# TYPE streamlink_serve_phase_execute_ns histogram"));
+        m.reset();
+        let snap = m.snapshot();
+        assert_eq!(snap.value("serve.sheds_by_reason.busy"), Some(0));
+        assert_eq!(snap.value("serve.conn_queue_depth"), Some(0));
+        assert_eq!(snap.histogram("serve.phase.parse_ns").unwrap().count, 0);
     }
 
     #[test]

@@ -30,6 +30,16 @@
 //! export read it. Recording is one uncontended per-slot mutex lock;
 //! readers never block writers for more than one slot.
 //!
+//! ## The self-profile
+//!
+//! The ring doubles as a continuous profiler: [`Profile::from_spans`]
+//! merges a window of span records into a call-tree keyed by
+//! `(op, parent)` with per-node counts, **inclusive** time (sum of span
+//! durations) and **exclusive** time (duration minus child time), plus
+//! the top-k slowest individual spans. [`render_profilez_json`] exports
+//! it as `streamlink.profilez.v1` — the `/profilez` endpoint and the
+//! `PROFILE [n]` protocol command serve exactly this document.
+//!
 //! ## The slow-op log
 //!
 //! Any completed span whose duration meets the threshold
@@ -476,6 +486,267 @@ fn unix_ms() -> u64 {
         .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
 }
 
+// ------------------------------------------------------------ profilez
+
+/// Default number of slowest spans listed in a profile.
+pub const DEFAULT_PROFILE_TOP_SLOW: usize = 5;
+
+/// One merged call-tree node of a [`Profile`], keyed by `(op, parent)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileNode {
+    /// Operation name.
+    pub op: String,
+    /// Parent operation name (`None` for roots).
+    pub parent: Option<String>,
+    /// Spans merged into this node.
+    pub count: u64,
+    /// Total time spent in these spans, children included (ns).
+    pub inclusive_ns: u64,
+    /// Total time spent in these spans *excluding* attributed child
+    /// time (ns) — where the op itself burned cycles.
+    pub exclusive_ns: u64,
+    /// Largest single span duration merged into this node (ns).
+    pub max_ns: u64,
+    /// Merged child-name breakdown: `(name, total ns)`, largest first.
+    pub children: Vec<(String, u64)>,
+}
+
+/// One of the top-k slowest individual spans in a profile window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSpan {
+    /// Operation name.
+    pub op: String,
+    /// Ring sequence number (replayable via `TRACE`).
+    pub seq: u64,
+    /// Span duration (ns).
+    pub dur_ns: u64,
+    /// Wall-clock completion time (Unix ms).
+    pub ts_unix_ms: u64,
+}
+
+/// A span-aggregated self-profile: the ring's recent window merged into
+/// a call-tree, schema `streamlink.profilez.v1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    /// Spans aggregated into this profile.
+    pub spans: u64,
+    /// Merged call-tree nodes, highest inclusive time first.
+    pub nodes: Vec<ProfileNode>,
+    /// The top-k slowest individual spans, slowest first.
+    pub slowest: Vec<SlowSpan>,
+}
+
+fn merge_child(children: &mut Vec<(String, u64)>, name: &str, ns: u64) {
+    if let Some(entry) = children.iter_mut().find(|(n, _)| n == name) {
+        entry.1 += ns;
+    } else {
+        children.push((name.to_string(), ns));
+    }
+}
+
+impl Profile {
+    /// Merges `spans` (any order) into a call-tree profile keeping the
+    /// `top_slow` slowest individual spans. Pure — testable and
+    /// golden-pinnable without touching the global ring.
+    ///
+    /// Node ordering is deterministic: inclusive time descending, then
+    /// op name, then parent name. A span's exclusive time is its
+    /// duration minus its recorded child time, floored at zero (clock
+    /// skew between a parent and its children cannot go negative).
+    #[must_use]
+    pub fn from_spans(spans: &[SpanRecord], top_slow: usize) -> Self {
+        let mut nodes: Vec<ProfileNode> = Vec::new();
+        for s in spans {
+            let child_ns: u64 = s.children.iter().map(|&(_, ns)| ns).sum();
+            let exclusive = s.dur_ns.saturating_sub(child_ns);
+            let parent = s.parent.map(str::to_string);
+            let node = match nodes
+                .iter_mut()
+                .find(|n| n.op == s.op && n.parent.as_deref() == s.parent)
+            {
+                Some(node) => node,
+                None => {
+                    nodes.push(ProfileNode {
+                        op: s.op.to_string(),
+                        parent,
+                        count: 0,
+                        inclusive_ns: 0,
+                        exclusive_ns: 0,
+                        max_ns: 0,
+                        children: Vec::new(),
+                    });
+                    nodes.last_mut().expect("just pushed")
+                }
+            };
+            node.count += 1;
+            node.inclusive_ns += s.dur_ns;
+            node.exclusive_ns += exclusive;
+            node.max_ns = node.max_ns.max(s.dur_ns);
+            for (name, ns) in &s.children {
+                merge_child(&mut node.children, name, *ns);
+            }
+        }
+        for node in &mut nodes {
+            node.children
+                .sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        }
+        nodes.sort_by(|a, b| {
+            b.inclusive_ns
+                .cmp(&a.inclusive_ns)
+                .then_with(|| a.op.cmp(&b.op))
+                .then_with(|| a.parent.cmp(&b.parent))
+        });
+        let mut slowest: Vec<SlowSpan> = spans
+            .iter()
+            .map(|s| SlowSpan {
+                op: s.op.to_string(),
+                seq: s.seq,
+                dur_ns: s.dur_ns,
+                ts_unix_ms: s.ts_unix_ms,
+            })
+            .collect();
+        slowest.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then_with(|| b.seq.cmp(&a.seq)));
+        slowest.truncate(top_slow);
+        Profile {
+            spans: spans.len() as u64,
+            nodes,
+            slowest,
+        }
+    }
+
+    /// Renders the profile as one `streamlink.profilez.v1` JSON object
+    /// (no trailing newline). Field order is stable and golden-pinned.
+    /// Op names are static identifiers, so no escaping is needed.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"streamlink.profilez.v1\",\"spans\":{},\"nodes\":[",
+            self.spans
+        );
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let children: Vec<String> = n
+                    .children
+                    .iter()
+                    .map(|(name, ns)| format!("\"{name}\":{ns}"))
+                    .collect();
+                format!(
+                    "{{\"op\":\"{}\",\"parent\":{},\"count\":{},\"inclusive_ns\":{},\
+                     \"exclusive_ns\":{},\"max_ns\":{},\"children\":{{{}}}}}",
+                    n.op,
+                    n.parent
+                        .as_ref()
+                        .map_or_else(|| "null".to_string(), |p| format!("\"{p}\"")),
+                    n.count,
+                    n.inclusive_ns,
+                    n.exclusive_ns,
+                    n.max_ns,
+                    children.join(","),
+                )
+            })
+            .collect();
+        out.push_str(&nodes.join(","));
+        out.push_str("],\"slowest\":[");
+        let slow: Vec<String> = self
+            .slowest
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"op\":\"{}\",\"seq\":{},\"dur_ns\":{},\"ts_unix_ms\":{}}}",
+                    s.op, s.seq, s.dur_ns, s.ts_unix_ms
+                )
+            })
+            .collect();
+        out.push_str(&slow.join(","));
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a `streamlink.profilez.v1` JSON object back into a
+    /// profile.
+    ///
+    /// # Errors
+    /// Returns `Err` on malformed JSON, a wrong schema tag, or missing
+    /// fields.
+    pub fn parse_json(raw: &str) -> Result<Self, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(raw).map_err(|e| format!("invalid JSON: {e}"))?;
+        if v.get("schema").and_then(serde_json::Value::as_str) != Some("streamlink.profilez.v1") {
+            return Err("not a streamlink.profilez.v1 object".into());
+        }
+        let field = |obj: &serde_json::Value, key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(serde_json::Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field {key:?}"))
+        };
+        let text = |obj: &serde_json::Value, key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(serde_json::Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing or non-string field {key:?}"))
+        };
+        let mut nodes = Vec::new();
+        for n in v
+            .get("nodes")
+            .and_then(serde_json::Value::as_array)
+            .ok_or("missing \"nodes\" array")?
+        {
+            let parent = match n.get("parent") {
+                Some(serde_json::Value::Null) | None => None,
+                Some(p) => Some(p.as_str().ok_or("non-string \"parent\"")?.to_string()),
+            };
+            let mut children = Vec::new();
+            if let Some(serde_json::Value::Object(entries)) = n.get("children") {
+                for (name, ns) in entries {
+                    children.push((name.clone(), ns.as_u64().ok_or("non-integer child time")?));
+                }
+            }
+            nodes.push(ProfileNode {
+                op: text(n, "op")?,
+                parent,
+                count: field(n, "count")?,
+                inclusive_ns: field(n, "inclusive_ns")?,
+                exclusive_ns: field(n, "exclusive_ns")?,
+                max_ns: field(n, "max_ns")?,
+                children,
+            });
+        }
+        let mut slowest = Vec::new();
+        for s in v
+            .get("slowest")
+            .and_then(serde_json::Value::as_array)
+            .ok_or("missing \"slowest\" array")?
+        {
+            slowest.push(SlowSpan {
+                op: text(s, "op")?,
+                seq: field(s, "seq")?,
+                dur_ns: field(s, "dur_ns")?,
+                ts_unix_ms: field(s, "ts_unix_ms")?,
+            });
+        }
+        Ok(Profile {
+            spans: field(&v, "spans")?,
+            nodes,
+            slowest,
+        })
+    }
+}
+
+/// Aggregates the newest `n` ring spans into a [`Profile`].
+#[must_use]
+pub fn profile(n: usize) -> Profile {
+    Profile::from_spans(&recent(n), DEFAULT_PROFILE_TOP_SLOW)
+}
+
+/// Renders the newest `n` ring spans as one `streamlink.profilez.v1`
+/// JSON document — the `/profilez` endpoint and `PROFILE [n]` body.
+#[must_use]
+pub fn render_profilez_json(n: usize) -> String {
+    profile(n).render_json()
+}
+
 // ---------------------------------------------------- slow-op log file
 
 struct SlowOpLog {
@@ -809,6 +1080,153 @@ mod tests {
         assert!(!rotated.is_empty());
         assert!(current.len() as u64 <= 400);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn span(
+        seq: u64,
+        op: &'static str,
+        parent: Option<&'static str>,
+        dur_ns: u64,
+        children: Vec<(&'static str, u64)>,
+    ) -> SpanRecord {
+        SpanRecord {
+            seq,
+            op,
+            parent,
+            ts_unix_ms: 1_000 + seq,
+            dur_ns,
+            degree_class: None,
+            corr_id: None,
+            children,
+        }
+    }
+
+    #[test]
+    fn profile_merges_nodes_and_splits_exclusive_time() {
+        let spans = vec![
+            span(1, "cmd.insert", None, 1_000, vec![("journal.append", 700)]),
+            span(
+                2,
+                "cmd.insert",
+                None,
+                3_000,
+                vec![("journal.append", 1_800)],
+            ),
+            span(3, "journal.append", Some("cmd.insert"), 700, vec![]),
+            span(4, "cmd.query", None, 400, vec![]),
+        ];
+        let p = Profile::from_spans(&spans, 2);
+        assert_eq!(p.spans, 4);
+        assert_eq!(p.nodes.len(), 3);
+        // Highest inclusive first: the merged cmd.insert node.
+        let top = &p.nodes[0];
+        assert_eq!(top.op, "cmd.insert");
+        assert_eq!(top.parent, None);
+        assert_eq!(top.count, 2);
+        assert_eq!(top.inclusive_ns, 4_000);
+        assert_eq!(top.exclusive_ns, 4_000 - 700 - 1_800);
+        assert_eq!(top.max_ns, 3_000);
+        assert_eq!(top.children, vec![("journal.append".to_string(), 2_500)]);
+        // The nested journal.append node keys on (op, parent).
+        let nested = p
+            .nodes
+            .iter()
+            .find(|n| n.op == "journal.append")
+            .expect("nested node");
+        assert_eq!(nested.parent.as_deref(), Some("cmd.insert"));
+        assert_eq!(nested.inclusive_ns, 700);
+        assert_eq!(nested.exclusive_ns, 700);
+        // Top-k slowest, slowest first, truncated to 2.
+        assert_eq!(p.slowest.len(), 2);
+        assert_eq!(p.slowest[0].dur_ns, 3_000);
+        assert_eq!(p.slowest[1].dur_ns, 1_000);
+    }
+
+    #[test]
+    fn profile_exclusive_never_goes_negative() {
+        // A child breakdown exceeding the parent duration (clock skew)
+        // must floor exclusive time at zero, not wrap.
+        let spans = vec![span(1, "cmd.query", None, 100, vec![("store.read", 150)])];
+        let p = Profile::from_spans(&spans, 1);
+        assert_eq!(p.nodes[0].exclusive_ns, 0);
+        assert_eq!(p.nodes[0].inclusive_ns, 100);
+    }
+
+    #[test]
+    fn profile_inclusive_times_are_coherent_child_le_parent() {
+        let _gate = lock();
+        reset();
+        for _ in 0..50 {
+            let _outer = op("cmd.insert");
+            {
+                let _inner = op("journal.append");
+                std::hint::black_box(42);
+            }
+        }
+        let p = profile(RING_CAPACITY);
+        let parent = p
+            .nodes
+            .iter()
+            .find(|n| n.op == "cmd.insert")
+            .expect("parent node");
+        let child = p
+            .nodes
+            .iter()
+            .find(|n| n.op == "journal.append")
+            .expect("child node");
+        assert_eq!(child.parent.as_deref(), Some("cmd.insert"));
+        assert_eq!(parent.count, 50);
+        assert_eq!(child.count, 50);
+        assert!(
+            child.inclusive_ns <= parent.inclusive_ns,
+            "child inclusive {} must not exceed parent inclusive {}",
+            child.inclusive_ns,
+            parent.inclusive_ns
+        );
+        // The parent's attributed child time matches the child node.
+        let attributed = parent
+            .children
+            .iter()
+            .find(|(n, _)| n == "journal.append")
+            .expect("attributed child");
+        assert!(attributed.1 <= parent.inclusive_ns);
+        assert_eq!(
+            parent.exclusive_ns,
+            parent.inclusive_ns - attributed.1,
+            "exclusive = inclusive minus attributed child time"
+        );
+    }
+
+    #[test]
+    fn profilez_json_round_trips() {
+        let spans = vec![
+            span(1, "cmd.insert", None, 1_000, vec![("journal.append", 700)]),
+            span(2, "journal.append", Some("cmd.insert"), 700, vec![]),
+        ];
+        let p = Profile::from_spans(&spans, 5);
+        let json = p.render_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid profilez JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(serde_json::Value::as_str),
+            Some("streamlink.profilez.v1")
+        );
+        let back = Profile::parse_json(&json).expect("round trip");
+        assert_eq!(back, p);
+        assert!(Profile::parse_json("{}").is_err());
+        assert!(Profile::parse_json("nope").is_err());
+    }
+
+    #[test]
+    fn render_profilez_reads_the_ring() {
+        let _gate = lock();
+        reset();
+        {
+            let _g = op("cmd.stats");
+        }
+        let json = render_profilez_json(16);
+        let _: serde_json::Value = serde_json::from_str(&json).expect("valid profilez JSON");
+        assert!(json.contains("\"schema\":\"streamlink.profilez.v1\""));
+        assert!(json.contains("\"op\":\"cmd.stats\""));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Golden-file pin of the `streamlink.loadreport.v1` artifact schema.
+//!
+//! Load reports are a public artifact: CI uploads them, the perf-smoke
+//! gate parses them, and dashboards trend them across builds — so a
+//! report written by one build must parse under another. This test
+//! renders a fixed report and diffs it against the checked-in golden
+//! file; any change to field names, order, or float formatting fails CI
+//! until the golden is *deliberately* regenerated (and the schema
+//! version bumped if the change is breaking).
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p streamlink-core --test loadreport_schema
+//! ```
+
+use streamlink_core::loadgen::LoadReport;
+use streamlink_core::metrics::{HistogramSummary, HISTOGRAM_BUCKETS};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("loadreport.v1.json")
+}
+
+/// A deterministic report exercising the encoding edge cases: an
+/// escaped version string, a set (and breached) SLO, sheds, and a
+/// fractional achieved rate that pins the `{:.3}` float format.
+fn fixture() -> LoadReport {
+    LoadReport {
+        version: "0.1.0+gdeadbee \"dirty\"".into(),
+        seed: 0x5EED,
+        conns: 4,
+        duration_ms: 10_000,
+        offered_ops_per_sec: 1_000,
+        // Exactly representable at the pinned `{:.3}` precision, so the
+        // parse-back test round-trips bit-for-bit.
+        achieved_ops_per_sec: 987.654,
+        ops_attempted: 10_000,
+        ops_ok: 9_000,
+        ops_err: 700,
+        ops_shed: 300,
+        mix_insert: 5_400,
+        mix_jaccard: 2_250,
+        mix_degree: 900,
+        mix_explain: 450,
+        latency: HistogramSummary {
+            count: 10_000,
+            sum_ns: 4_500_000_000,
+            max_ns: 120_000_000,
+            p50_ns: 262_144,
+            p95_ns: 1_048_576,
+            p99_ns: 4_194_304,
+            p999_ns: 16_777_216,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        },
+        slo_p99_ms: 2,
+        slo_pass: false,
+    }
+}
+
+#[test]
+fn rendered_report_matches_the_golden_file() {
+    let rendered = format!("{}\n", fixture().render_json());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_GOLDEN=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "streamlink.loadreport.v1 rendering drifted from the golden file; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_report_parses_back_to_the_fixture() {
+    // The parser must accept exactly what the golden file pins — a
+    // report uploaded by any released build stays readable.
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    let parsed = LoadReport::parse_json(golden.trim_end()).expect("golden report parses");
+    assert_eq!(parsed, fixture());
+}
+
+#[test]
+fn golden_pins_the_slo_verdict_contract() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    let report = LoadReport::parse_json(golden.trim_end()).unwrap();
+    // The fixture breaches its 2ms SLO (p99 is ~4.2ms): the exit-code
+    // contract CI gates on is part of the pinned surface.
+    assert!(!report.slo_pass);
+    assert_eq!(report.exit_code(), 1);
+    assert!(!LoadReport::slo_verdict(report.slo_p99_ms, &report.latency));
+    assert!(LoadReport::slo_verdict(0, &report.latency), "no SLO passes");
+}

@@ -1,0 +1,143 @@
+//! Golden-file pin of the `streamlink.profilez.v1` profile schema.
+//!
+//! `/profilez` and the `PROFILE` command serve this document to
+//! operator tooling, and the E27 harness parses it to attribute time —
+//! so the call-tree encoding is a public artifact. The fixture is built
+//! from synthetic span records (never the live ring, which is
+//! timing-dependent) and diffed against the checked-in golden file; any
+//! change to field names, order, node sorting, or exclusive-time
+//! attribution fails CI until the golden is *deliberately* regenerated.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p streamlink-core --test profilez_schema
+//! ```
+
+use streamlink_core::trace::{Profile, SpanRecord};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("profilez.v1.json")
+}
+
+/// A deterministic span set covering the aggregation edge cases: a
+/// parent with attributed children, a repeated op that must merge, a
+/// child keyed under its parent, and a span whose children overrun its
+/// own duration (exclusive time must floor at zero, not wrap).
+fn spans() -> Vec<SpanRecord> {
+    vec![
+        SpanRecord {
+            seq: 1,
+            op: "cmd.query",
+            parent: None,
+            ts_unix_ms: 1_000,
+            dur_ns: 900_000,
+            degree_class: Some(4),
+            corr_id: None,
+            children: vec![("store.read_lock", 100_000), ("estimator.fold", 500_000)],
+        },
+        SpanRecord {
+            seq: 2,
+            op: "cmd.query",
+            parent: None,
+            ts_unix_ms: 1_010,
+            dur_ns: 1_100_000,
+            degree_class: Some(5),
+            corr_id: Some(0xC0FFEE),
+            children: vec![("store.read_lock", 200_000)],
+        },
+        SpanRecord {
+            seq: 3,
+            op: "store.read_lock",
+            parent: Some("cmd.query"),
+            ts_unix_ms: 1_010,
+            dur_ns: 300_000,
+            degree_class: None,
+            corr_id: None,
+            children: Vec::new(),
+        },
+        SpanRecord {
+            seq: 4,
+            op: "cmd.insert",
+            parent: None,
+            ts_unix_ms: 1_020,
+            dur_ns: 400_000,
+            degree_class: Some(2),
+            corr_id: None,
+            // Children exceeding the parent's own duration: clock skew
+            // between child clocks must not produce negative exclusive.
+            children: vec![("journal.append", 450_000)],
+        },
+    ]
+}
+
+fn fixture() -> Profile {
+    Profile::from_spans(&spans(), 3)
+}
+
+#[test]
+fn rendered_profile_matches_the_golden_file() {
+    let rendered = format!("{}\n", fixture().render_json());
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); run with UPDATE_GOLDEN=1 once",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "streamlink.profilez.v1 rendering drifted from the golden file; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_profile_parses_back_to_the_fixture() {
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    let parsed = Profile::parse_json(golden.trim_end()).expect("golden profile parses");
+    assert_eq!(parsed, fixture());
+}
+
+#[test]
+fn golden_pins_the_call_tree_invariants() {
+    // The properties consumers rely on are part of the pinned surface:
+    // exclusive ≤ inclusive everywhere (floored, never wrapped), nodes
+    // sorted by inclusive time descending, merged counts preserved.
+    let golden = std::fs::read_to_string(golden_path()).expect("golden file checked in");
+    let profile = Profile::parse_json(golden.trim_end()).unwrap();
+    assert_eq!(profile.spans, 4);
+    for node in &profile.nodes {
+        assert!(node.exclusive_ns <= node.inclusive_ns, "{}", node.op);
+    }
+    for pair in profile.nodes.windows(2) {
+        assert!(pair[0].inclusive_ns >= pair[1].inclusive_ns, "sort order");
+    }
+    let query = profile
+        .nodes
+        .iter()
+        .find(|n| n.op == "cmd.query" && n.parent.is_none())
+        .expect("merged root node");
+    assert_eq!(query.count, 2, "repeated ops must merge");
+    let overrun = profile
+        .nodes
+        .iter()
+        .find(|n| n.op == "cmd.insert")
+        .expect("overrun node");
+    assert_eq!(overrun.exclusive_ns, 0, "exclusive floors at zero");
+    assert!(
+        profile
+            .nodes
+            .iter()
+            .any(|n| n.parent.as_deref() == Some("cmd.query")),
+        "child nodes keyed under their parent"
+    );
+}
